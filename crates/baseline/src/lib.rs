@@ -1,0 +1,25 @@
+//! The MVAPICH2-GDR-style comparator.
+//!
+//! Reimplements the published approach of Wang et al. (the paper's §2.2
+//! related work and its Figure 10–12 comparison target) on the same
+//! simulated hardware, so the comparison isolates *algorithmic*
+//! differences:
+//!
+//! 1. **Vectorization** — any datatype is converted into a set of
+//!    vector datatypes; each contiguous block that does not fit a
+//!    uniform vector becomes its own single-row "vector".
+//! 2. Each vector is packed/unpacked by its **own `cudaMemcpy2D` call**
+//!    (one per vector — for an indexed type like a triangular matrix
+//!    that means one call *per column*, each paying the per-call
+//!    latency and, for odd column widths, the 64-byte-alignment cliff).
+//! 3. All packed data **stages through host memory**, and there is **no
+//!    pipelining** between packing, the wire transfer and unpacking —
+//!    the three phases run strictly one after another.
+
+pub mod jenkins;
+pub mod proto;
+pub mod vectorize;
+
+pub use jenkins::{jenkins_ping_pong, jenkins_transfer};
+pub use proto::{baseline_ping_pong, baseline_transfer, BaselineSide};
+pub use vectorize::{vectorize, VectorRun};

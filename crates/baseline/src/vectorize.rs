@@ -1,0 +1,126 @@
+//! Datatype vectorization (Wang et al.'s algorithm).
+
+use datatype::DataType;
+
+/// A uniform strided run: `height` rows of `width` bytes, `stride`
+/// bytes apart, starting at `first_disp` — exactly what one
+/// `cudaMemcpy2D` call can move.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VectorRun {
+    pub first_disp: i64,
+    pub width: u64,
+    pub stride: i64,
+    pub height: u64,
+}
+
+impl VectorRun {
+    pub fn bytes(&self) -> u64 {
+        self.width * self.height
+    }
+}
+
+/// Convert `count` instances of a datatype into a minimal set of vector
+/// runs. Consecutive equal-length, equally-spaced segments fold into one
+/// run; everything else degenerates to single-row runs — the behaviour
+/// the paper criticizes for indexed types, where "each contiguous block
+/// ... is considered as a single vector type and packed/unpacked
+/// separately".
+pub fn vectorize(ty: &DataType, count: u64) -> Vec<VectorRun> {
+    let segs = ty.segments(count);
+    let mut runs: Vec<VectorRun> = Vec::new();
+    for s in segs {
+        if let Some(last) = runs.last_mut() {
+            let expected_next = last.first_disp + last.stride * last.height as i64;
+            if last.width == s.len
+                && ((last.height == 1 && s.disp > last.first_disp)
+                    || expected_next == s.disp)
+            {
+                let stride = s.disp - (last.first_disp + last.stride * (last.height as i64 - 1));
+                if last.height == 1 {
+                    // Second segment fixes the stride.
+                    if stride >= s.len as i64 {
+                        last.stride = stride;
+                        last.height = 2;
+                        continue;
+                    }
+                } else if expected_next == s.disp {
+                    last.height += 1;
+                    continue;
+                }
+            }
+        }
+        runs.push(VectorRun {
+            first_disp: s.disp,
+            width: s.len,
+            stride: s.len as i64,
+            height: 1,
+        });
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbl() -> DataType {
+        DataType::double()
+    }
+
+    #[test]
+    fn vector_type_folds_to_one_run() {
+        let v = DataType::vector(10, 3, 7, &dbl()).unwrap();
+        let runs = vectorize(&v, 1);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            runs[0],
+            VectorRun { first_disp: 0, width: 24, stride: 56, height: 10 }
+        );
+        assert_eq!(runs[0].bytes(), v.size());
+    }
+
+    #[test]
+    fn contiguous_is_one_row() {
+        let c = DataType::contiguous(100, &dbl()).unwrap();
+        let runs = vectorize(&c, 2);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].height, 1);
+        assert_eq!(runs[0].width, 1600);
+    }
+
+    #[test]
+    fn triangular_shatters_into_per_column_runs() {
+        let n = 16u64;
+        let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
+        let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
+        let t = DataType::indexed(&lens, &disps, &dbl()).unwrap();
+        let runs = vectorize(&t, 1);
+        // Unequal column lengths cannot fold: one run per column.
+        assert_eq!(runs.len(), n as usize);
+        let total: u64 = runs.iter().map(|r| r.bytes()).sum();
+        assert_eq!(total, t.size());
+    }
+
+    #[test]
+    fn runs_conserve_bytes_on_random_mixture() {
+        let s = DataType::structure(
+            &[2, 3, 1],
+            &[0, 64, 256],
+            &[DataType::int(), dbl(), DataType::float()],
+        )
+        .unwrap();
+        let runs = vectorize(&s, 3);
+        let total: u64 = runs.iter().map(|r| r.bytes()).sum();
+        assert_eq!(total, s.size() * 3);
+    }
+
+    #[test]
+    fn multi_count_vector_keeps_folding_when_uniform() {
+        // stride pattern continues across instances when extent==stride*count.
+        let v = DataType::vector(4, 1, 2, &dbl()).unwrap();
+        let r = DataType::resized(&v, 0, 64).unwrap();
+        let runs = vectorize(&r, 3);
+        assert_eq!(runs.len(), 1, "uniform pattern across instances folds: {runs:?}");
+        assert_eq!(runs[0].height, 12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation: which part of the paper's design buys the speedup?
+//!
+//! Compares, on the triangular workload:
+//!   ours          — pipelined GPU kernels + IPC RDMA / zero-copy (the paper)
+//!   ours-depth1   — same kernels but a single-slot fragment ring, so
+//!                   pack, transfer and unpack never overlap
+//!   jenkins-style — GPU kernels but strictly phase-by-phase through host
+//!                   (the MPICH approach of §2.2)
+//!   wang-style    — per-vector cudaMemcpy2D through host, no overlap
+//!                   (the MVAPICH approach of §2.2)
+
+use baseline::{baseline_ping_pong, jenkins_ping_pong, BaselineSide};
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{ours_rtt, Topo};
+use bench::workloads::{alloc_typed, triangular};
+use devengine::EngineConfig;
+use mpirt::MpiConfig;
+use simcore::Sim;
+
+fn main() {
+    for (topo, label) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
+        (Topo::Ib, "InfiniBand (ms RTT)"),
+    ] {
+        let fig = Figure {
+            id: "ablation-engines",
+            title: label,
+            x_label: "matrix_size",
+            series: ["ours", "ours-depth1", "jenkins-style", "wang-style"]
+                .map(String::from)
+                .to_vec(),
+        };
+        print_header(&fig);
+        for n in [512u64, 1024, 2048, 4096] {
+            let t = triangular(n);
+            let depth1 = MpiConfig {
+                pipeline_depth: 1,
+                engine: EngineConfig { pipeline: false, ..Default::default() },
+                ..Default::default()
+            };
+            let jenkins = {
+                let mut sim = Sim::new(topo.build(MpiConfig::default()));
+                let b0 = alloc_typed(&mut sim, 0, &t, 1, true, true);
+                let b1 = alloc_typed(&mut sim, 1, &t, 1, true, false);
+                jenkins_ping_pong(
+                    &mut sim,
+                    BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
+                    BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
+                    2,
+                )
+            };
+            let wang = {
+                let mut sim = Sim::new(topo.build(MpiConfig::default()));
+                let b0 = alloc_typed(&mut sim, 0, &t, 1, true, true);
+                let b1 = alloc_typed(&mut sim, 1, &t, 1, true, false);
+                baseline_ping_pong(
+                    &mut sim,
+                    BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
+                    BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
+                    2,
+                )
+            };
+            let row = [
+                ms(ours_rtt(topo, MpiConfig::default(), &t, &t, 3)),
+                ms(ours_rtt(topo, depth1, &t, &t, 3)),
+                ms(jenkins),
+                ms(wang),
+            ];
+            print_row(n, &row);
+        }
+        println!();
+    }
+}

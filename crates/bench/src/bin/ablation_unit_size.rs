@@ -1,0 +1,43 @@
+//! Ablation: CUDA-DEV work-unit size S.
+//!
+//! §3.2 sets S to 1–4 KB ("to reduce the branch penalties and increase
+//! opportunities for ILP"; the lower bound is 256 B). Smaller units
+//! mean more descriptors to prepare and stream; larger units mean
+//! coarser warp balancing. Reports uncached pack time of the
+//! triangular matrix per S.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::solo_world;
+use bench::workloads::{alloc_typed, triangular};
+use devengine::{pack_async, EngineConfig};
+use gpusim::GpuWorld as _;
+use memsim::MemSpace;
+use mpirt::MpiConfig;
+use simcore::Sim;
+
+fn main() {
+    let fig = Figure {
+        id: "ablation-unit-size",
+        title: "triangular pack time vs CUDA-DEV unit size (ms, uncached, pipelined)",
+        x_label: "matrix_size",
+        series: ["S=256", "S=512", "S=1K", "S=2K", "S=4K"].map(String::from).to_vec(),
+    };
+    print_header(&fig);
+    for n in [1024u64, 2048, 4096] {
+        let t = triangular(n);
+        let mut row = Vec::new();
+        for s in [256u64, 512, 1024, 2048, 4096] {
+            let mut sim = Sim::new(solo_world(MpiConfig::default()));
+            let typed = alloc_typed(&mut sim, 0, &t, 1, true, true);
+            let gpu = sim.world.mpi.ranks[0].gpu;
+            let packed = sim.world.mem().alloc(MemSpace::Device(gpu), t.size()).unwrap();
+            let stream = sim.world.mpi.ranks[0].kernel_stream;
+            let cfg = EngineConfig { unit_size: s, ..Default::default() };
+            let start = sim.now();
+            pack_async(&mut sim, 0, stream, &t, 1, typed, packed, cfg, None, |_, _| {});
+            let end = sim.run();
+            row.push(ms(end - start));
+        }
+        print_row(n, &row);
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment 13 (the evaluation's third benchmark) — minimal GPU
+//! resources for optimal communication performance.
+//!
+//! The pack/unpack kernels are throttled to a given number of thread
+//! blocks (SM-equivalents); the ping-pong RTT shows how few SMs the
+//! datatype engine needs before PCIe — not the kernels — limits the
+//! transfer. The paper's point: a small fraction of the GPU suffices,
+//! leaving the rest for the application.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{ours_rtt, Topo};
+use bench::workloads::{submatrix, triangular};
+use devengine::EngineConfig;
+use mpirt::MpiConfig;
+
+fn main() {
+    let fig = Figure {
+        id: "exp13",
+        title: "ping-pong RTT vs thread-block budget (N=2048, sm2) (ms)",
+        x_label: "blocks",
+        series: ["T", "V"].map(String::from).to_vec(),
+    };
+    print_header(&fig);
+    let n = 2048u64;
+    let t = triangular(n);
+    let v = submatrix(n);
+    for blocks in [1u32, 2, 3, 4, 6, 8, 10, 12, 15] {
+        let cfg = MpiConfig {
+            engine: EngineConfig { blocks: Some(blocks), ..Default::default() },
+            ..Default::default()
+        };
+        let row = [
+            ms(ours_rtt(Topo::Sm2Gpu, cfg.clone(), &t, &t, 3)),
+            ms(ours_rtt(Topo::Sm2Gpu, cfg, &v, &v, 3)),
+        ];
+        print_row(blocks as u64, &row);
+    }
+}

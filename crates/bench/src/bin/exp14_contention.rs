@@ -1,0 +1,54 @@
+//! Experiment 14 (the evaluation's fourth benchmark) — impact of a
+//! co-running GPU-intensive application on non-contiguous transfers.
+//!
+//! The co-runner takes a share of each GPU's DRAM bandwidth away from
+//! the pack/unpack kernels; we sweep the share left to communication
+//! and report the ping-pong RTT. Because the pipeline is PCIe-bound,
+//! moderate contention costs little — communication only collapses
+//! when the kernels become slower than the link.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::workloads::{alloc_typed, submatrix, triangular};
+use datatype::DataType;
+use memsim::GpuId;
+use mpirt::api::PingPongSpec;
+use mpirt::{ping_pong, MpiConfig, MpiWorld};
+use simcore::{Sim, SimTime};
+
+fn rtt_with_share(ty: &DataType, share: f64) -> SimTime {
+    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+    for g in [GpuId(0), GpuId(1)] {
+        sim.world.cluster.gpu_system.gpu_mut(g).bandwidth_share = share;
+    }
+    let b0 = alloc_typed(&mut sim, 0, ty, 1, true, true);
+    let b1 = alloc_typed(&mut sim, 1, ty, 1, true, false);
+    ping_pong(
+        &mut sim,
+        PingPongSpec {
+            ty0: ty.clone(),
+            count0: 1,
+            buf0: b0,
+            ty1: ty.clone(),
+            count1: 1,
+            buf1: b1,
+            iters: 3,
+        },
+    )
+}
+
+fn main() {
+    let fig = Figure {
+        id: "exp14",
+        title: "ping-pong RTT vs bandwidth share left by a co-running app (N=2048, sm2) (ms)",
+        x_label: "share_pct",
+        series: ["T", "V"].map(String::from).to_vec(),
+    };
+    print_header(&fig);
+    let t = triangular(2048);
+    let v = submatrix(2048);
+    for pct in [100u64, 75, 50, 25, 10, 5] {
+        let share = pct as f64 / 100.0;
+        let row = [ms(rtt_with_share(&t, share)), ms(rtt_with_share(&v, share))];
+        print_row(pct, &row);
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 10 — ping-pong round-trip time for sub-matrix (V) and
+//! triangular (T) datatypes, ours vs the MVAPICH2-style baseline.
+//!
+//! Three panels selected by argv: `sm1` (shared memory, one GPU),
+//! `sm2` (shared memory, two GPUs), `ib` (InfiniBand). No argument
+//! runs all three.
+//!
+//! Expected shape (paper): ours is uniformly faster; the baseline's
+//! indexed (T) curve explodes once the matrix grows (per-column
+//! `cudaMemcpy2D` launches); intra-GPU (sm1) is ≥2× faster than
+//! inter-GPU (sm2) because nothing crosses PCIe.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::workloads::{submatrix, triangular};
+use mpirt::MpiConfig;
+
+fn panel(topo: Topo, label: &'static str) {
+    let fig = Figure {
+        id: "fig10",
+        title: label,
+        x_label: "matrix_size",
+        series: ["T-ours", "V-ours", "T-baseline", "V-baseline"]
+            .map(String::from)
+            .to_vec(),
+    };
+    print_header(&fig);
+    for n in [512u64, 1024, 2048, 3072, 4096] {
+        let t = triangular(n);
+        let v = submatrix(n);
+        let row = [
+            ms(ours_rtt(topo, MpiConfig::default(), &t, &t, 3)),
+            ms(ours_rtt(topo, MpiConfig::default(), &v, &v, 3)),
+            ms(baseline_rtt(topo, MpiConfig::default(), &t, &t, 2)),
+            ms(baseline_rtt(topo, MpiConfig::default(), &v, &v, 2)),
+        ];
+        print_row(n, &row);
+    }
+    println!();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let panels: Vec<(Topo, &'static str)> = match arg.as_deref() {
+        Some(s) => {
+            let topo = Topo::parse(s).unwrap_or_else(|| {
+                eprintln!("usage: fig10_pingpong [sm1|sm2|ib]");
+                std::process::exit(2);
+            });
+            vec![(topo, "selected panel (ms RTT)")]
+        }
+        None => vec![
+            (Topo::Sm1Gpu, "(a) shared memory, intra-GPU (ms RTT)"),
+            (Topo::Sm2Gpu, "(b) shared memory, inter-GPU (ms RTT)"),
+            (Topo::Ib, "(c) InfiniBand (ms RTT)"),
+        ],
+    };
+    for (topo, label) in panels {
+        panel(topo, label);
+    }
+}

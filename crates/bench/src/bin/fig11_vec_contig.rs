@@ -1,0 +1,38 @@
+//! Figure 11 — ping-pong with *different* datatypes on each side:
+//! vector on one, contiguous on the other (the FFT / reshape-on-the-fly
+//! pattern). The signatures match, so MPI transfers are legal; the
+//! contiguous side's conversion stage short-circuits entirely.
+//!
+//! Ours exploits GPU RDMA + zero-copy; the baseline still packs with
+//! cudaMemcpy2D and stages through host.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::workloads::{contiguous_matrix, submatrix};
+use mpirt::MpiConfig;
+
+fn main() {
+    for (topo, label) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
+        (Topo::Ib, "InfiniBand (ms RTT)"),
+    ] {
+        let fig = Figure {
+            id: "fig11",
+            title: label,
+            x_label: "matrix_size",
+            series: ["ours", "baseline"].map(String::from).to_vec(),
+        };
+        print_header(&fig);
+        for n in [512u64, 1024, 2048, 3072, 4096] {
+            // Sender: sub-matrix vector; receiver: contiguous.
+            let v = submatrix(n);
+            let c = contiguous_matrix(n);
+            let row = [
+                ms(ours_rtt(topo, MpiConfig::default(), &v, &c, 3)),
+                ms(baseline_rtt(topo, MpiConfig::default(), &v, &c, 2)),
+            ];
+            print_row(n, &row);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 12 — matrix transpose ping-pong: the datatype-engine stress
+//! test. The sender ships the matrix contiguously; the receiver's
+//! datatype scatters it transposed — N² blocks of a single element
+//! (8 bytes) each.
+//!
+//! Ours handles this with the general DEV kernel (the CUDA-DEV cache
+//! matters enormously here); the baseline's vectorization degenerates
+//! to one `cudaMemcpy2D` per *row* with an 8-byte width — far off the
+//! 64-byte alignment sweet spot.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::workloads::{contiguous_matrix, transpose_type};
+use mpirt::MpiConfig;
+
+fn main() {
+    for (topo, label) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
+        (Topo::Ib, "InfiniBand (ms RTT)"),
+    ] {
+        let fig = Figure {
+            id: "fig12",
+            title: label,
+            x_label: "matrix_size",
+            series: ["ours", "baseline"].map(String::from).to_vec(),
+        };
+        print_header(&fig);
+        for n in [256u64, 384, 512, 768, 1024] {
+            let c = contiguous_matrix(n);
+            let t = transpose_type(n);
+            let row = [
+                ms(ours_rtt(topo, MpiConfig::default(), &c, &t, 2)),
+                ms(baseline_rtt(topo, MpiConfig::default(), &c, &t, 1)),
+            ];
+            print_row(n, &row);
+        }
+        println!();
+    }
+}

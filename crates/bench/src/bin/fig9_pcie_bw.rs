@@ -1,0 +1,32 @@
+//! Figure 9 — PCIe bandwidth achieved by the full ping-pong for
+//! vector (V) and indexed (T) datatypes, vs contiguous (C).
+//!
+//! Two ranks with separate GPUs on one node: every packed byte crosses
+//! PCIe once per direction, so the achieved one-way bandwidth shows how
+//! well the pipeline keeps the link busy. The paper reaches ≈90% of
+//! the contiguous rate for V and ≈78% for T.
+
+use bench::harness::{gbps, print_header, print_row, Figure};
+use bench::runner::{ours_rtt, Topo};
+use bench::workloads::{contiguous_matrix, submatrix, triangular};
+use mpirt::MpiConfig;
+
+fn main() {
+    let fig = Figure {
+        id: "fig9",
+        title: "PCIe bandwidth of ping-pong (GB/s, one-way)",
+        x_label: "matrix_size",
+        series: ["V", "T", "C"].map(String::from).to_vec(),
+    };
+    print_header(&fig);
+    for n in [512u64, 1024, 2048, 3072, 4096] {
+        let mut row = Vec::new();
+        for ty in [submatrix(n), triangular(n), contiguous_matrix(n)] {
+            let rtt = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), &ty, &ty, 3);
+            // One direction moves ty.size() bytes in half the RTT.
+            let one_way = simcore::SimTime::from_nanos(rtt.as_nanos() / 2);
+            row.push(gbps(ty.size(), one_way));
+        }
+        print_row(n, &row);
+    }
+}

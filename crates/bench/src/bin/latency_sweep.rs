@@ -1,0 +1,39 @@
+//! osu_latency-style message-size sweep: round-trip latency from eager
+//! sizes through the rendezvous pipeline, for contiguous (C) and
+//! vector (V) GPU data on each topology.
+//!
+//! Shows the protocol switch at the eager limit (64 KB) and the
+//! asymptotic bandwidth regimes of Figures 9–10.
+
+use bench::harness::{print_header, print_row, Figure};
+use bench::runner::{ours_rtt, Topo};
+use datatype::DataType;
+use mpirt::MpiConfig;
+
+fn main() {
+    for (topo, label) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU"),
+        (Topo::Ib, "InfiniBand"),
+    ] {
+        let fig = Figure {
+            id: "latency-sweep",
+            title: label,
+            x_label: "message_kb",
+            series: ["C_us", "V_us"].map(String::from).to_vec(),
+        };
+        print_header(&fig);
+        for kb in [1u64, 4, 16, 64, 256, 1024, 4096, 16384] {
+            let doubles = kb * 1024 / 8;
+            let c = DataType::contiguous(doubles, &DataType::double()).unwrap().commit();
+            // A vector with the same payload: blocks of 32 doubles.
+            let blocks = doubles / 32;
+            let v = DataType::vector(blocks.max(1), 32.min(doubles), 64, &DataType::double())
+                .unwrap()
+                .commit();
+            let tc = ours_rtt(topo, MpiConfig::default(), &c, &c, 3);
+            let tv = ours_rtt(topo, MpiConfig::default(), &v, &v, 3);
+            print_row(kb, &[tc.as_micros_f64() / 2.0, tv.as_micros_f64() / 2.0]);
+        }
+        println!();
+    }
+}

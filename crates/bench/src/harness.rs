@@ -1,0 +1,58 @@
+//! CSV output helpers shared by the figure binaries.
+
+use simcore::SimTime;
+
+/// Figure metadata printed as a comment header.
+pub struct Figure {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub x_label: &'static str,
+    pub series: Vec<String>,
+}
+
+/// Print the figure header: a `#` comment block plus the CSV column row.
+pub fn print_header(fig: &Figure) {
+    println!("# {} — {}", fig.id, fig.title);
+    print!("{}", fig.x_label);
+    for s in &fig.series {
+        print!(",{s}");
+    }
+    println!();
+}
+
+/// Print one CSV row: x value and one f64 per series (NaN prints empty,
+/// matching points the paper's figures omit as off-scale).
+pub fn print_row(x: u64, values: &[f64]) {
+    print!("{x}");
+    for v in values {
+        if v.is_nan() {
+            print!(",");
+        } else {
+            print!(",{v:.4}");
+        }
+    }
+    println!();
+}
+
+/// Milliseconds for CSV cells.
+pub fn ms(t: SimTime) -> f64 {
+    t.as_millis_f64()
+}
+
+/// Effective bandwidth in GB/s moving `bytes` in `t`.
+pub fn gbps(bytes: u64, t: SimTime) -> f64 {
+    bytes as f64 / t.as_secs_f64() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_math() {
+        let t = SimTime::from_micros(100);
+        // 1 MB in 100 us = 10 GB/s.
+        assert!((gbps(1_000_000, t) - 10.0).abs() < 1e-9);
+        assert!((ms(SimTime::from_micros(1500)) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared measurement drivers for the figure binaries.
+
+use crate::workloads::alloc_typed;
+use baseline::proto::{baseline_ping_pong, BaselineSide};
+use datatype::DataType;
+use mpirt::api::PingPongSpec;
+use mpirt::{ping_pong, MpiConfig, MpiWorld};
+use simcore::{Sim, SimTime};
+
+/// Which two-rank topology a ping-pong runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Topo {
+    /// Shared memory, both ranks on one GPU.
+    Sm1Gpu,
+    /// Shared memory, one GPU per rank.
+    Sm2Gpu,
+    /// InfiniBand across nodes.
+    Ib,
+}
+
+impl Topo {
+    pub fn build(self, config: MpiConfig) -> MpiWorld {
+        match self {
+            Topo::Sm1Gpu => MpiWorld::two_ranks_one_gpu(config),
+            Topo::Sm2Gpu => MpiWorld::two_ranks_two_gpus(config),
+            Topo::Ib => MpiWorld::two_ranks_ib(config),
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Topo> {
+        match s {
+            "sm1" => Some(Topo::Sm1Gpu),
+            "sm2" => Some(Topo::Sm2Gpu),
+            "ib" => Some(Topo::Ib),
+            _ => None,
+        }
+    }
+}
+
+/// Mean round-trip time of our implementation for GPU-resident data:
+/// rank 0 holds `ty0`, rank 1 holds `ty1` (signatures must match).
+pub fn ours_rtt(topo: Topo, config: MpiConfig, ty0: &DataType, ty1: &DataType, iters: u32) -> SimTime {
+    let mut sim = Sim::new(topo.build(config));
+    let b0 = alloc_typed(&mut sim, 0, ty0, 1, true, true);
+    let b1 = alloc_typed(&mut sim, 1, ty1, 1, true, false);
+    ping_pong(
+        &mut sim,
+        PingPongSpec {
+            ty0: ty0.clone(),
+            count0: 1,
+            buf0: b0,
+            ty1: ty1.clone(),
+            count1: 1,
+            buf1: b1,
+            iters,
+        },
+    )
+}
+
+/// Mean round-trip time of the MVAPICH2-style baseline on the same
+/// workload and topology.
+pub fn baseline_rtt(
+    topo: Topo,
+    config: MpiConfig,
+    ty0: &DataType,
+    ty1: &DataType,
+    iters: u32,
+) -> SimTime {
+    let mut sim = Sim::new(topo.build(config));
+    let b0 = alloc_typed(&mut sim, 0, ty0, 1, true, true);
+    let b1 = alloc_typed(&mut sim, 1, ty1, 1, true, false);
+    baseline_ping_pong(
+        &mut sim,
+        BaselineSide { rank: 0, ty: ty0.clone(), count: 1, buf: b0 },
+        BaselineSide { rank: 1, ty: ty1.clone(), count: 1, buf: b1 },
+        iters,
+    )
+}
+
+/// A single-rank world for the intra-process engine benchmarks
+/// (Figures 6–8): one GPU, no channels.
+pub fn solo_world(config: MpiConfig) -> MpiWorld {
+    MpiWorld::new(
+        &[mpirt::RankSpec { gpu: memsim::GpuId(0), node: 0 }],
+        1,
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{submatrix, triangular};
+
+    #[test]
+    fn topo_parse() {
+        assert_eq!(Topo::parse("sm1"), Some(Topo::Sm1Gpu));
+        assert_eq!(Topo::parse("sm2"), Some(Topo::Sm2Gpu));
+        assert_eq!(Topo::parse("ib"), Some(Topo::Ib));
+        assert_eq!(Topo::parse("x"), None);
+    }
+
+    #[test]
+    fn rtt_drivers_run() {
+        let t = triangular(96);
+        let v = submatrix(96);
+        for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
+            let ours = ours_rtt(topo, MpiConfig::default(), &t, &t, 2);
+            assert!(ours > SimTime::ZERO, "{topo:?}");
+            let base = baseline_rtt(topo, MpiConfig::default(), &v, &v, 2);
+            assert!(base > SimTime::ZERO, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn ours_beats_baseline_on_triangular_everywhere() {
+        let t = triangular(192);
+        for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
+            let ours = ours_rtt(topo, MpiConfig::default(), &t, &t, 2);
+            let base = baseline_rtt(topo, MpiConfig::default(), &t, &t, 2);
+            assert!(ours < base, "{topo:?}: ours {ours} vs baseline {base}");
+        }
+    }
+}

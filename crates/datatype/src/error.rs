@@ -1,0 +1,41 @@
+//! Datatype construction and usage errors.
+
+use std::fmt;
+
+/// Errors raised while constructing or using derived datatypes. These
+/// correspond to the MPI error classes a real implementation returns
+/// (`MPI_ERR_TYPE`, `MPI_ERR_ARG`, `MPI_ERR_TRUNCATE`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// A count/blocklength argument was invalid (e.g. negative in MPI
+    /// terms; here, a zero where it is not allowed).
+    InvalidArgument(&'static str),
+    /// An indexed constructor received mismatched array lengths.
+    LengthMismatch { lengths: usize, displacements: usize },
+    /// The datatype was used before `commit()`.
+    NotCommitted,
+    /// Send and receive type signatures do not match.
+    SignatureMismatch,
+    /// The receive buffer described fewer bytes than the incoming
+    /// message (MPI_ERR_TRUNCATE).
+    Truncated { incoming: u64, capacity: u64 },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            TypeError::LengthMismatch { lengths, displacements } => write!(
+                f,
+                "indexed arrays differ in length: {lengths} lengths vs {displacements} displacements"
+            ),
+            TypeError::NotCommitted => write!(f, "datatype used before commit"),
+            TypeError::SignatureMismatch => write!(f, "type signatures do not match"),
+            TypeError::Truncated { incoming, capacity } => {
+                write!(f, "message truncated: {incoming} bytes into {capacity}-byte type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

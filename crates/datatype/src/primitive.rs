@@ -1,0 +1,90 @@
+//! Predefined (primitive) MPI datatypes.
+
+use std::fmt;
+
+/// The predefined MPI datatypes this engine supports. Sizes follow the
+/// usual LP64 C ABI the paper's platforms used.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Primitive {
+    /// MPI_BYTE / MPI_CHAR (1 byte)
+    Byte,
+    /// MPI_SHORT (2 bytes)
+    Int16,
+    /// MPI_INT (4 bytes)
+    Int32,
+    /// MPI_LONG / MPI_LONG_LONG (8 bytes)
+    Int64,
+    /// MPI_FLOAT (4 bytes)
+    Float32,
+    /// MPI_DOUBLE (8 bytes)
+    Float64,
+    /// MPI_C_DOUBLE_COMPLEX (16 bytes)
+    Complex128,
+}
+
+impl Primitive {
+    /// Size in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            Primitive::Byte => 1,
+            Primitive::Int16 => 2,
+            Primitive::Int32 | Primitive::Float32 => 4,
+            Primitive::Int64 | Primitive::Float64 => 8,
+            Primitive::Complex128 => 16,
+        }
+    }
+
+    /// Natural alignment in bytes (equal to size for these types, capped
+    /// at 8 which is the maximum the target ABIs require).
+    pub const fn alignment(self) -> u64 {
+        let s = self.size();
+        if s > 8 {
+            8
+        } else {
+            s
+        }
+    }
+
+    /// All primitives, for property-based generators.
+    pub const ALL: [Primitive; 7] = [
+        Primitive::Byte,
+        Primitive::Int16,
+        Primitive::Int32,
+        Primitive::Int64,
+        Primitive::Float32,
+        Primitive::Float64,
+        Primitive::Complex128,
+    ];
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Primitive::Byte => "MPI_BYTE",
+            Primitive::Int16 => "MPI_SHORT",
+            Primitive::Int32 => "MPI_INT",
+            Primitive::Int64 => "MPI_LONG",
+            Primitive::Float32 => "MPI_FLOAT",
+            Primitive::Float64 => "MPI_DOUBLE",
+            Primitive::Complex128 => "MPI_C_DOUBLE_COMPLEX",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignment() {
+        assert_eq!(Primitive::Byte.size(), 1);
+        assert_eq!(Primitive::Float64.size(), 8);
+        assert_eq!(Primitive::Complex128.size(), 16);
+        assert_eq!(Primitive::Complex128.alignment(), 8);
+        for p in Primitive::ALL {
+            assert!(p.alignment() <= p.size());
+            assert!(p.size() % p.alignment() == 0);
+        }
+    }
+}

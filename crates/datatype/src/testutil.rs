@@ -1,0 +1,195 @@
+//! Shared test helpers: buffer sizing for arbitrary datatypes, the
+//! reference pack, and proptest strategies for random datatype trees.
+//!
+//! This module is part of the public API (not `cfg(test)`) because the
+//! GPU engine, runtime and integration tests all reuse the same
+//! generators to cross-validate their pack/unpack paths against the CPU
+//! convertor.
+
+use crate::convertor::pack_all;
+use crate::typ::DataType;
+use proptest::prelude::*;
+
+/// The slice geometry needed to hold `count` instances of `ty`:
+/// `(base, len)` such that every data byte lands inside `0..len` when
+/// displacement 0 maps to index `base`.
+pub fn buffer_span(ty: &DataType, count: u64) -> (i64, usize) {
+    if count == 0 || ty.size() == 0 {
+        return (0, 0);
+    }
+    let ext = ty.extent();
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for i in [0, count - 1] {
+        let b = i as i64 * ext;
+        lo = lo.min(b + ty.true_lb());
+        hi = hi.max(b + ty.true_ub());
+    }
+    // Negative extents cannot occur (ub >= lb by construction), but
+    // guard anyway.
+    let base = if lo < 0 { -lo } else { 0 };
+    (base, (base + hi) as usize)
+}
+
+/// Reference pack: materialize segments and copy — the simplest possible
+/// correct implementation, used as the oracle for every other engine.
+pub fn reference_pack(ty: &DataType, count: u64, typed: &[u8], base: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity((ty.size() * count) as usize);
+    for s in ty.segments(count) {
+        let idx = (base + s.disp) as usize;
+        out.extend_from_slice(&typed[idx..idx + s.len as usize]);
+    }
+    out
+}
+
+/// Reference unpack (scatter) into `typed`.
+pub fn reference_unpack(ty: &DataType, count: u64, typed: &mut [u8], base: i64, packed: &[u8]) {
+    let mut pos = 0usize;
+    for s in ty.segments(count) {
+        let idx = (base + s.disp) as usize;
+        typed[idx..idx + s.len as usize].copy_from_slice(&packed[pos..pos + s.len as usize]);
+        pos += s.len as usize;
+    }
+    assert_eq!(pos, packed.len());
+}
+
+/// Fill a buffer with a position-encoding non-zero pattern.
+pub fn pattern(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 131 + 17) % 255 + 1) as u8).collect()
+}
+
+/// Verify that `ty` survives a CPU pack→unpack round trip; panics with
+/// context on failure. Returns the packed bytes for further checks.
+pub fn assert_roundtrip(ty: &DataType, count: u64) -> Vec<u8> {
+    let ty = ty.clone().commit();
+    let (base, len) = buffer_span(&ty, count);
+    let typed = pattern(len);
+    let packed = pack_all(&ty, count, &typed, base);
+    assert_eq!(packed.len() as u64, ty.size() * count, "packed size for {ty}");
+    assert_eq!(packed, reference_pack(&ty, count, &typed, base), "pack order for {ty}");
+
+    let mut out = vec![0u8; len];
+    crate::convertor::unpack_all(&ty, count, &mut out, base, &packed);
+    for s in ty.segments(count) {
+        let r = (base + s.disp) as usize..(base + s.disp) as usize + s.len as usize;
+        assert_eq!(&out[r.clone()], &typed[r], "roundtrip bytes for {ty}");
+    }
+    packed
+}
+
+/// Proptest strategy: a random primitive.
+pub fn arb_primitive() -> impl Strategy<Value = crate::Primitive> {
+    proptest::sample::select(crate::Primitive::ALL.to_vec())
+}
+
+/// Proptest strategy: a random committed datatype tree of bounded depth
+/// and size. Sizes are kept small enough that exhaustive byte-level
+/// checking stays fast.
+pub fn arb_datatype() -> impl Strategy<Value = DataType> {
+    let leaf = arb_primitive().prop_map(DataType::primitive);
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            // contiguous
+            (1u64..5, inner.clone())
+                .prop_map(|(n, t)| DataType::contiguous(n, &t).unwrap()),
+            // vector (element stride, possibly overlapping-free gap)
+            (1u64..4, 1u64..4, 0i64..4, inner.clone()).prop_map(|(c, b, gap, t)| {
+                DataType::vector(c, b, b as i64 + gap, &t).unwrap()
+            }),
+            // hvector with byte stride rounded up past the block span
+            (1u64..4, 1u64..3, 0i64..32, inner.clone()).prop_map(|(c, b, gap, t)| {
+                let span = b as i64 * t.extent().max(1);
+                DataType::hvector(c, b, span + gap, &t).unwrap()
+            }),
+            // indexed with increasing displacements
+            (proptest::collection::vec((1u64..3, 0i64..4), 1..4), inner.clone()).prop_map(
+                |(blocks, t)| {
+                    let mut disp = 0i64;
+                    let mut lens = Vec::new();
+                    let mut disps = Vec::new();
+                    for (l, gap) in blocks {
+                        lens.push(l);
+                        disps.push(disp);
+                        disp += l as i64 + gap;
+                    }
+                    DataType::indexed(&lens, &disps, &t).unwrap()
+                }
+            ),
+            // struct of two fields laid out back to back with a gap
+            (inner.clone(), inner.clone(), 0i64..16).prop_map(|(a, b, gap)| {
+                let d1 = a.ub().max(a.true_ub()) + gap;
+                DataType::structure(&[1, 1], &[0, d1 - b.lb().min(0)], &[a, b]).unwrap()
+            }),
+            // resized (extent >= span so repetitions do not overlap)
+            (inner, 0i64..16).prop_map(|(t, pad)| {
+                let span = (t.true_ub() - t.true_lb().min(0)).max(1);
+                DataType::resized(&t, t.lb().min(0), span + pad).unwrap()
+            }),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_span_covers_segments() {
+        let v = DataType::vector(3, 2, 4, &DataType::double()).unwrap();
+        let (base, len) = buffer_span(&v, 2);
+        for s in v.segments(2) {
+            assert!(base + s.disp >= 0);
+            assert!((base + s.end()) as usize <= len);
+        }
+    }
+
+    #[test]
+    fn buffer_span_handles_negative_lb() {
+        let r = DataType::resized(&DataType::double(), -8, 16).unwrap();
+        let t = DataType::hindexed(&[1, 1], &[-24, 0], &r).unwrap();
+        let (base, len) = buffer_span(&t, 1);
+        assert!(base >= 24);
+        for s in t.segments(1) {
+            assert!(base + s.disp >= 0);
+            assert!((base + s.end()) as usize <= len);
+        }
+    }
+
+    #[test]
+    fn roundtrip_smoke() {
+        let t = DataType::indexed(&[3, 1], &[0, 5], &DataType::double()).unwrap();
+        assert_roundtrip(&t, 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn random_types_roundtrip(ty in arb_datatype(), count in 1u64..4) {
+            assert_roundtrip(&ty, count);
+        }
+
+        #[test]
+        fn random_types_signature_reflexive(ty in arb_datatype(), count in 1u64..4) {
+            let s = crate::Signature::of(&ty, count);
+            prop_assert!(s.matches(&crate::Signature::of(&ty, count)));
+            prop_assert_eq!(s.byte_count(), ty.size() * count);
+        }
+
+        #[test]
+        fn random_types_segments_conserve_bytes(ty in arb_datatype(), count in 1u64..4) {
+            let total: u64 = ty.segments(count).iter().map(|s| s.len).sum();
+            prop_assert_eq!(total, ty.size() * count);
+        }
+
+        #[test]
+        fn random_types_segments_do_not_overlap(ty in arb_datatype(), count in 1u64..3) {
+            let mut segs = ty.segments(count);
+            segs.sort_by_key(|s| s.disp);
+            for w in segs.windows(2) {
+                prop_assert!(w[0].end() <= w[1].disp,
+                    "overlap between {:?} and {:?} in {}", w[0], w[1], ty);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The CUDA-DEV cache.
+//!
+//! A CUDA-DEV list depends only on the datatype (relative displacements)
+//! — not on where the buffers live — so the paper caches it, either in
+//! host or GPU memory, and reuses it for every later message with the
+//! same type. Figure 7's "cached" curves show the preparation cost
+//! disappearing entirely. The cache is bounded and evicts
+//! least-recently-used plans.
+
+use crate::dev::{build_plan, DevPlan};
+use datatype::{DataType, TypeError};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    type_id: usize,
+    count: u64,
+    unit_size: u64,
+}
+
+/// LRU cache of materialized [`DevPlan`]s.
+pub struct DevCache {
+    map: HashMap<Key, (Rc<DevPlan>, u64)>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DevCache {
+    /// `capacity_bytes` bounds the descriptor memory (the paper spends
+    /// "a few MBs of GPU memory"; default callers pass 8 MB).
+    pub fn new(capacity_bytes: u64) -> DevCache {
+        DevCache {
+            map: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch the plan for `(ty, count, unit_size)`, building and
+    /// inserting it on a miss. Returns the plan and whether it was a
+    /// cache hit (the caller charges CPU preparation time only on a
+    /// miss).
+    pub fn get_or_build(
+        &mut self,
+        ty: &DataType,
+        count: u64,
+        unit_size: u64,
+    ) -> Result<(Rc<DevPlan>, bool), TypeError> {
+        let key = Key { type_id: ty.id(), count, unit_size };
+        self.clock += 1;
+        if let Some((plan, stamp)) = self.map.get_mut(&key) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return Ok((Rc::clone(plan), true));
+        }
+        self.misses += 1;
+        let plan = Rc::new(build_plan(ty, count, unit_size)?);
+        let bytes = plan.descriptor_bytes();
+        self.evict_for(bytes);
+        self.used_bytes += bytes;
+        self.map.insert(key, (Rc::clone(&plan), self.clock));
+        Ok((plan, false))
+    }
+
+    fn evict_for(&mut self, incoming: u64) {
+        while self.used_bytes + incoming > self.capacity_bytes && !self.map.is_empty() {
+            let (&victim, _) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .expect("non-empty");
+            let (plan, _) = self.map.remove(&victim).expect("exists");
+            self.used_bytes -= plan.descriptor_bytes();
+        }
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+impl Default for DevCache {
+    fn default() -> Self {
+        DevCache::new(8 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_type(n: u64) -> DataType {
+        DataType::vector(n, 2, 4, &DataType::double()).unwrap().commit()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut c = DevCache::default();
+        let t = vec_type(16);
+        let (_, hit1) = c.get_or_build(&t, 1, 1024).unwrap();
+        assert!(!hit1);
+        let (_, hit2) = c.get_or_build(&t, 1, 1024).unwrap();
+        assert!(hit2);
+        assert_eq!(c.len(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_counts_and_unit_sizes_are_distinct_entries() {
+        let mut c = DevCache::default();
+        let t = vec_type(16);
+        c.get_or_build(&t, 1, 1024).unwrap();
+        let (_, hit) = c.get_or_build(&t, 2, 1024).unwrap();
+        assert!(!hit);
+        let (_, hit) = c.get_or_build(&t, 1, 2048).unwrap();
+        assert!(!hit);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn structurally_equal_but_distinct_types_do_not_alias() {
+        let mut c = DevCache::default();
+        let a = vec_type(16);
+        let b = vec_type(16);
+        c.get_or_build(&a, 1, 1024).unwrap();
+        let (_, hit) = c.get_or_build(&b, 1, 1024).unwrap();
+        assert!(!hit, "identity-keyed cache must not alias distinct trees");
+        // But a clone of `a` shares the tree and hits.
+        let (_, hit) = c.get_or_build(&a.dup(), 1, 1024).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        // Plans for vector(n, 2, 4) have n units of 32 bytes each.
+        let mut c = DevCache::new(3000);
+        let t1 = vec_type(32); // ~1 KB of descriptors
+        let t2 = vec_type(32);
+        let t3 = vec_type(32);
+        c.get_or_build(&t1, 1, 1024).unwrap();
+        c.get_or_build(&t2, 1, 1024).unwrap();
+        c.get_or_build(&t1, 1, 1024).unwrap(); // refresh t1
+        c.get_or_build(&t3, 1, 1024).unwrap(); // evicts t2 (LRU)
+        assert_eq!(c.len(), 2);
+        let (_, hit1) = c.get_or_build(&t1, 1, 1024).unwrap();
+        assert!(hit1, "t1 was refreshed and must survive");
+        let (_, hit2) = c.get_or_build(&t2, 1, 1024).unwrap();
+        assert!(!hit2, "t2 was evicted");
+    }
+
+    #[test]
+    fn accounting_tracks_descriptor_bytes() {
+        let mut c = DevCache::default();
+        let t = vec_type(8);
+        let (plan, _) = c.get_or_build(&t, 1, 1024).unwrap();
+        assert_eq!(c.used_bytes(), plan.descriptor_bytes());
+    }
+}

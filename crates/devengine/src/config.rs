@@ -1,0 +1,71 @@
+//! Engine tuning knobs.
+
+use simcore::SimTime;
+
+/// Configuration of one pack/unpack job.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// CUDA-DEV work-unit size S in bytes. The paper requires a
+    /// multiple of 256 (8 bytes × warp size) and uses 1–4 KB to give
+    /// the unrolled kernel loop ILP headroom.
+    pub unit_size: u64,
+    /// Packed bytes converted per CPU pipeline step. Each step's units
+    /// are handed to a kernel launch while the CPU converts the next
+    /// step.
+    pub pipeline_chunk: u64,
+    /// Overlap CPU DEV preparation with kernel execution. Disabled
+    /// reproduces the paper's non-pipelined baseline in Figure 7.
+    pub pipeline: bool,
+    /// CPU cost per CUDA-DEV entry produced (datatype traversal,
+    /// splitting, filling `cuda_dev_dist` structs).
+    pub prep_per_unit: SimTime,
+    /// Fixed CPU cost per preparation batch (call overhead + copying
+    /// the descriptor array to the device).
+    pub prep_call: SimTime,
+    /// Thread-block cap forwarded to kernel launches (None = full GPU).
+    pub blocks: Option<u32>,
+}
+
+impl EngineConfig {
+    /// Validate the unit size constraint from §3.2.
+    pub fn validated(self) -> Self {
+        assert!(
+            self.unit_size >= 256 && self.unit_size.is_multiple_of(256),
+            "CUDA-DEV unit size must be a positive multiple of 256 bytes, got {}",
+            self.unit_size
+        );
+        assert!(self.pipeline_chunk >= self.unit_size);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            unit_size: 1024,
+            pipeline_chunk: 1 << 20,
+            pipeline: true,
+            prep_per_unit: SimTime::from_nanos(12),
+            prep_call: SimTime::from_micros(1),
+            blocks: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = EngineConfig::default().validated();
+        assert_eq!(c.unit_size, 1024);
+        assert!(c.pipeline);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 256")]
+    fn rejects_unaligned_unit() {
+        let _ = EngineConfig { unit_size: 1000, ..Default::default() }.validated();
+    }
+}

@@ -1,0 +1,30 @@
+//! The GPU datatype engine — the paper's primary contribution.
+//!
+//! Pack/unpack of non-contiguous GPU-resident data is split into two
+//! stages exactly as in §3 of the paper:
+//!
+//! 1. **CPU stage** — the host walks the stack-based datatype and emits
+//!    *Datatype Engine Vectors* (DEVs): `<source displacement, length,
+//!    destination displacement>` tuples. Each DEV is then divided into
+//!    equal-size *CUDA DEVs* (work units of S ∈ {1 KB, 2 KB, 4 KB},
+//!    a multiple of 8 bytes × the 32-thread warp size) so every warp
+//!    gets a balanced share.
+//! 2. **GPU stage** — a single kernel grid-strides over the CUDA-DEV
+//!    array and copies each unit (the general kernel), or computes the
+//!    offsets arithmetically for vector-shaped types (the specialized
+//!    vector kernel, which needs no descriptor array at all).
+//!
+//! The CPU stage is **pipelined** with kernel execution (convert a part,
+//! launch, keep converting), and because the CUDA-DEV list depends only
+//! on the datatype — not the buffer addresses — it is **cached** and
+//! reused across messages ([`DevCache`]).
+
+pub mod cache;
+pub mod config;
+pub mod dev;
+pub mod engine;
+
+pub use cache::DevCache;
+pub use config::EngineConfig;
+pub use dev::{build_plan, flip_units, DevCursor, DevPlan};
+pub use engine::{pack_async, unpack_async, Direction, FragmentEngine};

@@ -1,0 +1,436 @@
+//! The transfer (pack/unpack) kernel: functional execution plus the
+//! coalescing cost model.
+//!
+//! A work unit is a `(src_off, dst_off, len)` segment move — the
+//! `cuda_dev_dist` struct of the paper. The kernel walks units with a
+//! grid-stride loop; each warp moves one 256-byte chunk per iteration
+//! (32 threads × 8 bytes). The cost model counts the 128-byte cache
+//! lines each chunk touches on each side:
+//!
+//! * an aligned chunk touches 2 lines (256 B of traffic) per side;
+//! * a misaligned chunk straddles 3 lines (384 B) per side — a 1.5×
+//!   traffic penalty, which is exactly where the triangular matrix loses
+//!   its ~20% of bandwidth in Figure 6;
+//! * every unit also streams its 32-byte descriptor from global memory,
+//!   which penalizes datatypes shattered into tiny blocks (Figure 12's
+//!   transpose with 8-byte units).
+//!
+//! Sides that live off-GPU (zero-copy mapped host memory, or a peer
+//! GPU's memory accessed through IPC) are charged PCIe time instead of
+//! DRAM traffic; kernel time is the max of the two, since the hardware
+//! overlaps them.
+
+use crate::spec::GpuSpec;
+use crate::system::{GpuWorld, StreamId};
+use memsim::{MemSpace, Ptr};
+use simcore::par::CopyOp;
+use simcore::{Bandwidth, Sim, SimTime};
+
+/// Launch configuration for a transfer kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Thread-block count override; `None` launches enough blocks to
+    /// fill every SM.
+    pub blocks: Option<u32>,
+    /// Whether the kernel streams a CUDA-DEV descriptor array from
+    /// global memory. The specialized *vector* kernel computes its
+    /// offsets arithmetically from `(blocklength, stride, count)` and
+    /// sets this false; the general DEV kernel sets it true.
+    pub descriptor_stream: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig { blocks: None, descriptor_stream: true }
+    }
+}
+
+/// 128-byte lines touched by one warp-chunked access of `len` bytes at
+/// byte address `disp`. Full 256-byte chunks share the same phase
+/// (256 ≡ 0 mod 128), so this is O(1).
+fn access_lines(disp: u64, len: u64, spec: &GpuSpec) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let txn = spec.transaction_bytes;
+    let chunk = spec.warp_chunk();
+    let full_chunks = len / chunk;
+    let phase = disp % txn;
+    let lines_per_full = if phase == 0 {
+        chunk / txn
+    } else {
+        chunk / txn + 1
+    };
+    let mut lines = full_chunks * lines_per_full;
+    let residue = len % chunk;
+    if residue > 0 {
+        let start = disp + full_chunks * chunk;
+        lines += (start + residue - 1) / txn - start / txn + 1;
+    }
+    lines
+}
+
+/// DRAM traffic (bytes) one side of the kernel generates for a unit list,
+/// given the base byte offset of that side's buffer.
+pub fn side_traffic_bytes(
+    units: &[CopyOp],
+    base_off: u64,
+    side_src: bool,
+    spec: &GpuSpec,
+) -> u64 {
+    units
+        .iter()
+        .map(|u| {
+            let off = base_off + if side_src { u.src_off } else { u.dst_off } as u64;
+            access_lines(off, u.len as u64, spec) * spec.transaction_bytes
+        })
+        .sum()
+}
+
+/// Where one side of the transfer lives, relative to the executing GPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Side {
+    /// In the executing GPU's own DRAM.
+    LocalDevice,
+    /// Zero-copy mapped host memory, reached over PCIe.
+    MappedHost,
+    /// A peer GPU's memory reached over PCIe P2P (IPC mapping).
+    PeerDevice,
+}
+
+fn classify(ptr: Ptr, exec_gpu: memsim::GpuId) -> Side {
+    match ptr.space {
+        MemSpace::Host => Side::MappedHost,
+        MemSpace::Device(g) if g == exec_gpu => Side::LocalDevice,
+        MemSpace::Device(_) => Side::PeerDevice,
+    }
+}
+
+/// Pure timing of a transfer kernel (no event scheduling): used both by
+/// the launch path and by analytical tests.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_kernel_time(
+    spec: &GpuSpec,
+    eff_traffic_bw: Bandwidth,
+    pcie_bw: Bandwidth,
+    pcie_latency: SimTime,
+    src: Ptr,
+    dst: Ptr,
+    exec_gpu: memsim::GpuId,
+    units: &[CopyOp],
+    descriptor_stream: bool,
+) -> SimTime {
+    let payload: u64 = units.iter().map(|u| u.len as u64).sum();
+    let src_side = classify(src, exec_gpu);
+    let dst_side = classify(dst, exec_gpu);
+    assert!(
+        src_side == Side::LocalDevice || dst_side == Side::LocalDevice,
+        "transfer kernel must touch the executing GPU's memory on at least one side"
+    );
+
+    // The general DEV kernel streams its descriptors from local DRAM.
+    let mut dram_traffic = if descriptor_stream {
+        units.len() as u64 * spec.descriptor_bytes
+    } else {
+        0
+    };
+    let mut pcie_bytes = 0u64;
+    for (side, is_src, base) in [(src_side, true, src.offset), (dst_side, false, dst.offset)] {
+        match side {
+            Side::LocalDevice => {
+                dram_traffic += side_traffic_bytes(units, base, is_src, spec);
+            }
+            Side::MappedHost | Side::PeerDevice => pcie_bytes += payload,
+        }
+    }
+
+    let dram_time = eff_traffic_bw.time_for(dram_traffic);
+    let pcie_time = if pcie_bytes > 0 {
+        pcie_bw.time_for(pcie_bytes) + pcie_latency
+    } else {
+        SimTime::ZERO
+    };
+    spec.launch_overhead + dram_time.max(pcie_time)
+}
+
+/// Launch a pack/unpack kernel on `stream`: reserves the stream for the
+/// modeled duration, moves the bytes when it completes, then calls
+/// `done` with the completion time.
+pub fn launch_transfer_kernel<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    stream: StreamId,
+    src: Ptr,
+    dst: Ptr,
+    units: Vec<CopyOp>,
+    cfg: KernelConfig,
+    done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
+) {
+    let gpu = stream.gpu;
+    let (eff_bw, spec, pcie_bw, pcie_lat) = {
+        let sys = sim.world.gpus_ref();
+        let g = sys.gpu(gpu);
+        let mut bw = g
+            .effective_traffic_bw()
+            .derated(g.spec.pack_kernel_efficiency);
+        if let Some(blocks) = cfg.blocks {
+            let occ = (blocks as f64 / g.spec.sm_count as f64).min(1.0);
+            bw = bw.derated(occ.max(f64::MIN_POSITIVE));
+        }
+        // Zero-copy / peer traffic rides PCIe; pick the worst-case
+        // direction (h2d vs d2h rates are symmetric in the default
+        // topology; p2p differs only slightly).
+        let pcie = if src.space.is_host() || dst.space.is_host() {
+            sys.topo.pcie_h2d
+        } else {
+            sys.topo
+                .pcie_p2p
+                .derated(sys.topo.peer_kernel_efficiency)
+        };
+        (bw, g.spec.clone(), pcie, sys.topo.pcie_latency)
+    };
+
+    let duration = transfer_kernel_time(
+        &spec,
+        eff_bw,
+        pcie_bw,
+        pcie_lat,
+        src,
+        dst,
+        gpu,
+        &units,
+        cfg.descriptor_stream,
+    );
+    let now = sim.now();
+    let (_start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    sim.schedule_at(end, move |sim| {
+        sim.world
+            .mem()
+            .transfer(src, dst, &units)
+            .expect("kernel transfer failed");
+        done(sim, sim.now());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::NodeWorld;
+    use memsim::GpuId;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::k40()
+    }
+
+    #[test]
+    fn aligned_chunk_touches_two_lines() {
+        let s = spec();
+        assert_eq!(access_lines(0, 256, &s), 2);
+        assert_eq!(access_lines(128, 256, &s), 2);
+        assert_eq!(access_lines(0, 1024, &s), 8);
+    }
+
+    #[test]
+    fn misaligned_chunk_touches_three_lines() {
+        let s = spec();
+        assert_eq!(access_lines(8, 256, &s), 3);
+        assert_eq!(access_lines(120, 256, &s), 3);
+        // 1 KB misaligned: 4 chunks × 3 lines.
+        assert_eq!(access_lines(8, 1024, &s), 12);
+    }
+
+    #[test]
+    fn residue_lines() {
+        let s = spec();
+        // 8 bytes at offset 0: one line.
+        assert_eq!(access_lines(0, 8, &s), 1);
+        // 8 bytes straddling a line boundary: two lines.
+        assert_eq!(access_lines(124, 8, &s), 2);
+        // 300 bytes aligned: one full chunk (2 lines) + 44-byte residue (1 line).
+        assert_eq!(access_lines(0, 300, &s), 3);
+        assert_eq!(access_lines(0, 0, &s), 0);
+    }
+
+    #[test]
+    fn aligned_copy_reaches_peak_rate() {
+        // A large aligned D2D unit list should approach the practical
+        // peak copy rate (traffic = 2 bytes per payload byte).
+        let s = spec();
+        let units: Vec<CopyOp> = (0..16384)
+            .map(|i| CopyOp {
+                src_off: i * 4096,
+                dst_off: i * 4096,
+                len: 4096,
+            })
+            .collect();
+        let payload: u64 = units.iter().map(|u| u.len as u64).sum();
+        let gpu = GpuId(0);
+        let d = Ptr {
+            space: MemSpace::Device(gpu),
+            alloc: memsim::AllocId(0),
+            offset: 0,
+        };
+        let d2 = Ptr {
+            space: MemSpace::Device(gpu),
+            alloc: memsim::AllocId(1),
+            offset: 0,
+        };
+        let t = transfer_kernel_time(
+            &s,
+            s.dram_traffic_bw,
+            Bandwidth::from_gbps(10.0),
+            SimTime::from_micros(2),
+            d,
+            d2,
+            gpu,
+            &units,
+            true,
+        );
+        let rate = payload as f64 / t.as_secs_f64() / 1e9;
+        let peak = s.peak_copy_rate().as_gbps();
+        assert!(rate > 0.9 * peak, "rate {rate} vs peak {peak}");
+        assert!(rate <= peak);
+    }
+
+    #[test]
+    fn misaligned_units_lose_about_a_third() {
+        let s = spec();
+        let gpu = GpuId(0);
+        let mk = |phase: usize| -> Vec<CopyOp> {
+            (0..16384)
+                .map(|i| CopyOp {
+                    src_off: i * 4096 + phase,
+                    dst_off: i * 4096 + phase,
+                    len: 4096,
+                })
+                .collect()
+        };
+        let d = Ptr {
+            space: MemSpace::Device(gpu),
+            alloc: memsim::AllocId(0),
+            offset: 0,
+        };
+        let d2 = Ptr {
+            space: MemSpace::Device(gpu),
+            alloc: memsim::AllocId(1),
+            offset: 0,
+        };
+        let t_aligned = transfer_kernel_time(
+            &s, s.dram_traffic_bw, Bandwidth::from_gbps(10.0), SimTime::ZERO, d, d2, gpu, &mk(0), true,
+        );
+        let t_misaligned = transfer_kernel_time(
+            &s, s.dram_traffic_bw, Bandwidth::from_gbps(10.0), SimTime::ZERO, d, d2, gpu, &mk(8), true,
+        );
+        let ratio = t_misaligned.as_secs_f64() / t_aligned.as_secs_f64();
+        assert!(
+            (1.4..1.6).contains(&ratio),
+            "misalignment should cost ~1.5x traffic, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn launch_moves_bytes_and_charges_stream() {
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let gpu = GpuId(0);
+        let src = sim.world.memory.alloc(MemSpace::Device(gpu), 4096).unwrap();
+        let dst = sim.world.memory.alloc(MemSpace::Device(gpu), 2048).unwrap();
+        let bytes: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        sim.world.memory.write(src, &bytes).unwrap();
+        // Gather the even 256-byte chunks.
+        let units: Vec<CopyOp> = (0..8)
+            .map(|i| CopyOp {
+                src_off: i * 512,
+                dst_off: i * 256,
+                len: 256,
+            })
+            .collect();
+        let stream = sim.world.gpu_system.default_stream(gpu);
+        launch_transfer_kernel(
+            &mut sim,
+            stream,
+            src,
+            dst,
+            units,
+            KernelConfig::default(),
+            move |sim, at| {
+                assert!(at > SimTime::ZERO);
+                let out = sim.world.memory.read_vec(dst, 2048).unwrap();
+                for i in 0..8usize {
+                    assert_eq!(
+                        &out[i * 256..(i + 1) * 256],
+                        &(0..256).map(|j| ((i * 512 + j) % 251) as u8).collect::<Vec<_>>()[..],
+                        "chunk {i}"
+                    );
+                }
+            },
+        );
+        sim.run();
+        assert!(sim.now() >= GpuSpec::k40().launch_overhead);
+        assert_eq!(sim.world.gpu_system.stream(stream).op_count(), 1);
+    }
+
+    #[test]
+    fn block_limit_slows_kernel_proportionally() {
+        let mk_units = || {
+            (0..256)
+                .map(|i| CopyOp {
+                    src_off: i * 8192,
+                    dst_off: i * 8192,
+                    len: 8192,
+                })
+                .collect::<Vec<_>>()
+        };
+        let run = |blocks: Option<u32>| -> SimTime {
+            let mut sim = Sim::new(NodeWorld::new(1));
+            let gpu = GpuId(0);
+            let src = sim.world.memory.alloc(MemSpace::Device(gpu), 256 * 8192).unwrap();
+            let dst = sim.world.memory.alloc(MemSpace::Device(gpu), 256 * 8192).unwrap();
+            let stream = sim.world.gpu_system.default_stream(gpu);
+            launch_transfer_kernel(
+                &mut sim,
+                stream,
+                src,
+                dst,
+                mk_units(),
+                KernelConfig { blocks, ..KernelConfig::default() },
+                |_, _| {},
+            );
+            sim.run()
+        };
+        let full = run(None);
+        let third = run(Some(5));
+        let launch = GpuSpec::k40().launch_overhead;
+        let work_full = (full - launch).as_secs_f64();
+        let work_third = (third - launch).as_secs_f64();
+        assert!(
+            (work_third / work_full - 3.0).abs() < 0.05,
+            "5/15 blocks should be ~3x slower: {work_third} vs {work_full}"
+        );
+    }
+
+    #[test]
+    fn zero_copy_is_pcie_bound() {
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let gpu = GpuId(0);
+        let len: usize = 1 << 20;
+        let host = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
+        let dev = sim.world.memory.alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let stream = sim.world.gpu_system.default_stream(gpu);
+        let units = vec![CopyOp { src_off: 0, dst_off: 0, len }];
+        launch_transfer_kernel(
+            &mut sim,
+            stream,
+            dev,
+            host,
+            units,
+            KernelConfig::default(),
+            |_, _| {},
+        );
+        let end = sim.run();
+        // 1 MB over 10 GB/s PCIe is ~105 us; DRAM side alone would be ~6 us.
+        let pcie_expect = 1.048576e6 / 10e9;
+        assert!(
+            (end.as_secs_f64() - pcie_expect).abs() / pcie_expect < 0.2,
+            "zero-copy kernel should run at PCIe speed, took {end}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Hardware calibration constants.
+//!
+//! Defaults model the paper's testbed: NVIDIA K40 (Kepler GK110B,
+//! 15 SMs), PCIe gen3 x16, CUDA 7.0-era driver overheads. All figure
+//! harnesses use these defaults; tests may build cheaper specs.
+
+use simcore::Bandwidth;
+use simcore::SimTime;
+
+/// Static description of one GPU.
+#[derive(Clone, Debug)]
+pub struct GpuSpec {
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Threads per warp (32 on every CUDA architecture).
+    pub warp_size: u32,
+    /// Size of a global-memory transaction (cache line), bytes.
+    pub transaction_bytes: u64,
+    /// Bytes each thread moves per iteration (the paper's kernels use
+    /// 8-byte accesses to minimize transactions).
+    pub bytes_per_thread: u64,
+    /// Raw DRAM traffic bandwidth (read + write traffic combined). A
+    /// perfectly coalesced device-to-device copy moves 2 bytes of traffic
+    /// per payload byte, so `360 GB/s` of traffic is the `~180 GB/s`
+    /// practical `cudaMemcpy` copy rate observed on K40.
+    pub dram_traffic_bw: Bandwidth,
+    /// Fixed kernel launch overhead.
+    pub launch_overhead: SimTime,
+    /// Fixed per-call overhead of a `cudaMemcpy*` (driver + DMA setup).
+    pub memcpy_latency: SimTime,
+    /// Bytes of descriptor traffic per CUDA-DEV work unit (the kernel
+    /// streams its `cuda_dev_dist` array from global memory).
+    pub descriptor_bytes: u64,
+    /// Efficiency of pack/unpack kernels relative to `cudaMemcpy`'s
+    /// hand-tuned copy loop (address generation, bounds logic and
+    /// dual-stream access patterns cost a few percent — the paper
+    /// measured its vector kernel at 94% of the `cudaMemcpy` peak).
+    pub pack_kernel_efficiency: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla K40 (the paper's GPU).
+    pub fn k40() -> Self {
+        GpuSpec {
+            name: "Tesla K40",
+            sm_count: 15,
+            warp_size: 32,
+            transaction_bytes: 128,
+            bytes_per_thread: 8,
+            dram_traffic_bw: Bandwidth::from_gbps(360.0),
+            launch_overhead: SimTime::from_micros(6),
+            memcpy_latency: SimTime::from_micros(4),
+            descriptor_bytes: 32,
+            pack_kernel_efficiency: 0.94,
+            memory_bytes: 12 << 30,
+        }
+    }
+
+    /// Bytes one warp moves per iteration (256 with the defaults).
+    pub fn warp_chunk(&self) -> u64 {
+        self.warp_size as u64 * self.bytes_per_thread
+    }
+
+    /// Practical peak *copy* rate (payload bytes per second) of a
+    /// perfectly coalesced in-device copy — the `cudaMemcpy` rate the
+    /// paper treats as the achievable ceiling in Figure 6.
+    pub fn peak_copy_rate(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.dram_traffic_bw.bytes_per_sec() / 2.0)
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::k40()
+    }
+}
+
+/// Node-level interconnect constants shared by all GPUs in a node.
+#[derive(Clone, Debug)]
+pub struct NodeTopology {
+    /// Host→device effective PCIe bandwidth.
+    pub pcie_h2d: Bandwidth,
+    /// Device→host effective PCIe bandwidth.
+    pub pcie_d2h: Bandwidth,
+    /// Peer-to-peer (GPU↔GPU over the PCIe switch) bandwidth. The paper
+    /// cites GPU–GPU PCIe bandwidth exceeding CPU–GPU bandwidth.
+    pub pcie_p2p: Bandwidth,
+    /// PCIe transaction latency.
+    pub pcie_latency: SimTime,
+    /// Host-side `memcpy` bandwidth (for host↔host staging copies).
+    pub host_memcpy_bw: Bandwidth,
+    /// One-time cost of opening a CUDA IPC handle.
+    pub ipc_open_cost: SimTime,
+    /// Efficiency of a kernel gathering/scattering *peer* GPU memory
+    /// through an IPC mapping, relative to a bulk P2P copy. The paper
+    /// measured direct remote unpacking 10–15% slower than staging into
+    /// a local buffer first (§5.2.1); small strided PCIe reads cannot
+    /// keep the link as full as bulk DMA.
+    pub peer_kernel_efficiency: f64,
+    /// `cudaMemcpy2D` effective-bandwidth factor when the row width is
+    /// *not* a multiple of 64 bytes (the Figure 8 cliff).
+    pub memcpy2d_misaligned_factor: f64,
+    /// Per-row descriptor overhead of `cudaMemcpy2D` through the DMA
+    /// engine (large row counts amortize poorly in the real driver).
+    pub memcpy2d_row_overhead: SimTime,
+}
+
+impl NodeTopology {
+    /// PCIe gen3 x16 era constants matching the NVIDIA PSG cluster.
+    pub fn psg_node() -> Self {
+        NodeTopology {
+            pcie_h2d: Bandwidth::from_gbps(10.0),
+            pcie_d2h: Bandwidth::from_gbps(10.0),
+            pcie_p2p: Bandwidth::from_gbps(11.0),
+            pcie_latency: SimTime::from_micros(2),
+            host_memcpy_bw: Bandwidth::from_gbps(8.0),
+            ipc_open_cost: SimTime::from_micros(120),
+            peer_kernel_efficiency: 0.85,
+            memcpy2d_misaligned_factor: 0.15,
+            memcpy2d_row_overhead: SimTime::from_nanos(30),
+        }
+    }
+}
+
+impl Default for NodeTopology {
+    fn default() -> Self {
+        NodeTopology::psg_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_constants() {
+        let s = GpuSpec::k40();
+        assert_eq!(s.warp_chunk(), 256);
+        assert!((s.peak_copy_rate().as_gbps() - 180.0).abs() < 1e-9);
+        assert_eq!(s.sm_count, 15);
+    }
+
+    #[test]
+    fn topology_defaults() {
+        let t = NodeTopology::default();
+        assert!(t.pcie_p2p.as_gbps() > t.pcie_h2d.as_gbps());
+        assert!(t.memcpy2d_misaligned_factor < 1.0);
+    }
+}

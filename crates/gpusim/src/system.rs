@@ -1,0 +1,296 @@
+//! Runtime state of the simulated GPUs: streams, occupancy throttles,
+//! and the world-access trait the async operations are generic over.
+
+use crate::spec::{GpuSpec, NodeTopology};
+use memsim::{GpuId, IpcHandle, MemError, Memory, Ptr};
+use simcore::{Bandwidth, FifoResource, Sim, SimTime};
+
+/// Identifies one stream on one GPU.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StreamId {
+    pub gpu: GpuId,
+    pub index: usize,
+}
+
+/// Mutable per-GPU runtime state.
+pub struct GpuState {
+    pub spec: GpuSpec,
+    streams: Vec<FifoResource>,
+    /// Cap on the number of thread blocks kernels may use (None = all
+    /// SMs). The paper's third experiment throttles this to find the
+    /// minimal GPU share that still saturates communication.
+    pub block_limit: Option<u32>,
+    /// Fraction of DRAM bandwidth available to our kernels, `(0, 1]`.
+    /// Below 1.0 models a co-running GPU-intensive application (the
+    /// paper's fourth experiment).
+    pub bandwidth_share: f64,
+}
+
+impl GpuState {
+    fn new(spec: GpuSpec) -> Self {
+        GpuState {
+            spec,
+            // Stream 0 is the default stream, as in CUDA.
+            streams: vec![FifoResource::new()],
+            block_limit: None,
+            bandwidth_share: 1.0,
+        }
+    }
+
+    /// DRAM traffic bandwidth kernels can actually use, after occupancy
+    /// throttling and external contention.
+    pub fn effective_traffic_bw(&self) -> Bandwidth {
+        let occupancy = match self.block_limit {
+            Some(blocks) => (blocks as f64 / self.spec.sm_count as f64).min(1.0),
+            None => 1.0,
+        };
+        let share = self.bandwidth_share.clamp(f64::MIN_POSITIVE, 1.0);
+        self.spec
+            .dram_traffic_bw
+            .derated((occupancy * share).clamp(f64::MIN_POSITIVE, 1.0))
+    }
+}
+
+/// All GPUs in a node plus the interconnect constants.
+pub struct GpuSystem {
+    gpus: Vec<GpuState>,
+    pub topo: NodeTopology,
+}
+
+impl GpuSystem {
+    pub fn new(gpu_count: u32, spec: GpuSpec, topo: NodeTopology) -> Self {
+        GpuSystem {
+            gpus: (0..gpu_count).map(|_| GpuState::new(spec.clone())).collect(),
+            topo,
+        }
+    }
+
+    /// A node of K40s with default topology (the paper's PSG node had 6;
+    /// callers choose the count).
+    pub fn k40_node(gpu_count: u32) -> Self {
+        GpuSystem::new(gpu_count, GpuSpec::k40(), NodeTopology::psg_node())
+    }
+
+    pub fn gpu_count(&self) -> u32 {
+        self.gpus.len() as u32
+    }
+
+    pub fn gpu(&self, id: GpuId) -> &GpuState {
+        &self.gpus[id.index()]
+    }
+
+    pub fn gpu_mut(&mut self, id: GpuId) -> &mut GpuState {
+        &mut self.gpus[id.index()]
+    }
+
+    /// Create a new stream on `gpu` (like `cudaStreamCreate`).
+    pub fn create_stream(&mut self, gpu: GpuId) -> StreamId {
+        let st = self.gpu_mut(gpu);
+        st.streams.push(FifoResource::new());
+        StreamId {
+            gpu,
+            index: st.streams.len() - 1,
+        }
+    }
+
+    /// The default stream of a GPU.
+    pub fn default_stream(&self, gpu: GpuId) -> StreamId {
+        StreamId { gpu, index: 0 }
+    }
+
+    pub fn stream(&self, id: StreamId) -> &FifoResource {
+        &self.gpus[id.gpu.index()].streams[id.index]
+    }
+
+    pub fn stream_mut(&mut self, id: StreamId) -> &mut FifoResource {
+        &mut self.gpus[id.gpu.index()].streams[id.index]
+    }
+}
+
+/// World-access trait: any simulation world that contains a memory system
+/// and GPUs can run the async operations in this crate. Higher layers
+/// (`netsim`, `mpirt`) extend the world with NICs and protocol state.
+pub trait GpuWorld: 'static {
+    fn mem(&mut self) -> &mut Memory;
+    fn mem_ref(&self) -> &Memory;
+    fn gpus(&mut self) -> &mut GpuSystem;
+    fn gpus_ref(&self) -> &GpuSystem;
+    /// The host CPU timeline of MPI process `rank` (each rank is a
+    /// single-threaded process, so its CPU-side work — datatype
+    /// traversal, DEV preparation, protocol handling — serializes on
+    /// one FIFO resource).
+    fn cpu(&mut self, rank: usize) -> &mut FifoResource;
+}
+
+/// Minimal world for unit tests and single-process experiments.
+pub struct NodeWorld {
+    pub memory: Memory,
+    pub gpu_system: GpuSystem,
+    pub cpus: Vec<FifoResource>,
+}
+
+impl NodeWorld {
+    pub fn new(gpu_count: u32) -> Self {
+        let spec = GpuSpec::k40();
+        let mem_bytes = spec.memory_bytes;
+        NodeWorld {
+            memory: Memory::new(gpu_count, mem_bytes),
+            gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
+            cpus: Vec::new(),
+        }
+    }
+}
+
+impl GpuWorld for NodeWorld {
+    fn mem(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+    fn mem_ref(&self) -> &Memory {
+        &self.memory
+    }
+    fn gpus(&mut self) -> &mut GpuSystem {
+        &mut self.gpu_system
+    }
+    fn gpus_ref(&self) -> &GpuSystem {
+        &self.gpu_system
+    }
+    fn cpu(&mut self, rank: usize) -> &mut FifoResource {
+        if self.cpus.len() <= rank {
+            self.cpus.resize_with(rank + 1, FifoResource::new);
+        }
+        &mut self.cpus[rank]
+    }
+}
+
+/// Export a device buffer over CUDA IPC (free of charge — the handle is
+/// just bytes; the *open* on the peer side costs time).
+pub fn ipc_export<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    ptr: Ptr,
+    len: u64,
+) -> Result<IpcHandle, MemError> {
+    sim.world.mem().registry.export_ipc(ptr, len)
+}
+
+/// Open a peer's IPC handle. Charges the one-time mapping cost and hands
+/// the mapped pointer to `done`. The paper's protocol opens a handle
+/// exactly once per connection and caches the mapping.
+pub fn ipc_open<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    handle: IpcHandle,
+    done: impl FnOnce(&mut Sim<W>, Result<Ptr, MemError>) + 'static,
+) {
+    let cost = sim.world.gpus_ref().topo.ipc_open_cost;
+    sim.schedule_in(cost, move |sim| {
+        let res = sim.world.mem().registry.open_ipc(handle);
+        done(sim, res);
+    });
+}
+
+/// Busy-wait-free "synchronize": run `f` when everything currently queued
+/// on `stream` has completed (like `cudaStreamSynchronize` continuation).
+pub fn stream_sync<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    stream: StreamId,
+    f: impl FnOnce(&mut Sim<W>) + 'static,
+) {
+    let free_at: SimTime = sim.world.gpus_ref().stream(stream).free_at();
+    let at = free_at.max(sim.now());
+    sim.schedule_at(at, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_per_gpu() {
+        let mut sys = GpuSystem::k40_node(2);
+        let s1 = sys.create_stream(GpuId(0));
+        let s2 = sys.create_stream(GpuId(1));
+        assert_eq!(s1.index, 1);
+        assert_eq!(s2.index, 1);
+        assert_ne!(s1, s2);
+        assert_eq!(sys.default_stream(GpuId(0)).index, 0);
+    }
+
+    #[test]
+    fn effective_bw_throttles() {
+        let mut sys = GpuSystem::k40_node(1);
+        let full = sys.gpu(GpuId(0)).effective_traffic_bw().as_gbps();
+        sys.gpu_mut(GpuId(0)).block_limit = Some(3);
+        let limited = sys.gpu(GpuId(0)).effective_traffic_bw().as_gbps();
+        assert!((limited - full * 3.0 / 15.0).abs() < 1e-6);
+        sys.gpu_mut(GpuId(0)).block_limit = None;
+        sys.gpu_mut(GpuId(0)).bandwidth_share = 0.5;
+        let contended = sys.gpu(GpuId(0)).effective_traffic_bw().as_gbps();
+        assert!((contended - full * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_limit_above_sm_count_is_full_speed() {
+        let mut sys = GpuSystem::k40_node(1);
+        sys.gpu_mut(GpuId(0)).block_limit = Some(100);
+        assert!(
+            (sys.gpu(GpuId(0)).effective_traffic_bw().as_gbps()
+                - GpuSpec::k40().dram_traffic_bw.as_gbps())
+            .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn stream_sync_fires_after_queued_work() {
+        use crate::copy::memcpy;
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let gpu = GpuId(0);
+        let a = sim.world.memory.alloc(memsim::MemSpace::Device(gpu), 1 << 20).unwrap();
+        let b = sim.world.memory.alloc(memsim::MemSpace::Device(gpu), 1 << 20).unwrap();
+        let st = sim.world.gpu_system.default_stream(gpu);
+        memcpy(&mut sim, st, a, b, 1 << 20, |_, _| {});
+        let busy_until = sim.world.gpu_system.stream(st).free_at();
+        stream_sync(&mut sim, st, move |sim| {
+            assert_eq!(sim.now(), busy_until, "sync fires exactly at drain");
+        });
+        sim.run();
+        assert!(sim.executed_events() >= 2);
+    }
+
+    #[test]
+    fn stream_sync_on_idle_stream_fires_now() {
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let st = sim.world.gpu_system.default_stream(GpuId(0));
+        stream_sync(&mut sim, st, |sim| assert_eq!(sim.now(), SimTime::ZERO));
+        sim.run();
+    }
+
+    #[test]
+    fn cpu_resources_grow_per_rank() {
+        let mut w = NodeWorld::new(1);
+        let _ = w.cpu(5);
+        assert_eq!(w.cpus.len(), 6);
+        // Reservations are independent per rank.
+        let (_, e0) = w.cpu(0).reserve(SimTime::ZERO, SimTime::from_micros(10));
+        let (s1, _) = w.cpu(1).reserve(SimTime::ZERO, SimTime::from_micros(10));
+        assert_eq!(e0.as_nanos(), 10_000);
+        assert_eq!(s1, SimTime::ZERO, "rank 1's CPU is not blocked by rank 0");
+    }
+
+    #[test]
+    fn ipc_roundtrip_charges_open_cost() {
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let dev = sim
+            .world
+            .memory
+            .alloc(memsim::MemSpace::Device(GpuId(0)), 1024)
+            .unwrap();
+        let handle = ipc_export(&mut sim, dev, 1024).unwrap();
+        ipc_open(&mut sim, handle, move |sim, res| {
+            let mapped = res.unwrap();
+            assert_eq!(mapped.alloc, dev.alloc);
+            assert_eq!(sim.now(), SimTime::from_micros(120));
+        });
+        sim.run();
+        assert_eq!(sim.executed_events(), 1);
+    }
+}

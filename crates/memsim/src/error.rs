@@ -1,0 +1,43 @@
+//! Memory-subsystem errors.
+
+use crate::ptr::Ptr;
+use crate::space::MemSpace;
+use std::fmt;
+
+/// Errors surfaced by the simulated memory system. These mirror the
+/// failure modes a real CUDA/verbs stack reports (invalid device pointer,
+/// out-of-bounds access, use of unregistered memory for RDMA/IPC).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The allocation behind a pointer no longer exists (freed or bogus).
+    InvalidPointer(Ptr),
+    /// An access `[offset, offset+len)` fell outside the allocation.
+    OutOfBounds { ptr: Ptr, len: u64, alloc_len: u64 },
+    /// The pool for this space cannot satisfy the allocation.
+    OutOfMemory { space: MemSpace, requested: u64 },
+    /// Operation required memory registered for IPC/RDMA and it wasn't.
+    NotRegistered(Ptr),
+    /// A pointer was used in a space it does not belong to.
+    WrongSpace { ptr: Ptr, expected: MemSpace },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidPointer(p) => write!(f, "invalid pointer {p}"),
+            MemError::OutOfBounds { ptr, len, alloc_len } => write!(
+                f,
+                "out-of-bounds access at {ptr} len {len} (allocation is {alloc_len} bytes)"
+            ),
+            MemError::OutOfMemory { space, requested } => {
+                write!(f, "out of memory in {space}: requested {requested} bytes")
+            }
+            MemError::NotRegistered(p) => write!(f, "memory at {p} is not registered"),
+            MemError::WrongSpace { ptr, expected } => {
+                write!(f, "pointer {ptr} used where {expected} memory was expected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

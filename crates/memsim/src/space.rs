@@ -1,0 +1,77 @@
+//! Address-space identifiers.
+
+use std::fmt;
+
+/// Index of a simulated GPU in the node topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Which physical memory a [`crate::Ptr`] points into.
+///
+/// This is the simulation's equivalent of CUDA's unified virtual
+/// addressing: given any pointer, the runtime can ask where the memory
+/// lives and pick the right movement strategy — exactly the mechanism the
+/// paper's GPU-aware Open MPI uses to detect device buffers passed to
+/// `MPI_Send`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemSpace {
+    /// Ordinary (pageable or pinned) host memory.
+    Host,
+    /// Memory resident on a specific GPU.
+    Device(GpuId),
+}
+
+impl MemSpace {
+    pub fn is_device(self) -> bool {
+        matches!(self, MemSpace::Device(_))
+    }
+
+    pub fn is_host(self) -> bool {
+        matches!(self, MemSpace::Host)
+    }
+
+    /// The GPU this space belongs to, if any.
+    pub fn gpu(self) -> Option<GpuId> {
+        match self {
+            MemSpace::Device(g) => Some(g),
+            MemSpace::Host => None,
+        }
+    }
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Host => write!(f, "host"),
+            MemSpace::Device(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_queries() {
+        assert!(MemSpace::Host.is_host());
+        assert!(!MemSpace::Host.is_device());
+        assert_eq!(MemSpace::Host.gpu(), None);
+        let d = MemSpace::Device(GpuId(2));
+        assert!(d.is_device());
+        assert_eq!(d.gpu(), Some(GpuId(2)));
+        assert_eq!(d.to_string(), "gpu2");
+    }
+}

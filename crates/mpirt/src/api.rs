@@ -1,0 +1,507 @@
+//! The user-facing point-to-point API (the PML surface).
+
+use crate::matcher::{Envelope, RecvPosting};
+use crate::protocol::{self, eager, Side};
+use crate::request::{MpiError, Request};
+use crate::world::MpiWorld;
+use datatype::DataType;
+use memsim::Ptr;
+use netsim::send_am;
+use simcore::{Sim, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Arguments of a nonblocking send.
+#[derive(Clone)]
+pub struct SendArgs {
+    pub from: usize,
+    pub to: usize,
+    pub tag: u64,
+    pub ty: DataType,
+    pub count: u64,
+    pub buf: Ptr,
+}
+
+/// Arguments of a nonblocking receive.
+#[derive(Clone)]
+pub struct RecvArgs {
+    pub rank: usize,
+    /// `None` = MPI_ANY_SOURCE.
+    pub src: Option<usize>,
+    /// `None` = MPI_ANY_TAG.
+    pub tag: Option<u64>,
+    pub ty: DataType,
+    pub count: u64,
+    pub buf: Ptr,
+}
+
+/// Nonblocking send (`MPI_Isend`). The transfer progresses as the
+/// simulation runs; the returned request completes when the send buffer
+/// is reusable.
+pub fn isend(sim: &mut Sim<MpiWorld>, args: SendArgs) -> Request {
+    let req = Request::new();
+    if !args.ty.is_committed() {
+        req.complete(sim, Err(MpiError::Type(datatype::TypeError::NotCommitted)));
+        return req;
+    }
+    assert!(args.from != args.to, "self-sends are not modeled");
+    let side = Side {
+        rank: args.from,
+        ty: args.ty.clone(),
+        count: args.count,
+        buf: args.buf,
+    };
+    let bytes = side.total();
+    if bytes <= sim.world.mpi.config.eager_limit {
+        eager::send(sim, side, args.to, args.tag, req.clone());
+        return req;
+    }
+
+    // Rendezvous: ship the match header; the matched receiver starts
+    // the data protocol.
+    let send_req = req.clone();
+    let (from, to, tag) = (args.from, args.to, args.tag);
+    send_am(sim, from, to, 0, move |sim| {
+        let env = Envelope {
+            src: from,
+            dst: to,
+            tag,
+            bytes,
+            starter: Box::new(move |sim, posting| {
+                protocol::start_rendezvous(sim, side, send_req, posting);
+            }),
+        };
+        if let Some((posting, starter)) = sim.world.mpi.matcher.arrive(env) {
+            starter(sim, posting);
+        }
+    });
+    req
+}
+
+/// Nonblocking receive (`MPI_Irecv`).
+pub fn irecv(sim: &mut Sim<MpiWorld>, args: RecvArgs) -> Request {
+    let req = Request::new();
+    if !args.ty.is_committed() {
+        req.complete(sim, Err(MpiError::Type(datatype::TypeError::NotCommitted)));
+        return req;
+    }
+    let posting = RecvPosting {
+        rank: args.rank,
+        src: args.src,
+        tag: args.tag,
+        ty: args.ty,
+        count: args.count,
+        buf: args.buf,
+        request: req.clone(),
+    };
+    if let Some((posting, starter)) = sim.world.mpi.matcher.post(posting) {
+        starter(sim, posting);
+    }
+    req
+}
+
+/// Drive a ping-pong between ranks 0 and 1 for `iters` round trips and
+/// return the virtual time per round trip (excluding a warm-up round
+/// that pays connection setup and populates the CUDA-DEV caches).
+///
+/// Rank 0 sends with `(ty0, count0, buf0)`; rank 1 receives into
+/// `(ty1, count1, buf1)` and sends back from it — the classic
+/// osu-latency-style loop generalized to asymmetric datatypes (the
+/// paper's vector↔contiguous and transpose benchmarks).
+#[allow(clippy::too_many_arguments)]
+pub struct PingPongSpec {
+    pub ty0: DataType,
+    pub count0: u64,
+    pub buf0: Ptr,
+    pub ty1: DataType,
+    pub count1: u64,
+    pub buf1: Ptr,
+    pub iters: u32,
+}
+
+pub fn ping_pong(sim: &mut Sim<MpiWorld>, spec: PingPongSpec) -> SimTime {
+    // Warm-up round (connection establishment, IPC mapping, DEV cache).
+    run_round(sim, &spec);
+    let start = sim.now();
+    for _ in 0..spec.iters {
+        run_round(sim, &spec);
+    }
+    let total = sim.now() - start;
+    SimTime::from_nanos(total.as_nanos() / spec.iters as u64)
+}
+
+/// One synchronous round trip: 0 → 1 then 1 → 0, run to completion.
+fn run_round(sim: &mut Sim<MpiWorld>, spec: &PingPongSpec) {
+    let tag = 99;
+    let s1 = isend(
+        sim,
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag,
+            ty: spec.ty0.clone(),
+            count: spec.count0,
+            buf: spec.buf0,
+        },
+    );
+    let r1 = irecv(
+        sim,
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(tag),
+            ty: spec.ty1.clone(),
+            count: spec.count1,
+            buf: spec.buf1,
+        },
+    );
+    wait_all(sim, &[s1, r1]);
+    let s2 = isend(
+        sim,
+        SendArgs {
+            from: 1,
+            to: 0,
+            tag,
+            ty: spec.ty1.clone(),
+            count: spec.count1,
+            buf: spec.buf1,
+        },
+    );
+    let r2 = irecv(
+        sim,
+        RecvArgs {
+            rank: 0,
+            src: Some(1),
+            tag: Some(tag),
+            ty: spec.ty0.clone(),
+            count: spec.count0,
+            buf: spec.buf0,
+        },
+    );
+    wait_all(sim, &[s2, r2]);
+}
+
+/// Run the simulation until the given requests complete (`MPI_Waitall`).
+pub fn wait_all(sim: &mut Sim<MpiWorld>, reqs: &[Request]) {
+    let reqs: Vec<Request> = reqs.to_vec();
+    let ok = Rc::new(Cell::new(false));
+    loop {
+        if reqs.iter().all(|r| r.is_complete()) {
+            ok.set(true);
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(
+        reqs.iter().all(|r| r.is_complete()),
+        "wait_all: simulation drained with incomplete requests (deadlock?)"
+    );
+    for r in &reqs {
+        if let Some(Err(e)) = r.result() {
+            panic!("request failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuWorld as _;
+    use crate::config::MpiConfig;
+    use datatype::testutil::{buffer_span, pattern, reference_pack};
+    use memsim::MemSpace;
+
+    fn dbl() -> DataType {
+        DataType::double()
+    }
+
+    /// Allocate + fill a typed buffer for `rank`'s GPU (or host).
+    fn alloc_typed(
+        sim: &mut Sim<MpiWorld>,
+        rank: usize,
+        ty: &DataType,
+        count: u64,
+        device: bool,
+        fill: bool,
+    ) -> (Ptr, Vec<u8>, i64, u64) {
+        let (base, len) = buffer_span(ty, count);
+        let space = if device {
+            MemSpace::Device(sim.world.mpi.ranks[rank].gpu)
+        } else {
+            MemSpace::Host
+        };
+        let buf = sim.world.mem().alloc(space, len.max(1) as u64).unwrap();
+        let bytes = if fill { pattern(len) } else { vec![0u8; len] };
+        sim.world.mem().write(buf, &bytes).unwrap();
+        (buf.add(base as u64), bytes, base, len as u64)
+    }
+
+    /// End-to-end correctness check for one world/type/count combo.
+    fn check_transfer(
+        mut sim: Sim<MpiWorld>,
+        ty_s: &DataType,
+        count_s: u64,
+        ty_r: &DataType,
+        count_r: u64,
+        s_dev: bool,
+        r_dev: bool,
+    ) {
+        let (sbuf, sbytes, sbase, _) = alloc_typed(&mut sim, 0, ty_s, count_s, s_dev, true);
+        let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, ty_r, count_r, r_dev, false);
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 7, ty: ty_s.clone(), count: count_s, buf: sbuf },
+        );
+        let r = irecv(
+            &mut sim,
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(7),
+                ty: ty_r.clone(),
+                count: count_r,
+                buf: rbuf,
+            },
+        );
+        wait_all(&mut sim, &[s.clone(), r.clone()]);
+        assert_eq!(s.expect_bytes(), ty_s.size() * count_s);
+        assert_eq!(r.expect_bytes(), ty_s.size() * count_s);
+
+        // The packed stream of the received data must equal the packed
+        // stream of the sent data.
+        let expect = reference_pack(ty_s, count_s, &sbytes, sbase);
+        let got_buf = sim
+            .world
+            .mem()
+            .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+            .unwrap();
+        let got = reference_pack(ty_r, count_r, &got_buf, rbase);
+        assert_eq!(got[..expect.len()], expect[..], "payload mismatch");
+    }
+
+    fn vec_ty(n: u64) -> DataType {
+        DataType::vector(n, 4, 8, &dbl()).unwrap().commit()
+    }
+
+    fn tri_ty(n: u64) -> DataType {
+        let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
+        let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
+        DataType::indexed(&lens, &disps, &dbl()).unwrap().commit()
+    }
+
+    #[test]
+    fn eager_host_to_host() {
+        let sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = vec_ty(16); // 512 B
+        check_transfer(sim, &t, 1, &t, 1, false, false);
+    }
+
+    #[test]
+    fn eager_device_to_device_sm() {
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let t = vec_ty(16);
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_sm_both_noncontig() {
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let t = tri_ty(192); // ~148 KB > eager limit
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_sm_same_gpu() {
+        let sim = Sim::new(MpiWorld::two_ranks_one_gpu(MpiConfig::default()));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_sm_sender_contiguous() {
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let c = DataType::contiguous(40_000, &dbl()).unwrap().commit();
+        let v = DataType::vector(2_000, 20, 40, &dbl()).unwrap().commit();
+        check_transfer(sim, &c, 1, &v, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_sm_receiver_contiguous() {
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let c = DataType::contiguous(40_000, &dbl()).unwrap().commit();
+        let v = DataType::vector(2_000, 20, 40, &dbl()).unwrap().commit();
+        check_transfer(sim, &v, 1, &c, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_ib_device_both_noncontig() {
+        let sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_ib_no_zero_copy() {
+        let cfg = MpiConfig { zero_copy: false, ..Default::default() };
+        let sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_sm_ipc_disabled_falls_back() {
+        let cfg = MpiConfig { use_ipc: false, ..Default::default() };
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(cfg));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, true, true);
+    }
+
+    #[test]
+    fn rendezvous_host_to_host_large() {
+        let sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = vec_ty(8_000); // 256 KB
+        check_transfer(sim, &t, 1, &t, 1, false, false);
+    }
+
+    #[test]
+    fn rendezvous_device_to_host_mixed() {
+        let sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, true, false);
+    }
+
+    #[test]
+    fn rendezvous_host_to_device_mixed() {
+        let sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = tri_ty(192);
+        check_transfer(sim, &t, 1, &t, 1, false, true);
+    }
+
+    #[test]
+    fn different_layouts_same_signature() {
+        // Vector → contiguous reshape (the FFT case, Figure 11).
+        let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let v = DataType::vector(4_000, 10, 20, &dbl()).unwrap().commit();
+        let c = DataType::contiguous(40_000, &dbl()).unwrap().commit();
+        check_transfer(sim, &v, 1, &c, 1, true, true);
+    }
+
+    #[test]
+    fn signature_mismatch_fails_both_requests() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let send_ty = DataType::contiguous(40_000, &dbl()).unwrap().commit();
+        let recv_ty = DataType::contiguous(40_000, &DataType::int()).unwrap().commit();
+        let (sbuf, _, _, _) = alloc_typed(&mut sim, 0, &send_ty, 1, false, true);
+        let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &recv_ty, 1, false, false);
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 1, ty: send_ty, count: 1, buf: sbuf },
+        );
+        let r = irecv(
+            &mut sim,
+            RecvArgs { rank: 1, src: Some(0), tag: Some(1), ty: recv_ty, count: 1, buf: rbuf },
+        );
+        sim.run();
+        assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
+        assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let big = DataType::contiguous(40_000, &dbl()).unwrap().commit();
+        let small = DataType::contiguous(20_000, &dbl()).unwrap().commit();
+        let (sbuf, _, _, _) = alloc_typed(&mut sim, 0, &big, 1, false, true);
+        let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &small, 1, false, false);
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 1, ty: big, count: 1, buf: sbuf },
+        );
+        let r = irecv(
+            &mut sim,
+            RecvArgs { rank: 1, src: Some(0), tag: Some(1), ty: small, count: 1, buf: rbuf },
+        );
+        sim.run();
+        assert!(matches!(s.result(), Some(Err(_))));
+        assert!(matches!(r.result(), Some(Err(_))));
+    }
+
+    #[test]
+    fn uncommitted_type_fails_fast() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = DataType::vector(4, 1, 2, &dbl()).unwrap(); // no commit
+        let buf = sim.world.mem().alloc(MemSpace::Host, 1024).unwrap();
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 0, ty: t, count: 1, buf },
+        );
+        assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
+    }
+
+    #[test]
+    fn ping_pong_runs_and_reports_time() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let t = tri_ty(128);
+        let (b0, _, _, _) = alloc_typed(&mut sim, 0, &t, 1, true, true);
+        let (b1, _, _, _) = alloc_typed(&mut sim, 1, &t, 1, true, false);
+        let per_iter = ping_pong(
+            &mut sim,
+            PingPongSpec {
+                ty0: t.clone(),
+                count0: 1,
+                buf0: b0,
+                ty1: t,
+                count1: 1,
+                buf1: b1,
+                iters: 3,
+            },
+        );
+        assert!(per_iter > SimTime::ZERO);
+        assert!(per_iter < SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn unexpected_message_handled() {
+        // Send arrives before the receive is posted.
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = vec_ty(16);
+        let (sbuf, sbytes, sbase, _) = alloc_typed(&mut sim, 0, &t, 1, false, true);
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 5, ty: t.clone(), count: 1, buf: sbuf },
+        );
+        sim.run(); // message fully arrives, sits in unexpected queue
+        assert!(s.is_complete());
+        assert_eq!(sim.world.mpi.matcher.pending(), 1);
+
+        let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, &t, 1, false, false);
+        let r = irecv(
+            &mut sim,
+            RecvArgs { rank: 1, src: Some(0), tag: Some(5), ty: t.clone(), count: 1, buf: rbuf },
+        );
+        sim.run();
+        assert!(r.is_complete());
+        let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+        let got = reference_pack(&t, 1, &got_buf, rbase);
+        assert_eq!(got, reference_pack(&t, 1, &sbytes, sbase));
+    }
+
+    #[test]
+    fn wildcard_receive() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        let t = vec_ty(16);
+        let (sbuf, _, _, _) = alloc_typed(&mut sim, 0, &t, 1, false, true);
+        let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &t, 1, false, false);
+        let r = irecv(
+            &mut sim,
+            RecvArgs { rank: 1, src: None, tag: None, ty: t.clone(), count: 1, buf: rbuf },
+        );
+        let s = isend(
+            &mut sim,
+            SendArgs { from: 0, to: 1, tag: 1234, ty: t, count: 1, buf: sbuf },
+        );
+        wait_all(&mut sim, &[s, r]);
+    }
+}

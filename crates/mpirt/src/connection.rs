@@ -1,0 +1,245 @@
+//! Per-pair connection state: fragment rings, IPC mappings, pinned host
+//! buffers and their registrations.
+//!
+//! Connections are established **once** per rank pair and cached — the
+//! core of the paper's "light-weight pipelined RDMA protocol ... which
+//! only proposes a single one-time establishment of the RDMA connection
+//! (and then caching the registration)".
+
+use gpusim::GpuWorld as _;
+use crate::world::MpiWorld;
+use gpusim::ipc_open;
+use memsim::{MemSpace, Ptr, Registration};
+use netsim::ensure_registered;
+use simcore::Sim;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared-memory (CUDA IPC) connection: a fragment ring in the sender's
+/// GPU memory, mapped into the receiver, plus an optional local staging
+/// ring on the receiver.
+pub struct SmConn {
+    pub frag_size: u64,
+    pub depth: usize,
+    /// Slots in the sender's device memory (receiver has them mapped).
+    pub ring: Vec<Ptr>,
+    /// Receiver-local staging slots (None when staging is disabled).
+    pub staging: Option<Vec<Ptr>>,
+}
+
+/// Copy-in/copy-out connection: pinned host rings on both sides and
+/// device-side rings for the non-zero-copy staging path.
+pub struct IbConn {
+    pub frag_size: u64,
+    pub depth: usize,
+    pub send_host: Vec<Ptr>,
+    pub recv_host: Vec<Ptr>,
+    pub send_dev: Vec<Ptr>,
+    pub recv_dev: Vec<Ptr>,
+}
+
+fn ring(sim: &mut Sim<MpiWorld>, space: MemSpace, frag: u64, depth: usize) -> Vec<Ptr> {
+    // One allocation per slot keeps slots maximally aligned, matching
+    // cudaMalloc'd fragment buffers.
+    (0..depth)
+        .map(|_| sim.world.mem().alloc(space, frag).expect("ring alloc"))
+        .collect()
+}
+
+/// Get or lazily establish the SM connection `sender -> receiver`,
+/// charging the one-time IPC mapping cost on first use.
+pub fn sm_connection(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Rc<RefCell<SmConn>>) + 'static,
+) {
+    if let Some(conn) = sim.world.mpi.sm_conns.get(&(sender, receiver)) {
+        let conn = Rc::clone(conn);
+        sim.schedule_now(move |sim| done(sim, conn));
+        return;
+    }
+    let frag = sim.world.mpi.config.frag_size;
+    let depth = sim.world.mpi.config.pipeline_depth;
+    let s_gpu = sim.world.mpi.ranks[sender].gpu;
+    let r_gpu = sim.world.mpi.ranks[receiver].gpu;
+    let want_staging = sim.world.mpi.config.recv_local_staging;
+
+    let ring_slots = ring(sim, MemSpace::Device(s_gpu), frag, depth);
+    for &slot in &ring_slots {
+        sim.world.mem().registry.export_ipc(slot, frag).expect("export ring slot");
+    }
+    let staging = if want_staging && r_gpu != s_gpu {
+        Some(ring(sim, MemSpace::Device(r_gpu), frag, depth))
+    } else {
+        // Same-GPU "peers" read the ring directly; staging would be a
+        // pointless extra copy.
+        None
+    };
+    let conn = Rc::new(RefCell::new(SmConn { frag_size: frag, depth, ring: ring_slots, staging }));
+    sim.world.mpi.sm_conns.insert((sender, receiver), Rc::clone(&conn));
+
+    // Receiver maps the exported ring: one ipc_open charge for the
+    // connection (handles for all slots are opened in one exchange).
+    let first = conn.borrow().ring[0];
+    let handle = sim.world.mem().registry.export_ipc(first, frag).expect("handle");
+    ipc_open(sim, handle, move |sim, res| {
+        res.expect("ipc open");
+        done(sim, conn);
+    });
+}
+
+/// Open a peer's *user buffer* over IPC (for the contiguous fast paths
+/// where one side reads or writes the other's buffer directly). The
+/// mapping cost is charged only the first time a given allocation is
+/// exported — repeated transfers of the same buffer reuse the mapping.
+pub fn open_peer_buffer(
+    sim: &mut Sim<MpiWorld>,
+    buf: Ptr,
+    len: u64,
+    done: impl FnOnce(&mut Sim<MpiWorld>) + 'static,
+) {
+    let already = sim
+        .world
+        .mem()
+        .registry
+        .is_registered(buf, Registration::IpcExport);
+    if already {
+        sim.schedule_now(done);
+        return;
+    }
+    let handle = sim.world.mem().registry.export_ipc(buf, len).expect("export user buffer");
+    ipc_open(sim, handle, move |sim, res| {
+        res.expect("ipc open user buffer");
+        done(sim);
+    });
+}
+
+/// Get or lazily establish the copy-in/out connection `sender ->
+/// receiver`: allocates pinned host rings (registered with the NIC) and
+/// device staging rings, charging registration once per side.
+pub fn ib_connection(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Rc<RefCell<IbConn>>) + 'static,
+) {
+    if let Some(conn) = sim.world.mpi.ib_conns.get(&(sender, receiver)) {
+        let conn = Rc::clone(conn);
+        sim.schedule_now(move |sim| done(sim, conn));
+        return;
+    }
+    let frag = sim.world.mpi.config.frag_size;
+    let depth = sim.world.mpi.config.pipeline_depth;
+    let s_gpu = sim.world.mpi.ranks[sender].gpu;
+    let r_gpu = sim.world.mpi.ranks[receiver].gpu;
+
+    let send_host = ring(sim, MemSpace::Host, frag, depth);
+    let recv_host = ring(sim, MemSpace::Host, frag, depth);
+    let send_dev = ring(sim, MemSpace::Device(s_gpu), frag, depth);
+    let recv_dev = ring(sim, MemSpace::Device(r_gpu), frag, depth);
+
+    // Pin + register host rings: RDMA for the NIC, zero-copy mapping
+    // for the GPUs. Registration cost is charged once per side.
+    for &p in &send_host {
+        sim.world.mem().registry.register(p, Registration::PinnedHost);
+        sim.world.mem().registry.register(p, Registration::ZeroCopy(s_gpu));
+    }
+    for &p in &recv_host {
+        sim.world.mem().registry.register(p, Registration::PinnedHost);
+        sim.world.mem().registry.register(p, Registration::ZeroCopy(r_gpu));
+    }
+    let conn = Rc::new(RefCell::new(IbConn {
+        frag_size: frag,
+        depth,
+        send_host,
+        recv_host,
+        send_dev,
+        recv_dev,
+    }));
+    sim.world.mpi.ib_conns.insert((sender, receiver), Rc::clone(&conn));
+
+    let first_s = conn.borrow().send_host[0];
+    let first_r = conn.borrow().recv_host[0];
+    ensure_registered(sim, sender, first_s, move |sim| {
+        ensure_registered(sim, receiver, first_r, move |sim| {
+            done(sim, conn);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpiConfig;
+    use crate::world::MpiWorld;
+    use simcore::SimTime;
+
+    #[test]
+    fn sm_connection_cached_after_first_use() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        sm_connection(&mut sim, 0, 1, |sim, conn| {
+            let c = conn.borrow();
+            assert_eq!(c.ring.len(), c.depth);
+            assert!(c.staging.is_some());
+            // First establishment pays the IPC open cost.
+            assert!(sim.now() >= SimTime::from_micros(120));
+        });
+        sim.run();
+        let t1 = sim.now();
+        sm_connection(&mut sim, 0, 1, move |sim, _| {
+            assert_eq!(sim.now(), t1, "cached connection is free");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn same_gpu_connection_skips_staging() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_one_gpu(MpiConfig::default()));
+        sm_connection(&mut sim, 0, 1, |_, conn| {
+            assert!(conn.borrow().staging.is_none());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ib_connection_registers_rings() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
+        ib_connection(&mut sim, 0, 1, |sim, conn| {
+            let c = conn.borrow();
+            assert_eq!(c.send_host.len(), c.depth);
+            let p = c.send_host[0];
+            assert!(sim
+                .world
+                .mem()
+                .registry
+                .is_registered(p, Registration::Rdma));
+            assert!(sim
+                .world
+                .mem()
+                .registry
+                .is_registered(p, Registration::PinnedHost));
+        });
+        sim.run();
+        // Two registrations charged (one per side).
+        assert!(sim.now() >= SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn peer_buffer_mapping_cached_per_allocation() {
+        let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(memsim::GpuId(0)), 4096)
+            .unwrap();
+        open_peer_buffer(&mut sim, buf, 4096, |_| {});
+        sim.run();
+        let t1 = sim.now();
+        assert!(t1 >= SimTime::from_micros(120));
+        open_peer_buffer(&mut sim, buf, 4096, move |sim| {
+            assert_eq!(sim.now(), t1, "second mapping is cached");
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,182 @@
+//! Host-side pack/unpack: the CPU convertor with a time model.
+//!
+//! When the data lives in host memory, Open MPI's ordinary convertor
+//! does the packing. We reuse the exact same segment machinery as the
+//! GPU engine (`datatype::Convertor` via `DevCursor`) for the
+//! functional byte movement, and charge the rank's CPU at a calibrated
+//! memcpy-bound rate.
+
+use datatype::{DataType, TypeError};
+use devengine::{flip_units, DevCursor};
+use gpusim::GpuWorld;
+use memsim::Ptr;
+use simcore::{Bandwidth, Sim, SimTime};
+
+/// Direction of the host conversion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuDir {
+    Pack,
+    Unpack,
+}
+
+/// Sequential CPU pack/unpack over a datatype, fragment by fragment.
+pub struct CpuEngine {
+    cursor: DevCursor,
+    dir: CpuDir,
+    typed: Ptr,
+    rank: usize,
+    bw: Bandwidth,
+    per_call: SimTime,
+}
+
+impl CpuEngine {
+    pub fn new(
+        ty: &DataType,
+        count: u64,
+        typed: Ptr,
+        dir: CpuDir,
+        rank: usize,
+        bw: Bandwidth,
+    ) -> Result<CpuEngine, TypeError> {
+        assert!(typed.space.is_host(), "CpuEngine drives host memory only");
+        Ok(CpuEngine {
+            // Huge unit size: the CPU walks whole segments; no warp
+            // balancing needed.
+            cursor: DevCursor::new(ty, count, 1 << 30)?,
+            dir,
+            typed,
+            rank,
+            bw,
+            per_call: SimTime::from_nanos(500),
+        })
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.cursor.total_bytes()
+    }
+
+    pub fn position(&self) -> u64 {
+        self.cursor.position()
+    }
+
+    pub fn finished(&self) -> bool {
+        self.cursor.finished()
+    }
+
+    /// Move the next `cap` packed bytes between the typed buffer and
+    /// `frag` (contiguous host memory). Time is charged on the rank's
+    /// CPU; `done` runs at completion with the fragment size.
+    pub fn process_fragment<W: GpuWorld>(
+        &mut self,
+        sim: &mut Sim<W>,
+        frag: Ptr,
+        cap: u64,
+        done: impl FnOnce(&mut Sim<W>, u64) + 'static,
+    ) {
+        let from = self.position();
+        let mut units = self.cursor.next_units(cap);
+        for u in &mut units {
+            u.dst_off -= from as usize;
+        }
+        let n: u64 = units.iter().map(|u| u.len as u64).sum();
+        if n == 0 {
+            sim.schedule_now(move |sim| done(sim, 0));
+            return;
+        }
+        let typed = self.typed.offset_by(self.cursor.base_shift());
+        let (src, dst, units) = match self.dir {
+            CpuDir::Pack => (typed, frag, units),
+            CpuDir::Unpack => (frag, typed, flip_units(&units)),
+        };
+        let duration = self.bw.time_for(n) + self.per_call;
+        let now = sim.now();
+        let (_s, end) = sim.world.cpu(self.rank).reserve(now, duration);
+        sim.schedule_at(end, move |sim| {
+            sim.world.mem().transfer(src, dst, &units).expect("cpu pack transfer");
+            done(sim, n);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatype::testutil::{buffer_span, pattern, reference_pack};
+    use gpusim::NodeWorld;
+    use memsim::MemSpace;
+
+    #[test]
+    fn cpu_pack_matches_reference_and_charges_time() {
+        let ty = DataType::vector(64, 2, 5, &DataType::double()).unwrap().commit();
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let (base, len) = buffer_span(&ty, 2);
+        let typed = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
+        let bytes = pattern(len);
+        sim.world.memory.write(typed, &bytes).unwrap();
+        let total = ty.size() * 2;
+        let out = sim.world.memory.alloc(MemSpace::Host, total).unwrap();
+
+        let mut eng = CpuEngine::new(
+            &ty, 2, typed.add(base as u64), CpuDir::Pack, 0,
+            Bandwidth::from_gbps(5.0),
+        )
+        .unwrap();
+        assert_eq!(eng.total_bytes(), total);
+        // Two fragments.
+        let half = total / 2;
+        eng.process_fragment(&mut sim, out, half, move |_, n| assert_eq!(n, half));
+        sim.run();
+        eng.process_fragment(&mut sim, out.add(half), u64::MAX, move |_, n| {
+            assert_eq!(n, total - half)
+        });
+        let end = sim.run();
+        assert!(eng.finished());
+        assert_eq!(
+            sim.world.memory.read_vec(out, total).unwrap(),
+            reference_pack(&ty, 2, &bytes, base)
+        );
+        // ~2 KB at 5 GB/s plus two 0.5 us call overheads.
+        assert!(end >= SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn cpu_unpack_roundtrip() {
+        let ty = DataType::indexed(&[3, 1, 2], &[0, 4, 7], &DataType::double())
+            .unwrap()
+            .commit();
+        let mut sim = Sim::new(NodeWorld::new(1));
+        let (base, len) = buffer_span(&ty, 1);
+        let src = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
+        let bytes = pattern(len);
+        sim.world.memory.write(src, &bytes).unwrap();
+        let packed_bytes = reference_pack(&ty, 1, &bytes, base);
+        let packed = sim.world.memory.alloc(MemSpace::Host, ty.size()).unwrap();
+        sim.world.memory.write(packed, &packed_bytes).unwrap();
+
+        let dst = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
+        let mut eng = CpuEngine::new(
+            &ty, 1, dst.add(base as u64), CpuDir::Unpack, 0,
+            Bandwidth::from_gbps(5.0),
+        )
+        .unwrap();
+        eng.process_fragment(&mut sim, packed, u64::MAX, |_, _| {});
+        sim.run();
+        let got = sim.world.memory.read_vec(dst, len as u64).unwrap();
+        for s in ty.segments(1) {
+            let r = (base + s.disp) as usize..(base + s.disp) as usize + s.len as usize;
+            assert_eq!(&got[r.clone()], &bytes[r]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "host memory only")]
+    fn rejects_device_buffers() {
+        let ty = DataType::double().commit();
+        let p = Ptr {
+            space: MemSpace::Device(memsim::GpuId(0)),
+            alloc: memsim::AllocId(0),
+            offset: 0,
+        };
+        let _ = CpuEngine::new(&ty, 1, p, CpuDir::Pack, 0, Bandwidth::from_gbps(5.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! An Open MPI-like point-to-point runtime with the paper's GPU-aware
+//! datatype protocols.
+//!
+//! Layering follows §4 of the paper:
+//!
+//! * **PML** ([`api`] + [`matcher`]) — MPI matching, eager vs rendezvous
+//!   selection, request completion.
+//! * **BML / BTL** — transport selection by channel kind: the `smcuda`
+//!   BTL ([`protocol::sm`]) uses CUDA IPC + the paper's **pipelined RDMA
+//!   protocol** (Figure 4); the `openib` BTL ([`protocol::copyio`]) uses the
+//!   **copy-in/copy-out protocol** through pinned host fragment rings,
+//!   optionally with zero-copy.
+//! * The **GPU datatype engine** (`devengine`) packs and unpacks device
+//!   data; the **CPU convertor** (`datatype` + [`cpupack`]) handles host
+//!   data. Contiguous datatypes short-circuit the pack and/or unpack
+//!   stages after the rendezvous handshake, exactly as in §4.1.
+
+pub mod api;
+pub mod coll;
+pub mod config;
+pub mod connection;
+pub mod cpupack;
+pub mod io;
+pub mod matcher;
+pub mod onesided;
+pub mod protocol;
+pub mod request;
+pub mod world;
+
+pub use api::{irecv, isend, ping_pong, RecvArgs, SendArgs};
+pub use config::MpiConfig;
+pub use coll::{allgather, alltoall, barrier, bcast};
+pub use io::{read_at, write_at, FileView, SimFile};
+pub use onesided::{fence, get, put, RmaArgs, Win};
+pub use request::{join, MpiError, Request};
+pub use world::{MpiWorld, RankSpec};

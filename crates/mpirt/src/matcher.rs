@@ -1,0 +1,190 @@
+//! MPI message matching (the PML's posted-receive and unexpected-message
+//! queues).
+//!
+//! An arriving message carries a *starter*: the continuation that runs
+//! the actual data-movement protocol once the match is made. For an
+//! eager message the starter delivers already-buffered bytes; for a
+//! rendezvous it kicks off the pipelined transfer. This mirrors how the
+//! PML separates matching from the BTL-level protocol.
+
+use crate::request::Request;
+use crate::world::MpiWorld;
+use datatype::{DataType, Signature};
+use memsim::Ptr;
+use simcore::Sim;
+
+/// A posted receive waiting for a message.
+pub struct RecvPosting {
+    pub rank: usize,
+    /// `None` = MPI_ANY_SOURCE.
+    pub src: Option<usize>,
+    /// `None` = MPI_ANY_TAG.
+    pub tag: Option<u64>,
+    pub ty: DataType,
+    pub count: u64,
+    pub buf: Ptr,
+    pub request: Request,
+}
+
+impl RecvPosting {
+    pub fn signature(&self) -> Signature {
+        Signature::of(&self.ty, self.count)
+    }
+}
+
+type Starter = Box<dyn FnOnce(&mut Sim<MpiWorld>, RecvPosting)>;
+
+/// An arrived message envelope waiting for a matching receive.
+pub struct Envelope {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: u64,
+    pub bytes: u64,
+    pub starter: Starter,
+}
+
+/// Per-destination-rank matching state.
+struct RankQueues {
+    posted: Vec<RecvPosting>,
+    unexpected: Vec<Envelope>,
+}
+
+/// The job-wide matcher.
+pub struct Matcher {
+    queues: Vec<RankQueues>,
+}
+
+impl Matcher {
+    pub fn new(ranks: usize) -> Matcher {
+        Matcher {
+            queues: (0..ranks)
+                .map(|_| RankQueues { posted: Vec::new(), unexpected: Vec::new() })
+                .collect(),
+        }
+    }
+
+    fn matches(post: &RecvPosting, env: &Envelope) -> bool {
+        post.src.is_none_or(|s| s == env.src) && post.tag.is_none_or(|t| t == env.tag)
+    }
+
+    /// A message arrived at `env.dst`: returns the matched posting (to
+    /// hand to the starter) or queues the envelope as unexpected.
+    pub fn arrive(&mut self, env: Envelope) -> Option<(RecvPosting, Starter)> {
+        let q = &mut self.queues[env.dst];
+        if let Some(i) = q.posted.iter().position(|p| Self::matches(p, &env)) {
+            let post = q.posted.remove(i);
+            Some((post, env.starter))
+        } else {
+            q.unexpected.push(env);
+            None
+        }
+    }
+
+    /// A receive was posted: returns the matched unexpected envelope, or
+    /// queues the posting. MPI ordering: the *earliest* matching
+    /// unexpected message wins.
+    pub fn post(&mut self, posting: RecvPosting) -> Option<(RecvPosting, Starter)> {
+        let q = &mut self.queues[posting.rank];
+        if let Some(i) = q.unexpected.iter().position(|e| Self::matches(&posting, e)) {
+            let env = q.unexpected.remove(i);
+            Some((posting, env.starter))
+        } else {
+            q.posted.push(posting);
+            None
+        }
+    }
+
+    /// Outstanding postings + unexpected messages (for leak checks).
+    pub fn pending(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.posted.len() + q.unexpected.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{AllocId, MemSpace};
+
+    fn posting(rank: usize, src: Option<usize>, tag: Option<u64>) -> RecvPosting {
+        RecvPosting {
+            rank,
+            src,
+            tag,
+            ty: DataType::double().commit(),
+            count: 1,
+            buf: Ptr { space: MemSpace::Host, alloc: AllocId(0), offset: 0 },
+            request: Request::new(),
+        }
+    }
+
+    fn envelope(src: usize, dst: usize, tag: u64) -> Envelope {
+        Envelope { src, dst, tag, bytes: 8, starter: Box::new(|_, _| {}) }
+    }
+
+    #[test]
+    fn post_then_arrive_matches() {
+        let mut m = Matcher::new(2);
+        assert!(m.post(posting(1, Some(0), Some(7))).is_none());
+        let hit = m.arrive(envelope(0, 1, 7));
+        assert!(hit.is_some());
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn arrive_then_post_matches() {
+        let mut m = Matcher::new(2);
+        assert!(m.arrive(envelope(0, 1, 7)).is_none());
+        assert_eq!(m.pending(), 1);
+        assert!(m.post(posting(1, Some(0), Some(7))).is_some());
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn tag_and_source_must_match() {
+        let mut m = Matcher::new(2);
+        m.post(posting(1, Some(0), Some(7)));
+        assert!(m.arrive(envelope(0, 1, 8)).is_none(), "wrong tag");
+        assert!(m.arrive(envelope(1, 1, 7)).is_none(), "wrong source");
+        assert_eq!(m.pending(), 3);
+    }
+
+    #[test]
+    fn wildcards() {
+        let mut m = Matcher::new(2);
+        m.post(posting(1, None, None));
+        assert!(m.arrive(envelope(0, 1, 42)).is_some());
+        m.post(posting(1, Some(0), None));
+        assert!(m.arrive(envelope(0, 1, 99)).is_some());
+        m.post(posting(1, None, Some(3)));
+        assert!(m.arrive(envelope(1, 1, 3)).is_some());
+    }
+
+    #[test]
+    fn unexpected_order_is_fifo() {
+        let mut m = Matcher::new(2);
+        let mut e1 = envelope(0, 1, 7);
+        e1.bytes = 1;
+        let mut e2 = envelope(0, 1, 7);
+        e2.bytes = 2;
+        m.arrive(e1);
+        m.arrive(e2);
+        // First posting gets the earliest message (MPI ordering).
+        let (_p, _starter) = m.post(posting(1, Some(0), Some(7))).unwrap();
+        // We cannot inspect the starter, but the remaining envelope must
+        // be the later one.
+        assert_eq!(m.queues[1].unexpected.len(), 1);
+        assert_eq!(m.queues[1].unexpected[0].bytes, 2);
+    }
+
+    #[test]
+    fn posted_receives_match_in_post_order() {
+        let mut m = Matcher::new(2);
+        m.post(posting(1, None, Some(5)));
+        m.post(posting(1, Some(0), Some(5)));
+        let (p, _) = m.arrive(envelope(0, 1, 5)).unwrap();
+        assert!(p.src.is_none(), "earlier posting wins even if less specific");
+    }
+}

@@ -1,0 +1,320 @@
+//! The pipelined copy-in/copy-out protocol (§4.2).
+//!
+//! Used whenever GPU RDMA is unavailable: across nodes (InfiniBand), for
+//! host-resident data, or when IPC is administratively disabled. Data
+//! flows
+//!
+//! ```text
+//!   sender typed buffer ──pack──▶ host fragment ──wire──▶ host fragment ──unpack──▶ receiver typed buffer
+//! ```
+//!
+//! fully pipelined over a ring of `pipeline_depth` fragments. With
+//! `zero_copy` the pack/unpack kernels read/write the pinned host
+//! fragments directly (the device↔host hop rides inside the kernel and
+//! overlaps with it); otherwise explicit `cudaMemcpy` staging hops are
+//! inserted on the copy stream. Dense sides skip their conversion stage
+//! entirely.
+
+use gpusim::GpuWorld as _;
+use netsim::NetWorld as _;
+use crate::connection::{ib_connection, IbConn};
+use crate::protocol::{make_engine, Side, SideEngine};
+use crate::request::Request;
+use crate::world::MpiWorld;
+use devengine::Direction;
+use gpusim::memcpy;
+use memsim::Ptr;
+use netsim::{ensure_registered, send_am};
+use simcore::Sim;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+struct Xfer {
+    s: Side,
+    r: Side,
+    conn: Rc<RefCell<IbConn>>,
+    s_engine: Option<SideEngine>,
+    r_engine: Option<SideEngine>,
+    total: u64,
+    frag: u64,
+    nfrags: u64,
+    next_seq: u64,
+    free_slots: VecDeque<usize>,
+    acked: u64,
+    recvd: u64,
+    send_req: Request,
+    recv_req: Request,
+    zero_copy: bool,
+}
+
+type St = Rc<RefCell<Xfer>>;
+
+pub fn start(
+    sim: &mut Sim<MpiWorld>,
+    s: Side,
+    r: Side,
+    send_req: Request,
+    recv_req: Request,
+) {
+    let total = s.total();
+    if total == 0 {
+        send_req.complete(sim, Ok(0));
+        recv_req.complete(sim, Ok(0));
+        return;
+    }
+    let s_rank = s.rank;
+    let r_rank = r.rank;
+    ib_connection(sim, s_rank, r_rank, move |sim, conn| {
+        let frag = conn.borrow().frag_size;
+        let depth = conn.borrow().depth;
+        let s_engine = Some(make_engine(sim, &s, Direction::Pack));
+        let r_engine = Some(make_engine(sim, &r, Direction::Unpack));
+        let zero_copy = sim.world.mpi.config.zero_copy;
+        let st = Rc::new(RefCell::new(Xfer {
+            s,
+            r,
+            conn,
+            s_engine,
+            r_engine,
+            total,
+            frag,
+            nfrags: total.div_ceil(frag),
+            next_seq: 0,
+            free_slots: (0..depth).collect(),
+            acked: 0,
+            recvd: 0,
+            send_req,
+            recv_req,
+            zero_copy,
+        }));
+        // A dense host sender wires straight out of the user buffer,
+        // which must be registered with the NIC once.
+        let needs_reg = {
+            let x = st.borrow();
+            matches!(x.s_engine, Some(SideEngine::Contig)) && !x.s.device()
+        };
+        if needs_reg {
+            let (buf, rank) = {
+                let x = st.borrow();
+                (x.s.buf, x.s.rank)
+            };
+            ensure_registered(sim, rank, buf, move |sim| pump(sim, st));
+        } else {
+            pump(sim, st);
+        }
+    });
+}
+
+/// Launch sender stages for every free fragment slot, in sequence order.
+fn pump(sim: &mut Sim<MpiWorld>, st: St) {
+    loop {
+        let (slot, seq, n) = {
+            let mut x = st.borrow_mut();
+            if x.next_seq >= x.nfrags {
+                return;
+            }
+            let Some(slot) = x.free_slots.pop_front() else { return };
+            let seq = x.next_seq;
+            x.next_seq += 1;
+            let n = x.frag.min(x.total - seq * x.frag);
+            (slot, seq, n)
+        };
+        sender_stage(sim, Rc::clone(&st), slot, seq, n);
+    }
+}
+
+/// Stage 1: produce packed bytes into the sender's host fragment.
+fn sender_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64) {
+    let (host_slot, dev_slot, zero_copy) = {
+        let x = st.borrow();
+        let c = x.conn.borrow();
+        (c.send_host[slot], c.send_dev[slot], x.zero_copy)
+    };
+    let mut engine = st.borrow_mut().s_engine.take().expect("sender engine in use");
+    match &mut engine {
+        SideEngine::Gpu(eng) => {
+            if zero_copy {
+                // Kernel scatters straight into the mapped host slot.
+                let stw = Rc::clone(&st);
+                eng.process_fragment(sim, host_slot, n, |_| {}, move |sim, _| {
+                    wire(sim, stw, slot, seq, n, None);
+                });
+            } else {
+                // Kernel packs into the device slot, then DMA to host.
+                let stw = Rc::clone(&st);
+                eng.process_fragment(sim, dev_slot, n, |_| {}, move |sim, _| {
+                    let copy_stream = {
+                        let x = stw.borrow();
+                        sim.world.mpi.ranks[x.s.rank].copy_stream
+                    };
+                    let stw2 = Rc::clone(&stw);
+                    memcpy(sim, copy_stream, dev_slot, host_slot, n, move |sim, _| {
+                        wire(sim, stw2, slot, seq, n, None);
+                    });
+                });
+            }
+        }
+        SideEngine::Cpu(eng) => {
+            let stw = Rc::clone(&st);
+            eng.process_fragment(sim, host_slot, n, move |sim, _| {
+                wire(sim, stw, slot, seq, n, None);
+            });
+        }
+        SideEngine::Contig => {
+            let x = st.borrow();
+            let user = x.s.data_ptr().add(seq * x.frag);
+            if x.s.device() {
+                // DMA the window of the user buffer down to the host slot.
+                let copy_stream = sim.world.mpi.ranks[x.s.rank].copy_stream;
+                drop(x);
+                let stw = Rc::clone(&st);
+                memcpy(sim, copy_stream, user, host_slot, n, move |sim, _| {
+                    wire(sim, stw, slot, seq, n, None);
+                });
+            } else {
+                // Registered host data goes on the wire directly.
+                drop(x);
+                let stw = Rc::clone(&st);
+                sim.schedule_now(move |sim| wire(sim, stw, slot, seq, n, Some(user)));
+            }
+        }
+    }
+    st.borrow_mut().s_engine = Some(engine);
+}
+
+/// Stage 2: RDMA-write the fragment to the receiver's host ring (or,
+/// for a dense host receiver, straight into the user buffer).
+fn wire(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64, direct_src: Option<Ptr>) {
+    let (s_rank, r_rank, src) = {
+        let x = st.borrow();
+        let c = x.conn.borrow();
+        (x.s.rank, x.r.rank, direct_src.unwrap_or(c.send_host[slot]))
+    };
+    let dst = {
+        let x = st.borrow();
+        let dense_host_recv = matches!(x.r_engine, Some(SideEngine::Contig)) && !x.r.device();
+        if dense_host_recv {
+            x.r.data_ptr().add(seq * x.frag)
+        } else {
+            x.conn.borrow().recv_host[slot]
+        }
+    };
+    let now = sim.now();
+    let arrive = {
+        let ch = sim.world.net().channel_mut(s_rank, r_rank);
+        ch.data.reserve(now, n)
+    };
+    sim.schedule_at(arrive, move |sim| {
+        sim.world.mem().copy(src, dst, n).expect("wire copy");
+        receiver_stage(sim, st, slot, seq, n, dst);
+    });
+}
+
+/// How the receiver consumes an arrived fragment.
+enum RecvKind {
+    GpuZeroCopy,
+    GpuStaged,
+    Cpu,
+    ContigDevice,
+    ContigHost,
+}
+
+/// Stage 3: consume the fragment on the receiver.
+fn receiver_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64, arrived_at: Ptr) {
+    let (dev_slot, kind, copy_stream, user) = {
+        let x = st.borrow();
+        let c = x.conn.borrow();
+        let kind = match x.r_engine.as_ref().expect("receiver engine present") {
+            SideEngine::Gpu(_) if x.zero_copy => RecvKind::GpuZeroCopy,
+            SideEngine::Gpu(_) => RecvKind::GpuStaged,
+            SideEngine::Cpu(_) => RecvKind::Cpu,
+            SideEngine::Contig if x.r.device() => RecvKind::ContigDevice,
+            SideEngine::Contig => RecvKind::ContigHost,
+        };
+        (
+            c.recv_dev[slot],
+            kind,
+            sim.world.mpi.ranks[x.r.rank].copy_stream,
+            x.r.data_ptr().add(seq * x.frag),
+        )
+    };
+    match kind {
+        RecvKind::GpuZeroCopy => {
+            run_unpack(sim, st, arrived_at, slot, n);
+        }
+        RecvKind::GpuStaged => {
+            // H2D staging hop, then the unpack kernel. Copies on the
+            // copy stream complete in arrival order, preserving the
+            // engine's sequential consumption.
+            let stw = Rc::clone(&st);
+            memcpy(sim, copy_stream, arrived_at, dev_slot, n, move |sim, _| {
+                run_unpack(sim, stw, dev_slot, slot, n);
+            });
+        }
+        RecvKind::Cpu => {
+            let mut engine = st.borrow_mut().r_engine.take().expect("engine");
+            if let SideEngine::Cpu(eng) = &mut engine {
+                let stw = Rc::clone(&st);
+                eng.process_fragment(sim, arrived_at, n, move |sim, _| {
+                    consumed(sim, stw, slot, n);
+                });
+            }
+            st.borrow_mut().r_engine = Some(engine);
+        }
+        RecvKind::ContigDevice => {
+            let stw = Rc::clone(&st);
+            memcpy(sim, copy_stream, arrived_at, user, n, move |sim, _| {
+                consumed(sim, stw, slot, n);
+            });
+        }
+        RecvKind::ContigHost => {
+            // The wire already landed the bytes in the user buffer.
+            let stw = Rc::clone(&st);
+            sim.schedule_now(move |sim| consumed(sim, stw, slot, n));
+        }
+    }
+}
+
+/// Run the GPU unpack engine on a fragment's bytes at `src`.
+fn run_unpack(sim: &mut Sim<MpiWorld>, st: St, src: Ptr, slot: usize, n: u64) {
+    let mut engine = st.borrow_mut().r_engine.take().expect("receiver engine in use");
+    if let SideEngine::Gpu(eng) = &mut engine {
+        let stw = Rc::clone(&st);
+        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
+            consumed(sim, stw, slot, n);
+        });
+    } else {
+        unreachable!("run_unpack on a non-GPU engine");
+    }
+    st.borrow_mut().r_engine = Some(engine);
+}
+
+/// Stage 4: account the fragment, ack the slot back to the sender, and
+/// complete the requests when everything has moved.
+fn consumed(sim: &mut Sim<MpiWorld>, st: St, slot: usize, n: u64) {
+    let (s_rank, r_rank, recv_finished) = {
+        let mut x = st.borrow_mut();
+        x.recvd += n;
+        (x.s.rank, x.r.rank, x.recvd >= x.total)
+    };
+    if recv_finished {
+        let x = st.borrow();
+        x.recv_req.complete(sim, Ok(x.total));
+    }
+    let stw = Rc::clone(&st);
+    send_am(sim, r_rank, s_rank, 16, move |sim| {
+        let send_finished = {
+            let mut x = stw.borrow_mut();
+            x.acked += n;
+            x.free_slots.push_back(slot);
+            x.acked >= x.total
+        };
+        if send_finished {
+            let x = stw.borrow();
+            x.send_req.complete(sim, Ok(x.total));
+        } else {
+            pump(sim, stw);
+        }
+    });
+}

@@ -1,0 +1,112 @@
+//! The eager protocol for small messages.
+//!
+//! The sender packs into a transient host bounce buffer and ships the
+//! bytes with the first (and only) active message; the send completes
+//! as soon as the data is buffered. The receiver unpacks at match time
+//! — possibly much later, from the unexpected queue.
+
+use gpusim::GpuWorld as _;
+use crate::cpupack::{CpuDir, CpuEngine};
+use crate::matcher::{Envelope, RecvPosting};
+use crate::request::{MpiError, Request};
+use crate::world::MpiWorld;
+use datatype::Signature;
+use devengine::pack_async;
+use memsim::Ptr;
+use netsim::send_am;
+use simcore::Sim;
+use std::rc::Rc;
+
+use super::Side;
+
+/// Start an eager send. `bytes` must be at or below the eager limit.
+pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Request) {
+    let n = s.total();
+    let bounce = sim
+        .world
+        .mem()
+        .alloc(memsim::MemSpace::Host, n.max(1))
+        .expect("eager bounce alloc");
+    let sig = Signature::of(&s.ty, s.count);
+    let from = s.rank;
+
+    let after_pack = move |sim: &mut Sim<MpiWorld>| {
+        send_req.complete(sim, Ok(n));
+        let starter_sig = sig;
+        send_am(sim, from, to, n, move |sim| {
+            // Arrived: try to match.
+            let env = Envelope {
+                src: from,
+                dst: to,
+                tag,
+                bytes: n,
+                starter: Box::new(move |sim, posting| {
+                    deliver(sim, posting, bounce, n, starter_sig);
+                }),
+            };
+            if let Some((posting, starter)) = sim.world.mpi.matcher.arrive(env) {
+                starter(sim, posting);
+            }
+        });
+    };
+
+    // Pack into the bounce buffer.
+    if n == 0 {
+        sim.schedule_now(after_pack);
+    } else if s.device() {
+        let (stream, cache) = {
+            let r = &sim.world.mpi.ranks[s.rank];
+            (r.kernel_stream, Rc::clone(&r.dev_cache))
+        };
+        let cfg = sim.world.mpi.config.engine.clone();
+        pack_async(
+            sim, s.rank, stream, &s.ty, s.count, s.buf, bounce, cfg, Some(&cache),
+            move |sim, _| after_pack(sim),
+        );
+    } else {
+        let bw = sim.world.mpi.config.cpu_pack_bw;
+        let mut eng = CpuEngine::new(&s.ty, s.count, s.buf, CpuDir::Pack, s.rank, bw)
+            .expect("committed type");
+        eng.process_fragment(sim, bounce, u64::MAX, move |sim, _| after_pack(sim));
+    }
+}
+
+/// Unpack a buffered eager message into the matched receive.
+fn deliver(sim: &mut Sim<MpiWorld>, posting: RecvPosting, bounce: Ptr, n: u64, sig: Signature) {
+    if let Err(e) = posting.signature().check_recv(&sig) {
+        posting.request.complete(sim, Err(MpiError::Type(e)));
+        sim.world.mem().free(bounce).expect("free bounce");
+        return;
+    }
+    let req = posting.request.clone();
+    let finish = move |sim: &mut Sim<MpiWorld>| {
+        req.complete(sim, Ok(n));
+        sim.world.mem().free(bounce).expect("free bounce");
+    };
+    if n == 0 {
+        finish(sim);
+        return;
+    }
+    if posting.buf.space.is_device() {
+        let (stream, cache) = {
+            let r = &sim.world.mpi.ranks[posting.rank];
+            (r.kernel_stream, Rc::clone(&r.dev_cache))
+        };
+        let cfg = sim.world.mpi.config.engine.clone();
+        // The message may be shorter than the posted receive; a single
+        // capped fragment unpacks exactly the incoming prefix.
+        let mut eng = devengine::FragmentEngine::new(
+            sim, posting.rank, stream, &posting.ty, posting.count, posting.buf,
+            devengine::Direction::Unpack, cfg, Some(&cache),
+        )
+        .expect("committed type");
+        eng.process_fragment(sim, bounce, n, |_| {}, move |sim, _| finish(sim));
+    } else {
+        let bw = sim.world.mpi.config.cpu_pack_bw;
+        let mut eng = CpuEngine::new(
+            &posting.ty, posting.count, posting.buf, CpuDir::Unpack, posting.rank, bw,
+        )
+        .expect("committed type");
+        eng.process_fragment(sim, bounce, n, move |sim, _| finish(sim));
+    }
+}

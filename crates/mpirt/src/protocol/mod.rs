@@ -1,0 +1,135 @@
+//! Protocol selection (the BML role) and shared per-side machinery.
+
+pub mod copyio;
+pub mod eager;
+pub mod sm;
+
+use crate::cpupack::{CpuDir, CpuEngine};
+use crate::matcher::RecvPosting;
+use crate::request::{MpiError, Request};
+use crate::world::MpiWorld;
+use datatype::{DataType, Signature};
+use devengine::{Direction, FragmentEngine};
+use memsim::Ptr;
+use simcore::Sim;
+
+/// One endpoint of a transfer.
+#[derive(Clone)]
+pub struct Side {
+    pub rank: usize,
+    pub ty: DataType,
+    pub count: u64,
+    pub buf: Ptr,
+}
+
+impl Side {
+    pub fn total(&self) -> u64 {
+        self.ty.size() * self.count
+    }
+
+    pub fn dense(&self) -> bool {
+        self.ty.is_contiguous(self.count)
+    }
+
+    pub fn device(&self) -> bool {
+        self.buf.space.is_device()
+    }
+
+    /// Displacement-0 pointer adjusted to the first data byte, for the
+    /// contiguous fast paths (dense data starts at `true_lb`).
+    pub fn data_ptr(&self) -> Ptr {
+        self.buf.offset_by(self.ty.true_lb())
+    }
+}
+
+/// The engine driving one side's conversion.
+pub(crate) enum SideEngine {
+    Gpu(FragmentEngine),
+    Cpu(CpuEngine),
+    /// Dense layout: fragments are direct windows of the user buffer.
+    Contig,
+}
+
+pub(crate) fn make_engine(
+    sim: &mut Sim<MpiWorld>,
+    side: &Side,
+    dir: Direction,
+) -> SideEngine {
+    if side.dense() {
+        return SideEngine::Contig;
+    }
+    if side.device() {
+        let (stream, cache) = {
+            let r = &sim.world.mpi.ranks[side.rank];
+            (r.kernel_stream, std::rc::Rc::clone(&r.dev_cache))
+        };
+        let cfg = sim.world.mpi.config.engine.clone();
+        let eng = FragmentEngine::new(
+            sim,
+            side.rank,
+            stream,
+            &side.ty,
+            side.count,
+            side.buf,
+            dir,
+            cfg,
+            Some(&cache),
+        )
+        .expect("committed datatype");
+        SideEngine::Gpu(eng)
+    } else {
+        let cdir = match dir {
+            Direction::Pack => CpuDir::Pack,
+            Direction::Unpack => CpuDir::Unpack,
+        };
+        let bw = sim.world.mpi.config.cpu_pack_bw;
+        SideEngine::Cpu(
+            CpuEngine::new(&side.ty, side.count, side.buf, cdir, side.rank, bw)
+                .expect("committed datatype"),
+        )
+    }
+}
+
+/// Start a matched rendezvous transfer: verify signatures, then pick the
+/// protocol — same-node GPU↔GPU with IPC takes the pipelined RDMA
+/// protocol; everything else (InfiniBand, host data, IPC disabled) the
+/// pipelined copy-in/copy-out protocol.
+pub fn start_rendezvous(
+    sim: &mut Sim<MpiWorld>,
+    send: Side,
+    send_req: Request,
+    posting: RecvPosting,
+) {
+    let s_sig = Signature::of(&send.ty, send.count);
+    if let Err(e) = posting.signature().check_recv(&s_sig) {
+        send_req.complete(sim, Err(MpiError::Type(e.clone())));
+        posting.request.complete(sim, Err(MpiError::Type(e)));
+        return;
+    }
+    let recv = Side {
+        rank: posting.rank,
+        ty: posting.ty.clone(),
+        count: posting.count,
+        buf: posting.buf,
+    };
+    let recv_req = posting.request.clone();
+    run_transfer(sim, send, recv, send_req, recv_req);
+}
+
+/// Dispatch a (signature-checked) transfer to the right protocol. Also
+/// used directly by the one-sided layer, where there is no matching.
+pub(crate) fn run_transfer(
+    sim: &mut Sim<MpiWorld>,
+    send: Side,
+    recv: Side,
+    send_req: Request,
+    recv_req: Request,
+) {
+    let same_node = sim.world.same_node(send.rank, recv.rank);
+    let use_ipc = sim.world.mpi.config.use_ipc;
+    if same_node && use_ipc && send.device() && recv.device() {
+        sm::start(sim, send, recv, send_req, recv_req);
+    } else {
+        copyio::start(sim, send, recv, send_req, recv_req);
+    }
+}

@@ -1,0 +1,416 @@
+//! The pipelined RDMA protocol over CUDA IPC (§4.1, Figure 4).
+//!
+//! Same-node GPU↔GPU transfers. The sender packs fragments into a ring
+//! of reusable GPU buffers exposed to the receiver through a one-time
+//! IPC mapping; active messages carry "unpack fragment i" requests one
+//! way and "fragment i is free" acknowledgements the other, so the
+//! sender packs fragment `i+1` while the receiver unpacks fragment `i`.
+//!
+//! The rendezvous handshake short-circuits the conversion stages:
+//!
+//! * sender contiguous → the receiver unpacks straight out of the
+//!   sender's (mapped) user buffer, no pack at all;
+//! * receiver contiguous → the sender's pack kernels scatter directly
+//!   into the receiver's (mapped) user buffer, no unpack at all;
+//! * both contiguous → a bulk peer-to-peer copy.
+
+use crate::connection::{open_peer_buffer, sm_connection, SmConn};
+use crate::protocol::{make_engine, Side, SideEngine};
+use crate::request::Request;
+use crate::world::MpiWorld;
+use devengine::Direction;
+use gpusim::memcpy;
+use netsim::send_am;
+use simcore::Sim;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+pub fn start(
+    sim: &mut Sim<MpiWorld>,
+    s: Side,
+    r: Side,
+    send_req: Request,
+    recv_req: Request,
+) {
+    let total = s.total();
+    if total == 0 {
+        send_req.complete(sim, Ok(0));
+        recv_req.complete(sim, Ok(0));
+        return;
+    }
+    match (s.dense(), r.dense()) {
+        (true, true) => both_dense(sim, s, r, send_req, recv_req),
+        (true, false) => sender_dense(sim, s, r, send_req, recv_req),
+        (false, true) => receiver_dense(sim, s, r, send_req, recv_req),
+        (false, false) => full_pipeline(sim, s, r, send_req, recv_req),
+    }
+}
+
+/// Both sides contiguous: one bulk GET (peer-to-peer DMA, or an
+/// in-device copy when the ranks share a GPU).
+fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
+    let total = s.total();
+    let src = s.data_ptr();
+    let dst = r.data_ptr();
+    let (s_rank, r_rank) = (s.rank, r.rank);
+    open_peer_buffer(sim, src, total, move |sim| {
+        let copy_stream = sim.world.mpi.ranks[r_rank].copy_stream;
+        memcpy(sim, copy_stream, src, dst, total, move |sim, _| {
+            recv_req.complete(sim, Ok(total));
+            // Tell the sender its buffer is free.
+            send_am(sim, r_rank, s_rank, 16, move |sim| {
+                send_req.complete(sim, Ok(total));
+            });
+        });
+    });
+}
+
+/// Sender contiguous: receiver-driven unpack straight from the sender's
+/// mapped buffer, pipelined through the staging ring when present.
+fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
+    let total = s.total();
+    let src = s.data_ptr();
+    let (s_rank, r_rank) = (s.rank, r.rank);
+    open_peer_buffer(sim, src, total, move |sim| {
+        sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let unpacker = make_engine(sim, &r, Direction::Unpack);
+            let st = Rc::new(RefCell::new(PullState {
+                conn,
+                engine: Some(unpacker),
+                src,
+                total,
+                next_seq: 0,
+                consumed: 0,
+                inflight: 0,
+                r_rank,
+                s_rank,
+                send_req,
+                recv_req,
+            }));
+            pull_pump(sim, st);
+        });
+    });
+}
+
+/// State for the sender-dense pull pipeline.
+struct PullState {
+    conn: Rc<RefCell<SmConn>>,
+    engine: Option<SideEngine>,
+    src: memsim::Ptr,
+    total: u64,
+    next_seq: u64,
+    consumed: u64,
+    inflight: usize,
+    r_rank: usize,
+    s_rank: usize,
+    send_req: Request,
+    recv_req: Request,
+}
+
+fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
+    loop {
+        let (seq, n, frag, depth, staging_slot) = {
+            let mut x = st.borrow_mut();
+            let frag = x.conn.borrow().frag_size;
+            let depth = x.conn.borrow().depth;
+            if x.next_seq * frag >= x.total || x.inflight >= depth {
+                return;
+            }
+            let seq = x.next_seq;
+            x.next_seq += 1;
+            x.inflight += 1;
+            let n = frag.min(x.total - seq * frag);
+            let slot = (seq as usize) % depth;
+            let staging = x.conn.borrow().staging.as_ref().map(|v| v[slot]);
+            (seq, n, frag, depth, staging)
+        };
+        let _ = depth;
+        let window = { st.borrow().src.add(seq * frag) };
+        match staging_slot {
+            Some(stage) => {
+                // GET the window into local staging, then unpack locally.
+                let copy_stream = {
+                    let x = st.borrow();
+                    sim.world.mpi.ranks[x.r_rank].copy_stream
+                };
+                let stw = Rc::clone(&st);
+                memcpy(sim, copy_stream, window, stage, n, move |sim, _| {
+                    pull_unpack(sim, stw, stage, n);
+                });
+            }
+            None => {
+                // Same GPU (or staging disabled): unpack from the
+                // window directly.
+                pull_unpack(sim, Rc::clone(&st), window, n);
+            }
+        }
+    }
+}
+
+fn pull_unpack(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>, src: memsim::Ptr, n: u64) {
+    let mut engine = st.borrow_mut().engine.take().expect("unpacker in use");
+    if let SideEngine::Gpu(eng) = &mut engine {
+        let stw = Rc::clone(&st);
+        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
+            let finished = {
+                let mut x = stw.borrow_mut();
+                x.consumed += n;
+                x.inflight -= 1;
+                x.consumed >= x.total
+            };
+            if finished {
+                let x = stw.borrow();
+                x.recv_req.complete(sim, Ok(x.total));
+                let send_req = x.send_req.clone();
+                let (r, s, total) = (x.r_rank, x.s_rank, x.total);
+                drop(x);
+                send_am(sim, r, s, 16, move |sim| {
+                    send_req.complete(sim, Ok(total));
+                });
+            } else {
+                pull_pump(sim, stw);
+            }
+        });
+    } else {
+        unreachable!("sender_dense path requires a GPU unpacker");
+    }
+    st.borrow_mut().engine = Some(engine);
+}
+
+/// Receiver contiguous: the sender packs fragments into its ring and
+/// bulk-DMAs each one (PUT-style) straight to its final offset in the
+/// receiver's mapped buffer — no unpack stage, and the wire hop runs at
+/// full P2P rate instead of strided kernel-over-IPC speed. Ring slots
+/// recycle when their PUT completes.
+fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
+    let total = s.total();
+    let dst = r.data_ptr();
+    let (s_rank, r_rank) = (s.rank, r.rank);
+    open_peer_buffer(sim, dst, total, move |sim| {
+        sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let packer = make_engine(sim, &s, Direction::Pack);
+            let st = Rc::new(RefCell::new(PutState {
+                conn,
+                engine: Some(packer),
+                dst,
+                total,
+                next_seq: 0,
+                put_bytes: 0,
+                inflight: 0,
+                s_rank,
+                r_rank,
+                send_req,
+                recv_req,
+            }));
+            put_pump(sim, st);
+        });
+    });
+}
+
+/// State for the receiver-dense push pipeline.
+struct PutState {
+    conn: Rc<RefCell<SmConn>>,
+    engine: Option<SideEngine>,
+    dst: memsim::Ptr,
+    total: u64,
+    next_seq: u64,
+    put_bytes: u64,
+    inflight: usize,
+    s_rank: usize,
+    r_rank: usize,
+    send_req: Request,
+    recv_req: Request,
+}
+
+fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
+    loop {
+        let (seq, n, frag, slot_ptr) = {
+            let mut x = st.borrow_mut();
+            let frag = x.conn.borrow().frag_size;
+            let depth = x.conn.borrow().depth;
+            if x.next_seq * frag >= x.total || x.inflight >= depth {
+                return;
+            }
+            let seq = x.next_seq;
+            x.next_seq += 1;
+            x.inflight += 1;
+            let n = frag.min(x.total - seq * frag);
+            let slot_ptr = x.conn.borrow().ring[(seq as usize) % depth];
+            (seq, n, frag, slot_ptr)
+        };
+        // Pack into the local ring slot, then PUT to the final offset.
+        let mut engine = st.borrow_mut().engine.take().expect("packer in use");
+        if let SideEngine::Gpu(eng) = &mut engine {
+            let stw = Rc::clone(&st);
+            eng.process_fragment(sim, slot_ptr, n, |_| {}, move |sim, _| {
+                let (window, copy_stream) = {
+                    let x = stw.borrow();
+                    (x.dst.add(seq * frag), sim.world.mpi.ranks[x.s_rank].copy_stream)
+                };
+                let stw2 = Rc::clone(&stw);
+                memcpy(sim, copy_stream, slot_ptr, window, n, move |sim, _| {
+                    let finished = {
+                        let mut x = stw2.borrow_mut();
+                        x.put_bytes += n;
+                        x.inflight -= 1;
+                        x.put_bytes >= x.total
+                    };
+                    if finished {
+                        let x = stw2.borrow();
+                        x.send_req.complete(sim, Ok(x.total));
+                        let rreq = x.recv_req.clone();
+                        let (s_rank, r_rank, total) = (x.s_rank, x.r_rank, x.total);
+                        drop(x);
+                        send_am(sim, s_rank, r_rank, 16, move |sim| {
+                            rreq.complete(sim, Ok(total));
+                        });
+                    } else {
+                        put_pump(sim, stw2);
+                    }
+                });
+            });
+        } else {
+            unreachable!("receiver_dense path requires a GPU packer");
+        }
+        st.borrow_mut().engine = Some(engine);
+    }
+}
+
+/// Both sides non-contiguous: the full Figure 4 pipeline.
+struct FullState {
+    conn: Rc<RefCell<SmConn>>,
+    packer: Option<SideEngine>,
+    unpacker: Option<SideEngine>,
+    total: u64,
+    frag: u64,
+    nfrags: u64,
+    next_seq: u64,
+    free_slots: VecDeque<usize>,
+    acked: u64,
+    recvd: u64,
+    s_rank: usize,
+    r_rank: usize,
+    send_req: Request,
+    recv_req: Request,
+}
+
+type FSt = Rc<RefCell<FullState>>;
+
+fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
+    let total = s.total();
+    let (s_rank, r_rank) = (s.rank, r.rank);
+    sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+        let frag = conn.borrow().frag_size;
+        let depth = conn.borrow().depth;
+        let packer = Some(make_engine(sim, &s, Direction::Pack));
+        let unpacker = Some(make_engine(sim, &r, Direction::Unpack));
+        let st = Rc::new(RefCell::new(FullState {
+            conn,
+            packer,
+            unpacker,
+            total,
+            frag,
+            nfrags: total.div_ceil(frag),
+            next_seq: 0,
+            free_slots: (0..depth).collect(),
+            acked: 0,
+            recvd: 0,
+            s_rank,
+            r_rank,
+            send_req,
+            recv_req,
+        }));
+        full_pump(sim, st);
+    });
+}
+
+fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
+    loop {
+        let (slot, n, ring_slot) = {
+            let mut x = st.borrow_mut();
+            if x.next_seq >= x.nfrags {
+                return;
+            }
+            let Some(slot) = x.free_slots.pop_front() else { return };
+            let seq = x.next_seq;
+            x.next_seq += 1;
+            let n = x.frag.min(x.total - seq * x.frag);
+            let ring_slot = x.conn.borrow().ring[slot];
+            (slot, n, ring_slot)
+        };
+        // Sender packs the fragment into the ring slot...
+        let mut packer = st.borrow_mut().packer.take().expect("packer in use");
+        if let SideEngine::Gpu(eng) = &mut packer {
+            let stw = Rc::clone(&st);
+            eng.process_fragment(sim, ring_slot, n, |_| {}, move |sim, _| {
+                // ...then active-messages an unpack request (§4.1).
+                let (s_rank, r_rank) = {
+                    let x = stw.borrow();
+                    (x.s_rank, x.r_rank)
+                };
+                let stw2 = Rc::clone(&stw);
+                send_am(sim, s_rank, r_rank, 16, move |sim| {
+                    full_recv(sim, stw2, slot, n, ring_slot);
+                });
+            });
+        } else {
+            unreachable!("full pipeline requires GPU engines");
+        }
+        st.borrow_mut().packer = Some(packer);
+    }
+}
+
+fn full_recv(sim: &mut Sim<MpiWorld>, st: FSt, slot: usize, n: u64, ring_slot: memsim::Ptr) {
+    let staging = { st.borrow().conn.borrow().staging.as_ref().map(|v| v[slot]) };
+    match staging {
+        Some(stage) => {
+            let copy_stream = {
+                let x = st.borrow();
+                sim.world.mpi.ranks[x.r_rank].copy_stream
+            };
+            let stw = Rc::clone(&st);
+            memcpy(sim, copy_stream, ring_slot, stage, n, move |sim, _| {
+                full_unpack(sim, stw, stage, slot, n);
+            });
+        }
+        None => full_unpack(sim, Rc::clone(&st), ring_slot, slot, n),
+    }
+}
+
+fn full_unpack(sim: &mut Sim<MpiWorld>, st: FSt, src: memsim::Ptr, slot: usize, n: u64) {
+    let mut unpacker = st.borrow_mut().unpacker.take().expect("unpacker in use");
+    if let SideEngine::Gpu(eng) = &mut unpacker {
+        let stw = Rc::clone(&st);
+        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
+            let (r_rank, s_rank, recv_finished) = {
+                let mut x = stw.borrow_mut();
+                x.recvd += n;
+                (x.r_rank, x.s_rank, x.recvd >= x.total)
+            };
+            if recv_finished {
+                let x = stw.borrow();
+                x.recv_req.complete(sim, Ok(x.total));
+            }
+            // Ack the slot so the sender can reuse it.
+            let stw2 = Rc::clone(&stw);
+            send_am(sim, r_rank, s_rank, 16, move |sim| {
+                let send_finished = {
+                    let mut x = stw2.borrow_mut();
+                    x.acked += n;
+                    x.free_slots.push_back(slot);
+                    x.acked >= x.total
+                };
+                if send_finished {
+                    let x = stw2.borrow();
+                    x.send_req.complete(sim, Ok(x.total));
+                } else {
+                    full_pump(sim, stw2);
+                }
+            });
+        });
+    } else {
+        unreachable!("full pipeline requires GPU engines");
+    }
+    st.borrow_mut().unpacker = Some(unpacker);
+}

@@ -1,0 +1,202 @@
+//! The simulation world for MPI jobs: hardware (`ClusterWorld`) plus
+//! runtime state (matching queues, connection caches, per-rank GPU
+//! bindings).
+
+use crate::config::MpiConfig;
+use crate::connection::{IbConn, SmConn};
+use crate::matcher::Matcher;
+use devengine::DevCache;
+use gpusim::{GpuSystem, GpuWorld, StreamId};
+use memsim::{GpuId, Memory};
+use netsim::{ChannelKind, ClusterWorld, NetSystem, NetWorld};
+use simcore::FifoResource;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Placement of one MPI rank.
+#[derive(Clone, Copy, Debug)]
+pub struct RankSpec {
+    /// GPU the rank is bound to (`CUDA_VISIBLE_DEVICES` style binding).
+    pub gpu: GpuId,
+    /// Node the rank runs on; ranks on the same node talk over shared
+    /// memory, others over InfiniBand.
+    pub node: usize,
+}
+
+/// Mutable per-rank runtime state.
+pub struct RankState {
+    pub rank: usize,
+    pub gpu: GpuId,
+    pub node: usize,
+    /// Stream for pack/unpack kernels.
+    pub kernel_stream: StreamId,
+    /// Stream for DMA copies (overlaps with kernels, as the hardware's
+    /// separate copy engines do).
+    pub copy_stream: StreamId,
+    /// This rank's CUDA-DEV cache.
+    pub dev_cache: Rc<RefCell<DevCache>>,
+}
+
+/// Runtime-global state.
+pub struct MpiState {
+    pub config: MpiConfig,
+    pub ranks: Vec<RankState>,
+    pub matcher: Matcher,
+    pub sm_conns: HashMap<(usize, usize), Rc<RefCell<SmConn>>>,
+    pub ib_conns: HashMap<(usize, usize), Rc<RefCell<IbConn>>>,
+}
+
+/// The complete world: hardware + runtime.
+pub struct MpiWorld {
+    pub cluster: ClusterWorld,
+    pub mpi: MpiState,
+}
+
+impl MpiWorld {
+    /// Build a job from rank placements. Channels are created for every
+    /// rank pair: shared memory within a node, InfiniBand across nodes.
+    pub fn new(specs: &[RankSpec], gpu_count: u32, config: MpiConfig) -> MpiWorld {
+        let mut cluster = ClusterWorld::new(gpu_count);
+        let mut ranks = Vec::with_capacity(specs.len());
+        for (i, s) in specs.iter().enumerate() {
+            assert!(s.gpu.index() < gpu_count as usize, "rank {i} bound to missing {0}", s.gpu);
+            let kernel_stream = cluster.gpu_system.create_stream(s.gpu);
+            let copy_stream = cluster.gpu_system.create_stream(s.gpu);
+            ranks.push(RankState {
+                rank: i,
+                gpu: s.gpu,
+                node: s.node,
+                kernel_stream,
+                copy_stream,
+                dev_cache: Rc::new(RefCell::new(DevCache::default())),
+            });
+        }
+        for a in 0..specs.len() {
+            for b in a + 1..specs.len() {
+                let kind = if specs[a].node == specs[b].node {
+                    ChannelKind::SharedMemory
+                } else {
+                    ChannelKind::InfiniBand
+                };
+                cluster.net_system.connect(a, b, kind);
+            }
+        }
+        MpiWorld {
+            cluster,
+            mpi: MpiState {
+                config,
+                ranks,
+                matcher: Matcher::new(specs.len()),
+                sm_conns: HashMap::new(),
+                ib_conns: HashMap::new(),
+            },
+        }
+    }
+
+    /// Two ranks on one node sharing a single GPU (the paper's "1GPU"
+    /// shared-memory configuration).
+    pub fn two_ranks_one_gpu(config: MpiConfig) -> MpiWorld {
+        MpiWorld::new(
+            &[
+                RankSpec { gpu: GpuId(0), node: 0 },
+                RankSpec { gpu: GpuId(0), node: 0 },
+            ],
+            1,
+            config,
+        )
+    }
+
+    /// Two ranks on one node, each with its own GPU ("2GPU").
+    pub fn two_ranks_two_gpus(config: MpiConfig) -> MpiWorld {
+        MpiWorld::new(
+            &[
+                RankSpec { gpu: GpuId(0), node: 0 },
+                RankSpec { gpu: GpuId(1), node: 0 },
+            ],
+            2,
+            config,
+        )
+    }
+
+    /// Two ranks on different nodes connected by InfiniBand ("IB").
+    pub fn two_ranks_ib(config: MpiConfig) -> MpiWorld {
+        MpiWorld::new(
+            &[
+                RankSpec { gpu: GpuId(0), node: 0 },
+                RankSpec { gpu: GpuId(1), node: 1 },
+            ],
+            2,
+            config,
+        )
+    }
+
+    pub fn rank(&self, r: usize) -> &RankState {
+        &self.mpi.ranks[r]
+    }
+
+    /// Are two ranks on the same node?
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.mpi.ranks[a].node == self.mpi.ranks[b].node
+    }
+}
+
+impl GpuWorld for MpiWorld {
+    fn mem(&mut self) -> &mut Memory {
+        &mut self.cluster.memory
+    }
+    fn mem_ref(&self) -> &Memory {
+        &self.cluster.memory
+    }
+    fn gpus(&mut self) -> &mut GpuSystem {
+        &mut self.cluster.gpu_system
+    }
+    fn gpus_ref(&self) -> &GpuSystem {
+        &self.cluster.gpu_system
+    }
+    fn cpu(&mut self, rank: usize) -> &mut FifoResource {
+        self.cluster.cpu(rank)
+    }
+}
+
+impl NetWorld for MpiWorld {
+    fn net(&mut self) -> &mut NetSystem {
+        &mut self.cluster.net_system
+    }
+    fn net_ref(&self) -> &NetSystem {
+        &self.cluster.net_system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies() {
+        let w = MpiWorld::two_ranks_one_gpu(MpiConfig::default());
+        assert!(w.same_node(0, 1));
+        assert_eq!(w.rank(0).gpu, w.rank(1).gpu);
+        assert_eq!(w.cluster.net_system.kind(0, 1), ChannelKind::SharedMemory);
+
+        let w = MpiWorld::two_ranks_ib(MpiConfig::default());
+        assert!(!w.same_node(0, 1));
+        assert_eq!(w.cluster.net_system.kind(0, 1), ChannelKind::InfiniBand);
+        assert_ne!(w.rank(0).gpu, w.rank(1).gpu);
+    }
+
+    #[test]
+    fn ranks_get_distinct_streams() {
+        let w = MpiWorld::two_ranks_one_gpu(MpiConfig::default());
+        let r0 = w.rank(0);
+        let r1 = w.rank(1);
+        assert_ne!(r0.kernel_stream, r0.copy_stream);
+        assert_ne!(r0.kernel_stream, r1.kernel_stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to missing")]
+    fn binding_to_missing_gpu_fails() {
+        MpiWorld::new(&[RankSpec { gpu: GpuId(3), node: 0 }], 1, MpiConfig::default());
+    }
+}

@@ -1,0 +1,164 @@
+//! Links and channels between process pairs.
+
+use simcore::{Bandwidth, FifoResource, SimTime};
+use std::collections::HashMap;
+
+/// One direction of a physical link: bandwidth, latency and FIFO
+/// occupancy on the virtual timeline.
+#[derive(Clone, Debug)]
+pub struct Link {
+    pub bandwidth: Bandwidth,
+    pub latency: SimTime,
+    pub resource: FifoResource,
+}
+
+impl Link {
+    pub fn new(bandwidth: Bandwidth, latency: SimTime) -> Link {
+        Link {
+            bandwidth,
+            latency,
+            resource: FifoResource::new(),
+        }
+    }
+
+    /// Serialization time of `bytes` on the wire (excluding latency).
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        self.bandwidth.time_for(bytes)
+    }
+
+    /// Reserve the link for a `bytes`-sized message submitted at `now`;
+    /// returns the delivery completion time (wire occupancy + one-way
+    /// latency).
+    pub fn reserve(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let wire = self.wire_time(bytes);
+        let (_start, end) = self.resource.reserve(now, wire);
+        end + self.latency
+    }
+}
+
+/// The transport between a pair of ranks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ChannelKind {
+    /// Same-node: CMA/KNEM-style queues for control, CUDA IPC for data.
+    SharedMemory,
+    /// FDR InfiniBand between nodes.
+    InfiniBand,
+}
+
+/// One direction of a rank-pair connection.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    pub kind: ChannelKind,
+    /// Control-message link (headers, acks, handshakes).
+    pub ctrl: Link,
+    /// Bulk-data link (eager payloads, RDMA traffic). Unused for
+    /// shared-memory GPU data, which moves over PCIe via `gpusim`.
+    pub data: Link,
+}
+
+impl Channel {
+    pub fn new(kind: ChannelKind) -> Channel {
+        match kind {
+            ChannelKind::SharedMemory => Channel {
+                kind,
+                ctrl: Link::new(Bandwidth::from_gbps(8.0), SimTime::from_nanos(400)),
+                data: Link::new(Bandwidth::from_gbps(8.0), SimTime::from_nanos(400)),
+            },
+            ChannelKind::InfiniBand => Channel {
+                kind,
+                // FDR 4x: ~6.8 GB/s signalling, ~6 GB/s effective.
+                ctrl: Link::new(Bandwidth::from_gbps(6.0), SimTime::from_nanos(1300)),
+                data: Link::new(Bandwidth::from_gbps(6.0), SimTime::from_nanos(1300)),
+            },
+        }
+    }
+}
+
+/// All connections of the simulated job, keyed by ordered rank pair.
+#[derive(Default)]
+pub struct NetSystem {
+    channels: HashMap<(usize, usize), Channel>,
+    /// One-time RDMA registration cost (HCA page pinning / IPC mapping).
+    pub registration_cost: SimTime,
+}
+
+impl NetSystem {
+    pub fn new() -> NetSystem {
+        NetSystem {
+            channels: HashMap::new(),
+            registration_cost: SimTime::from_micros(50),
+        }
+    }
+
+    /// Create both directions of a connection between `a` and `b`.
+    pub fn connect(&mut self, a: usize, b: usize, kind: ChannelKind) {
+        assert_ne!(a, b, "a rank cannot connect to itself");
+        self.channels.insert((a, b), Channel::new(kind));
+        self.channels.insert((b, a), Channel::new(kind));
+    }
+
+    pub fn channel(&self, from: usize, to: usize) -> &Channel {
+        self.channels
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no channel {from} -> {to}"))
+    }
+
+    pub fn channel_mut(&mut self, from: usize, to: usize) -> &mut Channel {
+        self.channels
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no channel {from} -> {to}"))
+    }
+
+    pub fn kind(&self, from: usize, to: usize) -> ChannelKind {
+        self.channel(from, to).kind
+    }
+
+    pub fn is_connected(&self, from: usize, to: usize) -> bool {
+        self.channels.contains_key(&(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_reserve_accumulates() {
+        let mut l = Link::new(Bandwidth::from_gbps(10.0), SimTime::from_micros(1));
+        let d1 = l.reserve(SimTime::ZERO, 10_000); // 1 us wire + 1 us latency
+        assert_eq!(d1.as_nanos(), 2_000);
+        // Second message queues behind the first's wire time.
+        let d2 = l.reserve(SimTime::ZERO, 10_000);
+        assert_eq!(d2.as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn connect_is_bidirectional() {
+        let mut n = NetSystem::new();
+        n.connect(0, 1, ChannelKind::InfiniBand);
+        assert!(n.is_connected(0, 1));
+        assert!(n.is_connected(1, 0));
+        assert_eq!(n.kind(0, 1), ChannelKind::InfiniBand);
+        assert!(!n.is_connected(0, 2));
+    }
+
+    #[test]
+    fn sm_is_lower_latency_than_ib() {
+        let sm = Channel::new(ChannelKind::SharedMemory);
+        let ib = Channel::new(ChannelKind::InfiniBand);
+        assert!(sm.ctrl.latency < ib.ctrl.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot connect to itself")]
+    fn self_connection_rejected() {
+        NetSystem::new().connect(3, 3, ChannelKind::SharedMemory);
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel")]
+    fn missing_channel_panics() {
+        let n = NetSystem::new();
+        let _ = n.channel(0, 1);
+    }
+}

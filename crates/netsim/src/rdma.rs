@@ -1,0 +1,221 @@
+//! RDMA engine: one-sided get/put over the data links, with one-time
+//! registration and a registration cache.
+//!
+//! The cost structure here is what shapes the paper's protocol design:
+//! registering memory with the HCA (or opening a CUDA IPC handle) costs
+//! tens of microseconds, so a pipelined protocol must establish the
+//! RDMA connection **once** and recycle fragments — "any benefits
+//! obtained from pipelining will be annihilated by the overhead of
+//! registering the RDMA fragments" (§4.1).
+
+use crate::world::NetWorld;
+use memsim::{MemError, Ptr, Registration};
+use simcore::Sim;
+
+/// Ensure `ptr` is registered for RDMA. On a cache hit `done` runs
+/// immediately; on a miss the registration cost is charged on the
+/// caller's CPU first (pinning is a blocking syscall).
+pub fn ensure_registered<W: NetWorld>(
+    sim: &mut Sim<W>,
+    rank: usize,
+    ptr: Ptr,
+    done: impl FnOnce(&mut Sim<W>) + 'static,
+) {
+    if sim.world.mem().registry.is_registered(ptr, Registration::Rdma) {
+        done(sim);
+        return;
+    }
+    let cost = sim.world.net().registration_cost;
+    let now = sim.now();
+    let (_s, end) = sim.world.cpu(rank).reserve(now, cost);
+    sim.schedule_at(end, move |sim| {
+        sim.world.mem().registry.register(ptr, Registration::Rdma);
+        done(sim);
+    });
+}
+
+fn check_host(ptr: Ptr) -> Result<(), MemError> {
+    if ptr.space.is_device() {
+        // The paper stages large GPU messages through host memory (per
+        // [14], GPUDirect RDMA only wins below ~30 KB); this simulation
+        // models the staged path only.
+        return Err(MemError::WrongSpace { ptr, expected: memsim::MemSpace::Host });
+    }
+    Ok(())
+}
+
+/// One-sided GET: `local` pulls `len` bytes from `remote`'s registered
+/// buffer into its own registered buffer. Charges the data link from
+/// the remote side toward the local side; bytes move at completion.
+#[allow(clippy::too_many_arguments)]
+pub fn rdma_get<W: NetWorld>(
+    sim: &mut Sim<W>,
+    local_rank: usize,
+    remote_rank: usize,
+    remote_src: Ptr,
+    local_dst: Ptr,
+    len: u64,
+    done: impl FnOnce(&mut Sim<W>) + 'static,
+) {
+    check_host(remote_src).expect("RDMA source must be (pinned) host memory");
+    check_host(local_dst).expect("RDMA destination must be (pinned) host memory");
+    sim.world
+        .mem()
+        .registry
+        .require(remote_src, Registration::Rdma)
+        .expect("remote RDMA buffer not registered");
+    sim.world
+        .mem()
+        .registry
+        .require(local_dst, Registration::Rdma)
+        .expect("local RDMA buffer not registered");
+    let now = sim.now();
+    let arrive = {
+        let ch = sim.world.net().channel_mut(remote_rank, local_rank);
+        ch.data.reserve(now, len)
+    };
+    sim.schedule_at(arrive, move |sim| {
+        sim.world.mem().copy(remote_src, local_dst, len).expect("rdma_get copy");
+        done(sim);
+    });
+}
+
+/// One-sided PUT: push `len` bytes from the local registered buffer to
+/// the remote registered buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn rdma_put<W: NetWorld>(
+    sim: &mut Sim<W>,
+    local_rank: usize,
+    remote_rank: usize,
+    local_src: Ptr,
+    remote_dst: Ptr,
+    len: u64,
+    done: impl FnOnce(&mut Sim<W>) + 'static,
+) {
+    check_host(local_src).expect("RDMA source must be (pinned) host memory");
+    check_host(remote_dst).expect("RDMA destination must be (pinned) host memory");
+    sim.world
+        .mem()
+        .registry
+        .require(local_src, Registration::Rdma)
+        .expect("local RDMA buffer not registered");
+    sim.world
+        .mem()
+        .registry
+        .require(remote_dst, Registration::Rdma)
+        .expect("remote RDMA buffer not registered");
+    let now = sim.now();
+    let arrive = {
+        let ch = sim.world.net().channel_mut(local_rank, remote_rank);
+        ch.data.reserve(now, len)
+    };
+    sim.schedule_at(arrive, move |sim| {
+        sim.world.mem().copy(local_src, remote_dst, len).expect("rdma_put copy");
+        done(sim);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::world::ClusterWorld;
+    use memsim::MemSpace;
+    use simcore::SimTime;
+
+    fn world() -> Sim<ClusterWorld> {
+        let mut w = ClusterWorld::new(1);
+        w.net_system.connect(0, 1, ChannelKind::InfiniBand);
+        Sim::new(w)
+    }
+
+    #[test]
+    fn registration_is_cached() {
+        let mut sim = world();
+        let buf = sim.world.memory.alloc(MemSpace::Host, 4096).unwrap();
+        ensure_registered(&mut sim, 0, buf, |_| {});
+        let after_first = sim.run();
+        assert_eq!(after_first, SimTime::from_micros(50));
+        ensure_registered(&mut sim, 0, buf, |_| {});
+        let after_second = sim.run();
+        assert_eq!(after_second, after_first, "second registration is free");
+    }
+
+    #[test]
+    fn get_moves_bytes_at_link_rate() {
+        let mut sim = world();
+        let len = 6_000_000u64; // 1 ms at 6 GB/s
+        let src = sim.world.memory.alloc(MemSpace::Host, len).unwrap();
+        let dst = sim.world.memory.alloc(MemSpace::Host, len).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i % 250) as u8).collect();
+        sim.world.memory.write(src, &data).unwrap();
+        ensure_registered(&mut sim, 1, src, |_| {});
+        ensure_registered(&mut sim, 0, dst, |_| {});
+        sim.run();
+        let t0 = sim.now();
+        rdma_get(&mut sim, 0, 1, src, dst, len, |_| {});
+        let end = sim.run();
+        assert_eq!(sim.world.memory.read_vec(dst, len).unwrap(), data);
+        let wire = (end - t0).as_secs_f64();
+        let rate = len as f64 / wire / 1e9;
+        assert!((5.5..=6.0).contains(&rate), "IB rate {rate} GB/s");
+    }
+
+    #[test]
+    fn put_moves_bytes() {
+        let mut sim = world();
+        let src = sim.world.memory.alloc(MemSpace::Host, 1024).unwrap();
+        let dst = sim.world.memory.alloc(MemSpace::Host, 1024).unwrap();
+        sim.world.memory.write(src, &[7u8; 1024]).unwrap();
+        ensure_registered(&mut sim, 0, src, |_| {});
+        ensure_registered(&mut sim, 1, dst, |_| {});
+        sim.run();
+        rdma_put(&mut sim, 0, 1, src, dst, 1024, |_| {});
+        sim.run();
+        assert_eq!(sim.world.memory.read_vec(dst, 1024).unwrap(), vec![7u8; 1024]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_get_panics() {
+        let mut sim = world();
+        let src = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
+        let dst = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
+        rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "host memory")]
+    fn device_pointers_rejected() {
+        let mut sim = world();
+        let src = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(memsim::GpuId(0)), 64)
+            .unwrap();
+        let dst = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
+        rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {});
+    }
+
+    #[test]
+    fn registration_dropped_on_free() {
+        let mut sim = world();
+        let buf = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
+        ensure_registered(&mut sim, 0, buf, |_| {});
+        sim.run();
+        sim.world.memory.free(buf).unwrap();
+        let buf2 = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
+        // Fresh allocation must not inherit registration even if ids
+        // differ; and the freed pointer's registration is gone.
+        assert!(!sim
+            .world
+            .memory
+            .registry
+            .is_registered(buf, memsim::Registration::Rdma));
+        assert!(!sim
+            .world
+            .memory
+            .registry
+            .is_registered(buf2, memsim::Registration::Rdma));
+    }
+}

@@ -1,0 +1,83 @@
+//! The world type shared by everything above the hardware: memory +
+//! GPUs + network.
+
+use crate::channel::NetSystem;
+use gpusim::{GpuSystem, GpuWorld, NodeTopology, GpuSpec};
+use memsim::Memory;
+use simcore::FifoResource;
+
+/// World-access trait for network operations; extends [`GpuWorld`].
+pub trait NetWorld: GpuWorld {
+    fn net(&mut self) -> &mut NetSystem;
+    fn net_ref(&self) -> &NetSystem;
+}
+
+/// The standard world for multi-process experiments: one memory system
+/// and GPU set (conceptually spanning the job's nodes — each rank is
+/// bound to its own GPU and CPU), plus the interconnect.
+pub struct ClusterWorld {
+    pub memory: Memory,
+    pub gpu_system: GpuSystem,
+    pub net_system: NetSystem,
+    pub cpus: Vec<FifoResource>,
+}
+
+impl ClusterWorld {
+    pub fn new(gpu_count: u32) -> ClusterWorld {
+        let spec = GpuSpec::k40();
+        let mem_bytes = spec.memory_bytes;
+        ClusterWorld {
+            memory: Memory::new(gpu_count, mem_bytes),
+            gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
+            net_system: NetSystem::new(),
+            cpus: Vec::new(),
+        }
+    }
+}
+
+impl GpuWorld for ClusterWorld {
+    fn mem(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+    fn mem_ref(&self) -> &Memory {
+        &self.memory
+    }
+    fn gpus(&mut self) -> &mut GpuSystem {
+        &mut self.gpu_system
+    }
+    fn gpus_ref(&self) -> &GpuSystem {
+        &self.gpu_system
+    }
+    fn cpu(&mut self, rank: usize) -> &mut FifoResource {
+        if self.cpus.len() <= rank {
+            self.cpus.resize_with(rank + 1, FifoResource::new);
+        }
+        &mut self.cpus[rank]
+    }
+}
+
+impl NetWorld for ClusterWorld {
+    fn net(&mut self) -> &mut NetSystem {
+        &mut self.net_system
+    }
+    fn net_ref(&self) -> &NetSystem {
+        &self.net_system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+
+    #[test]
+    fn world_wires_up() {
+        let mut w = ClusterWorld::new(2);
+        w.net_system.connect(0, 1, ChannelKind::SharedMemory);
+        assert_eq!(w.gpu_system.gpu_count(), 2);
+        assert!(w.net_system.is_connected(1, 0));
+        // CPU resources auto-grow per rank.
+        let _ = w.cpu(3);
+        assert_eq!(w.cpus.len(), 4);
+    }
+}

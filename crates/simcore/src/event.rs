@@ -1,0 +1,280 @@
+//! The event queue and simulation driver.
+//!
+//! A `Sim<W>` owns a user-supplied world `W` (the memory pools, GPUs,
+//! NICs and protocol state of the run) and a priority queue of events.
+//! An event is a boxed `FnOnce(&mut Sim<W>)`: when it fires it may mutate
+//! the world and schedule further events. Ties in firing time are broken
+//! by insertion order, which makes runs bit-for-bit reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event on
+    // top. Ties break by ascending sequence number (FIFO of insertion).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation driver: virtual clock + event queue + world state.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    executed: u64,
+    /// The simulated world. Public so event closures can reach it.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulation at t = 0 around `world`.
+    pub fn new(world: W) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+            world,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Scheduling in the past
+    /// is a logic error in the models and panics in debug builds; in
+    /// release it clamps to `now` to keep long runs alive.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            id,
+            run: Box::new(f),
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule `f` to run "immediately" (at the current time, after all
+    /// events already queued for this instant).
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Execute a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(self);
+            return true;
+        }
+    }
+
+    /// Run until the queue drains. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until `predicate(&world)` holds or the queue drains. Returns
+    /// `true` if the predicate was satisfied.
+    pub fn run_until(&mut self, predicate: impl Fn(&W) -> bool) -> bool {
+        loop {
+            if predicate(&self.world) {
+                return true;
+            }
+            if !self.step() {
+                return predicate(&self.world);
+            }
+        }
+    }
+
+    /// Run with a hard virtual-time limit. Returns `true` if the queue
+    /// drained before the deadline; panics if the limit is hit (a stalled
+    /// protocol in tests should fail loudly).
+    pub fn run_with_deadline(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(next) = self.queue.peek().map(|e| e.at) {
+            assert!(
+                next <= deadline,
+                "simulation exceeded deadline {deadline:?} (next event at {next:?}, {} executed)",
+                self.executed
+            );
+            self.step();
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |s| {
+                log.borrow_mut().push((s.now().as_nanos(), tag));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(10, 'a'), (20, 'b'), (30, 'c')]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for tag in ['x', 'y', 'z'] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_nanos(1), |s| {
+            s.world += 1;
+            s.schedule_in(SimTime::from_nanos(9), |s| s.world += 10);
+        });
+        let end = sim.run();
+        assert_eq!(sim.world, 11);
+        assert_eq!(end.as_nanos(), 10);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime::from_nanos(5), |s| s.world += 1);
+        sim.schedule_at(SimTime::from_nanos(6), |s| s.world += 100);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(sim.world, 100);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = Sim::new(0u32);
+        for i in 1..=10u64 {
+            sim.schedule_at(SimTime::from_nanos(i), move |s| s.world += 1);
+        }
+        assert!(sim.run_until(|w| *w == 4));
+        assert_eq!(sim.world, 4);
+        assert_eq!(sim.now().as_nanos(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded deadline")]
+    fn deadline_panics_on_runaway() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime::from_millis(10), |_| {});
+        sim.run_with_deadline(SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime::from_nanos(1), |s| s.world += 1);
+        sim.run();
+        assert_eq!(sim.world, 1);
+        sim.cancel(id); // already fired: must not poison later events
+        sim.schedule_at(SimTime::from_nanos(2), |s| s.world += 10);
+        sim.run();
+        assert_eq!(sim.world, 11);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_event() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_nanos(5), |s| {
+            s.world.push(1);
+            s.schedule_now(|s| s.world.push(3));
+            s.world.push(2);
+        });
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+        assert_eq!(sim.now().as_nanos(), 5);
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut sim = Sim::new(());
+        sim.schedule_now(|_| {});
+        sim.schedule_now(|_| {});
+        sim.run();
+        assert_eq!(sim.executed_events(), 2);
+        assert_eq!(sim.pending_events(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Discrete-event simulation kernel used by every substrate in this
+//! workspace.
+//!
+//! The paper's evaluation ran on real hardware (NVIDIA K40 GPUs, PCIe gen3,
+//! FDR InfiniBand). This reproduction replaces the hardware with a
+//! deterministic discrete-event simulation: every protocol step, kernel
+//! launch, DMA transfer and network message is an *event* on a single
+//! virtual clock. `simcore` provides the clock, the event queue, FIFO
+//! resource models (a stream, a DMA engine and a network link are all
+//! "busy-until" FIFO resources), and small parallel byte-movement helpers
+//! so that the *functional* side of the simulation (bytes really moving)
+//! can use all host cores.
+//!
+//! Everything is deterministic: same inputs, same event order, same
+//! virtual timestamps.
+
+pub mod event;
+pub mod par;
+pub mod rate;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, Sim};
+pub use rate::Bandwidth;
+pub use resource::FifoResource;
+pub use time::SimTime;

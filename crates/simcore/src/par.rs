@@ -1,0 +1,245 @@
+//! Parallel byte movement on the host.
+//!
+//! The simulated GPU kernels *really* move bytes between host-backed
+//! buffers; for multi-megabyte packs this is worth parallelizing across
+//! host cores. Rayon is outside this workspace's dependency policy, so we
+//! provide a tiny fork-join built on `crossbeam::scope` — enough for the
+//! two access patterns the datatype engine needs:
+//!
+//! * [`par_copy`] — one large contiguous copy, split into chunks;
+//! * [`par_transfer`] — a list of `(src_off, dst_off, len)` segment moves
+//!   (the shape of a DEV work-unit list), partitioned across threads.
+//!
+//! Safety relies on the segments being disjoint **in the destination**,
+//! which the datatype engine guarantees by construction (a pack writes
+//! each packed byte exactly once); debug builds verify it.
+
+/// One segment move, offsets relative to the source/destination slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyOp {
+    pub src_off: usize,
+    pub dst_off: usize,
+    pub len: usize,
+}
+
+/// Below this total size the scoped-thread setup costs more than it saves.
+const PAR_THRESHOLD: usize = 1 << 20;
+
+fn worker_count(total_bytes: usize) -> usize {
+    if total_bytes < PAR_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Parallel contiguous copy: `dst.copy_from_slice(src)` using multiple
+/// threads when the copy is large enough to benefit.
+pub fn par_copy(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "par_copy length mismatch");
+    let n = worker_count(dst.len());
+    if n <= 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let chunk = dst.len().div_ceil(n);
+    crossbeam::scope(|scope| {
+        for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            scope.spawn(move |_| d.copy_from_slice(s));
+        }
+    })
+    .expect("par_copy worker panicked");
+}
+
+#[cfg(debug_assertions)]
+fn assert_dst_disjoint(ops: &[CopyOp]) {
+    let mut spans: Vec<(usize, usize)> = ops
+        .iter()
+        .filter(|o| o.len > 0)
+        .map(|o| (o.dst_off, o.dst_off + o.len))
+        .collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        assert!(
+            w[0].1 <= w[1].0,
+            "overlapping destination segments: {:?} and {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Raw pointer wrapper so disjoint destination writes can cross the
+/// `crossbeam::scope` boundary.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut u8);
+// SAFETY: every thread writes a disjoint destination range (checked in
+// debug builds by `assert_dst_disjoint`), so concurrent use is data-race
+// free.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Execute a batch of segment moves from `src` into `dst`.
+///
+/// Segments must lie in bounds and be pairwise disjoint in `dst`
+/// (overlap in `src` is fine — a broadcast-style unpack may read the same
+/// source bytes twice).
+pub fn par_transfer(dst: &mut [u8], src: &[u8], ops: &[CopyOp]) {
+    let total: usize = ops.iter().map(|o| o.len).sum();
+    for o in ops {
+        assert!(
+            o.src_off + o.len <= src.len(),
+            "source segment out of bounds: {o:?} vs len {}",
+            src.len()
+        );
+        assert!(
+            o.dst_off + o.len <= dst.len(),
+            "destination segment out of bounds: {o:?} vs len {}",
+            dst.len()
+        );
+    }
+    #[cfg(debug_assertions)]
+    assert_dst_disjoint(ops);
+
+    let n = worker_count(total);
+    if n <= 1 || ops.len() == 1 {
+        for o in ops {
+            dst[o.dst_off..o.dst_off + o.len].copy_from_slice(&src[o.src_off..o.src_off + o.len]);
+        }
+        return;
+    }
+
+    // Partition ops into n contiguous runs of roughly equal byte volume.
+    let target = total.div_ceil(n);
+    let mut runs: Vec<&[CopyOp]> = Vec::with_capacity(n);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, o) in ops.iter().enumerate() {
+        acc += o.len;
+        if acc >= target {
+            runs.push(&ops[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < ops.len() {
+        runs.push(&ops[start..]);
+    }
+
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    crossbeam::scope(|scope| {
+        for run in runs {
+            scope.spawn(move |_| {
+                let dst_ptr = dst_ptr; // move the Copy wrapper into the thread
+                for o in run {
+                    // SAFETY: bounds were checked above; destination
+                    // ranges are disjoint across all ops, so threads
+                    // never write the same byte.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            src.as_ptr().add(o.src_off),
+                            dst_ptr.0.add(o.dst_off),
+                            o.len,
+                        );
+                    }
+                }
+            });
+        }
+    })
+    .expect("par_transfer worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_copy_small_and_large() {
+        for len in [0usize, 13, 4096, (1 << 20) + 17] {
+            let src: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut dst = vec![0u8; len];
+            par_copy(&mut dst, &src);
+            assert_eq!(dst, src, "len={len}");
+        }
+    }
+
+    #[test]
+    fn transfer_gathers_segments() {
+        // Gather every other 4-byte block of src into a packed dst.
+        let src: Vec<u8> = (0..64u8).collect();
+        let mut dst = vec![0u8; 32];
+        let ops: Vec<CopyOp> = (0..8)
+            .map(|i| CopyOp {
+                src_off: i * 8,
+                dst_off: i * 4,
+                len: 4,
+            })
+            .collect();
+        par_transfer(&mut dst, &src, &ops);
+        let expect: Vec<u8> = (0..8).flat_map(|i| i * 8..i * 8 + 4).map(|v| v as u8).collect();
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn transfer_large_parallel_path() {
+        // Big enough to trigger the multi-threaded path.
+        let seg = 4096usize;
+        let count = 600usize; // ~2.4 MB
+        let src: Vec<u8> = (0..seg * count * 2).map(|i| (i % 253) as u8).collect();
+        let mut dst = vec![0u8; seg * count];
+        let ops: Vec<CopyOp> = (0..count)
+            .map(|i| CopyOp {
+                src_off: i * 2 * seg,
+                dst_off: i * seg,
+                len: seg,
+            })
+            .collect();
+        par_transfer(&mut dst, &src, &ops);
+        for i in 0..count {
+            assert_eq!(
+                &dst[i * seg..(i + 1) * seg],
+                &src[i * 2 * seg..i * 2 * seg + seg],
+                "segment {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn transfer_rejects_oob() {
+        let src = vec![0u8; 16];
+        let mut dst = vec![0u8; 16];
+        par_transfer(
+            &mut dst,
+            &src,
+            &[CopyOp {
+                src_off: 10,
+                dst_off: 0,
+                len: 10,
+            }],
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlapping destination")]
+    fn transfer_rejects_overlap_in_debug() {
+        let src = vec![0u8; 32];
+        let mut dst = vec![0u8; 32];
+        let ops = [
+            CopyOp { src_off: 0, dst_off: 0, len: 8 },
+            CopyOp { src_off: 8, dst_off: 4, len: 8 },
+        ];
+        par_transfer(&mut dst, &src, &ops);
+    }
+
+    #[test]
+    fn empty_ops_are_fine() {
+        let src = vec![1u8; 8];
+        let mut dst = vec![2u8; 8];
+        par_transfer(&mut dst, &src, &[]);
+        assert_eq!(dst, vec![2u8; 8]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Bandwidth as a first-class quantity.
+//!
+//! Every hardware model in the workspace (GPU DRAM, PCIe, InfiniBand,
+//! shared-memory channel) is calibrated in bytes per second; `Bandwidth`
+//! centralizes the "how long does N bytes take" arithmetic so the cost
+//! models cannot disagree about rounding.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A transfer rate in bytes per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Construct from bytes per second.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(bps > 0.0, "bandwidth must be positive, got {bps}");
+        Bandwidth(bps)
+    }
+
+    /// Construct from gigabytes per second (decimal GB, matching how the
+    /// paper and vendor datasheets quote link speeds).
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9)
+    }
+
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Virtual time needed to move `bytes` at this rate (ceiling to the
+    /// next nanosecond so zero-cost transfers cannot exist).
+    pub fn time_for(self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        let ns = (bytes as f64) * 1e9 / self.0;
+        SimTime::from_nanos(ns.ceil() as u64)
+    }
+
+    /// Derate this bandwidth by a multiplicative factor in `(0, 1]`,
+    /// e.g. a contention share when another kernel occupies the GPU.
+    pub fn derated(self, factor: f64) -> Bandwidth {
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor {factor} out of (0,1]");
+        Bandwidth(self.0 * factor)
+    }
+
+    /// Effective bandwidth achieved moving `bytes` in `elapsed` time.
+    pub fn effective(bytes: u64, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return f64::INFINITY;
+        }
+        bytes as f64 / elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GB/s", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_for_scales_linearly() {
+        let bw = Bandwidth::from_gbps(10.0);
+        assert_eq!(bw.time_for(0), SimTime::ZERO);
+        // 10 GB/s == 10 bytes/ns, so 1000 bytes == 100 ns.
+        assert_eq!(bw.time_for(1_000).as_nanos(), 100);
+        assert_eq!(bw.time_for(2_000).as_nanos(), 200);
+    }
+
+    #[test]
+    fn tiny_transfers_round_up() {
+        let bw = Bandwidth::from_gbps(100.0);
+        // 1 byte at 100 B/ns would be 0.01 ns; must round up to 1 ns.
+        assert_eq!(bw.time_for(1).as_nanos(), 1);
+    }
+
+    #[test]
+    fn derating() {
+        let bw = Bandwidth::from_gbps(10.0).derated(0.5);
+        assert!((bw.as_gbps() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn derate_rejects_zero() {
+        let _ = Bandwidth::from_gbps(1.0).derated(0.0);
+    }
+
+    #[test]
+    fn effective_bandwidth() {
+        let t = SimTime::from_nanos(100);
+        let e = Bandwidth::effective(1_000, t);
+        assert!((e - 1e10).abs() / 1e10 < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Small online statistics used by the benchmark harnesses to summarize
+//! repeated ping-pong iterations.
+
+use crate::time::SimTime;
+
+/// Streaming min/max/mean/stddev accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn add_time(&mut self, t: SimTime) {
+        self.add(t.as_secs_f64());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.min }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.max }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        // Sample stddev of this classic dataset is ~2.138.
+        assert!((s.stddev() - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.stddev(), 0.0);
+    }
+}

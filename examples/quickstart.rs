@@ -1,0 +1,81 @@
+//! Quickstart: send a non-contiguous GPU-resident datatype between two
+//! MPI ranks and verify the bytes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the whole stack: build a derived datatype (a 256×256
+//! sub-matrix of doubles inside a 512-column matrix), commit it, place
+//! patterned data in GPU memory, and exchange it between two ranks that
+//! share a node — the runtime picks the pipelined CUDA-IPC RDMA
+//! protocol and the GPU datatype engine packs/unpacks with kernels.
+
+use gpu_ddt::datatype::testutil::{buffer_span, pattern, reference_pack};
+use gpu_ddt::datatype::DataType;
+use gpu_ddt::memsim::MemSpace;
+use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
+use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
+use gpu_ddt::simcore::Sim;
+
+fn main() {
+    // 1. A derived datatype: 256 columns of 256 doubles, stride 512
+    //    (i.e. a sub-matrix of a 512-row column-major matrix).
+    let n: u64 = 256;
+    let ty = DataType::vector(n, n, 2 * n as i64, &DataType::double())
+        .expect("vector type")
+        .commit();
+    println!("datatype: {ty}");
+    println!("  size   = {} bytes (the data)", ty.size());
+    println!("  extent = {} bytes (the footprint)", ty.extent());
+
+    // 2. A two-rank job on one node, one GPU per rank.
+    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+
+    // 3. GPU buffers: rank 0's filled with a test pattern.
+    let (base, len) = buffer_span(&ty, 1);
+    let gpu0 = sim.world.mpi.ranks[0].gpu;
+    let gpu1 = sim.world.mpi.ranks[1].gpu;
+    let sbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu0), len as u64).unwrap();
+    let rbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu1), len as u64).unwrap();
+    let bytes = pattern(len);
+    sim.world.cluster.memory.write(sbuf, &bytes).unwrap();
+
+    // 4. Exchange (nonblocking send/recv + waitall).
+    let s = isend(
+        &mut sim,
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 42,
+            ty: ty.clone(),
+            count: 1,
+            buf: sbuf.add(base as u64),
+        },
+    );
+    let r = irecv(
+        &mut sim,
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(42),
+            ty: ty.clone(),
+            count: 1,
+            buf: rbuf.add(base as u64),
+        },
+    );
+    wait_all(&mut sim, &[s.clone(), r.clone()]);
+
+    // 5. Verify: the received packed stream equals the sent one.
+    let got = sim.world.cluster.memory.read_vec(rbuf, len as u64).unwrap();
+    let sent = reference_pack(&ty, 1, &bytes, base);
+    let received = reference_pack(&ty, 1, &got, base);
+    assert_eq!(sent, received, "payload corrupted");
+
+    println!(
+        "transferred {} bytes of non-contiguous GPU data in {} (virtual time)",
+        s.expect_bytes(),
+        r.completed_at().unwrap()
+    );
+    println!("OK — received data verified against the CPU reference engine");
+}

@@ -1,0 +1,75 @@
+//! ScaLAPACK-style exchange of a lower-triangular matrix — the paper's
+//! indexed-datatype workload — demonstrating the CUDA-DEV cache.
+//!
+//! ```text
+//! cargo run --release --example scalapack_triangular
+//! ```
+//!
+//! Dense linear algebra factorizations repeatedly communicate
+//! triangular panels. Described as an MPI indexed datatype they can be
+//! sent directly from GPU memory; the first transfer pays the CPU-side
+//! DEV conversion, later transfers reuse the cached CUDA-DEV list and
+//! run noticeably faster — the effect the paper highlights in Fig. 7.
+
+use gpu_ddt::datatype::DataType;
+use gpu_ddt::memsim::MemSpace;
+use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
+use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
+use gpu_ddt::simcore::Sim;
+
+/// Lower-triangular n×n panel of doubles, column-major.
+fn triangular(n: u64) -> DataType {
+    let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
+    let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
+    DataType::indexed(&lens, &disps, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+fn main() {
+    let n: u64 = 2048;
+    let ty = triangular(n);
+    println!(
+        "triangular panel: {} ({} MB of data in a {} MB footprint)",
+        ty,
+        ty.size() >> 20,
+        (ty.extent() as u64) >> 20
+    );
+
+    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+    let gpu0 = sim.world.mpi.ranks[0].gpu;
+    let gpu1 = sim.world.mpi.ranks[1].gpu;
+    let len = ty.extent() as u64;
+    let sbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu0), len).unwrap();
+    let rbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu1), len).unwrap();
+
+    let round = |sim: &mut Sim<MpiWorld>, tag: u64| {
+        let t0 = sim.now();
+        let s = isend(
+            sim,
+            SendArgs { from: 0, to: 1, tag, ty: ty.clone(), count: 1, buf: sbuf },
+        );
+        let r = irecv(
+            sim,
+            RecvArgs { rank: 1, src: Some(0), tag: Some(tag), ty: ty.clone(), count: 1, buf: rbuf },
+        );
+        wait_all(sim, &[s, r]);
+        sim.now() - t0
+    };
+
+    let cold = round(&mut sim, 0);
+    println!("panel transfer #1 (cold — IPC mapping, RDMA setup, DEV conversion): {cold}");
+    let warm1 = round(&mut sim, 1);
+    println!("panel transfer #2 (warm — cached CUDA-DEVs, cached connection):     {warm1}");
+    let warm2 = round(&mut sim, 2);
+    println!("panel transfer #3:                                                  {warm2}");
+
+    let cache = sim.world.mpi.ranks[0].dev_cache.borrow();
+    println!(
+        "sender DEV cache: {} plan(s), {} KB of descriptors, hit rate {:.0}%",
+        cache.len(),
+        cache.used_bytes() / 1024,
+        cache.hit_rate() * 100.0
+    );
+    assert!(warm1 < cold, "warm transfers must beat the cold one");
+}

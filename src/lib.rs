@@ -1,0 +1,25 @@
+//! `gpu-ddt` — facade crate for the HPDC'16 *GPU-Aware Non-contiguous
+//! Data Movement In Open MPI* reproduction.
+//!
+//! The workspace is organized as one crate per subsystem (see DESIGN.md);
+//! this crate re-exports them under stable names so examples, integration
+//! tests and downstream users can depend on a single entry point:
+//!
+//! * [`simcore`] — discrete-event simulation kernel (virtual time).
+//! * [`memsim`] — simulated host/device memory spaces.
+//! * [`gpusim`] — CUDA-like GPU runtime (streams, kernels, memcpy, IPC).
+//! * [`datatype`] — the MPI derived-datatype engine (CPU side).
+//! * [`devengine`] — the paper's GPU datatype engine (DEV methodology).
+//! * [`netsim`] — PCIe/InfiniBand/shared-memory interconnect models.
+//! * [`mpirt`] — the Open MPI-like PML/BML/BTL runtime with the paper's
+//!   pipelined RDMA and copy-in/out protocols.
+//! * [`baseline`] — the MVAPICH2-GDR-style comparator.
+
+pub use baseline;
+pub use datatype;
+pub use devengine;
+pub use gpusim;
+pub use memsim;
+pub use mpirt;
+pub use netsim;
+pub use simcore;

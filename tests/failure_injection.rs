@@ -1,0 +1,151 @@
+//! Failure injection across the stack: wrong usage must fail loudly and
+//! precisely, not corrupt data.
+
+use datatype::DataType;
+use gpusim::GpuWorld as _;
+use memsim::{GpuId, MemError, MemSpace};
+use mpirt::api::{irecv, isend, RecvArgs, SendArgs};
+use mpirt::{MpiConfig, MpiError, MpiWorld};
+use simcore::Sim;
+
+fn world() -> Sim<MpiWorld> {
+    Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()))
+}
+
+#[test]
+fn signature_mismatch_is_reported_not_corrupted() {
+    let mut sim = world();
+    let send_ty = DataType::contiguous(20_000, &DataType::double()).unwrap().commit();
+    let recv_ty = DataType::contiguous(40_000, &DataType::float()).unwrap().commit();
+    let sbuf = sim.world.mem().alloc(MemSpace::Host, send_ty.size()).unwrap();
+    let rbuf = sim.world.mem().alloc(MemSpace::Host, recv_ty.size()).unwrap();
+    sim.world.mem().write(sbuf, &vec![7u8; 160_000]).unwrap();
+    let s = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 1, tag: 0, ty: send_ty, count: 1, buf: sbuf },
+    );
+    let r = irecv(
+        &mut sim,
+        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: recv_ty.clone(), count: 1, buf: rbuf },
+    );
+    sim.run();
+    assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
+    assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
+    // Receive buffer untouched.
+    let got = sim.world.mem().read_vec(rbuf, recv_ty.size()).unwrap();
+    assert!(got.iter().all(|&b| b == 0), "failed receive must not write data");
+}
+
+#[test]
+fn eager_signature_mismatch_fails_receiver_only() {
+    let mut sim = world();
+    let send_ty = DataType::contiguous(8, &DataType::double()).unwrap().commit();
+    let recv_ty = DataType::contiguous(16, &DataType::int()).unwrap().commit();
+    let sbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    let rbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    let s = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 1, tag: 0, ty: send_ty, count: 1, buf: sbuf },
+    );
+    let r = irecv(
+        &mut sim,
+        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: recv_ty, count: 1, buf: rbuf },
+    );
+    sim.run();
+    // Eager sends complete once buffered (MPI semantics) …
+    assert!(matches!(s.result(), Some(Ok(64))));
+    // … but the mismatched receive fails.
+    assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
+}
+
+#[test]
+fn device_oom_is_an_error_not_a_crash() {
+    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+    let gpu = MemSpace::Device(GpuId(0));
+    let cap = sim.world.mem_ref().pool(gpu).capacity();
+    let err = sim.world.mem().alloc(gpu, cap + 1).unwrap_err();
+    assert!(matches!(err, MemError::OutOfMemory { .. }));
+}
+
+#[test]
+fn freed_buffer_cannot_be_read() {
+    let mut sim = world();
+    let buf = sim.world.mem().alloc(MemSpace::Host, 128).unwrap();
+    sim.world.mem().free(buf).unwrap();
+    assert!(matches!(
+        sim.world.mem().read_vec(buf, 1),
+        Err(MemError::InvalidPointer(_))
+    ));
+}
+
+#[test]
+#[should_panic(expected = "not registered")]
+fn rdma_to_unregistered_memory_panics() {
+    let mut sim = world();
+    let a = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    let b = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    netsim::rdma_get(&mut sim, 0, 1, a, b, 64, |_| {});
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn unmatched_rendezvous_is_detected_as_deadlock() {
+    let mut sim = world();
+    let t = DataType::contiguous(100_000, &DataType::double()).unwrap().commit();
+    let sbuf = sim.world.mem().alloc(MemSpace::Host, t.size()).unwrap();
+    let s = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 1, tag: 0, ty: t, count: 1, buf: sbuf },
+    );
+    // No matching receive: wait_all must detect the stall rather than
+    // spin forever.
+    mpirt::api::wait_all(&mut sim, &[s]);
+}
+
+#[test]
+fn wrong_tag_leaves_message_unexpected() {
+    let mut sim = world();
+    let t = DataType::contiguous(8, &DataType::double()).unwrap().commit();
+    let sbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    let rbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
+    let _s = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 1, tag: 5, ty: t.clone(), count: 1, buf: sbuf },
+    );
+    let r = irecv(
+        &mut sim,
+        RecvArgs { rank: 1, src: Some(0), tag: Some(6), ty: t, count: 1, buf: rbuf },
+    );
+    sim.run();
+    assert!(!r.is_complete(), "mismatched tag must not match");
+    assert_eq!(sim.world.mpi.matcher.pending(), 2);
+}
+
+#[test]
+fn uncommitted_datatype_rejected_at_api_boundary() {
+    let mut sim = world();
+    let raw = DataType::vector(4, 1, 2, &DataType::double()).unwrap(); // no commit
+    let buf = sim.world.mem().alloc(MemSpace::Host, 1024).unwrap();
+    let s = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 1, tag: 0, ty: raw.clone(), count: 1, buf },
+    );
+    let r = irecv(
+        &mut sim,
+        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: raw, count: 1, buf },
+    );
+    assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
+    assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
+}
+
+#[test]
+#[should_panic(expected = "self-sends")]
+fn self_send_rejected() {
+    let mut sim = world();
+    let t = DataType::double().commit();
+    let buf = sim.world.mem().alloc(MemSpace::Host, 8).unwrap();
+    let _ = isend(
+        &mut sim,
+        SendArgs { from: 0, to: 0, tag: 0, ty: t, count: 1, buf },
+    );
+}
