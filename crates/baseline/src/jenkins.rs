@@ -30,14 +30,25 @@ pub fn jenkins_transfer(sim: &mut Sim<MpiWorld>, s: BaselineSide, r: BaselineSid
 
     let s_gpu = sim.world.mpi.ranks[s.rank].gpu;
     let r_gpu = sim.world.mpi.ranks[r.rank].gpu;
-    let s_dev = sim.world.mem().alloc(MemSpace::Device(s_gpu), total).unwrap();
-    let r_dev = sim.world.mem().alloc(MemSpace::Device(r_gpu), total).unwrap();
+    let s_dev = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Device(s_gpu), total)
+        .unwrap();
+    let r_dev = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Device(r_gpu), total)
+        .unwrap();
     let s_host = sim.world.mem().alloc(MemSpace::Host, total).unwrap();
     let r_host = sim.world.mem().alloc(MemSpace::Host, total).unwrap();
 
     // Whole-datatype kernel, no CPU/GPU pipelining, no caching (MPICH
     // regenerated the flattened representation per operation).
-    let cfg = EngineConfig { pipeline: false, ..Default::default() };
+    let cfg = EngineConfig {
+        pipeline: false,
+        ..Default::default()
+    };
     let s_stream = sim.world.mpi.ranks[s.rank].kernel_stream;
     let s_copy = sim.world.mpi.ranks[s.rank].copy_stream;
     let r_stream = sim.world.mpi.ranks[r.rank].kernel_stream;
@@ -55,27 +66,46 @@ pub fn jenkins_transfer(sim: &mut Sim<MpiWorld>, s: BaselineSide, r: BaselineSid
         }
     };
 
-    pack_async(sim, s.rank, s_stream, &s.ty, s.count, s.buf, s_dev, cfg, None, move |sim, _| {
-        memcpy(sim, s_copy, s_dev, s_host, total, move |sim, _| {
-            let now = sim.now();
-            let arrive = {
-                let ch = sim.world.net().channel_mut(s_rank, r_rank);
-                ch.data.reserve(now, total)
-            };
-            sim.schedule_at(arrive, move |sim| {
-                sim.world.mem().copy(s_host, r_host, total).expect("wire");
-                memcpy(sim, r_copy, r_host, r_dev, total, move |sim, _| {
-                    unpack_async(
-                        sim, r_rank, r_stream, &r_ty, r_count, r_buf, r_dev, cfg2, None,
-                        move |sim, _| {
-                            req2.complete(sim, Ok(total));
-                            cleanup(sim);
-                        },
-                    );
+    pack_async(
+        sim,
+        s.rank,
+        s_stream,
+        &s.ty,
+        s.count,
+        s.buf,
+        s_dev,
+        cfg,
+        None,
+        move |sim, _| {
+            memcpy(sim, s_copy, s_dev, s_host, total, move |sim, _| {
+                let now = sim.now();
+                let arrive = {
+                    let ch = sim.world.net().channel_mut(s_rank, r_rank);
+                    ch.data.reserve(now, total)
+                };
+                sim.schedule_at(arrive, move |sim| {
+                    sim.world.mem().copy(s_host, r_host, total).expect("wire");
+                    memcpy(sim, r_copy, r_host, r_dev, total, move |sim, _| {
+                        unpack_async(
+                            sim,
+                            r_rank,
+                            r_stream,
+                            &r_ty,
+                            r_count,
+                            r_buf,
+                            r_dev,
+                            cfg2,
+                            None,
+                            move |sim, _| {
+                                req2.complete(sim, Ok(total));
+                                cleanup(sim);
+                            },
+                        );
+                    });
                 });
             });
-        });
-    });
+        },
+    );
     req
 }
 
@@ -115,13 +145,24 @@ mod tests {
     fn tri(n: u64) -> DataType {
         let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-        DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+        DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
-    fn setup(sim: &mut Sim<MpiWorld>, rank: usize, ty: &DataType, fill: bool) -> (Ptr, Vec<u8>, i64, u64) {
+    fn setup(
+        sim: &mut Sim<MpiWorld>,
+        rank: usize,
+        ty: &DataType,
+        fill: bool,
+    ) -> (Ptr, Vec<u8>, i64, u64) {
         let (base, len) = buffer_span(ty, 1);
         let gpu = sim.world.mpi.ranks[rank].gpu;
-        let buf = sim.world.mem().alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu), len as u64)
+            .unwrap();
         let bytes = if fill { pattern(len) } else { vec![0u8; len] };
         sim.world.mem().write(buf, &bytes).unwrap();
         (buf.add(base as u64), bytes, base, len as u64)
@@ -135,12 +176,26 @@ mod tests {
         let (rbuf, _, rbase, rlen) = setup(&mut sim, 1, &t, false);
         let req = jenkins_transfer(
             &mut sim,
-            BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: sbuf },
-            BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: rbuf },
+            BaselineSide {
+                rank: 0,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
+            BaselineSide {
+                rank: 1,
+                ty: t.clone(),
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         assert_eq!(req.expect_bytes(), t.size());
-        let got = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+        let got = sim
+            .world
+            .mem()
+            .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+            .unwrap();
         assert_eq!(
             reference_pack(&t, 1, &got, rbase),
             reference_pack(&t, 1, &sbytes, sbase)
@@ -163,8 +218,12 @@ mod tests {
             mpirt::ping_pong(
                 &mut sim,
                 mpirt::api::PingPongSpec {
-                    ty0: t.clone(), count0: 1, buf0: b0,
-                    ty1: t.clone(), count1: 1, buf1: b1,
+                    ty0: t.clone(),
+                    count0: 1,
+                    buf0: b0,
+                    ty1: t.clone(),
+                    count1: 1,
+                    buf1: b1,
                     iters: 2,
                 },
             )
@@ -173,8 +232,18 @@ mod tests {
             let (mut sim, b0, b1) = mk();
             jenkins_ping_pong(
                 &mut sim,
-                BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
-                BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
+                BaselineSide {
+                    rank: 0,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b0,
+                },
+                BaselineSide {
+                    rank: 1,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b1,
+                },
                 2,
             )
         };
@@ -182,8 +251,18 @@ mod tests {
             let (mut sim, b0, b1) = mk();
             crate::proto::baseline_ping_pong(
                 &mut sim,
-                BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
-                BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
+                BaselineSide {
+                    rank: 0,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b0,
+                },
+                BaselineSide {
+                    rank: 1,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b1,
+                },
                 2,
             )
         };

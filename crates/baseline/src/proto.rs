@@ -23,12 +23,11 @@ pub struct BaselineSide {
 
 /// Run one baseline message `s → r`. Completes the returned request
 /// when the receiver has fully unpacked.
-pub fn baseline_transfer(
-    sim: &mut Sim<MpiWorld>,
-    s: BaselineSide,
-    r: BaselineSide,
-) -> Request {
-    assert!(s.buf.space.is_device() && r.buf.space.is_device(), "baseline models GPU data");
+pub fn baseline_transfer(sim: &mut Sim<MpiWorld>, s: BaselineSide, r: BaselineSide) -> Request {
+    assert!(
+        s.buf.space.is_device() && r.buf.space.is_device(),
+        "baseline models GPU data"
+    );
     let req = Request::new();
     let total = s.ty.size() * s.count;
     if total == 0 {
@@ -40,8 +39,16 @@ pub fn baseline_transfer(
 
     // Transient host staging buffers on both sides (the baseline always
     // transits host memory).
-    let s_host = sim.world.mem().alloc(MemSpace::Host, total).expect("staging");
-    let r_host = sim.world.mem().alloc(MemSpace::Host, total).expect("staging");
+    let s_host = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, total)
+        .expect("staging");
+    let r_host = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, total)
+        .expect("staging");
 
     let st = Rc::new(RefCell::new(State {
         s: s.clone(),
@@ -112,13 +119,29 @@ fn run_2d(
     }
     let stride = run.stride as u64;
     if d2h {
-        memcpy_2d(sim, stream, typed, stride, host, run.width, run.width, run.height, move |sim, _| {
-            done(sim)
-        });
+        memcpy_2d(
+            sim,
+            stream,
+            typed,
+            stride,
+            host,
+            run.width,
+            run.width,
+            run.height,
+            move |sim, _| done(sim),
+        );
     } else {
-        memcpy_2d(sim, stream, host, run.width, typed, stride, run.width, run.height, move |sim, _| {
-            done(sim)
-        });
+        memcpy_2d(
+            sim,
+            stream,
+            host,
+            run.width,
+            typed,
+            stride,
+            run.width,
+            run.height,
+            move |sim, _| done(sim),
+        );
     }
 }
 
@@ -134,7 +157,10 @@ fn wire_phase(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<State>>) {
         ch.data.reserve(now, total)
     };
     sim.schedule_at(arrive, move |sim| {
-        sim.world.mem().copy(src, dst, total).expect("baseline wire");
+        sim.world
+            .mem()
+            .copy(src, dst, total)
+            .expect("baseline wire");
         unpack_phase(sim, st);
     });
 }
@@ -221,7 +247,11 @@ mod tests {
     ) -> (Ptr, Vec<u8>, i64, u64) {
         let (base, len) = buffer_span(ty, 1);
         let gpu = sim.world.mpi.ranks[rank].gpu;
-        let buf = sim.world.mem().alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu), len as u64)
+            .unwrap();
         let bytes = if fill { pattern(len) } else { vec![0u8; len] };
         sim.world.mem().write(buf, &bytes).unwrap();
         (buf.add(base as u64), bytes, base, len as u64)
@@ -230,7 +260,9 @@ mod tests {
     fn tri(n: u64) -> DataType {
         let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-        DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+        DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
     #[test]
@@ -241,12 +273,26 @@ mod tests {
         let (rbuf, _, rbase, rlen) = setup(&mut sim, 1, &t, false);
         let req = baseline_transfer(
             &mut sim,
-            BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: sbuf },
-            BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: rbuf },
+            BaselineSide {
+                rank: 0,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
+            BaselineSide {
+                rank: 1,
+                ty: t.clone(),
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         assert_eq!(req.expect_bytes(), t.size());
-        let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+        let got_buf = sim
+            .world
+            .mem()
+            .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+            .unwrap();
         let got = reference_pack(&t, 1, &got_buf, rbase);
         assert_eq!(got, reference_pack(&t, 1, &sbytes, sbase));
     }
@@ -262,8 +308,18 @@ mod tests {
         let (rbuf, _, _, _) = setup(&mut sim, 1, &t, false);
         let req = baseline_transfer(
             &mut sim,
-            BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: sbuf },
-            BaselineSide { rank: 1, ty: t, count: 1, buf: rbuf },
+            BaselineSide {
+                rank: 0,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
+            BaselineSide {
+                rank: 1,
+                ty: t,
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         req.expect_bytes();
@@ -279,13 +335,25 @@ mod tests {
     #[test]
     fn baseline_ping_pong_runs() {
         let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-        let v = DataType::vector(64, 8, 16, &DataType::double()).unwrap().commit();
+        let v = DataType::vector(64, 8, 16, &DataType::double())
+            .unwrap()
+            .commit();
         let (b0, _, _, _) = setup(&mut sim, 0, &v, true);
         let (b1, _, _, _) = setup(&mut sim, 1, &v, false);
         let per_iter = baseline_ping_pong(
             &mut sim,
-            BaselineSide { rank: 0, ty: v.clone(), count: 1, buf: b0 },
-            BaselineSide { rank: 1, ty: v, count: 1, buf: b1 },
+            BaselineSide {
+                rank: 0,
+                ty: v.clone(),
+                count: 1,
+                buf: b0,
+            },
+            BaselineSide {
+                rank: 1,
+                ty: v,
+                count: 1,
+                buf: b1,
+            },
             3,
         );
         assert!(per_iter > SimTime::ZERO);
@@ -319,8 +387,18 @@ mod tests {
             let (b1, _, _, _) = setup(&mut sim, 1, &t, false);
             baseline_ping_pong(
                 &mut sim,
-                BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
-                BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
+                BaselineSide {
+                    rank: 0,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b0,
+                },
+                BaselineSide {
+                    rank: 1,
+                    ty: t.clone(),
+                    count: 1,
+                    buf: b1,
+                },
                 3,
             )
         };

@@ -32,8 +32,7 @@ pub fn vectorize(ty: &DataType, count: u64) -> Vec<VectorRun> {
         if let Some(last) = runs.last_mut() {
             let expected_next = last.first_disp + last.stride * last.height as i64;
             if last.width == s.len
-                && ((last.height == 1 && s.disp > last.first_disp)
-                    || expected_next == s.disp)
+                && ((last.height == 1 && s.disp > last.first_disp) || expected_next == s.disp)
             {
                 let stride = s.disp - (last.first_disp + last.stride * (last.height as i64 - 1));
                 if last.height == 1 {
@@ -74,7 +73,12 @@ mod tests {
         assert_eq!(runs.len(), 1);
         assert_eq!(
             runs[0],
-            VectorRun { first_disp: 0, width: 24, stride: 56, height: 10 }
+            VectorRun {
+                first_disp: 0,
+                width: 24,
+                stride: 56,
+                height: 10
+            }
         );
         assert_eq!(runs[0].bytes(), v.size());
     }
@@ -120,7 +124,11 @@ mod tests {
         let v = DataType::vector(4, 1, 2, &dbl()).unwrap();
         let r = DataType::resized(&v, 0, 64).unwrap();
         let runs = vectorize(&r, 3);
-        assert_eq!(runs.len(), 1, "uniform pattern across instances folds: {runs:?}");
+        assert_eq!(
+            runs.len(),
+            1,
+            "uniform pattern across instances folds: {runs:?}"
+        );
         assert_eq!(runs[0].height, 12);
     }
 }

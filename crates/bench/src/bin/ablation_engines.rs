@@ -10,64 +10,101 @@
 //!                   (the MVAPICH approach of §2.2)
 
 use baseline::{baseline_ping_pong, jenkins_ping_pong, BaselineSide};
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{alloc_typed, triangular};
 use devengine::EngineConfig;
 use mpirt::MpiConfig;
-use simcore::Sim;
+use simcore::{SimTime, Tracer};
+
+fn jenkins_rtt(topo: Topo, n: u64, record: bool) -> (SimTime, Tracer) {
+    let t = triangular(n);
+    let mut sess = topo.session(MpiConfig::default()).record_if(record).build();
+    let b0 = alloc_typed(&mut sess, 0, &t, 1, true, true);
+    let b1 = alloc_typed(&mut sess, 1, &t, 1, true, false);
+    let rtt = jenkins_ping_pong(
+        &mut sess,
+        BaselineSide {
+            rank: 0,
+            ty: t.clone(),
+            count: 1,
+            buf: b0,
+        },
+        BaselineSide {
+            rank: 1,
+            ty: t,
+            count: 1,
+            buf: b1,
+        },
+        2,
+    );
+    (rtt, sess.into_trace())
+}
+
+fn wang_rtt(topo: Topo, n: u64, record: bool) -> (SimTime, Tracer) {
+    let t = triangular(n);
+    let mut sess = topo.session(MpiConfig::default()).record_if(record).build();
+    let b0 = alloc_typed(&mut sess, 0, &t, 1, true, true);
+    let b1 = alloc_typed(&mut sess, 1, &t, 1, true, false);
+    let rtt = baseline_ping_pong(
+        &mut sess,
+        BaselineSide {
+            rank: 0,
+            ty: t.clone(),
+            count: 1,
+            buf: b0,
+        },
+        BaselineSide {
+            rank: 1,
+            ty: t,
+            count: 1,
+            buf: b1,
+        },
+        2,
+    );
+    (rtt, sess.into_trace())
+}
 
 fn main() {
-    for (topo, label) in [
-        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
-        (Topo::Ib, "InfiniBand (ms RTT)"),
+    let opts = BenchOpts::parse();
+    let depth1 = MpiConfig {
+        pipeline_depth: 1,
+        engine: EngineConfig {
+            pipeline: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    for (topo, label, suffix) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)", "sm2"),
+        (Topo::Ib, "InfiniBand (ms RTT)", "ib"),
     ] {
-        let fig = Figure {
-            id: "ablation-engines",
-            title: label,
-            x_label: "matrix_size",
-            series: ["ours", "ours-depth1", "jenkins-style", "wang-style"]
-                .map(String::from)
-                .to_vec(),
-        };
-        print_header(&fig);
-        for n in [512u64, 1024, 2048, 4096] {
+        let depth1 = depth1.clone();
+        Sweep::new(
+            "ablation-engines",
+            label,
+            "matrix_size",
+            &[512, 1024, 2048, 4096],
+        )
+        .series("ours", move |n, r| {
             let t = triangular(n);
-            let depth1 = MpiConfig {
-                pipeline_depth: 1,
-                engine: EngineConfig { pipeline: false, ..Default::default() },
-                ..Default::default()
-            };
-            let jenkins = {
-                let mut sim = Sim::new(topo.build(MpiConfig::default()));
-                let b0 = alloc_typed(&mut sim, 0, &t, 1, true, true);
-                let b1 = alloc_typed(&mut sim, 1, &t, 1, true, false);
-                jenkins_ping_pong(
-                    &mut sim,
-                    BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
-                    BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
-                    2,
-                )
-            };
-            let wang = {
-                let mut sim = Sim::new(topo.build(MpiConfig::default()));
-                let b0 = alloc_typed(&mut sim, 0, &t, 1, true, true);
-                let b1 = alloc_typed(&mut sim, 1, &t, 1, true, false);
-                baseline_ping_pong(
-                    &mut sim,
-                    BaselineSide { rank: 0, ty: t.clone(), count: 1, buf: b0 },
-                    BaselineSide { rank: 1, ty: t.clone(), count: 1, buf: b1 },
-                    2,
-                )
-            };
-            let row = [
-                ms(ours_rtt(topo, MpiConfig::default(), &t, &t, 3)),
-                ms(ours_rtt(topo, depth1, &t, &t, 3)),
-                ms(jenkins),
-                ms(wang),
-            ];
-            print_row(n, &row);
-        }
+            let (rtt, tr) = ours_rtt(topo, MpiConfig::default(), &t, &t, 3, r);
+            (ms(rtt), tr)
+        })
+        .series("ours-depth1", move |n, r| {
+            let t = triangular(n);
+            let (rtt, tr) = ours_rtt(topo, depth1.clone(), &t, &t, 3, r);
+            (ms(rtt), tr)
+        })
+        .series("jenkins-style", move |n, r| {
+            let (rtt, tr) = jenkins_rtt(topo, n, r);
+            (ms(rtt), tr)
+        })
+        .series("wang-style", move |n, r| {
+            let (rtt, tr) = wang_rtt(topo, n, r);
+            (ms(rtt), tr)
+        })
+        .run(&opts.for_panel(suffix));
         println!();
     }
 }

@@ -6,31 +6,30 @@
 //! the no-overlap degenerate case, tiny fragments drown in per-launch
 //! and per-message overheads, huge fragments stop overlapping.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::triangular;
 use mpirt::MpiConfig;
 
 fn main() {
-    let n = 2048u64;
-    let t = triangular(n);
-    let fig = Figure {
-        id: "ablation-pipeline",
-        title: "triangular N=2048 ping-pong RTT vs fragment size, per ring depth (ms, sm2)",
-        x_label: "frag_kb",
-        series: ["depth1", "depth2", "depth4", "depth8"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    for frag_kb in [64u64, 128, 256, 512, 1024, 2048] {
-        let mut row = Vec::new();
-        for depth in [1usize, 2, 4, 8] {
+    let opts = BenchOpts::parse();
+    let mut sweep = Sweep::new(
+        "ablation-pipeline",
+        "triangular N=2048 ping-pong RTT vs fragment size, per ring depth (ms, sm2)",
+        "frag_kb",
+        &[64, 128, 256, 512, 1024, 2048],
+    );
+    for depth in [1usize, 2, 4, 8] {
+        sweep = sweep.series(&format!("depth{depth}"), move |frag_kb, r| {
+            let t = triangular(2048);
             let cfg = MpiConfig {
                 frag_size: frag_kb << 10,
                 pipeline_depth: depth,
                 ..Default::default()
             };
-            row.push(ms(ours_rtt(Topo::Sm2Gpu, cfg, &t, &t, 3)));
-        }
-        print_row(frag_kb, &row);
+            let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg, &t, &t, 3, r);
+            (ms(rtt), tr)
+        });
     }
+    sweep.run(&opts);
 }

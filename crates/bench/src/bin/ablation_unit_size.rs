@@ -6,38 +6,66 @@
 //! coarser warp balancing. Reports uncached pack time of the
 //! triangular matrix per S.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::solo_world;
+use bench::harness::ms;
+use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, triangular};
 use devengine::{pack_async, EngineConfig};
 use gpusim::GpuWorld as _;
 use memsim::MemSpace;
 use mpirt::MpiConfig;
-use simcore::Sim;
+use simcore::{SimTime, Tracer};
+
+fn pack_time(n: u64, unit_size: u64, record: bool) -> (SimTime, Tracer) {
+    let t = triangular(n);
+    let mut sess = solo_session(MpiConfig::default(), record);
+    let typed = alloc_typed(&mut sess, 0, &t, 1, true, true);
+    let gpu = sess.world.mpi.ranks[0].gpu;
+    let packed = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), t.size())
+        .unwrap();
+    let stream = sess.world.mpi.ranks[0].kernel_stream;
+    let cfg = EngineConfig {
+        unit_size,
+        ..Default::default()
+    };
+    let start = sess.now();
+    pack_async(
+        &mut sess,
+        0,
+        stream,
+        &t,
+        1,
+        typed,
+        packed,
+        cfg,
+        None,
+        |_, _| {},
+    );
+    let end = sess.run();
+    (end - start, sess.into_trace())
+}
 
 fn main() {
-    let fig = Figure {
-        id: "ablation-unit-size",
-        title: "triangular pack time vs CUDA-DEV unit size (ms, uncached, pipelined)",
-        x_label: "matrix_size",
-        series: ["S=256", "S=512", "S=1K", "S=2K", "S=4K"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    for n in [1024u64, 2048, 4096] {
-        let t = triangular(n);
-        let mut row = Vec::new();
-        for s in [256u64, 512, 1024, 2048, 4096] {
-            let mut sim = Sim::new(solo_world(MpiConfig::default()));
-            let typed = alloc_typed(&mut sim, 0, &t, 1, true, true);
-            let gpu = sim.world.mpi.ranks[0].gpu;
-            let packed = sim.world.mem().alloc(MemSpace::Device(gpu), t.size()).unwrap();
-            let stream = sim.world.mpi.ranks[0].kernel_stream;
-            let cfg = EngineConfig { unit_size: s, ..Default::default() };
-            let start = sim.now();
-            pack_async(&mut sim, 0, stream, &t, 1, typed, packed, cfg, None, |_, _| {});
-            let end = sim.run();
-            row.push(ms(end - start));
-        }
-        print_row(n, &row);
+    let opts = BenchOpts::parse();
+    let mut sweep = Sweep::new(
+        "ablation-unit-size",
+        "triangular pack time vs CUDA-DEV unit size (ms, uncached, pipelined)",
+        "matrix_size",
+        &[1024, 2048, 4096],
+    );
+    for (name, s) in [
+        ("S=256", 256u64),
+        ("S=512", 512),
+        ("S=1K", 1024),
+        ("S=2K", 2048),
+        ("S=4K", 4096),
+    ] {
+        sweep = sweep.series(name, move |n, r| {
+            let (t, tr) = pack_time(n, s, r);
+            (ms(t), tr)
+        });
     }
+    sweep.run(&opts);
 }

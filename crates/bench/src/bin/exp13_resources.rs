@@ -7,32 +7,35 @@
 //! transfer. The paper's point: a small fraction of the GPU suffices,
 //! leaving the rest for the application.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{submatrix, triangular};
+use datatype::DataType;
 use devengine::EngineConfig;
 use mpirt::MpiConfig;
+use simcore::Tracer;
+
+fn throttled_rtt(ty: &DataType, blocks: u64, record: bool) -> (f64, Tracer) {
+    let cfg = MpiConfig {
+        engine: EngineConfig {
+            blocks: Some(blocks as u32),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg, ty, ty, 3, record);
+    (ms(rtt), tr)
+}
 
 fn main() {
-    let fig = Figure {
-        id: "exp13",
-        title: "ping-pong RTT vs thread-block budget (N=2048, sm2) (ms)",
-        x_label: "blocks",
-        series: ["T", "V"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    let n = 2048u64;
-    let t = triangular(n);
-    let v = submatrix(n);
-    for blocks in [1u32, 2, 3, 4, 6, 8, 10, 12, 15] {
-        let cfg = MpiConfig {
-            engine: EngineConfig { blocks: Some(blocks), ..Default::default() },
-            ..Default::default()
-        };
-        let row = [
-            ms(ours_rtt(Topo::Sm2Gpu, cfg.clone(), &t, &t, 3)),
-            ms(ours_rtt(Topo::Sm2Gpu, cfg, &v, &v, 3)),
-        ];
-        print_row(blocks as u64, &row);
-    }
+    let opts = BenchOpts::parse();
+    Sweep::new(
+        "exp13",
+        "ping-pong RTT vs thread-block budget (N=2048, sm2) (ms)",
+        "blocks",
+        &[1, 2, 3, 4, 6, 8, 10, 12, 15],
+    )
+    .series("T", |blocks, r| throttled_rtt(&triangular(2048), blocks, r))
+    .series("V", |blocks, r| throttled_rtt(&submatrix(2048), blocks, r))
+    .run(&opts);
 }

@@ -7,23 +7,27 @@
 //! moderate contention costs little — communication only collapses
 //! when the kernels become slower than the link.
 
-use bench::harness::{ms, print_header, print_row, Figure};
+use bench::harness::ms;
+use bench::runner::{BenchOpts, Sweep, Topo};
 use bench::workloads::{alloc_typed, submatrix, triangular};
 use datatype::DataType;
 use memsim::GpuId;
 use mpirt::api::PingPongSpec;
-use mpirt::{ping_pong, MpiConfig, MpiWorld};
-use simcore::{Sim, SimTime};
+use mpirt::{ping_pong, MpiConfig};
+use simcore::Tracer;
 
-fn rtt_with_share(ty: &DataType, share: f64) -> SimTime {
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+fn rtt_with_share(ty: &DataType, share: f64, record: bool) -> (f64, Tracer) {
+    let mut sess = Topo::Sm2Gpu
+        .session(MpiConfig::default())
+        .record_if(record)
+        .build();
     for g in [GpuId(0), GpuId(1)] {
-        sim.world.cluster.gpu_system.gpu_mut(g).bandwidth_share = share;
+        sess.world.cluster.gpu_system.gpu_mut(g).bandwidth_share = share;
     }
-    let b0 = alloc_typed(&mut sim, 0, ty, 1, true, true);
-    let b1 = alloc_typed(&mut sim, 1, ty, 1, true, false);
-    ping_pong(
-        &mut sim,
+    let b0 = alloc_typed(&mut sess, 0, ty, 1, true, true);
+    let b1 = alloc_typed(&mut sess, 1, ty, 1, true, false);
+    let rtt = ping_pong(
+        &mut sess,
         PingPongSpec {
             ty0: ty.clone(),
             count0: 1,
@@ -33,22 +37,23 @@ fn rtt_with_share(ty: &DataType, share: f64) -> SimTime {
             buf1: b1,
             iters: 3,
         },
-    )
+    );
+    (ms(rtt), sess.into_trace())
 }
 
 fn main() {
-    let fig = Figure {
-        id: "exp14",
-        title: "ping-pong RTT vs bandwidth share left by a co-running app (N=2048, sm2) (ms)",
-        x_label: "share_pct",
-        series: ["T", "V"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    let t = triangular(2048);
-    let v = submatrix(2048);
-    for pct in [100u64, 75, 50, 25, 10, 5] {
-        let share = pct as f64 / 100.0;
-        let row = [ms(rtt_with_share(&t, share)), ms(rtt_with_share(&v, share))];
-        print_row(pct, &row);
-    }
+    let opts = BenchOpts::parse();
+    Sweep::new(
+        "exp14",
+        "ping-pong RTT vs bandwidth share left by a co-running app (N=2048, sm2) (ms)",
+        "share_pct",
+        &[100, 75, 50, 25, 10, 5],
+    )
+    .series("T", |pct, r| {
+        rtt_with_share(&triangular(2048), pct as f64 / 100.0, r)
+    })
+    .series("V", |pct, r| {
+        rtt_with_share(&submatrix(2048), pct as f64 / 100.0, r)
+    })
+    .run(&opts);
 }

@@ -10,52 +10,83 @@
 //! `cudaMemcpy2D` launches); intra-GPU (sm1) is ≥2× faster than
 //! inter-GPU (sm2) because nothing crosses PCIe.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{baseline_rtt, ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{submatrix, triangular};
 use mpirt::MpiConfig;
 
-fn panel(topo: Topo, label: &'static str) {
-    let fig = Figure {
-        id: "fig10",
-        title: label,
-        x_label: "matrix_size",
-        series: ["T-ours", "V-ours", "T-baseline", "V-baseline"]
-            .map(String::from)
-            .to_vec(),
-    };
-    print_header(&fig);
-    for n in [512u64, 1024, 2048, 3072, 4096] {
-        let t = triangular(n);
-        let v = submatrix(n);
-        let row = [
-            ms(ours_rtt(topo, MpiConfig::default(), &t, &t, 3)),
-            ms(ours_rtt(topo, MpiConfig::default(), &v, &v, 3)),
-            ms(baseline_rtt(topo, MpiConfig::default(), &t, &t, 2)),
-            ms(baseline_rtt(topo, MpiConfig::default(), &v, &v, 2)),
-        ];
-        print_row(n, &row);
-    }
+fn panel(topo: Topo, label: &'static str, opts: &BenchOpts) {
+    Sweep::new(
+        "fig10",
+        label,
+        "matrix_size",
+        &[512, 1024, 2048, 3072, 4096],
+    )
+    .series("T-ours", move |n, r| {
+        let (t, tr) = ours_rtt(
+            topo,
+            MpiConfig::default(),
+            &triangular(n),
+            &triangular(n),
+            3,
+            r,
+        );
+        (ms(t), tr)
+    })
+    .series("V-ours", move |n, r| {
+        let (t, tr) = ours_rtt(
+            topo,
+            MpiConfig::default(),
+            &submatrix(n),
+            &submatrix(n),
+            3,
+            r,
+        );
+        (ms(t), tr)
+    })
+    .series("T-baseline", move |n, r| {
+        let (t, tr) = baseline_rtt(
+            topo,
+            MpiConfig::default(),
+            &triangular(n),
+            &triangular(n),
+            2,
+            r,
+        );
+        (ms(t), tr)
+    })
+    .series("V-baseline", move |n, r| {
+        let (t, tr) = baseline_rtt(
+            topo,
+            MpiConfig::default(),
+            &submatrix(n),
+            &submatrix(n),
+            2,
+            r,
+        );
+        (ms(t), tr)
+    })
+    .run(opts);
     println!();
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let panels: Vec<(Topo, &'static str)> = match arg.as_deref() {
+    let opts = BenchOpts::parse();
+    let panels: Vec<(Topo, &'static str, &'static str)> = match opts.rest.first() {
         Some(s) => {
             let topo = Topo::parse(s).unwrap_or_else(|| {
                 eprintln!("usage: fig10_pingpong [sm1|sm2|ib]");
                 std::process::exit(2);
             });
-            vec![(topo, "selected panel (ms RTT)")]
+            vec![(topo, "selected panel (ms RTT)", "sel")]
         }
         None => vec![
-            (Topo::Sm1Gpu, "(a) shared memory, intra-GPU (ms RTT)"),
-            (Topo::Sm2Gpu, "(b) shared memory, inter-GPU (ms RTT)"),
-            (Topo::Ib, "(c) InfiniBand (ms RTT)"),
+            (Topo::Sm1Gpu, "(a) shared memory, intra-GPU (ms RTT)", "sm1"),
+            (Topo::Sm2Gpu, "(b) shared memory, inter-GPU (ms RTT)", "sm2"),
+            (Topo::Ib, "(c) InfiniBand (ms RTT)", "ib"),
         ],
     };
-    for (topo, label) in panels {
-        panel(topo, label);
+    for (topo, label, suffix) in panels {
+        panel(topo, label, &opts.for_panel(suffix));
     }
 }

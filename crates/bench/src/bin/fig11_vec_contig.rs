@@ -6,33 +6,47 @@
 //! Ours exploits GPU RDMA + zero-copy; the baseline still packs with
 //! cudaMemcpy2D and stages through host.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{baseline_rtt, ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{contiguous_matrix, submatrix};
 use mpirt::MpiConfig;
 
 fn main() {
-    for (topo, label) in [
-        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
-        (Topo::Ib, "InfiniBand (ms RTT)"),
+    let opts = BenchOpts::parse();
+    for (topo, label, suffix) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)", "sm2"),
+        (Topo::Ib, "InfiniBand (ms RTT)", "ib"),
     ] {
-        let fig = Figure {
-            id: "fig11",
-            title: label,
-            x_label: "matrix_size",
-            series: ["ours", "baseline"].map(String::from).to_vec(),
-        };
-        print_header(&fig);
-        for n in [512u64, 1024, 2048, 3072, 4096] {
-            // Sender: sub-matrix vector; receiver: contiguous.
-            let v = submatrix(n);
-            let c = contiguous_matrix(n);
-            let row = [
-                ms(ours_rtt(topo, MpiConfig::default(), &v, &c, 3)),
-                ms(baseline_rtt(topo, MpiConfig::default(), &v, &c, 2)),
-            ];
-            print_row(n, &row);
-        }
+        // Sender: sub-matrix vector; receiver: contiguous.
+        Sweep::new(
+            "fig11",
+            label,
+            "matrix_size",
+            &[512, 1024, 2048, 3072, 4096],
+        )
+        .series("ours", move |n, r| {
+            let (t, tr) = ours_rtt(
+                topo,
+                MpiConfig::default(),
+                &submatrix(n),
+                &contiguous_matrix(n),
+                3,
+                r,
+            );
+            (ms(t), tr)
+        })
+        .series("baseline", move |n, r| {
+            let (t, tr) = baseline_rtt(
+                topo,
+                MpiConfig::default(),
+                &submatrix(n),
+                &contiguous_matrix(n),
+                2,
+                r,
+            );
+            (ms(t), tr)
+        })
+        .run(&opts.for_panel(suffix));
         println!();
     }
 }

@@ -8,32 +8,41 @@
 //! to one `cudaMemcpy2D` per *row* with an 8-byte width — far off the
 //! 64-byte alignment sweet spot.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::{baseline_rtt, ours_rtt, Topo};
+use bench::harness::ms;
+use bench::runner::{baseline_rtt, ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{contiguous_matrix, transpose_type};
 use mpirt::MpiConfig;
 
 fn main() {
-    for (topo, label) in [
-        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)"),
-        (Topo::Ib, "InfiniBand (ms RTT)"),
+    let opts = BenchOpts::parse();
+    for (topo, label, suffix) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU (ms RTT)", "sm2"),
+        (Topo::Ib, "InfiniBand (ms RTT)", "ib"),
     ] {
-        let fig = Figure {
-            id: "fig12",
-            title: label,
-            x_label: "matrix_size",
-            series: ["ours", "baseline"].map(String::from).to_vec(),
-        };
-        print_header(&fig);
-        for n in [256u64, 384, 512, 768, 1024] {
-            let c = contiguous_matrix(n);
-            let t = transpose_type(n);
-            let row = [
-                ms(ours_rtt(topo, MpiConfig::default(), &c, &t, 2)),
-                ms(baseline_rtt(topo, MpiConfig::default(), &c, &t, 1)),
-            ];
-            print_row(n, &row);
-        }
+        Sweep::new("fig12", label, "matrix_size", &[256, 384, 512, 768, 1024])
+            .series("ours", move |n, r| {
+                let (t, tr) = ours_rtt(
+                    topo,
+                    MpiConfig::default(),
+                    &contiguous_matrix(n),
+                    &transpose_type(n),
+                    2,
+                    r,
+                );
+                (ms(t), tr)
+            })
+            .series("baseline", move |n, r| {
+                let (t, tr) = baseline_rtt(
+                    topo,
+                    MpiConfig::default(),
+                    &contiguous_matrix(n),
+                    &transpose_type(n),
+                    1,
+                    r,
+                );
+                (ms(t), tr)
+            })
+            .run(&opts.for_panel(suffix));
         println!();
     }
 }

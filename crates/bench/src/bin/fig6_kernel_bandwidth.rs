@@ -7,63 +7,96 @@
 //! Paper's result: V ≈ 94% of peak, T ≈ 80% (occupancy/misalignment),
 //! T-stair recovers to ≈ V, C = `cudaMemcpy` = the ceiling.
 
-use bench::harness::{gbps, print_header, print_row, Figure};
-use bench::runner::solo_world;
+use bench::harness::gbps;
+use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, contiguous_matrix, stair_triangular, submatrix, triangular};
 use datatype::DataType;
 use devengine::pack_async;
 use gpusim::{memcpy, GpuWorld as _};
 use memsim::MemSpace;
 use mpirt::MpiConfig;
-use simcore::{Sim, SimTime};
+use simcore::Tracer;
 
-/// Time one warm pack of `ty` into a device buffer.
-fn pack_bw(ty: &DataType) -> f64 {
-    let mut sim = Sim::new(solo_world(MpiConfig::default()));
-    let typed = alloc_typed(&mut sim, 0, ty, 1, true, true);
+/// Bandwidth of one warm pack of `ty` into a device buffer.
+fn pack_bw(ty: &DataType, record: bool) -> (f64, Tracer) {
+    let mut sess = solo_session(MpiConfig::default(), record);
+    let typed = alloc_typed(&mut sess, 0, ty, 1, true, true);
     let total = ty.size();
-    let gpu = sim.world.mpi.ranks[0].gpu;
-    let packed = sim.world.mem().alloc(MemSpace::Device(gpu), total).unwrap();
-    let stream = sim.world.mpi.ranks[0].kernel_stream;
-    let cache = std::rc::Rc::clone(&sim.world.mpi.ranks[0].dev_cache);
-    let cfg = sim.world.mpi.config.engine.clone();
+    let gpu = sess.world.mpi.ranks[0].gpu;
+    let packed = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), total)
+        .unwrap();
+    let stream = sess.world.mpi.ranks[0].kernel_stream;
+    let cache = std::rc::Rc::clone(&sess.world.mpi.ranks[0].dev_cache);
+    let cfg = sess.world.mpi.config.engine.clone();
 
     // Warm-up populates the CUDA-DEV cache.
-    pack_async(&mut sim, 0, stream, ty, 1, typed, packed, cfg.clone(), Some(&cache), |_, _| {});
-    sim.run();
-    let start = sim.now();
-    pack_async(&mut sim, 0, stream, ty, 1, typed, packed, cfg, Some(&cache), |_, _| {});
-    let end = sim.run();
-    gbps(total, end - start)
+    pack_async(
+        &mut sess,
+        0,
+        stream,
+        ty,
+        1,
+        typed,
+        packed,
+        cfg.clone(),
+        Some(&cache),
+        |_, _| {},
+    );
+    sess.run();
+    let start = sess.now();
+    pack_async(
+        &mut sess,
+        0,
+        stream,
+        ty,
+        1,
+        typed,
+        packed,
+        cfg,
+        Some(&cache),
+        |_, _| {},
+    );
+    let end = sess.run();
+    (gbps(total, end - start), sess.into_trace())
 }
 
 /// `cudaMemcpy` D2D of the same payload — the practical peak.
-fn memcpy_bw(bytes: u64) -> f64 {
-    let mut sim = Sim::new(solo_world(MpiConfig::default()));
-    let gpu = sim.world.mpi.ranks[0].gpu;
-    let a = sim.world.mem().alloc(MemSpace::Device(gpu), bytes).unwrap();
-    let b = sim.world.mem().alloc(MemSpace::Device(gpu), bytes).unwrap();
-    let stream = sim.world.mpi.ranks[0].kernel_stream;
-    let start = sim.now();
-    memcpy(&mut sim, stream, a, b, bytes, |_, _| {});
-    let end = sim.run();
-    gbps(bytes, end - start)
+fn memcpy_bw(bytes: u64, record: bool) -> (f64, Tracer) {
+    let mut sess = solo_session(MpiConfig::default(), record);
+    let gpu = sess.world.mpi.ranks[0].gpu;
+    let a = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), bytes)
+        .unwrap();
+    let b = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), bytes)
+        .unwrap();
+    let stream = sess.world.mpi.ranks[0].kernel_stream;
+    let start = sess.now();
+    memcpy(&mut sess, stream, a, b, bytes, |_, _| {});
+    let end = sess.run();
+    (gbps(bytes, end - start), sess.into_trace())
 }
 
 fn main() {
-    let fig = Figure {
-        id: "fig6",
-        title: "GPU memory bandwidth of packing kernels (GB/s)",
-        x_label: "matrix_size",
-        series: ["T", "V", "T-stair", "C-cudaMemcpy"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    for n in [512u64, 1024, 2048, 3072, 4096] {
-        let t = pack_bw(&triangular(n));
-        let v = pack_bw(&submatrix(n));
-        let stair = pack_bw(&stair_triangular(n, 128));
-        let c = memcpy_bw(contiguous_matrix(n).size());
-        print_row(n, &[t, v, stair, c]);
-        let _ = SimTime::ZERO;
-    }
+    let opts = BenchOpts::parse();
+    Sweep::new(
+        "fig6",
+        "GPU memory bandwidth of packing kernels (GB/s)",
+        "matrix_size",
+        &[512, 1024, 2048, 3072, 4096],
+    )
+    .series("T", |n, r| pack_bw(&triangular(n), r))
+    .series("V", |n, r| pack_bw(&submatrix(n), r))
+    .series("T-stair", |n, r| pack_bw(&stair_triangular(n, 128), r))
+    .series("C-cudaMemcpy", |n, r| {
+        memcpy_bw(contiguous_matrix(n).size(), r)
+    })
+    .run(&opts);
 }

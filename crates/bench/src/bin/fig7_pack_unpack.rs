@@ -11,15 +11,15 @@
 //!   zero-copy (`cpy`), which overlaps the PCIe hop with the kernels
 //!   and comes out slightly faster.
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::solo_world;
+use bench::harness::ms;
+use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, submatrix, triangular};
 use datatype::DataType;
 use devengine::{pack_async, unpack_async, DevCache, EngineConfig};
 use gpusim::{memcpy, GpuWorld as _};
 use memsim::MemSpace;
-use mpirt::{MpiConfig, MpiWorld};
-use simcore::{Sim, SimTime};
+use mpirt::{MpiConfig, MpiWorld, Session};
+use simcore::{Sim, SimTime, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -33,18 +33,28 @@ enum Via {
     ZeroCopy,
 }
 
-/// Time pack + (transport) + unpack for one configuration. `warm`
+/// Time pack + (transport) + unpack for one configuration. `cached`
 /// pre-runs once so the CUDA-DEV cache is hot.
-fn run(ty: &DataType, cfg: EngineConfig, cached: bool, via: Via) -> SimTime {
-    let mut sim = Sim::new(solo_world(MpiConfig::default()));
-    let typed = alloc_typed(&mut sim, 0, ty, 1, true, true);
-    let typed_out = alloc_typed(&mut sim, 0, ty, 1, true, false);
+fn run(
+    ty: &DataType,
+    cfg: EngineConfig,
+    cached: bool,
+    via: Via,
+    record: bool,
+) -> (SimTime, Tracer) {
+    let mut sess: Session = solo_session(MpiConfig::default(), record);
+    let typed = alloc_typed(&mut sess, 0, ty, 1, true, true);
+    let typed_out = alloc_typed(&mut sess, 0, ty, 1, true, false);
     let total = ty.size();
-    let gpu = sim.world.mpi.ranks[0].gpu;
-    let gpu_buf = sim.world.mem().alloc(MemSpace::Device(gpu), total).unwrap();
-    let host_buf = sim.world.mem().alloc(MemSpace::Host, total).unwrap();
-    let stream = sim.world.mpi.ranks[0].kernel_stream;
-    let copy_stream = sim.world.mpi.ranks[0].copy_stream;
+    let gpu = sess.world.mpi.ranks[0].gpu;
+    let gpu_buf = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), total)
+        .unwrap();
+    let host_buf = sess.world.mem().alloc(MemSpace::Host, total).unwrap();
+    let stream = sess.world.mpi.ranks[0].kernel_stream;
+    let copy_stream = sess.world.mpi.ranks[0].copy_stream;
     let cache = if cached {
         Some(Rc::new(RefCell::new(DevCache::default())))
     } else {
@@ -60,68 +70,84 @@ fn run(ty: &DataType, cfg: EngineConfig, cached: bool, via: Via) -> SimTime {
         let cfg2 = cfg.clone();
         let ty2 = ty.clone();
         let cache2 = cache.clone();
-        pack_async(sim, 0, stream, ty, 1, typed, packed, cfg.clone(), cache.as_ref(), move |sim, _| {
-            let after_transport = move |sim: &mut Sim<MpiWorld>| {
-                unpack_async(
-                    sim, 0, stream, &ty2, 1, typed_out, packed, cfg2, cache2.as_ref(),
-                    |_, _| {},
-                );
-            };
-            match via {
-                Via::D2d2h => {
-                    memcpy(sim, copy_stream, gpu_buf, host_buf, total, move |sim, _| {
-                        memcpy(sim, copy_stream, host_buf, gpu_buf, total, move |sim, _| {
-                            after_transport(sim);
+        pack_async(
+            sim,
+            0,
+            stream,
+            ty,
+            1,
+            typed,
+            packed,
+            cfg.clone(),
+            cache.as_ref(),
+            move |sim, _| {
+                let after_transport = move |sim: &mut Sim<MpiWorld>| {
+                    unpack_async(
+                        sim,
+                        0,
+                        stream,
+                        &ty2,
+                        1,
+                        typed_out,
+                        packed,
+                        cfg2,
+                        cache2.as_ref(),
+                        |_, _| {},
+                    );
+                };
+                match via {
+                    Via::D2d2h => {
+                        memcpy(sim, copy_stream, gpu_buf, host_buf, total, move |sim, _| {
+                            memcpy(sim, copy_stream, host_buf, gpu_buf, total, move |sim, _| {
+                                after_transport(sim);
+                            });
                         });
-                    });
+                    }
+                    _ => after_transport(sim),
                 }
-                _ => after_transport(sim),
-            }
-        });
+            },
+        );
         sim.run() - start
     };
 
     if cached {
-        once(&mut sim); // warm the cache
+        once(&mut sess); // warm the cache
     }
-    once(&mut sim)
+    let t = once(&mut sess);
+    (t, sess.into_trace())
 }
 
 fn main() {
+    let opts = BenchOpts::parse();
     let pipe = EngineConfig::default();
-    let no_pipe = EngineConfig { pipeline: false, ..Default::default() };
-
-    let fig = Figure {
-        id: "fig7",
-        title: "pack+unpack time (ms); bypass-CPU and through-CPU panels",
-        x_label: "matrix_size",
-        series: [
-            "V-d2d",
-            "T-d2d",
-            "T-d2d-pipeline",
-            "T-d2d-cached",
-            "V-d2d2h",
-            "V-cpy",
-            "T-d2d2h-cached",
-            "T-cpy-cached",
-        ]
-        .map(String::from)
-        .to_vec(),
+    let no_pipe = EngineConfig {
+        pipeline: false,
+        ..Default::default()
     };
-    print_header(&fig);
-    for n in [512u64, 1024, 2048, 3072, 4096] {
-        let v = submatrix(n);
-        let t = triangular(n);
-        let row = [
-            ms(run(&v, pipe.clone(), false, Via::D2d)),
-            ms(run(&t, no_pipe.clone(), false, Via::D2d)),
-            ms(run(&t, pipe.clone(), false, Via::D2d)),
-            ms(run(&t, pipe.clone(), true, Via::D2d)),
-            ms(run(&v, pipe.clone(), false, Via::D2d2h)),
-            ms(run(&v, pipe.clone(), false, Via::ZeroCopy)),
-            ms(run(&t, pipe.clone(), true, Via::D2d2h)),
-            ms(run(&t, pipe.clone(), true, Via::ZeroCopy)),
-        ];
-        print_row(n, &row);
+
+    type Series = (&'static str, fn(u64) -> DataType, EngineConfig, bool, Via);
+    let configs: [Series; 8] = [
+        ("V-d2d", submatrix, pipe.clone(), false, Via::D2d),
+        ("T-d2d", triangular, no_pipe, false, Via::D2d),
+        ("T-d2d-pipeline", triangular, pipe.clone(), false, Via::D2d),
+        ("T-d2d-cached", triangular, pipe.clone(), true, Via::D2d),
+        ("V-d2d2h", submatrix, pipe.clone(), false, Via::D2d2h),
+        ("V-cpy", submatrix, pipe.clone(), false, Via::ZeroCopy),
+        ("T-d2d2h-cached", triangular, pipe.clone(), true, Via::D2d2h),
+        ("T-cpy-cached", triangular, pipe, true, Via::ZeroCopy),
+    ];
+
+    let mut sweep = Sweep::new(
+        "fig7",
+        "pack+unpack time (ms); bypass-CPU and through-CPU panels",
+        "matrix_size",
+        &[512, 1024, 2048, 3072, 4096],
+    );
+    for (name, mk, cfg, cached, via) in configs {
+        sweep = sweep.series(name, move |n, record| {
+            let (t, trace) = run(&mk(n), cfg.clone(), cached, via, record);
+            (ms(t), trace)
+        });
     }
+    sweep.run(&opts);
 }

@@ -13,17 +13,17 @@
 //!   mcp2d-d2d2h   — cudaMemcpy2D d2d + contiguous D2H
 //!   mcp2d-d2h     — cudaMemcpy2D device→host directly
 
-use bench::harness::{ms, print_header, print_row, Figure};
-use bench::runner::solo_world;
+use bench::harness::ms;
+use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, raw_vector};
 use devengine::pack_async;
 use gpusim::{memcpy, memcpy_2d, GpuWorld as _};
 use memsim::{MemSpace, Ptr};
-use mpirt::MpiConfig;
-use simcore::{Sim, SimTime};
+use mpirt::{MpiConfig, Session};
+use simcore::{SimTime, Tracer};
 
 struct Setup {
-    sim: Sim<mpirt::MpiWorld>,
+    sess: Session,
     typed: Ptr,
     gpu_buf: Ptr,
     host_buf: Ptr,
@@ -33,82 +33,134 @@ struct Setup {
     stride: u64,
 }
 
-fn setup(blocks: u64, block: u64) -> Setup {
+fn setup(blocks: u64, block: u64, record: bool) -> Setup {
     let ty = raw_vector(blocks, block, block); // gap == block size
-    let mut sim = Sim::new(solo_world(MpiConfig::default()));
-    let typed = alloc_typed(&mut sim, 0, &ty, 1, true, true);
+    let mut sess = solo_session(MpiConfig::default(), record);
+    let typed = alloc_typed(&mut sess, 0, &ty, 1, true, true);
     let total = ty.size();
-    let gpu = sim.world.mpi.ranks[0].gpu;
-    let gpu_buf = sim.world.mem().alloc(MemSpace::Device(gpu), total).unwrap();
-    let host_buf = sim.world.mem().alloc(MemSpace::Host, total).unwrap();
-    Setup { sim, typed, gpu_buf, host_buf, total, blocks, block, stride: 2 * block }
+    let gpu = sess.world.mpi.ranks[0].gpu;
+    let gpu_buf = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(gpu), total)
+        .unwrap();
+    let host_buf = sess.world.mem().alloc(MemSpace::Host, total).unwrap();
+    Setup {
+        sess,
+        typed,
+        gpu_buf,
+        host_buf,
+        total,
+        blocks,
+        block,
+        stride: 2 * block,
+    }
 }
 
-fn kernel_time(blocks: u64, block: u64, to_host: bool, then_d2h: bool) -> SimTime {
+fn kernel_time(
+    blocks: u64,
+    block: u64,
+    to_host: bool,
+    then_d2h: bool,
+    record: bool,
+) -> (SimTime, Tracer) {
     let ty = raw_vector(blocks, block, block);
-    let mut s = setup(blocks, block);
-    let stream = s.sim.world.mpi.ranks[0].kernel_stream;
-    let copy_stream = s.sim.world.mpi.ranks[0].copy_stream;
+    let mut s = setup(blocks, block, record);
+    let stream = s.sess.world.mpi.ranks[0].kernel_stream;
+    let copy_stream = s.sess.world.mpi.ranks[0].copy_stream;
     let dst = if to_host { s.host_buf } else { s.gpu_buf };
     let (gpu_buf, host_buf, total) = (s.gpu_buf, s.host_buf, s.total);
-    let start = s.sim.now();
-    let cfg = s.sim.world.mpi.config.engine.clone();
-    pack_async(&mut s.sim, 0, stream, &ty, 1, s.typed, dst, cfg, None, move |sim, _| {
-        if then_d2h {
-            memcpy(sim, copy_stream, gpu_buf, host_buf, total, |_, _| {});
-        }
-    });
-    s.sim.run() - start
+    let start = s.sess.now();
+    let cfg = s.sess.world.mpi.config.engine.clone();
+    pack_async(
+        &mut s.sess,
+        0,
+        stream,
+        &ty,
+        1,
+        s.typed,
+        dst,
+        cfg,
+        None,
+        move |sim, _| {
+            if then_d2h {
+                memcpy(sim, copy_stream, gpu_buf, host_buf, total, |_, _| {});
+            }
+        },
+    );
+    let t = s.sess.run() - start;
+    (t, s.sess.into_trace())
 }
 
-fn mcp2d_time(blocks: u64, block: u64, to_host: bool, then_d2h: bool) -> SimTime {
-    let mut s = setup(blocks, block);
-    let stream = s.sim.world.mpi.ranks[0].copy_stream;
+fn mcp2d_time(
+    blocks: u64,
+    block: u64,
+    to_host: bool,
+    then_d2h: bool,
+    record: bool,
+) -> (SimTime, Tracer) {
+    let mut s = setup(blocks, block, record);
+    let stream = s.sess.world.mpi.ranks[0].copy_stream;
     let dst = if to_host { s.host_buf } else { s.gpu_buf };
     let (gpu_buf, host_buf, total) = (s.gpu_buf, s.host_buf, s.total);
-    let start = s.sim.now();
+    let start = s.sess.now();
     memcpy_2d(
-        &mut s.sim, stream, s.typed, s.stride, dst, s.block, s.block, s.blocks,
+        &mut s.sess,
+        stream,
+        s.typed,
+        s.stride,
+        dst,
+        s.block,
+        s.block,
+        s.blocks,
         move |sim, _| {
             if then_d2h {
                 memcpy(sim, stream, gpu_buf, host_buf, total, |_, _| {});
             }
         },
     );
-    s.sim.run() - start
+    let t = s.sess.run() - start;
+    (t, s.sess.into_trace())
 }
 
 fn main() {
-    let fig_series = [
-        "kernel-d2d",
-        "kernel-d2d2h",
-        "kernel-d2h-cpy",
-        "mcp2d-d2d",
-        "mcp2d-d2d2h",
-        "mcp2d-d2h",
-    ];
+    let opts = BenchOpts::parse();
     for blocks in [1024u64, 8192] {
-        let fig = Figure {
-            id: "fig8",
-            title: match blocks {
-                1024 => "vector pack vs cudaMemcpy2D, 1K blocks (ms)",
-                _ => "vector pack vs cudaMemcpy2D, 8K blocks (ms)",
-            },
-            x_label: "block_size_bytes",
-            series: fig_series.map(String::from).to_vec(),
+        let (panel, title) = match blocks {
+            1024 => ("1k", "vector pack vs cudaMemcpy2D, 1K blocks (ms)"),
+            _ => ("8k", "vector pack vs cudaMemcpy2D, 8K blocks (ms)"),
         };
-        print_header(&fig);
-        for block in [128u64, 192, 256, 512, 1000, 1024, 2048, 3000, 4096] {
-            let row = [
-                ms(kernel_time(blocks, block, false, false)),
-                ms(kernel_time(blocks, block, false, true)),
-                ms(kernel_time(blocks, block, true, false)),
-                ms(mcp2d_time(blocks, block, false, false)),
-                ms(mcp2d_time(blocks, block, false, true)),
-                ms(mcp2d_time(blocks, block, true, false)),
-            ];
-            print_row(block, &row);
-        }
+        Sweep::new(
+            "fig8",
+            title,
+            "block_size_bytes",
+            &[128, 192, 256, 512, 1000, 1024, 2048, 3000, 4096],
+        )
+        .series("kernel-d2d", move |b, r| {
+            let (t, tr) = kernel_time(blocks, b, false, false, r);
+            (ms(t), tr)
+        })
+        .series("kernel-d2d2h", move |b, r| {
+            let (t, tr) = kernel_time(blocks, b, false, true, r);
+            (ms(t), tr)
+        })
+        .series("kernel-d2h-cpy", move |b, r| {
+            let (t, tr) = kernel_time(blocks, b, true, false, r);
+            (ms(t), tr)
+        })
+        .series("mcp2d-d2d", move |b, r| {
+            let (t, tr) = mcp2d_time(blocks, b, false, false, r);
+            (ms(t), tr)
+        })
+        .series("mcp2d-d2d2h", move |b, r| {
+            let (t, tr) = mcp2d_time(blocks, b, false, true, r);
+            (ms(t), tr)
+        })
+        .series("mcp2d-d2h", move |b, r| {
+            let (t, tr) = mcp2d_time(blocks, b, true, false, r);
+            (ms(t), tr)
+        })
+        .run(&opts.for_panel(panel));
         println!();
     }
 }

@@ -6,27 +6,29 @@
 //! well the pipeline keeps the link busy. The paper reaches ≈90% of
 //! the contiguous rate for V and ≈78% for T.
 
-use bench::harness::{gbps, print_header, print_row, Figure};
-use bench::runner::{ours_rtt, Topo};
+use bench::harness::gbps;
+use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{contiguous_matrix, submatrix, triangular};
+use datatype::DataType;
 use mpirt::MpiConfig;
 
+fn bw(ty: &DataType, record: bool) -> (f64, simcore::Tracer) {
+    let (rtt, trace) = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), ty, ty, 3, record);
+    // One direction moves ty.size() bytes in half the RTT.
+    let one_way = simcore::SimTime::from_nanos(rtt.as_nanos() / 2);
+    (gbps(ty.size(), one_way), trace)
+}
+
 fn main() {
-    let fig = Figure {
-        id: "fig9",
-        title: "PCIe bandwidth of ping-pong (GB/s, one-way)",
-        x_label: "matrix_size",
-        series: ["V", "T", "C"].map(String::from).to_vec(),
-    };
-    print_header(&fig);
-    for n in [512u64, 1024, 2048, 3072, 4096] {
-        let mut row = Vec::new();
-        for ty in [submatrix(n), triangular(n), contiguous_matrix(n)] {
-            let rtt = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), &ty, &ty, 3);
-            // One direction moves ty.size() bytes in half the RTT.
-            let one_way = simcore::SimTime::from_nanos(rtt.as_nanos() / 2);
-            row.push(gbps(ty.size(), one_way));
-        }
-        print_row(n, &row);
-    }
+    let opts = BenchOpts::parse();
+    Sweep::new(
+        "fig9",
+        "PCIe bandwidth of ping-pong (GB/s, one-way)",
+        "matrix_size",
+        &[512, 1024, 2048, 3072, 4096],
+    )
+    .series("V", |n, r| bw(&submatrix(n), r))
+    .series("T", |n, r| bw(&triangular(n), r))
+    .series("C", |n, r| bw(&contiguous_matrix(n), r))
+    .run(&opts);
 }

@@ -5,35 +5,47 @@
 //! Shows the protocol switch at the eager limit (64 KB) and the
 //! asymptotic bandwidth regimes of Figures 9–10.
 
-use bench::harness::{print_header, print_row, Figure};
-use bench::runner::{ours_rtt, Topo};
+use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use datatype::DataType;
 use mpirt::MpiConfig;
+use simcore::Tracer;
+
+fn contig(kb: u64) -> DataType {
+    let doubles = kb * 1024 / 8;
+    DataType::contiguous(doubles, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+/// A vector with the same payload: blocks of 32 doubles.
+fn vector(kb: u64) -> DataType {
+    let doubles = kb * 1024 / 8;
+    let blocks = doubles / 32;
+    DataType::vector(blocks.max(1), 32.min(doubles), 64, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+fn one_way_us(topo: Topo, ty: &DataType, record: bool) -> (f64, Tracer) {
+    let (rtt, trace) = ours_rtt(topo, MpiConfig::default(), ty, ty, 3, record);
+    (rtt.as_micros_f64() / 2.0, trace)
+}
 
 fn main() {
-    for (topo, label) in [
-        (Topo::Sm2Gpu, "shared memory, inter-GPU"),
-        (Topo::Ib, "InfiniBand"),
+    let opts = BenchOpts::parse();
+    for (topo, label, suffix) in [
+        (Topo::Sm2Gpu, "shared memory, inter-GPU", "sm2"),
+        (Topo::Ib, "InfiniBand", "ib"),
     ] {
-        let fig = Figure {
-            id: "latency-sweep",
-            title: label,
-            x_label: "message_kb",
-            series: ["C_us", "V_us"].map(String::from).to_vec(),
-        };
-        print_header(&fig);
-        for kb in [1u64, 4, 16, 64, 256, 1024, 4096, 16384] {
-            let doubles = kb * 1024 / 8;
-            let c = DataType::contiguous(doubles, &DataType::double()).unwrap().commit();
-            // A vector with the same payload: blocks of 32 doubles.
-            let blocks = doubles / 32;
-            let v = DataType::vector(blocks.max(1), 32.min(doubles), 64, &DataType::double())
-                .unwrap()
-                .commit();
-            let tc = ours_rtt(topo, MpiConfig::default(), &c, &c, 3);
-            let tv = ours_rtt(topo, MpiConfig::default(), &v, &v, 3);
-            print_row(kb, &[tc.as_micros_f64() / 2.0, tv.as_micros_f64() / 2.0]);
-        }
+        Sweep::new(
+            "latency-sweep",
+            label,
+            "message_kb",
+            &[1, 4, 16, 64, 256, 1024, 4096, 16384],
+        )
+        .series("C_us", move |kb, r| one_way_us(topo, &contig(kb), r))
+        .series("V_us", move |kb, r| one_way_us(topo, &vector(kb), r))
+        .run(&opts.for_panel(suffix));
         println!();
     }
 }

@@ -11,5 +11,5 @@ pub mod runner;
 pub mod workloads;
 
 pub use harness::{print_header, print_row, Figure};
-pub use runner::{baseline_rtt, ours_rtt, solo_world, Topo};
+pub use runner::{baseline_rtt, ours_rtt, solo_session, BenchOpts, Sweep, Topo};
 pub use workloads::*;

@@ -1,11 +1,133 @@
-//! Shared measurement drivers for the figure binaries.
+//! Shared measurement drivers and the sweep runner for the figure
+//! binaries.
+//!
+//! Every binary declares a [`Sweep`] — an x-axis plus named series,
+//! each a closure measuring one configuration — and calls
+//! [`Sweep::run`]. The runner prints the CSV the paper's figures are
+//! compared against; with `--trace <path>` it re-runs every series at
+//! the largest x with recording on, writes one merged Chrome
+//! `trace_event` JSON (one process per series) and prints each series'
+//! [`Metrics`] summary to stderr.
 
+use crate::harness::{print_header, print_row, Figure};
 use crate::workloads::alloc_typed;
 use baseline::proto::{baseline_ping_pong, BaselineSide};
 use datatype::DataType;
+use memsim::GpuId;
 use mpirt::api::PingPongSpec;
-use mpirt::{ping_pong, MpiConfig, MpiWorld};
-use simcore::{Sim, SimTime};
+use mpirt::{ping_pong, MpiConfig, RankSpec, Session, SessionBuilder};
+use simcore::{Metrics, SimTime, Tracer};
+use std::path::PathBuf;
+
+/// Command-line options shared by every figure binary.
+pub struct BenchOpts {
+    /// Write a merged Chrome trace of the largest-x run here.
+    pub trace: Option<PathBuf>,
+    /// Positional arguments left over (panel selectors etc.).
+    pub rest: Vec<String>,
+}
+
+impl BenchOpts {
+    /// Parse `std::env::args`: `--trace <path>` plus free positionals.
+    pub fn parse() -> BenchOpts {
+        let mut args = std::env::args().skip(1);
+        let mut trace = None;
+        let mut rest = Vec::new();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let path = args.next().expect("--trace needs a path");
+                    trace = Some(PathBuf::from(path));
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        BenchOpts { trace, rest }
+    }
+
+    /// Options for one panel of a multi-panel binary: same flags, with
+    /// the trace path (if any) suffixed `name.<panel>.json` so panels
+    /// don't overwrite each other.
+    pub fn for_panel(&self, panel: &str) -> BenchOpts {
+        let trace = self.trace.as_ref().map(|p| {
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("json");
+            p.with_file_name(format!("{stem}.{panel}.{ext}"))
+        });
+        BenchOpts {
+            trace,
+            rest: self.rest.clone(),
+        }
+    }
+}
+
+/// One measured configuration: maps an x value to a cell value, and —
+/// when the runner asks for a trace (`record` true) — returns the run's
+/// tracer alongside. Build sims through [`Session`] and return
+/// `session.into_trace()` so the tracer always comes back, recorded or
+/// not.
+pub type Eval = Box<dyn Fn(u64, bool) -> (f64, Tracer)>;
+
+/// A figure: an x-axis sweep over named series.
+pub struct Sweep {
+    id: &'static str,
+    title: &'static str,
+    x_label: &'static str,
+    xs: Vec<u64>,
+    series: Vec<(String, Eval)>,
+}
+
+impl Sweep {
+    pub fn new(id: &'static str, title: &'static str, x_label: &'static str, xs: &[u64]) -> Sweep {
+        Sweep {
+            id,
+            title,
+            x_label,
+            xs: xs.to_vec(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a named series.
+    pub fn series(
+        mut self,
+        name: &str,
+        eval: impl Fn(u64, bool) -> (f64, Tracer) + 'static,
+    ) -> Sweep {
+        self.series.push((name.to_string(), Box::new(eval)));
+        self
+    }
+
+    /// Print the CSV, then honor `--trace`.
+    pub fn run(self, opts: &BenchOpts) {
+        let fig = Figure {
+            id: self.id,
+            title: self.title,
+            x_label: self.x_label,
+            series: self.series.iter().map(|(n, _)| n.clone()).collect(),
+        };
+        print_header(&fig);
+        for &x in &self.xs {
+            let row: Vec<f64> = self.series.iter().map(|(_, f)| f(x, false).0).collect();
+            print_row(x, &row);
+        }
+        if let Some(path) = &opts.trace {
+            let x = *self.xs.last().expect("sweep has at least one x");
+            let mut events = Vec::new();
+            eprintln!("# {}: tracing {} = {x}", self.id, self.x_label);
+            for (i, (name, f)) in self.series.iter().enumerate() {
+                let (_, trace) = f(x, true);
+                trace.chrome_events(i as u32 + 1, name, &mut events);
+                eprintln!("## {name}");
+                eprint!("{}", Metrics::from_trace(&trace).summary());
+            }
+            let json = format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"));
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+}
 
 /// Which two-rank topology a ping-pong runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,11 +141,13 @@ pub enum Topo {
 }
 
 impl Topo {
-    pub fn build(self, config: MpiConfig) -> MpiWorld {
+    /// A session builder preset for this topology.
+    pub fn session(self, config: MpiConfig) -> SessionBuilder {
+        let b = Session::builder().config(config);
         match self {
-            Topo::Sm1Gpu => MpiWorld::two_ranks_one_gpu(config),
-            Topo::Sm2Gpu => MpiWorld::two_ranks_two_gpus(config),
-            Topo::Ib => MpiWorld::two_ranks_ib(config),
+            Topo::Sm1Gpu => b.two_ranks_one_gpu(),
+            Topo::Sm2Gpu => b.two_ranks_two_gpus(),
+            Topo::Ib => b.two_ranks_ib(),
         }
     }
 
@@ -37,14 +161,37 @@ impl Topo {
     }
 }
 
+/// A single-rank session for the intra-process engine benchmarks
+/// (Figures 6–8): one GPU, no channels.
+pub fn solo_session(config: MpiConfig, record: bool) -> Session {
+    Session::builder()
+        .ranks(
+            &[RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            }],
+            1,
+        )
+        .config(config)
+        .record_if(record)
+        .build()
+}
+
 /// Mean round-trip time of our implementation for GPU-resident data:
 /// rank 0 holds `ty0`, rank 1 holds `ty1` (signatures must match).
-pub fn ours_rtt(topo: Topo, config: MpiConfig, ty0: &DataType, ty1: &DataType, iters: u32) -> SimTime {
-    let mut sim = Sim::new(topo.build(config));
-    let b0 = alloc_typed(&mut sim, 0, ty0, 1, true, true);
-    let b1 = alloc_typed(&mut sim, 1, ty1, 1, true, false);
-    ping_pong(
-        &mut sim,
+pub fn ours_rtt(
+    topo: Topo,
+    config: MpiConfig,
+    ty0: &DataType,
+    ty1: &DataType,
+    iters: u32,
+    record: bool,
+) -> (SimTime, Tracer) {
+    let mut sess = topo.session(config).record_if(record).build();
+    let b0 = alloc_typed(&mut sess, 0, ty0, 1, true, true);
+    let b1 = alloc_typed(&mut sess, 1, ty1, 1, true, false);
+    let t = ping_pong(
+        &mut sess,
         PingPongSpec {
             ty0: ty0.clone(),
             count0: 1,
@@ -54,7 +201,8 @@ pub fn ours_rtt(topo: Topo, config: MpiConfig, ty0: &DataType, ty1: &DataType, i
             buf1: b1,
             iters,
         },
-    )
+    );
+    (t, sess.into_trace())
 }
 
 /// Mean round-trip time of the MVAPICH2-style baseline on the same
@@ -65,26 +213,28 @@ pub fn baseline_rtt(
     ty0: &DataType,
     ty1: &DataType,
     iters: u32,
-) -> SimTime {
-    let mut sim = Sim::new(topo.build(config));
-    let b0 = alloc_typed(&mut sim, 0, ty0, 1, true, true);
-    let b1 = alloc_typed(&mut sim, 1, ty1, 1, true, false);
-    baseline_ping_pong(
-        &mut sim,
-        BaselineSide { rank: 0, ty: ty0.clone(), count: 1, buf: b0 },
-        BaselineSide { rank: 1, ty: ty1.clone(), count: 1, buf: b1 },
+    record: bool,
+) -> (SimTime, Tracer) {
+    let mut sess = topo.session(config).record_if(record).build();
+    let b0 = alloc_typed(&mut sess, 0, ty0, 1, true, true);
+    let b1 = alloc_typed(&mut sess, 1, ty1, 1, true, false);
+    let t = baseline_ping_pong(
+        &mut sess,
+        BaselineSide {
+            rank: 0,
+            ty: ty0.clone(),
+            count: 1,
+            buf: b0,
+        },
+        BaselineSide {
+            rank: 1,
+            ty: ty1.clone(),
+            count: 1,
+            buf: b1,
+        },
         iters,
-    )
-}
-
-/// A single-rank world for the intra-process engine benchmarks
-/// (Figures 6–8): one GPU, no channels.
-pub fn solo_world(config: MpiConfig) -> MpiWorld {
-    MpiWorld::new(
-        &[mpirt::RankSpec { gpu: memsim::GpuId(0), node: 0 }],
-        1,
-        config,
-    )
+    );
+    (t, sess.into_trace())
 }
 
 #[cfg(test)]
@@ -105,9 +255,9 @@ mod tests {
         let t = triangular(96);
         let v = submatrix(96);
         for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
-            let ours = ours_rtt(topo, MpiConfig::default(), &t, &t, 2);
+            let (ours, _) = ours_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
             assert!(ours > SimTime::ZERO, "{topo:?}");
-            let base = baseline_rtt(topo, MpiConfig::default(), &v, &v, 2);
+            let (base, _) = baseline_rtt(topo, MpiConfig::default(), &v, &v, 2, false);
             assert!(base > SimTime::ZERO, "{topo:?}");
         }
     }
@@ -116,9 +266,28 @@ mod tests {
     fn ours_beats_baseline_on_triangular_everywhere() {
         let t = triangular(192);
         for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
-            let ours = ours_rtt(topo, MpiConfig::default(), &t, &t, 2);
-            let base = baseline_rtt(topo, MpiConfig::default(), &t, &t, 2);
+            let (ours, _) = ours_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
+            let (base, _) = baseline_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
             assert!(ours < base, "{topo:?}: ours {ours} vs baseline {base}");
         }
+    }
+
+    #[test]
+    fn recorded_rtt_trace_has_protocol_spans() {
+        let t = triangular(128);
+        let (_, trace) = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), &t, &t, 1, true);
+        let cats: std::collections::BTreeSet<&str> = trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                simcore::trace::TraceEvent::Span { cat, .. }
+                | simcore::trace::TraceEvent::Instant { cat, .. } => *cat,
+            })
+            .collect();
+        for want in ["gpusim", "devengine", "mpirt", "netsim"] {
+            assert!(cats.contains(want), "missing {want} spans, have {cats:?}");
+        }
+        let m = Metrics::from_trace(&trace);
+        assert!(m.counter("mpi.delivered.bytes") > 0);
     }
 }

@@ -31,9 +31,7 @@ pub fn triangular(n: u64) -> DataType {
 /// to a multiple of `nb` elements so no CUDA thread idles and block
 /// starts stay aligned — the paper's **T-stair**.
 pub fn stair_triangular(n: u64, nb: u64) -> DataType {
-    let lens: Vec<u64> = (0..n)
-        .map(|c| ((n - c).div_ceil(nb) * nb).min(n))
-        .collect();
+    let lens: Vec<u64> = (0..n).map(|c| ((n - c).div_ceil(nb) * nb).min(n)).collect();
     let disps: Vec<i64> = (0..n as i64)
         .map(|c| {
             let len = lens[c as usize] as i64;
@@ -58,7 +56,9 @@ pub fn contiguous_matrix(n: u64) -> DataType {
 pub fn transpose_type(n: u64) -> DataType {
     let row = DataType::vector(n, 1, n as i64, &DataType::double()).expect("row");
     // Rows j = 0..n start 8 bytes apart.
-    DataType::hvector(n, 1, 8, &row).expect("transpose").commit()
+    DataType::hvector(n, 1, 8, &row)
+        .expect("transpose")
+        .commit()
 }
 
 /// A plain vector with explicit block size in bytes (Figure 8 sweeps).
@@ -90,7 +90,11 @@ pub fn alloc_typed(
     } else {
         MemSpace::Host
     };
-    let buf = sim.world.mem().alloc(space, len.max(1) as u64).expect("typed buffer");
+    let buf = sim
+        .world
+        .mem()
+        .alloc(space, len.max(1) as u64)
+        .expect("typed buffer");
     if fill {
         let mut bytes = vec![0u8; len];
         position_pattern(&mut bytes);

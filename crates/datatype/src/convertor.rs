@@ -48,9 +48,18 @@ impl SegStream {
             } else {
                 DataType::contiguous(count, ty).expect("count > 0")
             };
-            stack.push(Frame { ty: whole, base: 0, i: 0, j: 0 });
+            stack.push(Frame {
+                ty: whole,
+                base: 0,
+                i: 0,
+                j: 0,
+            });
         }
-        SegStream { stack, pending: None, done: false }
+        SegStream {
+            stack,
+            pending: None,
+            done: false,
+        }
     }
 
     fn next_raw(&mut self) -> Option<Segment> {
@@ -88,10 +97,20 @@ impl SegStream {
                         }
                     } else {
                         let child = child.clone();
-                        self.stack.push(Frame { ty: child, base: b, i: 0, j: 0 });
+                        self.stack.push(Frame {
+                            ty: child,
+                            base: b,
+                            i: 0,
+                            j: 0,
+                        });
                     }
                 }
-                Kind::Vector { count, blocklen, stride_bytes, child } => {
+                Kind::Vector {
+                    count,
+                    blocklen,
+                    stride_bytes,
+                    child,
+                } => {
                     if top.i == *count {
                         self.stack.pop();
                         continue;
@@ -115,7 +134,12 @@ impl SegStream {
                         }
                     } else {
                         let child = child.clone();
-                        self.stack.push(Frame { ty: child, base: b, i: 0, j: 0 });
+                        self.stack.push(Frame {
+                            ty: child,
+                            base: b,
+                            i: 0,
+                            j: 0,
+                        });
                     }
                 }
                 Kind::Indexed { blocks, child } => {
@@ -145,7 +169,12 @@ impl SegStream {
                         }
                     } else {
                         let child = child.clone();
-                        self.stack.push(Frame { ty: child, base: b, i: 0, j: 0 });
+                        self.stack.push(Frame {
+                            ty: child,
+                            base: b,
+                            i: 0,
+                            j: 0,
+                        });
                     }
                 }
                 Kind::Struct { fields } => {
@@ -172,7 +201,12 @@ impl SegStream {
                             return Some(Segment::new(b + t.true_lb(), t.size()));
                         }
                     } else {
-                        self.stack.push(Frame { ty: t, base: b, i: 0, j: 0 });
+                        self.stack.push(Frame {
+                            ty: t,
+                            base: b,
+                            i: 0,
+                            j: 0,
+                        });
                     }
                 }
                 Kind::Resized { child, .. } => {
@@ -182,7 +216,12 @@ impl SegStream {
                     }
                     top.i = 1;
                     let child = child.clone();
-                    self.stack.push(Frame { ty: child, base, i: 0, j: 0 });
+                    self.stack.push(Frame {
+                        ty: child,
+                        base,
+                        i: 0,
+                        j: 0,
+                    });
                 }
             }
         }
@@ -286,10 +325,16 @@ impl Convertor {
     /// corresponds to displacement 0 (so negative lower bounds work).
     /// Returns the number of bytes produced.
     pub fn pack_into(&mut self, typed: &[u8], base: i64, out: &mut [u8]) -> usize {
-        assert_eq!(self.kind, PackKind::Pack, "pack_into on an unpack convertor");
+        assert_eq!(
+            self.kind,
+            PackKind::Pack,
+            "pack_into on an unpack convertor"
+        );
         let mut produced = 0usize;
         while produced < out.len() {
-            let Some((seg, off)) = self.next_segment() else { break };
+            let Some((seg, off)) = self.next_segment() else {
+                break;
+            };
             let want = ((seg.len - off) as usize).min(out.len() - produced);
             let src_idx = (base + seg.disp) as usize + off as usize;
             out[produced..produced + want].copy_from_slice(&typed[src_idx..src_idx + want]);
@@ -302,10 +347,16 @@ impl Convertor {
     /// Unpack up to `inp.len()` bytes from `inp` into the typed memory.
     /// Returns the number of bytes consumed.
     pub fn unpack_from(&mut self, typed: &mut [u8], base: i64, inp: &[u8]) -> usize {
-        assert_eq!(self.kind, PackKind::Unpack, "unpack_from on a pack convertor");
+        assert_eq!(
+            self.kind,
+            PackKind::Unpack,
+            "unpack_from on a pack convertor"
+        );
         let mut consumed = 0usize;
         while consumed < inp.len() {
-            let Some((seg, off)) = self.next_segment() else { break };
+            let Some((seg, off)) = self.next_segment() else {
+                break;
+            };
             let want = ((seg.len - off) as usize).min(inp.len() - consumed);
             let dst_idx = (base + seg.disp) as usize + off as usize;
             typed[dst_idx..dst_idx + want].copy_from_slice(&inp[consumed..consumed + want]);
@@ -325,7 +376,9 @@ impl Convertor {
         let mut out = Vec::new();
         let mut taken = 0u64;
         while taken < max_bytes {
-            let Some((seg, off)) = self.next_segment() else { break };
+            let Some((seg, off)) = self.next_segment() else {
+                break;
+            };
             let want = (seg.len - off).min(max_bytes - taken);
             // (clipped segment, its offset in packed-stream space)
             out.push((Segment::new(seg.disp + off as i64, want), self.position));
@@ -454,7 +507,9 @@ mod tests {
 
     #[test]
     fn fragmented_unpack_equals_oneshot() {
-        let t = DataType::indexed(&[3, 1, 4], &[0, 5, 8], &dbl()).unwrap().commit();
+        let t = DataType::indexed(&[3, 1, 4], &[0, 5, 8], &dbl())
+            .unwrap()
+            .commit();
         let count = 3;
         let typed = pattern(t.extent() as usize * count as usize);
         let packed = pack_all(&t, count, &typed, 0);

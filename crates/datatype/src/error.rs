@@ -11,7 +11,10 @@ pub enum TypeError {
     /// terms; here, a zero where it is not allowed).
     InvalidArgument(&'static str),
     /// An indexed constructor received mismatched array lengths.
-    LengthMismatch { lengths: usize, displacements: usize },
+    LengthMismatch {
+        lengths: usize,
+        displacements: usize,
+    },
     /// The datatype was used before `commit()`.
     NotCommitted,
     /// Send and receive type signatures do not match.

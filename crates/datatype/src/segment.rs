@@ -72,7 +72,11 @@ mod tests {
         let v = s.finish();
         assert_eq!(
             v,
-            vec![Segment::new(0, 8), Segment::new(16, 16), Segment::new(40, 8)]
+            vec![
+                Segment::new(0, 8),
+                Segment::new(16, 16),
+                Segment::new(40, 8)
+            ]
         );
     }
 

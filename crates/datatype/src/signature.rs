@@ -143,8 +143,7 @@ impl Signature {
 
     /// Do two signatures describe the same primitive sequence?
     pub fn matches(&self, other: &Signature) -> bool {
-        if self.byte_count() != other.byte_count()
-            || self.element_count() != other.element_count()
+        if self.byte_count() != other.byte_count() || self.element_count() != other.element_count()
         {
             return false;
         }
@@ -166,7 +165,10 @@ impl Signature {
         let inc_bytes = incoming.byte_count();
         let cap = self.byte_count();
         if inc_bytes > cap {
-            return Err(TypeError::Truncated { incoming: inc_bytes, capacity: cap });
+            return Err(TypeError::Truncated {
+                incoming: inc_bytes,
+                capacity: cap,
+            });
         }
         let mut mine = MergedRuns::new(self);
         let mut have: Option<(Primitive, u64)> = None;

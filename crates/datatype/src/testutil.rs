@@ -1,5 +1,5 @@
 //! Shared test helpers: buffer sizing for arbitrary datatypes, the
-//! reference pack, and proptest strategies for random datatype trees.
+//! reference pack, and seeded generators for random datatype trees.
 //!
 //! This module is part of the public API (not `cfg(test)`) because the
 //! GPU engine, runtime and integration tests all reuse the same
@@ -8,7 +8,7 @@
 
 use crate::convertor::pack_all;
 use crate::typ::DataType;
-use proptest::prelude::*;
+use simcore::rng::SimRng;
 
 /// The slice geometry needed to hold `count` instances of `ty`:
 /// `(base, len)` such that every data byte lands inside `0..len` when
@@ -65,8 +65,16 @@ pub fn assert_roundtrip(ty: &DataType, count: u64) -> Vec<u8> {
     let (base, len) = buffer_span(&ty, count);
     let typed = pattern(len);
     let packed = pack_all(&ty, count, &typed, base);
-    assert_eq!(packed.len() as u64, ty.size() * count, "packed size for {ty}");
-    assert_eq!(packed, reference_pack(&ty, count, &typed, base), "pack order for {ty}");
+    assert_eq!(
+        packed.len() as u64,
+        ty.size() * count,
+        "packed size for {ty}"
+    );
+    assert_eq!(
+        packed,
+        reference_pack(&ty, count, &typed, base),
+        "pack order for {ty}"
+    );
 
     let mut out = vec![0u8; len];
     crate::convertor::unpack_all(&ty, count, &mut out, base, &packed);
@@ -77,56 +85,80 @@ pub fn assert_roundtrip(ty: &DataType, count: u64) -> Vec<u8> {
     packed
 }
 
-/// Proptest strategy: a random primitive.
-pub fn arb_primitive() -> impl Strategy<Value = crate::Primitive> {
-    proptest::sample::select(crate::Primitive::ALL.to_vec())
+/// Seeded generator: a random primitive.
+pub fn arb_primitive(r: &mut SimRng) -> crate::Primitive {
+    *r.choose(&crate::Primitive::ALL)
 }
 
-/// Proptest strategy: a random committed datatype tree of bounded depth
-/// and size. Sizes are kept small enough that exhaustive byte-level
-/// checking stays fast.
-pub fn arb_datatype() -> impl Strategy<Value = DataType> {
-    let leaf = arb_primitive().prop_map(DataType::primitive);
-    leaf.prop_recursive(3, 48, 6, |inner| {
-        prop_oneof![
-            // contiguous
-            (1u64..5, inner.clone())
-                .prop_map(|(n, t)| DataType::contiguous(n, &t).unwrap()),
-            // vector (element stride, possibly overlapping-free gap)
-            (1u64..4, 1u64..4, 0i64..4, inner.clone()).prop_map(|(c, b, gap, t)| {
-                DataType::vector(c, b, b as i64 + gap, &t).unwrap()
-            }),
-            // hvector with byte stride rounded up past the block span
-            (1u64..4, 1u64..3, 0i64..32, inner.clone()).prop_map(|(c, b, gap, t)| {
-                let span = b as i64 * t.extent().max(1);
-                DataType::hvector(c, b, span + gap, &t).unwrap()
-            }),
-            // indexed with increasing displacements
-            (proptest::collection::vec((1u64..3, 0i64..4), 1..4), inner.clone()).prop_map(
-                |(blocks, t)| {
-                    let mut disp = 0i64;
-                    let mut lens = Vec::new();
-                    let mut disps = Vec::new();
-                    for (l, gap) in blocks {
-                        lens.push(l);
-                        disps.push(disp);
-                        disp += l as i64 + gap;
-                    }
-                    DataType::indexed(&lens, &disps, &t).unwrap()
-                }
-            ),
-            // struct of two fields laid out back to back with a gap
-            (inner.clone(), inner.clone(), 0i64..16).prop_map(|(a, b, gap)| {
-                let d1 = a.ub().max(a.true_ub()) + gap;
-                DataType::structure(&[1, 1], &[0, d1 - b.lb().min(0)], &[a, b]).unwrap()
-            }),
-            // resized (extent >= span so repetitions do not overlap)
-            (inner, 0i64..16).prop_map(|(t, pad)| {
-                let span = (t.true_ub() - t.true_lb().min(0)).max(1);
-                DataType::resized(&t, t.lb().min(0), span + pad).unwrap()
-            }),
-        ]
-    })
+/// Seeded generator: a random datatype tree of bounded depth. Sizes are
+/// kept small enough that exhaustive byte-level checking stays fast.
+/// Deterministic in the generator state, so failures reproduce from the
+/// loop seed.
+pub fn arb_datatype(r: &mut SimRng) -> DataType {
+    arb_datatype_depth(r, 3)
+}
+
+fn arb_datatype_depth(r: &mut SimRng, depth: u32) -> DataType {
+    if depth == 0 || r.range(0, 4) == 0 {
+        return DataType::primitive(arb_primitive(r));
+    }
+    match r.range(0, 6) {
+        // contiguous
+        0 => {
+            let n = r.range_u64(1, 5);
+            let t = arb_datatype_depth(r, depth - 1);
+            DataType::contiguous(n, &t).unwrap()
+        }
+        // vector (element stride, possibly overlapping-free gap)
+        1 => {
+            let c = r.range_u64(1, 4);
+            let b = r.range_u64(1, 4);
+            let gap = r.range_u64(0, 4) as i64;
+            let t = arb_datatype_depth(r, depth - 1);
+            DataType::vector(c, b, b as i64 + gap, &t).unwrap()
+        }
+        // hvector with byte stride rounded up past the block span
+        2 => {
+            let c = r.range_u64(1, 4);
+            let b = r.range_u64(1, 3);
+            let gap = r.range_u64(0, 32) as i64;
+            let t = arb_datatype_depth(r, depth - 1);
+            let span = b as i64 * t.extent().max(1);
+            DataType::hvector(c, b, span + gap, &t).unwrap()
+        }
+        // indexed with increasing displacements
+        3 => {
+            let nblocks = r.range(1, 4);
+            let blocks: Vec<(u64, i64)> = (0..nblocks)
+                .map(|_| (r.range_u64(1, 3), r.range_u64(0, 4) as i64))
+                .collect();
+            let t = arb_datatype_depth(r, depth - 1);
+            let mut disp = 0i64;
+            let mut lens = Vec::new();
+            let mut disps = Vec::new();
+            for (l, gap) in blocks {
+                lens.push(l);
+                disps.push(disp);
+                disp += l as i64 + gap;
+            }
+            DataType::indexed(&lens, &disps, &t).unwrap()
+        }
+        // struct of two fields laid out back to back with a gap
+        4 => {
+            let gap = r.range_u64(0, 16) as i64;
+            let a = arb_datatype_depth(r, depth - 1);
+            let b = arb_datatype_depth(r, depth - 1);
+            let d1 = a.ub().max(a.true_ub()) + gap;
+            DataType::structure(&[1, 1], &[0, d1 - b.lb().min(0)], &[a, b]).unwrap()
+        }
+        // resized (extent >= span so repetitions do not overlap)
+        _ => {
+            let pad = r.range_u64(0, 16) as i64;
+            let t = arb_datatype_depth(r, depth - 1);
+            let span = (t.true_ub() - t.true_lb().min(0)).max(1);
+            DataType::resized(&t, t.lb().min(0), span + pad).unwrap()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,34 +193,55 @@ mod tests {
         assert_roundtrip(&t, 3);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn random_types_roundtrip(ty in arb_datatype(), count in 1u64..4) {
+    #[test]
+    fn random_types_roundtrip() {
+        let mut r = SimRng::new(0x5eed_0001);
+        for _ in 0..128 {
+            let ty = arb_datatype(&mut r);
+            let count = r.range_u64(1, 4);
             assert_roundtrip(&ty, count);
         }
+    }
 
-        #[test]
-        fn random_types_signature_reflexive(ty in arb_datatype(), count in 1u64..4) {
+    #[test]
+    fn random_types_signature_reflexive() {
+        let mut r = SimRng::new(0x5eed_0002);
+        for _ in 0..128 {
+            let ty = arb_datatype(&mut r);
+            let count = r.range_u64(1, 4);
             let s = crate::Signature::of(&ty, count);
-            prop_assert!(s.matches(&crate::Signature::of(&ty, count)));
-            prop_assert_eq!(s.byte_count(), ty.size() * count);
+            assert!(s.matches(&crate::Signature::of(&ty, count)));
+            assert_eq!(s.byte_count(), ty.size() * count);
         }
+    }
 
-        #[test]
-        fn random_types_segments_conserve_bytes(ty in arb_datatype(), count in 1u64..4) {
+    #[test]
+    fn random_types_segments_conserve_bytes() {
+        let mut r = SimRng::new(0x5eed_0003);
+        for _ in 0..128 {
+            let ty = arb_datatype(&mut r);
+            let count = r.range_u64(1, 4);
             let total: u64 = ty.segments(count).iter().map(|s| s.len).sum();
-            prop_assert_eq!(total, ty.size() * count);
+            assert_eq!(total, ty.size() * count);
         }
+    }
 
-        #[test]
-        fn random_types_segments_do_not_overlap(ty in arb_datatype(), count in 1u64..3) {
+    #[test]
+    fn random_types_segments_do_not_overlap() {
+        let mut r = SimRng::new(0x5eed_0004);
+        for _ in 0..128 {
+            let ty = arb_datatype(&mut r);
+            let count = r.range_u64(1, 3);
             let mut segs = ty.segments(count);
             segs.sort_by_key(|s| s.disp);
             for w in segs.windows(2) {
-                prop_assert!(w[0].end() <= w[1].disp,
-                    "overlap between {:?} and {:?} in {}", w[0], w[1], ty);
+                assert!(
+                    w[0].end() <= w[1].disp,
+                    "overlap between {:?} and {:?} in {}",
+                    w[0],
+                    w[1],
+                    ty
+                );
             }
         }
     }

@@ -81,11 +81,28 @@ pub struct DataType {
 #[derive(Clone, Debug)]
 pub enum Combiner {
     Named(Primitive),
-    Contiguous { count: u64, child: DataType },
-    HVector { count: u64, blocklen: u64, stride_bytes: i64, child: DataType },
-    HIndexed { blocks: Vec<(u64, i64)>, child: DataType },
-    Struct { fields: Vec<(u64, i64, DataType)> },
-    Resized { lb: i64, extent: i64, child: DataType },
+    Contiguous {
+        count: u64,
+        child: DataType,
+    },
+    HVector {
+        count: u64,
+        blocklen: u64,
+        stride_bytes: i64,
+        child: DataType,
+    },
+    HIndexed {
+        blocks: Vec<(u64, i64)>,
+        child: DataType,
+    },
+    Struct {
+        fields: Vec<(u64, i64, DataType)>,
+    },
+    Resized {
+        lb: i64,
+        extent: i64,
+        child: DataType,
+    },
 }
 
 impl DataType {
@@ -149,18 +166,24 @@ impl DataType {
         } else {
             (c.true_lb, c.true_ub + (count as i64 - 1) * ext)
         };
-        let gapless =
-            c.size == 0 || (c.gapless && (count == 1 || child.dense()));
+        let gapless = c.size == 0 || (c.gapless && (count == 1 || child.dense()));
         Ok(DataType {
             node: Rc::new(Node {
-                kind: Kind::Contiguous { count, child: child.clone() },
+                kind: Kind::Contiguous {
+                    count,
+                    child: child.clone(),
+                },
                 size,
                 lb,
                 ub,
                 true_lb,
                 true_ub,
                 gapless,
-                segment_estimate: if gapless { 1 } else { count.saturating_mul(c.segment_estimate) },
+                segment_estimate: if gapless {
+                    1
+                } else {
+                    count.saturating_mul(c.segment_estimate)
+                },
                 depth: c.depth + 1,
             }),
             committed: false,
@@ -188,7 +211,9 @@ impl DataType {
         child: &DataType,
     ) -> Result<DataType, TypeError> {
         if count == 0 || blocklen == 0 {
-            return Err(TypeError::InvalidArgument("vector count/blocklen must be > 0"));
+            return Err(TypeError::InvalidArgument(
+                "vector count/blocklen must be > 0",
+            ));
         }
         let c = child.node.as_ref();
         let ext = child.extent();
@@ -202,13 +227,16 @@ impl DataType {
         let (true_lb, true_ub) = if c.size == 0 {
             (0, 0)
         } else {
-            (first.min(last) + c.true_lb, first.max(last) + block_span_ub + c.true_ub)
+            (
+                first.min(last) + c.true_lb,
+                first.max(last) + block_span_ub + c.true_ub,
+            )
         };
 
         let block_contig = child.dense() || (blocklen == 1 && c.gapless);
         let block_data_len = (blocklen * c.size) as i64;
-        let gapless = c.size == 0
-            || (block_contig && (count == 1 || stride_bytes == block_data_len));
+        let gapless =
+            c.size == 0 || (block_contig && (count == 1 || stride_bytes == block_data_len));
 
         Ok(DataType {
             node: Rc::new(Node {
@@ -273,7 +301,11 @@ impl DataType {
                 displacements: byte_displs.len(),
             });
         }
-        let blocks: Vec<Block> = blocklens.iter().zip(byte_displs).map(|(&l, &d)| (l, d)).collect();
+        let blocks: Vec<Block> = blocklens
+            .iter()
+            .zip(byte_displs)
+            .map(|(&l, &d)| (l, d))
+            .collect();
         Self::hindexed_blocks(blocks, child)
     }
 
@@ -290,7 +322,9 @@ impl DataType {
 
     fn hindexed_blocks(blocks: Vec<Block>, child: &DataType) -> Result<DataType, TypeError> {
         if blocks.is_empty() {
-            return Err(TypeError::InvalidArgument("indexed type needs at least one block"));
+            return Err(TypeError::InvalidArgument(
+                "indexed type needs at least one block",
+            ));
         }
         let c = child.node.as_ref();
         let ext = child.extent();
@@ -329,8 +363,7 @@ impl DataType {
             true
         } else {
             let block_contig = child.dense() || c.gapless;
-            let per_block_ok =
-                blocks.iter().all(|&(l, _)| l <= 1 || child.dense());
+            let per_block_ok = blocks.iter().all(|&(l, _)| l <= 1 || child.dense());
             if block_contig && per_block_ok {
                 let mut spans: Vec<(i64, i64)> = blocks
                     .iter()
@@ -349,7 +382,13 @@ impl DataType {
 
         let segment_estimate = blocks
             .iter()
-            .map(|&(l, _)| if child.dense() { 1 } else { l.saturating_mul(c.segment_estimate) })
+            .map(|&(l, _)| {
+                if child.dense() {
+                    1
+                } else {
+                    l.saturating_mul(c.segment_estimate)
+                }
+            })
             .sum::<u64>()
             .max(1);
 
@@ -385,7 +424,9 @@ impl DataType {
             });
         }
         if blocklens.is_empty() {
-            return Err(TypeError::InvalidArgument("struct needs at least one field"));
+            return Err(TypeError::InvalidArgument(
+                "struct needs at least one field",
+            ));
         }
         let fields: Vec<(u64, i64, DataType)> = blocklens
             .iter()
@@ -413,7 +454,11 @@ impl DataType {
             ub = ub.max(d + (*l as i64 - 1) * ext + n.ub);
             true_lb = true_lb.min(d + n.true_lb);
             true_ub = true_ub.max(d + (*l as i64 - 1) * ext + n.true_ub);
-            seg = seg.saturating_add(if t.dense() { 1 } else { l.saturating_mul(n.segment_estimate) });
+            seg = seg.saturating_add(if t.dense() {
+                1
+            } else {
+                l.saturating_mul(n.segment_estimate)
+            });
         }
         if lb == i64::MAX {
             lb = 0;
@@ -447,7 +492,9 @@ impl DataType {
 
         Ok(DataType {
             node: Rc::new(Node {
-                kind: Kind::Struct { fields: fields.into() },
+                kind: Kind::Struct {
+                    fields: fields.into(),
+                },
                 size,
                 lb,
                 ub,
@@ -464,12 +511,18 @@ impl DataType {
     /// `MPI_Type_create_resized(child, lb, extent)`.
     pub fn resized(child: &DataType, lb: i64, extent: i64) -> Result<DataType, TypeError> {
         if extent <= 0 {
-            return Err(TypeError::InvalidArgument("resized extent must be positive"));
+            return Err(TypeError::InvalidArgument(
+                "resized extent must be positive",
+            ));
         }
         let c = child.node.as_ref();
         Ok(DataType {
             node: Rc::new(Node {
-                kind: Kind::Resized { lb, extent, child: child.clone() },
+                kind: Kind::Resized {
+                    lb,
+                    extent,
+                    child: child.clone(),
+                },
                 size: c.size,
                 lb,
                 ub: lb + extent,
@@ -495,7 +548,9 @@ impl DataType {
         child: &DataType,
     ) -> Result<DataType, TypeError> {
         if sizes.len() != subsizes.len() || sizes.len() != starts.len() || sizes.is_empty() {
-            return Err(TypeError::InvalidArgument("subarray shape arrays must match and be non-empty"));
+            return Err(TypeError::InvalidArgument(
+                "subarray shape arrays must match and be non-empty",
+            ));
         }
         for d in 0..sizes.len() {
             if subsizes[d] == 0 || starts[d] + subsizes[d] > sizes[d] {
@@ -591,7 +646,9 @@ impl DataType {
 
     /// Is a send/recv of `count` instances fully contiguous in memory?
     pub fn is_contiguous(&self, count: u64) -> bool {
-        self.node.size > 0 && self.node.gapless && (count <= 1 || self.extent() == self.node.size as i64)
+        self.node.size > 0
+            && self.node.gapless
+            && (count <= 1 || self.extent() == self.node.size as i64)
     }
 
     /// Upper bound on contiguous segments in one instance.
@@ -643,7 +700,12 @@ impl DataType {
                     child.walk(base + i as i64 * ext, f);
                 }
             }
-            Kind::Vector { count, blocklen, stride_bytes, child } => {
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
                 let ext = child.extent();
                 let dense = child.dense();
                 for i in 0..*count {
@@ -708,7 +770,12 @@ impl DataType {
                     }
                 }
             }
-            Kind::Vector { count, blocklen, child, .. } => {
+            Kind::Vector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => {
                 if let Some(p) = child.is_homogeneous() {
                     f(p, count * blocklen * child.size() / p.size());
                 } else {
@@ -755,7 +822,12 @@ impl DataType {
                 count: *count,
                 child: child.clone(),
             },
-            Kind::Vector { count, blocklen, stride_bytes, child } => Combiner::HVector {
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => Combiner::HVector {
                 count: *count,
                 blocklen: *blocklen,
                 stride_bytes: *stride_bytes,
@@ -766,10 +838,7 @@ impl DataType {
                 child: child.clone(),
             },
             Kind::Struct { fields } => Combiner::Struct {
-                fields: fields
-                    .iter()
-                    .map(|(l, d, t)| (*l, *d, t.clone()))
-                    .collect(),
+                fields: fields.iter().map(|(l, d, t)| (*l, *d, t.clone())).collect(),
             },
             Kind::Resized { lb, extent, child } => Combiner::Resized {
                 lb: *lb,
@@ -793,7 +862,12 @@ impl DataType {
             return Some((1, self.node.size, self.node.size as i64, self.node.true_lb));
         }
         match &self.node.kind {
-            Kind::Vector { count, blocklen, stride_bytes, child } if child.dense() => Some((
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } if child.dense() => Some((
                 *count,
                 blocklen * child.size(),
                 *stride_bytes,
@@ -865,7 +939,12 @@ impl fmt::Display for DataType {
         match &self.node.kind {
             Kind::Primitive(p) => write!(f, "{p}"),
             Kind::Contiguous { count, child } => write!(f, "contig({count}, {child})"),
-            Kind::Vector { count, blocklen, stride_bytes, child } => {
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
                 write!(f, "hvector({count}, {blocklen}, {stride_bytes}B, {child})")
             }
             Kind::Indexed { blocks, child } => {
@@ -917,7 +996,11 @@ mod tests {
         assert!(!v.is_gapless());
         assert_eq!(
             v.segments(1),
-            vec![Segment::new(0, 16), Segment::new(32, 16), Segment::new(64, 16)]
+            vec![
+                Segment::new(0, 16),
+                Segment::new(32, 16),
+                Segment::new(64, 16)
+            ]
         );
     }
 
@@ -969,10 +1052,7 @@ mod tests {
         let t = DataType::indexed(&[1, 1], &[4, 0], &dbl()).unwrap();
         // Data order follows the datatype (block 0 first), so the
         // segment at disp 32 comes first in pack order.
-        assert_eq!(
-            t.segments(1),
-            vec![Segment::new(32, 8), Segment::new(0, 8)]
-        );
+        assert_eq!(t.segments(1), vec![Segment::new(32, 8), Segment::new(0, 8)]);
         assert_eq!(t.lb(), 0);
         assert_eq!(t.ub(), 40);
     }
@@ -980,20 +1060,12 @@ mod tests {
     #[test]
     fn struct_mixed_types() {
         // struct { int32 a; double b[2]; } with C layout (b at offset 8).
-        let t = DataType::structure(
-            &[1, 2],
-            &[0, 8],
-            &[DataType::int(), dbl()],
-        )
-        .unwrap();
+        let t = DataType::structure(&[1, 2], &[0, 8], &[DataType::int(), dbl()]).unwrap();
         assert_eq!(t.size(), 4 + 16);
         assert_eq!(t.lb(), 0);
         assert_eq!(t.ub(), 24);
         assert!(!t.is_gapless()); // 4-byte hole after the int
-        assert_eq!(
-            t.segments(1),
-            vec![Segment::new(0, 4), Segment::new(8, 16)]
-        );
+        assert_eq!(t.segments(1), vec![Segment::new(0, 4), Segment::new(8, 16)]);
         assert!(t.is_homogeneous().is_none());
     }
 
@@ -1111,7 +1183,11 @@ mod tests {
         // Data order follows the datatype: 0, -16, -32.
         assert_eq!(
             v.segments(1),
-            vec![Segment::new(0, 8), Segment::new(-16, 8), Segment::new(-32, 8)]
+            vec![
+                Segment::new(0, 8),
+                Segment::new(-16, 8),
+                Segment::new(-32, 8)
+            ]
         );
     }
 
@@ -1123,7 +1199,7 @@ mod tests {
         assert_eq!(t.extent(), 4 * 4 * 4 * 8);
         let segs = t.segments(1);
         assert_eq!(segs.len(), 4); // 2x2 rows of 2 contiguous elements
-        // Element (i,j,k) lives at ((i*4)+j)*4+k; first = (1,1,1) = 21.
+                                   // Element (i,j,k) lives at ((i*4)+j)*4+k; first = (1,1,1) = 21.
         assert_eq!(segs[0], Segment::new(21 * 8, 16));
         assert_eq!(segs[1], Segment::new(25 * 8, 16));
         assert_eq!(segs[2], Segment::new(37 * 8, 16));
@@ -1134,8 +1210,16 @@ mod tests {
     fn combiner_decodes_construction() {
         let v = DataType::vector(3, 2, 4, &dbl()).unwrap();
         match v.combiner() {
-            Combiner::HVector { count: 3, blocklen: 2, stride_bytes: 32, child } => {
-                assert!(matches!(child.combiner(), Combiner::Named(Primitive::Float64)));
+            Combiner::HVector {
+                count: 3,
+                blocklen: 2,
+                stride_bytes: 32,
+                child,
+            } => {
+                assert!(matches!(
+                    child.combiner(),
+                    Combiner::Named(Primitive::Float64)
+                ));
             }
             other => panic!("unexpected combiner {other:?}"),
         }
@@ -1149,7 +1233,14 @@ mod tests {
             other => panic!("unexpected combiner {other:?}"),
         }
         let r = DataType::resized(&dbl(), -8, 24).unwrap();
-        assert!(matches!(r.combiner(), Combiner::Resized { lb: -8, extent: 24, .. }));
+        assert!(matches!(
+            r.combiner(),
+            Combiner::Resized {
+                lb: -8,
+                extent: 24,
+                ..
+            }
+        ));
         let i = DataType::indexed(&[1, 2], &[0, 4], &dbl()).unwrap();
         match i.combiner() {
             Combiner::HIndexed { blocks, .. } => assert_eq!(blocks, vec![(1, 0), (2, 32)]),

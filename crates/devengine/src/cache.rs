@@ -53,7 +53,11 @@ impl DevCache {
         count: u64,
         unit_size: u64,
     ) -> Result<(Rc<DevPlan>, bool), TypeError> {
-        let key = Key { type_id: ty.id(), count, unit_size };
+        let key = Key {
+            type_id: ty.id(),
+            count,
+            unit_size,
+        };
         self.clock += 1;
         if let Some((plan, stamp)) = self.map.get_mut(&key) {
             *stamp = self.clock;
@@ -113,7 +117,9 @@ mod tests {
     use super::*;
 
     fn vec_type(n: u64) -> DataType {
-        DataType::vector(n, 2, 4, &DataType::double()).unwrap().commit()
+        DataType::vector(n, 2, 4, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
     #[test]

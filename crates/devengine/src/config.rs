@@ -66,6 +66,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of 256")]
     fn rejects_unaligned_unit() {
-        let _ = EngineConfig { unit_size: 1000, ..Default::default() }.validated();
+        let _ = EngineConfig {
+            unit_size: 1000,
+            ..Default::default()
+        }
+        .validated();
     }
 }

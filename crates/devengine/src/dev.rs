@@ -67,7 +67,11 @@ impl DevPlan {
 pub fn flip_units(units: &[CopyOp]) -> Vec<CopyOp> {
     units
         .iter()
-        .map(|u| CopyOp { src_off: u.dst_off, dst_off: u.src_off, len: u.len })
+        .map(|u| CopyOp {
+            src_off: u.dst_off,
+            dst_off: u.src_off,
+            len: u.len,
+        })
         .collect()
 }
 
@@ -128,7 +132,10 @@ impl DevCursor {
 /// other (the paper found delegating residues to a second stream not
 /// worth the extra launch).
 fn split_segment(src_disp: i64, packed_pos: u64, len: u64, unit_size: u64, out: &mut Vec<CopyOp>) {
-    debug_assert!(src_disp >= 0, "segment displacement not normalized: {src_disp}");
+    debug_assert!(
+        src_disp >= 0,
+        "segment displacement not normalized: {src_disp}"
+    );
     let mut off = 0u64;
     while off < len {
         let l = (len - off).min(unit_size);
@@ -254,8 +261,22 @@ mod tests {
         // Take bytes 1500..2600: should touch units 1 and 2, trimmed.
         let s = plan.slice(1500, 2600);
         assert_eq!(s.len(), 2);
-        assert_eq!(s[0], CopyOp { src_off: 1500, dst_off: 0, len: 548 });
-        assert_eq!(s[1], CopyOp { src_off: 2048, dst_off: 548, len: 552 });
+        assert_eq!(
+            s[0],
+            CopyOp {
+                src_off: 1500,
+                dst_off: 0,
+                len: 548
+            }
+        );
+        assert_eq!(
+            s[1],
+            CopyOp {
+                src_off: 2048,
+                dst_off: 548,
+                len: 552
+            }
+        );
         let total: usize = s.iter().map(|u| u.len).sum();
         assert_eq!(total, 1100);
     }

@@ -8,7 +8,7 @@ use datatype::{DataType, TypeError};
 use gpusim::{launch_transfer_kernel, GpuWorld, KernelConfig, StreamId};
 use memsim::Ptr;
 use simcore::par::CopyOp;
-use simcore::{Sim, SimTime};
+use simcore::{Sim, SimTime, Track};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -108,11 +108,20 @@ impl FragmentEngine {
 
         let source = if let Some(cache) = cache {
             let (plan, hit) = cache.borrow_mut().get_or_build(ty, count, cfg.unit_size)?;
+            let now = sim.now();
+            let cpu_track = Track::Cpu { rank: rank as u32 };
             if !hit {
                 // First encounter: pay the one-time conversion.
                 let prep = prep_time(&cfg, plan.units.len());
-                let now = sim.now();
-                sim.world.cpu(rank).reserve(now, prep);
+                let (s, e) = sim.world.cpu(rank).reserve(now, prep);
+                sim.trace
+                    .instant(now, "devengine", "dev-cache-miss", cpu_track);
+                sim.trace.span_at(s, e, "devengine", "prep", cpu_track);
+                sim.trace.count("devengine.cache.miss", rank as u32, 0, 1);
+            } else {
+                sim.trace
+                    .instant(now, "devengine", "dev-cache-hit", cpu_track);
+                sim.trace.count("devengine.cache.hit", rank as u32, 0, 1);
             }
             UnitSource::Cached { plan, pos: 0 }
         } else {
@@ -168,7 +177,13 @@ impl FragmentEngine {
                 *pos = (*pos + n).min(plan.total_bytes);
                 (units, false)
             }
-            UnitSource::Vector { block_bytes, stride, first_disp, pos, total } => {
+            UnitSource::Vector {
+                block_bytes,
+                stride,
+                first_disp,
+                pos,
+                total,
+            } => {
                 let to = (*pos + n).min(*total);
                 let mut units = Vec::new();
                 let bb = *block_bytes;
@@ -231,14 +246,22 @@ impl FragmentEngine {
             descriptor_stream: self.descriptor_stream,
         };
         let stream = self.stream;
+        let rank = self.rank as u32;
+        let bytes_counter = match self.dir {
+            Direction::Pack => "devengine.pack.bytes",
+            Direction::Unpack => "devengine.unpack.bytes",
+        };
 
         if charge_prep {
             let prep = prep_time(&self.cfg, units.len());
             let now = sim.now();
-            let (_s, prep_end) = sim.world.cpu(self.rank).reserve(now, prep);
+            let (s, prep_end) = sim.world.cpu(self.rank).reserve(now, prep);
+            sim.trace
+                .span_at(s, prep_end, "devengine", "prep", Track::Cpu { rank });
             sim.schedule_at(prep_end, move |sim| {
                 on_prepped(sim);
                 launch_transfer_kernel(sim, stream, ksrc, kdst, units, kcfg, move |sim, _| {
+                    sim.trace.count(bytes_counter, rank, 0, n);
                     on_complete(sim, n);
                 });
             });
@@ -248,6 +271,7 @@ impl FragmentEngine {
             // never re-enter the caller's borrows.
             sim.schedule_now(move |sim| on_prepped(sim));
             launch_transfer_kernel(sim, stream, ksrc, kdst, units, kcfg, move |sim, _| {
+                sim.trace.count(bytes_counter, rank, 0, n);
                 on_complete(sim, n);
             });
         }
@@ -278,7 +302,19 @@ pub fn pack_async<W: GpuWorld>(
     cache: Option<&Rc<RefCell<DevCache>>>,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
-    run_async(sim, rank, stream, ty, count, typed, packed, Direction::Pack, cfg, cache, done);
+    run_async(
+        sim,
+        rank,
+        stream,
+        ty,
+        count,
+        typed,
+        packed,
+        Direction::Pack,
+        cfg,
+        cache,
+        done,
+    );
 }
 
 /// Unpack the contiguous buffer at `packed` into `count` instances of
@@ -296,7 +332,19 @@ pub fn unpack_async<W: GpuWorld>(
     cache: Option<&Rc<RefCell<DevCache>>>,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
-    run_async(sim, rank, stream, ty, count, typed, packed, Direction::Unpack, cfg, cache, done);
+    run_async(
+        sim,
+        rank,
+        stream,
+        ty,
+        count,
+        typed,
+        packed,
+        Direction::Unpack,
+        cfg,
+        cache,
+        done,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -313,12 +361,20 @@ fn run_async<W: GpuWorld>(
     cache: Option<&Rc<RefCell<DevCache>>>,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
-    let pipeline_chunk = if cfg.pipeline { cfg.pipeline_chunk } else { u64::MAX };
+    let pipeline_chunk = if cfg.pipeline {
+        cfg.pipeline_chunk
+    } else {
+        u64::MAX
+    };
     let engine = FragmentEngine::new(sim, rank, stream, ty, count, typed, dir, cfg, cache)
         .expect("datatype must be committed and valid");
     // The CPU pipeline only exists when there is CPU work to overlap;
     // prep-free sources launch one kernel for the whole datatype.
-    let chunk = if engine.cpu_stage_free() { u64::MAX } else { pipeline_chunk };
+    let chunk = if engine.cpu_stage_free() {
+        u64::MAX
+    } else {
+        pipeline_chunk
+    };
     let state = Rc::new(RefCell::new(Driver {
         engine: Some(engine),
         packed,
@@ -415,7 +471,11 @@ mod tests {
         gpu: GpuId,
     ) -> (Ptr, Vec<u8>, i64) {
         let (base, len) = buffer_span(ty, count);
-        let buf = sim.world.memory.alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let buf = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), len as u64)
+            .unwrap();
         let bytes = pattern(len);
         sim.world.memory.write(buf, &bytes).unwrap();
         (buf.add(base as u64), bytes, base)
@@ -431,9 +491,24 @@ mod tests {
         let gpu = GpuId(0);
         let (typed, bytes, base) = setup_typed(&mut sim, ty, count, gpu);
         let total = ty.size() * count;
-        let packed = sim.world.memory.alloc(MemSpace::Device(gpu), total).unwrap();
+        let packed = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), total)
+            .unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
-        pack_async(&mut sim, 0, stream, ty, count, typed, packed, cfg, cache, |_, _| {});
+        pack_async(
+            &mut sim,
+            0,
+            stream,
+            ty,
+            count,
+            typed,
+            packed,
+            cfg,
+            cache,
+            |_, _| {},
+        );
         let end = sim.run();
         let got = sim.world.memory.read_vec(packed, total).unwrap();
         let expect = reference_pack(ty, count, &bytes, base);
@@ -444,12 +519,16 @@ mod tests {
     fn triangular(n: u64) -> DataType {
         let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-        DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+        DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
     fn submatrix(n: u64) -> DataType {
         // n columns of n doubles out of a (2n x n) leading dimension.
-        DataType::vector(n, n, 2 * n as i64, &DataType::double()).unwrap().commit()
+        DataType::vector(n, n, 2 * n as i64, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
     #[test]
@@ -461,7 +540,15 @@ mod tests {
     fn indexed_pack_is_correct_all_modes() {
         let t = triangular(24);
         run_pack(&t, 1, EngineConfig::default(), None);
-        run_pack(&t, 1, EngineConfig { pipeline: false, ..Default::default() }, None);
+        run_pack(
+            &t,
+            1,
+            EngineConfig {
+                pipeline: false,
+                ..Default::default()
+            },
+            None,
+        );
         let cache = Rc::new(RefCell::new(DevCache::default()));
         run_pack(&t, 1, EngineConfig::default(), Some(&cache));
         // Warm cache second run.
@@ -471,19 +558,17 @@ mod tests {
 
     #[test]
     fn multi_count_pack() {
-        let v = DataType::vector(4, 2, 5, &DataType::double()).unwrap().commit();
+        let v = DataType::vector(4, 2, 5, &DataType::double())
+            .unwrap()
+            .commit();
         run_pack(&v, 3, EngineConfig::default(), None);
     }
 
     #[test]
     fn struct_type_pack() {
-        let s = DataType::structure(
-            &[2, 3],
-            &[0, 32],
-            &[DataType::int(), DataType::double()],
-        )
-        .unwrap()
-        .commit();
+        let s = DataType::structure(&[2, 3], &[0, 32], &[DataType::int(), DataType::double()])
+            .unwrap()
+            .commit();
         run_pack(&s, 2, EngineConfig::default(), None);
     }
 
@@ -494,22 +579,46 @@ mod tests {
         let gpu = GpuId(0);
         let (typed, bytes, base) = setup_typed(&mut sim, &t, 1, gpu);
         let total = t.size();
-        let packed = sim.world.memory.alloc(MemSpace::Device(gpu), total).unwrap();
+        let packed = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), total)
+            .unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
         pack_async(
-            &mut sim, 0, stream, &t, 1, typed, packed,
-            EngineConfig::default(), None, |_, _| {},
+            &mut sim,
+            0,
+            stream,
+            &t,
+            1,
+            typed,
+            packed,
+            EngineConfig::default(),
+            None,
+            |_, _| {},
         );
         sim.run();
 
         // Scatter into a second, zeroed buffer and compare segments.
         let (base2, len2) = buffer_span(&t, 1);
         assert_eq!(base, base2);
-        let out = sim.world.memory.alloc(MemSpace::Device(gpu), len2 as u64).unwrap();
+        let out = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), len2 as u64)
+            .unwrap();
         let typed_out = out.add(base2 as u64);
         unpack_async(
-            &mut sim, 0, stream, &t, 1, typed_out, packed,
-            EngineConfig::default(), None, |_, _| {},
+            &mut sim,
+            0,
+            stream,
+            &t,
+            1,
+            typed_out,
+            packed,
+            EngineConfig::default(),
+            None,
+            |_, _| {},
         );
         sim.run();
         let got = sim.world.memory.read_vec(out, len2 as u64).unwrap();
@@ -523,8 +632,15 @@ mod tests {
     fn pipeline_beats_no_pipeline_on_indexed() {
         let t = triangular(2048); // ~17 MB triangular matrix
         let (_, piped) = run_pack(&t, 1, EngineConfig::default(), None);
-        let (_, serial) =
-            run_pack(&t, 1, EngineConfig { pipeline: false, ..Default::default() }, None);
+        let (_, serial) = run_pack(
+            &t,
+            1,
+            EngineConfig {
+                pipeline: false,
+                ..Default::default()
+            },
+            None,
+        );
         assert!(
             piped < serial,
             "pipelining should overlap prep with kernels: {piped} vs {serial}"
@@ -553,7 +669,9 @@ mod tests {
         let v = submatrix(n);
         let lens: Vec<u64> = (0..n).map(|_| n).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * 2 * n as i64).collect();
-        let idx = DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit();
+        let idx = DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit();
         assert!(idx.vector_shape().is_some());
         let (pv, tv) = run_pack(&v, 1, EngineConfig::default(), None);
         let (pi, ti) = run_pack(&idx, 1, EngineConfig::default(), None);
@@ -568,9 +686,13 @@ mod tests {
         // kernel avoids.
         let n = 256u64;
         let v = submatrix(n);
-        let lens: Vec<u64> = (0..n).map(|c| if c % 2 == 0 { n - 1 } else { n + 1 }).collect();
+        let lens: Vec<u64> = (0..n)
+            .map(|c| if c % 2 == 0 { n - 1 } else { n + 1 })
+            .collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * 2 * n as i64).collect();
-        let idx = DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit();
+        let idx = DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit();
         assert!(idx.vector_shape().is_none());
         assert_eq!(idx.size(), v.size());
         let (_, tv) = run_pack(&v, 1, EngineConfig::default(), None);
@@ -585,11 +707,22 @@ mod tests {
         let gpu = GpuId(0);
         let (typed, bytes, base) = setup_typed(&mut sim, &t, 1, gpu);
         let total = t.size();
-        let packed = sim.world.memory.alloc(MemSpace::Device(gpu), total).unwrap();
+        let packed = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), total)
+            .unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
         let mut eng = FragmentEngine::new(
-            &mut sim, 0, stream, &t, 1, typed,
-            Direction::Pack, EngineConfig::default(), None,
+            &mut sim,
+            0,
+            stream,
+            &t,
+            1,
+            typed,
+            Direction::Pack,
+            EngineConfig::default(),
+            None,
         )
         .unwrap();
         // Drive fragments of 1000 bytes manually.
@@ -612,14 +745,28 @@ mod tests {
         let host = sim.world.memory.alloc(MemSpace::Host, total).unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
         pack_async(
-            &mut sim, 0, stream, &v, 1, typed, host,
-            EngineConfig::default(), None, |_, _| {},
+            &mut sim,
+            0,
+            stream,
+            &v,
+            1,
+            typed,
+            host,
+            EngineConfig::default(),
+            None,
+            |_, _| {},
         );
         let end = sim.run();
         let rate = total as f64 / end.as_secs_f64() / 1e9;
         // PCIe is 10 GB/s; the d2d pack of the same data is ~15x faster.
-        assert!(rate < 10.5, "zero-copy pack cannot beat PCIe, got {rate} GB/s");
-        assert!(rate > 6.0, "pipeline should keep PCIe mostly busy, got {rate} GB/s");
+        assert!(
+            rate < 10.5,
+            "zero-copy pack cannot beat PCIe, got {rate} GB/s"
+        );
+        assert!(
+            rate > 6.0,
+            "pipeline should keep PCIe mostly busy, got {rate} GB/s"
+        );
     }
 
     #[test]
@@ -628,11 +775,26 @@ mod tests {
         let mut sim = world();
         let gpu = GpuId(0);
         let (typed, _, _) = setup_typed(&mut sim, &t, 1, gpu);
-        let packed = sim.world.memory.alloc(MemSpace::Device(gpu), t.size()).unwrap();
+        let packed = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), t.size())
+            .unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
         pack_async(
-            &mut sim, 0, stream, &t, 1, typed, packed,
-            EngineConfig { pipeline: false, ..Default::default() }, None, |_, _| {},
+            &mut sim,
+            0,
+            stream,
+            &t,
+            1,
+            typed,
+            packed,
+            EngineConfig {
+                pipeline: false,
+                ..Default::default()
+            },
+            None,
+            |_, _| {},
         );
         sim.run();
         assert_eq!(sim.world.gpu_system.stream(stream).op_count(), 1);

@@ -3,7 +3,7 @@
 use crate::system::{GpuWorld, StreamId};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
-use simcore::{Sim, SimTime};
+use simcore::{Sim, SimTime, Track};
 
 /// Direction of a contiguous copy, derived from the pointer spaces.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,6 +24,18 @@ impl CopyDirection {
             (MemSpace::Device(_), MemSpace::Host) => CopyDirection::DeviceToHost,
             (MemSpace::Device(a), MemSpace::Device(b)) if a == b => CopyDirection::DeviceToDevice,
             (MemSpace::Device(_), MemSpace::Device(_)) => CopyDirection::PeerToPeer,
+        }
+    }
+
+    /// Byte-counter name for this direction (same identity every run,
+    /// so tests can sum per-direction traffic).
+    pub fn counter(self) -> &'static str {
+        match self {
+            CopyDirection::HostToHost => "gpusim.memcpy.h2h.bytes",
+            CopyDirection::HostToDevice => "gpusim.memcpy.h2d.bytes",
+            CopyDirection::DeviceToHost => "gpusim.memcpy.d2h.bytes",
+            CopyDirection::DeviceToDevice => "gpusim.memcpy.d2d.bytes",
+            CopyDirection::PeerToPeer => "gpusim.memcpy.p2p.bytes",
         }
     }
 }
@@ -63,9 +75,18 @@ pub fn memcpy<W: GpuWorld>(
     let dir = CopyDirection::of(src, dst);
     let duration = contiguous_copy_time(sim, stream, dir, bytes);
     let now = sim.now();
-    let (_s, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    let track = Track::Stream {
+        gpu: stream.gpu.0,
+        index: stream.index as u32,
+    };
+    sim.trace.span_at(start, end, "gpusim", "memcpy", track);
     sim.schedule_at(end, move |sim| {
-        sim.world.mem().copy(src, dst, bytes).expect("memcpy failed");
+        sim.world
+            .mem()
+            .copy(src, dst, bytes)
+            .expect("memcpy failed");
+        sim.trace.count(dir.counter(), stream.gpu.0, 0, bytes);
         done(sim, sim.now());
     });
 }
@@ -90,7 +111,10 @@ pub fn memcpy_2d<W: GpuWorld>(
     height: u64,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
-    assert!(src_pitch >= width && dst_pitch >= width, "pitch smaller than width");
+    assert!(
+        src_pitch >= width && dst_pitch >= width,
+        "pitch smaller than width"
+    );
     let dir = CopyDirection::of(src, dst);
     let bytes = width * height;
     let duration = {
@@ -129,7 +153,12 @@ pub fn memcpy_2d<W: GpuWorld>(
     };
 
     let now = sim.now();
-    let (_s, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    let track = Track::Stream {
+        gpu: stream.gpu.0,
+        index: stream.index as u32,
+    };
+    sim.trace.span_at(start, end, "gpusim", "memcpy2d", track);
     sim.schedule_at(end, move |sim| {
         let ops: Vec<CopyOp> = (0..height)
             .map(|r| CopyOp {
@@ -138,7 +167,11 @@ pub fn memcpy_2d<W: GpuWorld>(
                 len: width as usize,
             })
             .collect();
-        sim.world.mem().transfer(src, dst, &ops).expect("memcpy2d failed");
+        sim.world
+            .mem()
+            .transfer(src, dst, &ops)
+            .expect("memcpy2d failed");
+        sim.trace.count(dir.counter(), stream.gpu.0, 0, bytes);
         done(sim, sim.now());
     });
 }
@@ -147,7 +180,11 @@ fn row_traffic(off: u64, width: u64, spec: &crate::spec::GpuSpec) -> u64 {
     // Same access-lines arithmetic as the kernel model, inlined for a
     // single row treated as one unit.
     crate::kernel::side_traffic_bytes(
-        &[CopyOp { src_off: 0, dst_off: 0, len: width as usize }],
+        &[CopyOp {
+            src_off: 0,
+            dst_off: 0,
+            len: width as usize,
+        }],
         off,
         true,
         spec,
@@ -167,9 +204,21 @@ mod tests {
 
     #[test]
     fn direction_classification() {
-        let h = Ptr { space: MemSpace::Host, alloc: memsim::AllocId(0), offset: 0 };
-        let d0 = Ptr { space: MemSpace::Device(GpuId(0)), alloc: memsim::AllocId(1), offset: 0 };
-        let d1 = Ptr { space: MemSpace::Device(GpuId(1)), alloc: memsim::AllocId(2), offset: 0 };
+        let h = Ptr {
+            space: MemSpace::Host,
+            alloc: memsim::AllocId(0),
+            offset: 0,
+        };
+        let d0 = Ptr {
+            space: MemSpace::Device(GpuId(0)),
+            alloc: memsim::AllocId(1),
+            offset: 0,
+        };
+        let d1 = Ptr {
+            space: MemSpace::Device(GpuId(1)),
+            alloc: memsim::AllocId(2),
+            offset: 0,
+        };
         assert_eq!(CopyDirection::of(h, d0), CopyDirection::HostToDevice);
         assert_eq!(CopyDirection::of(d0, h), CopyDirection::DeviceToHost);
         assert_eq!(CopyDirection::of(d0, d0), CopyDirection::DeviceToDevice);
@@ -182,7 +231,11 @@ mod tests {
         let mut sim = setup(1);
         let len = 10u64 << 20; // 10 MiB
         let h = sim.world.memory.alloc(MemSpace::Host, len).unwrap();
-        let d = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+        let d = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
         let data: Vec<u8> = (0..len).map(|i| (i % 255) as u8).collect();
         sim.world.memory.write(h, &data).unwrap();
         let st = sim.world.gpu_system.default_stream(GpuId(0));
@@ -198,15 +251,27 @@ mod tests {
     fn d2d_is_much_faster_than_pcie() {
         let mut sim = setup(1);
         let len = 10u64 << 20;
-        let a = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
-        let b = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+        let a = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
+        let b = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
         let st = sim.world.gpu_system.default_stream(GpuId(0));
         memcpy(&mut sim, st, a, b, len, |_, _| {});
         let t_d2d = sim.run();
 
         let mut sim2 = setup(1);
         let h = sim2.world.memory.alloc(MemSpace::Host, len).unwrap();
-        let d = sim2.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+        let d = sim2
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
         let st2 = sim2.world.gpu_system.default_stream(GpuId(0));
         memcpy(&mut sim2, st2, h, d, len, |_, _| {});
         let t_h2d = sim2.run();
@@ -218,7 +283,11 @@ mod tests {
         let mut sim = setup(1);
         let len = 1u64 << 20;
         let h = sim.world.memory.alloc(MemSpace::Host, len).unwrap();
-        let d = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+        let d = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
         let st = sim.world.gpu_system.default_stream(GpuId(0));
         memcpy(&mut sim, st, h, d, len, |_, _| {});
         memcpy(&mut sim, st, h, d, len, |_, _| {});
@@ -227,7 +296,11 @@ mod tests {
         // Same two copies on two different streams overlap.
         let mut sim2 = setup(1);
         let h2 = sim2.world.memory.alloc(MemSpace::Host, len).unwrap();
-        let d2 = sim2.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+        let d2 = sim2
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
         let st_a = sim2.world.gpu_system.default_stream(GpuId(0));
         let st_b = sim2.world.gpu_system.create_stream(GpuId(0));
         memcpy(&mut sim2, st_a, h2, d2, len, |_, _| {});
@@ -242,15 +315,23 @@ mod tests {
             let mut sim = setup(1);
             let rows = 1024u64;
             let pitch = 2048u64;
-            let d = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), pitch * rows).unwrap();
-            let h = sim.world.memory.alloc(MemSpace::Host, pitch * rows).unwrap();
+            let d = sim
+                .world
+                .memory
+                .alloc(MemSpace::Device(GpuId(0)), pitch * rows)
+                .unwrap();
+            let h = sim
+                .world
+                .memory
+                .alloc(MemSpace::Host, pitch * rows)
+                .unwrap();
             let st = sim.world.gpu_system.default_stream(GpuId(0));
             memcpy_2d(&mut sim, st, d, pitch, h, width, width, rows, |_, _| {});
             sim.run()
         };
         let aligned = run(1024); // multiple of 64
         let misaligned = run(1000); // not a multiple of 64
-        // Less data but much slower.
+                                    // Less data but much slower.
         assert!(
             misaligned.as_nanos() > aligned.as_nanos() * 3,
             "expected the 64-byte cliff: {misaligned} vs {aligned}"
@@ -260,7 +341,11 @@ mod tests {
     #[test]
     fn memcpy2d_moves_the_right_rows() {
         let mut sim = setup(1);
-        let src = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), 64).unwrap();
+        let src = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), 64)
+            .unwrap();
         let dst = sim.world.memory.alloc(MemSpace::Host, 16).unwrap();
         let data: Vec<u8> = (0..64).collect();
         sim.world.memory.write(src, &data).unwrap();
@@ -269,7 +354,10 @@ mod tests {
         memcpy_2d(&mut sim, st, src, 16, dst, 4, 4, 4, |_, _| {});
         sim.run();
         let out = sim.world.memory.read_vec(dst, 16).unwrap();
-        assert_eq!(out, vec![0, 1, 2, 3, 16, 17, 18, 19, 32, 33, 34, 35, 48, 49, 50, 51]);
+        assert_eq!(
+            out,
+            vec![0, 1, 2, 3, 16, 17, 18, 19, 32, 33, 34, 35, 48, 49, 50, 51]
+        );
     }
 
     #[test]
@@ -278,8 +366,16 @@ mod tests {
         let run = |share: f64| -> (SimTime, SimTime) {
             let mut sim = setup(1);
             sim.world.gpu_system.gpu_mut(GpuId(0)).bandwidth_share = share;
-            let a = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
-            let b = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len).unwrap();
+            let a = sim
+                .world
+                .memory
+                .alloc(MemSpace::Device(GpuId(0)), len)
+                .unwrap();
+            let b = sim
+                .world
+                .memory
+                .alloc(MemSpace::Device(GpuId(0)), len)
+                .unwrap();
             let h = sim.world.memory.alloc(MemSpace::Host, len).unwrap();
             let st = sim.world.gpu_system.default_stream(GpuId(0));
             memcpy(&mut sim, st, a, b, len, |_, _| {});
@@ -291,15 +387,25 @@ mod tests {
         };
         let (d2d_full, h2d_full) = run(1.0);
         let (d2d_half, h2d_half) = run(0.5);
-        assert!(d2d_half.as_nanos() > d2d_full.as_nanos() * 18 / 10, "DRAM-bound copy slows");
-        assert_eq!(h2d_full, h2d_half, "PCIe copy unaffected by DRAM contention");
+        assert!(
+            d2d_half.as_nanos() > d2d_full.as_nanos() * 18 / 10,
+            "DRAM-bound copy slows"
+        );
+        assert_eq!(
+            h2d_full, h2d_half,
+            "PCIe copy unaffected by DRAM contention"
+        );
     }
 
     #[test]
     #[should_panic(expected = "pitch smaller than width")]
     fn memcpy2d_rejects_bad_pitch() {
         let mut sim = setup(1);
-        let d = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), 1024).unwrap();
+        let d = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), 1024)
+            .unwrap();
         let h = sim.world.memory.alloc(MemSpace::Host, 1024).unwrap();
         let st = sim.world.gpu_system.default_stream(GpuId(0));
         memcpy_2d(&mut sim, st, d, 32, h, 64, 64, 4, |_, _| {});
@@ -311,7 +417,11 @@ mod tests {
         let mut sim = setup(1);
         let len = 1u64 << 10;
         let h = sim.world.memory.alloc(MemSpace::Host, len * 64).unwrap();
-        let d = sim.world.memory.alloc(MemSpace::Device(GpuId(0)), len * 64).unwrap();
+        let d = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(GpuId(0)), len * 64)
+            .unwrap();
         let st = sim.world.gpu_system.default_stream(GpuId(0));
         for i in 0..64 {
             memcpy(&mut sim, st, h.add(i * len), d.add(i * len), len, |_, _| {});

@@ -24,7 +24,7 @@ use crate::spec::GpuSpec;
 use crate::system::{GpuWorld, StreamId};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
-use simcore::{Bandwidth, Sim, SimTime};
+use simcore::{Bandwidth, Sim, SimTime, Track};
 
 /// Launch configuration for a transfer kernel.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +41,10 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { blocks: None, descriptor_stream: true }
+        KernelConfig {
+            blocks: None,
+            descriptor_stream: true,
+        }
     }
 }
 
@@ -72,12 +75,7 @@ fn access_lines(disp: u64, len: u64, spec: &GpuSpec) -> u64 {
 
 /// DRAM traffic (bytes) one side of the kernel generates for a unit list,
 /// given the base byte offset of that side's buffer.
-pub fn side_traffic_bytes(
-    units: &[CopyOp],
-    base_off: u64,
-    side_src: bool,
-    spec: &GpuSpec,
-) -> u64 {
+pub fn side_traffic_bytes(units: &[CopyOp], base_off: u64, side_src: bool, spec: &GpuSpec) -> u64 {
     units
         .iter()
         .map(|u| {
@@ -182,9 +180,7 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
         let pcie = if src.space.is_host() || dst.space.is_host() {
             sys.topo.pcie_h2d
         } else {
-            sys.topo
-                .pcie_p2p
-                .derated(sys.topo.peer_kernel_efficiency)
+            sys.topo.pcie_p2p.derated(sys.topo.peer_kernel_efficiency)
         };
         (bw, g.spec.clone(), pcie, sys.topo.pcie_latency)
     };
@@ -201,12 +197,25 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
         cfg.descriptor_stream,
     );
     let now = sim.now();
-    let (_start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
+    sim.trace.span_at(
+        start,
+        end,
+        "gpusim",
+        "kernel",
+        Track::Stream {
+            gpu: stream.gpu.0,
+            index: stream.index as u32,
+        },
+    );
     sim.schedule_at(end, move |sim| {
+        let payload: u64 = units.iter().map(|u| u.len as u64).sum();
         sim.world
             .mem()
             .transfer(src, dst, &units)
             .expect("kernel transfer failed");
+        sim.trace
+            .count("gpusim.kernel.bytes", stream.gpu.0, 0, payload);
         done(sim, sim.now());
     });
 }
@@ -315,10 +324,26 @@ mod tests {
             offset: 0,
         };
         let t_aligned = transfer_kernel_time(
-            &s, s.dram_traffic_bw, Bandwidth::from_gbps(10.0), SimTime::ZERO, d, d2, gpu, &mk(0), true,
+            &s,
+            s.dram_traffic_bw,
+            Bandwidth::from_gbps(10.0),
+            SimTime::ZERO,
+            d,
+            d2,
+            gpu,
+            &mk(0),
+            true,
         );
         let t_misaligned = transfer_kernel_time(
-            &s, s.dram_traffic_bw, Bandwidth::from_gbps(10.0), SimTime::ZERO, d, d2, gpu, &mk(8), true,
+            &s,
+            s.dram_traffic_bw,
+            Bandwidth::from_gbps(10.0),
+            SimTime::ZERO,
+            d,
+            d2,
+            gpu,
+            &mk(8),
+            true,
         );
         let ratio = t_misaligned.as_secs_f64() / t_aligned.as_secs_f64();
         assert!(
@@ -357,7 +382,9 @@ mod tests {
                 for i in 0..8usize {
                     assert_eq!(
                         &out[i * 256..(i + 1) * 256],
-                        &(0..256).map(|j| ((i * 512 + j) % 251) as u8).collect::<Vec<_>>()[..],
+                        &(0..256)
+                            .map(|j| ((i * 512 + j) % 251) as u8)
+                            .collect::<Vec<_>>()[..],
                         "chunk {i}"
                     );
                 }
@@ -382,8 +409,16 @@ mod tests {
         let run = |blocks: Option<u32>| -> SimTime {
             let mut sim = Sim::new(NodeWorld::new(1));
             let gpu = GpuId(0);
-            let src = sim.world.memory.alloc(MemSpace::Device(gpu), 256 * 8192).unwrap();
-            let dst = sim.world.memory.alloc(MemSpace::Device(gpu), 256 * 8192).unwrap();
+            let src = sim
+                .world
+                .memory
+                .alloc(MemSpace::Device(gpu), 256 * 8192)
+                .unwrap();
+            let dst = sim
+                .world
+                .memory
+                .alloc(MemSpace::Device(gpu), 256 * 8192)
+                .unwrap();
             let stream = sim.world.gpu_system.default_stream(gpu);
             launch_transfer_kernel(
                 &mut sim,
@@ -391,7 +426,10 @@ mod tests {
                 src,
                 dst,
                 mk_units(),
-                KernelConfig { blocks, ..KernelConfig::default() },
+                KernelConfig {
+                    blocks,
+                    ..KernelConfig::default()
+                },
                 |_, _| {},
             );
             sim.run()
@@ -413,9 +451,17 @@ mod tests {
         let gpu = GpuId(0);
         let len: usize = 1 << 20;
         let host = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
-        let dev = sim.world.memory.alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let dev = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), len as u64)
+            .unwrap();
         let stream = sim.world.gpu_system.default_stream(gpu);
-        let units = vec![CopyOp { src_off: 0, dst_off: 0, len }];
+        let units = vec![CopyOp {
+            src_off: 0,
+            dst_off: 0,
+            len,
+        }];
         launch_transfer_kernel(
             &mut sim,
             stream,

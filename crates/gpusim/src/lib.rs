@@ -30,4 +30,6 @@ pub mod system;
 pub use copy::{memcpy, memcpy_2d, CopyDirection};
 pub use kernel::{launch_transfer_kernel, transfer_kernel_time, KernelConfig};
 pub use spec::{GpuSpec, NodeTopology};
-pub use system::{ipc_export, ipc_open, stream_sync, GpuState, GpuSystem, GpuWorld, NodeWorld, StreamId};
+pub use system::{
+    ipc_export, ipc_open, stream_sync, GpuState, GpuSystem, GpuWorld, NodeWorld, StreamId,
+};

@@ -3,7 +3,7 @@
 
 use crate::spec::{GpuSpec, NodeTopology};
 use memsim::{GpuId, IpcHandle, MemError, Memory, Ptr};
-use simcore::{Bandwidth, FifoResource, Sim, SimTime};
+use simcore::{Bandwidth, FifoResource, Sim, SimTime, Track};
 
 /// Identifies one stream on one GPU.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -60,7 +60,9 @@ pub struct GpuSystem {
 impl GpuSystem {
     pub fn new(gpu_count: u32, spec: GpuSpec, topo: NodeTopology) -> Self {
         GpuSystem {
-            gpus: (0..gpu_count).map(|_| GpuState::new(spec.clone())).collect(),
+            gpus: (0..gpu_count)
+                .map(|_| GpuState::new(spec.clone()))
+                .collect(),
             topo,
         }
     }
@@ -181,6 +183,10 @@ pub fn ipc_open<W: GpuWorld>(
     done: impl FnOnce(&mut Sim<W>, Result<Ptr, MemError>) + 'static,
 ) {
     let cost = sim.world.gpus_ref().topo.ipc_open_cost;
+    let now = sim.now();
+    sim.trace
+        .span_at(now, now + cost, "gpusim", "ipc-open", Track::Session);
+    sim.trace.count("gpusim.ipc_open.count", 0, 0, 1);
     sim.schedule_in(cost, move |sim| {
         let res = sim.world.mem().registry.open_ipc(handle);
         done(sim, res);
@@ -196,6 +202,15 @@ pub fn stream_sync<W: GpuWorld>(
 ) {
     let free_at: SimTime = sim.world.gpus_ref().stream(stream).free_at();
     let at = free_at.max(sim.now());
+    sim.trace.instant(
+        at,
+        "gpusim",
+        "stream-sync",
+        Track::Stream {
+            gpu: stream.gpu.0,
+            index: stream.index as u32,
+        },
+    );
     sim.schedule_at(at, f);
 }
 
@@ -244,8 +259,16 @@ mod tests {
         use crate::copy::memcpy;
         let mut sim = Sim::new(NodeWorld::new(1));
         let gpu = GpuId(0);
-        let a = sim.world.memory.alloc(memsim::MemSpace::Device(gpu), 1 << 20).unwrap();
-        let b = sim.world.memory.alloc(memsim::MemSpace::Device(gpu), 1 << 20).unwrap();
+        let a = sim
+            .world
+            .memory
+            .alloc(memsim::MemSpace::Device(gpu), 1 << 20)
+            .unwrap();
+        let b = sim
+            .world
+            .memory
+            .alloc(memsim::MemSpace::Device(gpu), 1 << 20)
+            .unwrap();
         let st = sim.world.gpu_system.default_stream(gpu);
         memcpy(&mut sim, st, a, b, 1 << 20, |_, _| {});
         let busy_until = sim.world.gpu_system.stream(st).free_at();

@@ -25,7 +25,11 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::InvalidPointer(p) => write!(f, "invalid pointer {p}"),
-            MemError::OutOfBounds { ptr, len, alloc_len } => write!(
+            MemError::OutOfBounds {
+                ptr,
+                len,
+                alloc_len,
+            } => write!(
                 f,
                 "out-of-bounds access at {ptr} len {len} (allocation is {alloc_len} bytes)"
             ),

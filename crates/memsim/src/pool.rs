@@ -46,7 +46,8 @@ impl MemPool {
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        self.allocs.insert(id, vec![0u8; len as usize].into_boxed_slice());
+        self.allocs
+            .insert(id, vec![0u8; len as usize].into_boxed_slice());
         self.used += len;
         self.peak = self.peak.max(self.used);
         Ok(Ptr {
@@ -110,7 +111,11 @@ impl MemPool {
     fn check_range(&self, ptr: Ptr, len: u64) -> Result<(), MemError> {
         let alloc_len = self.alloc_len(ptr)?;
         if ptr.offset + len > alloc_len {
-            return Err(MemError::OutOfBounds { ptr, len, alloc_len });
+            return Err(MemError::OutOfBounds {
+                ptr,
+                len,
+                alloc_len,
+            });
         }
         Ok(())
     }
@@ -131,7 +136,8 @@ impl MemPool {
 
     /// Copy from a user slice into the pool.
     pub fn write(&mut self, ptr: Ptr, bytes: &[u8]) -> Result<(), MemError> {
-        self.slice_mut(ptr, bytes.len() as u64)?.copy_from_slice(bytes);
+        self.slice_mut(ptr, bytes.len() as u64)?
+            .copy_from_slice(bytes);
         Ok(())
     }
 
@@ -272,8 +278,16 @@ impl Memory {
             src.space != dst.space || src.alloc != dst.alloc,
             "transfer within one allocation is not supported (pack buffers are dedicated)"
         );
-        let src_need = ops.iter().map(|o| (o.src_off + o.len) as u64).max().unwrap_or(0);
-        let dst_need = ops.iter().map(|o| (o.dst_off + o.len) as u64).max().unwrap_or(0);
+        let src_need = ops
+            .iter()
+            .map(|o| (o.src_off + o.len) as u64)
+            .max()
+            .unwrap_or(0);
+        let dst_need = ops
+            .iter()
+            .map(|o| (o.dst_off + o.len) as u64)
+            .max()
+            .unwrap_or(0);
         self.pool(src.space).check_range(src, src_need)?;
         self.pool(dst.space).check_range(dst, dst_need)?;
         let src_raw = self.pool(src.space).allocs[&src.alloc][src.offset as usize..].as_ptr();
@@ -375,7 +389,8 @@ mod tests {
     fn same_alloc_overlapping_copy() {
         let mut m = mem();
         let p = m.alloc(MemSpace::Host, 16).unwrap();
-        m.write(p, &[1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        m.write(p, &[1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0])
+            .unwrap();
         m.copy(p, p.add(4), 8).unwrap(); // overlapping forward copy
         assert_eq!(m.read_vec(p, 16).unwrap()[4..12], [1, 2, 3, 4, 5, 6, 7, 8]);
     }
@@ -388,8 +403,16 @@ mod tests {
         let bytes: Vec<u8> = (0..64).collect();
         m.write(src, &bytes).unwrap();
         let ops = [
-            CopyOp { src_off: 0, dst_off: 32, len: 16 },
-            CopyOp { src_off: 16, dst_off: 0, len: 16 },
+            CopyOp {
+                src_off: 0,
+                dst_off: 32,
+                len: 16,
+            },
+            CopyOp {
+                src_off: 16,
+                dst_off: 0,
+                len: 16,
+            },
         ];
         m.transfer(src, dst, &ops).unwrap();
         let out = m.read_vec(dst, 64).unwrap();

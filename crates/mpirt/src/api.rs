@@ -22,6 +22,26 @@ pub struct SendArgs {
     pub buf: Ptr,
 }
 
+impl SendArgs {
+    /// A send of `count` elements of `ty` at `buf`, from rank `from` to
+    /// rank `to`, with tag 0. Chain [`SendArgs::tag`] to override.
+    pub fn new(from: usize, to: usize, buf: Ptr, ty: &DataType, count: u64) -> SendArgs {
+        SendArgs {
+            from,
+            to,
+            tag: 0,
+            ty: ty.clone(),
+            count,
+            buf,
+        }
+    }
+
+    pub fn tag(mut self, tag: u64) -> SendArgs {
+        self.tag = tag;
+        self
+    }
+}
+
 /// Arguments of a nonblocking receive.
 #[derive(Clone)]
 pub struct RecvArgs {
@@ -33,6 +53,39 @@ pub struct RecvArgs {
     pub ty: DataType,
     pub count: u64,
     pub buf: Ptr,
+}
+
+impl RecvArgs {
+    /// A receive on `rank` of `count` elements of `ty` into `buf` from
+    /// rank `src`, matching any tag. Chain [`RecvArgs::tag`] to match a
+    /// specific tag.
+    pub fn new(rank: usize, src: usize, buf: Ptr, ty: &DataType, count: u64) -> RecvArgs {
+        RecvArgs {
+            rank,
+            src: Some(src),
+            tag: None,
+            ty: ty.clone(),
+            count,
+            buf,
+        }
+    }
+
+    /// A receive matching `MPI_ANY_SOURCE`.
+    pub fn any_source(rank: usize, buf: Ptr, ty: &DataType, count: u64) -> RecvArgs {
+        RecvArgs {
+            rank,
+            src: None,
+            tag: None,
+            ty: ty.clone(),
+            count,
+            buf,
+        }
+    }
+
+    pub fn tag(mut self, tag: u64) -> RecvArgs {
+        self.tag = Some(tag);
+        self
+    }
 }
 
 /// Nonblocking send (`MPI_Isend`). The transfer progresses as the
@@ -208,9 +261,9 @@ pub fn wait_all(sim: &mut Sim<MpiWorld>, reqs: &[Request]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpusim::GpuWorld as _;
     use crate::config::MpiConfig;
     use datatype::testutil::{buffer_span, pattern, reference_pack};
+    use gpusim::GpuWorld as _;
     use memsim::MemSpace;
 
     fn dbl() -> DataType {
@@ -252,7 +305,14 @@ mod tests {
         let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, ty_r, count_r, r_dev, false);
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 7, ty: ty_s.clone(), count: count_s, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 7,
+                ty: ty_s.clone(),
+                count: count_s,
+                buf: sbuf,
+            },
         );
         let r = irecv(
             &mut sim,
@@ -344,7 +404,10 @@ mod tests {
 
     #[test]
     fn rendezvous_ib_no_zero_copy() {
-        let cfg = MpiConfig { zero_copy: false, ..Default::default() };
+        let cfg = MpiConfig {
+            zero_copy: false,
+            ..Default::default()
+        };
         let sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
         let t = tri_ty(192);
         check_transfer(sim, &t, 1, &t, 1, true, true);
@@ -352,7 +415,10 @@ mod tests {
 
     #[test]
     fn rendezvous_sm_ipc_disabled_falls_back() {
-        let cfg = MpiConfig { use_ipc: false, ..Default::default() };
+        let cfg = MpiConfig {
+            use_ipc: false,
+            ..Default::default()
+        };
         let sim = Sim::new(MpiWorld::two_ranks_two_gpus(cfg));
         let t = tri_ty(192);
         check_transfer(sim, &t, 1, &t, 1, true, true);
@@ -392,16 +458,32 @@ mod tests {
     fn signature_mismatch_fails_both_requests() {
         let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
         let send_ty = DataType::contiguous(40_000, &dbl()).unwrap().commit();
-        let recv_ty = DataType::contiguous(40_000, &DataType::int()).unwrap().commit();
+        let recv_ty = DataType::contiguous(40_000, &DataType::int())
+            .unwrap()
+            .commit();
         let (sbuf, _, _, _) = alloc_typed(&mut sim, 0, &send_ty, 1, false, true);
         let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &recv_ty, 1, false, false);
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 1, ty: send_ty, count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 1,
+                ty: send_ty,
+                count: 1,
+                buf: sbuf,
+            },
         );
         let r = irecv(
             &mut sim,
-            RecvArgs { rank: 1, src: Some(0), tag: Some(1), ty: recv_ty, count: 1, buf: rbuf },
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(1),
+                ty: recv_ty,
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
@@ -417,11 +499,25 @@ mod tests {
         let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &small, 1, false, false);
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 1, ty: big, count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 1,
+                ty: big,
+                count: 1,
+                buf: sbuf,
+            },
         );
         let r = irecv(
             &mut sim,
-            RecvArgs { rank: 1, src: Some(0), tag: Some(1), ty: small, count: 1, buf: rbuf },
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(1),
+                ty: small,
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         assert!(matches!(s.result(), Some(Err(_))));
@@ -435,7 +531,14 @@ mod tests {
         let buf = sim.world.mem().alloc(MemSpace::Host, 1024).unwrap();
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 0, ty: t, count: 1, buf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 0,
+                ty: t,
+                count: 1,
+                buf,
+            },
         );
         assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
     }
@@ -470,7 +573,14 @@ mod tests {
         let (sbuf, sbytes, sbase, _) = alloc_typed(&mut sim, 0, &t, 1, false, true);
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 5, ty: t.clone(), count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 5,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
         );
         sim.run(); // message fully arrives, sits in unexpected queue
         assert!(s.is_complete());
@@ -479,11 +589,22 @@ mod tests {
         let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, &t, 1, false, false);
         let r = irecv(
             &mut sim,
-            RecvArgs { rank: 1, src: Some(0), tag: Some(5), ty: t.clone(), count: 1, buf: rbuf },
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(5),
+                ty: t.clone(),
+                count: 1,
+                buf: rbuf,
+            },
         );
         sim.run();
         assert!(r.is_complete());
-        let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+        let got_buf = sim
+            .world
+            .mem()
+            .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+            .unwrap();
         let got = reference_pack(&t, 1, &got_buf, rbase);
         assert_eq!(got, reference_pack(&t, 1, &sbytes, sbase));
     }
@@ -496,11 +617,25 @@ mod tests {
         let (rbuf, _, _, _) = alloc_typed(&mut sim, 1, &t, 1, false, false);
         let r = irecv(
             &mut sim,
-            RecvArgs { rank: 1, src: None, tag: None, ty: t.clone(), count: 1, buf: rbuf },
+            RecvArgs {
+                rank: 1,
+                src: None,
+                tag: None,
+                ty: t.clone(),
+                count: 1,
+                buf: rbuf,
+            },
         );
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag: 1234, ty: t, count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 1234,
+                ty: t,
+                count: 1,
+                buf: sbuf,
+            },
         );
         wait_all(&mut sim, &[s, r]);
     }

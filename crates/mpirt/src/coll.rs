@@ -46,7 +46,18 @@ pub fn bcast(
     let remaining = std::rc::Rc::new(std::cell::RefCell::new(p - 1));
     // Each rank forwards to its binomial subtree once its own data is
     // ready; the root starts immediately.
-    fan_out(sim, root, root, p, ty, count, bufs.to_vec(), tag, remaining, done.clone());
+    fan_out(
+        sim,
+        root,
+        root,
+        p,
+        ty,
+        count,
+        bufs.to_vec(),
+        tag,
+        remaining,
+        done.clone(),
+    );
     done
 }
 
@@ -145,9 +156,16 @@ pub fn allgather(
         let req2 = req.clone();
         let size = ty.size() * count;
         let src = send_bufs[r];
-        gpusim::memcpy(sim, stream, src, dst, block.min(size.max(block)), move |sim, _| {
-            req2.complete(sim, Ok(size));
-        });
+        gpusim::memcpy(
+            sim,
+            stream,
+            src,
+            dst,
+            block.min(size.max(block)),
+            move |sim, _| {
+                req2.complete(sim, Ok(size));
+            },
+        );
         reqs.push(req);
     }
 
@@ -321,7 +339,19 @@ fn alltoall_round(
     let both = join(sim, &[s, rv]);
     both.on_complete(sim, move |sim, res| {
         res.as_ref().expect("alltoall round failed");
-        alltoall_round(sim, r, d + 1, p, ty, count, block, send_bufs, recv_bufs, tag, done);
+        alltoall_round(
+            sim,
+            r,
+            d + 1,
+            p,
+            ty,
+            count,
+            block,
+            send_bufs,
+            recv_bufs,
+            tag,
+            done,
+        );
     });
 }
 
@@ -337,7 +367,16 @@ pub fn barrier(sim: &mut Sim<MpiWorld>, op_tag: u64) -> Request {
     let mut reqs = Vec::new();
     for r in 0..p {
         let req = Request::new();
-        barrier_round(sim, r, 0, p, byte.clone(), scratch.clone(), tag, req.clone());
+        barrier_round(
+            sim,
+            r,
+            0,
+            p,
+            byte.clone(),
+            scratch.clone(),
+            tag,
+            req.clone(),
+        );
         reqs.push(req);
     }
     join(sim, &reqs)
@@ -363,7 +402,14 @@ fn barrier_round(
     let from = (r + p - dist) % p;
     let s = isend(
         sim,
-        SendArgs { from: r, to, tag: tag + k as u64, ty: byte.clone(), count: 1, buf: scratch[r] },
+        SendArgs {
+            from: r,
+            to,
+            tag: tag + k as u64,
+            ty: byte.clone(),
+            count: 1,
+            buf: scratch[r],
+        },
     );
     let rv = irecv(
         sim,
@@ -395,10 +441,22 @@ mod tests {
     /// IB across).
     fn four_ranks() -> Sim<MpiWorld> {
         let specs = [
-            RankSpec { gpu: GpuId(0), node: 0 },
-            RankSpec { gpu: GpuId(1), node: 0 },
-            RankSpec { gpu: GpuId(2), node: 1 },
-            RankSpec { gpu: GpuId(3), node: 1 },
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(1),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(2),
+                node: 1,
+            },
+            RankSpec {
+                gpu: GpuId(3),
+                node: 1,
+            },
         ];
         Sim::new(MpiWorld::new(&specs, 4, MpiConfig::default()))
     }
@@ -411,7 +469,9 @@ mod tests {
     #[test]
     fn bcast_delivers_to_all() {
         let mut sim = four_ranks();
-        let ty = DataType::vector(64, 8, 16, &DataType::double()).unwrap().commit();
+        let ty = DataType::vector(64, 8, 16, &DataType::double())
+            .unwrap()
+            .commit();
         let len = ty.extent() as u64;
         let bufs: Vec<Ptr> = (0..4).map(|r| dev_alloc(&mut sim, r, len)).collect();
         let data = pattern(len as usize);
@@ -431,7 +491,9 @@ mod tests {
     #[test]
     fn allgather_assembles_all_blocks() {
         let mut sim = four_ranks();
-        let ty = DataType::contiguous(1024, &DataType::double()).unwrap().commit();
+        let ty = DataType::contiguous(1024, &DataType::double())
+            .unwrap()
+            .commit();
         let block = ty.size();
         let sends: Vec<Ptr> = (0..4).map(|r| dev_alloc(&mut sim, r, block)).collect();
         let recvs: Vec<Ptr> = (0..4).map(|r| dev_alloc(&mut sim, r, block * 4)).collect();
@@ -460,7 +522,9 @@ mod tests {
     #[test]
     fn alltoall_transposes_blocks() {
         let mut sim = four_ranks();
-        let ty = DataType::contiguous(512, &DataType::double()).unwrap().commit();
+        let ty = DataType::contiguous(512, &DataType::double())
+            .unwrap()
+            .commit();
         let block = ty.size();
         let sends: Vec<Ptr> = (0..4).map(|r| dev_alloc(&mut sim, r, block * 4)).collect();
         let recvs: Vec<Ptr> = (0..4).map(|r| dev_alloc(&mut sim, r, block * 4)).collect();
@@ -468,8 +532,7 @@ mod tests {
         for (r, s) in sends.iter().enumerate() {
             let mut d = vec![0u8; (block * 4) as usize];
             for i in 0..4 {
-                d[i * block as usize..(i + 1) * block as usize]
-                    .fill((r * 4 + i + 1) as u8);
+                d[i * block as usize..(i + 1) * block as usize].fill((r * 4 + i + 1) as u8);
             }
             sim.world.mem().write(*s, &d).unwrap();
         }
@@ -502,7 +565,10 @@ mod tests {
 
     #[test]
     fn bcast_single_rank_is_trivial() {
-        let specs = [RankSpec { gpu: GpuId(0), node: 0 }];
+        let specs = [RankSpec {
+            gpu: GpuId(0),
+            node: 0,
+        }];
         let mut sim = Sim::new(MpiWorld::new(&specs, 1, MpiConfig::default()));
         let ty = DataType::double().commit();
         let b = dev_alloc(&mut sim, 0, 8);

@@ -6,9 +6,9 @@
 //! only proposes a single one-time establishment of the RDMA connection
 //! (and then caching the registration)".
 
-use gpusim::GpuWorld as _;
 use crate::world::MpiWorld;
 use gpusim::ipc_open;
+use gpusim::GpuWorld as _;
 use memsim::{MemSpace, Ptr, Registration};
 use netsim::ensure_registered;
 use simcore::Sim;
@@ -67,7 +67,11 @@ pub fn sm_connection(
 
     let ring_slots = ring(sim, MemSpace::Device(s_gpu), frag, depth);
     for &slot in &ring_slots {
-        sim.world.mem().registry.export_ipc(slot, frag).expect("export ring slot");
+        sim.world
+            .mem()
+            .registry
+            .export_ipc(slot, frag)
+            .expect("export ring slot");
     }
     let staging = if want_staging && r_gpu != s_gpu {
         Some(ring(sim, MemSpace::Device(r_gpu), frag, depth))
@@ -76,13 +80,26 @@ pub fn sm_connection(
         // pointless extra copy.
         None
     };
-    let conn = Rc::new(RefCell::new(SmConn { frag_size: frag, depth, ring: ring_slots, staging }));
-    sim.world.mpi.sm_conns.insert((sender, receiver), Rc::clone(&conn));
+    let conn = Rc::new(RefCell::new(SmConn {
+        frag_size: frag,
+        depth,
+        ring: ring_slots,
+        staging,
+    }));
+    sim.world
+        .mpi
+        .sm_conns
+        .insert((sender, receiver), Rc::clone(&conn));
 
     // Receiver maps the exported ring: one ipc_open charge for the
     // connection (handles for all slots are opened in one exchange).
     let first = conn.borrow().ring[0];
-    let handle = sim.world.mem().registry.export_ipc(first, frag).expect("handle");
+    let handle = sim
+        .world
+        .mem()
+        .registry
+        .export_ipc(first, frag)
+        .expect("handle");
     ipc_open(sim, handle, move |sim, res| {
         res.expect("ipc open");
         done(sim, conn);
@@ -108,7 +125,12 @@ pub fn open_peer_buffer(
         sim.schedule_now(done);
         return;
     }
-    let handle = sim.world.mem().registry.export_ipc(buf, len).expect("export user buffer");
+    let handle = sim
+        .world
+        .mem()
+        .registry
+        .export_ipc(buf, len)
+        .expect("export user buffer");
     ipc_open(sim, handle, move |sim, res| {
         res.expect("ipc open user buffer");
         done(sim);
@@ -142,12 +164,24 @@ pub fn ib_connection(
     // Pin + register host rings: RDMA for the NIC, zero-copy mapping
     // for the GPUs. Registration cost is charged once per side.
     for &p in &send_host {
-        sim.world.mem().registry.register(p, Registration::PinnedHost);
-        sim.world.mem().registry.register(p, Registration::ZeroCopy(s_gpu));
+        sim.world
+            .mem()
+            .registry
+            .register(p, Registration::PinnedHost);
+        sim.world
+            .mem()
+            .registry
+            .register(p, Registration::ZeroCopy(s_gpu));
     }
     for &p in &recv_host {
-        sim.world.mem().registry.register(p, Registration::PinnedHost);
-        sim.world.mem().registry.register(p, Registration::ZeroCopy(r_gpu));
+        sim.world
+            .mem()
+            .registry
+            .register(p, Registration::PinnedHost);
+        sim.world
+            .mem()
+            .registry
+            .register(p, Registration::ZeroCopy(r_gpu));
     }
     let conn = Rc::new(RefCell::new(IbConn {
         frag_size: frag,
@@ -157,7 +191,10 @@ pub fn ib_connection(
         send_dev,
         recv_dev,
     }));
-    sim.world.mpi.ib_conns.insert((sender, receiver), Rc::clone(&conn));
+    sim.world
+        .mpi
+        .ib_conns
+        .insert((sender, receiver), Rc::clone(&conn));
 
     let first_s = conn.borrow().send_host[0];
     let first_r = conn.borrow().recv_host[0];

@@ -10,7 +10,7 @@ use datatype::{DataType, TypeError};
 use devengine::{flip_units, DevCursor};
 use gpusim::GpuWorld;
 use memsim::Ptr;
-use simcore::{Bandwidth, Sim, SimTime};
+use simcore::{Bandwidth, Sim, SimTime, Track};
 
 /// Direction of the host conversion.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,9 +90,20 @@ impl CpuEngine {
         };
         let duration = self.bw.time_for(n) + self.per_call;
         let now = sim.now();
-        let (_s, end) = sim.world.cpu(self.rank).reserve(now, duration);
+        let (start, end) = sim.world.cpu(self.rank).reserve(now, duration);
+        let rank = self.rank as u32;
+        let (span_name, counter) = match self.dir {
+            CpuDir::Pack => ("cpu-pack", "cpupack.pack.bytes"),
+            CpuDir::Unpack => ("cpu-unpack", "cpupack.unpack.bytes"),
+        };
+        sim.trace
+            .span_at(start, end, "cpupack", span_name, Track::Cpu { rank });
         sim.schedule_at(end, move |sim| {
-            sim.world.mem().transfer(src, dst, &units).expect("cpu pack transfer");
+            sim.world
+                .mem()
+                .transfer(src, dst, &units)
+                .expect("cpu pack transfer");
+            sim.trace.count(counter, rank, 0, n);
             done(sim, n);
         });
     }
@@ -107,7 +118,9 @@ mod tests {
 
     #[test]
     fn cpu_pack_matches_reference_and_charges_time() {
-        let ty = DataType::vector(64, 2, 5, &DataType::double()).unwrap().commit();
+        let ty = DataType::vector(64, 2, 5, &DataType::double())
+            .unwrap()
+            .commit();
         let mut sim = Sim::new(NodeWorld::new(1));
         let (base, len) = buffer_span(&ty, 2);
         let typed = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
@@ -117,7 +130,11 @@ mod tests {
         let out = sim.world.memory.alloc(MemSpace::Host, total).unwrap();
 
         let mut eng = CpuEngine::new(
-            &ty, 2, typed.add(base as u64), CpuDir::Pack, 0,
+            &ty,
+            2,
+            typed.add(base as u64),
+            CpuDir::Pack,
+            0,
             Bandwidth::from_gbps(5.0),
         )
         .unwrap();
@@ -155,7 +172,11 @@ mod tests {
 
         let dst = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
         let mut eng = CpuEngine::new(
-            &ty, 1, dst.add(base as u64), CpuDir::Unpack, 0,
+            &ty,
+            1,
+            dst.add(base as u64),
+            CpuDir::Unpack,
+            0,
             Bandwidth::from_gbps(5.0),
         )
         .unwrap();

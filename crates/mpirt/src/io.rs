@@ -35,7 +35,11 @@ pub struct SimFile {
 impl SimFile {
     /// Create a zero-filled file of `len` bytes.
     pub fn create(sim: &mut Sim<MpiWorld>, len: u64) -> SimFile {
-        let data = sim.world.mem().alloc(MemSpace::Host, len).expect("file store");
+        let data = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Host, len)
+            .expect("file store");
         SimFile {
             data,
             len,
@@ -55,7 +59,10 @@ impl SimFile {
 
     /// Raw file contents (test/debug helper).
     pub fn contents(&self, sim: &Sim<MpiWorld>) -> Vec<u8> {
-        sim.world.mem_ref().read_vec(self.data, self.len).expect("file read")
+        sim.world
+            .mem_ref()
+            .read_vec(self.data, self.len)
+            .expect("file read")
     }
 }
 
@@ -131,19 +138,41 @@ fn stage_through_host<F: FnOnce(&mut Sim<MpiWorld>, Ptr) + 'static>(
     let cfg = sim.world.mpi.config.engine.clone();
     if buf.space.is_device() {
         if pack {
-            pack_async(sim, rank, stream, ty, count, buf, bounce, cfg, Some(&cache), move |sim, _| {
-                then(sim, bounce)
-            });
+            pack_async(
+                sim,
+                rank,
+                stream,
+                ty,
+                count,
+                buf,
+                bounce,
+                cfg,
+                Some(&cache),
+                move |sim, _| then(sim, bounce),
+            );
         } else {
-            unpack_async(sim, rank, stream, ty, count, buf, bounce, cfg, Some(&cache), move |sim, _| {
-                then(sim, bounce)
-            });
+            unpack_async(
+                sim,
+                rank,
+                stream,
+                ty,
+                count,
+                buf,
+                bounce,
+                cfg,
+                Some(&cache),
+                move |sim, _| then(sim, bounce),
+            );
         }
     } else {
         let bw = sim.world.mpi.config.cpu_pack_bw;
-        let dir = if pack { crate::cpupack::CpuDir::Pack } else { crate::cpupack::CpuDir::Unpack };
-        let mut eng = crate::cpupack::CpuEngine::new(ty, count, buf, dir, rank, bw)
-            .expect("committed type");
+        let dir = if pack {
+            crate::cpupack::CpuDir::Pack
+        } else {
+            crate::cpupack::CpuDir::Unpack
+        };
+        let mut eng =
+            crate::cpupack::CpuEngine::new(ty, count, buf, dir, rank, bw).expect("committed type");
         eng.process_fragment(sim, bounce, u64::MAX, move |sim, _| then(sim, bounce));
     }
 }
@@ -212,14 +241,22 @@ fn file_op(
     }
     let ops = view.visible_ops(offset_et, bytes);
     if let Some(end) = ops.iter().map(|o| (o.src_off + o.len) as u64).max() {
-        assert!(end <= file.len, "file view access beyond EOF ({end} > {})", file.len);
+        assert!(
+            end <= file.len,
+            "file view access beyond EOF ({end} > {})",
+            file.len
+        );
     }
     if bytes == 0 {
         req.complete(sim, Ok(0));
         return req;
     }
 
-    let bounce = sim.world.mem().alloc(MemSpace::Host, bytes).expect("io bounce");
+    let bounce = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, bytes)
+        .expect("io bounce");
     let file_data = file.data;
     let channel = Rc::clone(&file.channel);
     let io_time = file.bandwidth.time_for(bytes) + file.latency;
@@ -234,11 +271,21 @@ fn file_op(
                 // bounce (visible stream) -> file positions.
                 let flipped: Vec<CopyOp> = ops
                     .iter()
-                    .map(|o| CopyOp { src_off: o.dst_off, dst_off: o.src_off, len: o.len })
+                    .map(|o| CopyOp {
+                        src_off: o.dst_off,
+                        dst_off: o.src_off,
+                        len: o.len,
+                    })
                     .collect();
-                sim.world.mem().transfer(bounce, file_data, &flipped).expect("file write");
+                sim.world
+                    .mem()
+                    .transfer(bounce, file_data, &flipped)
+                    .expect("file write");
             } else {
-                sim.world.mem().transfer(file_data, bounce, &ops).expect("file read");
+                sim.world
+                    .mem()
+                    .transfer(file_data, bounce, &ops)
+                    .expect("file read");
             }
             after(sim);
         });
@@ -246,16 +293,25 @@ fn file_op(
 
     if write {
         // memory -> bounce (pack) -> disk.
-        stage_through_host(sim, rank, mem_ty, count, buf, true, bounce, move |sim, bounce| {
-            disk(
-                sim,
-                bounce,
-                Box::new(move |sim| {
-                    req2.complete(sim, Ok(bytes));
-                    sim.world.mem().free(bounce).expect("free bounce");
-                }),
-            );
-        });
+        stage_through_host(
+            sim,
+            rank,
+            mem_ty,
+            count,
+            buf,
+            true,
+            bounce,
+            move |sim, bounce| {
+                disk(
+                    sim,
+                    bounce,
+                    Box::new(move |sim| {
+                        req2.complete(sim, Ok(bytes));
+                        sim.world.mem().free(bounce).expect("free bounce");
+                    }),
+                );
+            },
+        );
     } else {
         // disk -> bounce -> memory (unpack).
         let mem_ty = mem_ty.clone();
@@ -263,10 +319,19 @@ fn file_op(
             sim,
             bounce,
             Box::new(move |sim| {
-                stage_through_host(sim, rank, &mem_ty, count, buf, false, bounce, move |sim, bounce| {
-                    req2.complete(sim, Ok(bytes));
-                    sim.world.mem().free(bounce).expect("free bounce");
-                });
+                stage_through_host(
+                    sim,
+                    rank,
+                    &mem_ty,
+                    count,
+                    buf,
+                    false,
+                    bounce,
+                    move |sim, bounce| {
+                        req2.complete(sim, Ok(bytes));
+                        sim.world.mem().free(bounce).expect("free bounce");
+                    },
+                );
             }),
         );
     }
@@ -287,7 +352,9 @@ mod tests {
     fn flat_write_read_roundtrip_host() {
         let mut sim = sim();
         let file = SimFile::create(&mut sim, 4096);
-        let ty = DataType::contiguous(512, &DataType::double()).unwrap().commit();
+        let ty = DataType::contiguous(512, &DataType::double())
+            .unwrap()
+            .commit();
         let buf = sim.world.mem().alloc(MemSpace::Host, ty.size()).unwrap();
         let data = pattern(ty.size() as usize);
         sim.world.mem().write(buf, &data).unwrap();
@@ -309,16 +376,23 @@ mod tests {
         // the canonical file-view use case.
         let mut sim = sim();
         let file = SimFile::create(&mut sim, 1024);
-        let blk = DataType::contiguous(8, &DataType::double()).unwrap().commit(); // 64 B
-        // filetype: my block then a 64-byte hole (the peer's block).
+        let blk = DataType::contiguous(8, &DataType::double())
+            .unwrap()
+            .commit(); // 64 B
+                       // filetype: my block then a 64-byte hole (the peer's block).
         let ft = DataType::vector(1, 1, 2, &blk).unwrap();
         let ft = DataType::resized(&ft, 0, 128).unwrap().commit();
-        let mem = DataType::contiguous(64, &DataType::double()).unwrap().commit(); // 512 B
+        let mem = DataType::contiguous(64, &DataType::double())
+            .unwrap()
+            .commit(); // 512 B
 
         let mut bufs = Vec::new();
         for (r, fill) in [(0usize, 0xAAu8), (1, 0xBB)] {
             let b = sim.world.mem().alloc(MemSpace::Host, mem.size()).unwrap();
-            sim.world.mem().write(b, &vec![fill; mem.size() as usize]).unwrap();
+            sim.world
+                .mem()
+                .write(b, &vec![fill; mem.size() as usize])
+                .unwrap();
             bufs.push(b);
             let view = FileView {
                 disp: r as u64 * 64, // rank 1's tiles start one block in
@@ -342,15 +416,30 @@ mod tests {
         let n = 64u64;
         let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-        let t = DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit();
+        let t = DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit();
         let (base, len) = buffer_span(&t, 1);
         let gpu = sim.world.mpi.ranks[0].gpu;
-        let buf = sim.world.mem().alloc(MemSpace::Device(gpu), len as u64).unwrap();
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu), len as u64)
+            .unwrap();
         let data = pattern(len);
         sim.world.mem().write(buf, &data).unwrap();
 
         let file = SimFile::create(&mut sim, t.size());
-        let w = write_at(&mut sim, 0, &file, &FileView::flat(), 0, &t, 1, buf.add(base as u64));
+        let w = write_at(
+            &mut sim,
+            0,
+            &file,
+            &FileView::flat(),
+            0,
+            &t,
+            1,
+            buf.add(base as u64),
+        );
         sim.run();
         assert_eq!(w.expect_bytes(), t.size());
         // The file holds the packed stream.
@@ -358,8 +447,21 @@ mod tests {
 
         // Read back into the other rank's GPU with the same layout.
         let gpu1 = sim.world.mpi.ranks[1].gpu;
-        let out = sim.world.mem().alloc(MemSpace::Device(gpu1), len as u64).unwrap();
-        let r = read_at(&mut sim, 1, &file, &FileView::flat(), 0, &t, 1, out.add(base as u64));
+        let out = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu1), len as u64)
+            .unwrap();
+        let r = read_at(
+            &mut sim,
+            1,
+            &file,
+            &FileView::flat(),
+            0,
+            &t,
+            1,
+            out.add(base as u64),
+        );
         sim.run();
         r.expect_bytes();
         let got = sim.world.mem().read_vec(out, len as u64).unwrap();
@@ -377,7 +479,11 @@ mod tests {
         let four = DataType::contiguous(4, &d).unwrap().commit();
         let buf = sim.world.mem().alloc(MemSpace::Host, 32).unwrap();
         sim.world.mem().write(buf, &[7u8; 32]).unwrap();
-        let view = FileView { disp: 0, etype: d.clone(), filetype: d.clone() };
+        let view = FileView {
+            disp: 0,
+            etype: d.clone(),
+            filetype: d.clone(),
+        };
         // Write 4 doubles at element offset 10 => bytes 80..112.
         let w = write_at(&mut sim, 0, &file, &view, 10, &four, 1, buf);
         sim.run();
@@ -392,7 +498,9 @@ mod tests {
     fn io_charges_disk_time() {
         let mut sim = sim();
         let file = SimFile::create(&mut sim, 20 << 20);
-        let ty = DataType::contiguous(2 << 20, &DataType::byte()).unwrap().commit();
+        let ty = DataType::contiguous(2 << 20, &DataType::byte())
+            .unwrap()
+            .commit();
         let buf = sim.world.mem().alloc(MemSpace::Host, ty.size()).unwrap();
         let t0 = sim.now();
         let w = write_at(&mut sim, 0, &file, &FileView::flat(), 0, &ty, 1, buf);

@@ -25,12 +25,14 @@ pub mod matcher;
 pub mod onesided;
 pub mod protocol;
 pub mod request;
+pub mod session;
 pub mod world;
 
-pub use api::{irecv, isend, ping_pong, RecvArgs, SendArgs};
-pub use config::MpiConfig;
+pub use api::{irecv, isend, ping_pong, wait_all, PingPongSpec, RecvArgs, SendArgs};
 pub use coll::{allgather, alltoall, barrier, bcast};
+pub use config::MpiConfig;
 pub use io::{read_at, write_at, FileView, SimFile};
 pub use onesided::{fence, get, put, RmaArgs, Win};
 pub use request::{join, MpiError, Request};
+pub use session::{Session, SessionBuilder};
 pub use world::{MpiWorld, RankSpec};

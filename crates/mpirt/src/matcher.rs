@@ -58,7 +58,10 @@ impl Matcher {
     pub fn new(ranks: usize) -> Matcher {
         Matcher {
             queues: (0..ranks)
-                .map(|_| RankQueues { posted: Vec::new(), unexpected: Vec::new() })
+                .map(|_| RankQueues {
+                    posted: Vec::new(),
+                    unexpected: Vec::new(),
+                })
                 .collect(),
         }
     }
@@ -115,13 +118,23 @@ mod tests {
             tag,
             ty: DataType::double().commit(),
             count: 1,
-            buf: Ptr { space: MemSpace::Host, alloc: AllocId(0), offset: 0 },
+            buf: Ptr {
+                space: MemSpace::Host,
+                alloc: AllocId(0),
+                offset: 0,
+            },
             request: Request::new(),
         }
     }
 
     fn envelope(src: usize, dst: usize, tag: u64) -> Envelope {
-        Envelope { src, dst, tag, bytes: 8, starter: Box::new(|_, _| {}) }
+        Envelope {
+            src,
+            dst,
+            tag,
+            bytes: 8,
+            starter: Box::new(|_, _| {}),
+        }
     }
 
     #[test]
@@ -185,6 +198,9 @@ mod tests {
         m.post(posting(1, None, Some(5)));
         m.post(posting(1, Some(0), Some(5)));
         let (p, _) = m.arrive(envelope(0, 1, 5)).unwrap();
-        assert!(p.src.is_none(), "earlier posting wins even if less specific");
+        assert!(
+            p.src.is_none(),
+            "earlier posting wins even if less specific"
+        );
     }
 }

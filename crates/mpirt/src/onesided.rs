@@ -67,7 +67,10 @@ fn check_sigs(
     let sa = Signature::of(a.0, a.1);
     let sb = Signature::of(b.0, b.1);
     if !sa.matches(&sb) {
-        req.complete(sim, Err(MpiError::Type(datatype::TypeError::SignatureMismatch)));
+        req.complete(
+            sim,
+            Err(MpiError::Type(datatype::TypeError::SignatureMismatch)),
+        );
         return false;
     }
     true
@@ -91,7 +94,12 @@ pub fn put(
         req.complete(sim, Err(MpiError::Type(datatype::TypeError::NotCommitted)));
         return req;
     }
-    if !check_sigs(sim, (&origin.ty, origin.count), (&target.ty, target.count), &req) {
+    if !check_sigs(
+        sim,
+        (&origin.ty, origin.count),
+        (&target.ty, target.count),
+        &req,
+    ) {
         return req;
     }
     win.check_target(target_rank, target_disp, &target.ty, target.count);
@@ -133,7 +141,12 @@ pub fn get(
         req.complete(sim, Err(MpiError::Type(datatype::TypeError::NotCommitted)));
         return req;
     }
-    if !check_sigs(sim, (&origin.ty, origin.count), (&target.ty, target.count), &req) {
+    if !check_sigs(
+        sim,
+        (&origin.ty, origin.count),
+        (&target.ty, target.count),
+        &req,
+    ) {
         return req;
     }
     win.check_target(target_rank, target_disp, &target.ty, target.count);
@@ -171,7 +184,9 @@ mod tests {
     fn tri(n: u64) -> DataType {
         let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
         let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-        DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+        DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit()
     }
 
     fn world_and_win(ty: &DataType) -> (Sim<MpiWorld>, Win, i64, usize) {
@@ -180,7 +195,10 @@ mod tests {
         let mut bufs = Vec::new();
         for r in 0..2 {
             let gpu = sim.world.mpi.ranks[r].gpu;
-            let b = sim.world.mem().alloc(MemSpace::Device(gpu), (base as usize + len) as u64)
+            let b = sim
+                .world
+                .mem()
+                .alloc(MemSpace::Device(gpu), (base as usize + len) as u64)
                 .unwrap();
             bufs.push(b);
         }
@@ -195,21 +213,34 @@ mod tests {
         let (mut sim, win, base, len) = world_and_win(&t);
         let data = pattern(len);
         let origin = win.buffer(0).add(base as u64);
-        sim.world.mem().write(win.buffer(0), &vec![0; base as usize]).unwrap();
+        sim.world
+            .mem()
+            .write(win.buffer(0), &vec![0; base as usize])
+            .unwrap();
         sim.world.mem().write(origin, &data).unwrap();
         let req = put(
             &mut sim,
             &win,
             0,
-            RmaArgs { ty: t.clone(), count: 1 },
+            RmaArgs {
+                ty: t.clone(),
+                count: 1,
+            },
             origin,
             1,
             base as u64,
-            RmaArgs { ty: t.clone(), count: 1 },
+            RmaArgs {
+                ty: t.clone(),
+                count: 1,
+            },
         );
         sim.run();
         assert_eq!(req.expect_bytes(), t.size());
-        let got = sim.world.mem().read_vec(win.buffer(1).add(base as u64), len as u64).unwrap();
+        let got = sim
+            .world
+            .mem()
+            .read_vec(win.buffer(1).add(base as u64), len as u64)
+            .unwrap();
         assert_eq!(
             reference_pack(&t, 1, &got, 0),
             reference_pack(&t, 1, &data, 0)
@@ -228,11 +259,17 @@ mod tests {
             &mut sim,
             &win,
             0,
-            RmaArgs { ty: t.clone(), count: 1 },
+            RmaArgs {
+                ty: t.clone(),
+                count: 1,
+            },
             origin,
             1,
             base as u64,
-            RmaArgs { ty: t.clone(), count: 1 },
+            RmaArgs {
+                ty: t.clone(),
+                count: 1,
+            },
         );
         sim.run();
         assert_eq!(req.expect_bytes(), t.size());
@@ -247,8 +284,12 @@ mod tests {
     fn put_with_layout_reshape() {
         // Origin vector, target contiguous: the RMA analogue of the
         // FFT reshape.
-        let v = DataType::vector(64, 4, 8, &DataType::double()).unwrap().commit();
-        let c = DataType::contiguous(256, &DataType::double()).unwrap().commit();
+        let v = DataType::vector(64, 4, 8, &DataType::double())
+            .unwrap()
+            .commit();
+        let c = DataType::contiguous(256, &DataType::double())
+            .unwrap()
+            .commit();
         let (mut sim, win, base, len) = world_and_win(&v);
         let data = pattern(len);
         let origin = win.buffer(0).add(base as u64);
@@ -257,7 +298,10 @@ mod tests {
             &mut sim,
             &win,
             0,
-            RmaArgs { ty: v.clone(), count: 1 },
+            RmaArgs {
+                ty: v.clone(),
+                count: 1,
+            },
             origin,
             1,
             0,
@@ -282,7 +326,10 @@ mod tests {
             win.buffer(0).add(base as u64),
             1,
             base as u64,
-            RmaArgs { ty: wrong, count: 1 },
+            RmaArgs {
+                ty: wrong,
+                count: 1,
+            },
         );
         assert!(matches!(req.result(), Some(Err(MpiError::Type(_)))));
     }
@@ -296,7 +343,10 @@ mod tests {
             &mut sim,
             &win,
             0,
-            RmaArgs { ty: t.clone(), count: 1 },
+            RmaArgs {
+                ty: t.clone(),
+                count: 1,
+            },
             win.buffer(0).add(base as u64),
             1,
             u64::MAX / 4,

@@ -15,17 +15,18 @@
 //! inserted on the copy stream. Dense sides skip their conversion stage
 //! entirely.
 
-use gpusim::GpuWorld as _;
-use netsim::NetWorld as _;
 use crate::connection::{ib_connection, IbConn};
+use crate::protocol::sm::DELIVERED;
 use crate::protocol::{make_engine, Side, SideEngine};
 use crate::request::Request;
 use crate::world::MpiWorld;
 use devengine::Direction;
 use gpusim::memcpy;
+use gpusim::GpuWorld as _;
 use memsim::Ptr;
+use netsim::NetWorld as _;
 use netsim::{ensure_registered, send_am};
-use simcore::Sim;
+use simcore::{Sim, SpanId, Track};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -46,17 +47,14 @@ struct Xfer {
     send_req: Request,
     recv_req: Request,
     zero_copy: bool,
+    span: SpanId,
+    /// Open "frag" span per ring slot, from claim to ack-recycle.
+    frag_spans: Vec<SpanId>,
 }
 
 type St = Rc<RefCell<Xfer>>;
 
-pub fn start(
-    sim: &mut Sim<MpiWorld>,
-    s: Side,
-    r: Side,
-    send_req: Request,
-    recv_req: Request,
-) {
+pub fn start(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
     let total = s.total();
     if total == 0 {
         send_req.complete(sim, Ok(0));
@@ -65,6 +63,15 @@ pub fn start(
     }
     let s_rank = s.rank;
     let r_rank = r.rank;
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "copyio",
+        Track::Proto {
+            from: s_rank as u32,
+            to: r_rank as u32,
+        },
+    );
     ib_connection(sim, s_rank, r_rank, move |sim, conn| {
         let frag = conn.borrow().frag_size;
         let depth = conn.borrow().depth;
@@ -87,6 +94,8 @@ pub fn start(
             send_req,
             recv_req,
             zero_copy,
+            span,
+            frag_spans: vec![SpanId::disabled(); depth],
         }));
         // A dense host sender wires straight out of the user buffer,
         // which must be registered with the NIC once.
@@ -114,12 +123,25 @@ fn pump(sim: &mut Sim<MpiWorld>, st: St) {
             if x.next_seq >= x.nfrags {
                 return;
             }
-            let Some(slot) = x.free_slots.pop_front() else { return };
+            let Some(slot) = x.free_slots.pop_front() else {
+                return;
+            };
             let seq = x.next_seq;
             x.next_seq += 1;
             let n = x.frag.min(x.total - seq * x.frag);
             (slot, seq, n)
         };
+        {
+            let track = {
+                let x = st.borrow();
+                Track::Ring {
+                    from: x.s.rank as u32,
+                    to: x.r.rank as u32,
+                }
+            };
+            let id = sim.trace.span_begin(sim.now(), "mpirt", "frag", track);
+            st.borrow_mut().frag_spans[slot] = id;
+        }
         sender_stage(sim, Rc::clone(&st), slot, seq, n);
     }
 }
@@ -131,28 +153,44 @@ fn sender_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64) 
         let c = x.conn.borrow();
         (c.send_host[slot], c.send_dev[slot], x.zero_copy)
     };
-    let mut engine = st.borrow_mut().s_engine.take().expect("sender engine in use");
+    let mut engine = st
+        .borrow_mut()
+        .s_engine
+        .take()
+        .expect("sender engine in use");
     match &mut engine {
         SideEngine::Gpu(eng) => {
             if zero_copy {
                 // Kernel scatters straight into the mapped host slot.
                 let stw = Rc::clone(&st);
-                eng.process_fragment(sim, host_slot, n, |_| {}, move |sim, _| {
-                    wire(sim, stw, slot, seq, n, None);
-                });
+                eng.process_fragment(
+                    sim,
+                    host_slot,
+                    n,
+                    |_| {},
+                    move |sim, _| {
+                        wire(sim, stw, slot, seq, n, None);
+                    },
+                );
             } else {
                 // Kernel packs into the device slot, then DMA to host.
                 let stw = Rc::clone(&st);
-                eng.process_fragment(sim, dev_slot, n, |_| {}, move |sim, _| {
-                    let copy_stream = {
-                        let x = stw.borrow();
-                        sim.world.mpi.ranks[x.s.rank].copy_stream
-                    };
-                    let stw2 = Rc::clone(&stw);
-                    memcpy(sim, copy_stream, dev_slot, host_slot, n, move |sim, _| {
-                        wire(sim, stw2, slot, seq, n, None);
-                    });
-                });
+                eng.process_fragment(
+                    sim,
+                    dev_slot,
+                    n,
+                    |_| {},
+                    move |sim, _| {
+                        let copy_stream = {
+                            let x = stw.borrow();
+                            sim.world.mpi.ranks[x.s.rank].copy_stream
+                        };
+                        let stw2 = Rc::clone(&stw);
+                        memcpy(sim, copy_stream, dev_slot, host_slot, n, move |sim, _| {
+                            wire(sim, stw2, slot, seq, n, None);
+                        });
+                    },
+                );
             }
         }
         SideEngine::Cpu(eng) => {
@@ -205,8 +243,15 @@ fn wire(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64, direct_s
         let ch = sim.world.net().channel_mut(s_rank, r_rank);
         ch.data.reserve(now, n)
     };
+    let track = Track::LinkData {
+        from: s_rank as u32,
+        to: r_rank as u32,
+    };
+    sim.trace.span_at(now, arrive, "mpirt", "wire", track);
     sim.schedule_at(arrive, move |sim| {
         sim.world.mem().copy(src, dst, n).expect("wire copy");
+        sim.trace
+            .count("mpirt.wire.bytes", s_rank as u32, r_rank as u32, n);
         receiver_stage(sim, st, slot, seq, n, dst);
     });
 }
@@ -278,12 +323,22 @@ fn receiver_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64
 
 /// Run the GPU unpack engine on a fragment's bytes at `src`.
 fn run_unpack(sim: &mut Sim<MpiWorld>, st: St, src: Ptr, slot: usize, n: u64) {
-    let mut engine = st.borrow_mut().r_engine.take().expect("receiver engine in use");
+    let mut engine = st
+        .borrow_mut()
+        .r_engine
+        .take()
+        .expect("receiver engine in use");
     if let SideEngine::Gpu(eng) = &mut engine {
         let stw = Rc::clone(&st);
-        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
-            consumed(sim, stw, slot, n);
-        });
+        eng.process_fragment(
+            sim,
+            src,
+            n,
+            |_| {},
+            move |sim, _| {
+                consumed(sim, stw, slot, n);
+            },
+        );
     } else {
         unreachable!("run_unpack on a non-GPU engine");
     }
@@ -298,12 +353,15 @@ fn consumed(sim: &mut Sim<MpiWorld>, st: St, slot: usize, n: u64) {
         x.recvd += n;
         (x.s.rank, x.r.rank, x.recvd >= x.total)
     };
+    sim.trace.count(DELIVERED, s_rank as u32, r_rank as u32, n);
     if recv_finished {
         let x = st.borrow();
         x.recv_req.complete(sim, Ok(x.total));
     }
     let stw = Rc::clone(&st);
     send_am(sim, r_rank, s_rank, 16, move |sim| {
+        let frag_span = stw.borrow().frag_spans[slot];
+        sim.trace.span_end(sim.now(), frag_span);
         let send_finished = {
             let mut x = stw.borrow_mut();
             x.acked += n;
@@ -313,6 +371,8 @@ fn consumed(sim: &mut Sim<MpiWorld>, st: St, slot: usize, n: u64) {
         if send_finished {
             let x = stw.borrow();
             x.send_req.complete(sim, Ok(x.total));
+            let span = x.span;
+            sim.trace.span_end(sim.now(), span);
         } else {
             pump(sim, stw);
         }

@@ -5,16 +5,17 @@
 //! as soon as the data is buffered. The receiver unpacks at match time
 //! — possibly much later, from the unexpected queue.
 
-use gpusim::GpuWorld as _;
 use crate::cpupack::{CpuDir, CpuEngine};
 use crate::matcher::{Envelope, RecvPosting};
+use crate::protocol::sm::DELIVERED;
 use crate::request::{MpiError, Request};
 use crate::world::MpiWorld;
 use datatype::Signature;
 use devengine::pack_async;
+use gpusim::GpuWorld as _;
 use memsim::Ptr;
 use netsim::send_am;
-use simcore::Sim;
+use simcore::{Sim, SpanId, Track};
 use std::rc::Rc;
 
 use super::Side;
@@ -29,6 +30,15 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
         .expect("eager bounce alloc");
     let sig = Signature::of(&s.ty, s.count);
     let from = s.rank;
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "eager",
+        Track::Proto {
+            from: from as u32,
+            to: to as u32,
+        },
+    );
 
     let after_pack = move |sim: &mut Sim<MpiWorld>| {
         send_req.complete(sim, Ok(n));
@@ -41,7 +51,7 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
                 tag,
                 bytes: n,
                 starter: Box::new(move |sim, posting| {
-                    deliver(sim, posting, bounce, n, starter_sig);
+                    deliver(sim, posting, from, bounce, n, starter_sig, span);
                 }),
             };
             if let Some((posting, starter)) = sim.world.mpi.matcher.arrive(env) {
@@ -60,7 +70,15 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
         };
         let cfg = sim.world.mpi.config.engine.clone();
         pack_async(
-            sim, s.rank, stream, &s.ty, s.count, s.buf, bounce, cfg, Some(&cache),
+            sim,
+            s.rank,
+            stream,
+            &s.ty,
+            s.count,
+            s.buf,
+            bounce,
+            cfg,
+            Some(&cache),
             move |sim, _| after_pack(sim),
         );
     } else {
@@ -72,16 +90,28 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
 }
 
 /// Unpack a buffered eager message into the matched receive.
-fn deliver(sim: &mut Sim<MpiWorld>, posting: RecvPosting, bounce: Ptr, n: u64, sig: Signature) {
+fn deliver(
+    sim: &mut Sim<MpiWorld>,
+    posting: RecvPosting,
+    from: usize,
+    bounce: Ptr,
+    n: u64,
+    sig: Signature,
+    span: SpanId,
+) {
     if let Err(e) = posting.signature().check_recv(&sig) {
         posting.request.complete(sim, Err(MpiError::Type(e)));
         sim.world.mem().free(bounce).expect("free bounce");
+        sim.trace.span_end(sim.now(), span);
         return;
     }
     let req = posting.request.clone();
+    let to = posting.rank;
     let finish = move |sim: &mut Sim<MpiWorld>| {
+        sim.trace.count(DELIVERED, from as u32, to as u32, n);
         req.complete(sim, Ok(n));
         sim.world.mem().free(bounce).expect("free bounce");
+        sim.trace.span_end(sim.now(), span);
     };
     if n == 0 {
         finish(sim);
@@ -96,15 +126,27 @@ fn deliver(sim: &mut Sim<MpiWorld>, posting: RecvPosting, bounce: Ptr, n: u64, s
         // The message may be shorter than the posted receive; a single
         // capped fragment unpacks exactly the incoming prefix.
         let mut eng = devengine::FragmentEngine::new(
-            sim, posting.rank, stream, &posting.ty, posting.count, posting.buf,
-            devengine::Direction::Unpack, cfg, Some(&cache),
+            sim,
+            posting.rank,
+            stream,
+            &posting.ty,
+            posting.count,
+            posting.buf,
+            devengine::Direction::Unpack,
+            cfg,
+            Some(&cache),
         )
         .expect("committed type");
         eng.process_fragment(sim, bounce, n, |_| {}, move |sim, _| finish(sim));
     } else {
         let bw = sim.world.mpi.config.cpu_pack_bw;
         let mut eng = CpuEngine::new(
-            &posting.ty, posting.count, posting.buf, CpuDir::Unpack, posting.rank, bw,
+            &posting.ty,
+            posting.count,
+            posting.buf,
+            CpuDir::Unpack,
+            posting.rank,
+            bw,
         )
         .expect("committed type");
         eng.process_fragment(sim, bounce, n, move |sim, _| finish(sim));

@@ -50,11 +50,7 @@ pub(crate) enum SideEngine {
     Contig,
 }
 
-pub(crate) fn make_engine(
-    sim: &mut Sim<MpiWorld>,
-    side: &Side,
-    dir: Direction,
-) -> SideEngine {
+pub(crate) fn make_engine(sim: &mut Sim<MpiWorld>, side: &Side, dir: Direction) -> SideEngine {
     if side.dense() {
         return SideEngine::Contig;
     }

@@ -21,18 +21,31 @@ use crate::world::MpiWorld;
 use devengine::Direction;
 use gpusim::memcpy;
 use netsim::send_am;
-use simcore::Sim;
+use simcore::{Sim, SpanId, Track};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-pub fn start(
-    sim: &mut Sim<MpiWorld>,
-    s: Side,
-    r: Side,
-    send_req: Request,
-    recv_req: Request,
-) {
+/// Counter bumped by every event that lands payload bytes in the
+/// receiver's typed buffer; `tests/` asserts it equals the bytes the
+/// application actually received.
+pub(crate) const DELIVERED: &str = "mpi.delivered.bytes";
+
+fn proto_track(s_rank: usize, r_rank: usize) -> Track {
+    Track::Proto {
+        from: s_rank as u32,
+        to: r_rank as u32,
+    }
+}
+
+fn ring_track(s_rank: usize, r_rank: usize) -> Track {
+    Track::Ring {
+        from: s_rank as u32,
+        to: r_rank as u32,
+    }
+}
+
+pub fn start(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
     let total = s.total();
     if total == 0 {
         send_req.complete(sim, Ok(0));
@@ -54,13 +67,22 @@ fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv
     let src = s.data_ptr();
     let dst = r.data_ptr();
     let (s_rank, r_rank) = (s.rank, r.rank);
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "sm-both-dense",
+        proto_track(s_rank, r_rank),
+    );
     open_peer_buffer(sim, src, total, move |sim| {
         let copy_stream = sim.world.mpi.ranks[r_rank].copy_stream;
         memcpy(sim, copy_stream, src, dst, total, move |sim, _| {
+            sim.trace
+                .count(DELIVERED, s_rank as u32, r_rank as u32, total);
             recv_req.complete(sim, Ok(total));
             // Tell the sender its buffer is free.
             send_am(sim, r_rank, s_rank, 16, move |sim| {
                 send_req.complete(sim, Ok(total));
+                sim.trace.span_end(sim.now(), span);
             });
         });
     });
@@ -72,6 +94,12 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
     let total = s.total();
     let src = s.data_ptr();
     let (s_rank, r_rank) = (s.rank, r.rank);
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "sm-sender-dense",
+        proto_track(s_rank, r_rank),
+    );
     open_peer_buffer(sim, src, total, move |sim| {
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
             let unpacker = make_engine(sim, &r, Direction::Unpack);
@@ -87,6 +115,7 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
                 s_rank,
                 send_req,
                 recv_req,
+                span,
             }));
             pull_pump(sim, st);
         });
@@ -106,6 +135,7 @@ struct PullState {
     s_rank: usize,
     send_req: Request,
     recv_req: Request,
+    span: SpanId,
 }
 
 fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
@@ -127,6 +157,11 @@ fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
         };
         let _ = depth;
         let window = { st.borrow().src.add(seq * frag) };
+        let frag_span = {
+            let x = st.borrow();
+            sim.trace
+                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+        };
         match staging_slot {
             Some(stage) => {
                 // GET the window into local staging, then unpack locally.
@@ -136,42 +171,62 @@ fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
                 };
                 let stw = Rc::clone(&st);
                 memcpy(sim, copy_stream, window, stage, n, move |sim, _| {
-                    pull_unpack(sim, stw, stage, n);
+                    pull_unpack(sim, stw, stage, n, frag_span);
                 });
             }
             None => {
                 // Same GPU (or staging disabled): unpack from the
                 // window directly.
-                pull_unpack(sim, Rc::clone(&st), window, n);
+                pull_unpack(sim, Rc::clone(&st), window, n, frag_span);
             }
         }
     }
 }
 
-fn pull_unpack(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>, src: memsim::Ptr, n: u64) {
+fn pull_unpack(
+    sim: &mut Sim<MpiWorld>,
+    st: Rc<RefCell<PullState>>,
+    src: memsim::Ptr,
+    n: u64,
+    frag_span: SpanId,
+) {
     let mut engine = st.borrow_mut().engine.take().expect("unpacker in use");
     if let SideEngine::Gpu(eng) = &mut engine {
         let stw = Rc::clone(&st);
-        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
-            let finished = {
-                let mut x = stw.borrow_mut();
-                x.consumed += n;
-                x.inflight -= 1;
-                x.consumed >= x.total
-            };
-            if finished {
-                let x = stw.borrow();
-                x.recv_req.complete(sim, Ok(x.total));
-                let send_req = x.send_req.clone();
-                let (r, s, total) = (x.r_rank, x.s_rank, x.total);
-                drop(x);
-                send_am(sim, r, s, 16, move |sim| {
-                    send_req.complete(sim, Ok(total));
-                });
-            } else {
-                pull_pump(sim, stw);
-            }
-        });
+        eng.process_fragment(
+            sim,
+            src,
+            n,
+            |_| {},
+            move |sim, _| {
+                let finished = {
+                    let mut x = stw.borrow_mut();
+                    x.consumed += n;
+                    x.inflight -= 1;
+                    x.consumed >= x.total
+                };
+                {
+                    let x = stw.borrow();
+                    sim.trace
+                        .count(DELIVERED, x.s_rank as u32, x.r_rank as u32, n);
+                }
+                sim.trace.span_end(sim.now(), frag_span);
+                if finished {
+                    let x = stw.borrow();
+                    x.recv_req.complete(sim, Ok(x.total));
+                    let send_req = x.send_req.clone();
+                    let (r, s, total) = (x.r_rank, x.s_rank, x.total);
+                    let span = x.span;
+                    drop(x);
+                    send_am(sim, r, s, 16, move |sim| {
+                        send_req.complete(sim, Ok(total));
+                        sim.trace.span_end(sim.now(), span);
+                    });
+                } else {
+                    pull_pump(sim, stw);
+                }
+            },
+        );
     } else {
         unreachable!("sender_dense path requires a GPU unpacker");
     }
@@ -187,6 +242,12 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
     let total = s.total();
     let dst = r.data_ptr();
     let (s_rank, r_rank) = (s.rank, r.rank);
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "sm-receiver-dense",
+        proto_track(s_rank, r_rank),
+    );
     open_peer_buffer(sim, dst, total, move |sim| {
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
             let packer = make_engine(sim, &s, Direction::Pack);
@@ -202,6 +263,7 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
                 r_rank,
                 send_req,
                 recv_req,
+                span,
             }));
             put_pump(sim, st);
         });
@@ -221,6 +283,7 @@ struct PutState {
     r_rank: usize,
     send_req: Request,
     recv_req: Request,
+    span: SpanId,
 }
 
 fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
@@ -240,36 +303,58 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
             (seq, n, frag, slot_ptr)
         };
         // Pack into the local ring slot, then PUT to the final offset.
+        let frag_span = {
+            let x = st.borrow();
+            sim.trace
+                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+        };
         let mut engine = st.borrow_mut().engine.take().expect("packer in use");
         if let SideEngine::Gpu(eng) = &mut engine {
             let stw = Rc::clone(&st);
-            eng.process_fragment(sim, slot_ptr, n, |_| {}, move |sim, _| {
-                let (window, copy_stream) = {
-                    let x = stw.borrow();
-                    (x.dst.add(seq * frag), sim.world.mpi.ranks[x.s_rank].copy_stream)
-                };
-                let stw2 = Rc::clone(&stw);
-                memcpy(sim, copy_stream, slot_ptr, window, n, move |sim, _| {
-                    let finished = {
-                        let mut x = stw2.borrow_mut();
-                        x.put_bytes += n;
-                        x.inflight -= 1;
-                        x.put_bytes >= x.total
+            eng.process_fragment(
+                sim,
+                slot_ptr,
+                n,
+                |_| {},
+                move |sim, _| {
+                    let (window, copy_stream) = {
+                        let x = stw.borrow();
+                        (
+                            x.dst.add(seq * frag),
+                            sim.world.mpi.ranks[x.s_rank].copy_stream,
+                        )
                     };
-                    if finished {
-                        let x = stw2.borrow();
-                        x.send_req.complete(sim, Ok(x.total));
-                        let rreq = x.recv_req.clone();
-                        let (s_rank, r_rank, total) = (x.s_rank, x.r_rank, x.total);
-                        drop(x);
-                        send_am(sim, s_rank, r_rank, 16, move |sim| {
-                            rreq.complete(sim, Ok(total));
-                        });
-                    } else {
-                        put_pump(sim, stw2);
-                    }
-                });
-            });
+                    let stw2 = Rc::clone(&stw);
+                    memcpy(sim, copy_stream, slot_ptr, window, n, move |sim, _| {
+                        let finished = {
+                            let mut x = stw2.borrow_mut();
+                            x.put_bytes += n;
+                            x.inflight -= 1;
+                            x.put_bytes >= x.total
+                        };
+                        {
+                            let x = stw2.borrow();
+                            sim.trace
+                                .count(DELIVERED, x.s_rank as u32, x.r_rank as u32, n);
+                        }
+                        sim.trace.span_end(sim.now(), frag_span);
+                        if finished {
+                            let x = stw2.borrow();
+                            x.send_req.complete(sim, Ok(x.total));
+                            let rreq = x.recv_req.clone();
+                            let (s_rank, r_rank, total) = (x.s_rank, x.r_rank, x.total);
+                            let span = x.span;
+                            drop(x);
+                            send_am(sim, s_rank, r_rank, 16, move |sim| {
+                                rreq.complete(sim, Ok(total));
+                                sim.trace.span_end(sim.now(), span);
+                            });
+                        } else {
+                            put_pump(sim, stw2);
+                        }
+                    });
+                },
+            );
         } else {
             unreachable!("receiver_dense path requires a GPU packer");
         }
@@ -293,6 +378,7 @@ struct FullState {
     r_rank: usize,
     send_req: Request,
     recv_req: Request,
+    span: SpanId,
 }
 
 type FSt = Rc<RefCell<FullState>>;
@@ -300,6 +386,12 @@ type FSt = Rc<RefCell<FullState>>;
 fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
     let total = s.total();
     let (s_rank, r_rank) = (s.rank, r.rank);
+    let span = sim.trace.span_begin(
+        sim.now(),
+        "mpirt",
+        "sm-pipeline",
+        proto_track(s_rank, r_rank),
+    );
     sm_connection(sim, s_rank, r_rank, move |sim, conn| {
         let frag = conn.borrow().frag_size;
         let depth = conn.borrow().depth;
@@ -320,6 +412,7 @@ fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, r
             r_rank,
             send_req,
             recv_req,
+            span,
         }));
         full_pump(sim, st);
     });
@@ -332,28 +425,42 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
             if x.next_seq >= x.nfrags {
                 return;
             }
-            let Some(slot) = x.free_slots.pop_front() else { return };
+            let Some(slot) = x.free_slots.pop_front() else {
+                return;
+            };
             let seq = x.next_seq;
             x.next_seq += 1;
             let n = x.frag.min(x.total - seq * x.frag);
             let ring_slot = x.conn.borrow().ring[slot];
             (slot, n, ring_slot)
         };
-        // Sender packs the fragment into the ring slot...
+        // Sender packs the fragment into the ring slot... The frag span
+        // covers the slot's whole residency: claim here, recycle on ack.
+        let frag_span = {
+            let x = st.borrow();
+            sim.trace
+                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+        };
         let mut packer = st.borrow_mut().packer.take().expect("packer in use");
         if let SideEngine::Gpu(eng) = &mut packer {
             let stw = Rc::clone(&st);
-            eng.process_fragment(sim, ring_slot, n, |_| {}, move |sim, _| {
-                // ...then active-messages an unpack request (§4.1).
-                let (s_rank, r_rank) = {
-                    let x = stw.borrow();
-                    (x.s_rank, x.r_rank)
-                };
-                let stw2 = Rc::clone(&stw);
-                send_am(sim, s_rank, r_rank, 16, move |sim| {
-                    full_recv(sim, stw2, slot, n, ring_slot);
-                });
-            });
+            eng.process_fragment(
+                sim,
+                ring_slot,
+                n,
+                |_| {},
+                move |sim, _| {
+                    // ...then active-messages an unpack request (§4.1).
+                    let (s_rank, r_rank) = {
+                        let x = stw.borrow();
+                        (x.s_rank, x.r_rank)
+                    };
+                    let stw2 = Rc::clone(&stw);
+                    send_am(sim, s_rank, r_rank, 16, move |sim| {
+                        full_recv(sim, stw2, slot, n, ring_slot, frag_span);
+                    });
+                },
+            );
         } else {
             unreachable!("full pipeline requires GPU engines");
         }
@@ -361,7 +468,14 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
     }
 }
 
-fn full_recv(sim: &mut Sim<MpiWorld>, st: FSt, slot: usize, n: u64, ring_slot: memsim::Ptr) {
+fn full_recv(
+    sim: &mut Sim<MpiWorld>,
+    st: FSt,
+    slot: usize,
+    n: u64,
+    ring_slot: memsim::Ptr,
+    frag_span: SpanId,
+) {
     let staging = { st.borrow().conn.borrow().staging.as_ref().map(|v| v[slot]) };
     match staging {
         Some(stage) => {
@@ -371,44 +485,61 @@ fn full_recv(sim: &mut Sim<MpiWorld>, st: FSt, slot: usize, n: u64, ring_slot: m
             };
             let stw = Rc::clone(&st);
             memcpy(sim, copy_stream, ring_slot, stage, n, move |sim, _| {
-                full_unpack(sim, stw, stage, slot, n);
+                full_unpack(sim, stw, stage, slot, n, frag_span);
             });
         }
-        None => full_unpack(sim, Rc::clone(&st), ring_slot, slot, n),
+        None => full_unpack(sim, Rc::clone(&st), ring_slot, slot, n, frag_span),
     }
 }
 
-fn full_unpack(sim: &mut Sim<MpiWorld>, st: FSt, src: memsim::Ptr, slot: usize, n: u64) {
+fn full_unpack(
+    sim: &mut Sim<MpiWorld>,
+    st: FSt,
+    src: memsim::Ptr,
+    slot: usize,
+    n: u64,
+    frag_span: SpanId,
+) {
     let mut unpacker = st.borrow_mut().unpacker.take().expect("unpacker in use");
     if let SideEngine::Gpu(eng) = &mut unpacker {
         let stw = Rc::clone(&st);
-        eng.process_fragment(sim, src, n, |_| {}, move |sim, _| {
-            let (r_rank, s_rank, recv_finished) = {
-                let mut x = stw.borrow_mut();
-                x.recvd += n;
-                (x.r_rank, x.s_rank, x.recvd >= x.total)
-            };
-            if recv_finished {
-                let x = stw.borrow();
-                x.recv_req.complete(sim, Ok(x.total));
-            }
-            // Ack the slot so the sender can reuse it.
-            let stw2 = Rc::clone(&stw);
-            send_am(sim, r_rank, s_rank, 16, move |sim| {
-                let send_finished = {
-                    let mut x = stw2.borrow_mut();
-                    x.acked += n;
-                    x.free_slots.push_back(slot);
-                    x.acked >= x.total
+        eng.process_fragment(
+            sim,
+            src,
+            n,
+            |_| {},
+            move |sim, _| {
+                let (r_rank, s_rank, recv_finished) = {
+                    let mut x = stw.borrow_mut();
+                    x.recvd += n;
+                    (x.r_rank, x.s_rank, x.recvd >= x.total)
                 };
-                if send_finished {
-                    let x = stw2.borrow();
-                    x.send_req.complete(sim, Ok(x.total));
-                } else {
-                    full_pump(sim, stw2);
+                sim.trace.count(DELIVERED, s_rank as u32, r_rank as u32, n);
+                if recv_finished {
+                    let x = stw.borrow();
+                    x.recv_req.complete(sim, Ok(x.total));
                 }
-            });
-        });
+                // Ack the slot so the sender can reuse it.
+                let stw2 = Rc::clone(&stw);
+                send_am(sim, r_rank, s_rank, 16, move |sim| {
+                    sim.trace.span_end(sim.now(), frag_span);
+                    let send_finished = {
+                        let mut x = stw2.borrow_mut();
+                        x.acked += n;
+                        x.free_slots.push_back(slot);
+                        x.acked >= x.total
+                    };
+                    if send_finished {
+                        let x = stw2.borrow();
+                        x.send_req.complete(sim, Ok(x.total));
+                        let span = x.span;
+                        sim.trace.span_end(sim.now(), span);
+                    } else {
+                        full_pump(sim, stw2);
+                    }
+                });
+            },
+        );
     } else {
         unreachable!("full pipeline requires GPU engines");
     }

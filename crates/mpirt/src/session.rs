@@ -1,0 +1,317 @@
+//! The session API: one place that owns world construction, trace-sink
+//! configuration, and run finalization.
+//!
+//! A [`Session`] wraps `Sim<MpiWorld>`; build one with
+//! [`Session::builder`], drive it exactly like the `Sim` it derefs to,
+//! and call [`Session::finish`] to close the run, write the Chrome
+//! trace (if a sink was configured) and get the [`Metrics`] derived
+//! from the recorded events.
+//!
+//! ```
+//! use mpirt::{Session, SendArgs, RecvArgs};
+//! use datatype::DataType;
+//! use gpusim::GpuWorld as _;
+//!
+//! let mut sess = Session::builder().two_ranks_ib().build();
+//! let ty = DataType::contiguous(256, &DataType::double()).unwrap().commit();
+//! let sbuf = sess.world.mem().alloc(memsim::MemSpace::Host, 2048).unwrap();
+//! let rbuf = sess.world.mem().alloc(memsim::MemSpace::Host, 2048).unwrap();
+//! let s = mpirt::isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
+//! let r = mpirt::irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
+//! mpirt::api::wait_all(&mut sess, &[s, r]);
+//! let metrics = sess.finish();
+//! assert_eq!(metrics.counter("mpi.delivered.bytes"), 2048);
+//! ```
+
+use crate::config::MpiConfig;
+use crate::world::{MpiWorld, RankSpec};
+use memsim::GpuId;
+use simcore::{Metrics, Sim, SpanId, Track};
+use std::ops::{Deref, DerefMut};
+use std::path::PathBuf;
+
+/// Configures and builds a [`Session`]. Obtained from
+/// [`Session::builder`]; defaults to the paper's "2GPU" topology
+/// (two ranks on one node, one GPU each) with the default [`MpiConfig`].
+pub struct SessionBuilder {
+    specs: Vec<RankSpec>,
+    gpu_count: u32,
+    config: MpiConfig,
+    trace_path: Option<PathBuf>,
+    record: bool,
+    label: String,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder {
+            specs: vec![
+                RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                },
+                RankSpec {
+                    gpu: GpuId(1),
+                    node: 0,
+                },
+            ],
+            gpu_count: 2,
+            config: MpiConfig::default(),
+            trace_path: None,
+            record: false,
+            label: "run".to_string(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Two ranks on one node sharing a single GPU ("1GPU").
+    pub fn two_ranks_one_gpu(mut self) -> SessionBuilder {
+        self.specs = vec![
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+        ];
+        self.gpu_count = 1;
+        self
+    }
+
+    /// Two ranks on one node, each with its own GPU ("2GPU"). The
+    /// default.
+    pub fn two_ranks_two_gpus(mut self) -> SessionBuilder {
+        self.specs = vec![
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(1),
+                node: 0,
+            },
+        ];
+        self.gpu_count = 2;
+        self
+    }
+
+    /// Two ranks on different nodes connected by InfiniBand ("IB").
+    pub fn two_ranks_ib(mut self) -> SessionBuilder {
+        self.specs = vec![
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(1),
+                node: 1,
+            },
+        ];
+        self.gpu_count = 2;
+        self
+    }
+
+    /// Arbitrary rank placement over `gpu_count` GPUs per node.
+    pub fn ranks(mut self, specs: &[RankSpec], gpu_count: u32) -> SessionBuilder {
+        self.specs = specs.to_vec();
+        self.gpu_count = gpu_count;
+        self
+    }
+
+    /// Replace the runtime configuration.
+    pub fn config(mut self, config: MpiConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Name the run: becomes the Chrome trace process label.
+    pub fn label(mut self, label: impl Into<String>) -> SessionBuilder {
+        self.label = label.into();
+        self
+    }
+
+    /// Write a Chrome `trace_event` JSON file to `path` at
+    /// [`Session::finish`]. Implies [`SessionBuilder::record`].
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> SessionBuilder {
+        self.trace_path = Some(path.into());
+        self.record = true;
+        self
+    }
+
+    /// Record spans/instants in memory (for [`Session::metrics`])
+    /// without writing a trace file. Counters are always on regardless.
+    pub fn record(mut self) -> SessionBuilder {
+        self.record = true;
+        self
+    }
+
+    /// Conditional [`SessionBuilder::record`], for callers that decide
+    /// at runtime (the bench runner's trace pass).
+    pub fn record_if(mut self, on: bool) -> SessionBuilder {
+        self.record |= on;
+        self
+    }
+
+    /// Build the world and start the session.
+    pub fn build(self) -> Session {
+        let world = MpiWorld::new(&self.specs, self.gpu_count, self.config);
+        let mut sim = Sim::new(world);
+        sim.trace.set_recording(self.record);
+        // The run-level span: every recorded trace carries at least one
+        // `mpirt` span covering the whole session, so figure traces
+        // show the runtime layer even when they drive the engines
+        // directly rather than through a protocol.
+        let run_span = sim
+            .trace
+            .span_begin(sim.now(), "mpirt", "session", Track::Session);
+        Session {
+            sim,
+            label: self.label,
+            trace_path: self.trace_path,
+            run_span,
+        }
+    }
+}
+
+/// A running simulation plus its observability state. Derefs to
+/// `Sim<MpiWorld>`, so everything that takes `&mut Sim<MpiWorld>`
+/// (`isend`, `irecv`, `ping_pong`, the collectives) accepts a
+/// `&mut Session` unchanged.
+pub struct Session {
+    sim: Sim<MpiWorld>,
+    label: String,
+    trace_path: Option<PathBuf>,
+    run_span: SpanId,
+}
+
+impl Session {
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The run label configured at build time.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Metrics over everything recorded so far (the session is left
+    /// running). Counters are always populated; timing fields need the
+    /// builder's `record()` or `trace()`.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::from_trace(&self.sim.trace)
+    }
+
+    /// Take the simulation out of the session, dropping the
+    /// observability state (for handing off to APIs that want the
+    /// `Sim` by value).
+    pub fn into_sim(self) -> Sim<MpiWorld> {
+        self.sim
+    }
+
+    /// End the run span and hand back the raw tracer, for callers that
+    /// merge several runs into one trace document (the bench runner).
+    pub fn into_trace(mut self) -> simcore::Tracer {
+        let now = self.sim.now();
+        self.sim.trace.span_end(now, self.run_span);
+        std::mem::take(&mut self.sim.trace)
+    }
+
+    /// Close the run: end the session span, write the Chrome trace if a
+    /// sink was configured, and return the run's metrics.
+    pub fn finish(mut self) -> Metrics {
+        let now = self.sim.now();
+        self.sim.trace.span_end(now, self.run_span);
+        let metrics = Metrics::from_trace(&self.sim.trace);
+        if let Some(path) = &self.trace_path {
+            let json = self.sim.trace.chrome_json(&self.label);
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("write trace {}: {e}", path.display()));
+        }
+        metrics
+    }
+}
+
+impl Deref for Session {
+    type Target = Sim<MpiWorld>;
+    fn deref(&self) -> &Sim<MpiWorld> {
+        &self.sim
+    }
+}
+
+impl DerefMut for Session {
+    fn deref_mut(&mut self) -> &mut Sim<MpiWorld> {
+        &mut self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
+    use datatype::DataType;
+    use gpusim::GpuWorld as _;
+    use memsim::MemSpace;
+
+    fn contig(bytes: u64) -> DataType {
+        DataType::contiguous(bytes / 8, &DataType::double())
+            .unwrap()
+            .commit()
+    }
+
+    #[test]
+    fn session_runs_a_transfer_and_counts_delivered_bytes() {
+        let mut sess = Session::builder().two_ranks_ib().record().build();
+        let ty = contig(40_000);
+        let sbuf = sess.world.mem().alloc(MemSpace::Host, 40_000).unwrap();
+        let rbuf = sess.world.mem().alloc(MemSpace::Host, 40_000).unwrap();
+        let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
+        let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
+        wait_all(&mut sess, &[s, r]);
+        let metrics = sess.finish();
+        assert_eq!(metrics.counter("mpi.delivered.bytes"), 40_000);
+        assert!(metrics.makespan > simcore::SimTime::ZERO);
+    }
+
+    #[test]
+    fn finish_writes_chrome_trace_with_mpirt_spans() {
+        let path = std::env::temp_dir().join("mpirt-session-test-trace.json");
+        let mut sess = Session::builder()
+            .two_ranks_two_gpus()
+            .label("unit")
+            .trace(&path)
+            .build();
+        let ty = contig(512);
+        let sbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
+        let rbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
+        let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
+        let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
+        wait_all(&mut sess, &[s, r]);
+        sess.finish();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"cat\":\"mpirt\""));
+        assert!(json.contains("\"name\":\"session\""));
+    }
+
+    #[test]
+    fn metrics_without_recording_still_has_counters() {
+        let mut sess = Session::builder().two_ranks_ib().build();
+        let ty = contig(512);
+        let sbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
+        let rbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
+        let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
+        let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
+        wait_all(&mut sess, &[s, r]);
+        let m = sess.metrics();
+        assert_eq!(m.counter("mpi.delivered.bytes"), 512);
+        assert_eq!(
+            m.makespan,
+            simcore::SimTime::ZERO,
+            "no spans without record()"
+        );
+    }
+}

@@ -60,7 +60,11 @@ impl MpiWorld {
         let mut cluster = ClusterWorld::new(gpu_count);
         let mut ranks = Vec::with_capacity(specs.len());
         for (i, s) in specs.iter().enumerate() {
-            assert!(s.gpu.index() < gpu_count as usize, "rank {i} bound to missing {0}", s.gpu);
+            assert!(
+                s.gpu.index() < gpu_count as usize,
+                "rank {i} bound to missing {0}",
+                s.gpu
+            );
             let kernel_stream = cluster.gpu_system.create_stream(s.gpu);
             let copy_stream = cluster.gpu_system.create_stream(s.gpu);
             ranks.push(RankState {
@@ -99,8 +103,14 @@ impl MpiWorld {
     pub fn two_ranks_one_gpu(config: MpiConfig) -> MpiWorld {
         MpiWorld::new(
             &[
-                RankSpec { gpu: GpuId(0), node: 0 },
-                RankSpec { gpu: GpuId(0), node: 0 },
+                RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                },
+                RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                },
             ],
             1,
             config,
@@ -111,8 +121,14 @@ impl MpiWorld {
     pub fn two_ranks_two_gpus(config: MpiConfig) -> MpiWorld {
         MpiWorld::new(
             &[
-                RankSpec { gpu: GpuId(0), node: 0 },
-                RankSpec { gpu: GpuId(1), node: 0 },
+                RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                },
+                RankSpec {
+                    gpu: GpuId(1),
+                    node: 0,
+                },
             ],
             2,
             config,
@@ -123,8 +139,14 @@ impl MpiWorld {
     pub fn two_ranks_ib(config: MpiConfig) -> MpiWorld {
         MpiWorld::new(
             &[
-                RankSpec { gpu: GpuId(0), node: 0 },
-                RankSpec { gpu: GpuId(1), node: 1 },
+                RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                },
+                RankSpec {
+                    gpu: GpuId(1),
+                    node: 1,
+                },
             ],
             2,
             config,
@@ -197,6 +219,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "bound to missing")]
     fn binding_to_missing_gpu_fails() {
-        MpiWorld::new(&[RankSpec { gpu: GpuId(3), node: 0 }], 1, MpiConfig::default());
+        MpiWorld::new(
+            &[RankSpec {
+                gpu: GpuId(3),
+                node: 0,
+            }],
+            1,
+            MpiConfig::default(),
+        );
     }
 }

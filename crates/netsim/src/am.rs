@@ -8,7 +8,7 @@
 //! closure delivered with the message.
 
 use crate::world::NetWorld;
-use simcore::Sim;
+use simcore::{Sim, Track};
 
 /// Fixed header size of an active message (matches the BTL fragment
 /// header: callback reference + fragment index + tag).
@@ -28,7 +28,22 @@ pub fn send_am<W: NetWorld>(
         let ch = sim.world.net().channel_mut(from, to);
         ch.ctrl.reserve(now, AM_HEADER_BYTES + payload_bytes)
     };
-    sim.schedule_at(arrive, deliver);
+    let track = Track::LinkCtrl {
+        from: from as u32,
+        to: to as u32,
+    };
+    sim.trace.span_at(now, arrive, "netsim", "am", track);
+    sim.schedule_at(arrive, move |sim| {
+        sim.trace
+            .count("netsim.am.count", from as u32, to as u32, 1);
+        sim.trace.count(
+            "netsim.am.payload.bytes",
+            from as u32,
+            to as u32,
+            payload_bytes,
+        );
+        deliver(sim);
+    });
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use crate::world::NetWorld;
 use memsim::{MemError, Ptr, Registration};
-use simcore::Sim;
+use simcore::{Sim, Track};
 
 /// Ensure `ptr` is registered for RDMA. On a cache hit `done` runs
 /// immediately; on a miss the registration cost is charged on the
@@ -21,13 +21,25 @@ pub fn ensure_registered<W: NetWorld>(
     ptr: Ptr,
     done: impl FnOnce(&mut Sim<W>) + 'static,
 ) {
-    if sim.world.mem().registry.is_registered(ptr, Registration::Rdma) {
+    if sim
+        .world
+        .mem()
+        .registry
+        .is_registered(ptr, Registration::Rdma)
+    {
         done(sim);
         return;
     }
     let cost = sim.world.net().registration_cost;
     let now = sim.now();
-    let (_s, end) = sim.world.cpu(rank).reserve(now, cost);
+    let (start, end) = sim.world.cpu(rank).reserve(now, cost);
+    sim.trace.span_at(
+        start,
+        end,
+        "netsim",
+        "rdma-register",
+        Track::Cpu { rank: rank as u32 },
+    );
     sim.schedule_at(end, move |sim| {
         sim.world.mem().registry.register(ptr, Registration::Rdma);
         done(sim);
@@ -39,7 +51,10 @@ fn check_host(ptr: Ptr) -> Result<(), MemError> {
         // The paper stages large GPU messages through host memory (per
         // [14], GPUDirect RDMA only wins below ~30 KB); this simulation
         // models the staged path only.
-        return Err(MemError::WrongSpace { ptr, expected: memsim::MemSpace::Host });
+        return Err(MemError::WrongSpace {
+            ptr,
+            expected: memsim::MemSpace::Host,
+        });
     }
     Ok(())
 }
@@ -74,8 +89,22 @@ pub fn rdma_get<W: NetWorld>(
         let ch = sim.world.net().channel_mut(remote_rank, local_rank);
         ch.data.reserve(now, len)
     };
+    let track = Track::LinkData {
+        from: remote_rank as u32,
+        to: local_rank as u32,
+    };
+    sim.trace.span_at(now, arrive, "netsim", "rdma-get", track);
     sim.schedule_at(arrive, move |sim| {
-        sim.world.mem().copy(remote_src, local_dst, len).expect("rdma_get copy");
+        sim.world
+            .mem()
+            .copy(remote_src, local_dst, len)
+            .expect("rdma_get copy");
+        sim.trace.count(
+            "netsim.rdma.bytes",
+            remote_rank as u32,
+            local_rank as u32,
+            len,
+        );
         done(sim);
     });
 }
@@ -109,8 +138,22 @@ pub fn rdma_put<W: NetWorld>(
         let ch = sim.world.net().channel_mut(local_rank, remote_rank);
         ch.data.reserve(now, len)
     };
+    let track = Track::LinkData {
+        from: local_rank as u32,
+        to: remote_rank as u32,
+    };
+    sim.trace.span_at(now, arrive, "netsim", "rdma-put", track);
     sim.schedule_at(arrive, move |sim| {
-        sim.world.mem().copy(local_src, remote_dst, len).expect("rdma_put copy");
+        sim.world
+            .mem()
+            .copy(local_src, remote_dst, len)
+            .expect("rdma_put copy");
+        sim.trace.count(
+            "netsim.rdma.bytes",
+            local_rank as u32,
+            remote_rank as u32,
+            len,
+        );
         done(sim);
     });
 }
@@ -172,7 +215,10 @@ mod tests {
         sim.run();
         rdma_put(&mut sim, 0, 1, src, dst, 1024, |_| {});
         sim.run();
-        assert_eq!(sim.world.memory.read_vec(dst, 1024).unwrap(), vec![7u8; 1024]);
+        assert_eq!(
+            sim.world.memory.read_vec(dst, 1024).unwrap(),
+            vec![7u8; 1024]
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! GPUs + network.
 
 use crate::channel::NetSystem;
-use gpusim::{GpuSystem, GpuWorld, NodeTopology, GpuSpec};
+use gpusim::{GpuSpec, GpuSystem, GpuWorld, NodeTopology};
 use memsim::Memory;
 use simcore::FifoResource;
 

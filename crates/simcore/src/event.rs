@@ -7,6 +7,7 @@
 //! by insertion order, which makes runs bit-for-bit reproducible.
 
 use crate::time::SimTime;
+use crate::trace::Tracer;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -54,6 +55,9 @@ pub struct Sim<W> {
     executed: u64,
     /// The simulated world. Public so event closures can reach it.
     pub world: W,
+    /// Virtual-time trace recorder (spans, instants, byte counters).
+    /// Public so models can record from inside event closures.
+    pub trace: Tracer,
 }
 
 impl<W> Sim<W> {
@@ -66,6 +70,7 @@ impl<W> Sim<W> {
             next_seq: 0,
             executed: 0,
             world,
+            trace: Tracer::new(),
         }
     }
 
@@ -88,7 +93,11 @@ impl<W> Sim<W> {
     /// is a logic error in the models and panics in debug builds; in
     /// release it clamps to `now` to keep long runs alive.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let id = EventId(self.next_seq);
         self.queue.push(Scheduled {
@@ -102,7 +111,11 @@ impl<W> Sim<W> {
     }
 
     /// Schedule `f` to run `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> EventId {
         self.schedule_at(self.now + delay, f)
     }
 

@@ -21,8 +21,10 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventId, Sim};
 pub use rate::Bandwidth;
 pub use resource::FifoResource;
 pub use time::SimTime;
+pub use trace::{Metrics, SpanId, Tracer, Track};

@@ -3,7 +3,7 @@
 //! The simulated GPU kernels *really* move bytes between host-backed
 //! buffers; for multi-megabyte packs this is worth parallelizing across
 //! host cores. Rayon is outside this workspace's dependency policy, so we
-//! provide a tiny fork-join built on `crossbeam::scope` — enough for the
+//! provide a tiny fork-join built on `std::thread::scope` — enough for the
 //! two access patterns the datatype engine needs:
 //!
 //! * [`par_copy`] — one large contiguous copy, split into chunks;
@@ -45,12 +45,11 @@ pub fn par_copy(dst: &mut [u8], src: &[u8]) {
         return;
     }
     let chunk = dst.len().div_ceil(n);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-            scope.spawn(move |_| d.copy_from_slice(s));
+            scope.spawn(move || d.copy_from_slice(s));
         }
-    })
-    .expect("par_copy worker panicked");
+    });
 }
 
 #[cfg(debug_assertions)]
@@ -72,7 +71,7 @@ fn assert_dst_disjoint(ops: &[CopyOp]) {
 }
 
 /// Raw pointer wrapper so disjoint destination writes can cross the
-/// `crossbeam::scope` boundary.
+/// `std::thread::scope` boundary.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut u8);
 // SAFETY: every thread writes a disjoint destination range (checked in
@@ -129,9 +128,9 @@ pub fn par_transfer(dst: &mut [u8], src: &[u8], ops: &[CopyOp]) {
     }
 
     let dst_ptr = SendPtr(dst.as_mut_ptr());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for run in runs {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let dst_ptr = dst_ptr; // move the Copy wrapper into the thread
                 for o in run {
                     // SAFETY: bounds were checked above; destination
@@ -147,8 +146,7 @@ pub fn par_transfer(dst: &mut [u8], src: &[u8], ops: &[CopyOp]) {
                 }
             });
         }
-    })
-    .expect("par_transfer worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -178,7 +176,10 @@ mod tests {
             })
             .collect();
         par_transfer(&mut dst, &src, &ops);
-        let expect: Vec<u8> = (0..8).flat_map(|i| i * 8..i * 8 + 4).map(|v| v as u8).collect();
+        let expect: Vec<u8> = (0..8)
+            .flat_map(|i| i * 8..i * 8 + 4)
+            .map(|v| v as u8)
+            .collect();
         assert_eq!(dst, expect);
     }
 
@@ -229,8 +230,16 @@ mod tests {
         let src = vec![0u8; 32];
         let mut dst = vec![0u8; 32];
         let ops = [
-            CopyOp { src_off: 0, dst_off: 0, len: 8 },
-            CopyOp { src_off: 8, dst_off: 4, len: 8 },
+            CopyOp {
+                src_off: 0,
+                dst_off: 0,
+                len: 8,
+            },
+            CopyOp {
+                src_off: 8,
+                dst_off: 4,
+                len: 8,
+            },
         ];
         par_transfer(&mut dst, &src, &ops);
     }

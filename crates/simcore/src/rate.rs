@@ -46,7 +46,10 @@ impl Bandwidth {
     /// Derate this bandwidth by a multiplicative factor in `(0, 1]`,
     /// e.g. a contention share when another kernel occupies the GPU.
     pub fn derated(self, factor: f64) -> Bandwidth {
-        assert!(factor > 0.0 && factor <= 1.0, "derate factor {factor} out of (0,1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor {factor} out of (0,1]"
+        );
         Bandwidth(self.0 * factor)
     }
 

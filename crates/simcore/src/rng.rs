@@ -2,15 +2,107 @@
 //!
 //! All stochastic inputs in the workspace (fill patterns, randomized
 //! indexed layouts, contention arrival times) flow through a seeded
-//! [`rand::rngs::StdRng`], so every run of every benchmark and test is
-//! reproducible from its seed.
+//! [`SimRng`], so every run of every benchmark and test is reproducible
+//! from its seed. The generator is a self-contained xoshiro256**
+//! seeded via SplitMix64 — no external crates, identical output on
+//! every platform.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A small, fast, deterministic PRNG (xoshiro256** seeded by SplitMix64).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        // SplitMix64 expansion of the seed into the xoshiro state; this
+        // is the canonical recommended seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the span here is tiny
+        // relative to 2^64 so one rejection round is essentially free.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            let (hi128, lo128) = {
+                let m = (r as u128) * (span as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo128 >= threshold {
+                return lo + hi128;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `bool` with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fill a byte buffer with pseudo-random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range(0, items.len())]
+    }
+}
 
 /// Create a deterministic RNG from a 64-bit seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SimRng {
+    SimRng::new(seed)
 }
 
 /// Fill a byte buffer with a reproducible pseudo-random pattern.
@@ -51,5 +143,28 @@ mod tests {
         assert!(buf.iter().all(|&b| b != 0));
         // And differs across nearby positions.
         assert_ne!(buf[0], buf[1]);
+    }
+
+    #[test]
+    fn range_stays_in_bounds_and_covers() {
+        let mut r = rng(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.range(3, 13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle is not identity");
     }
 }

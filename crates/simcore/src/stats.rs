@@ -46,11 +46,19 @@ impl Summary {
     }
 
     pub fn min(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.min }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
     }
 
     pub fn max(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.max }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
     }
 
     /// Sample standard deviation.

@@ -1,0 +1,661 @@
+//! Virtual-time tracing: spans, instant events and monotonic counters
+//! stamped with [`SimTime`], plus the per-run [`Metrics`] aggregate
+//! derived from them.
+//!
+//! Every [`crate::Sim`] owns a [`Tracer`]. Models record *spans* for
+//! work that occupies a resource over a virtual-time window (a kernel
+//! on a stream, a fragment on a wire, DEV preparation on a CPU),
+//! *instants* for point events (cache hit/miss), and *counters* for
+//! byte totals. Counters are incremented inside the same events that
+//! move the bytes — there is no parallel bookkeeping — so they double
+//! as correctness checks: bytes packed must equal bytes delivered must
+//! equal bytes unpacked for every protocol run.
+//!
+//! Span/instant recording is off by default (zero allocation on hot
+//! paths); counters are always on, they are a handful of integer adds.
+//! The recorded form exports directly as Chrome `trace_event` JSON,
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a span ran: a stable, allocation-free identifier that maps to
+/// one row ("thread") in the trace viewer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Track {
+    /// A CUDA stream on a GPU.
+    Stream { gpu: u32, index: u32 },
+    /// A rank's host CPU.
+    Cpu { rank: u32 },
+    /// The control (active-message) half of a link.
+    LinkCtrl { from: u32, to: u32 },
+    /// The data (RDMA / fragment) half of a link.
+    LinkData { from: u32, to: u32 },
+    /// The fragment ring of a connection.
+    Ring { from: u32, to: u32 },
+    /// Protocol-level state machine for a rank pair.
+    Proto { from: u32, to: u32 },
+    /// Session / run-level spans.
+    Session,
+}
+
+impl std::fmt::Display for Track {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Track::Stream { gpu, index } => write!(f, "gpu{gpu}/stream{index}"),
+            Track::Cpu { rank } => write!(f, "rank{rank}/cpu"),
+            Track::LinkCtrl { from, to } => write!(f, "link {from}->{to} ctrl"),
+            Track::LinkData { from, to } => write!(f, "link {from}->{to} data"),
+            Track::Ring { from, to } => write!(f, "ring {from}->{to}"),
+            Track::Proto { from, to } => write!(f, "proto {from}->{to}"),
+            Track::Session => write!(f, "session"),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A closed span: work occupying `track` over `[start, end]`.
+    Span {
+        cat: &'static str,
+        name: &'static str,
+        track: Track,
+        start: SimTime,
+        end: SimTime,
+    },
+    /// A point event.
+    Instant {
+        cat: &'static str,
+        name: &'static str,
+        track: Track,
+        at: SimTime,
+    },
+}
+
+/// Handle to a span opened with [`Tracer::span_begin`].
+#[derive(Clone, Copy, Debug)]
+#[must_use = "close the span with span_end"]
+pub struct SpanId(usize);
+
+const SPAN_DISABLED: usize = usize::MAX;
+
+impl SpanId {
+    /// An inert handle: [`Tracer::span_end`] on it is a no-op. Useful
+    /// as a placeholder in state structs before a span is opened.
+    pub const fn disabled() -> SpanId {
+        SpanId(SPAN_DISABLED)
+    }
+}
+
+struct OpenSpan {
+    cat: &'static str,
+    name: &'static str,
+    track: Track,
+    start: SimTime,
+}
+
+/// Monotonic counter identity: a static name plus two small dimensions
+/// (rank/GPU/link endpoints — 0 when unused).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct CounterKey {
+    pub name: &'static str,
+    pub a: u32,
+    pub b: u32,
+}
+
+/// The per-simulation trace recorder. Owned by [`crate::Sim`] as the
+/// public `trace` field.
+#[derive(Default)]
+pub struct Tracer {
+    recording: bool,
+    events: Vec<TraceEvent>,
+    open: Vec<Option<OpenSpan>>,
+    counters: BTreeMap<CounterKey, u64>,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Turn span/instant recording on or off. Counters are unaffected
+    /// (always on).
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Record a span whose window is already known — the shape of every
+    /// `FifoResource::reserve` call site, which learns `(start, end)` up
+    /// front.
+    pub fn span_at(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        cat: &'static str,
+        name: &'static str,
+        track: Track,
+    ) {
+        if !self.recording {
+            return;
+        }
+        debug_assert!(end >= start, "span {name} ends before it starts");
+        self.events.push(TraceEvent::Span {
+            cat,
+            name,
+            track,
+            start,
+            end,
+        });
+    }
+
+    /// Open a span now; close it with [`Tracer::span_end`]. Used for
+    /// protocol lifecycles whose end is not known at the start.
+    pub fn span_begin(
+        &mut self,
+        now: SimTime,
+        cat: &'static str,
+        name: &'static str,
+        track: Track,
+    ) -> SpanId {
+        if !self.recording {
+            return SpanId(SPAN_DISABLED);
+        }
+        self.open.push(Some(OpenSpan {
+            cat,
+            name,
+            track,
+            start: now,
+        }));
+        SpanId(self.open.len() - 1)
+    }
+
+    /// Close a span opened with [`Tracer::span_begin`]. Panics if the
+    /// span is closed twice or closes before it opened — spans must
+    /// nest and close in virtual-time order.
+    pub fn span_end(&mut self, now: SimTime, id: SpanId) {
+        if id.0 == SPAN_DISABLED {
+            return;
+        }
+        let open = self.open[id.0].take().expect("span closed twice");
+        assert!(
+            now >= open.start,
+            "span {} closes at {now:?} before it opened at {:?}",
+            open.name,
+            open.start
+        );
+        self.events.push(TraceEvent::Span {
+            cat: open.cat,
+            name: open.name,
+            track: open.track,
+            start: open.start,
+            end: now,
+        });
+    }
+
+    /// Record a point event.
+    pub fn instant(&mut self, at: SimTime, cat: &'static str, name: &'static str, track: Track) {
+        if !self.recording {
+            return;
+        }
+        self.events.push(TraceEvent::Instant {
+            cat,
+            name,
+            track,
+            at,
+        });
+    }
+
+    /// Bump a counter. Always on; call this from the event that
+    /// actually moves the bytes it counts.
+    pub fn count(&mut self, name: &'static str, a: u32, b: u32, delta: u64) {
+        *self.counters.entry(CounterKey { name, a, b }).or_insert(0) += delta;
+    }
+
+    /// Total of a counter across all dimensions.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// One dimension of a counter.
+    pub fn counter_at(&self, name: &str, a: u32, b: u32) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name && k.a == a && k.b == b)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> impl Iterator<Item = (CounterKey, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of spans still open. Zero after a well-formed run.
+    pub fn open_spans(&self) -> usize {
+        self.open.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The distinct tracks touched by recorded events, in stable order.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut set = BTreeSet::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Span { track, .. } | TraceEvent::Instant { track, .. } => {
+                    set.insert(*track);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Append this trace's Chrome `trace_event` objects to `out`, one
+    /// JSON object per element, under process id `pid` (named `label`).
+    /// Timestamps are microseconds as the format requires.
+    pub fn chrome_events(&self, pid: u32, label: &str, out: &mut Vec<String>) {
+        out.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            json_escape(label)
+        ));
+        let tracks = self.tracks();
+        let tid_of = |t: &Track| tracks.iter().position(|x| x == t).unwrap() as u32 + 1;
+        for t in &tracks {
+            out.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{},"args":{{"name":"{}"}}}}"#,
+                tid_of(t),
+                json_escape(&t.to_string())
+            ));
+        }
+        for e in &self.events {
+            match e {
+                TraceEvent::Span {
+                    cat,
+                    name,
+                    track,
+                    start,
+                    end,
+                } => {
+                    let ts = start.as_nanos() as f64 / 1000.0;
+                    let dur = (end.as_nanos() - start.as_nanos()) as f64 / 1000.0;
+                    out.push(format!(
+                        r#"{{"name":"{name}","cat":"{cat}","ph":"X","ts":{ts},"dur":{dur},"pid":{pid},"tid":{}}}"#,
+                        tid_of(track)
+                    ));
+                }
+                TraceEvent::Instant {
+                    cat,
+                    name,
+                    track,
+                    at,
+                } => {
+                    let ts = at.as_nanos() as f64 / 1000.0;
+                    out.push(format!(
+                        r#"{{"name":"{name}","cat":"{cat}","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{}}}"#,
+                        tid_of(track)
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The whole trace as a single-process Chrome JSON document.
+    pub fn chrome_json(&self, label: &str) -> String {
+        let mut events = Vec::new();
+        self.chrome_events(1, label, &mut events);
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Coarse classification of spans into pipeline stages, used for the
+/// overlap computation. The paper's pipeline hides `Prep` (CPU DEV
+/// generation / host packing) and `Copy`/`Wire` behind `Kernel`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum WorkClass {
+    /// CPU-side preparation: DEV generation, host pack/unpack.
+    Prep,
+    /// GPU pack/unpack kernels.
+    Kernel,
+    /// memcpy engines (H2D/D2H/D2D/P2P).
+    Copy,
+    /// Link occupancy: AMs, RDMA, staged wire fragments.
+    Wire,
+}
+
+impl WorkClass {
+    /// Classify a span by its category/name; `None` for spans that are
+    /// not pipeline work (protocol lifecycles, sync, session spans).
+    pub fn of(cat: &str, name: &str) -> Option<WorkClass> {
+        match cat {
+            "devengine" | "cpupack" => Some(WorkClass::Prep),
+            "gpusim" => match name {
+                "kernel" => Some(WorkClass::Kernel),
+                n if n.starts_with("memcpy") => Some(WorkClass::Copy),
+                _ => None,
+            },
+            "netsim" => Some(WorkClass::Wire),
+            _ => None,
+        }
+    }
+}
+
+/// Per-run aggregate metrics, derived entirely from the recorded trace.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Virtual time spanned by classified work (first start → last end).
+    pub makespan: SimTime,
+    /// Busy time per work class (union of that class's spans).
+    pub class_busy: BTreeMap<WorkClass, SimTime>,
+    /// Union busy time across all classified work.
+    pub union_busy: SimTime,
+    /// Pipeline overlap: `100 * (Σ class busy − union busy) / union
+    /// busy`. Zero when stages strictly serialize; positive when any
+    /// two classes run concurrently.
+    pub overlap_pct: f64,
+    /// Fraction of the makespan with at least one kernel running.
+    pub kernel_occupancy: f64,
+    /// Average number of in-flight ring fragments (Σ fragment-span
+    /// durations / makespan).
+    pub ring_residency: f64,
+    /// Final counter totals (bytes moved per link/space, AM counts...).
+    pub counters: Vec<(CounterKey, u64)>,
+}
+
+/// Union length of a set of intervals.
+fn union_busy(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+                let _ = cs;
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+impl Metrics {
+    /// Compute metrics from a recorded trace. Requires recording to
+    /// have been on during the run (counters alone carry no timing).
+    pub fn from_trace(trace: &Tracer) -> Metrics {
+        let mut per_class: BTreeMap<WorkClass, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        let mut kernel: Vec<(u64, u64)> = Vec::new();
+        let mut frag_total = 0u64;
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for e in trace.events() {
+            let TraceEvent::Span {
+                cat,
+                name,
+                start,
+                end,
+                track,
+            } = e
+            else {
+                continue;
+            };
+            if *cat == "mpirt" && *name == "frag" {
+                frag_total += end.as_nanos() - start.as_nanos();
+            }
+            let Some(class) = WorkClass::of(cat, name) else {
+                let _ = track;
+                continue;
+            };
+            let iv = (start.as_nanos(), end.as_nanos());
+            lo = lo.min(iv.0);
+            hi = hi.max(iv.1);
+            per_class.entry(class).or_default().push(iv);
+            all.push(iv);
+            if class == WorkClass::Kernel {
+                kernel.push(iv);
+            }
+        }
+        if all.is_empty() {
+            // No timing spans (recording off) — counters still apply.
+            return Metrics {
+                counters: trace.counters().collect(),
+                ..Metrics::default()
+            };
+        }
+        let makespan = hi - lo;
+        let union = union_busy(all);
+        let mut class_busy = BTreeMap::new();
+        let mut sum = 0u64;
+        for (class, iv) in per_class {
+            let busy = union_busy(iv);
+            sum += busy;
+            class_busy.insert(class, SimTime::from_nanos(busy));
+        }
+        let overlap_pct = if union > 0 {
+            100.0 * (sum - union) as f64 / union as f64
+        } else {
+            0.0
+        };
+        let kernel_busy = union_busy(kernel);
+        Metrics {
+            makespan: SimTime::from_nanos(makespan),
+            class_busy,
+            union_busy: SimTime::from_nanos(union),
+            overlap_pct,
+            kernel_occupancy: if makespan > 0 {
+                kernel_busy as f64 / makespan as f64
+            } else {
+                0.0
+            },
+            ring_residency: if makespan > 0 {
+                frag_total as f64 / makespan as f64
+            } else {
+                0.0
+            },
+            counters: trace.counters().collect(),
+        }
+    }
+
+    /// Final total of a named counter, summed across its dimensions.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "makespan          {}", self.makespan);
+        for (class, busy) in &self.class_busy {
+            let _ = writeln!(s, "busy[{class:?}]{:<8} {busy}", "");
+        }
+        let _ = writeln!(s, "busy[any]         {}", self.union_busy);
+        let _ = writeln!(s, "overlap           {:.1}%", self.overlap_pct);
+        let _ = writeln!(s, "kernel occupancy  {:.1}%", self.kernel_occupancy * 100.0);
+        let _ = writeln!(
+            s,
+            "ring residency    {:.2} fragments in flight",
+            self.ring_residency
+        );
+        for (k, v) in &self.counters {
+            if k.a == 0 && k.b == 0 {
+                let _ = writeln!(s, "{:<24} {v}", k.name);
+            } else {
+                let _ = writeln!(s, "{:<24} {v}  [{}->{}]", k.name, k.a, k.b);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Track = Track::Cpu { rank: 0 };
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn spans_record_only_when_recording() {
+        let mut t = Tracer::new();
+        t.span_at(ns(0), ns(10), "gpusim", "kernel", T);
+        assert!(t.events().is_empty());
+        t.set_recording(true);
+        t.span_at(ns(0), ns(10), "gpusim", "kernel", T);
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn counters_always_on() {
+        let mut t = Tracer::new();
+        t.count("x.bytes", 0, 1, 7);
+        t.count("x.bytes", 0, 1, 5);
+        t.count("x.bytes", 2, 3, 1);
+        assert_eq!(t.counter_at("x.bytes", 0, 1), 12);
+        assert_eq!(t.counter("x.bytes"), 13);
+        assert_eq!(t.counter("y.bytes"), 0);
+    }
+
+    #[test]
+    fn begin_end_spans_close_in_time_order() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        let outer = t.span_begin(ns(10), "mpirt", "rendezvous", T);
+        let inner = t.span_begin(ns(20), "mpirt", "frag", T);
+        t.span_end(ns(30), inner);
+        t.span_end(ns(50), outer);
+        assert_eq!(t.open_spans(), 0);
+        // Both spans recorded with their true windows.
+        let spans: Vec<(u64, u64)> = t
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { start, end, .. } => Some((start.as_nanos(), end.as_nanos())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec![(20, 30), (10, 50)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed twice")]
+    fn double_close_panics() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        let id = t.span_begin(ns(0), "mpirt", "run", T);
+        t.span_end(ns(1), id);
+        t.span_end(ns(2), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "before it opened")]
+    fn closing_before_opening_panics() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        let id = t.span_begin(ns(10), "mpirt", "run", T);
+        t.span_end(ns(5), id);
+    }
+
+    #[test]
+    fn disabled_span_handles_are_inert() {
+        let mut t = Tracer::new();
+        let id = t.span_begin(ns(0), "mpirt", "run", T);
+        t.span_end(ns(5), id);
+        assert!(t.events().is_empty());
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        assert_eq!(union_busy(vec![(0, 10), (5, 15), (20, 30)]), 25);
+        assert_eq!(union_busy(vec![]), 0);
+        assert_eq!(union_busy(vec![(3, 3)]), 0);
+    }
+
+    #[test]
+    fn overlap_zero_when_serialized() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        t.span_at(ns(0), ns(10), "devengine", "prep", T);
+        t.span_at(
+            ns(10),
+            ns(30),
+            "gpusim",
+            "kernel",
+            Track::Stream { gpu: 0, index: 0 },
+        );
+        let m = Metrics::from_trace(&t);
+        assert_eq!(m.overlap_pct, 0.0);
+        assert_eq!(m.makespan, ns(30));
+        assert_eq!(m.union_busy, ns(30));
+    }
+
+    #[test]
+    fn overlap_positive_when_pipelined() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        // Prep of fragment i+1 hides behind kernel of fragment i.
+        t.span_at(ns(0), ns(10), "devengine", "prep", T);
+        t.span_at(
+            ns(10),
+            ns(30),
+            "gpusim",
+            "kernel",
+            Track::Stream { gpu: 0, index: 0 },
+        );
+        t.span_at(ns(10), ns(20), "devengine", "prep", T);
+        let m = Metrics::from_trace(&t);
+        assert!(m.overlap_pct > 0.0, "overlap {}", m.overlap_pct);
+        assert_eq!(m.kernel_occupancy, 20.0 / 30.0);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = Tracer::new();
+        t.set_recording(true);
+        t.span_at(
+            ns(1000),
+            ns(2500),
+            "gpusim",
+            "kernel",
+            Track::Stream { gpu: 0, index: 1 },
+        );
+        t.instant(ns(1200), "devengine", "dev-cache-hit", T);
+        let json = t.chrome_json("test");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains("gpu0/stream1"));
+        assert!(json.contains(r#""ts":1,"dur":1.5"#));
+        // Balanced braces as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

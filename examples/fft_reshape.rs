@@ -9,11 +9,9 @@
 //! cargo run --release --example fft_reshape
 //! ```
 
-use gpu_ddt::datatype::{DataType, Signature};
+use gpu_ddt::datatype::Signature;
 use gpu_ddt::memsim::MemSpace;
-use gpu_ddt::mpirt::api::{ping_pong, PingPongSpec};
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
-use gpu_ddt::simcore::Sim;
+use gpu_ddt::prelude::*;
 
 fn main() {
     let n: u64 = 1024; // n x n doubles
@@ -35,16 +33,19 @@ fn main() {
         sv.element_count()
     );
 
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-    let gpu0 = sim.world.mpi.ranks[0].gpu;
-    let gpu1 = sim.world.mpi.ranks[1].gpu;
-    let b0 = sim
+    let mut sess = Session::builder()
+        .two_ranks_two_gpus()
+        .label("fft-reshape")
+        .build();
+    let gpu0 = sess.world.mpi.ranks[0].gpu;
+    let gpu1 = sess.world.mpi.ranks[1].gpu;
+    let b0 = sess
         .world
         .cluster
         .memory
         .alloc(MemSpace::Device(gpu0), vector.extent() as u64)
         .unwrap();
-    let b1 = sim
+    let b1 = sess
         .world
         .cluster
         .memory
@@ -53,7 +54,7 @@ fn main() {
 
     // Reshape ping-pong: vector out, contiguous back.
     let per_rt = ping_pong(
-        &mut sim,
+        &mut sess,
         PingPongSpec {
             ty0: vector.clone(),
             count0: 1,
@@ -71,21 +72,24 @@ fn main() {
     );
 
     // Compare against both sides non-contiguous (no fast path).
-    let mut sim2 = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-    let c0 = sim2
+    let mut sess2 = Session::builder()
+        .two_ranks_two_gpus()
+        .label("fft-reshape-vv")
+        .build();
+    let c0 = sess2
         .world
         .cluster
         .memory
         .alloc(MemSpace::Device(gpu0), vector.extent() as u64)
         .unwrap();
-    let c1 = sim2
+    let c1 = sess2
         .world
         .cluster
         .memory
         .alloc(MemSpace::Device(gpu1), vector.extent() as u64)
         .unwrap();
     let per_rt_vv = ping_pong(
-        &mut sim2,
+        &mut sess2,
         PingPongSpec {
             ty0: vector.clone(),
             count0: 1,

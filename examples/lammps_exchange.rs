@@ -8,14 +8,9 @@
 //! cargo run --release --example lammps_exchange
 //! ```
 
-use gpu_ddt::datatype::DataType;
 use gpu_ddt::memsim::MemSpace;
-use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
+use gpu_ddt::prelude::*;
 use gpu_ddt::simcore::rng::rng;
-use gpu_ddt::simcore::Sim;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// One particle: position (3 doubles) + velocity (3 doubles) + id/type
 /// packed into one more double-slot. 56 bytes, like LAMMPS' `x`/`v`
@@ -29,7 +24,7 @@ fn main() {
     // Deterministically pick which particles leave the domain.
     let mut r = rng(2016);
     let mut idx: Vec<i64> = (0..n_particles as i64).collect();
-    idx.shuffle(&mut r);
+    r.shuffle(&mut idx);
     let mut leaving = idx[..n_leaving].to_vec();
     leaving.sort_unstable(); // LAMMPS builds its lists in index order
 
@@ -47,12 +42,20 @@ fn main() {
         send_ty
     );
 
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-    let gpu0 = sim.world.mpi.ranks[0].gpu;
-    let gpu1 = sim.world.mpi.ranks[1].gpu;
+    let mut sess = Session::builder()
+        .two_ranks_two_gpus()
+        .label("lammps-exchange")
+        .build();
+    let gpu0 = sess.world.mpi.ranks[0].gpu;
+    let gpu1 = sess.world.mpi.ranks[1].gpu;
     let array_bytes = n_particles * PARTICLE_DOUBLES * 8;
-    let sbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu0), array_bytes).unwrap();
-    let rbuf = sim
+    let sbuf = sess
+        .world
+        .cluster
+        .memory
+        .alloc(MemSpace::Device(gpu0), array_bytes)
+        .unwrap();
+    let rbuf = sess
         .world
         .cluster
         .memory
@@ -63,37 +66,36 @@ fn main() {
     let mut data = vec![0u8; array_bytes as usize];
     let mut rr = rng(7);
     rr.fill(&mut data[..]);
-    sim.world.cluster.memory.write(sbuf, &data).unwrap();
+    sess.world.cluster.memory.write(sbuf, &data).unwrap();
 
     // Two exchanges: the first pays DEV conversion, the second reuses
     // the cached CUDA-DEVs (LAMMPS reuses its lists across many steps).
     for step in 0..2 {
-        let t0 = sim.now();
-        let s = isend(
-            &mut sim,
-            SendArgs { from: 0, to: 1, tag: step, ty: send_ty.clone(), count: 1, buf: sbuf },
-        );
-        let rv = irecv(
-            &mut sim,
-            RecvArgs {
-                rank: 1,
-                src: Some(0),
-                tag: Some(step),
-                ty: recv_ty.clone(),
-                count: 1,
-                buf: rbuf,
-            },
-        );
-        wait_all(&mut sim, &[s, rv]);
-        println!("step {step}: exchange took {}", sim.now() - t0);
+        let t0 = sess.now();
+        let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &send_ty, 1).tag(step));
+        let rv = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &recv_ty, 1).tag(step));
+        wait_all(&mut sess, &[s, rv]);
+        println!("step {step}: exchange took {}", sess.now() - t0);
     }
 
     // Verify the gathered records.
-    let got = sim.world.cluster.memory.read_vec(rbuf, send_ty.size()).unwrap();
+    let got = sess
+        .world
+        .cluster
+        .memory
+        .read_vec(rbuf, send_ty.size())
+        .unwrap();
     let rec = (PARTICLE_DOUBLES * 8) as usize;
     for (k, &i) in leaving.iter().enumerate() {
         let src = i as usize * rec;
-        assert_eq!(&got[k * rec..(k + 1) * rec], &data[src..src + rec], "particle {i}");
+        assert_eq!(
+            &got[k * rec..(k + 1) * rec],
+            &data[src..src + rec],
+            "particle {i}"
+        );
     }
+
+    let metrics = sess.finish();
+    assert_eq!(metrics.counter("mpi.delivered.bytes"), 2 * send_ty.size());
     println!("OK — all {n_leaving} migrated particles verified");
 }

@@ -11,11 +11,10 @@
 //! InfiniBand across nodes — while the GPU datatype engine handles the
 //! non-contiguous blocks on both ends.
 
-use gpu_ddt::datatype::DataType;
 use gpu_ddt::memsim::{GpuId, MemSpace};
 use gpu_ddt::mpirt::coll::alltoall;
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld, RankSpec};
-use gpu_ddt::simcore::Sim;
+use gpu_ddt::mpirt::RankSpec;
+use gpu_ddt::prelude::*;
 
 fn main() {
     let p = 4usize;
@@ -32,24 +31,39 @@ fn main() {
     );
 
     let specs = [
-        RankSpec { gpu: GpuId(0), node: 0 },
-        RankSpec { gpu: GpuId(1), node: 0 },
-        RankSpec { gpu: GpuId(2), node: 1 },
-        RankSpec { gpu: GpuId(3), node: 1 },
+        RankSpec {
+            gpu: GpuId(0),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(1),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(2),
+            node: 1,
+        },
+        RankSpec {
+            gpu: GpuId(3),
+            node: 1,
+        },
     ];
-    let mut sim = Sim::new(MpiWorld::new(&specs, 4, MpiConfig::default()));
+    let mut sess = Session::builder()
+        .ranks(&specs, 4)
+        .label("alltoall")
+        .build();
 
     let mut send_bufs = Vec::new();
     let mut recv_bufs = Vec::new();
     for r in 0..p {
-        let gpu = sim.world.mpi.ranks[r].gpu;
-        let s = sim
+        let gpu = sess.world.mpi.ranks[r].gpu;
+        let s = sess
             .world
             .cluster
             .memory
             .alloc(MemSpace::Device(gpu), block * p as u64)
             .unwrap();
-        let d = sim
+        let d = sess
             .world
             .cluster
             .memory
@@ -59,24 +73,28 @@ fn main() {
         for i in 0..p {
             let marker = (r * p + i + 1) as u8;
             let bytes = vec![marker; block as usize];
-            sim.world.cluster.memory.write(s.add(i as u64 * block), &bytes).unwrap();
+            sess.world
+                .cluster
+                .memory
+                .write(s.add(i as u64 * block), &bytes)
+                .unwrap();
         }
         send_bufs.push(s);
         recv_bufs.push(d);
     }
 
-    let t0 = sim.now();
-    let req = alltoall(&mut sim, &tile, 1, &send_bufs, &recv_bufs, 0);
-    sim.run();
+    let t0 = sess.now();
+    let req = alltoall(&mut sess, &tile, 1, &send_bufs, &recv_bufs, 0);
+    sess.run();
     assert!(req.is_complete());
-    let dt = sim.now() - t0;
+    let dt = sess.now() - t0;
     println!("alltoall completed in {dt} (virtual time)");
 
     // Verify: recv_bufs[r] block i holds rank i's tile destined to r —
     // but only the bytes the datatype describes were transferred.
     for (r, rbuf) in recv_bufs.iter().enumerate() {
         for i in 0..p {
-            let got = sim
+            let got = sess
                 .world
                 .cluster
                 .memory
@@ -94,6 +112,8 @@ fn main() {
     }
     println!("OK — all {}x{} tiles verified on every rank", p, p);
     let bytes_total = tile.size() * (p * (p - 1)) as u64;
+    let metrics = sess.finish();
+    assert_eq!(metrics.counter("mpi.delivered.bytes"), bytes_total);
     println!(
         "aggregate payload {} MB, effective {:.2} GB/s across the job",
         bytes_total >> 20,

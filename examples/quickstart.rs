@@ -12,11 +12,8 @@
 //! protocol and the GPU datatype engine packs/unpacks with kernels.
 
 use gpu_ddt::datatype::testutil::{buffer_span, pattern, reference_pack};
-use gpu_ddt::datatype::DataType;
 use gpu_ddt::memsim::MemSpace;
-use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
-use gpu_ddt::simcore::Sim;
+use gpu_ddt::prelude::*;
 
 fn main() {
     // 1. A derived datatype: 256 columns of 256 doubles, stride 512
@@ -30,44 +27,48 @@ fn main() {
     println!("  extent = {} bytes (the footprint)", ty.extent());
 
     // 2. A two-rank job on one node, one GPU per rank.
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+    let mut sess = Session::builder()
+        .two_ranks_two_gpus()
+        .label("quickstart")
+        .build();
 
     // 3. GPU buffers: rank 0's filled with a test pattern.
     let (base, len) = buffer_span(&ty, 1);
-    let gpu0 = sim.world.mpi.ranks[0].gpu;
-    let gpu1 = sim.world.mpi.ranks[1].gpu;
-    let sbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu0), len as u64).unwrap();
-    let rbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu1), len as u64).unwrap();
+    let gpu0 = sess.world.mpi.ranks[0].gpu;
+    let gpu1 = sess.world.mpi.ranks[1].gpu;
+    let sbuf = sess
+        .world
+        .cluster
+        .memory
+        .alloc(MemSpace::Device(gpu0), len as u64)
+        .unwrap();
+    let rbuf = sess
+        .world
+        .cluster
+        .memory
+        .alloc(MemSpace::Device(gpu1), len as u64)
+        .unwrap();
     let bytes = pattern(len);
-    sim.world.cluster.memory.write(sbuf, &bytes).unwrap();
+    sess.world.cluster.memory.write(sbuf, &bytes).unwrap();
 
     // 4. Exchange (nonblocking send/recv + waitall).
     let s = isend(
-        &mut sim,
-        SendArgs {
-            from: 0,
-            to: 1,
-            tag: 42,
-            ty: ty.clone(),
-            count: 1,
-            buf: sbuf.add(base as u64),
-        },
+        &mut sess,
+        SendArgs::new(0, 1, sbuf.add(base as u64), &ty, 1).tag(42),
     );
     let r = irecv(
-        &mut sim,
-        RecvArgs {
-            rank: 1,
-            src: Some(0),
-            tag: Some(42),
-            ty: ty.clone(),
-            count: 1,
-            buf: rbuf.add(base as u64),
-        },
+        &mut sess,
+        RecvArgs::new(1, 0, rbuf.add(base as u64), &ty, 1).tag(42),
     );
-    wait_all(&mut sim, &[s.clone(), r.clone()]);
+    wait_all(&mut sess, &[s.clone(), r.clone()]);
 
     // 5. Verify: the received packed stream equals the sent one.
-    let got = sim.world.cluster.memory.read_vec(rbuf, len as u64).unwrap();
+    let got = sess
+        .world
+        .cluster
+        .memory
+        .read_vec(rbuf, len as u64)
+        .unwrap();
     let sent = reference_pack(&ty, 1, &bytes, base);
     let received = reference_pack(&ty, 1, &got, base);
     assert_eq!(sent, received, "payload corrupted");
@@ -76,6 +77,16 @@ fn main() {
         "transferred {} bytes of non-contiguous GPU data in {} (virtual time)",
         s.expect_bytes(),
         r.completed_at().unwrap()
+    );
+
+    // 6. The session's metrics double as a correctness check: the
+    //    delivered-bytes counter is maintained by the very events that
+    //    moved the data.
+    let metrics = sess.finish();
+    assert_eq!(metrics.counter("mpi.delivered.bytes"), ty.size());
+    println!(
+        "metrics: delivered {} bytes",
+        metrics.counter("mpi.delivered.bytes")
     );
     println!("OK — received data verified against the CPU reference engine");
 }

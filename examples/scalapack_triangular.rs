@@ -11,11 +11,8 @@
 //! DEV conversion, later transfers reuse the cached CUDA-DEV list and
 //! run noticeably faster — the effect the paper highlights in Fig. 7.
 
-use gpu_ddt::datatype::DataType;
 use gpu_ddt::memsim::MemSpace;
-use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
-use gpu_ddt::simcore::Sim;
+use gpu_ddt::prelude::*;
 
 /// Lower-triangular n×n panel of doubles, column-major.
 fn triangular(n: u64) -> DataType {
@@ -36,40 +33,58 @@ fn main() {
         (ty.extent() as u64) >> 20
     );
 
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-    let gpu0 = sim.world.mpi.ranks[0].gpu;
-    let gpu1 = sim.world.mpi.ranks[1].gpu;
+    let mut sess = Session::builder()
+        .two_ranks_two_gpus()
+        .label("scalapack")
+        .build();
+    let gpu0 = sess.world.mpi.ranks[0].gpu;
+    let gpu1 = sess.world.mpi.ranks[1].gpu;
     let len = ty.extent() as u64;
-    let sbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu0), len).unwrap();
-    let rbuf = sim.world.cluster.memory.alloc(MemSpace::Device(gpu1), len).unwrap();
+    let sbuf = sess
+        .world
+        .cluster
+        .memory
+        .alloc(MemSpace::Device(gpu0), len)
+        .unwrap();
+    let rbuf = sess
+        .world
+        .cluster
+        .memory
+        .alloc(MemSpace::Device(gpu1), len)
+        .unwrap();
 
-    let round = |sim: &mut Sim<MpiWorld>, tag: u64| {
-        let t0 = sim.now();
-        let s = isend(
-            sim,
-            SendArgs { from: 0, to: 1, tag, ty: ty.clone(), count: 1, buf: sbuf },
-        );
-        let r = irecv(
-            sim,
-            RecvArgs { rank: 1, src: Some(0), tag: Some(tag), ty: ty.clone(), count: 1, buf: rbuf },
-        );
-        wait_all(sim, &[s, r]);
-        sim.now() - t0
+    let round = |sess: &mut Session, tag: u64| {
+        let t0 = sess.now();
+        let s = isend(sess, SendArgs::new(0, 1, sbuf, &ty, 1).tag(tag));
+        let r = irecv(sess, RecvArgs::new(1, 0, rbuf, &ty, 1).tag(tag));
+        wait_all(sess, &[s, r]);
+        sess.now() - t0
     };
 
-    let cold = round(&mut sim, 0);
+    let cold = round(&mut sess, 0);
     println!("panel transfer #1 (cold — IPC mapping, RDMA setup, DEV conversion): {cold}");
-    let warm1 = round(&mut sim, 1);
+    let warm1 = round(&mut sess, 1);
     println!("panel transfer #2 (warm — cached CUDA-DEVs, cached connection):     {warm1}");
-    let warm2 = round(&mut sim, 2);
+    let warm2 = round(&mut sess, 2);
     println!("panel transfer #3:                                                  {warm2}");
 
-    let cache = sim.world.mpi.ranks[0].dev_cache.borrow();
+    let cache = sess.world.mpi.ranks[0].dev_cache.borrow();
     println!(
         "sender DEV cache: {} plan(s), {} KB of descriptors, hit rate {:.0}%",
         cache.len(),
         cache.used_bytes() / 1024,
         cache.hit_rate() * 100.0
     );
+    drop(cache);
     assert!(warm1 < cold, "warm transfers must beat the cold one");
+    let _ = warm2;
+
+    // The same cache behaviour is visible in the session's counters.
+    let metrics = sess.finish();
+    println!(
+        "metrics: {} DEV cache hits, {} misses, {} bytes delivered",
+        metrics.counter("devengine.cache.hit"),
+        metrics.counter("devengine.cache.miss"),
+        metrics.counter("mpi.delivered.bytes")
+    );
 }

@@ -13,17 +13,14 @@
 //! the wire (the contiguous sides take the RDMA fast path; the vector
 //! sides run the GPU pack/unpack kernels).
 
-use gpu_ddt::datatype::DataType;
 use gpu_ddt::memsim::MemSpace;
-use gpu_ddt::mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
-use gpu_ddt::mpirt::{MpiConfig, MpiWorld};
-use gpu_ddt::simcore::{Sim, SimTime};
+use gpu_ddt::prelude::*;
 
 /// Tile geometry: `n` × `n` doubles plus a one-cell halo ring,
 /// column-major storage with leading dimension `n + 2`.
 struct Tile {
     ld: u64,
-    buf: gpu_ddt::memsim::Ptr,
+    buf: Ptr,
 }
 
 impl Tile {
@@ -37,7 +34,10 @@ fn main() {
     let ld = n + 2;
     let iters = 10u32;
 
-    let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
+    let mut sess = Session::builder()
+        .two_ranks_two_gpus()
+        .label("stencil-halo")
+        .build();
 
     // Datatypes for the four boundaries of a column-major tile:
     //   north/south: one grid *row* -> strided, one element per column.
@@ -45,7 +45,9 @@ fn main() {
     let row_ty = DataType::vector(n, 1, ld as i64, &DataType::double())
         .unwrap()
         .commit();
-    let col_ty = DataType::contiguous(n, &DataType::double()).unwrap().commit();
+    let col_ty = DataType::contiguous(n, &DataType::double())
+        .unwrap()
+        .commit();
     println!("row halo type:    {row_ty} ({} bytes)", row_ty.size());
     println!("column halo type: {col_ty} ({} bytes)", col_ty.size());
 
@@ -53,8 +55,8 @@ fn main() {
     let bytes = ld * ld * 8;
     let tiles: Vec<Tile> = (0..2)
         .map(|r| {
-            let gpu = sim.world.mpi.ranks[r].gpu;
-            let buf = sim
+            let gpu = sess.world.mpi.ranks[r].gpu;
+            let buf = sess
                 .world
                 .cluster
                 .memory
@@ -69,67 +71,51 @@ fn main() {
     // south row of rank 0 with the north halo row of rank 1 (vector).
     let mut per_iter = Vec::new();
     for it in 0..iters {
-        let t0 = sim.now();
+        let t0 = sess.now();
         // Contiguous column exchange, then the strided row exchange.
         let mut reqs = vec![isend(
-            &mut sim,
-            SendArgs {
-                from: 0,
-                to: 1,
-                tag: 1,
-                ty: col_ty.clone(),
-                count: 1,
-                buf: tiles[0].buf.add(tiles[0].idx(1, n)),
-            },
+            &mut sess,
+            SendArgs::new(0, 1, tiles[0].buf.add(tiles[0].idx(1, n)), &col_ty, 1).tag(1),
         )];
         reqs.push(irecv(
-            &mut sim,
-            RecvArgs {
-                rank: 1,
-                src: Some(0),
-                tag: Some(1),
-                ty: col_ty.clone(),
-                count: 1,
-                buf: tiles[1].buf.add(tiles[1].idx(1, 0)),
-            },
+            &mut sess,
+            RecvArgs::new(1, 0, tiles[1].buf.add(tiles[1].idx(1, 0)), &col_ty, 1).tag(1),
         ));
         // Strided row exchange, reverse direction.
         reqs.push(isend(
-            &mut sim,
-            SendArgs {
-                from: 1,
-                to: 0,
-                tag: 2,
-                ty: row_ty.clone(),
-                count: 1,
-                buf: tiles[1].buf.add(tiles[1].idx(1, 1)),
-            },
+            &mut sess,
+            SendArgs::new(1, 0, tiles[1].buf.add(tiles[1].idx(1, 1)), &row_ty, 1).tag(2),
         ));
         reqs.push(irecv(
-            &mut sim,
-            RecvArgs {
-                rank: 0,
-                src: Some(1),
-                tag: Some(2),
-                ty: row_ty.clone(),
-                count: 1,
-                buf: tiles[0].buf.add(tiles[0].idx(n + 1, 1)),
-            },
+            &mut sess,
+            RecvArgs::new(0, 1, tiles[0].buf.add(tiles[0].idx(n + 1, 1)), &row_ty, 1).tag(2),
         ));
-        wait_all(&mut sim, &reqs);
-        let dt = sim.now() - t0;
+        wait_all(&mut sess, &reqs);
+        let dt = sess.now() - t0;
         if it > 0 {
             per_iter.push(dt);
         } else {
             println!("iteration 0 (cold: connection + DEV cache): {dt}");
         }
     }
-    let mean =
-        SimTime::from_nanos(per_iter.iter().map(|t| t.as_nanos()).sum::<u64>() / per_iter.len() as u64);
-    println!("steady-state halo exchange: {mean} per iteration ({} warm iterations)", per_iter.len());
+    let mean = SimTime::from_nanos(
+        per_iter.iter().map(|t| t.as_nanos()).sum::<u64>() / per_iter.len() as u64,
+    );
+    println!(
+        "steady-state halo exchange: {mean} per iteration ({} warm iterations)",
+        per_iter.len()
+    );
     println!(
         "  contiguous column: {} KB each way; strided row: {} KB each way",
         col_ty.size() / 1024,
         row_ty.size() / 1024
+    );
+
+    let metrics = sess.finish();
+    let expect = iters as u64 * (col_ty.size() + row_ty.size());
+    assert_eq!(metrics.counter("mpi.delivered.bytes"), expect);
+    println!(
+        "metrics: {} bytes delivered over {iters} iterations",
+        expect
     );
 }

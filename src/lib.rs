@@ -23,3 +23,18 @@ pub use memsim;
 pub use mpirt;
 pub use netsim;
 pub use simcore;
+
+/// The handful of names almost every program starts from:
+///
+/// ```
+/// use gpu_ddt::prelude::*;
+///
+/// let mut sess = Session::builder().two_ranks_two_gpus().build();
+/// # let _ = &mut sess;
+/// ```
+pub mod prelude {
+    pub use datatype::DataType;
+    pub use memsim::Ptr;
+    pub use mpirt::{irecv, isend, ping_pong, wait_all, PingPongSpec, RecvArgs, SendArgs, Session};
+    pub use simcore::{Metrics, SimTime, Tracer};
+}

@@ -8,7 +8,7 @@ use gpusim::GpuWorld as _;
 use memsim::{MemSpace, Ptr};
 use mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
 use mpirt::{MpiConfig, MpiWorld};
-use proptest::prelude::*;
+use simcore::rng::SimRng;
 use simcore::Sim;
 
 fn alloc_typed(
@@ -38,23 +38,52 @@ fn roundtrip(mut sim: Sim<MpiWorld>, ty: &DataType, count: u64, s_dev: bool, r_d
     let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, ty, count, r_dev, false);
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 3, ty: ty.clone(), count, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 3,
+            ty: ty.clone(),
+            count,
+            buf: sbuf,
+        },
     );
     let r = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(3), ty: ty.clone(), count, buf: rbuf },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(3),
+            ty: ty.clone(),
+            count,
+            buf: rbuf,
+        },
     );
     wait_all(&mut sim, &[s, r]);
-    let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+    let got_buf = sim
+        .world
+        .mem()
+        .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+        .unwrap();
     let got = reference_pack(ty, count, &got_buf, rbase);
     let want = reference_pack(ty, count, &sbytes, sbase);
     assert_eq!(got, want, "payload mismatch for {ty} x{count}");
+    // The trace's delivered-bytes counter is maintained by the same
+    // completion events that wrote the data, so it must equal the
+    // datatype's payload exactly — a second, independent correctness
+    // check on every protocol path.
+    assert_eq!(
+        sim.trace.counter("mpi.delivered.bytes"),
+        ty.size() * count,
+        "trace delivered bytes for {ty} x{count}"
+    );
 }
 
 fn triangular(n: u64) -> DataType {
     let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
     let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-    DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+    DataType::indexed(&lens, &disps, &DataType::double())
+        .unwrap()
+        .commit()
 }
 
 /// Every topology × buffer-space combination for a fixed interesting
@@ -81,15 +110,40 @@ fn protocol_matrix() {
 fn config_ablations_preserve_correctness() {
     let t = triangular(160);
     let configs = [
-        MpiConfig { use_ipc: false, ..Default::default() },
-        MpiConfig { zero_copy: false, ..Default::default() },
-        MpiConfig { recv_local_staging: false, ..Default::default() },
-        MpiConfig { frag_size: 96 << 10, pipeline_depth: 2, ..Default::default() },
-        MpiConfig { eager_limit: 0, ..Default::default() },
-        MpiConfig { eager_limit: 1 << 30, ..Default::default() }, // force eager
+        MpiConfig {
+            use_ipc: false,
+            ..Default::default()
+        },
+        MpiConfig {
+            zero_copy: false,
+            ..Default::default()
+        },
+        MpiConfig {
+            recv_local_staging: false,
+            ..Default::default()
+        },
+        MpiConfig {
+            frag_size: 96 << 10,
+            pipeline_depth: 2,
+            ..Default::default()
+        },
+        MpiConfig {
+            eager_limit: 0,
+            ..Default::default()
+        },
+        MpiConfig {
+            eager_limit: 1 << 30,
+            ..Default::default()
+        }, // force eager
     ];
     for cfg in configs {
-        roundtrip(Sim::new(MpiWorld::two_ranks_two_gpus(cfg.clone())), &t, 1, true, true);
+        roundtrip(
+            Sim::new(MpiWorld::two_ranks_two_gpus(cfg.clone())),
+            &t,
+            1,
+            true,
+            true,
+        );
         roundtrip(Sim::new(MpiWorld::two_ranks_ib(cfg)), &t, 1, true, true);
     }
 }
@@ -97,8 +151,12 @@ fn config_ablations_preserve_correctness() {
 /// Asymmetric layouts with matching signatures.
 #[test]
 fn reshape_transfers() {
-    let v = DataType::vector(100, 10, 20, &DataType::double()).unwrap().commit();
-    let c = DataType::contiguous(1000, &DataType::double()).unwrap().commit();
+    let v = DataType::vector(100, 10, 20, &DataType::double())
+        .unwrap()
+        .commit();
+    let c = DataType::contiguous(1000, &DataType::double())
+        .unwrap()
+        .commit();
     // vector -> contiguous and contiguous -> vector, SM and IB.
     for mk in [
         MpiWorld::two_ranks_two_gpus as fn(MpiConfig) -> MpiWorld,
@@ -110,18 +168,37 @@ fn reshape_transfers() {
             let (rbuf, _, rbase, rlen) = alloc_typed(&mut sim, 1, b, 1, true, false);
             let s = isend(
                 &mut sim,
-                SendArgs { from: 0, to: 1, tag: 9, ty: a.clone(), count: 1, buf: sbuf },
+                SendArgs {
+                    from: 0,
+                    to: 1,
+                    tag: 9,
+                    ty: a.clone(),
+                    count: 1,
+                    buf: sbuf,
+                },
             );
             let r = irecv(
                 &mut sim,
-                RecvArgs { rank: 1, src: Some(0), tag: Some(9), ty: b.clone(), count: 1, buf: rbuf },
+                RecvArgs {
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(9),
+                    ty: b.clone(),
+                    count: 1,
+                    buf: rbuf,
+                },
             );
             wait_all(&mut sim, &[s, r]);
-            let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+            let got_buf = sim
+                .world
+                .mem()
+                .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+                .unwrap();
             assert_eq!(
                 reference_pack(b, 1, &got_buf, rbase),
                 reference_pack(a, 1, &sbytes, sbase)
             );
+            assert_eq!(sim.trace.counter("mpi.delivered.bytes"), a.size());
         }
     }
 }
@@ -142,23 +219,49 @@ fn multiple_concurrent_messages() {
         if tag % 2 == 0 {
             reqs.push(irecv(
                 &mut sim,
-                RecvArgs { rank: 1, src: Some(0), tag: Some(tag), ty: t.clone(), count: 1, buf: rbuf },
+                RecvArgs {
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(tag),
+                    ty: t.clone(),
+                    count: 1,
+                    buf: rbuf,
+                },
             ));
         }
         reqs.push(isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag, ty: t.clone(), count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
         ));
         if tag % 2 == 1 {
             reqs.push(irecv(
                 &mut sim,
-                RecvArgs { rank: 1, src: Some(0), tag: Some(tag), ty: t.clone(), count: 1, buf: rbuf },
+                RecvArgs {
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(tag),
+                    ty: t.clone(),
+                    count: 1,
+                    buf: rbuf,
+                },
             ));
         }
     }
     wait_all(&mut sim, &reqs);
+    assert_eq!(sim.trace.counter("mpi.delivered.bytes"), 4 * t.size());
     for (sbytes, sbase, rbuf, rbase, rlen) in bufs {
-        let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+        let got_buf = sim
+            .world
+            .mem()
+            .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+            .unwrap();
         assert_eq!(
             reference_pack(&t, 1, &got_buf, rbase),
             reference_pack(&t, 1, &sbytes, sbase)
@@ -176,49 +279,84 @@ fn repeated_transfers_stay_correct() {
     for tag in 0..5u64 {
         let s = isend(
             &mut sim,
-            SendArgs { from: 0, to: 1, tag, ty: t.clone(), count: 1, buf: sbuf },
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag,
+                ty: t.clone(),
+                count: 1,
+                buf: sbuf,
+            },
         );
         let r = irecv(
             &mut sim,
-            RecvArgs { rank: 1, src: Some(0), tag: Some(tag), ty: t.clone(), count: 1, buf: rbuf },
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(tag),
+                ty: t.clone(),
+                count: 1,
+                buf: rbuf,
+            },
         );
         wait_all(&mut sim, &[s, r]);
     }
-    let got_buf = sim.world.mem().read_vec(Ptr { offset: 0, ..rbuf }, rlen).unwrap();
+    let got_buf = sim
+        .world
+        .mem()
+        .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+        .unwrap();
     assert_eq!(
         reference_pack(&t, 1, &got_buf, rbase),
         reference_pack(&t, 1, &sbytes, sbase)
     );
     // Exactly one SM connection was established.
     assert_eq!(sim.world.mpi.sm_conns.len(), 1);
+    assert_eq!(sim.trace.counter("mpi.delivered.bytes"), 5 * t.size());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random datatype trees through the full GPU-to-GPU SM stack.
-    #[test]
-    fn random_types_through_sm_stack(ty in arb_datatype(), count in 1u64..3) {
-        let ty = ty.commit();
+/// Random datatype trees through the full GPU-to-GPU SM stack.
+#[test]
+fn random_types_through_sm_stack() {
+    let mut r = SimRng::new(0xe2e_0001);
+    for _ in 0..48 {
+        let ty = arb_datatype(&mut r).commit();
+        let count = r.range_u64(1, 3);
         let sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
         roundtrip(sim, &ty, count, true, true);
     }
+}
 
-    /// Random datatype trees through the IB copy-in/out stack with a
-    /// small fragment size so even modest types pipeline.
-    #[test]
-    fn random_types_through_ib_stack(ty in arb_datatype(), count in 1u64..3) {
-        let ty = ty.commit();
-        let cfg = MpiConfig { eager_limit: 64, frag_size: 4096, ..Default::default() };
+/// Random datatype trees through the IB copy-in/out stack with a
+/// small fragment size so even modest types pipeline.
+#[test]
+fn random_types_through_ib_stack() {
+    let mut r = SimRng::new(0xe2e_0002);
+    for _ in 0..48 {
+        let ty = arb_datatype(&mut r).commit();
+        let count = r.range_u64(1, 3);
+        let cfg = MpiConfig {
+            eager_limit: 64,
+            frag_size: 4096,
+            ..Default::default()
+        };
         let sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
         roundtrip(sim, &ty, count, true, true);
     }
+}
 
-    /// Host-resident random types exercise the CPU convertor path.
-    #[test]
-    fn random_types_host_to_host(ty in arb_datatype(), count in 1u64..3) {
-        let ty = ty.commit();
-        let cfg = MpiConfig { eager_limit: 64, frag_size: 4096, ..Default::default() };
+/// Host-resident random types exercise the CPU convertor path.
+#[test]
+fn random_types_host_to_host() {
+    let mut r = SimRng::new(0xe2e_0003);
+    for _ in 0..48 {
+        let ty = arb_datatype(&mut r).commit();
+        let count = r.range_u64(1, 3);
+        let cfg = MpiConfig {
+            eager_limit: 64,
+            frag_size: 4096,
+            ..Default::default()
+        };
         let sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
         roundtrip(sim, &ty, count, false, false);
     }

@@ -15,41 +15,86 @@ fn world() -> Sim<MpiWorld> {
 #[test]
 fn signature_mismatch_is_reported_not_corrupted() {
     let mut sim = world();
-    let send_ty = DataType::contiguous(20_000, &DataType::double()).unwrap().commit();
-    let recv_ty = DataType::contiguous(40_000, &DataType::float()).unwrap().commit();
-    let sbuf = sim.world.mem().alloc(MemSpace::Host, send_ty.size()).unwrap();
-    let rbuf = sim.world.mem().alloc(MemSpace::Host, recv_ty.size()).unwrap();
+    let send_ty = DataType::contiguous(20_000, &DataType::double())
+        .unwrap()
+        .commit();
+    let recv_ty = DataType::contiguous(40_000, &DataType::float())
+        .unwrap()
+        .commit();
+    let sbuf = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, send_ty.size())
+        .unwrap();
+    let rbuf = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, recv_ty.size())
+        .unwrap();
     sim.world.mem().write(sbuf, &vec![7u8; 160_000]).unwrap();
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: send_ty, count: 1, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: send_ty,
+            count: 1,
+            buf: sbuf,
+        },
     );
     let r = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: recv_ty.clone(), count: 1, buf: rbuf },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(0),
+            ty: recv_ty.clone(),
+            count: 1,
+            buf: rbuf,
+        },
     );
     sim.run();
     assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
     assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
     // Receive buffer untouched.
     let got = sim.world.mem().read_vec(rbuf, recv_ty.size()).unwrap();
-    assert!(got.iter().all(|&b| b == 0), "failed receive must not write data");
+    assert!(
+        got.iter().all(|&b| b == 0),
+        "failed receive must not write data"
+    );
 }
 
 #[test]
 fn eager_signature_mismatch_fails_receiver_only() {
     let mut sim = world();
-    let send_ty = DataType::contiguous(8, &DataType::double()).unwrap().commit();
+    let send_ty = DataType::contiguous(8, &DataType::double())
+        .unwrap()
+        .commit();
     let recv_ty = DataType::contiguous(16, &DataType::int()).unwrap().commit();
     let sbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
     let rbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: send_ty, count: 1, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: send_ty,
+            count: 1,
+            buf: sbuf,
+        },
     );
     let r = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: recv_ty, count: 1, buf: rbuf },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(0),
+            ty: recv_ty,
+            count: 1,
+            buf: rbuf,
+        },
     );
     sim.run();
     // Eager sends complete once buffered (MPI semantics) …
@@ -91,11 +136,20 @@ fn rdma_to_unregistered_memory_panics() {
 #[should_panic(expected = "deadlock")]
 fn unmatched_rendezvous_is_detected_as_deadlock() {
     let mut sim = world();
-    let t = DataType::contiguous(100_000, &DataType::double()).unwrap().commit();
+    let t = DataType::contiguous(100_000, &DataType::double())
+        .unwrap()
+        .commit();
     let sbuf = sim.world.mem().alloc(MemSpace::Host, t.size()).unwrap();
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: t, count: 1, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: t,
+            count: 1,
+            buf: sbuf,
+        },
     );
     // No matching receive: wait_all must detect the stall rather than
     // spin forever.
@@ -105,16 +159,32 @@ fn unmatched_rendezvous_is_detected_as_deadlock() {
 #[test]
 fn wrong_tag_leaves_message_unexpected() {
     let mut sim = world();
-    let t = DataType::contiguous(8, &DataType::double()).unwrap().commit();
+    let t = DataType::contiguous(8, &DataType::double())
+        .unwrap()
+        .commit();
     let sbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
     let rbuf = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
     let _s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 5, ty: t.clone(), count: 1, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 5,
+            ty: t.clone(),
+            count: 1,
+            buf: sbuf,
+        },
     );
     let r = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(6), ty: t, count: 1, buf: rbuf },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(6),
+            ty: t,
+            count: 1,
+            buf: rbuf,
+        },
     );
     sim.run();
     assert!(!r.is_complete(), "mismatched tag must not match");
@@ -128,11 +198,25 @@ fn uncommitted_datatype_rejected_at_api_boundary() {
     let buf = sim.world.mem().alloc(MemSpace::Host, 1024).unwrap();
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: raw.clone(), count: 1, buf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: raw.clone(),
+            count: 1,
+            buf,
+        },
     );
     let r = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: raw, count: 1, buf },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(0),
+            ty: raw,
+            count: 1,
+            buf,
+        },
     );
     assert!(matches!(s.result(), Some(Err(MpiError::Type(_)))));
     assert!(matches!(r.result(), Some(Err(MpiError::Type(_)))));
@@ -146,6 +230,13 @@ fn self_send_rejected() {
     let buf = sim.world.mem().alloc(MemSpace::Host, 8).unwrap();
     let _ = isend(
         &mut sim,
-        SendArgs { from: 0, to: 0, tag: 0, ty: t, count: 1, buf },
+        SendArgs {
+            from: 0,
+            to: 0,
+            tag: 0,
+            ty: t,
+            count: 1,
+            buf,
+        },
     );
 }

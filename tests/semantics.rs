@@ -25,21 +25,45 @@ fn alloc(sim: &mut Sim<MpiWorld>, rank: usize, bytes: u64, device: bool) -> Ptr 
 #[test]
 fn non_overtaking_order() {
     let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
-    let big = DataType::contiguous(100_000, &DataType::double()).unwrap().commit();
-    let small = DataType::contiguous(4, &DataType::double()).unwrap().commit();
+    let big = DataType::contiguous(100_000, &DataType::double())
+        .unwrap()
+        .commit();
+    let small = DataType::contiguous(4, &DataType::double())
+        .unwrap()
+        .commit();
 
     let sb_big = alloc(&mut sim, 0, big.size(), false);
     let sb_small = alloc(&mut sim, 0, small.size(), false);
-    sim.world.mem().write(sb_big, &vec![1u8; big.size() as usize]).unwrap();
-    sim.world.mem().write(sb_small, &vec![2u8; small.size() as usize]).unwrap();
+    sim.world
+        .mem()
+        .write(sb_big, &vec![1u8; big.size() as usize])
+        .unwrap();
+    sim.world
+        .mem()
+        .write(sb_small, &vec![2u8; small.size() as usize])
+        .unwrap();
 
     let s1 = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 7, ty: big.clone(), count: 1, buf: sb_big },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 7,
+            ty: big.clone(),
+            count: 1,
+            buf: sb_big,
+        },
     );
     let s2 = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 7, ty: small.clone(), count: 1, buf: sb_small },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 7,
+            ty: small.clone(),
+            count: 1,
+            buf: sb_small,
+        },
     );
 
     // Receives posted with wildcard-compatible types: first posting must
@@ -48,15 +72,37 @@ fn non_overtaking_order() {
     let rb2 = alloc(&mut sim, 1, big.size(), false);
     let r1 = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(7), ty: big.clone(), count: 1, buf: rb1 },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(7),
+            ty: big.clone(),
+            count: 1,
+            buf: rb1,
+        },
     );
     let r2 = irecv(
         &mut sim,
-        RecvArgs { rank: 1, src: Some(0), tag: Some(7), ty: big.clone(), count: 1, buf: rb2 },
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(7),
+            ty: big.clone(),
+            count: 1,
+            buf: rb2,
+        },
     );
     wait_all(&mut sim, &[s1, s2, r1.clone(), r2.clone()]);
-    assert_eq!(r1.expect_bytes(), big.size(), "first recv gets the first send");
-    assert_eq!(r2.expect_bytes(), small.size(), "second recv gets the second send");
+    assert_eq!(
+        r1.expect_bytes(),
+        big.size(),
+        "first recv gets the first send"
+    );
+    assert_eq!(
+        r2.expect_bytes(),
+        small.size(),
+        "second recv gets the second send"
+    );
     let got1 = sim.world.mem().read_vec(rb1, 8).unwrap();
     let got2 = sim.world.mem().read_vec(rb2, 8).unwrap();
     assert!(got1.iter().all(|&b| b == 1));
@@ -68,8 +114,12 @@ fn non_overtaking_order() {
 #[test]
 fn partial_receive_into_larger_type() {
     let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
-    let send_ty = DataType::contiguous(30_000, &DataType::double()).unwrap().commit();
-    let recv_ty = DataType::vector(20_000, 3, 5, &DataType::double()).unwrap().commit();
+    let send_ty = DataType::contiguous(30_000, &DataType::double())
+        .unwrap()
+        .commit();
+    let recv_ty = DataType::vector(20_000, 3, 5, &DataType::double())
+        .unwrap()
+        .commit();
     assert!(recv_ty.size() > send_ty.size());
 
     let (rbase, rlen) = buffer_span(&recv_ty, 1);
@@ -80,7 +130,14 @@ fn partial_receive_into_larger_type() {
 
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: send_ty.clone(), count: 1, buf: sbuf },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: send_ty.clone(),
+            count: 1,
+            buf: sbuf,
+        },
     );
     let r = irecv(
         &mut sim,
@@ -107,7 +164,9 @@ fn partial_receive_into_larger_type() {
 #[test]
 fn multi_count_gpu_rendezvous() {
     let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
-    let ty = DataType::vector(32, 4, 9, &DataType::double()).unwrap().commit();
+    let ty = DataType::vector(32, 4, 9, &DataType::double())
+        .unwrap()
+        .commit();
     let count = 40u64;
     let (base, len) = buffer_span(&ty, count);
     let sbuf = alloc(&mut sim, 0, len as u64, true);
@@ -117,7 +176,14 @@ fn multi_count_gpu_rendezvous() {
 
     let s = isend(
         &mut sim,
-        SendArgs { from: 0, to: 1, tag: 0, ty: ty.clone(), count, buf: sbuf.add(base as u64) },
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: ty.clone(),
+            count,
+            buf: sbuf.add(base as u64),
+        },
     );
     let r = irecv(
         &mut sim,
@@ -143,27 +209,78 @@ fn multi_count_gpu_rendezvous() {
 #[test]
 fn any_source_rendezvous() {
     let specs = [
-        RankSpec { gpu: GpuId(0), node: 0 },
-        RankSpec { gpu: GpuId(1), node: 0 },
-        RankSpec { gpu: GpuId(2), node: 1 },
+        RankSpec {
+            gpu: GpuId(0),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(1),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(2),
+            node: 1,
+        },
     ];
     let mut sim = Sim::new(MpiWorld::new(&specs, 3, MpiConfig::default()));
-    let ty = DataType::contiguous(50_000, &DataType::double()).unwrap().commit();
+    let ty = DataType::contiguous(50_000, &DataType::double())
+        .unwrap()
+        .commit();
     let b0 = alloc(&mut sim, 0, ty.size(), true);
     let b1 = alloc(&mut sim, 1, ty.size(), true);
     let rb = alloc(&mut sim, 2, ty.size() * 2, true);
-    sim.world.mem().write(b0, &vec![5u8; ty.size() as usize]).unwrap();
-    sim.world.mem().write(b1, &vec![9u8; ty.size() as usize]).unwrap();
+    sim.world
+        .mem()
+        .write(b0, &vec![5u8; ty.size() as usize])
+        .unwrap();
+    sim.world
+        .mem()
+        .write(b1, &vec![9u8; ty.size() as usize])
+        .unwrap();
 
-    let s0 = isend(&mut sim, SendArgs { from: 0, to: 2, tag: 1, ty: ty.clone(), count: 1, buf: b0 });
-    let s1 = isend(&mut sim, SendArgs { from: 1, to: 2, tag: 1, ty: ty.clone(), count: 1, buf: b1 });
+    let s0 = isend(
+        &mut sim,
+        SendArgs {
+            from: 0,
+            to: 2,
+            tag: 1,
+            ty: ty.clone(),
+            count: 1,
+            buf: b0,
+        },
+    );
+    let s1 = isend(
+        &mut sim,
+        SendArgs {
+            from: 1,
+            to: 2,
+            tag: 1,
+            ty: ty.clone(),
+            count: 1,
+            buf: b1,
+        },
+    );
     let r0 = irecv(
         &mut sim,
-        RecvArgs { rank: 2, src: None, tag: Some(1), ty: ty.clone(), count: 1, buf: rb },
+        RecvArgs {
+            rank: 2,
+            src: None,
+            tag: Some(1),
+            ty: ty.clone(),
+            count: 1,
+            buf: rb,
+        },
     );
     let r1 = irecv(
         &mut sim,
-        RecvArgs { rank: 2, src: None, tag: Some(1), ty: ty.clone(), count: 1, buf: rb.add(ty.size()) },
+        RecvArgs {
+            rank: 2,
+            src: None,
+            tag: Some(1),
+            ty: ty.clone(),
+            count: 1,
+            buf: rb.add(ty.size()),
+        },
     );
     wait_all(&mut sim, &[s0, s1, r0, r1]);
     let a = sim.world.mem().read_vec(rb, 1).unwrap()[0];
@@ -178,16 +295,30 @@ fn any_source_rendezvous() {
 #[test]
 fn bcast_triangular_across_mixed_transports() {
     let specs = [
-        RankSpec { gpu: GpuId(0), node: 0 },
-        RankSpec { gpu: GpuId(1), node: 0 },
-        RankSpec { gpu: GpuId(2), node: 1 },
-        RankSpec { gpu: GpuId(3), node: 1 },
+        RankSpec {
+            gpu: GpuId(0),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(1),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(2),
+            node: 1,
+        },
+        RankSpec {
+            gpu: GpuId(3),
+            node: 1,
+        },
     ];
     let mut sim = Sim::new(MpiWorld::new(&specs, 4, MpiConfig::default()));
     let n = 96u64;
     let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
     let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-    let t = DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit();
+    let t = DataType::indexed(&lens, &disps, &DataType::double())
+        .unwrap()
+        .commit();
     let len = t.extent() as u64;
     let bufs: Vec<Ptr> = (0..4).map(|r| alloc(&mut sim, r, len, true)).collect();
     let data = pattern(len as usize);
@@ -209,27 +340,42 @@ fn bcast_triangular_across_mixed_transports() {
 #[test]
 fn onesided_put_over_ib() {
     let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
-    let ty = DataType::vector(64, 8, 16, &DataType::double()).unwrap().commit();
+    let ty = DataType::vector(64, 8, 16, &DataType::double())
+        .unwrap()
+        .commit();
     let (base, len) = buffer_span(&ty, 1);
     let span = (base as usize + len) as u64;
     let bufs: Vec<Ptr> = (0..2).map(|r| alloc(&mut sim, r, span, true)).collect();
     let win = mpirt::Win::create(&sim, bufs.clone(), vec![span; 2]);
     let data = pattern(len);
-    sim.world.mem().write(bufs[0].add(base as u64), &data).unwrap();
+    sim.world
+        .mem()
+        .write(bufs[0].add(base as u64), &data)
+        .unwrap();
 
     let req = mpirt::put(
         &mut sim,
         &win,
         0,
-        mpirt::RmaArgs { ty: ty.clone(), count: 1 },
+        mpirt::RmaArgs {
+            ty: ty.clone(),
+            count: 1,
+        },
         bufs[0].add(base as u64),
         1,
         base as u64,
-        mpirt::RmaArgs { ty: ty.clone(), count: 1 },
+        mpirt::RmaArgs {
+            ty: ty.clone(),
+            count: 1,
+        },
     );
     sim.run();
     assert_eq!(req.expect_bytes(), ty.size());
-    let got = sim.world.mem().read_vec(bufs[1].add(base as u64), len as u64).unwrap();
+    let got = sim
+        .world
+        .mem()
+        .read_vec(bufs[1].add(base as u64), len as u64)
+        .unwrap();
     assert_eq!(
         reference_pack(&ty, 1, &got, 0),
         reference_pack(&ty, 1, &data, 0)
@@ -240,20 +386,71 @@ fn onesided_put_over_ib() {
 #[test]
 fn fan_out_to_two_peers() {
     let specs = [
-        RankSpec { gpu: GpuId(0), node: 0 },
-        RankSpec { gpu: GpuId(1), node: 0 },
-        RankSpec { gpu: GpuId(2), node: 1 },
+        RankSpec {
+            gpu: GpuId(0),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(1),
+            node: 0,
+        },
+        RankSpec {
+            gpu: GpuId(2),
+            node: 1,
+        },
     ];
     let mut sim = Sim::new(MpiWorld::new(&specs, 3, MpiConfig::default()));
-    let ty = DataType::contiguous(40_000, &DataType::double()).unwrap().commit();
+    let ty = DataType::contiguous(40_000, &DataType::double())
+        .unwrap()
+        .commit();
     let sb = alloc(&mut sim, 0, ty.size(), true);
     let r1b = alloc(&mut sim, 1, ty.size(), true);
     let r2b = alloc(&mut sim, 2, ty.size(), true);
     let reqs = vec![
-        isend(&mut sim, SendArgs { from: 0, to: 1, tag: 0, ty: ty.clone(), count: 1, buf: sb }),
-        isend(&mut sim, SendArgs { from: 0, to: 2, tag: 0, ty: ty.clone(), count: 1, buf: sb }),
-        irecv(&mut sim, RecvArgs { rank: 1, src: Some(0), tag: Some(0), ty: ty.clone(), count: 1, buf: r1b }),
-        irecv(&mut sim, RecvArgs { rank: 2, src: Some(0), tag: Some(0), ty: ty.clone(), count: 1, buf: r2b }),
+        isend(
+            &mut sim,
+            SendArgs {
+                from: 0,
+                to: 1,
+                tag: 0,
+                ty: ty.clone(),
+                count: 1,
+                buf: sb,
+            },
+        ),
+        isend(
+            &mut sim,
+            SendArgs {
+                from: 0,
+                to: 2,
+                tag: 0,
+                ty: ty.clone(),
+                count: 1,
+                buf: sb,
+            },
+        ),
+        irecv(
+            &mut sim,
+            RecvArgs {
+                rank: 1,
+                src: Some(0),
+                tag: Some(0),
+                ty: ty.clone(),
+                count: 1,
+                buf: r1b,
+            },
+        ),
+        irecv(
+            &mut sim,
+            RecvArgs {
+                rank: 2,
+                src: Some(0),
+                tag: Some(0),
+                ty: ty.clone(),
+                count: 1,
+                buf: r2b,
+            },
+        ),
     ];
     wait_all(&mut sim, &reqs);
 }

@@ -13,11 +13,15 @@ use simcore::{Sim, SimTime};
 fn triangular(n: u64) -> DataType {
     let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
     let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
-    DataType::indexed(&lens, &disps, &DataType::double()).unwrap().commit()
+    DataType::indexed(&lens, &disps, &DataType::double())
+        .unwrap()
+        .commit()
 }
 
 fn submatrix(n: u64) -> DataType {
-    DataType::vector(n, n, 2 * n as i64, &DataType::double()).unwrap().commit()
+    DataType::vector(n, n, 2 * n as i64, &DataType::double())
+        .unwrap()
+        .commit()
 }
 
 fn alloc_dev(sim: &mut Sim<MpiWorld>, rank: usize, bytes: u64) -> Ptr {
@@ -48,8 +52,16 @@ fn rtt(mut sim: Sim<MpiWorld>, ty: &DataType, iters: u32) -> SimTime {
 #[test]
 fn intra_gpu_at_least_2x_faster_than_inter_gpu() {
     let t = triangular(1024);
-    let one = rtt(Sim::new(MpiWorld::two_ranks_one_gpu(MpiConfig::default())), &t, 3);
-    let two = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &t, 3);
+    let one = rtt(
+        Sim::new(MpiWorld::two_ranks_one_gpu(MpiConfig::default())),
+        &t,
+        3,
+    );
+    let two = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
+        &t,
+        3,
+    );
     assert!(
         one.as_nanos() * 2 <= two.as_nanos(),
         "1GPU {one} should be >=2x faster than 2GPU {two}"
@@ -60,8 +72,16 @@ fn intra_gpu_at_least_2x_faster_than_inter_gpu() {
 #[test]
 fn ib_slower_than_sm() {
     let v = submatrix(1024);
-    let sm = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &v, 3);
-    let ib = rtt(Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default())), &v, 3);
+    let sm = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
+        &v,
+        3,
+    );
+    let ib = rtt(
+        Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default())),
+        &v,
+        3,
+    );
     assert!(sm < ib, "SM {sm} should beat IB {ib}");
 }
 
@@ -71,9 +91,19 @@ fn ib_slower_than_sm() {
 fn vector_pingpong_within_15pct_of_contiguous() {
     let n = 2048u64;
     let v = submatrix(n);
-    let c = DataType::contiguous(n * n, &DataType::double()).unwrap().commit();
-    let tv = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &v, 3);
-    let tc = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &c, 3);
+    let c = DataType::contiguous(n * n, &DataType::double())
+        .unwrap()
+        .commit();
+    let tv = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
+        &v,
+        3,
+    );
+    let tc = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
+        &c,
+        3,
+    );
     let ratio = tv.as_secs_f64() / tc.as_secs_f64();
     assert!(
         (1.0..1.18).contains(&ratio),
@@ -86,16 +116,25 @@ fn vector_pingpong_within_15pct_of_contiguous() {
 fn zero_copy_not_slower_than_staged() {
     let t = triangular(1024);
     let zc = rtt(
-        Sim::new(MpiWorld::two_ranks_ib(MpiConfig { zero_copy: true, ..Default::default() })),
+        Sim::new(MpiWorld::two_ranks_ib(MpiConfig {
+            zero_copy: true,
+            ..Default::default()
+        })),
         &t,
         3,
     );
     let staged = rtt(
-        Sim::new(MpiWorld::two_ranks_ib(MpiConfig { zero_copy: false, ..Default::default() })),
+        Sim::new(MpiWorld::two_ranks_ib(MpiConfig {
+            zero_copy: false,
+            ..Default::default()
+        })),
         &t,
         3,
     );
-    assert!(zc <= staged, "zero-copy {zc} should not lose to staging {staged}");
+    assert!(
+        zc <= staged,
+        "zero-copy {zc} should not lose to staging {staged}"
+    );
 }
 
 /// §4.1: disabling IPC (copy-in/out fallback) costs performance in the
@@ -103,13 +142,23 @@ fn zero_copy_not_slower_than_staged() {
 #[test]
 fn ipc_rdma_beats_copy_in_out_fallback() {
     let t = triangular(1024);
-    let rdma = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &t, 3);
-    let fallback = rtt(
-        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig { use_ipc: false, ..Default::default() })),
+    let rdma = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
         &t,
         3,
     );
-    assert!(rdma < fallback, "RDMA {rdma} should beat copy-in/out {fallback}");
+    let fallback = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig {
+            use_ipc: false,
+            ..Default::default()
+        })),
+        &t,
+        3,
+    );
+    assert!(
+        rdma < fallback,
+        "RDMA {rdma} should beat copy-in/out {fallback}"
+    );
 }
 
 /// §5.2.1: receiver-side local staging beats unpacking directly out of
@@ -138,18 +187,30 @@ fn local_staging_beats_direct_remote_unpack() {
         "staging {staged} should beat direct remote access {direct}"
     );
     let ratio = direct.as_secs_f64() / staged.as_secs_f64();
-    assert!(ratio < 1.4, "the gap should be moderate (paper: 10-15%), got {ratio}");
+    assert!(
+        ratio < 1.4,
+        "the gap should be moderate (paper: 10-15%), got {ratio}"
+    );
 }
 
 /// Eager messages complete the send before any receive is posted.
 #[test]
 fn eager_send_completes_without_receiver() {
     let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
-    let t = DataType::contiguous(64, &DataType::double()).unwrap().commit();
+    let t = DataType::contiguous(64, &DataType::double())
+        .unwrap()
+        .commit();
     let buf = alloc_dev(&mut sim, 0, t.size());
     let s = mpirt::api::isend(
         &mut sim,
-        mpirt::api::SendArgs { from: 0, to: 1, tag: 0, ty: t, count: 1, buf },
+        mpirt::api::SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: t,
+            count: 1,
+            buf,
+        },
     );
     sim.run();
     assert!(s.is_complete(), "eager send must complete unilaterally");
@@ -191,17 +252,136 @@ fn pipeline_memory_is_bounded_by_ring() {
     );
 }
 
+/// The trace-derived overlap metric captures the paper's core claim:
+/// with the engine pipeline on, CPU DEV preparation overlaps the pack
+/// kernels; with it off the stages strictly serialize.
+#[test]
+fn engine_pipeline_overlap_visible_in_metrics() {
+    use devengine::{pack_async, EngineConfig};
+    use mpirt::{RankSpec, Session};
+
+    fn overlap(pipeline: bool) -> f64 {
+        let t = triangular(1024);
+        let mut sess = Session::builder()
+            .ranks(
+                &[RankSpec {
+                    gpu: GpuId(0),
+                    node: 0,
+                }],
+                1,
+            )
+            .record()
+            .build();
+        let len = t.true_ub() as u64;
+        let typed = sess
+            .world
+            .mem()
+            .alloc(MemSpace::Device(GpuId(0)), len)
+            .unwrap();
+        let packed = sess
+            .world
+            .mem()
+            .alloc(MemSpace::Device(GpuId(0)), t.size())
+            .unwrap();
+        let stream = sess.world.mpi.ranks[0].kernel_stream;
+        let cfg = EngineConfig {
+            pipeline,
+            ..Default::default()
+        };
+        pack_async(
+            &mut sess,
+            0,
+            stream,
+            &t,
+            1,
+            typed,
+            packed,
+            cfg,
+            None,
+            |_, _| {},
+        );
+        sess.run();
+        sess.finish().overlap_pct
+    }
+
+    let piped = overlap(true);
+    let serial = overlap(false);
+    assert!(
+        piped > 10.0,
+        "pipelined prep should overlap the kernels, got {piped}%"
+    );
+    assert!(
+        serial < 1.0,
+        "un-pipelined stages should serialize, got {serial}%"
+    );
+}
+
+/// The full protocol pipeline shows both stage overlap and multiple
+/// ring fragments in flight in its recorded trace.
+#[test]
+fn pipelined_protocol_shows_overlap_and_ring_residency() {
+    let t = triangular(1024);
+    let mut sess = mpirt::Session::builder()
+        .two_ranks_two_gpus()
+        .record()
+        .build();
+    let len = (t.true_ub() - t.true_lb().min(0)) as u64;
+    let gpu0 = sess.world.mpi.ranks[0].gpu;
+    let gpu1 = sess.world.mpi.ranks[1].gpu;
+    let b0 = sess.world.mem().alloc(MemSpace::Device(gpu0), len).unwrap();
+    let b1 = sess.world.mem().alloc(MemSpace::Device(gpu1), len).unwrap();
+    ping_pong(
+        &mut sess,
+        PingPongSpec {
+            ty0: t.clone(),
+            count0: 1,
+            buf0: b0,
+            ty1: t.clone(),
+            count1: 1,
+            buf1: b1,
+            iters: 2,
+        },
+    );
+    let m = sess.finish();
+    assert!(
+        m.overlap_pct > 5.0,
+        "protocol stages should overlap, got {}%",
+        m.overlap_pct
+    );
+    assert!(
+        m.ring_residency > 1.0,
+        "the fragment ring should keep >1 fragment in flight, got {}",
+        m.ring_residency
+    );
+    // Warm-up round + 2 measured rounds, two transfers each.
+    assert_eq!(m.counter("mpi.delivered.bytes"), 6 * t.size());
+}
+
 /// exp13 shape: two thread blocks already get within 10% of the full
 /// GPU for the vector workload (PCIe is the bottleneck).
 #[test]
 fn few_blocks_saturate_communication() {
     let v = submatrix(1024);
-    let full = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())), &v, 3);
+    let full = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default())),
+        &v,
+        3,
+    );
     let two_blocks_cfg = MpiConfig {
-        engine: devengine::EngineConfig { blocks: Some(2), ..Default::default() },
+        engine: devengine::EngineConfig {
+            blocks: Some(2),
+            ..Default::default()
+        },
         ..Default::default()
     };
-    let two = rtt(Sim::new(MpiWorld::two_ranks_two_gpus(two_blocks_cfg)), &v, 3);
+    let two = rtt(
+        Sim::new(MpiWorld::two_ranks_two_gpus(two_blocks_cfg)),
+        &v,
+        3,
+    );
     let ratio = two.as_secs_f64() / full.as_secs_f64();
-    assert!(ratio < 1.10, "2 blocks should be within 10% of 15, got {ratio}");
+    assert!(
+        ratio < 1.10,
+        "2 blocks should be within 10% of 15, got {ratio}"
+    );
 }
