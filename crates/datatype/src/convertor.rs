@@ -374,6 +374,15 @@ impl Convertor {
     /// and already clipped to the requested byte window.
     pub fn next_segments(&mut self, max_bytes: u64) -> Vec<(Segment, u64)> {
         let mut out = Vec::new();
+        self.next_segments_into(max_bytes, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::next_segments`]: clears `out`
+    /// and fills it, so a caller streaming many batches can reuse one
+    /// buffer for the whole conversion.
+    pub fn next_segments_into(&mut self, max_bytes: u64, out: &mut Vec<(Segment, u64)>) {
+        out.clear();
         let mut taken = 0u64;
         while taken < max_bytes {
             let Some((seg, off)) = self.next_segment() else {
@@ -385,7 +394,6 @@ impl Convertor {
             taken += want;
             self.consume(want);
         }
-        out
     }
 }
 

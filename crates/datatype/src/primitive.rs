@@ -45,6 +45,21 @@ impl Primitive {
         }
     }
 
+    /// Stable small integer identifying this primitive, used as a hash
+    /// discriminant in [`crate::DataType::layout_fingerprint`]. Must not
+    /// change between releases or cached fingerprints would shift.
+    pub const fn code(self) -> u64 {
+        match self {
+            Primitive::Byte => 0,
+            Primitive::Int16 => 1,
+            Primitive::Int32 => 2,
+            Primitive::Int64 => 3,
+            Primitive::Float32 => 4,
+            Primitive::Float64 => 5,
+            Primitive::Complex128 => 6,
+        }
+    }
+
     /// All primitives, for property-based generators.
     pub const ALL: [Primitive; 7] = [
         Primitive::Byte,

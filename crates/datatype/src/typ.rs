@@ -19,6 +19,37 @@ use std::rc::Rc;
 /// A (blocklength, displacement) pair used by the indexed constructors.
 type Block = (u64, i64);
 
+/// FNV-1a, 64-bit. Used for [`DataType::layout_fingerprint`]; chosen for
+/// being tiny, dependency-free and stable across platforms (the std
+/// `Hasher`s are explicitly not stable between releases).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    // Word-at-a-time FNV-1a variant: one multiply per u64 keeps the
+    // fingerprint cheap on wide Indexed/Struct block lists (it sits on
+    // the cache-hit path). Weaker per-byte diffusion than classic FNV
+    // is fine here — cache keys pair the fingerprint with the type's
+    // exact size and true bounds.
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(Self::PRIME);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 #[derive(Debug)]
 pub(crate) enum Kind {
     Primitive(Primitive),
@@ -812,6 +843,77 @@ impl DataType {
         Rc::as_ptr(&self.node) as usize
     }
 
+    /// Structural fingerprint of the type tree: an FNV-1a hash over the
+    /// normalized constructor tree (the same byte-displacement form
+    /// [`Self::combiner`] reports). Two types built through identical
+    /// constructor calls — even in different Sessions — hash equal, so
+    /// caches keyed on the fingerprint survive type re-construction,
+    /// which identity keys ([`Self::id`]) never do.
+    ///
+    /// Unlike [`crate::Signature`] (the *primitive-sequence* equivalence
+    /// MPI matching uses), the fingerprint distinguishes *layouts*:
+    /// `vector(8, 8, 16, BYTE)` and `contiguous(64, BYTE)` carry the
+    /// same signature but hash differently, which is what a cache of
+    /// layout-dependent descriptors needs. Equal fingerprints imply
+    /// identical layout up to hash collisions; cache keys should pair
+    /// the fingerprint with cheap exact invariants (size, true bounds)
+    /// to make collisions harmless in practice.
+    pub fn layout_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv1a) {
+        match &self.node.kind {
+            Kind::Primitive(p) => {
+                h.write_u64(1);
+                h.write_u64(p.code());
+            }
+            Kind::Contiguous { count, child } => {
+                h.write_u64(2);
+                h.write_u64(*count);
+                child.fingerprint_into(h);
+            }
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
+                h.write_u64(3);
+                h.write_u64(*count);
+                h.write_u64(*blocklen);
+                h.write_i64(*stride_bytes);
+                child.fingerprint_into(h);
+            }
+            Kind::Indexed { blocks, child } => {
+                h.write_u64(4);
+                h.write_u64(blocks.len() as u64);
+                for (len, disp) in blocks.iter() {
+                    h.write_u64(*len);
+                    h.write_i64(*disp);
+                }
+                child.fingerprint_into(h);
+            }
+            Kind::Struct { fields } => {
+                h.write_u64(5);
+                h.write_u64(fields.len() as u64);
+                for (len, disp, ty) in fields.iter() {
+                    h.write_u64(*len);
+                    h.write_i64(*disp);
+                    ty.fingerprint_into(h);
+                }
+            }
+            Kind::Resized { lb, extent, child } => {
+                h.write_u64(6);
+                h.write_i64(*lb);
+                h.write_i64(*extent);
+                child.fingerprint_into(h);
+            }
+        }
+    }
+
     /// How this type was constructed — the analogue of
     /// `MPI_Type_get_envelope` + `MPI_Type_get_contents`, letting tools
     /// and tests decode committed types.
@@ -974,6 +1076,45 @@ mod tests {
         assert!(d.is_gapless());
         assert!(d.dense());
         assert!(d.is_contiguous(100));
+    }
+
+    #[test]
+    fn layout_fingerprint_matches_across_separate_builds() {
+        let build = || {
+            let v = DataType::vector(4, 2, 5, &dbl()).unwrap();
+            DataType::indexed(&[3, 1], &[0, 10], &v).unwrap().commit()
+        };
+        let a = build();
+        let b = build();
+        assert_ne!(a.id(), b.id(), "separately built trees have distinct ids");
+        assert_eq!(a.layout_fingerprint(), b.layout_fingerprint());
+    }
+
+    #[test]
+    fn layout_fingerprint_distinguishes_layouts() {
+        // Same primitive signature (64 bytes), different layouts: a
+        // dense vector whose blocks tile vs a plain contiguous run.
+        let byte = DataType::byte();
+        let vec = DataType::vector(8, 8, 16, &byte).unwrap();
+        let cont = DataType::contiguous(64, &byte).unwrap();
+        assert_ne!(vec.layout_fingerprint(), cont.layout_fingerprint());
+
+        // Differing counts/strides/displacements all shift the hash.
+        let v1 = DataType::vector(3, 2, 4, &dbl()).unwrap();
+        let v2 = DataType::vector(3, 2, 5, &dbl()).unwrap();
+        assert_ne!(v1.layout_fingerprint(), v2.layout_fingerprint());
+        let r1 = DataType::resized(&v1, 0, 256).unwrap();
+        let r2 = DataType::resized(&v1, 8, 256).unwrap();
+        assert_ne!(r1.layout_fingerprint(), r2.layout_fingerprint());
+        assert_ne!(v1.layout_fingerprint(), r1.layout_fingerprint());
+    }
+
+    #[test]
+    fn layout_fingerprint_survives_dup_and_commit() {
+        let t = DataType::vector(4, 1, 3, &dbl()).unwrap();
+        let fp = t.layout_fingerprint();
+        assert_eq!(t.dup().layout_fingerprint(), fp);
+        assert_eq!(t.commit().layout_fingerprint(), fp);
     }
 
     #[test]

@@ -4,8 +4,16 @@
 //! — not on where the buffers live — so the paper caches it, either in
 //! host or GPU memory, and reuses it for every later message with the
 //! same type. Figure 7's "cached" curves show the preparation cost
-//! disappearing entirely. The cache is bounded and evicts
-//! least-recently-used plans.
+//! disappearing entirely. The cache is bounded (descriptor bytes *and*
+//! entry count) and evicts least-recently-used plans.
+//!
+//! Keys are **structural**: the datatype's layout fingerprint plus
+//! `(count, unit_size)`, so a type rebuilt through the same constructor
+//! calls — a fresh Session, a bench sweep re-deriving its datatypes —
+//! still hits. TEMPI showed canonical keying is what makes datatype
+//! caching pay off in real MPI applications, where types are routinely
+//! reconstructed per communication epoch. Fingerprints are
+//! collision-guarded by the type's exact size and true bounds.
 
 use crate::dev::{build_plan, DevPlan};
 use datatype::{DataType, TypeError};
@@ -14,15 +22,39 @@ use std::rc::Rc;
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct Key {
-    type_id: usize,
+    /// Structural layout hash ([`DataType::layout_fingerprint`]).
+    fingerprint: u64,
+    /// Exact invariants that any fingerprint collision would have to
+    /// match too before a wrong plan could be served.
+    size: u64,
+    true_lb: i64,
+    true_ub: i64,
     count: u64,
     unit_size: u64,
 }
+
+impl Key {
+    fn of(ty: &DataType, count: u64, unit_size: u64) -> Key {
+        Key {
+            fingerprint: ty.layout_fingerprint(),
+            size: ty.size(),
+            true_lb: ty.true_lb(),
+            true_ub: ty.true_ub(),
+            count,
+            unit_size,
+        }
+    }
+}
+
+/// Default bound on cached plans; descriptor bytes usually bind first,
+/// this catches pathological sweeps over thousands of tiny types.
+const DEFAULT_MAX_ENTRIES: usize = 256;
 
 /// LRU cache of materialized [`DevPlan`]s.
 pub struct DevCache {
     map: HashMap<Key, (Rc<DevPlan>, u64)>,
     capacity_bytes: u64,
+    max_entries: usize,
     used_bytes: u64,
     clock: u64,
     hits: u64,
@@ -33,9 +65,15 @@ impl DevCache {
     /// `capacity_bytes` bounds the descriptor memory (the paper spends
     /// "a few MBs of GPU memory"; default callers pass 8 MB).
     pub fn new(capacity_bytes: u64) -> DevCache {
+        DevCache::with_limits(capacity_bytes, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Bound both descriptor bytes and the number of cached plans.
+    pub fn with_limits(capacity_bytes: u64, max_entries: usize) -> DevCache {
         DevCache {
             map: HashMap::new(),
             capacity_bytes,
+            max_entries: max_entries.max(1),
             used_bytes: 0,
             clock: 0,
             hits: 0,
@@ -53,11 +91,7 @@ impl DevCache {
         count: u64,
         unit_size: u64,
     ) -> Result<(Rc<DevPlan>, bool), TypeError> {
-        let key = Key {
-            type_id: ty.id(),
-            count,
-            unit_size,
-        };
+        let key = Key::of(ty, count, unit_size);
         self.clock += 1;
         if let Some((plan, stamp)) = self.map.get_mut(&key) {
             *stamp = self.clock;
@@ -74,7 +108,10 @@ impl DevCache {
     }
 
     fn evict_for(&mut self, incoming: u64) {
-        while self.used_bytes + incoming > self.capacity_bytes && !self.map.is_empty() {
+        while (self.used_bytes + incoming > self.capacity_bytes
+            || self.map.len() >= self.max_entries)
+            && !self.map.is_empty()
+        {
             let (&victim, _) = self
                 .map
                 .iter()
@@ -87,6 +124,14 @@ impl DevCache {
 
     pub fn used_bytes(&self) -> u64 {
         self.used_bytes
+    }
+
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
     }
 
     pub fn len(&self) -> usize {
@@ -147,34 +192,78 @@ mod tests {
     }
 
     #[test]
-    fn structurally_equal_but_distinct_types_do_not_alias() {
+    fn structurally_equal_types_share_one_entry() {
+        // Two separately constructed (distinct trees, distinct ids) but
+        // structurally identical types: the second lookup must hit — the
+        // acceptance shape of TEMPI-style canonical keying.
         let mut c = DevCache::default();
         let a = vec_type(16);
         let b = vec_type(16);
-        c.get_or_build(&a, 1, 1024).unwrap();
-        let (_, hit) = c.get_or_build(&b, 1, 1024).unwrap();
-        assert!(!hit, "identity-keyed cache must not alias distinct trees");
-        // But a clone of `a` shares the tree and hits.
+        assert_ne!(a.id(), b.id());
+        let (pa, hit) = c.get_or_build(&a, 1, 1024).unwrap();
+        assert!(!hit);
+        let (pb, hit) = c.get_or_build(&b, 1, 1024).unwrap();
+        assert!(hit, "structural key must alias identical layouts");
+        assert!(Rc::ptr_eq(&pa, &pb));
+        assert_eq!(c.len(), 1);
+        assert!(c.hit_rate() > 0.0);
+        // A clone still hits, and a structurally different type doesn't.
         let (_, hit) = c.get_or_build(&a.dup(), 1, 1024).unwrap();
         assert!(hit);
+        let (_, hit) = c.get_or_build(&vec_type(17), 1, 1024).unwrap();
+        assert!(!hit);
     }
 
     #[test]
-    fn lru_eviction_under_pressure() {
-        // Plans for vector(n, 2, 4) have n units of 32 bytes each.
+    fn structural_key_does_not_alias_same_signature_different_layout() {
+        // vector(8,8,16,BYTE) and contiguous(64,BYTE) pack the same
+        // primitive sequence but need different plans.
+        let byte = DataType::byte();
+        let v = DataType::vector(8, 8, 16, &byte).unwrap().commit();
+        let c64 = DataType::contiguous(64, &byte).unwrap().commit();
+        let mut c = DevCache::default();
+        c.get_or_build(&v, 1, 1024).unwrap();
+        let (plan, hit) = c.get_or_build(&c64, 1, 1024).unwrap();
+        assert!(!hit, "different layouts must not share a plan");
+        assert_eq!(plan.units.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_pressure() {
+        // Plans for vector(n, 2, 4) have n units of 32 bytes each. Use
+        // structurally distinct types so each occupies its own entry.
         let mut c = DevCache::new(3000);
-        let t1 = vec_type(32); // ~1 KB of descriptors
-        let t2 = vec_type(32);
-        let t3 = vec_type(32);
+        let t1 = vec_type(32); // 1024 descriptor bytes
+        let t2 = vec_type(33); // 1056
+        let t3 = vec_type(34); // 1088
+        c.get_or_build(&t1, 1, 1024).unwrap();
+        c.get_or_build(&t2, 1, 1024).unwrap();
+        c.get_or_build(&t1, 1, 1024).unwrap(); // refresh t1
+        c.get_or_build(&t3, 1, 1024).unwrap(); // 1024+1056+1088 > 3000: evicts t2 (LRU)
+        assert_eq!(c.len(), 2);
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        let (_, hit1) = c.get_or_build(&t1, 1, 1024).unwrap();
+        assert!(hit1, "t1 was refreshed and must survive");
+        let (_, hit2) = c.get_or_build(&t2, 1, 1024).unwrap();
+        assert!(!hit2, "t2 was evicted");
+    }
+
+    #[test]
+    fn lru_eviction_under_entry_pressure() {
+        // Byte capacity is effectively unlimited; the entry bound binds.
+        let mut c = DevCache::with_limits(u64::MAX, 2);
+        let t1 = vec_type(8);
+        let t2 = vec_type(9);
+        let t3 = vec_type(10);
         c.get_or_build(&t1, 1, 1024).unwrap();
         c.get_or_build(&t2, 1, 1024).unwrap();
         c.get_or_build(&t1, 1, 1024).unwrap(); // refresh t1
         c.get_or_build(&t3, 1, 1024).unwrap(); // evicts t2 (LRU)
         assert_eq!(c.len(), 2);
-        let (_, hit1) = c.get_or_build(&t1, 1, 1024).unwrap();
-        assert!(hit1, "t1 was refreshed and must survive");
-        let (_, hit2) = c.get_or_build(&t2, 1, 1024).unwrap();
-        assert!(!hit2, "t2 was evicted");
+        let (_, hit) = c.get_or_build(&t1, 1, 1024).unwrap();
+        assert!(hit);
+        let (_, hit) = c.get_or_build(&t2, 1, 1024).unwrap();
+        assert!(!hit, "t2 fell to the entry bound");
     }
 
     #[test]

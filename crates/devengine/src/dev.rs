@@ -6,8 +6,23 @@
 //! fragment of the packed stream be described by a contiguous run of
 //! units, which both the fragment engine and the cache slicing rely on.
 
-use datatype::{Convertor, DataType, PackKind, TypeError};
+use datatype::{Convertor, DataType, PackKind, Segment, TypeError};
 use simcore::par::CopyOp;
+
+/// A borrowed view of the units covering one packed range: at most one
+/// boundary-trimmed unit on each side plus an untouched middle run of
+/// the plan's own units. All offsets are the plan's *absolute* packed
+/// offsets — see [`DevPlan::slice_into`] for the rebased form a fragment
+/// buffer needs.
+#[derive(Debug)]
+pub struct SliceParts<'a> {
+    /// First unit, trimmed, when the range starts mid-unit.
+    pub head: Option<CopyOp>,
+    /// Units fully inside the range, borrowed from the plan.
+    pub middle: &'a [CopyOp],
+    /// Last unit, trimmed, when the range ends mid-unit.
+    pub tail: Option<CopyOp>,
+}
 
 /// A fully materialized CUDA-DEV plan for `count` instances of a type,
 /// in **pack orientation** (src = typed memory, dst = packed stream).
@@ -32,32 +47,78 @@ impl DevPlan {
         self.units.len() as u64 * 32
     }
 
-    /// The units covering packed range `[from, to)`, rebased so the
-    /// packed-side offset is relative to `from` (a fragment buffer).
-    /// Units straddling the boundary are trimmed.
-    pub fn slice(&self, from: u64, to: u64) -> Vec<CopyOp> {
+    /// The units covering packed range `[from, to)` as a borrowed view:
+    /// the interior units come straight from the plan (no copy), with at
+    /// most two boundary-split ops materialized for ranges that start or
+    /// end mid-unit. Offsets stay absolute.
+    pub fn slice_parts(&self, from: u64, to: u64) -> SliceParts<'_> {
         debug_assert!(from <= to && to <= self.total_bytes);
-        // Units are sorted by dst_off; binary search the start.
+        // Units are sorted by dst_off; binary search both boundaries.
         let start = self
             .units
             .partition_point(|u| (u.dst_off + u.len) as u64 <= from);
-        let mut out = Vec::new();
-        for u in &self.units[start..] {
-            let u_start = u.dst_off as u64;
-            if u_start >= to {
-                break;
-            }
+        let end = self.units.partition_point(|u| (u.dst_off as u64) < to);
+        let mut middle = &self.units[start..end];
+        let mut head = None;
+        let mut tail = None;
+        if let Some(first) = middle.first() {
+            let u_start = first.dst_off as u64;
+            let u_end = u_start + first.len as u64;
             let lo = from.max(u_start);
-            let hi = to.min(u_start + u.len as u64);
+            let hi = to.min(u_end);
             if hi <= lo {
-                continue; // empty window (from == to)
+                // Empty window (from == to) landing inside a unit.
+                middle = &middle[..0];
+            } else if lo > u_start || hi < u_end {
+                head = Some(CopyOp {
+                    src_off: first.src_off + (lo - u_start) as usize,
+                    dst_off: lo as usize,
+                    len: (hi - lo) as usize,
+                });
+                middle = &middle[1..];
             }
-            out.push(CopyOp {
-                src_off: u.src_off + (lo - u_start) as usize,
-                dst_off: (lo - from) as usize,
-                len: (hi - lo) as usize,
-            });
         }
+        if let Some(last) = middle.last() {
+            let u_start = last.dst_off as u64;
+            let u_end = u_start + last.len as u64;
+            let hi = to.min(u_end);
+            if hi < u_end {
+                tail = Some(CopyOp {
+                    src_off: last.src_off,
+                    dst_off: last.dst_off,
+                    len: (hi - u_start) as usize,
+                });
+                middle = &middle[..middle.len() - 1];
+            }
+        }
+        SliceParts { head, middle, tail }
+    }
+
+    /// Fill `out` (cleared first) with the units covering packed range
+    /// `[from, to)`, rebased so the packed-side offset is relative to
+    /// `from` (a fragment buffer). Units straddling the boundary are
+    /// trimmed. Allocation-free once `out` has warmed up.
+    pub fn slice_into(&self, from: u64, to: u64, out: &mut Vec<CopyOp>) {
+        out.clear();
+        let parts = self.slice_parts(from, to);
+        let rebase = |u: &CopyOp| CopyOp {
+            src_off: u.src_off,
+            dst_off: u.dst_off - from as usize,
+            len: u.len,
+        };
+        if let Some(h) = &parts.head {
+            out.push(rebase(h));
+        }
+        out.extend(parts.middle.iter().map(rebase));
+        if let Some(t) = &parts.tail {
+            out.push(rebase(t));
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::slice_into`].
+    pub fn slice(&self, from: u64, to: u64) -> Vec<CopyOp> {
+        let mut out = Vec::new();
+        self.slice_into(from, to, &mut out);
         out
     }
 }
@@ -75,6 +136,14 @@ pub fn flip_units(units: &[CopyOp]) -> Vec<CopyOp> {
         .collect()
 }
 
+/// In-place variant of [`flip_units`] for the allocation-free unpack
+/// path (the unit buffer is scratch anyway).
+pub fn flip_units_in_place(units: &mut [CopyOp]) {
+    for u in units {
+        std::mem::swap(&mut u.src_off, &mut u.dst_off);
+    }
+}
+
 /// Streaming DEV generator: wraps the stack-based convertor and splits
 /// segments into `unit_size` work units on demand — the CPU half of the
 /// paper's pipeline.
@@ -82,6 +151,9 @@ pub struct DevCursor {
     cv: Convertor,
     unit_size: u64,
     base_shift: i64,
+    /// Reused batch buffer for the convertor's segment output, so
+    /// steady-state streaming does not allocate per batch.
+    seg_buf: Vec<(Segment, u64)>,
 }
 
 impl DevCursor {
@@ -90,6 +162,7 @@ impl DevCursor {
             cv: Convertor::new(ty, count, PackKind::Pack)?,
             unit_size,
             base_shift: ty.true_lb().min(0),
+            seg_buf: Vec::new(),
         })
     }
 
@@ -112,18 +185,27 @@ impl DevCursor {
     /// Produce the units covering the next `max_packed` bytes of the
     /// packed stream (pack orientation, absolute packed offsets).
     pub fn next_units(&mut self, max_packed: u64) -> Vec<CopyOp> {
-        let segs = self.cv.next_segments(max_packed);
         let mut units = Vec::new();
-        for (seg, packed_pos) in segs {
+        self.next_units_into(max_packed, &mut units);
+        units
+    }
+
+    /// Allocation-free variant of [`Self::next_units`]: clears `out` and
+    /// fills it, reusing the cursor's internal segment batch buffer.
+    pub fn next_units_into(&mut self, max_packed: u64, out: &mut Vec<CopyOp>) {
+        out.clear();
+        let mut segs = std::mem::take(&mut self.seg_buf);
+        self.cv.next_segments_into(max_packed, &mut segs);
+        for (seg, packed_pos) in &segs {
             split_segment(
                 seg.disp - self.base_shift,
-                packed_pos,
+                *packed_pos,
                 seg.len,
                 self.unit_size,
-                &mut units,
+                out,
             );
         }
-        units
+        self.seg_buf = segs;
     }
 }
 
@@ -296,6 +378,90 @@ mod tests {
         let plan = build_plan(&c, 1, 1024).unwrap();
         assert!(plan.slice(100, 100).is_empty());
         assert!(plan.slice(plan.total_bytes, plan.total_bytes).is_empty());
+    }
+
+    #[test]
+    fn slice_parts_borrows_interior_units() {
+        let c = DataType::contiguous(512, &dbl()).unwrap().commit(); // 4 KB
+        let plan = build_plan(&c, 1, 1024).unwrap();
+        // 1500..3500 crosses units 1..3: trimmed head + trimmed tail,
+        // one untouched unit borrowed in between.
+        let p = plan.slice_parts(1500, 3500);
+        assert_eq!(
+            p.head,
+            Some(CopyOp {
+                src_off: 1500,
+                dst_off: 1500,
+                len: 548
+            })
+        );
+        assert_eq!(p.middle.len(), 1);
+        assert!(
+            std::ptr::eq(&p.middle[0], &plan.units[2]),
+            "middle is borrowed"
+        );
+        assert_eq!(
+            p.tail,
+            Some(CopyOp {
+                src_off: 3072,
+                dst_off: 3072,
+                len: 428
+            })
+        );
+        // Unit-aligned range: pure borrow, no boundary splits.
+        let p = plan.slice_parts(1024, 3072);
+        assert!(p.head.is_none() && p.tail.is_none());
+        assert_eq!(p.middle, &plan.units[1..3]);
+        // Range inside a single unit: head only.
+        let p = plan.slice_parts(100, 200);
+        assert_eq!(
+            p.head,
+            Some(CopyOp {
+                src_off: 100,
+                dst_off: 100,
+                len: 100
+            })
+        );
+        assert!(p.middle.is_empty() && p.tail.is_none());
+    }
+
+    #[test]
+    fn slice_into_matches_slice_and_reuses_buffer() {
+        let v = DataType::vector(9, 3, 7, &dbl()).unwrap().commit();
+        let plan = build_plan(&v, 2, 64).unwrap();
+        let mut buf = Vec::new();
+        let mut from = 0u64;
+        while from < plan.total_bytes {
+            let to = (from + 100).min(plan.total_bytes);
+            plan.slice_into(from, to, &mut buf);
+            assert_eq!(buf, plan.slice(from, to), "window {from}..{to}");
+            from = to;
+        }
+    }
+
+    #[test]
+    fn next_units_into_matches_next_units() {
+        let n = 12u64;
+        let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
+        let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
+        let t = DataType::indexed(&lens, &disps, &dbl()).unwrap().commit();
+        let mut a = DevCursor::new(&t, 2, 96).unwrap();
+        let mut b = DevCursor::new(&t, 2, 96).unwrap();
+        let mut buf = Vec::new();
+        while !a.finished() {
+            b.next_units_into(250, &mut buf);
+            assert_eq!(a.next_units(250), buf);
+        }
+        assert!(b.finished());
+    }
+
+    #[test]
+    fn flip_in_place_matches_flip() {
+        let v = DataType::vector(5, 2, 6, &dbl()).unwrap().commit();
+        let plan = build_plan(&v, 1, 64).unwrap();
+        let mut inplace = plan.units.clone();
+        flip_units_in_place(&mut inplace);
+        assert_eq!(inplace, flip_units(&plan.units));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::cache::DevCache;
 use crate::config::EngineConfig;
-use crate::dev::{flip_units, DevCursor, DevPlan};
+use crate::dev::{flip_units_in_place, DevCursor, DevPlan};
 use datatype::{DataType, TypeError};
 use gpusim::{launch_transfer_kernel, GpuWorld, KernelConfig, StreamId};
 use memsim::Ptr;
@@ -160,22 +160,26 @@ impl FragmentEngine {
         !matches!(self.source, UnitSource::Fresh(_))
     }
 
-    /// Units (pack orientation, packed offsets rebased to the fragment)
-    /// for the next `n` packed bytes, plus whether CPU prep is owed.
-    fn take_units(&mut self, n: u64) -> (Vec<CopyOp>, bool) {
+    /// Fill `units` (cleared first) with the units for the next `n`
+    /// packed bytes (pack orientation, packed offsets rebased to the
+    /// fragment). Returns whether CPU prep is owed. Writing into a
+    /// caller-supplied buffer keeps the steady-state fragment loop
+    /// allocation-free — the buffers themselves cycle through
+    /// [`simcore::scratch`].
+    fn take_units_into(&mut self, n: u64, units: &mut Vec<CopyOp>) -> bool {
         let from = self.pos;
         match &mut self.source {
             UnitSource::Fresh(cur) => {
-                let mut units = cur.next_units(n);
-                for u in &mut units {
+                cur.next_units_into(n, units);
+                for u in units {
                     u.dst_off -= from as usize;
                 }
-                (units, true)
+                true
             }
             UnitSource::Cached { plan, pos } => {
-                let units = plan.slice(*pos, (*pos + n).min(plan.total_bytes));
+                plan.slice_into(*pos, (*pos + n).min(plan.total_bytes), units);
                 *pos = (*pos + n).min(plan.total_bytes);
-                (units, false)
+                false
             }
             UnitSource::Vector {
                 block_bytes,
@@ -184,8 +188,8 @@ impl FragmentEngine {
                 pos,
                 total,
             } => {
+                units.clear();
                 let to = (*pos + n).min(*total);
-                let mut units = Vec::new();
                 let bb = *block_bytes;
                 let mut p = *pos;
                 while p < to {
@@ -201,7 +205,7 @@ impl FragmentEngine {
                     p += take;
                 }
                 *pos = to;
-                (units, false)
+                false
             }
         }
     }
@@ -232,14 +236,20 @@ impl FragmentEngine {
             });
             return;
         }
-        let (units, charge_prep) = self.take_units(n);
+        // The kernel completion recycles this buffer once the bytes have
+        // moved, so steady-state streaming reuses a handful of Vecs.
+        let mut units = simcore::scratch::take_units_buf();
+        let charge_prep = self.take_units_into(n, &mut units);
         self.pos += n;
         debug_assert_eq!(units.iter().map(|u| u.len as u64).sum::<u64>(), n);
 
         let typed = self.typed.offset_by(self.base_shift);
-        let (ksrc, kdst, units) = match self.dir {
-            Direction::Pack => (typed, frag, units),
-            Direction::Unpack => (frag, typed, flip_units(&units)),
+        let (ksrc, kdst) = match self.dir {
+            Direction::Pack => (typed, frag),
+            Direction::Unpack => {
+                flip_units_in_place(&mut units);
+                (frag, typed)
+            }
         };
         let kcfg = KernelConfig {
             blocks: self.cfg.blocks,

@@ -26,5 +26,5 @@ pub mod engine;
 
 pub use cache::DevCache;
 pub use config::EngineConfig;
-pub use dev::{build_plan, flip_units, DevCursor, DevPlan};
+pub use dev::{build_plan, flip_units, flip_units_in_place, DevCursor, DevPlan, SliceParts};
 pub use engine::{pack_async, unpack_async, Direction, FragmentEngine};

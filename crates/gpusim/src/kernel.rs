@@ -216,6 +216,9 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
             .expect("kernel transfer failed");
         sim.trace
             .count("gpusim.kernel.bytes", stream.gpu.0, 0, payload);
+        // Unit buffers cycle back to the scratch shelf so the fragment
+        // pipeline reuses a handful of allocations at steady state.
+        simcore::scratch::recycle_units_buf(units);
         done(sim, sim.now());
     });
 }

@@ -7,7 +7,7 @@
 //! memcpy-bound rate.
 
 use datatype::{DataType, TypeError};
-use devengine::{flip_units, DevCursor};
+use devengine::{flip_units_in_place, DevCursor};
 use gpusim::GpuWorld;
 use memsim::Ptr;
 use simcore::{Bandwidth, Sim, SimTime, Track};
@@ -74,19 +74,25 @@ impl CpuEngine {
         done: impl FnOnce(&mut Sim<W>, u64) + 'static,
     ) {
         let from = self.position();
-        let mut units = self.cursor.next_units(cap);
+        // Scratch buffer: recycled by the completion event below.
+        let mut units = simcore::scratch::take_units_buf();
+        self.cursor.next_units_into(cap, &mut units);
         for u in &mut units {
             u.dst_off -= from as usize;
         }
         let n: u64 = units.iter().map(|u| u.len as u64).sum();
         if n == 0 {
+            simcore::scratch::recycle_units_buf(units);
             sim.schedule_now(move |sim| done(sim, 0));
             return;
         }
         let typed = self.typed.offset_by(self.cursor.base_shift());
-        let (src, dst, units) = match self.dir {
-            CpuDir::Pack => (typed, frag, units),
-            CpuDir::Unpack => (frag, typed, flip_units(&units)),
+        let (src, dst) = match self.dir {
+            CpuDir::Pack => (typed, frag),
+            CpuDir::Unpack => {
+                flip_units_in_place(&mut units);
+                (frag, typed)
+            }
         };
         let duration = self.bw.time_for(n) + self.per_call;
         let now = sim.now();
@@ -103,6 +109,7 @@ impl CpuEngine {
                 .mem()
                 .transfer(src, dst, &units)
                 .expect("cpu pack transfer");
+            simcore::scratch::recycle_units_buf(units);
             sim.trace.count(counter, rank, 0, n);
             done(sim, n);
         });

@@ -167,6 +167,13 @@ impl SessionBuilder {
         let run_span = sim
             .trace
             .span_begin(sim.now(), "mpirt", "session", Track::Session);
+        // Surface the copy-pool sizing decision (GPU_DDT_COPY_THREADS or
+        // the default) in the trace, once per session. Lazily-started
+        // pools that never spun up have nothing to report.
+        if let Some(info) = simcore::par::pool_info_if_started() {
+            sim.trace
+                .count("simcore.par.pool_threads", 0, 0, info.threads as u64);
+        }
         Session {
             sim,
             label: self.label,

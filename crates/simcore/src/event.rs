@@ -9,7 +9,7 @@
 use crate::time::SimTime;
 use crate::trace::Tracer;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -46,10 +46,25 @@ impl<W> Ord for Scheduled<W> {
     }
 }
 
+/// A same-instant event parked in the FIFO fast lane instead of the
+/// heap. Lane entries always fire at the current virtual time, so only
+/// the tie-breaking sequence number needs storing.
+struct LaneEvent<W> {
+    seq: u64,
+    id: EventId,
+    run: EventFn<W>,
+}
+
 /// The simulation driver: virtual clock + event queue + world state.
 pub struct Sim<W> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<W>>,
+    /// Fast lane for events scheduled at the *current* instant
+    /// (`schedule_now` and zero-delay `schedule_in`). The pipelined
+    /// engine defers a callback per fragment this way; a `VecDeque`
+    /// push/pop is much cheaper than churning the heap, and the lane
+    /// always drains before virtual time can advance.
+    lane: VecDeque<LaneEvent<W>>,
     cancelled: HashSet<EventId>,
     next_seq: u64,
     executed: u64,
@@ -66,6 +81,7 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
+            lane: VecDeque::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             executed: 0,
@@ -86,7 +102,7 @@ impl<W> Sim<W> {
 
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.lane.len()
     }
 
     /// Schedule `f` to run at absolute time `at`. Scheduling in the past
@@ -100,12 +116,23 @@ impl<W> Sim<W> {
         );
         let at = at.max(self.now);
         let id = EventId(self.next_seq);
-        self.queue.push(Scheduled {
-            at,
-            seq: self.next_seq,
-            id,
-            run: Box::new(f),
-        });
+        if at == self.now {
+            // Same-instant events take the FIFO fast lane. The lane
+            // drains before time advances (see `step`), so "at the
+            // current instant" stays true for its whole lifetime.
+            self.lane.push_back(LaneEvent {
+                seq: self.next_seq,
+                id,
+                run: Box::new(f),
+            });
+        } else {
+            self.queue.push(Scheduled {
+                at,
+                seq: self.next_seq,
+                id,
+                run: Box::new(f),
+            });
+        }
         self.next_seq += 1;
         id
     }
@@ -134,16 +161,45 @@ impl<W> Sim<W> {
     /// Execute a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(ev) = self.queue.pop() else {
-                return false;
+            // Pick the globally next event across the heap and the
+            // same-instant lane. Lane entries sit at `now`; the heap may
+            // also hold events at `now` that were scheduled *earlier*
+            // (lower seq), so the lane only wins when the heap's head is
+            // in the future or was inserted after the lane's head. This
+            // preserves the exact (time, insertion-order) total order of
+            // the plain-heap implementation.
+            let use_lane = match (self.lane.front(), self.queue.peek()) {
+                (Some(l), Some(h)) => h.at > self.now || h.seq > l.seq,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    // Drained: any tombstones for already-fired or
+                    // never-to-fire events are dead weight now.
+                    if !self.cancelled.is_empty() {
+                        self.cancelled.clear();
+                    }
+                    return false;
+                }
             };
-            if self.cancelled.remove(&ev.id) {
-                continue;
+            if use_lane {
+                let ev = self.lane.pop_front().expect("lane checked non-empty");
+                // While no cancellations are outstanding (the common
+                // case) the probe is a single branch, not a hash lookup.
+                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.id) {
+                    continue;
+                }
+                self.executed += 1;
+                (ev.run)(self);
+            } else {
+                let ev = self.queue.pop().expect("heap checked non-empty");
+                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.id) {
+                    continue;
+                }
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.run)(self);
             }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.run)(self);
             return true;
         }
     }
@@ -167,11 +223,19 @@ impl<W> Sim<W> {
         }
     }
 
-    /// Run with a hard virtual-time limit. Returns `true` if the queue
-    /// drained before the deadline; panics if the limit is hit (a stalled
-    /// protocol in tests should fail loudly).
+    /// Run with a hard virtual-time limit. Returns the final virtual
+    /// time once the queue drains before the deadline; panics if the
+    /// limit is hit (a stalled protocol in tests should fail loudly).
     pub fn run_with_deadline(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(next) = self.queue.peek().map(|e| e.at) {
+        loop {
+            let next = if self.lane.is_empty() {
+                match self.queue.peek() {
+                    Some(e) => e.at,
+                    None => return self.now,
+                }
+            } else {
+                self.now
+            };
             assert!(
                 next <= deadline,
                 "simulation exceeded deadline {deadline:?} (next event at {next:?}, {} executed)",
@@ -179,7 +243,6 @@ impl<W> Sim<W> {
             );
             self.step();
         }
-        self.now
     }
 }
 
@@ -279,6 +342,57 @@ mod tests {
         sim.run();
         assert_eq!(sim.world, vec![1, 2, 3]);
         assert_eq!(sim.now().as_nanos(), 5);
+    }
+
+    #[test]
+    fn deadline_returns_final_time_when_drained() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_nanos(3), |s| s.world += 1);
+        sim.schedule_at(SimTime::from_nanos(7), |s| {
+            s.world += 1;
+            s.schedule_now(|s| s.world += 1); // lane event at the deadline edge
+        });
+        let end = sim.run_with_deadline(SimTime::from_nanos(7));
+        assert_eq!(end.as_nanos(), 7, "returns final virtual time, not a bool");
+        assert_eq!(sim.world, 3);
+        // Draining again without new events is a no-op at the same time.
+        assert_eq!(sim.run_with_deadline(SimTime::from_nanos(7)), end);
+    }
+
+    #[test]
+    fn lane_respects_heap_insertion_order_at_same_instant() {
+        // 'b' is heap-scheduled for t=5 before 'a' fires; 'c' enters the
+        // same-instant lane while 'a' runs. Global insertion order at
+        // t=5 is a(0), b(1), c(2) — the lane must not let 'c' jump 'b'.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move |s| {
+                log.borrow_mut().push('a');
+                let log = Rc::clone(&log);
+                s.schedule_now(move |_| log.borrow_mut().push('c'));
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move |_| log.borrow_mut().push('b'));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn lane_events_can_be_cancelled() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_nanos(1), |s| {
+            let id = s.schedule_now(|s| s.world += 100);
+            s.schedule_now(|s| s.world += 1);
+            s.cancel(id);
+        });
+        sim.run();
+        assert_eq!(sim.world, 1);
+        assert_eq!(sim.pending_events(), 0);
     }
 
     #[test]

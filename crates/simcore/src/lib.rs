@@ -19,6 +19,7 @@ pub mod par;
 pub mod rate;
 pub mod resource;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,160 @@
+//! Thread-local recycling of `CopyOp` unit buffers.
+//!
+//! The fragment pipeline needs an *owned* `Vec<CopyOp>` per in-flight
+//! kernel (the completion event fires long after the engine has moved on
+//! to the next fragment), so a purely borrowed API can't make the hot
+//! path allocation-free by itself. Instead, the engine takes cleared
+//! buffers from a thread-local shelf and the kernel-completion event
+//! returns them, so steady-state streaming reuses the same few
+//! allocations no matter how many fragments flow through.
+//!
+//! The shelf also counts its traffic ([`ScratchStats`]): the
+//! `hotpath_wallclock` harness uses `fresh` vs `recycled` as an
+//! allocation-pressure / peak-RSS proxy, since the workspace has no
+//! global allocator hooks.
+
+use crate::par::CopyOp;
+use std::cell::RefCell;
+
+/// Maximum number of idle buffers kept on the shelf. The pipeline keeps
+/// at most a handful of fragments in flight, so this is generous; extra
+/// returns are dropped (and counted) instead of hoarding memory.
+const SHELF_CAP: usize = 64;
+
+/// Counters describing shelf traffic since the last [`reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Buffers handed out by [`take_units_buf`].
+    pub takes: u64,
+    /// Hand-outs that had to heap-allocate a new `Vec` (shelf empty).
+    pub fresh: u64,
+    /// Hand-outs served from the shelf without allocating.
+    pub recycled: u64,
+    /// Returned buffers dropped because the shelf was full.
+    pub dropped: u64,
+    /// Buffers currently resting on the shelf.
+    pub retained: u64,
+    /// Total capacity (in `CopyOp`s) currently resting on the shelf.
+    pub retained_units: u64,
+    /// High-water mark of `retained_units` — the resident-memory proxy.
+    pub peak_retained_units: u64,
+}
+
+struct Shelf {
+    bufs: Vec<Vec<CopyOp>>,
+    stats: ScratchStats,
+}
+
+thread_local! {
+    static SHELF: RefCell<Shelf> = RefCell::new(Shelf {
+        bufs: Vec::new(),
+        stats: ScratchStats::default(),
+    });
+}
+
+/// Take an empty unit buffer, reusing a recycled one when available.
+pub fn take_units_buf() -> Vec<CopyOp> {
+    SHELF.with(|s| {
+        let mut s = s.borrow_mut();
+        s.stats.takes += 1;
+        match s.bufs.pop() {
+            Some(mut v) => {
+                s.stats.recycled += 1;
+                s.stats.retained -= 1;
+                s.stats.retained_units -= v.capacity() as u64;
+                v.clear();
+                v
+            }
+            None => {
+                s.stats.fresh += 1;
+                Vec::new()
+            }
+        }
+    })
+}
+
+/// Return a buffer to the shelf for reuse. Zero-capacity buffers and
+/// overflow beyond the shelf cap are dropped (the latter counted).
+pub fn recycle_units_buf(v: Vec<CopyOp>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    SHELF.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.bufs.len() >= SHELF_CAP {
+            s.stats.dropped += 1;
+            return;
+        }
+        s.stats.retained += 1;
+        s.stats.retained_units += v.capacity() as u64;
+        s.stats.peak_retained_units = s.stats.peak_retained_units.max(s.stats.retained_units);
+        s.bufs.push(v);
+    });
+}
+
+/// Current counters for this thread's shelf.
+pub fn stats() -> ScratchStats {
+    SHELF.with(|s| s.borrow().stats)
+}
+
+/// Reset the traffic counters (the shelf's contents stay). `retained` /
+/// `retained_units` describe live state and are preserved;
+/// `peak_retained_units` restarts from the current level.
+pub fn reset_stats() {
+    SHELF.with(|s| {
+        let mut s = s.borrow_mut();
+        let (retained, retained_units) = (s.stats.retained, s.stats.retained_units);
+        s.stats = ScratchStats {
+            retained,
+            retained_units,
+            peak_retained_units: retained_units,
+            ..ScratchStats::default()
+        };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(len: usize) -> CopyOp {
+        CopyOp {
+            src_off: 0,
+            dst_off: 0,
+            len,
+        }
+    }
+
+    #[test]
+    fn recycling_reuses_capacity() {
+        reset_stats();
+        let mut a = take_units_buf();
+        a.extend((0..100).map(|_| op(1)));
+        let cap = a.capacity();
+        recycle_units_buf(a);
+        let b = take_units_buf();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= cap, "recycled buffer keeps its capacity");
+        let st = stats();
+        assert_eq!(st.takes, 2);
+        assert!(st.recycled >= 1);
+        recycle_units_buf(b);
+    }
+
+    #[test]
+    fn stats_track_shelf_traffic() {
+        reset_stats();
+        let base = stats();
+        let mut v = take_units_buf();
+        v.push(op(1));
+        recycle_units_buf(v);
+        let st = stats();
+        assert_eq!(st.takes, base.takes + 1);
+        assert_eq!(st.retained, base.retained + 1);
+        assert!(st.retained_units > base.retained_units);
+        assert!(st.peak_retained_units >= st.retained_units);
+        // Empty-capacity returns are a no-op.
+        recycle_units_buf(Vec::new());
+        assert_eq!(stats().retained, st.retained);
+    }
+}
