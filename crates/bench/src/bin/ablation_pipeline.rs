@@ -9,6 +9,7 @@
 use bench::harness::ms;
 use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::triangular;
+use devengine::{EngineConfig, OptimizerConfig};
 use mpirt::MpiConfig;
 
 fn main() {
@@ -22,9 +23,16 @@ fn main() {
     for depth in [1usize, 2, 4, 8] {
         sweep = sweep.series(&format!("depth{depth}"), move |frag_kb, r| {
             let t = triangular(2048);
+            // The sweep studies the static fragment/depth knobs; the
+            // auto-tuner would override the swept shape, so the
+            // optimizer is pinned off.
             let cfg = MpiConfig {
                 frag_size: frag_kb << 10,
                 pipeline_depth: depth,
+                engine: EngineConfig {
+                    optimizer: OptimizerConfig::disabled(),
+                    ..EngineConfig::default()
+                },
                 ..Default::default()
             };
             let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg, &t, &t, 3, r);

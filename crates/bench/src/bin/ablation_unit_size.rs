@@ -9,7 +9,7 @@
 use bench::harness::ms;
 use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, triangular};
-use devengine::{pack_async, EngineConfig};
+use devengine::{pack_async, EngineConfig, OptimizerConfig};
 use gpusim::GpuWorld as _;
 use memsim::MemSpace;
 use mpirt::MpiConfig;
@@ -26,8 +26,12 @@ fn pack_time(n: u64, unit_size: u64, record: bool) -> (SimTime, Tracer) {
         .alloc(MemSpace::Device(gpu), t.size())
         .unwrap();
     let stream = sess.world.mpi.ranks[0].kernel_stream;
+    // This sweep studies the static S knob itself: coalescing would
+    // merge descriptors past the S splits and the unit-size tuner would
+    // override the swept value, so the optimizer is pinned off.
     let cfg = EngineConfig {
         unit_size,
+        optimizer: OptimizerConfig::disabled(),
         ..Default::default()
     };
     let start = sess.now();

@@ -26,4 +26,4 @@ pub use error::TypeError;
 pub use primitive::Primitive;
 pub use segment::Segment;
 pub use signature::Signature;
-pub use typ::{Combiner, DataType};
+pub use typ::{Combiner, DataType, Strided2D};

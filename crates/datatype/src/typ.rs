@@ -13,6 +13,7 @@
 use crate::error::TypeError;
 use crate::primitive::Primitive;
 use crate::segment::{Segment, SegmentSink};
+use std::cell::OnceCell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -82,6 +83,14 @@ pub(crate) enum Kind {
     },
 }
 
+/// Memoized result of [`DataType::canonical`]. `Same` (rather than a
+/// self-referencing `DataType`) avoids an `Rc` cycle through the node.
+#[derive(Debug)]
+enum CanonMemo {
+    Same,
+    Other(DataType),
+}
+
 #[derive(Debug)]
 pub(crate) struct Node {
     pub(crate) kind: Kind,
@@ -95,6 +104,21 @@ pub(crate) struct Node {
     /// one instance — used for planning, not correctness.
     segment_estimate: u64,
     depth: u32,
+    /// Lazily computed canonical form (commit-time normalization).
+    canon: OnceCell<CanonMemo>,
+}
+
+/// Two-level strided description: `outer` groups, each of `inner`
+/// equal blocks — the shape of a matrix transpose or a
+/// contiguous-of-vector tree. Returned by [`DataType::strided2d_shape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Strided2D {
+    pub outer: u64,
+    pub inner: u64,
+    pub block_bytes: u64,
+    pub inner_stride: i64,
+    pub outer_stride: i64,
+    pub first_disp: i64,
 }
 
 /// An MPI derived datatype. Cheap to clone (shared tree).
@@ -152,6 +176,7 @@ impl DataType {
                 gapless: true,
                 segment_estimate: 1,
                 depth: 0,
+                canon: OnceCell::new(),
             }),
             committed: false,
         }
@@ -216,6 +241,7 @@ impl DataType {
                     count.saturating_mul(c.segment_estimate)
                 },
                 depth: c.depth + 1,
+                canon: OnceCell::new(),
             }),
             committed: false,
         })
@@ -293,6 +319,7 @@ impl DataType {
                     })
                 },
                 depth: c.depth + 1,
+                canon: OnceCell::new(),
             }),
             committed: false,
         })
@@ -437,6 +464,7 @@ impl DataType {
                 gapless,
                 segment_estimate: if gapless { 1 } else { segment_estimate },
                 depth: c.depth + 1,
+                canon: OnceCell::new(),
             }),
             committed: false,
         })
@@ -534,6 +562,7 @@ impl DataType {
                 gapless,
                 segment_estimate: if gapless { 1 } else { seg.max(1) },
                 depth: depth + 1,
+                canon: OnceCell::new(),
             }),
             committed: false,
         })
@@ -562,6 +591,7 @@ impl DataType {
                 gapless: c.gapless,
                 segment_estimate: c.segment_estimate,
                 depth: c.depth + 1,
+                canon: OnceCell::new(),
             }),
             committed: false,
         })
@@ -964,12 +994,17 @@ impl DataType {
             return Some((1, self.node.size, self.node.size as i64, self.node.true_lb));
         }
         match &self.node.kind {
+            // Each block must be one contiguous run: either the child
+            // tiles (dense) or there is a single gapless child per
+            // block. The latter covers negative-stride hvectors over
+            // gapless-but-not-dense children, which previously fell
+            // back to the generic path.
             Kind::Vector {
                 count,
                 blocklen,
                 stride_bytes,
                 child,
-            } if child.dense() => Some((
+            } if child.dense() || (*blocklen == 1 && child.is_gapless()) => Some((
                 *count,
                 blocklen * child.size(),
                 *stride_bytes,
@@ -987,10 +1022,15 @@ impl DataType {
                 }
             }
             Kind::Resized { child, .. } => child.vector_shape(),
-            Kind::Indexed { blocks, child } if child.dense() => {
-                // Uniform indexed blocks with constant stride.
+            Kind::Indexed { blocks, child } if child.dense() || child.is_gapless() => {
+                // Uniform indexed blocks with constant stride. A
+                // gapless-but-not-dense child only yields contiguous
+                // blocks when each block holds a single instance.
                 let mut it = blocks.iter().filter(|(l, _)| *l > 0);
                 let &(l0, d0) = it.next()?;
+                if l0 > 1 && !child.dense() {
+                    return None;
+                }
                 let mut prev = d0;
                 let mut stride: Option<i64> = None;
                 let mut n = 1u64;
@@ -1011,6 +1051,343 @@ impl DataType {
                 Some((n, block_bytes, s, d0 + child.true_lb()))
             }
             _ => None,
+        }
+    }
+
+    /// If this type is a two-level uniformly strided pattern — `outer`
+    /// repetitions, each of `inner` equal blocks — return the
+    /// [`Strided2D`] description. This is the shape of a matrix
+    /// transpose (hvector over vector) or a contiguous-of-vector tree;
+    /// the GPU engine can generate work units for it arithmetically,
+    /// with no descriptor list at all.
+    ///
+    /// Shapes already expressible by [`Self::vector_shape`] are not
+    /// reported (callers try the cheaper one-level form first).
+    pub fn strided2d_shape(&self) -> Option<Strided2D> {
+        if self.node.size == 0 || self.vector_shape().is_some() {
+            return None;
+        }
+        match &self.node.kind {
+            Kind::Resized { child, .. } => child.strided2d_shape(),
+            Kind::Contiguous { count: 1, child } => child.strided2d_shape(),
+            // One strided row of blocks per child instance.
+            Kind::Contiguous { count, child } => {
+                let (c, b, s, d) = child.vector_shape()?;
+                Some(Strided2D {
+                    outer: *count,
+                    inner: c,
+                    block_bytes: b,
+                    inner_stride: s,
+                    outer_stride: child.extent(),
+                    first_disp: d,
+                })
+            }
+            // Outer stride over a strided row; blocklen 1 keeps each
+            // outer step a single row.
+            Kind::Vector {
+                count,
+                blocklen: 1,
+                stride_bytes,
+                child,
+            } => {
+                let (c, b, s, d) = child.vector_shape()?;
+                Some(Strided2D {
+                    outer: *count,
+                    inner: c,
+                    block_bytes: b,
+                    inner_stride: s,
+                    outer_stride: *stride_bytes,
+                    first_disp: d,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    // ----- canonicalization -----
+
+    /// Commit-time canonical form of the constructor tree.
+    ///
+    /// Collapses degenerate wrappers (count-1 contiguous, extent-neutral
+    /// resized, count-1 vectors), folds contiguous children into their
+    /// parents, merges data-order-adjacent indexed blocks and rewrites
+    /// uniform constant-stride block lists as hvectors — the
+    /// normalization TEMPI applies to CUDA-aware datatypes. The result
+    /// describes the *same byte walk*: identical segment stream, size,
+    /// bounds and extent, so pack/unpack semantics are unchanged. The
+    /// canonical tree is what the GPU engine fingerprints, letting
+    /// differently constructed but layout-identical types share cached
+    /// DEV plans and hit the specialized strided kernels.
+    ///
+    /// Memoized per node; cheap after the first call.
+    pub fn canonical(&self) -> DataType {
+        let memo = self.node.canon.get_or_init(|| {
+            let cand = self.canon_build();
+            // The rewrite rules preserve the byte walk by construction;
+            // the data-derived invariants double-check them (gapless
+            // governs the walk's merged-run fast path, so it must not
+            // drift either). Keep the original tree if a rule ever
+            // misbehaves.
+            let ok = cand.size() == self.size()
+                && cand.true_lb() == self.true_lb()
+                && cand.true_ub() == self.true_ub()
+                && cand.is_gapless() == self.is_gapless();
+            debug_assert!(ok, "canonicalization changed data layout: {self} -> {cand}");
+            if !ok || Rc::ptr_eq(&cand.node, &self.node) {
+                return CanonMemo::Same;
+            }
+            // Layout is identical; restore lb/extent when a collapsed
+            // wrapper carried different (artificial) bounds.
+            let cand = if cand.lb() == self.lb() && cand.ub() == self.ub() {
+                cand
+            } else {
+                match DataType::resized(&cand, self.lb(), self.extent()) {
+                    Ok(r) => r,
+                    Err(_) => return CanonMemo::Same,
+                }
+            };
+            CanonMemo::Other(cand)
+        });
+        match memo {
+            CanonMemo::Same => self.clone(),
+            CanonMemo::Other(t) => DataType {
+                node: Rc::clone(&t.node),
+                committed: self.committed,
+            },
+        }
+    }
+
+    /// Canonicalize children (memoized), then apply top-level rewrites
+    /// to a fixpoint. Returns `self`'s own node when nothing applies.
+    fn canon_build(&self) -> DataType {
+        let mut t = self.with_canonical_children();
+        let mut fuel = 64u32; // each rewrite shrinks the tree; this is a backstop
+        while let Some(next) = t.rewrite_top() {
+            t = next;
+            fuel -= 1;
+            if fuel == 0 {
+                debug_assert!(false, "canonicalization did not converge: {self}");
+                return self.clone();
+            }
+        }
+        t
+    }
+
+    fn with_canonical_children(&self) -> DataType {
+        fn same(a: &DataType, b: &DataType) -> bool {
+            Rc::ptr_eq(&a.node, &b.node)
+        }
+        match &self.node.kind {
+            Kind::Primitive(_) => self.clone(),
+            Kind::Contiguous { count, child } => {
+                let c = child.canonical();
+                if same(&c, child) {
+                    self.clone()
+                } else {
+                    DataType::contiguous(*count, &c).unwrap_or_else(|_| self.clone())
+                }
+            }
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
+                let c = child.canonical();
+                if same(&c, child) {
+                    self.clone()
+                } else {
+                    DataType::hvector(*count, *blocklen, *stride_bytes, &c)
+                        .unwrap_or_else(|_| self.clone())
+                }
+            }
+            Kind::Indexed { blocks, child } => {
+                let c = child.canonical();
+                if same(&c, child) {
+                    self.clone()
+                } else {
+                    let lens: Vec<u64> = blocks.iter().map(|&(l, _)| l).collect();
+                    let disps: Vec<i64> = blocks.iter().map(|&(_, d)| d).collect();
+                    DataType::hindexed(&lens, &disps, &c).unwrap_or_else(|_| self.clone())
+                }
+            }
+            Kind::Struct { fields } => {
+                let canon: Vec<DataType> = fields.iter().map(|(_, _, t)| t.canonical()).collect();
+                if fields.iter().zip(&canon).all(|((_, _, t), c)| same(c, t)) {
+                    self.clone()
+                } else {
+                    let lens: Vec<u64> = fields.iter().map(|(l, _, _)| *l).collect();
+                    let disps: Vec<i64> = fields.iter().map(|(_, d, _)| *d).collect();
+                    DataType::structure(&lens, &disps, &canon).unwrap_or_else(|_| self.clone())
+                }
+            }
+            Kind::Resized { lb, extent, child } => {
+                let c = child.canonical();
+                if same(&c, child) {
+                    self.clone()
+                } else {
+                    DataType::resized(&c, *lb, *extent).unwrap_or_else(|_| self.clone())
+                }
+            }
+        }
+    }
+
+    /// One top-level rewrite, children already canonical. Every rule
+    /// preserves the segment stream (walk order), size, true bounds
+    /// and — checked here, since the walk's merged-run fast path keys
+    /// on it — the gapless flag. lb/ub drift is fixed by the caller
+    /// with a `resized` wrapper.
+    fn rewrite_top(&self) -> Option<DataType> {
+        let cand = self.rewrite_top_rule()?;
+        if cand.size() == self.size()
+            && cand.true_lb() == self.true_lb()
+            && cand.true_ub() == self.true_ub()
+            && cand.is_gapless() == self.is_gapless()
+        {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    fn rewrite_top_rule(&self) -> Option<DataType> {
+        match &self.node.kind {
+            Kind::Primitive(_) => None,
+            Kind::Resized { lb, extent, child } => {
+                // Nested resized: only the outermost bounds survive.
+                if let Kind::Resized { child: inner, .. } = child.kind() {
+                    return DataType::resized(inner, *lb, *extent).ok();
+                }
+                // Extent-neutral wrapper.
+                if *lb == child.lb() && *lb + *extent == child.ub() {
+                    return Some(child.clone());
+                }
+                None
+            }
+            Kind::Contiguous { count: 1, child } => Some(child.clone()),
+            Kind::Contiguous { count, child } => match child.kind() {
+                Kind::Contiguous { count: m, child: x } => DataType::contiguous(count * m, x).ok(),
+                // contiguous(n, vector) extends the vector when the
+                // block pattern tiles across instances.
+                Kind::Vector {
+                    count: vc,
+                    blocklen,
+                    stride_bytes,
+                    child: x,
+                } if child.extent() == (*vc as i64) * *stride_bytes => {
+                    DataType::hvector(count * vc, *blocklen, *stride_bytes, x).ok()
+                }
+                _ => None,
+            },
+            Kind::Vector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
+                if *count == 1 {
+                    return DataType::contiguous(*blocklen, child).ok();
+                }
+                // Blocks tile the stride exactly: one contiguous run.
+                if child.dense() && *stride_bytes == (*blocklen * child.size()) as i64 {
+                    return DataType::contiguous(count * blocklen, child).ok();
+                }
+                match child.kind() {
+                    // vector-of-contiguous: widen the blocks.
+                    Kind::Contiguous { count: m, child: x } => {
+                        DataType::hvector(*count, blocklen * m, *stride_bytes, x).ok()
+                    }
+                    // vector-of-vector whose outer stride steps exactly
+                    // one inner pattern: flatten (negative strides
+                    // included — positions are i*m*s2 + k*s2 either way).
+                    Kind::Vector {
+                        count: m,
+                        blocklen: bl2,
+                        stride_bytes: s2,
+                        child: x,
+                    } if *blocklen == 1 && *stride_bytes == (*m as i64) * *s2 => {
+                        DataType::hvector(count * m, *bl2, *s2, x).ok()
+                    }
+                    _ => None,
+                }
+            }
+            Kind::Indexed { blocks, child } => {
+                let ex = child.extent();
+                // Drop empty blocks; merge blocks adjacent in data
+                // order (walking l1+l2 instances from d1 is the same
+                // instance sequence, whatever the child).
+                let mut merged: Vec<Block> = Vec::with_capacity(blocks.len());
+                for &(l, d) in blocks.iter().filter(|&&(l, _)| l > 0) {
+                    if let Some(last) = merged.last_mut() {
+                        if d == last.1 + last.0 as i64 * ex {
+                            last.0 += l;
+                            continue;
+                        }
+                    }
+                    merged.push((l, d));
+                }
+                if merged.is_empty() {
+                    return None; // zero-size type: leave as built
+                }
+                if merged.len() == 1 && merged[0].1 == 0 {
+                    let l = merged[0].0;
+                    return if l == 1 {
+                        Some(child.clone())
+                    } else {
+                        DataType::contiguous(l, child).ok()
+                    };
+                }
+                // Uniform blocks at constant stride from displacement
+                // zero: an hvector (identical block positions, so
+                // identical walk and bounds).
+                let (l0, d0) = merged[0];
+                if d0 == 0 && merged.len() > 1 && merged.iter().all(|&(l, _)| l == l0) {
+                    let s = merged[1].1;
+                    if s != 0
+                        && merged
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &(_, d))| d == i as i64 * s)
+                    {
+                        if let Ok(v) = DataType::hvector(merged.len() as u64, l0, s, child) {
+                            return Some(v);
+                        }
+                    }
+                }
+                if merged.len() != blocks.len() {
+                    let lens: Vec<u64> = merged.iter().map(|&(l, _)| l).collect();
+                    let disps: Vec<i64> = merged.iter().map(|&(_, d)| d).collect();
+                    return DataType::hindexed(&lens, &disps, child).ok();
+                }
+                None
+            }
+            Kind::Struct { fields } => {
+                let live: Vec<&(u64, i64, DataType)> = fields
+                    .iter()
+                    .filter(|(l, _, t)| *l > 0 && t.size() > 0)
+                    .collect();
+                if live.is_empty() {
+                    return None; // zero-size type: leave as built
+                }
+                // Homogeneous field types (one shared tree) are an
+                // hindexed list — which the Indexed rules then merge.
+                let first_ty = &live[0].2;
+                if live
+                    .iter()
+                    .all(|(_, _, t)| Rc::ptr_eq(&t.node, &first_ty.node))
+                {
+                    let lens: Vec<u64> = live.iter().map(|(l, _, _)| *l).collect();
+                    let disps: Vec<i64> = live.iter().map(|(_, d, _)| *d).collect();
+                    return DataType::hindexed(&lens, &disps, first_ty).ok();
+                }
+                if live.len() != fields.len() {
+                    let lens: Vec<u64> = live.iter().map(|(l, _, _)| *l).collect();
+                    let disps: Vec<i64> = live.iter().map(|(_, d, _)| *d).collect();
+                    let types: Vec<DataType> = live.iter().map(|(_, _, t)| t.clone()).collect();
+                    return DataType::structure(&lens, &disps, &types).ok();
+                }
+                None
+            }
         }
     }
 
@@ -1418,5 +1795,258 @@ mod tests {
         assert_eq!(t.size(), 32);
         assert_eq!(t.segments(1), vec![Segment::new(0, 32)]);
         assert!(t.is_gapless());
+    }
+
+    #[test]
+    fn vector_shape_negative_stride() {
+        // Blocks walking backwards are still a uniform strided pattern.
+        let v = DataType::hvector(3, 1, -16, &dbl()).unwrap();
+        assert_eq!(v.vector_shape(), Some((3, 8, -16, 0)));
+        // Negative-stride uniform indexed too.
+        let i = DataType::hindexed(&[1, 1, 1], &[0, -16, -32], &dbl()).unwrap();
+        assert_eq!(i.vector_shape(), Some((3, 8, -16, 0)));
+    }
+
+    #[test]
+    fn vector_shape_gapless_nondense_child() {
+        // A gapless child with a padded extent is one run per block
+        // when blocklen is 1 — previously fell back to the generic
+        // path because the child is not dense.
+        let padded = DataType::resized(&dbl(), 0, 16).unwrap();
+        let v = DataType::hvector(4, 1, 64, &padded).unwrap();
+        assert_eq!(v.vector_shape(), Some((4, 8, 64, 0)));
+        // With blocklen > 1 the gaps inside each block are real.
+        let v2 = DataType::hvector(4, 2, 64, &padded).unwrap();
+        assert_eq!(v2.vector_shape(), None);
+        // Same for indexed over the padded child.
+        let i = DataType::hindexed(&[1, 1], &[0, 40], &padded).unwrap();
+        assert_eq!(i.vector_shape(), Some((2, 8, 40, 0)));
+        let i2 = DataType::hindexed(&[2, 2], &[0, 40], &padded).unwrap();
+        assert_eq!(i2.vector_shape(), None);
+    }
+
+    #[test]
+    fn vector_shape_single_block() {
+        // One indexed block away from the origin.
+        let t = DataType::hindexed(&[4], &[24], &dbl()).unwrap();
+        assert_eq!(t.vector_shape(), Some((1, 32, 32, 24)));
+    }
+
+    #[test]
+    fn strided2d_shape_transpose() {
+        // The fig12 matrix-transpose tree: hvector(n, 1, 8, vector(n, 1, n, double)).
+        let n = 16u64;
+        let col = DataType::vector(n, 1, n as i64, &dbl()).unwrap();
+        let t = DataType::hvector(n, 1, 8, &col).unwrap();
+        assert_eq!(t.vector_shape(), None);
+        assert_eq!(
+            t.strided2d_shape(),
+            Some(Strided2D {
+                outer: n,
+                inner: n,
+                block_bytes: 8,
+                inner_stride: n as i64 * 8,
+                outer_stride: 8,
+                first_disp: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn strided2d_shape_contiguous_of_vector() {
+        // contiguous(4, vector) whose pattern does not tile: one
+        // strided row per instance, outer stride = instance extent.
+        let v = DataType::vector(3, 2, 4, &dbl()).unwrap(); // extent 80, 3 blocks of 16 at stride 32
+        let t = DataType::contiguous(4, &v).unwrap();
+        assert_eq!(t.vector_shape(), None);
+        assert_eq!(
+            t.strided2d_shape(),
+            Some(Strided2D {
+                outer: 4,
+                inner: 3,
+                block_bytes: 16,
+                inner_stride: 32,
+                outer_stride: 80,
+                first_disp: 0,
+            })
+        );
+        // A 1-D vector shape is never reported as 2-D.
+        let plain = DataType::vector(4, 2, 5, &dbl()).unwrap();
+        assert_eq!(plain.strided2d_shape(), None);
+    }
+
+    /// Every canonicalization claim in one helper: identical merged
+    /// segment stream (pack order), size, bounds, extent and gapless
+    /// flag, and a stable (idempotent) canonical form.
+    fn assert_canon_equiv(ty: &DataType) {
+        let c = ty.canonical();
+        assert_eq!(c.size(), ty.size(), "size for {ty}");
+        assert_eq!(c.lb(), ty.lb(), "lb for {ty}");
+        assert_eq!(c.ub(), ty.ub(), "ub for {ty}");
+        assert_eq!(c.true_lb(), ty.true_lb(), "true_lb for {ty}");
+        assert_eq!(c.true_ub(), ty.true_ub(), "true_ub for {ty}");
+        assert_eq!(c.is_gapless(), ty.is_gapless(), "gapless for {ty}");
+        for count in [1u64, 2, 3] {
+            assert_eq!(
+                c.segments(count),
+                ty.segments(count),
+                "segment stream for {ty} count={count}"
+            );
+        }
+        let cc = c.canonical();
+        assert_eq!(
+            cc.layout_fingerprint(),
+            c.layout_fingerprint(),
+            "canonical not idempotent for {ty}"
+        );
+    }
+
+    #[test]
+    fn canonical_collapses_degenerate_wrappers() {
+        let v = DataType::vector(3, 2, 4, &dbl()).unwrap();
+        let fp = v.canonical().layout_fingerprint();
+
+        // contiguous(1, v), vector(1, 1, s, v) and an extent-neutral
+        // resized all canonicalize to v itself.
+        let c1 = DataType::contiguous(1, &v).unwrap();
+        assert_eq!(c1.canonical().layout_fingerprint(), fp);
+        let v1 = DataType::hvector(1, 1, 999, &v).unwrap();
+        assert_eq!(v1.canonical().layout_fingerprint(), fp);
+        let r = DataType::resized(&v, v.lb(), v.extent()).unwrap();
+        assert_eq!(r.canonical().layout_fingerprint(), fp);
+        // Nested neutral wrappers collapse all the way down.
+        let wrapped = DataType::contiguous(1, &DataType::contiguous(1, &c1).unwrap()).unwrap();
+        assert_eq!(wrapped.canonical().layout_fingerprint(), fp);
+        for t in [&c1, &v1, &r, &wrapped] {
+            assert_canon_equiv(t);
+        }
+    }
+
+    #[test]
+    fn canonical_folds_contiguous_nests() {
+        let a = DataType::contiguous(3, &DataType::contiguous(4, &dbl()).unwrap()).unwrap();
+        let b = DataType::contiguous(12, &dbl()).unwrap();
+        assert_eq!(
+            a.canonical().layout_fingerprint(),
+            b.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&a);
+    }
+
+    #[test]
+    fn canonical_merges_vector_trees() {
+        // vector-of-contiguous widens blocks.
+        let voc = DataType::hvector(4, 2, 100, &DataType::contiguous(3, &dbl()).unwrap()).unwrap();
+        let flat = DataType::hvector(4, 6, 100, &dbl()).unwrap();
+        assert_eq!(
+            voc.canonical().layout_fingerprint(),
+            flat.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&voc);
+
+        // vector-of-vector with an outer stride of exactly one inner
+        // pattern flattens (also with negative strides).
+        let inner = DataType::hvector(4, 1, 32, &dbl()).unwrap();
+        let outer = DataType::hvector(3, 1, 128, &inner).unwrap();
+        let merged = DataType::hvector(12, 1, 32, &dbl()).unwrap();
+        assert_eq!(
+            outer.canonical().layout_fingerprint(),
+            merged.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&outer);
+
+        let ninner = DataType::hvector(4, 1, -32, &dbl()).unwrap();
+        let nouter = DataType::hvector(3, 1, -128, &ninner).unwrap();
+        let nmerged = DataType::hvector(12, 1, -32, &dbl()).unwrap();
+        assert_eq!(
+            nouter.canonical().layout_fingerprint(),
+            nmerged.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&nouter);
+
+        // contiguous(n, vector) whose pattern tiles extends the vector.
+        let tiled = DataType::vector(4, 2, 2, &dbl()).unwrap();
+        let cov = DataType::contiguous(3, &tiled).unwrap();
+        assert_canon_equiv(&cov);
+        assert!(cov.canonical().vector_shape().is_some());
+    }
+
+    #[test]
+    fn canonical_merges_indexed_blocks() {
+        // Adjacent blocks merge; uniform constant-stride lists become
+        // hvectors, so layout-identical constructions share one form.
+        let idx = DataType::indexed(&[2, 2, 2], &[0, 5, 10], &dbl()).unwrap();
+        let vec = DataType::vector(3, 2, 5, &dbl()).unwrap();
+        assert_eq!(
+            idx.canonical().layout_fingerprint(),
+            vec.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&idx);
+
+        let touching = DataType::indexed(&[2, 3, 1], &[0, 2, 5], &dbl()).unwrap();
+        assert_canon_equiv(&touching);
+        assert!(touching.canonical().is_gapless());
+
+        // Merging must never reorder blocks (pack order is data order).
+        let out_of_order = DataType::indexed(&[1, 1], &[4, 0], &dbl()).unwrap();
+        assert_canon_equiv(&out_of_order);
+    }
+
+    #[test]
+    fn canonical_unwraps_structs() {
+        // Single-field struct at displacement zero is the field.
+        let s = DataType::structure(&[3], &[0], &[dbl()]).unwrap();
+        let c = DataType::contiguous(3, &dbl()).unwrap();
+        assert_eq!(
+            s.canonical().layout_fingerprint(),
+            c.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&s);
+
+        // Homogeneous struct fields (shared tree) become an indexed
+        // list, which then merges/uniformizes.
+        let t = dbl();
+        let hs = DataType::structure(&[2, 2], &[0, 40], &[t.clone(), t]).unwrap();
+        let idx = DataType::hindexed(&[2, 2], &[0, 40], &dbl()).unwrap();
+        assert_eq!(
+            hs.canonical().layout_fingerprint(),
+            idx.canonical().layout_fingerprint()
+        );
+        assert_canon_equiv(&hs);
+
+        // Mixed structs keep their shape (children still canonical).
+        let mixed = DataType::structure(&[1, 2], &[0, 8], &[DataType::int(), dbl()]).unwrap();
+        assert_canon_equiv(&mixed);
+    }
+
+    #[test]
+    fn canonical_is_memoized_and_preserves_commit() {
+        let idx = DataType::indexed(&[2, 2], &[0, 5], &dbl())
+            .unwrap()
+            .commit();
+        let a = idx.canonical();
+        let b = idx.canonical();
+        assert_eq!(a.id(), b.id(), "memoized canonical shares one node");
+        assert!(a.is_committed(), "canonical of committed stays committed");
+        let plain = DataType::contiguous(2, &dbl()).unwrap();
+        assert!(!plain.canonical().is_committed());
+    }
+
+    #[test]
+    fn canonical_preserves_arbitrary_trees() {
+        use crate::testutil::arb_datatype;
+        use simcore::rng::SimRng;
+        let mut collapsed = 0u32;
+        for seed in 0..200u64 {
+            let mut rng = SimRng::new(0xCA40 ^ seed);
+            let ty = arb_datatype(&mut rng);
+            assert_canon_equiv(&ty);
+            if ty.canonical().id() != ty.id() {
+                collapsed += 1;
+            }
+        }
+        // The generator produces plenty of degenerate wrappers; the
+        // pass must actually fire, not just echo its input.
+        assert!(collapsed >= 40, "only {collapsed}/200 trees changed");
     }
 }

@@ -15,7 +15,7 @@
 //! reconstructed per communication epoch. Fingerprints are
 //! collision-guarded by the type's exact size and true bounds.
 
-use crate::dev::{build_plan, DevPlan};
+use crate::dev::{build_plan_opt, DevPlan};
 use datatype::{DataType, TypeError};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -31,10 +31,13 @@ struct Key {
     true_ub: i64,
     count: u64,
     unit_size: u64,
+    /// Coalesced and split plans have different unit lists; they must
+    /// not alias.
+    coalesce: bool,
 }
 
 impl Key {
-    fn of(ty: &DataType, count: u64, unit_size: u64) -> Key {
+    fn of(ty: &DataType, count: u64, unit_size: u64, coalesce: bool) -> Key {
         Key {
             fingerprint: ty.layout_fingerprint(),
             size: ty.size(),
@@ -42,6 +45,7 @@ impl Key {
             true_ub: ty.true_ub(),
             count,
             unit_size,
+            coalesce,
         }
     }
 }
@@ -59,6 +63,7 @@ pub struct DevCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl DevCache {
@@ -78,6 +83,7 @@ impl DevCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -91,7 +97,19 @@ impl DevCache {
         count: u64,
         unit_size: u64,
     ) -> Result<(Rc<DevPlan>, bool), TypeError> {
-        let key = Key::of(ty, count, unit_size);
+        self.get_or_build_opt(ty, count, unit_size, false)
+    }
+
+    /// [`DevCache::get_or_build`] with an explicit coalescing mode, keyed
+    /// so split and coalesced plans never alias.
+    pub fn get_or_build_opt(
+        &mut self,
+        ty: &DataType,
+        count: u64,
+        unit_size: u64,
+        coalesce: bool,
+    ) -> Result<(Rc<DevPlan>, bool), TypeError> {
+        let key = Key::of(ty, count, unit_size, coalesce);
         self.clock += 1;
         if let Some((plan, stamp)) = self.map.get_mut(&key) {
             *stamp = self.clock;
@@ -99,7 +117,7 @@ impl DevCache {
             return Ok((Rc::clone(plan), true));
         }
         self.misses += 1;
-        let plan = Rc::new(build_plan(ty, count, unit_size)?);
+        let plan = Rc::new(build_plan_opt(ty, count, unit_size, coalesce)?);
         let bytes = plan.descriptor_bytes();
         self.evict_for(bytes);
         self.used_bytes += bytes;
@@ -119,6 +137,7 @@ impl DevCache {
                 .expect("non-empty");
             let (plan, _) = self.map.remove(&victim).expect("exists");
             self.used_bytes -= plan.descriptor_bytes();
+            self.evictions += 1;
         }
     }
 
@@ -140,6 +159,18 @@ impl DevCache {
 
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     pub fn hit_rate(&self) -> f64 {
@@ -272,5 +303,34 @@ mod tests {
         let t = vec_type(8);
         let (plan, _) = c.get_or_build(&t, 1, 1024).unwrap();
         assert_eq!(c.used_bytes(), plan.descriptor_bytes());
+    }
+
+    #[test]
+    fn coalesced_and_split_plans_do_not_alias() {
+        let mut c = DevCache::default();
+        let t = DataType::contiguous(1280, &DataType::double())
+            .unwrap()
+            .commit(); // one 10 KB run
+        let (split, hit) = c.get_or_build_opt(&t, 1, 1024, false).unwrap();
+        assert!(!hit);
+        let (coal, hit) = c.get_or_build_opt(&t, 1, 1024, true).unwrap();
+        assert!(!hit, "coalesce flag must be part of the key");
+        assert_eq!(split.units.len(), 10);
+        assert_eq!(coal.units.len(), 1);
+        let (_, hit) = c.get_or_build_opt(&t, 1, 1024, true).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_lru_removals() {
+        let mut c = DevCache::with_limits(u64::MAX, 2);
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (0, 0, 0));
+        c.get_or_build(&vec_type(8), 1, 1024).unwrap();
+        c.get_or_build(&vec_type(9), 1, 1024).unwrap();
+        c.get_or_build(&vec_type(10), 1, 1024).unwrap(); // evicts
+        c.get_or_build(&vec_type(10), 1, 1024).unwrap(); // hit
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.evictions(), 1);
     }
 }

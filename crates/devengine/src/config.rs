@@ -2,6 +2,95 @@
 
 use simcore::SimTime;
 
+/// Toggles for the commit-time optimizer layer. Every pass is
+/// individually switchable so ablation benches can reproduce the
+/// pre-optimizer numbers exactly; [`OptimizerConfig::default`] reads the
+/// `GPU_DDT_*` environment overrides so a whole figure run can be pinned
+/// without touching bench code.
+///
+/// Environment overrides (value `0`/`false`/`off`/`no` disables,
+/// anything else enables):
+///
+/// * `GPU_DDT_OPT` — master switch; `off` starts from
+///   [`OptimizerConfig::disabled`] before per-pass overrides apply.
+/// * `GPU_DDT_CANON` — datatype canonicalization at engine entry.
+/// * `GPU_DDT_COALESCE` — DEV coalescing (adjacent work units merged).
+/// * `GPU_DDT_VECTOR` — extended strided-2D kernel dispatch.
+/// * `GPU_DDT_TUNE` — the analytic unit-size / fragment auto-tuner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Rewrite the datatype tree to canonical form before planning; the
+    /// canonical form also becomes the structural cache key.
+    pub canonicalize: bool,
+    /// Merge adjacent `<src, dst, len>` work units instead of splitting
+    /// contiguous runs at `unit_size` boundaries.
+    pub coalesce: bool,
+    /// Dispatch strided-2D layouts (e.g. transposes) to the specialized
+    /// arithmetic kernel instead of the descriptor-streaming DEV path.
+    pub vector_dispatch: bool,
+    /// Pick unit size / pipeline granularity analytically from the
+    /// gpusim cost model instead of using the static defaults.
+    pub autotune: bool,
+}
+
+impl OptimizerConfig {
+    /// Every optimization on (the shipping default).
+    pub fn enabled() -> OptimizerConfig {
+        OptimizerConfig {
+            canonicalize: true,
+            coalesce: true,
+            vector_dispatch: true,
+            autotune: true,
+        }
+    }
+
+    /// Every optimization off: bit-exact pre-optimizer behaviour.
+    pub fn disabled() -> OptimizerConfig {
+        OptimizerConfig {
+            canonicalize: false,
+            coalesce: false,
+            vector_dispatch: false,
+            autotune: false,
+        }
+    }
+
+    /// [`OptimizerConfig::enabled`] with `GPU_DDT_*` env overrides
+    /// applied (see the type-level docs for the variable list).
+    pub fn from_env() -> OptimizerConfig {
+        let mut cfg = match env_flag("GPU_DDT_OPT") {
+            Some(false) => OptimizerConfig::disabled(),
+            _ => OptimizerConfig::enabled(),
+        };
+        if let Some(v) = env_flag("GPU_DDT_CANON") {
+            cfg.canonicalize = v;
+        }
+        if let Some(v) = env_flag("GPU_DDT_COALESCE") {
+            cfg.coalesce = v;
+        }
+        if let Some(v) = env_flag("GPU_DDT_VECTOR") {
+            cfg.vector_dispatch = v;
+        }
+        if let Some(v) = env_flag("GPU_DDT_TUNE") {
+            cfg.autotune = v;
+        }
+        cfg
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig::from_env()
+    }
+}
+
+fn env_flag(name: &str) -> Option<bool> {
+    let v = std::env::var(name).ok()?;
+    Some(!matches!(
+        v.to_ascii_lowercase().as_str(),
+        "0" | "false" | "off" | "no"
+    ))
+}
+
 /// Configuration of one pack/unpack job.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -24,6 +113,9 @@ pub struct EngineConfig {
     pub prep_call: SimTime,
     /// Thread-block cap forwarded to kernel launches (None = full GPU).
     pub blocks: Option<u32>,
+    /// Commit-time optimizer toggles (canonicalization, coalescing,
+    /// strided dispatch, auto-tuning).
+    pub optimizer: OptimizerConfig,
 }
 
 impl EngineConfig {
@@ -48,6 +140,7 @@ impl Default for EngineConfig {
             prep_per_unit: SimTime::from_nanos(12),
             prep_call: SimTime::from_micros(1),
             blocks: None,
+            optimizer: OptimizerConfig::default(),
         }
     }
 }
@@ -71,5 +164,14 @@ mod tests {
             ..Default::default()
         }
         .validated();
+    }
+
+    #[test]
+    fn optimizer_presets() {
+        let on = OptimizerConfig::enabled();
+        assert!(on.canonicalize && on.coalesce && on.vector_dispatch && on.autotune);
+        let off = OptimizerConfig::disabled();
+        assert!(!off.canonicalize && !off.coalesce && !off.vector_dispatch && !off.autotune);
+        assert_ne!(on, off);
     }
 }

@@ -150,6 +150,10 @@ pub fn flip_units_in_place(units: &mut [CopyOp]) {
 pub struct DevCursor {
     cv: Convertor,
     unit_size: u64,
+    /// Coalesce mode: one work unit per contiguous run instead of
+    /// splitting runs at `unit_size` boundaries (the optimizer's DEV
+    /// coalescing pass — fewer, larger units for the cost model).
+    coalesce: bool,
     base_shift: i64,
     /// Reused batch buffer for the convertor's segment output, so
     /// steady-state streaming does not allocate per batch.
@@ -158,9 +162,20 @@ pub struct DevCursor {
 
 impl DevCursor {
     pub fn new(ty: &DataType, count: u64, unit_size: u64) -> Result<DevCursor, TypeError> {
+        DevCursor::with_coalesce(ty, count, unit_size, false)
+    }
+
+    /// Like [`DevCursor::new`] with an explicit coalescing mode.
+    pub fn with_coalesce(
+        ty: &DataType,
+        count: u64,
+        unit_size: u64,
+        coalesce: bool,
+    ) -> Result<DevCursor, TypeError> {
         Ok(DevCursor {
             cv: Convertor::new(ty, count, PackKind::Pack)?,
             unit_size,
+            coalesce,
             base_shift: ty.true_lb().min(0),
             seg_buf: Vec::new(),
         })
@@ -197,16 +212,43 @@ impl DevCursor {
         let mut segs = std::mem::take(&mut self.seg_buf);
         self.cv.next_segments_into(max_packed, &mut segs);
         for (seg, packed_pos) in &segs {
-            split_segment(
-                seg.disp - self.base_shift,
-                *packed_pos,
-                seg.len,
-                self.unit_size,
-                out,
-            );
+            if self.coalesce {
+                push_coalesced(seg.disp - self.base_shift, *packed_pos, seg.len, out);
+            } else {
+                split_segment(
+                    seg.disp - self.base_shift,
+                    *packed_pos,
+                    seg.len,
+                    self.unit_size,
+                    out,
+                );
+            }
         }
         self.seg_buf = segs;
     }
+}
+
+/// Append one coalesced work unit, merging with the previous unit when
+/// the two are adjacent on both the typed and the packed side (a run the
+/// convertor clipped at a batch boundary).
+fn push_coalesced(src_disp: i64, packed_pos: u64, len: u64, out: &mut Vec<CopyOp>) {
+    debug_assert!(
+        src_disp >= 0,
+        "segment displacement not normalized: {src_disp}"
+    );
+    if let Some(last) = out.last_mut() {
+        if last.src_off + last.len == src_disp as usize
+            && last.dst_off + last.len == packed_pos as usize
+        {
+            last.len += len as usize;
+            return;
+        }
+    }
+    out.push(CopyOp {
+        src_off: src_disp as usize,
+        dst_off: packed_pos as usize,
+        len: len as usize,
+    });
 }
 
 /// Split one DEV (a contiguous segment) into CUDA-DEV units of at most
@@ -233,7 +275,20 @@ fn split_segment(src_disp: i64, packed_pos: u64, len: u64, unit_size: u64, out: 
 /// Materialize the complete plan for `count` instances (what the cache
 /// stores).
 pub fn build_plan(ty: &DataType, count: u64, unit_size: u64) -> Result<DevPlan, TypeError> {
-    let mut cur = DevCursor::new(ty, count, unit_size)?;
+    build_plan_opt(ty, count, unit_size, false)
+}
+
+/// [`build_plan`] with an explicit coalescing mode: with `coalesce` each
+/// maximal contiguous run becomes one work unit regardless of
+/// `unit_size` (the recorded `unit_size` still names the configuration
+/// the plan was built for, i.e. the cache key).
+pub fn build_plan_opt(
+    ty: &DataType,
+    count: u64,
+    unit_size: u64,
+    coalesce: bool,
+) -> Result<DevPlan, TypeError> {
+    let mut cur = DevCursor::with_coalesce(ty, count, unit_size, coalesce)?;
     let total = cur.total_bytes();
     let mut units = Vec::new();
     while !cur.finished() {
@@ -323,6 +378,65 @@ mod tests {
             m
         };
         assert_eq!(cover(&units), cover(&plan.units));
+    }
+
+    #[test]
+    fn coalesced_plan_is_one_unit_per_run() {
+        // One 10 KB contiguous block: 10 units at S=1 KB, 1 coalesced.
+        let c = DataType::contiguous(1280, &dbl()).unwrap().commit();
+        let plan = build_plan_opt(&c, 1, 1024, true).unwrap();
+        assert_eq!(plan.units.len(), 1);
+        assert_eq!(plan.units[0].len as u64, plan.total_bytes);
+        // Strided rows stay one unit per row.
+        let v = DataType::vector(4, 192, 300, &dbl()).unwrap().commit();
+        let plan = build_plan_opt(&v, 1, 1024, true).unwrap();
+        assert_eq!(plan.units.len(), 4);
+        assert!(plan.units.iter().all(|u| u.len == 1536));
+    }
+
+    #[test]
+    fn coalesced_plan_covers_same_bytes() {
+        let n = 16u64;
+        let lens: Vec<u64> = (0..n).map(|c| n - c).collect();
+        let disps: Vec<i64> = (0..n as i64).map(|c| c * n as i64 + c).collect();
+        let t = DataType::indexed(&lens, &disps, &dbl()).unwrap().commit();
+        let plain = build_plan(&t, 2, 256).unwrap();
+        let coal = build_plan_opt(&t, 2, 256, true).unwrap();
+        assert_eq!(coal.total_bytes, plain.total_bytes);
+        assert_eq!(coal.base_shift, plain.base_shift);
+        assert!(coal.units.len() <= plain.units.len());
+        // Normalized (merged) coverage must be identical.
+        let cover = |us: &[CopyOp]| -> Vec<(usize, usize, usize)> {
+            let mut m: Vec<(usize, usize, usize)> = Vec::new();
+            for u in us {
+                match m.last_mut() {
+                    Some((md, ms, ml)) if *md + *ml == u.dst_off && *ms + *ml == u.src_off => {
+                        *ml += u.len
+                    }
+                    _ => m.push((u.dst_off, u.src_off, u.len)),
+                }
+            }
+            m
+        };
+        assert_eq!(cover(&coal.units), cover(&plain.units));
+        // Coalesced units are maximal: no two adjacent in both spaces.
+        assert_eq!(cover(&coal.units).len(), coal.units.len());
+    }
+
+    #[test]
+    fn coalesced_cursor_merges_across_batch_clips() {
+        // A 4 KB contiguous run streamed in 1000-byte batches: the
+        // cursor cannot merge across calls (different fragments), but
+        // each call's units must be internally maximal.
+        let c = DataType::contiguous(512, &dbl()).unwrap().commit();
+        let mut cur = DevCursor::with_coalesce(&c, 1, 256, true).unwrap();
+        let mut calls = 0;
+        while !cur.finished() {
+            let units = cur.next_units(1000);
+            assert_eq!(units.len(), 1, "one maximal unit per batch");
+            calls += 1;
+        }
+        assert_eq!(calls, 5);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use crate::cache::DevCache;
 use crate::config::EngineConfig;
 use crate::dev::{flip_units_in_place, DevCursor, DevPlan};
-use datatype::{DataType, TypeError};
+use crate::tune;
+use datatype::{DataType, Strided2D, TypeError};
 use gpusim::{launch_transfer_kernel, GpuWorld, KernelConfig, StreamId};
 use memsim::Ptr;
 use simcore::par::CopyOp;
@@ -34,6 +35,14 @@ enum UnitSource {
         pos: u64,
         total: u64,
     },
+    /// Doubly-strided type (e.g. a matrix transpose): units come from
+    /// two nested strides computed arithmetically by the kernel — like
+    /// `Vector`, no descriptor array and no per-unit CPU cost.
+    Strided2D {
+        shape: Strided2D,
+        pos: u64,
+        total: u64,
+    },
 }
 
 /// Drives one logical pack or unpack job fragment by fragment.
@@ -54,6 +63,9 @@ pub struct FragmentEngine {
     total: u64,
     pos: u64,
     descriptor_stream: bool,
+    /// Auto-tuned pipeline chunk for streaming sources (None = use the
+    /// configured default).
+    chunk_hint: Option<u64>,
 }
 
 impl FragmentEngine {
@@ -76,16 +88,33 @@ impl FragmentEngine {
         cache: Option<&Rc<RefCell<DevCache>>>,
     ) -> Result<FragmentEngine, TypeError> {
         let cfg = cfg.validated();
+        let opt = cfg.optimizer;
         let total = ty.size() * count;
         let base_shift = ty.true_lb().min(0);
 
-        // Specialized vector kernel path.
-        let effective = if count <= 1 {
-            ty.clone()
+        // Commit-time canonicalization: structurally equivalent layouts
+        // collapse to one tree, so they share DEV plans (and cache
+        // entries) and the shape recognizers below see the simple form.
+        let work_ty = if opt.canonicalize {
+            ty.canonical()
         } else {
-            DataType::contiguous(count, ty)?.commit()
+            ty.clone()
         };
+        let effective = if count <= 1 {
+            work_ty.clone()
+        } else {
+            let c = DataType::contiguous(count, &work_ty)?.commit();
+            if opt.canonicalize {
+                c.canonical()
+            } else {
+                c
+            }
+        };
+
+        // Specialized vector kernel path.
         if let Some((_, block_bytes, stride, first_disp)) = effective.vector_shape() {
+            sim.trace
+                .count("devengine.source.vector", rank as u32, 0, 1);
             return Ok(FragmentEngine {
                 source: UnitSource::Vector {
                     block_bytes,
@@ -103,13 +132,76 @@ impl FragmentEngine {
                 total,
                 pos: 0,
                 descriptor_stream: false,
+                chunk_hint: None,
             });
         }
 
+        // Doubly-strided layouts (transposes, submatrices of vectors)
+        // also compute their offsets arithmetically — no descriptor
+        // array, no CPU preparation.
+        if opt.vector_dispatch {
+            if let Some(shape) = effective.strided2d_shape() {
+                sim.trace
+                    .count("devengine.source.strided2d", rank as u32, 0, 1);
+                return Ok(FragmentEngine {
+                    source: UnitSource::Strided2D {
+                        shape,
+                        pos: 0,
+                        total,
+                    },
+                    dir,
+                    cfg,
+                    rank,
+                    stream,
+                    typed,
+                    base_shift,
+                    total,
+                    pos: 0,
+                    descriptor_stream: false,
+                    chunk_hint: None,
+                });
+            }
+        }
+
+        // Work-unit size: with coalescing the plan no longer splits at S
+        // so there is nothing to tune; otherwise evaluate the analytic
+        // per-unit cost over the paper's candidate sizes.
+        let segments = work_ty.segment_estimate().saturating_mul(count).max(1);
+        let unit_size = if opt.autotune && !opt.coalesce {
+            let g = sim.world.gpus_ref().gpu(stream.gpu);
+            let bw = g
+                .effective_traffic_bw()
+                .derated(g.spec.pack_kernel_efficiency)
+                .as_gbps(); // bytes per nanosecond
+            let desc_ns = g.spec.descriptor_bytes as f64 / bw;
+            let picked = tune::pick_unit_size(
+                cfg.unit_size,
+                total,
+                segments,
+                cfg.prep_per_unit.as_nanos() as f64,
+                desc_ns,
+            );
+            if picked != cfg.unit_size {
+                sim.trace.count("optimizer.unit.tuned", rank as u32, 0, 1);
+            }
+            picked
+        } else {
+            cfg.unit_size
+        };
+
         let source = if let Some(cache) = cache {
-            let (plan, hit) = cache.borrow_mut().get_or_build(ty, count, cfg.unit_size)?;
+            let (plan, hit, evicted) = {
+                let mut c = cache.borrow_mut();
+                let ev0 = c.evictions();
+                let (plan, hit) = c.get_or_build_opt(&work_ty, count, unit_size, opt.coalesce)?;
+                (plan, hit, c.evictions() - ev0)
+            };
             let now = sim.now();
             let cpu_track = Track::Cpu { rank: rank as u32 };
+            if evicted > 0 {
+                sim.trace
+                    .count("devengine.cache.evict", rank as u32, 0, evicted);
+            }
             if !hit {
                 // First encounter: pay the one-time conversion.
                 let prep = prep_time(&cfg, plan.units.len());
@@ -123,10 +215,55 @@ impl FragmentEngine {
                     .instant(now, "devengine", "dev-cache-hit", cpu_track);
                 sim.trace.count("devengine.cache.hit", rank as u32, 0, 1);
             }
+            sim.trace
+                .count("devengine.source.cached", rank as u32, 0, 1);
             UnitSource::Cached { plan, pos: 0 }
         } else {
-            UnitSource::Fresh(DevCursor::new(ty, count, cfg.unit_size)?)
+            sim.trace.count("devengine.source.fresh", rank as u32, 0, 1);
+            UnitSource::Fresh(DevCursor::with_coalesce(
+                &work_ty,
+                count,
+                unit_size,
+                opt.coalesce,
+            )?)
         };
+
+        // Pipeline-granularity tuning for streaming sources: weigh the
+        // CPU preparation that pipelining hides against the extra kernel
+        // launches it costs, using the same constants the simulator
+        // charges.
+        let mut chunk_hint = None;
+        if opt.autotune && cfg.pipeline && total > 0 {
+            if let UnitSource::Fresh(_) = source {
+                let g = sim.world.gpus_ref().gpu(stream.gpu);
+                let bw = g
+                    .effective_traffic_bw()
+                    .derated(g.spec.pack_kernel_efficiency)
+                    .as_gbps();
+                let units = if opt.coalesce {
+                    segments as f64
+                } else {
+                    segments as f64 + total as f64 / unit_size as f64
+                };
+                // D2D pack traffic: payload read + write, plus the
+                // descriptor each unit streams from DRAM.
+                let traffic_per_byte = 2.0 + g.spec.descriptor_bytes as f64 * units / total as f64;
+                let m = tune::ChunkModel {
+                    total,
+                    units_per_byte: units / total as f64,
+                    prep_call_ns: cfg.prep_call.as_nanos() as f64,
+                    prep_per_unit_ns: cfg.prep_per_unit.as_nanos() as f64,
+                    launch_ns: g.spec.launch_overhead.as_nanos() as f64,
+                    kernel_ns_per_byte: traffic_per_byte / bw,
+                };
+                let picked = tune::pick_pipeline_chunk(&m, cfg.pipeline_chunk);
+                if picked != cfg.pipeline_chunk {
+                    sim.trace.count("optimizer.chunk.tuned", rank as u32, 0, 1);
+                    chunk_hint = Some(picked);
+                }
+            }
+        }
+
         Ok(FragmentEngine {
             source,
             dir,
@@ -138,7 +275,14 @@ impl FragmentEngine {
             total,
             pos: 0,
             descriptor_stream: true,
+            chunk_hint,
         })
+    }
+
+    /// The auto-tuner's pipeline-chunk pick, if it deviated from the
+    /// configured default.
+    pub fn pipeline_chunk_hint(&self) -> Option<u64> {
+        self.chunk_hint
     }
 
     pub fn total_bytes(&self) -> u64 {
@@ -197,6 +341,31 @@ impl FragmentEngine {
                     let intra = p % bb;
                     let take = (bb - intra).min(to - p);
                     let disp = *first_disp + block as i64 * *stride + intra as i64;
+                    units.push(CopyOp {
+                        src_off: (disp - self.base_shift) as usize,
+                        dst_off: (p - from) as usize,
+                        len: take as usize,
+                    });
+                    p += take;
+                }
+                *pos = to;
+                false
+            }
+            UnitSource::Strided2D { shape, pos, total } => {
+                units.clear();
+                let to = (*pos + n).min(*total);
+                let bb = shape.block_bytes;
+                let mut p = *pos;
+                while p < to {
+                    let block = p / bb;
+                    let intra = p % bb;
+                    let take = (bb - intra).min(to - p);
+                    let i = (block / shape.inner) as i64;
+                    let j = (block % shape.inner) as i64;
+                    let disp = shape.first_disp
+                        + i * shape.outer_stride
+                        + j * shape.inner_stride
+                        + intra as i64;
                     units.push(CopyOp {
                         src_off: (disp - self.base_shift) as usize,
                         dst_off: (p - from) as usize,
@@ -383,7 +552,7 @@ fn run_async<W: GpuWorld>(
     let chunk = if engine.cpu_stage_free() {
         u64::MAX
     } else {
-        pipeline_chunk
+        engine.pipeline_chunk_hint().unwrap_or(pipeline_chunk)
     };
     let state = Rc::new(RefCell::new(Driver {
         engine: Some(engine),
@@ -463,6 +632,7 @@ impl<W: GpuWorld> Driver<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::OptimizerConfig;
     use datatype::testutil::{buffer_span, pattern, reference_pack};
     use gpusim::{GpuSpec, NodeWorld};
     use memsim::{GpuId, MemSpace};
@@ -640,14 +810,22 @@ mod tests {
 
     #[test]
     fn pipeline_beats_no_pipeline_on_indexed() {
+        // Pinned to the pre-optimizer engine: coalescing shrinks the CPU
+        // prep below the per-fragment launch overhead, at which point
+        // pipelining (correctly) stops paying — this test is about the
+        // pipeline mechanics themselves.
+        let base = EngineConfig {
+            optimizer: OptimizerConfig::disabled(),
+            ..Default::default()
+        };
         let t = triangular(2048); // ~17 MB triangular matrix
-        let (_, piped) = run_pack(&t, 1, EngineConfig::default(), None);
+        let (_, piped) = run_pack(&t, 1, base.clone(), None);
         let (_, serial) = run_pack(
             &t,
             1,
             EngineConfig {
                 pipeline: false,
-                ..Default::default()
+                ..base
             },
             None,
         );
@@ -655,6 +833,88 @@ mod tests {
             piped < serial,
             "pipelining should overlap prep with kernels: {piped} vs {serial}"
         );
+    }
+
+    #[test]
+    fn optimizer_never_slower_and_bytes_identical_on_indexed() {
+        let t = triangular(96);
+        let on = EngineConfig {
+            optimizer: OptimizerConfig::enabled(),
+            ..Default::default()
+        };
+        let off = EngineConfig {
+            optimizer: OptimizerConfig::disabled(),
+            ..Default::default()
+        };
+        let (pa, ta) = run_pack(&t, 1, on, None);
+        let (pb, tb) = run_pack(&t, 1, off, None);
+        assert_eq!(pa, pb, "optimizations must not change packed bytes");
+        assert!(ta <= tb, "optimized pack got slower: {ta} vs {tb}");
+    }
+
+    #[test]
+    fn strided2d_dispatch_beats_descriptor_path_on_transpose() {
+        // The fig12 shape: column-vector of a row-vector (a transpose).
+        let n = 128u64;
+        let col = DataType::vector(n, 1, n as i64, &DataType::double()).unwrap();
+        let t = DataType::hvector(n, 1, 8, &col).unwrap().commit();
+        assert!(t.vector_shape().is_none());
+        assert!(t.strided2d_shape().is_some());
+        let on = EngineConfig {
+            optimizer: OptimizerConfig::enabled(),
+            ..Default::default()
+        };
+        let off = EngineConfig {
+            optimizer: OptimizerConfig::disabled(),
+            ..Default::default()
+        };
+        let (pa, ta) = run_pack(&t, 1, on, None);
+        let (pb, tb) = run_pack(&t, 1, off, None);
+        assert_eq!(pa, pb, "strided2d kernel must pack identical bytes");
+        assert!(
+            ta < tb,
+            "arithmetic dispatch should beat descriptor streaming: {ta} vs {tb}"
+        );
+    }
+
+    #[test]
+    fn strided2d_fragments_match_oneshot() {
+        let n = 48u64;
+        let col = DataType::vector(n, 1, n as i64, &DataType::double()).unwrap();
+        let t = DataType::hvector(n, 1, 8, &col).unwrap().commit();
+        let mut sim = world();
+        let gpu = GpuId(0);
+        let (typed, bytes, base) = setup_typed(&mut sim, &t, 1, gpu);
+        let total = t.size();
+        let packed = sim
+            .world
+            .memory
+            .alloc(MemSpace::Device(gpu), total)
+            .unwrap();
+        let stream = sim.world.gpu_system.default_stream(gpu);
+        let mut eng = FragmentEngine::new(
+            &mut sim,
+            0,
+            stream,
+            &t,
+            1,
+            typed,
+            Direction::Pack,
+            EngineConfig {
+                optimizer: OptimizerConfig::enabled(),
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert!(eng.cpu_stage_free(), "strided2d source has no CPU stage");
+        while !eng.finished() {
+            let frag = packed.add(eng.position());
+            eng.process_fragment(&mut sim, frag, 1000, |_| {}, |_, _| {});
+            sim.run();
+        }
+        let got = sim.world.memory.read_vec(packed, total).unwrap();
+        assert_eq!(got, reference_pack(&t, 1, &bytes, base));
     }
 
     #[test]

@@ -23,8 +23,11 @@ pub mod cache;
 pub mod config;
 pub mod dev;
 pub mod engine;
+pub mod tune;
 
 pub use cache::DevCache;
-pub use config::EngineConfig;
-pub use dev::{build_plan, flip_units, flip_units_in_place, DevCursor, DevPlan, SliceParts};
+pub use config::{EngineConfig, OptimizerConfig};
+pub use dev::{
+    build_plan, build_plan_opt, flip_units, flip_units_in_place, DevCursor, DevPlan, SliceParts,
+};
 pub use engine::{pack_async, unpack_async, Direction, FragmentEngine};

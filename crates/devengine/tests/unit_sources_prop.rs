@@ -12,7 +12,7 @@
 
 use datatype::testutil::arb_datatype;
 use datatype::DataType;
-use devengine::{build_plan, DevCursor};
+use devengine::{build_plan, build_plan_opt, DevCursor};
 use simcore::par::CopyOp;
 use simcore::rng::SimRng;
 
@@ -102,6 +102,76 @@ fn vector_units(ty: &DataType, count: u64, frag: u64) -> Option<Vec<CopyOp>> {
     Some(ops)
 }
 
+/// `Strided2D`: the doubly-strided arithmetic path, exactly as the
+/// fragment engine's specialized kernel computes it.
+fn strided2d_units(ty: &DataType, count: u64, frag: u64) -> Option<Vec<CopyOp>> {
+    let effective = if count <= 1 {
+        ty.clone()
+    } else {
+        DataType::contiguous(count, ty).unwrap().commit()
+    };
+    let shape = effective.strided2d_shape()?;
+    let base_shift = ty.true_lb().min(0);
+    let total = ty.size() * count;
+    let mut ops = Vec::new();
+    let mut pos = 0u64;
+    while pos < total {
+        let to = (pos + frag).min(total);
+        let mut p = pos;
+        while p < to {
+            let block = p / shape.block_bytes;
+            let intra = p % shape.block_bytes;
+            let take = (shape.block_bytes - intra).min(to - p);
+            let i = (block / shape.inner) as i64;
+            let j = (block % shape.inner) as i64;
+            let disp =
+                shape.first_disp + i * shape.outer_stride + j * shape.inner_stride + intra as i64;
+            ops.push(CopyOp {
+                src_off: (disp - base_shift) as usize,
+                dst_off: p as usize,
+                len: take as usize,
+            });
+            p += take;
+        }
+        pos = to;
+    }
+    Some(ops)
+}
+
+/// Optimizer-transformed plan (canonicalization and/or coalescing),
+/// sliced fragment by fragment like the cached source does.
+fn optimized_units(
+    ty: &DataType,
+    count: u64,
+    unit_size: u64,
+    frag: u64,
+    canonicalize: bool,
+    coalesce: bool,
+) -> Vec<CopyOp> {
+    let work = if canonicalize {
+        ty.canonical()
+    } else {
+        ty.clone()
+    };
+    let plan = build_plan_opt(&work, count, unit_size, coalesce).unwrap();
+    let mut ops = Vec::new();
+    let mut buf = Vec::new();
+    let mut pos = 0u64;
+    while pos < plan.total_bytes {
+        let to = (pos + frag).min(plan.total_bytes);
+        plan.slice_into(pos, to, &mut buf);
+        for u in &buf {
+            ops.push(CopyOp {
+                src_off: u.src_off,
+                dst_off: u.dst_off + pos as usize,
+                len: u.len,
+            });
+        }
+        pos = to;
+    }
+    ops
+}
+
 fn check(ty: &DataType, count: u64, seed_note: &str) {
     let total = ty.size() * count;
     for unit_size in [8u64, 64, 1024] {
@@ -122,6 +192,28 @@ fn check(ty: &DataType, count: u64, seed_note: &str) {
             }
             let covered: usize = fresh.iter().map(|&(_, _, l)| l).sum();
             assert_eq!(covered as u64, total, "{seed_note}: bytes covered");
+
+            // Every optimizer toggle combination must describe the same
+            // byte mapping as the unoptimized plan: the passes reshape
+            // units (fewer descriptors, merged runs), never the bytes.
+            for canon in [false, true] {
+                for coalesce in [false, true] {
+                    let opt =
+                        normalize(optimized_units(ty, count, unit_size, frag, canon, coalesce));
+                    assert_eq!(
+                        fresh, opt,
+                        "{seed_note}: fresh vs optimized(canon={canon}, \
+                         coalesce={coalesce}), count={count} unit={unit_size} frag={frag}"
+                    );
+                }
+            }
+            if let Some(s2d) = strided2d_units(ty, count, frag) {
+                assert_eq!(
+                    fresh,
+                    normalize(s2d),
+                    "{seed_note}: fresh vs strided2d, count={count} frag={frag}"
+                );
+            }
         }
     }
 }
@@ -162,4 +254,14 @@ fn sources_agree_on_the_paper_workloads() {
         .commit();
     check(&sub, 1, "submatrix");
     check(&sub, 2, "submatrix x2");
+    // Matrix transpose (fig12): a doubly-strided tree that must hit the
+    // arithmetic Strided2D source, not just agree on descriptors.
+    let n = 24u64;
+    let col = DataType::vector(n, 1, n as i64, &DataType::double()).unwrap();
+    let transpose = DataType::hvector(n, 1, 8, &col).unwrap().commit();
+    assert!(
+        transpose.strided2d_shape().is_some(),
+        "transpose must be strided2d-shaped"
+    );
+    check(&transpose, 1, "transpose");
 }

@@ -216,6 +216,12 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
             .expect("kernel transfer failed");
         sim.trace
             .count("gpusim.kernel.bytes", stream.gpu.0, 0, payload);
+        // Units per launch make the optimizer's coalescing visible in
+        // metrics: fewer, larger units at the same byte count.
+        sim.trace
+            .count("gpusim.kernel.units", stream.gpu.0, 0, units.len() as u64);
+        sim.trace
+            .count("gpusim.kernel.launches", stream.gpu.0, 0, 1);
         // Unit buffers cycle back to the scratch shelf so the fragment
         // pipeline reuses a handful of allocations at steady state.
         simcore::scratch::recycle_units_buf(units);

@@ -26,6 +26,7 @@ pub mod onesided;
 pub mod protocol;
 pub mod request;
 pub mod session;
+pub mod tuner;
 pub mod world;
 
 pub use api::{irecv, isend, ping_pong, wait_all, PingPongSpec, RecvArgs, SendArgs};

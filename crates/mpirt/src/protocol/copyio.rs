@@ -19,6 +19,7 @@ use crate::connection::{ib_connection, IbConn};
 use crate::protocol::sm::DELIVERED;
 use crate::protocol::{make_engine, Side, SideEngine};
 use crate::request::Request;
+use crate::tuner::{tuned_shape, PathClass};
 use crate::world::MpiWorld;
 use devengine::Direction;
 use gpusim::memcpy;
@@ -73,11 +74,19 @@ pub fn start(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_
         },
     );
     ib_connection(sim, s_rank, r_rank, move |sim, conn| {
-        let frag = conn.borrow().frag_size;
-        let depth = conn.borrow().depth;
+        let (frag0, depth0) = {
+            let c = conn.borrow();
+            (c.frag_size, c.depth)
+        };
+        let zero_copy = sim.world.mpi.config.zero_copy;
+        let class = if zero_copy {
+            PathClass::ZeroCopy
+        } else {
+            PathClass::CopyInOut
+        };
+        let (frag, depth) = tuned_shape(sim, &s, &r, class, frag0, depth0);
         let s_engine = Some(make_engine(sim, &s, Direction::Pack));
         let r_engine = Some(make_engine(sim, &r, Direction::Unpack));
-        let zero_copy = sim.world.mpi.config.zero_copy;
         let st = Rc::new(RefCell::new(Xfer {
             s,
             r,

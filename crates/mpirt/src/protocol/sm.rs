@@ -17,6 +17,7 @@
 use crate::connection::{open_peer_buffer, sm_connection, SmConn};
 use crate::protocol::{make_engine, Side, SideEngine};
 use crate::request::Request;
+use crate::tuner::{tuned_shape, PathClass};
 use crate::world::MpiWorld;
 use devengine::Direction;
 use gpusim::memcpy;
@@ -102,12 +103,19 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
     );
     open_peer_buffer(sim, src, total, move |sim| {
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let (frag0, depth0) = {
+                let c = conn.borrow();
+                (c.frag_size, c.depth)
+            };
+            let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
             let unpacker = make_engine(sim, &r, Direction::Unpack);
             let st = Rc::new(RefCell::new(PullState {
                 conn,
                 engine: Some(unpacker),
                 src,
                 total,
+                frag,
+                depth,
                 next_seq: 0,
                 consumed: 0,
                 inflight: 0,
@@ -128,6 +136,10 @@ struct PullState {
     engine: Option<SideEngine>,
     src: memsim::Ptr,
     total: u64,
+    /// Pipeline shape in use (auto-tuned; never exceeds the ring's
+    /// allocated `frag_size`/`depth`).
+    frag: u64,
+    depth: usize,
     next_seq: u64,
     consumed: u64,
     inflight: usize,
@@ -142,8 +154,8 @@ fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
     loop {
         let (seq, n, frag, depth, staging_slot) = {
             let mut x = st.borrow_mut();
-            let frag = x.conn.borrow().frag_size;
-            let depth = x.conn.borrow().depth;
+            let frag = x.frag;
+            let depth = x.depth;
             if x.next_seq * frag >= x.total || x.inflight >= depth {
                 return;
             }
@@ -250,12 +262,19 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
     );
     open_peer_buffer(sim, dst, total, move |sim| {
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let (frag0, depth0) = {
+                let c = conn.borrow();
+                (c.frag_size, c.depth)
+            };
+            let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
             let packer = make_engine(sim, &s, Direction::Pack);
             let st = Rc::new(RefCell::new(PutState {
                 conn,
                 engine: Some(packer),
                 dst,
                 total,
+                frag,
+                depth,
                 next_seq: 0,
                 put_bytes: 0,
                 inflight: 0,
@@ -276,6 +295,10 @@ struct PutState {
     engine: Option<SideEngine>,
     dst: memsim::Ptr,
     total: u64,
+    /// Pipeline shape in use (auto-tuned; never exceeds the ring's
+    /// allocated `frag_size`/`depth`).
+    frag: u64,
+    depth: usize,
     next_seq: u64,
     put_bytes: u64,
     inflight: usize,
@@ -290,8 +313,8 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
     loop {
         let (seq, n, frag, slot_ptr) = {
             let mut x = st.borrow_mut();
-            let frag = x.conn.borrow().frag_size;
-            let depth = x.conn.borrow().depth;
+            let frag = x.frag;
+            let depth = x.depth;
             if x.next_seq * frag >= x.total || x.inflight >= depth {
                 return;
             }
@@ -393,8 +416,11 @@ fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, r
         proto_track(s_rank, r_rank),
     );
     sm_connection(sim, s_rank, r_rank, move |sim, conn| {
-        let frag = conn.borrow().frag_size;
-        let depth = conn.borrow().depth;
+        let (frag0, depth0) = {
+            let c = conn.borrow();
+            (c.frag_size, c.depth)
+        };
+        let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
         let packer = Some(make_engine(sim, &s, Direction::Pack));
         let unpacker = Some(make_engine(sim, &r, Direction::Unpack));
         let st = Rc::new(RefCell::new(FullState {

@@ -207,8 +207,31 @@ impl Session {
     /// Metrics over everything recorded so far (the session is left
     /// running). Counters are always populated; timing fields need the
     /// builder's `record()` or `trace()`.
-    pub fn metrics(&self) -> Metrics {
+    pub fn metrics(&mut self) -> Metrics {
+        self.sync_devcache_counters();
         Metrics::from_trace(&self.sim.trace)
+    }
+
+    /// Reconcile each rank's `DevCache` hit/miss/evict tallies into the
+    /// trace counters. The engines bump `devengine.cache.*` as they go;
+    /// raising to the cache's own (authoritative, monotone) totals also
+    /// covers plans built outside a `FragmentEngine` without ever double
+    /// counting.
+    fn sync_devcache_counters(&mut self) {
+        for i in 0..self.sim.world.mpi.ranks.len() {
+            let (hits, misses, evictions) = {
+                let c = self.sim.world.mpi.ranks[i].dev_cache.borrow();
+                (c.hits(), c.misses(), c.evictions())
+            };
+            let r = i as u32;
+            self.sim.trace.count_to("devengine.cache.hit", r, 0, hits);
+            self.sim
+                .trace
+                .count_to("devengine.cache.miss", r, 0, misses);
+            self.sim
+                .trace
+                .count_to("devengine.cache.evict", r, 0, evictions);
+        }
     }
 
     /// Take the simulation out of the session, dropping the
@@ -221,6 +244,7 @@ impl Session {
     /// End the run span and hand back the raw tracer, for callers that
     /// merge several runs into one trace document (the bench runner).
     pub fn into_trace(mut self) -> simcore::Tracer {
+        self.sync_devcache_counters();
         let now = self.sim.now();
         self.sim.trace.span_end(now, self.run_span);
         std::mem::take(&mut self.sim.trace)
@@ -229,6 +253,7 @@ impl Session {
     /// Close the run: end the session span, write the Chrome trace if a
     /// sink was configured, and return the run's metrics.
     pub fn finish(mut self) -> Metrics {
+        self.sync_devcache_counters();
         let now = self.sim.now();
         self.sim.trace.span_end(now, self.run_span);
         let metrics = Metrics::from_trace(&self.sim.trace);
@@ -302,6 +327,49 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"cat\":\"mpirt\""));
         assert!(json.contains("\"name\":\"session\""));
+    }
+
+    #[test]
+    fn devcache_counters_reach_session_metrics() {
+        use datatype::DataType;
+        let mut sess = Session::builder().two_ranks_two_gpus().build();
+        // An irregular GPU-resident layout forces the generic DEV path
+        // (and therefore the DevCache) on both sides; a second identical
+        // transfer must hit the cache.
+        let lens: Vec<u64> = (0..256).map(|i| 1 + (i % 7)).collect();
+        let disps: Vec<i64> = (0..256).map(|i| i * 16).collect();
+        let ty = DataType::indexed(&lens, &disps, &DataType::double())
+            .unwrap()
+            .commit();
+        let bytes = ty.extent() as u64;
+        let b0 = sess
+            .world
+            .mem()
+            .alloc(MemSpace::Device(GpuId(0)), bytes)
+            .unwrap();
+        let b1 = sess
+            .world
+            .mem()
+            .alloc(MemSpace::Device(GpuId(1)), bytes)
+            .unwrap();
+        for _ in 0..2 {
+            let s = isend(&mut sess, SendArgs::new(0, 1, b0, &ty, 1));
+            let r = irecv(&mut sess, RecvArgs::new(1, 0, b1, &ty, 1));
+            wait_all(&mut sess, &[s, r]);
+        }
+        let m = sess.finish();
+        assert!(
+            m.counter("devengine.cache.miss") >= 1,
+            "first transfer must miss: {:?}",
+            m.counters
+        );
+        assert!(
+            m.counter("devengine.cache.hit") >= 1,
+            "repeat transfer must hit: {:?}",
+            m.counters
+        );
+        let summary = m.summary();
+        assert!(summary.contains("devengine.cache.hit"));
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Protocol-level fragment-size / ring-depth auto-tuning.
+//!
+//! The rendezvous protocols pipeline a transfer through a ring of
+//! `pipeline_depth` fragments of `frag_size` bytes, both hand-picked
+//! constants in [`crate::MpiConfig`]. This module evaluates the same
+//! per-fragment cost arithmetic the simulator charges — kernel launch +
+//! DRAM/PCIe traffic for the conversion stages, link bandwidth +
+//! latency for the wire, active-message latency for the per-fragment
+//! control traffic — as a closed-form pipeline makespan
+//! ([`devengine::tune::pipeline_makespan_ns`]) and lets
+//! [`devengine::tune::pick_fragment`] choose a (fragment, depth) shape
+//! per *(canonical sender layout, canonical receiver layout, message
+//! size, path class)*.
+//!
+//! Two hard safety properties:
+//!
+//! * the static configuration always competes and wins ties (plus a 7%
+//!   margin), so a tuned transfer is never predicted slower than the
+//!   default — `ablation_optimizer` asserts the simulated times agree;
+//! * tuned fragments only ever *shrink* and tuned depths never grow, so
+//!   the rings allocated at connection establishment (at the configured
+//!   shape) always fit the tuned schedule.
+//!
+//! Decisions are cached in [`crate::world::MpiState::tuned_shapes`] and
+//! surfaced through the `optimizer.frag.*` trace counters.
+
+use crate::protocol::Side;
+use crate::world::MpiWorld;
+use devengine::tune::{pick_fragment, Stage};
+use devengine::OptimizerConfig;
+use gpusim::GpuWorld as _;
+use netsim::NetWorld as _;
+use simcore::Sim;
+
+/// Which transfer pipeline a rendezvous took.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PathClass {
+    /// Same-node CUDA IPC fragment ring (`protocol::sm`, §4.1).
+    SmIpc,
+    /// Copy-in/copy-out with explicit `cudaMemcpy` staging hops
+    /// (`protocol::copyio`, §4.2).
+    CopyInOut,
+    /// Copy-in/copy-out with zero-copy mapped host fragments: the
+    /// device↔host hop rides inside the pack/unpack kernels.
+    ZeroCopy,
+}
+
+/// One cached tuning decision.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TuneKey {
+    /// Structural fingerprint of the sender layout (canonical form when
+    /// canonicalization is on, so equivalent trees share a decision).
+    pub s_layout: u64,
+    /// Structural fingerprint of the receiver layout.
+    pub r_layout: u64,
+    /// Total message size in bytes.
+    pub total: u64,
+    /// Protocol pipeline the transfer takes.
+    pub class: PathClass,
+}
+
+fn side_fingerprint(side: &Side, opt: &OptimizerConfig) -> u64 {
+    let ty = if opt.canonicalize {
+        side.ty.canonical()
+    } else {
+        side.ty.clone()
+    };
+    let mut fp = ty.layout_fingerprint();
+    // Fold in count, density and placement: the same element layout
+    // tunes differently on host vs device, dense vs strided.
+    for word in [side.count, side.dense() as u64, side.device() as u64] {
+        fp = (fp ^ word).wrapping_mul(0x100_0000_01b3);
+    }
+    fp
+}
+
+/// Calibration constants gathered once per decision from the same specs
+/// the simulator charges.
+struct Model {
+    /// Effective pack-kernel DRAM bandwidth, ns per traffic byte.
+    dram_nspb: f64,
+    /// ns per byte over PCIe for kernels touching mapped host memory.
+    pcie_host_nspb: f64,
+    /// ns per byte over PCIe P2P for kernels touching peer GPU memory
+    /// through an IPC mapping (derated per §5.2.1).
+    peer_nspb: f64,
+    /// ns per byte of a bulk P2P `cudaMemcpy` (staging GET/PUT).
+    p2p_copy_nspb: f64,
+    /// ns per byte of a D2H/H2D staging `cudaMemcpy`.
+    pcie_copy_nspb: f64,
+    /// Fixed cost of any `cudaMemcpy` (driver + PCIe transaction).
+    memcpy_fixed_ns: f64,
+    /// Kernel launch overhead.
+    launch_ns: f64,
+    /// PCIe transaction latency (added once per off-GPU kernel).
+    pcie_lat_ns: f64,
+    /// Descriptor bytes streamed per CUDA-DEV work unit.
+    desc_bytes: f64,
+    /// CPU preparation: fixed per batch / per unit produced.
+    prep_call_ns: f64,
+    prep_per_unit_ns: f64,
+    /// Host CPU pack/unpack path, ns per byte.
+    cpu_pack_nspb: f64,
+    /// Data link between the ranks: ns per byte + fixed latency.
+    wire_nspb: f64,
+    wire_lat_ns: f64,
+    /// One active message on the control link (per-fragment protocol
+    /// traffic: unpack requests, slot acks).
+    am_ns: f64,
+    /// Engine work-unit size (for descriptor-path shatter estimates).
+    unit_size: u64,
+}
+
+fn nspb(bw: simcore::Bandwidth) -> f64 {
+    1e9 / bw.bytes_per_sec()
+}
+
+fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
+    let (dram_nspb, launch_ns, memcpy_lat_ns, desc_bytes) = {
+        let sys = sim.world.gpus_ref();
+        let g = sys.gpu(sim.world.mpi.ranks[s_rank].gpu);
+        let eff = g
+            .effective_traffic_bw()
+            .derated(g.spec.pack_kernel_efficiency);
+        (
+            nspb(eff),
+            g.spec.launch_overhead.as_nanos() as f64,
+            g.spec.memcpy_latency.as_nanos() as f64,
+            g.spec.descriptor_bytes as f64,
+        )
+    };
+    let (pcie_host_nspb, peer_nspb, p2p_copy_nspb, pcie_copy_nspb, pcie_lat_ns) = {
+        let topo = &sim.world.gpus_ref().topo;
+        (
+            nspb(topo.pcie_h2d),
+            nspb(topo.pcie_p2p.derated(topo.peer_kernel_efficiency)),
+            nspb(topo.pcie_p2p),
+            nspb(topo.pcie_d2h),
+            topo.pcie_latency.as_nanos() as f64,
+        )
+    };
+    let (wire_nspb, wire_lat_ns, am_ns) = {
+        let ch = sim.world.net().channel_mut(s_rank, r_rank);
+        (
+            nspb(ch.data.bandwidth),
+            ch.data.latency.as_nanos() as f64,
+            ch.ctrl.latency.as_nanos() as f64 + ch.ctrl.bandwidth.time_for(16).as_nanos() as f64,
+        )
+    };
+    let cfg = &sim.world.mpi.config;
+    Model {
+        dram_nspb,
+        pcie_host_nspb,
+        peer_nspb,
+        p2p_copy_nspb,
+        pcie_copy_nspb,
+        memcpy_fixed_ns: memcpy_lat_ns + pcie_lat_ns,
+        launch_ns,
+        pcie_lat_ns,
+        desc_bytes,
+        prep_call_ns: cfg.engine.prep_call.as_nanos() as f64,
+        prep_per_unit_ns: cfg.engine.prep_per_unit.as_nanos() as f64,
+        cpu_pack_nspb: nspb(cfg.cpu_pack_bw),
+        wire_nspb,
+        wire_lat_ns,
+        am_ns,
+        unit_size: cfg.engine.unit_size,
+    }
+}
+
+/// Where the non-typed side of a conversion kernel lives.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KernelFar {
+    /// Fragment buffer in the executing GPU's own DRAM.
+    LocalDevice,
+    /// Zero-copy mapped host fragment (PCIe per payload byte).
+    MappedHost,
+    /// Peer GPU's ring slot through the IPC mapping.
+    PeerDevice,
+}
+
+/// Cost stage of one GPU pack/unpack kernel over a fragment, for a
+/// non-dense `side` whose typed buffer is local to the executing GPU.
+fn kernel_stage(m: &Model, side: &Side, opt: &OptimizerConfig, far: KernelFar) -> Stage {
+    let total = side.total().max(1);
+    let ty = if opt.canonicalize {
+        side.ty.canonical()
+    } else {
+        side.ty.clone()
+    };
+    let arithmetic = opt.vector_dispatch
+        && (ty.vector_shape().is_some()
+            || ty.strided2d_shape().is_some()
+            || ty.is_contiguous(side.count));
+    let segments = ty.segment_estimate().saturating_mul(side.count).max(1) as f64;
+    let units = if arithmetic {
+        // The specialized kernels still emit a unit per contiguous run
+        // (prep-charged) but stream no descriptors.
+        segments
+    } else if opt.coalesce {
+        segments
+    } else {
+        segments + total as f64 / m.unit_size as f64
+    };
+    let units_per_byte = units / total as f64;
+    let desc_nspb = if arithmetic {
+        0.0
+    } else {
+        units_per_byte * m.desc_bytes * m.dram_nspb
+    };
+    // Traffic per payload byte: each LocalDevice side touches ~its
+    // payload in 128-byte lines; the off-GPU side rides PCIe and the
+    // hardware overlaps the two (kernel time is their max).
+    let local_sides = match far {
+        KernelFar::LocalDevice => 2.0,
+        KernelFar::MappedHost | KernelFar::PeerDevice => 1.0,
+    };
+    let dram = local_sides * m.dram_nspb + desc_nspb;
+    let pcie = match far {
+        KernelFar::LocalDevice => 0.0,
+        KernelFar::MappedHost => m.pcie_host_nspb,
+        KernelFar::PeerDevice => m.peer_nspb,
+    };
+    let fixed_pcie = if far == KernelFar::LocalDevice {
+        0.0
+    } else {
+        m.pcie_lat_ns
+    };
+    Stage {
+        fixed_ns: m.launch_ns + m.prep_call_ns + fixed_pcie,
+        ns_per_byte: dram.max(pcie) + m.prep_per_unit_ns * units_per_byte,
+    }
+}
+
+/// Per-fragment stage list for one transfer down a given path. Dense
+/// sides contribute their staging copies only; non-dense sides their
+/// conversion engines.
+fn path_stages(sim: &mut Sim<MpiWorld>, s: &Side, r: &Side, class: PathClass) -> Vec<Stage> {
+    let m = gather(sim, s.rank, r.rank);
+    let opt = sim.world.mpi.config.engine.optimizer;
+    let mut stages = Vec::new();
+    let copy = |nspb: f64| Stage {
+        fixed_ns: m.memcpy_fixed_ns,
+        ns_per_byte: nspb,
+    };
+    let am = Stage {
+        fixed_ns: m.am_ns,
+        ns_per_byte: 0.0,
+    };
+    match class {
+        PathClass::SmIpc => {
+            let s_gpu = sim.world.mpi.ranks[s.rank].gpu;
+            let r_gpu = sim.world.mpi.ranks[r.rank].gpu;
+            let staged = sim.world.mpi.config.recv_local_staging && s_gpu != r_gpu;
+            if !s.dense() {
+                // Pack into the sender-local ring slot.
+                stages.push(kernel_stage(&m, s, &opt, KernelFar::LocalDevice));
+            }
+            if staged {
+                // Receiver GETs the fragment into local staging.
+                stages.push(copy(m.p2p_copy_nspb));
+            }
+            if !r.dense() {
+                let far = if staged || s_gpu == r_gpu {
+                    KernelFar::LocalDevice
+                } else {
+                    KernelFar::PeerDevice
+                };
+                stages.push(kernel_stage(&m, r, &opt, far));
+            } else if !s.dense() {
+                // receiver-dense: the packed fragment is PUT to its
+                // final window at bulk P2P rate.
+                stages.push(copy(m.p2p_copy_nspb));
+            }
+            stages.push(am);
+        }
+        PathClass::CopyInOut | PathClass::ZeroCopy => {
+            let zero = class == PathClass::ZeroCopy;
+            // Sender conversion into the host fragment.
+            match (s.dense(), s.device()) {
+                (false, true) if zero => {
+                    stages.push(kernel_stage(&m, s, &opt, KernelFar::MappedHost));
+                }
+                (false, true) => {
+                    stages.push(kernel_stage(&m, s, &opt, KernelFar::LocalDevice));
+                    stages.push(copy(m.pcie_copy_nspb));
+                }
+                (false, false) => stages.push(Stage {
+                    fixed_ns: 0.0,
+                    ns_per_byte: m.cpu_pack_nspb,
+                }),
+                (true, true) => stages.push(copy(m.pcie_copy_nspb)),
+                (true, false) => {} // registered host data wires directly
+            }
+            stages.push(Stage {
+                fixed_ns: m.wire_lat_ns,
+                ns_per_byte: m.wire_nspb,
+            });
+            // Receiver consumption out of the arrived fragment.
+            match (r.dense(), r.device()) {
+                (false, true) if zero => {
+                    stages.push(kernel_stage(&m, r, &opt, KernelFar::MappedHost));
+                }
+                (false, true) => {
+                    stages.push(copy(m.pcie_copy_nspb));
+                    stages.push(kernel_stage(&m, r, &opt, KernelFar::LocalDevice));
+                }
+                (false, false) => stages.push(Stage {
+                    fixed_ns: 0.0,
+                    ns_per_byte: m.cpu_pack_nspb,
+                }),
+                (true, true) => stages.push(copy(m.pcie_copy_nspb)),
+                (true, false) => {} // the wire landed in the user buffer
+            }
+            stages.push(am);
+        }
+    }
+    stages
+}
+
+/// Pick the pipeline shape for one transfer: the configured
+/// `(frag0, depth0)` unless the auto-tuner is enabled *and* the cost
+/// model predicts a ≥7% win for a smaller fragment / shallower ring.
+/// Decisions are cached per (layouts, size, path) and counted in the
+/// trace (`optimizer.frag.tuned` / `.default` / `.cache.hit`).
+pub fn tuned_shape(
+    sim: &mut Sim<MpiWorld>,
+    s: &Side,
+    r: &Side,
+    class: PathClass,
+    frag0: u64,
+    depth0: usize,
+) -> (u64, usize) {
+    let opt = sim.world.mpi.config.engine.optimizer;
+    if !opt.autotune {
+        return (frag0, depth0);
+    }
+    let total = s.total();
+    let key = TuneKey {
+        s_layout: side_fingerprint(s, &opt),
+        r_layout: side_fingerprint(r, &opt),
+        total,
+        class,
+    };
+    if let Some(&shape) = sim.world.mpi.tuned_shapes.get(&key) {
+        sim.trace
+            .count("optimizer.frag.cache.hit", s.rank as u32, r.rank as u32, 1);
+        return shape;
+    }
+    let stages = path_stages(sim, s, r, class);
+    let shape = pick_fragment(total, frag0, depth0, &stages);
+    sim.world.mpi.tuned_shapes.insert(key, shape);
+    let counter = if shape == (frag0, depth0) {
+        "optimizer.frag.default"
+    } else {
+        "optimizer.frag.tuned"
+    };
+    sim.trace.count(counter, s.rank as u32, r.rank as u32, 1);
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpiConfig;
+    use datatype::DataType;
+    use devengine::EngineConfig;
+    use memsim::MemSpace;
+
+    fn world(opt: OptimizerConfig) -> Sim<MpiWorld> {
+        let config = MpiConfig {
+            engine: EngineConfig {
+                optimizer: opt,
+                ..EngineConfig::default()
+            },
+            ..MpiConfig::default()
+        };
+        Sim::new(MpiWorld::two_ranks_two_gpus(config))
+    }
+
+    fn strided_side(sim: &mut Sim<MpiWorld>, rank: usize) -> Side {
+        let ty = DataType::vector(4096, 2, 4, &DataType::double())
+            .unwrap()
+            .commit();
+        let gpu = sim.world.mpi.ranks[rank].gpu;
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu), ty.extent() as u64)
+            .unwrap();
+        Side {
+            rank,
+            ty,
+            count: 1,
+            buf,
+        }
+    }
+
+    #[test]
+    fn disabled_tuner_returns_the_configured_shape() {
+        let mut sim = world(OptimizerConfig::disabled());
+        let s = strided_side(&mut sim, 0);
+        let r = strided_side(&mut sim, 1);
+        let shape = tuned_shape(&mut sim, &s, &r, PathClass::SmIpc, 512 << 10, 4);
+        assert_eq!(shape, (512 << 10, 4));
+        assert!(sim.world.mpi.tuned_shapes.is_empty());
+    }
+
+    #[test]
+    fn tuned_fragment_never_grows_and_decisions_are_cached() {
+        let mut sim = world(OptimizerConfig::enabled());
+        let s = strided_side(&mut sim, 0);
+        let r = strided_side(&mut sim, 1);
+        let (f, d) = tuned_shape(&mut sim, &s, &r, PathClass::SmIpc, 512 << 10, 4);
+        assert!(f <= 512 << 10, "fragments must fit the allocated ring");
+        assert!(d <= 4, "depth must fit the allocated ring");
+        assert!(f >= devengine::tune::MIN_FRAG);
+        assert_eq!(sim.world.mpi.tuned_shapes.len(), 1);
+        let again = tuned_shape(&mut sim, &s, &r, PathClass::SmIpc, 512 << 10, 4);
+        assert_eq!(again, (f, d));
+        assert_eq!(sim.trace.counter("optimizer.frag.cache.hit"), 1);
+        assert_eq!(sim.world.mpi.tuned_shapes.len(), 1);
+    }
+
+    #[test]
+    fn path_classes_tune_independently() {
+        let mut sim = world(OptimizerConfig::enabled());
+        let s = strided_side(&mut sim, 0);
+        let r = strided_side(&mut sim, 1);
+        tuned_shape(&mut sim, &s, &r, PathClass::SmIpc, 512 << 10, 4);
+        tuned_shape(&mut sim, &s, &r, PathClass::ZeroCopy, 512 << 10, 4);
+        tuned_shape(&mut sim, &s, &r, PathClass::CopyInOut, 512 << 10, 4);
+        assert_eq!(sim.world.mpi.tuned_shapes.len(), 3);
+    }
+}

@@ -45,6 +45,9 @@ pub struct MpiState {
     pub matcher: Matcher,
     pub sm_conns: HashMap<(usize, usize), Rc<RefCell<SmConn>>>,
     pub ib_conns: HashMap<(usize, usize), Rc<RefCell<IbConn>>>,
+    /// Fragment/ring-depth decisions from the protocol auto-tuner,
+    /// cached per (canonical layouts, message size, path class).
+    pub tuned_shapes: HashMap<crate::tuner::TuneKey, (u64, usize)>,
 }
 
 /// The complete world: hardware + runtime.
@@ -94,6 +97,7 @@ impl MpiWorld {
                 matcher: Matcher::new(specs.len()),
                 sm_conns: HashMap::new(),
                 ib_conns: HashMap::new(),
+                tuned_shapes: HashMap::new(),
             },
         }
     }

@@ -216,6 +216,17 @@ impl Tracer {
         *self.counters.entry(CounterKey { name, a, b }).or_insert(0) += delta;
     }
 
+    /// Raise a counter to an absolute total (monotone: never lowers).
+    /// For reconciling externally-accumulated totals — e.g. the per-rank
+    /// `DevCache` hit/miss/evict tallies — into the trace without double
+    /// counting increments that were already `count`ed along the way.
+    pub fn count_to(&mut self, name: &'static str, a: u32, b: u32, total: u64) {
+        let e = self.counters.entry(CounterKey { name, a, b }).or_insert(0);
+        if *e < total {
+            *e = total;
+        }
+    }
+
     /// Total of a counter across all dimensions.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
