@@ -1,0 +1,196 @@
+//! chaos_soak — sweep transient-fault rates across the figure
+//! workloads and topologies, asserting that every injected schedule
+//! still delivers byte-correct data within a bounded slowdown, and
+//! that permanent IPC loss renegotiates to copy-in/copy-out.
+//!
+//! Prints one CSV table (makespan in ms per cell; the `fault_rate_pct`
+//! axis is the per-charge-point transient probability in percent) plus
+//! `#` comment lines for the permanent-loss scenario and the verdict.
+//! Exits non-zero on any delivered-bytes mismatch, stalled run, or
+//! cell slower than the bounded-slowdown envelope — so CI can run
+//! `chaos_soak --smoke` as a gate.
+
+use bench::harness::{ms, print_header, print_row, Figure};
+use bench::runner::{BenchOpts, Topo};
+use bench::workloads::{contiguous_matrix, submatrix, triangular};
+use datatype::testutil::{buffer_span, pattern, reference_pack};
+use datatype::DataType;
+use faultsim::{counters, FaultKind, FaultOp, FaultPlan};
+use gpusim::GpuWorld as _;
+use memsim::{MemSpace, Ptr};
+use mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
+use mpirt::MpiConfig;
+use simcore::SimTime;
+
+/// A run that exceeds this multiple of its fault-free makespan (plus a
+/// fixed grace for backoff delays on short runs) counts as unbounded.
+const SLOWDOWN_CAP: f64 = 10.0;
+const SLOWDOWN_GRACE: SimTime = SimTime(2_000_000); // 2 ms of backoffs
+
+struct Cell {
+    makespan: SimTime,
+    injected: u64,
+    fallbacks: u64,
+}
+
+/// One device-to-device transfer of `ty` under `plan`; checks the
+/// delivered packed stream against the reference pack of the sent
+/// pattern. Any mismatch or stall comes back as `Err`.
+fn transfer(topo: Topo, ty: &DataType, plan: FaultPlan) -> Result<Cell, String> {
+    let config = MpiConfig {
+        fault_plan: plan,
+        ..Default::default()
+    };
+    let mut sess = topo.session(config).build();
+    let (base, len) = buffer_span(ty, 1);
+    let g0 = MemSpace::Device(sess.world.mpi.ranks[0].gpu);
+    let g1 = MemSpace::Device(sess.world.mpi.ranks[1].gpu);
+    let sbuf = sess.world.mem().alloc(g0, (len.max(1)) as u64).unwrap();
+    let rbuf = sess.world.mem().alloc(g1, (len.max(1)) as u64).unwrap();
+    let sent = pattern(len);
+    sess.world.mem().write(sbuf, &sent).unwrap();
+    let s = isend(
+        &mut sess,
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 0,
+            ty: ty.clone(),
+            count: 1,
+            buf: sbuf.add(base as u64),
+        },
+    );
+    let r = irecv(
+        &mut sess,
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(0),
+            ty: ty.clone(),
+            count: 1,
+            buf: rbuf.add(base as u64),
+        },
+    );
+    wait_all(&mut sess, &[s, r]).map_err(|e| format!("transfer failed: {e}"))?;
+    let want = reference_pack(ty, 1, &sent, base);
+    let got_buf = sess
+        .world
+        .mem()
+        .read_vec(Ptr { offset: 0, ..rbuf }, len as u64)
+        .unwrap();
+    let got = reference_pack(ty, 1, &got_buf, base);
+    if got != want {
+        return Err("delivered bytes mismatch".to_string());
+    }
+    let makespan = sess.now();
+    let m = sess.metrics();
+    Ok(Cell {
+        makespan,
+        injected: m.counter(counters::FAULT_INJECTED),
+        fallbacks: m.counter(counters::FALLBACK_EVENTS),
+    })
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let smoke = opts.rest.iter().any(|a| a == "--smoke");
+    let (n, rates): (u64, Vec<u64>) = if smoke {
+        (128, vec![0, 5, 20])
+    } else {
+        (256, vec![0, 1, 5, 20])
+    };
+    let topos = [(Topo::Sm2Gpu, "sm2"), (Topo::Ib, "ib")];
+    let tys = [
+        ("C", contiguous_matrix(n)),
+        ("V", submatrix(n)),
+        ("T", triangular(n)),
+    ];
+    let columns: Vec<String> = topos
+        .iter()
+        .flat_map(|(_, tn)| tys.iter().map(move |(wn, _)| format!("{tn}-{wn}")))
+        .collect();
+    print_header(&Figure {
+        id: "chaos_soak",
+        title: "makespan under swept transient-fault rates",
+        x_label: "fault_rate_pct",
+        series: columns.clone(),
+    });
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut baseline: Vec<SimTime> = Vec::new();
+    let mut total_injected = 0u64;
+    for &rate in &rates {
+        let mut row = Vec::new();
+        for (ti, (topo, tname)) in topos.iter().enumerate() {
+            for (wi, (wname, ty)) in tys.iter().enumerate() {
+                let col = ti * tys.len() + wi;
+                let plan = if rate == 0 {
+                    FaultPlan::empty()
+                } else {
+                    let seed = 1000 + (ti as u64) * 100 + (wi as u64) * 10 + rate;
+                    FaultPlan::empty().with_seed(seed).with_rule(
+                        None,
+                        FaultKind::Transient,
+                        rate as f64 / 100.0,
+                    )
+                };
+                match transfer(*topo, ty, plan) {
+                    Ok(cell) => {
+                        total_injected += cell.injected;
+                        if rate == 0 {
+                            baseline.push(cell.makespan);
+                        } else {
+                            let cap = SimTime(
+                                (baseline[col].0 as f64 * SLOWDOWN_CAP) as u64 + SLOWDOWN_GRACE.0,
+                            );
+                            if cell.makespan > cap {
+                                violations.push(format!(
+                                    "{tname}-{wname} @ {rate}%: makespan {} exceeds \
+                                     {SLOWDOWN_CAP}x fault-free bound {}",
+                                    cell.makespan, cap
+                                ));
+                            }
+                        }
+                        row.push(ms(cell.makespan));
+                    }
+                    Err(e) => {
+                        violations.push(format!("{tname}-{wname} @ {rate}%: {e}"));
+                        row.push(f64::NAN);
+                    }
+                }
+            }
+        }
+        print_row(rate, &row);
+    }
+    if total_injected == 0 {
+        violations.push("sweep injected no faults at all — soak is vacuous".to_string());
+    }
+
+    // Permanent IPC loss: the SmIpc handshake must renegotiate to
+    // copy-in/copy-out and still deliver the exact bytes.
+    let plan = FaultPlan::empty().with_seed(7).with_rule(
+        Some(FaultOp::IpcOpen),
+        FaultKind::PermanentLoss,
+        1.0,
+    );
+    match transfer(Topo::Sm2Gpu, &tys[2].1, plan) {
+        Ok(cell) if cell.fallbacks == 0 => {
+            violations.push("permanent IPC loss did not renegotiate".to_string());
+        }
+        Ok(cell) => println!(
+            "# permanent-ipc-loss: renegotiated to copy-in/out, makespan {}, {} fallback(s)",
+            cell.makespan, cell.fallbacks
+        ),
+        Err(e) => violations.push(format!("permanent-ipc-loss: {e}")),
+    }
+
+    println!("# injected {total_injected} fault(s) across the sweep");
+    if violations.is_empty() {
+        println!("# chaos_soak: OK");
+    } else {
+        for v in &violations {
+            eprintln!("chaos_soak violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}

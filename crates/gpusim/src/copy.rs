@@ -1,6 +1,8 @@
 //! `cudaMemcpy` / `cudaMemcpy2D` equivalents.
 
+use crate::fault;
 use crate::system::{GpuWorld, StreamId};
+use faultsim::{Backoff, FaultDecision, FaultOp};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
 use simcore::{Sim, SimTime, Track};
@@ -64,6 +66,10 @@ fn contiguous_copy_time<W: GpuWorld>(
 
 /// Asynchronous contiguous copy on `stream` (like `cudaMemcpyAsync`).
 /// Moves the bytes at completion time and then invokes `done`.
+///
+/// Fault charge point (`FaultOp::Memcpy`): transient injections re-issue
+/// the copy after a capped exponential backoff (the engine charges the
+/// stream again per attempt); degradation windows stretch the charge.
 pub fn memcpy<W: GpuWorld>(
     sim: &mut Sim<W>,
     stream: StreamId,
@@ -72,8 +78,21 @@ pub fn memcpy<W: GpuWorld>(
     bytes: u64,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
+    memcpy_attempt(sim, stream, src, dst, bytes, fault::default_backoff(), done);
+}
+
+fn memcpy_attempt<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    stream: StreamId,
+    src: Ptr,
+    dst: Ptr,
+    bytes: u64,
+    mut backoff: Backoff,
+    done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
+) {
     let dir = CopyDirection::of(src, dst);
     let duration = contiguous_copy_time(sim, stream, dir, bytes);
+    let duration = fault::fault_scaled(sim, FaultOp::Memcpy, duration);
     let now = sim.now();
     let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
     let track = Track::Stream {
@@ -81,7 +100,19 @@ pub fn memcpy<W: GpuWorld>(
         index: stream.index as u32,
     };
     sim.trace.span_at(start, end, "gpusim", "memcpy", track);
+    let verdict = fault::fault_roll(sim, FaultOp::Memcpy);
     sim.schedule_at(end, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::Memcpy, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::Memcpy);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                memcpy_attempt(sim, stream, src, dst, bytes, backoff, done);
+            });
+            return;
+        }
         sim.world
             .mem()
             .copy(src, dst, bytes)
@@ -115,6 +146,33 @@ pub fn memcpy_2d<W: GpuWorld>(
         src_pitch >= width && dst_pitch >= width,
         "pitch smaller than width"
     );
+    memcpy_2d_attempt(
+        sim,
+        stream,
+        src,
+        src_pitch,
+        dst,
+        dst_pitch,
+        width,
+        height,
+        fault::default_backoff(),
+        done,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn memcpy_2d_attempt<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    stream: StreamId,
+    src: Ptr,
+    src_pitch: u64,
+    dst: Ptr,
+    dst_pitch: u64,
+    width: u64,
+    height: u64,
+    mut backoff: Backoff,
+    done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
+) {
     let dir = CopyDirection::of(src, dst);
     let bytes = width * height;
     let duration = {
@@ -152,6 +210,7 @@ pub fn memcpy_2d<W: GpuWorld>(
         }
     };
 
+    let duration = fault::fault_scaled(sim, FaultOp::Memcpy, duration);
     let now = sim.now();
     let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
     let track = Track::Stream {
@@ -159,7 +218,21 @@ pub fn memcpy_2d<W: GpuWorld>(
         index: stream.index as u32,
     };
     sim.trace.span_at(start, end, "gpusim", "memcpy2d", track);
+    let verdict = fault::fault_roll(sim, FaultOp::Memcpy);
     sim.schedule_at(end, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::Memcpy, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::Memcpy);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                memcpy_2d_attempt(
+                    sim, stream, src, src_pitch, dst, dst_pitch, width, height, backoff, done,
+                );
+            });
+            return;
+        }
         let ops: Vec<CopyOp> = (0..height)
             .map(|r| CopyOp {
                 src_off: (r * src_pitch) as usize,

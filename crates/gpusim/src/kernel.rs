@@ -20,8 +20,10 @@
 //! DRAM traffic; kernel time is the max of the two, since the hardware
 //! overlaps them.
 
+use crate::fault;
 use crate::spec::GpuSpec;
 use crate::system::{GpuWorld, StreamId};
+use faultsim::{Backoff, FaultDecision, FaultOp};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
 use simcore::{Bandwidth, Sim, SimTime, Track};
@@ -154,6 +156,10 @@ pub fn transfer_kernel_time(
 /// Launch a pack/unpack kernel on `stream`: reserves the stream for the
 /// modeled duration, moves the bytes when it completes, then calls
 /// `done` with the completion time.
+///
+/// Fault charge point (`FaultOp::KernelLaunch`): transient injections
+/// re-launch with the same unit list after a capped backoff; degrade
+/// windows stretch the charge.
 pub fn launch_transfer_kernel<W: GpuWorld>(
     sim: &mut Sim<W>,
     stream: StreamId,
@@ -161,6 +167,29 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
     dst: Ptr,
     units: Vec<CopyOp>,
     cfg: KernelConfig,
+    done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
+) {
+    launch_attempt(
+        sim,
+        stream,
+        src,
+        dst,
+        units,
+        cfg,
+        fault::default_backoff(),
+        done,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn launch_attempt<W: GpuWorld>(
+    sim: &mut Sim<W>,
+    stream: StreamId,
+    src: Ptr,
+    dst: Ptr,
+    units: Vec<CopyOp>,
+    cfg: KernelConfig,
+    mut backoff: Backoff,
     done: impl FnOnce(&mut Sim<W>, SimTime) + 'static,
 ) {
     let gpu = stream.gpu;
@@ -196,6 +225,7 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
         &units,
         cfg.descriptor_stream,
     );
+    let duration = fault::fault_scaled(sim, FaultOp::KernelLaunch, duration);
     let now = sim.now();
     let (start, end) = sim.world.gpus().stream_mut(stream).reserve(now, duration);
     sim.trace.span_at(
@@ -208,7 +238,19 @@ pub fn launch_transfer_kernel<W: GpuWorld>(
             index: stream.index as u32,
         },
     );
+    let verdict = fault::fault_roll(sim, FaultOp::KernelLaunch);
     sim.schedule_at(end, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::KernelLaunch, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::KernelLaunch);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                launch_attempt(sim, stream, src, dst, units, cfg, backoff, done);
+            });
+            return;
+        }
         let payload: u64 = units.iter().map(|u| u.len as u64).sum();
         sim.world
             .mem()

@@ -23,11 +23,13 @@
 //!   GPU resources" experiment) or derated by a co-running application.
 
 pub mod copy;
+pub mod fault;
 pub mod kernel;
 pub mod spec;
 pub mod system;
 
 pub use copy::{memcpy, memcpy_2d, CopyDirection};
+pub use fault::{count_retry, fault_roll, fault_scaled};
 pub use kernel::{launch_transfer_kernel, transfer_kernel_time, KernelConfig};
 pub use spec::{GpuSpec, NodeTopology};
 pub use system::{

@@ -2,6 +2,7 @@
 //! and the world-access trait the async operations are generic over.
 
 use crate::spec::{GpuSpec, NodeTopology};
+use faultsim::{FaultDecision, FaultOp, FaultSim};
 use memsim::{GpuId, IpcHandle, MemError, Memory, Ptr};
 use simcore::{Bandwidth, FifoResource, Sim, SimTime, Track};
 
@@ -122,6 +123,9 @@ pub trait GpuWorld: 'static {
     /// traversal, DEV preparation, protocol handling — serializes on
     /// one FIFO resource).
     fn cpu(&mut self, rank: usize) -> &mut FifoResource;
+    /// The world's fault-injection engine (disabled by default). Every
+    /// charge point in this crate and the layers above consults it.
+    fn faults(&mut self) -> &mut FaultSim;
 }
 
 /// Minimal world for unit tests and single-process experiments.
@@ -129,6 +133,7 @@ pub struct NodeWorld {
     pub memory: Memory,
     pub gpu_system: GpuSystem,
     pub cpus: Vec<FifoResource>,
+    pub faults: FaultSim,
 }
 
 impl NodeWorld {
@@ -139,6 +144,7 @@ impl NodeWorld {
             memory: Memory::new(gpu_count, mem_bytes),
             gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
             cpus: Vec::new(),
+            faults: FaultSim::disabled(),
         }
     }
 }
@@ -162,6 +168,9 @@ impl GpuWorld for NodeWorld {
         }
         &mut self.cpus[rank]
     }
+    fn faults(&mut self) -> &mut FaultSim {
+        &mut self.faults
+    }
 }
 
 /// Export a device buffer over CUDA IPC (free of charge — the handle is
@@ -177,6 +186,12 @@ pub fn ipc_export<W: GpuWorld>(
 /// Open a peer's IPC handle. Charges the one-time mapping cost and hands
 /// the mapped pointer to `done`. The paper's protocol opens a handle
 /// exactly once per connection and caches the mapping.
+///
+/// This is a fault charge point: a `Transient` injection fails the open
+/// with `MemError::Faulted { transient: true }` (the caller may retry);
+/// a permanent loss means CUDA IPC is gone for the rest of the run and
+/// surfaces as `transient: false` — `mpirt` reacts by renegotiating the
+/// transfer path to copy-in/copy-out.
 pub fn ipc_open<W: GpuWorld>(
     sim: &mut Sim<W>,
     handle: IpcHandle,
@@ -187,8 +202,13 @@ pub fn ipc_open<W: GpuWorld>(
     sim.trace
         .span_at(now, now + cost, "gpusim", "ipc-open", Track::Session);
     sim.trace.count("gpusim.ipc_open.count", 0, 0, 1);
+    let verdict = crate::fault::fault_roll(sim, FaultOp::IpcOpen);
     sim.schedule_in(cost, move |sim| {
-        let res = sim.world.mem().registry.open_ipc(handle);
+        let res = match verdict {
+            FaultDecision::Ok => sim.world.mem().registry.open_ipc(handle),
+            FaultDecision::Transient => Err(MemError::Faulted { transient: true }),
+            FaultDecision::Lost => Err(MemError::Faulted { transient: false }),
+        };
         done(sim, res);
     });
 }

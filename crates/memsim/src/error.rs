@@ -19,6 +19,10 @@ pub enum MemError {
     NotRegistered(Ptr),
     /// A pointer was used in a space it does not belong to.
     WrongSpace { ptr: Ptr, expected: MemSpace },
+    /// An injected fault (faultsim plan) failed the operation. Transient
+    /// failures may be retried; non-transient ones mean the capability
+    /// (e.g. CUDA IPC) is gone for the rest of the run.
+    Faulted { transient: bool },
 }
 
 impl fmt::Display for MemError {
@@ -39,6 +43,10 @@ impl fmt::Display for MemError {
             MemError::NotRegistered(p) => write!(f, "memory at {p} is not registered"),
             MemError::WrongSpace { ptr, expected } => {
                 write!(f, "pointer {ptr} used where {expected} memory was expected")
+            }
+            MemError::Faulted { transient: true } => write!(f, "injected fault (retriable)"),
+            MemError::Faulted { transient: false } => {
+                write!(f, "injected fault (capability lost)")
             }
         }
     }

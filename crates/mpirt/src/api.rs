@@ -8,8 +8,6 @@ use datatype::DataType;
 use memsim::Ptr;
 use netsim::send_am;
 use simcore::{Sim, SimTime};
-use std::cell::Cell;
-use std::rc::Rc;
 
 /// Arguments of a nonblocking send.
 #[derive(Clone)]
@@ -114,7 +112,7 @@ pub fn isend(sim: &mut Sim<MpiWorld>, args: SendArgs) -> Request {
     // the data protocol.
     let send_req = req.clone();
     let (from, to, tag) = (args.from, args.to, args.tag);
-    send_am(sim, from, to, 0, move |sim| {
+    let shipped = send_am(sim, from, to, 0, move |sim| {
         let env = Envelope {
             src: from,
             dst: to,
@@ -128,6 +126,9 @@ pub fn isend(sim: &mut Sim<MpiWorld>, args: SendArgs) -> Request {
             starter(sim, posting);
         }
     });
+    if let Err(e) = shipped {
+        req.complete(sim, Err(MpiError::Net(e)));
+    }
     req
 }
 
@@ -208,7 +209,7 @@ fn run_round(sim: &mut Sim<MpiWorld>, spec: &PingPongSpec) {
             buf: spec.buf1,
         },
     );
-    wait_all(sim, &[s1, r1]);
+    wait_all(sim, &[s1, r1]).expect("ping-pong round failed");
     let s2 = isend(
         sim,
         SendArgs {
@@ -231,31 +232,30 @@ fn run_round(sim: &mut Sim<MpiWorld>, spec: &PingPongSpec) {
             buf: spec.buf0,
         },
     );
-    wait_all(sim, &[s2, r2]);
+    wait_all(sim, &[s2, r2]).expect("ping-pong round failed");
 }
 
 /// Run the simulation until the given requests complete (`MPI_Waitall`).
-pub fn wait_all(sim: &mut Sim<MpiWorld>, reqs: &[Request]) {
-    let reqs: Vec<Request> = reqs.to_vec();
-    let ok = Rc::new(Cell::new(false));
+///
+/// Returns [`MpiError::Stalled`] when the event queue drains with
+/// requests still incomplete (an unmatched rendezvous or a protocol
+/// deadlock), and otherwise the first request error, if any — no panics
+/// on the failure paths, so callers can react to injected faults.
+pub fn wait_all(sim: &mut Sim<MpiWorld>, reqs: &[Request]) -> Result<(), MpiError> {
     loop {
         if reqs.iter().all(|r| r.is_complete()) {
-            ok.set(true);
             break;
         }
         if !sim.step() {
-            break;
+            return Err(MpiError::Stalled);
         }
     }
-    assert!(
-        reqs.iter().all(|r| r.is_complete()),
-        "wait_all: simulation drained with incomplete requests (deadlock?)"
-    );
-    for r in &reqs {
+    for r in reqs {
         if let Some(Err(e)) = r.result() {
-            panic!("request failed: {e}");
+            return Err(e);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,7 +325,7 @@ mod tests {
                 buf: rbuf,
             },
         );
-        wait_all(&mut sim, &[s.clone(), r.clone()]);
+        wait_all(&mut sim, &[s.clone(), r.clone()]).expect("transfer failed");
         assert_eq!(s.expect_bytes(), ty_s.size() * count_s);
         assert_eq!(r.expect_bytes(), ty_s.size() * count_s);
 
@@ -637,6 +637,6 @@ mod tests {
                 buf: sbuf,
             },
         );
-        wait_all(&mut sim, &[s, r]);
+        wait_all(&mut sim, &[s, r]).unwrap();
     }
 }

@@ -1,6 +1,7 @@
 //! Runtime tuning parameters (the analogue of Open MPI MCA parameters).
 
 use devengine::EngineConfig;
+use faultsim::FaultPlan;
 use simcore::Bandwidth;
 
 /// Point-to-point protocol configuration.
@@ -29,6 +30,11 @@ pub struct MpiConfig {
     pub cpu_pack_bw: Bandwidth,
     /// GPU datatype engine settings.
     pub engine: EngineConfig,
+    /// Deterministic fault-injection plan consulted at every charge
+    /// point. The default reads `GPU_DDT_FAULT_SEED` /
+    /// `GPU_DDT_FAULT_PLAN`; an empty plan keeps the fault engine
+    /// entirely out of the hot path.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for MpiConfig {
@@ -42,6 +48,7 @@ impl Default for MpiConfig {
             zero_copy: true,
             cpu_pack_bw: Bandwidth::from_gbps(5.0),
             engine: EngineConfig::default(),
+            fault_plan: FaultPlan::from_env(),
         }
     }
 }

@@ -5,15 +5,33 @@
 //! core of the paper's "light-weight pipelined RDMA protocol ... which
 //! only proposes a single one-time establishment of the RDMA connection
 //! (and then caching the registration)".
+//!
+//! Establishment is also where the runtime absorbs injected faults: a
+//! transient IPC-open failure is retried under a capped exponential
+//! backoff until [`HANDSHAKE_TIMEOUT`] virtual time has elapsed; a
+//! permanent loss (or an exhausted handshake budget) tears the
+//! half-built connection back down — freeing the ring so its invariants
+//! never leak — flips the runtime IPC flag off, and surfaces a typed
+//! error so the protocol layer can renegotiate the path.
 
+use crate::request::MpiError;
 use crate::world::MpiWorld;
-use gpusim::ipc_open;
+use faultsim::{Backoff, FaultDecision, FaultOp};
 use gpusim::GpuWorld as _;
-use memsim::{MemSpace, Ptr, Registration};
+use gpusim::{fault, ipc_open};
+use memsim::{MemError, MemSpace, Ptr, Registration};
 use netsim::ensure_registered;
-use simcore::Sim;
+use simcore::{Sim, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Attempt cap for one connection handshake under transient faults.
+pub const HANDSHAKE_RETRY_MAX: u32 = 5;
+
+/// Virtual-time budget for one connection handshake: when injected
+/// transient faults keep an establishment step failing past this long,
+/// the runtime treats the capability as lost and renegotiates.
+pub const HANDSHAKE_TIMEOUT: SimTime = SimTime(5_000_000);
 
 /// Shared-memory (CUDA IPC) connection: a fragment ring in the sender's
 /// GPU memory, mapped into the receiver, plus an optional local staging
@@ -47,16 +65,18 @@ fn ring(sim: &mut Sim<MpiWorld>, space: MemSpace, frag: u64, depth: usize) -> Ve
 }
 
 /// Get or lazily establish the SM connection `sender -> receiver`,
-/// charging the one-time IPC mapping cost on first use.
+/// charging the one-time IPC mapping cost on first use. `done` receives
+/// `Err` when the IPC capability was permanently lost mid-handshake (the
+/// caller is expected to renegotiate to copy-in/copy-out).
 pub fn sm_connection(
     sim: &mut Sim<MpiWorld>,
     sender: usize,
     receiver: usize,
-    done: impl FnOnce(&mut Sim<MpiWorld>, Rc<RefCell<SmConn>>) + 'static,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Result<Rc<RefCell<SmConn>>, MpiError>) + 'static,
 ) {
     if let Some(conn) = sim.world.mpi.sm_conns.get(&(sender, receiver)) {
         let conn = Rc::clone(conn);
-        sim.schedule_now(move |sim| done(sim, conn));
+        sim.schedule_now(move |sim| done(sim, Ok(conn)));
         return;
     }
     let frag = sim.world.mpi.config.frag_size;
@@ -100,21 +120,89 @@ pub fn sm_connection(
         .registry
         .export_ipc(first, frag)
         .expect("handle");
-    ipc_open(sim, handle, move |sim, res| {
-        res.expect("ipc open");
-        done(sim, conn);
+    let deadline = sim.now() + HANDSHAKE_TIMEOUT;
+    sm_open_attempt(
+        sim,
+        sender,
+        receiver,
+        conn,
+        handle,
+        fault::default_backoff(),
+        deadline,
+        done,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sm_open_attempt(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    conn: Rc<RefCell<SmConn>>,
+    handle: memsim::IpcHandle,
+    mut backoff: Backoff,
+    deadline: SimTime,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Result<Rc<RefCell<SmConn>>, MpiError>) + 'static,
+) {
+    ipc_open(sim, handle, move |sim, res| match res {
+        Ok(_) => done(sim, Ok(conn)),
+        Err(MemError::Faulted { transient }) => {
+            let retriable =
+                transient && sim.now() < deadline && backoff.attempts() < HANDSHAKE_RETRY_MAX;
+            if retriable {
+                fault::count_retry(sim, FaultOp::IpcOpen);
+                let delay = backoff.next_delay();
+                sim.schedule_in(delay, move |sim| {
+                    sm_open_attempt(sim, sender, receiver, conn, handle, backoff, deadline, done);
+                });
+                return;
+            }
+            abandon_sm_connection(sim, sender, receiver, &conn);
+            let why = if transient {
+                format!(
+                    "IPC handshake {sender} -> {receiver} timed out after {} attempts",
+                    backoff.attempts()
+                )
+            } else {
+                format!("IPC capability lost opening handle {sender} -> {receiver}")
+            };
+            done(sim, Err(MpiError::Faulted(why)));
+        }
+        Err(e) => panic!("ipc open: {e}"),
     });
+}
+
+/// Tear down a half-established SM connection: evict it from the cache
+/// and free every ring slot (which also drops the slots' IPC exports),
+/// so a later path holds no dangling fragment-ring state.
+fn abandon_sm_connection(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    conn: &Rc<RefCell<SmConn>>,
+) {
+    sim.world.mpi.sm_conns.remove(&(sender, receiver));
+    sim.world.mpi.ipc_runtime_ok = false;
+    let (slots, staging) = {
+        let mut c = conn.borrow_mut();
+        (std::mem::take(&mut c.ring), c.staging.take())
+    };
+    for p in slots.into_iter().chain(staging.into_iter().flatten()) {
+        sim.world.mem().free(p).expect("free ring slot");
+    }
 }
 
 /// Open a peer's *user buffer* over IPC (for the contiguous fast paths
 /// where one side reads or writes the other's buffer directly). The
 /// mapping cost is charged only the first time a given allocation is
 /// exported — repeated transfers of the same buffer reuse the mapping.
+/// `Err` means the IPC capability is gone; the export mark is dropped so
+/// the mapping cache never claims the buffer is reachable.
 pub fn open_peer_buffer(
     sim: &mut Sim<MpiWorld>,
     buf: Ptr,
     len: u64,
-    done: impl FnOnce(&mut Sim<MpiWorld>) + 'static,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Result<(), MpiError>) + 'static,
 ) {
     let already = sim
         .world
@@ -122,7 +210,7 @@ pub fn open_peer_buffer(
         .registry
         .is_registered(buf, Registration::IpcExport);
     if already {
-        sim.schedule_now(done);
+        sim.schedule_now(move |sim| done(sim, Ok(())));
         return;
     }
     let handle = sim
@@ -131,15 +219,55 @@ pub fn open_peer_buffer(
         .registry
         .export_ipc(buf, len)
         .expect("export user buffer");
-    ipc_open(sim, handle, move |sim, res| {
-        res.expect("ipc open user buffer");
-        done(sim);
+    let deadline = sim.now() + HANDSHAKE_TIMEOUT;
+    peer_open_attempt(sim, buf, handle, fault::default_backoff(), deadline, done);
+}
+
+fn peer_open_attempt(
+    sim: &mut Sim<MpiWorld>,
+    buf: Ptr,
+    handle: memsim::IpcHandle,
+    mut backoff: Backoff,
+    deadline: SimTime,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Result<(), MpiError>) + 'static,
+) {
+    ipc_open(sim, handle, move |sim, res| match res {
+        Ok(_) => done(sim, Ok(())),
+        Err(MemError::Faulted { transient }) => {
+            let retriable =
+                transient && sim.now() < deadline && backoff.attempts() < HANDSHAKE_RETRY_MAX;
+            if retriable {
+                fault::count_retry(sim, FaultOp::IpcOpen);
+                let delay = backoff.next_delay();
+                sim.schedule_in(delay, move |sim| {
+                    peer_open_attempt(sim, buf, handle, backoff, deadline, done);
+                });
+                return;
+            }
+            sim.world
+                .mem()
+                .registry
+                .unregister(buf, Registration::IpcExport);
+            sim.world.mpi.ipc_runtime_ok = false;
+            done(
+                sim,
+                Err(MpiError::Faulted(format!(
+                    "IPC capability lost mapping peer buffer {buf}"
+                ))),
+            );
+        }
+        Err(e) => panic!("ipc open user buffer: {e}"),
     });
 }
 
 /// Get or lazily establish the copy-in/out connection `sender ->
 /// receiver`: allocates pinned host rings (registered with the NIC) and
 /// device staging rings, charging registration once per side.
+///
+/// Mapping the pinned rings into the GPUs (zero copy) is its own fault
+/// charge point (`FaultOp::PinnedRegister`): a permanent loss demotes
+/// the runtime to the explicitly staged variant — the connection still
+/// comes up, just without the zero-copy capability.
 pub fn ib_connection(
     sim: &mut Sim<MpiWorld>,
     sender: usize,
@@ -161,27 +289,13 @@ pub fn ib_connection(
     let send_dev = ring(sim, MemSpace::Device(s_gpu), frag, depth);
     let recv_dev = ring(sim, MemSpace::Device(r_gpu), frag, depth);
 
-    // Pin + register host rings: RDMA for the NIC, zero-copy mapping
-    // for the GPUs. Registration cost is charged once per side.
-    for &p in &send_host {
+    // Pin the host rings for the NIC. Registration cost is charged once
+    // per side (below, through `ensure_registered`).
+    for &p in send_host.iter().chain(recv_host.iter()) {
         sim.world
             .mem()
             .registry
             .register(p, Registration::PinnedHost);
-        sim.world
-            .mem()
-            .registry
-            .register(p, Registration::ZeroCopy(s_gpu));
-    }
-    for &p in &recv_host {
-        sim.world
-            .mem()
-            .registry
-            .register(p, Registration::PinnedHost);
-        sim.world
-            .mem()
-            .registry
-            .register(p, Registration::ZeroCopy(r_gpu));
     }
     let conn = Rc::new(RefCell::new(IbConn {
         frag_size: frag,
@@ -196,13 +310,89 @@ pub fn ib_connection(
         .ib_conns
         .insert((sender, receiver), Rc::clone(&conn));
 
-    let first_s = conn.borrow().send_host[0];
-    let first_r = conn.borrow().recv_host[0];
-    ensure_registered(sim, sender, first_s, move |sim| {
-        ensure_registered(sim, receiver, first_r, move |sim| {
-            done(sim, conn);
-        });
-    });
+    let deadline = sim.now() + HANDSHAKE_TIMEOUT;
+    zero_copy_pin_attempt(
+        sim,
+        sender,
+        receiver,
+        Rc::clone(&conn),
+        s_gpu,
+        r_gpu,
+        fault::default_backoff(),
+        deadline,
+        move |sim| {
+            let (first_s, first_r) = {
+                let c = conn.borrow();
+                (c.send_host[0], c.recv_host[0])
+            };
+            ensure_registered(sim, sender, first_s, move |sim| {
+                ensure_registered(sim, receiver, first_r, move |sim| {
+                    done(sim, conn);
+                });
+            });
+        },
+    );
+}
+
+/// Map the pinned host rings into both GPUs (CUDA zero copy), rolling
+/// the `PinnedRegister` fault charge point. On permanent loss the marks
+/// are skipped and the runtime zero-copy flag flips off; the staged path
+/// needs no mapping, so establishment continues either way.
+#[allow(clippy::too_many_arguments)]
+fn zero_copy_pin_attempt(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    conn: Rc<RefCell<IbConn>>,
+    s_gpu: memsim::GpuId,
+    r_gpu: memsim::GpuId,
+    mut backoff: Backoff,
+    deadline: SimTime,
+    then: impl FnOnce(&mut Sim<MpiWorld>) + 'static,
+) {
+    let verdict = fault::fault_roll(sim, FaultOp::PinnedRegister);
+    match verdict {
+        FaultDecision::Ok => {
+            let (send_host, recv_host) = {
+                let c = conn.borrow();
+                (c.send_host.clone(), c.recv_host.clone())
+            };
+            for &p in &send_host {
+                sim.world
+                    .mem()
+                    .registry
+                    .register(p, Registration::ZeroCopy(s_gpu));
+            }
+            for &p in &recv_host {
+                sim.world
+                    .mem()
+                    .registry
+                    .register(p, Registration::ZeroCopy(r_gpu));
+            }
+            then(sim);
+        }
+        FaultDecision::Transient
+            if sim.now() < deadline && backoff.attempts() < HANDSHAKE_RETRY_MAX =>
+        {
+            fault::count_retry(sim, FaultOp::PinnedRegister);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                zero_copy_pin_attempt(
+                    sim, sender, receiver, conn, s_gpu, r_gpu, backoff, deadline, then,
+                );
+            });
+        }
+        _ => {
+            sim.world.mpi.zero_copy_runtime_ok = false;
+            sim.trace.count(
+                faultsim::counters::FALLBACK_EVENTS,
+                sender as u32,
+                receiver as u32,
+                1,
+            );
+            then(sim);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,12 +400,14 @@ mod tests {
     use super::*;
     use crate::config::MpiConfig;
     use crate::world::MpiWorld;
+    use faultsim::{FaultKind, FaultPlan};
     use simcore::SimTime;
 
     #[test]
     fn sm_connection_cached_after_first_use() {
         let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(MpiConfig::default()));
         sm_connection(&mut sim, 0, 1, |sim, conn| {
+            let conn = conn.expect("no faults");
             let c = conn.borrow();
             assert_eq!(c.ring.len(), c.depth);
             assert!(c.staging.is_some());
@@ -234,7 +426,7 @@ mod tests {
     fn same_gpu_connection_skips_staging() {
         let mut sim = Sim::new(MpiWorld::two_ranks_one_gpu(MpiConfig::default()));
         sm_connection(&mut sim, 0, 1, |_, conn| {
-            assert!(conn.borrow().staging.is_none());
+            assert!(conn.expect("no faults").borrow().staging.is_none());
         });
         sim.run();
     }
@@ -270,12 +462,88 @@ mod tests {
             .mem()
             .alloc(MemSpace::Device(memsim::GpuId(0)), 4096)
             .unwrap();
-        open_peer_buffer(&mut sim, buf, 4096, |_| {});
+        open_peer_buffer(&mut sim, buf, 4096, |_, res| res.expect("no faults"));
         sim.run();
         let t1 = sim.now();
         assert!(t1 >= SimTime::from_micros(120));
-        open_peer_buffer(&mut sim, buf, 4096, move |sim| {
+        open_peer_buffer(&mut sim, buf, 4096, move |sim, _| {
             assert_eq!(sim.now(), t1, "second mapping is cached");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn transient_ipc_fault_retries_and_connects() {
+        let mut plan = FaultPlan::empty().with_seed(11).with_rule(
+            Some(FaultOp::IpcOpen),
+            FaultKind::Transient,
+            1.0,
+        );
+        plan.rules[0].max_injections = Some(2);
+        let cfg = MpiConfig {
+            fault_plan: plan,
+            ..Default::default()
+        };
+        let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(cfg));
+        sm_connection(&mut sim, 0, 1, |_, conn| {
+            conn.expect("retries must eventually connect");
+        });
+        let end = sim.run();
+        // Three ipc_open charges (120 µs each) plus two backoff delays.
+        assert!(end >= SimTime::from_micros(360));
+        assert!(
+            sim.world.mpi.ipc_runtime_ok,
+            "transient faults don't disable IPC"
+        );
+    }
+
+    #[test]
+    fn permanent_ipc_loss_tears_down_and_reports() {
+        let cfg = MpiConfig {
+            fault_plan: FaultPlan::empty().with_seed(3).with_rule(
+                Some(FaultOp::IpcOpen),
+                FaultKind::PermanentLoss,
+                1.0,
+            ),
+            ..Default::default()
+        };
+        let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(cfg));
+        let hit = std::rc::Rc::new(std::cell::RefCell::new(false));
+        let h = std::rc::Rc::clone(&hit);
+        sm_connection(&mut sim, 0, 1, move |sim, conn| {
+            assert!(matches!(conn, Err(MpiError::Faulted(_))));
+            assert!(!sim.world.mpi.ipc_runtime_ok);
+            assert!(
+                !sim.world.mpi.sm_conns.contains_key(&(0, 1)),
+                "half-built connection must not stay cached"
+            );
+            *h.borrow_mut() = true;
+        });
+        sim.run();
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    fn permanent_pin_loss_demotes_zero_copy_but_connects() {
+        let cfg = MpiConfig {
+            fault_plan: FaultPlan::empty().with_seed(5).with_rule(
+                Some(FaultOp::PinnedRegister),
+                FaultKind::PermanentLoss,
+                1.0,
+            ),
+            ..Default::default()
+        };
+        let mut sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
+        ib_connection(&mut sim, 0, 1, |sim, conn| {
+            let c = conn.borrow();
+            assert!(!sim.world.mpi.zero_copy_runtime_ok);
+            // The pinned rings are still NIC-registered, but not mapped
+            // into the GPUs.
+            assert!(!sim
+                .world
+                .mem()
+                .registry
+                .is_registered(c.send_host[0], Registration::ZeroCopy(memsim::GpuId(0))));
         });
         sim.run();
     }

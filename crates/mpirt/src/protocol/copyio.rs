@@ -78,7 +78,10 @@ pub fn start(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_
             let c = conn.borrow();
             (c.frag_size, c.depth)
         };
-        let zero_copy = sim.world.mpi.config.zero_copy;
+        // Zero copy needs both the configured knob and the runtime
+        // capability (the latter flips off on permanent pinned-
+        // registration loss, demoting this transfer to staged copies).
+        let zero_copy = sim.world.mpi.config.zero_copy && sim.world.mpi.zero_copy_runtime_ok;
         let class = if zero_copy {
             PathClass::ZeroCopy
         } else {
@@ -385,5 +388,6 @@ fn consumed(sim: &mut Sim<MpiWorld>, st: St, slot: usize, n: u64) {
         } else {
             pump(sim, stw);
         }
-    });
+    })
+    .expect("copyio ack channel");
 }

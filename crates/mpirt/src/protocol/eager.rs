@@ -41,9 +41,8 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
     );
 
     let after_pack = move |sim: &mut Sim<MpiWorld>| {
-        send_req.complete(sim, Ok(n));
         let starter_sig = sig;
-        send_am(sim, from, to, n, move |sim| {
+        let shipped = send_am(sim, from, to, n, move |sim| {
             // Arrived: try to match.
             let env = Envelope {
                 src: from,
@@ -58,6 +57,14 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
                 starter(sim, posting);
             }
         });
+        match shipped {
+            Ok(()) => send_req.complete(sim, Ok(n)),
+            Err(e) => {
+                sim.world.mem().free(bounce).expect("free bounce");
+                sim.trace.span_end(sim.now(), span);
+                send_req.complete(sim, Err(MpiError::Net(e)));
+            }
+        }
     };
 
     // Pack into the bounce buffer.

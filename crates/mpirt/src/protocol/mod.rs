@@ -114,6 +114,11 @@ pub fn start_rendezvous(
 
 /// Dispatch a (signature-checked) transfer to the right protocol. Also
 /// used directly by the one-sided layer, where there is no matching.
+///
+/// Path selection consults the *runtime* IPC flag alongside the
+/// configured one: once fault injection permanently takes out the IPC
+/// capability, every later same-node transfer renegotiates straight to
+/// copy-in/copy-out without re-attempting the lost path.
 pub(crate) fn run_transfer(
     sim: &mut Sim<MpiWorld>,
     send: Side,
@@ -122,7 +127,7 @@ pub(crate) fn run_transfer(
     recv_req: Request,
 ) {
     let same_node = sim.world.same_node(send.rank, recv.rank);
-    let use_ipc = sim.world.mpi.config.use_ipc;
+    let use_ipc = sim.world.mpi.config.use_ipc && sim.world.mpi.ipc_runtime_ok;
     if same_node && use_ipc && send.device() && recv.device() {
         sm::start(sim, send, recv, send_req, recv_req);
     } else {

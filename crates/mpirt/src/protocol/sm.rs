@@ -46,6 +46,30 @@ fn ring_track(s_rank: usize, r_rank: usize) -> Track {
     }
 }
 
+/// Path renegotiation: the IPC mapping was lost mid-handshake, so replay
+/// the same transfer over the copy-in/copy-out protocol. Connection
+/// establishment precedes all data motion, so nothing has moved yet and
+/// the sides and requests replay verbatim; the connection layer already
+/// freed the half-built ring and flipped the runtime IPC flag, steering
+/// every *later* transfer straight to copy-in/out.
+fn renegotiate(
+    sim: &mut Sim<MpiWorld>,
+    s: Side,
+    r: Side,
+    send_req: Request,
+    recv_req: Request,
+    span: SpanId,
+) {
+    sim.trace.count(
+        faultsim::counters::FALLBACK_EVENTS,
+        s.rank as u32,
+        r.rank as u32,
+        1,
+    );
+    sim.trace.span_end(sim.now(), span);
+    crate::protocol::copyio::start(sim, s, r, send_req, recv_req);
+}
+
 pub fn start(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
     let total = s.total();
     if total == 0 {
@@ -74,7 +98,11 @@ fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv
         "sm-both-dense",
         proto_track(s_rank, r_rank),
     );
-    open_peer_buffer(sim, src, total, move |sim| {
+    open_peer_buffer(sim, src, total, move |sim, res| {
+        if res.is_err() {
+            renegotiate(sim, s, r, send_req, recv_req, span);
+            return;
+        }
         let copy_stream = sim.world.mpi.ranks[r_rank].copy_stream;
         memcpy(sim, copy_stream, src, dst, total, move |sim, _| {
             sim.trace
@@ -84,7 +112,8 @@ fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv
             send_am(sim, r_rank, s_rank, 16, move |sim| {
                 send_req.complete(sim, Ok(total));
                 sim.trace.span_end(sim.now(), span);
-            });
+            })
+            .expect("sm ack channel");
         });
     });
 }
@@ -101,8 +130,19 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
         "sm-sender-dense",
         proto_track(s_rank, r_rank),
     );
-    open_peer_buffer(sim, src, total, move |sim| {
+    open_peer_buffer(sim, src, total, move |sim, res| {
+        if res.is_err() {
+            renegotiate(sim, s, r, send_req, recv_req, span);
+            return;
+        }
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let conn = match conn {
+                Ok(c) => c,
+                Err(_) => {
+                    renegotiate(sim, s, r, send_req, recv_req, span);
+                    return;
+                }
+            };
             let (frag0, depth0) = {
                 let c = conn.borrow();
                 (c.frag_size, c.depth)
@@ -233,7 +273,8 @@ fn pull_unpack(
                     send_am(sim, r, s, 16, move |sim| {
                         send_req.complete(sim, Ok(total));
                         sim.trace.span_end(sim.now(), span);
-                    });
+                    })
+                    .expect("sm ack channel");
                 } else {
                     pull_pump(sim, stw);
                 }
@@ -260,8 +301,19 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
         "sm-receiver-dense",
         proto_track(s_rank, r_rank),
     );
-    open_peer_buffer(sim, dst, total, move |sim| {
+    open_peer_buffer(sim, dst, total, move |sim, res| {
+        if res.is_err() {
+            renegotiate(sim, s, r, send_req, recv_req, span);
+            return;
+        }
         sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+            let conn = match conn {
+                Ok(c) => c,
+                Err(_) => {
+                    renegotiate(sim, s, r, send_req, recv_req, span);
+                    return;
+                }
+            };
             let (frag0, depth0) = {
                 let c = conn.borrow();
                 (c.frag_size, c.depth)
@@ -371,7 +423,8 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
                             send_am(sim, s_rank, r_rank, 16, move |sim| {
                                 rreq.complete(sim, Ok(total));
                                 sim.trace.span_end(sim.now(), span);
-                            });
+                            })
+                            .expect("sm ack channel");
                         } else {
                             put_pump(sim, stw2);
                         }
@@ -416,6 +469,13 @@ fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, r
         proto_track(s_rank, r_rank),
     );
     sm_connection(sim, s_rank, r_rank, move |sim, conn| {
+        let conn = match conn {
+            Ok(c) => c,
+            Err(_) => {
+                renegotiate(sim, s, r, send_req, recv_req, span);
+                return;
+            }
+        };
         let (frag0, depth0) = {
             let c = conn.borrow();
             (c.frag_size, c.depth)
@@ -484,7 +544,8 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
                     let stw2 = Rc::clone(&stw);
                     send_am(sim, s_rank, r_rank, 16, move |sim| {
                         full_recv(sim, stw2, slot, n, ring_slot, frag_span);
-                    });
+                    })
+                    .expect("sm unpack-request channel");
                 },
             );
         } else {
@@ -563,7 +624,8 @@ fn full_unpack(
                     } else {
                         full_pump(sim, stw2);
                     }
-                });
+                })
+                .expect("sm ack channel");
             },
         );
     } else {

@@ -13,6 +13,15 @@ pub enum MpiError {
     Type(datatype::TypeError),
     /// Memory subsystem failure (bad buffer, OOM).
     Mem(String),
+    /// Transport failure below the protocol layer (no channel between
+    /// the ranks, link torn down).
+    Net(netsim::NetError),
+    /// An injected fault permanently took out a capability and no
+    /// fallback path remained, or the retry/timeout budget ran out.
+    Faulted(String),
+    /// The simulation drained with requests still incomplete — an
+    /// unmatched rendezvous or a protocol deadlock.
+    Stalled,
 }
 
 impl fmt::Display for MpiError {
@@ -20,6 +29,11 @@ impl fmt::Display for MpiError {
         match self {
             MpiError::Type(e) => write!(f, "datatype error: {e}"),
             MpiError::Mem(e) => write!(f, "memory error: {e}"),
+            MpiError::Net(e) => write!(f, "network error: {e}"),
+            MpiError::Faulted(e) => write!(f, "fault: {e}"),
+            MpiError::Stalled => {
+                write!(f, "simulation drained with incomplete requests (deadlock?)")
+            }
         }
     }
 }
@@ -29,6 +43,12 @@ impl std::error::Error for MpiError {}
 impl From<datatype::TypeError> for MpiError {
     fn from(e: datatype::TypeError) -> Self {
         MpiError::Type(e)
+    }
+}
+
+impl From<netsim::NetError> for MpiError {
+    fn from(e: netsim::NetError) -> Self {
+        MpiError::Net(e)
     }
 }
 

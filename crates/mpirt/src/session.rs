@@ -18,7 +18,7 @@
 //! let rbuf = sess.world.mem().alloc(memsim::MemSpace::Host, 2048).unwrap();
 //! let s = mpirt::isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
 //! let r = mpirt::irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
-//! mpirt::api::wait_all(&mut sess, &[s, r]);
+//! mpirt::api::wait_all(&mut sess, &[s, r]).unwrap();
 //! let metrics = sess.finish();
 //! assert_eq!(metrics.counter("mpi.delivered.bytes"), 2048);
 //! ```
@@ -301,7 +301,7 @@ mod tests {
         let rbuf = sess.world.mem().alloc(MemSpace::Host, 40_000).unwrap();
         let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
         let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
-        wait_all(&mut sess, &[s, r]);
+        wait_all(&mut sess, &[s, r]).unwrap();
         let metrics = sess.finish();
         assert_eq!(metrics.counter("mpi.delivered.bytes"), 40_000);
         assert!(metrics.makespan > simcore::SimTime::ZERO);
@@ -320,7 +320,7 @@ mod tests {
         let rbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
         let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
         let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
-        wait_all(&mut sess, &[s, r]);
+        wait_all(&mut sess, &[s, r]).unwrap();
         sess.finish();
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -355,7 +355,7 @@ mod tests {
         for _ in 0..2 {
             let s = isend(&mut sess, SendArgs::new(0, 1, b0, &ty, 1));
             let r = irecv(&mut sess, RecvArgs::new(1, 0, b1, &ty, 1));
-            wait_all(&mut sess, &[s, r]);
+            wait_all(&mut sess, &[s, r]).unwrap();
         }
         let m = sess.finish();
         assert!(
@@ -380,7 +380,7 @@ mod tests {
         let rbuf = sess.world.mem().alloc(MemSpace::Host, 512).unwrap();
         let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &ty, 1));
         let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &ty, 1));
-        wait_all(&mut sess, &[s, r]);
+        wait_all(&mut sess, &[s, r]).unwrap();
         let m = sess.metrics();
         assert_eq!(m.counter("mpi.delivered.bytes"), 512);
         assert_eq!(

@@ -6,6 +6,7 @@ use crate::config::MpiConfig;
 use crate::connection::{IbConn, SmConn};
 use crate::matcher::Matcher;
 use devengine::DevCache;
+use faultsim::FaultSim;
 use gpusim::{GpuSystem, GpuWorld, StreamId};
 use memsim::{GpuId, Memory};
 use netsim::{ChannelKind, ClusterWorld, NetSystem, NetWorld};
@@ -48,6 +49,14 @@ pub struct MpiState {
     /// Fragment/ring-depth decisions from the protocol auto-tuner,
     /// cached per (canonical layouts, message size, path class).
     pub tuned_shapes: HashMap<crate::tuner::TuneKey, (u64, usize)>,
+    /// Runtime health of the CUDA IPC path. Flipped off when fault
+    /// injection reports a permanent loss of the IPC capability, which
+    /// steers every later same-node GPU transfer to copy-in/copy-out.
+    pub ipc_runtime_ok: bool,
+    /// Runtime health of the zero-copy (mapped pinned host) path;
+    /// flipped off on permanent pinned-registration loss, which demotes
+    /// the copy-in/out protocol to its explicitly staged variant.
+    pub zero_copy_runtime_ok: bool,
 }
 
 /// The complete world: hardware + runtime.
@@ -61,6 +70,7 @@ impl MpiWorld {
     /// rank pair: shared memory within a node, InfiniBand across nodes.
     pub fn new(specs: &[RankSpec], gpu_count: u32, config: MpiConfig) -> MpiWorld {
         let mut cluster = ClusterWorld::new(gpu_count);
+        cluster.faults = FaultSim::from_plan(config.fault_plan.clone());
         let mut ranks = Vec::with_capacity(specs.len());
         for (i, s) in specs.iter().enumerate() {
             assert!(
@@ -98,6 +108,8 @@ impl MpiWorld {
                 sm_conns: HashMap::new(),
                 ib_conns: HashMap::new(),
                 tuned_shapes: HashMap::new(),
+                ipc_runtime_ok: true,
+                zero_copy_runtime_ok: true,
             },
         }
     }
@@ -182,6 +194,9 @@ impl GpuWorld for MpiWorld {
     }
     fn cpu(&mut self, rank: usize) -> &mut FifoResource {
         self.cluster.cpu(rank)
+    }
+    fn faults(&mut self) -> &mut FaultSim {
+        &mut self.cluster.faults
     }
 }
 

@@ -7,7 +7,10 @@
 //! needs it. In the simulation the "callback reference" is a Rust
 //! closure delivered with the message.
 
+use crate::channel::NetError;
 use crate::world::NetWorld;
+use faultsim::{Backoff, FaultDecision, FaultOp};
+use gpusim::fault;
 use simcore::{Sim, Track};
 
 /// Fixed header size of an active message (matches the BTL fragment
@@ -16,24 +19,71 @@ pub const AM_HEADER_BYTES: u64 = 64;
 
 /// Send an active message of `payload_bytes` (plus header) from rank
 /// `from` to rank `to` on the control link; `deliver` runs on arrival.
+///
+/// Errors if no channel connects the pair. Fault charge point
+/// (`FaultOp::AmDeliver`): a transient injection drops the message on
+/// the wire and the transport retransmits it after a capped exponential
+/// backoff, so `deliver` still runs exactly once — modeling a reliable
+/// transport over a lossy wire. Degradation windows scale the wire time.
 pub fn send_am<W: NetWorld>(
     sim: &mut Sim<W>,
     from: usize,
     to: usize,
     payload_bytes: u64,
     deliver: impl FnOnce(&mut Sim<W>) + 'static,
+) -> Result<(), NetError> {
+    sim.world.net().try_channel(from, to)?;
+    send_am_attempt(
+        sim,
+        from,
+        to,
+        payload_bytes,
+        fault::default_backoff(),
+        deliver,
+    );
+    Ok(())
+}
+
+fn send_am_attempt<W: NetWorld>(
+    sim: &mut Sim<W>,
+    from: usize,
+    to: usize,
+    payload_bytes: u64,
+    mut backoff: Backoff,
+    deliver: impl FnOnce(&mut Sim<W>) + 'static,
 ) {
     let now = sim.now();
+    let factor = sim.world.faults().slowdown(FaultOp::AmDeliver, now);
+    let bytes = AM_HEADER_BYTES + payload_bytes;
+    let wire_bytes = if factor == 1.0 {
+        bytes
+    } else {
+        (bytes as f64 * factor) as u64
+    };
     let arrive = {
+        // Existence was checked on the first attempt; mid-retransmit the
+        // channel is an invariant.
         let ch = sim.world.net().channel_mut(from, to);
-        ch.ctrl.reserve(now, AM_HEADER_BYTES + payload_bytes)
+        ch.ctrl.reserve(now, wire_bytes)
     };
     let track = Track::LinkCtrl {
         from: from as u32,
         to: to as u32,
     };
     sim.trace.span_at(now, arrive, "netsim", "am", track);
+    let verdict = fault::fault_roll(sim, FaultOp::AmDeliver);
     sim.schedule_at(arrive, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::AmDeliver, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::AmDeliver);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                send_am_attempt(sim, from, to, payload_bytes, backoff, deliver);
+            });
+            return;
+        }
         sim.trace
             .count("netsim.am.count", from as u32, to as u32, 1);
         sim.trace.count(
@@ -68,7 +118,8 @@ mod tests {
         let h = Rc::clone(&hit);
         send_am(&mut sim, 0, 1, 0, move |sim| {
             *h.borrow_mut() = Some(sim.now());
-        });
+        })
+        .unwrap();
         sim.run();
         let t = hit.borrow().expect("delivered");
         // 64 B over 8 GB/s (8 ns) + 400 ns latency.
@@ -83,7 +134,8 @@ mod tests {
             let o = Rc::clone(&order);
             send_am(&mut sim, 0, 1, 8_000, move |sim| {
                 o.borrow_mut().push((i, sim.now().as_nanos()));
-            });
+            })
+            .unwrap();
         }
         sim.run();
         let o = order.borrow();
@@ -100,11 +152,42 @@ mod tests {
             let ts = Rc::clone(&times);
             send_am(&mut sim, f, t, 80_000, move |sim| {
                 ts.borrow_mut().push(sim.now());
-            });
+            })
+            .unwrap();
         }
         sim.run();
         let ts = times.borrow();
         // Both should arrive at the same time (separate directions).
         assert_eq!(ts[0], ts[1]);
+    }
+
+    #[test]
+    fn unconnected_pair_is_a_typed_error() {
+        let mut sim = world();
+        let err = send_am(&mut sim, 0, 9, 0, |_| {}).unwrap_err();
+        assert_eq!(err, NetError::NoChannel { from: 0, to: 9 });
+        assert!(!sim.step(), "nothing was scheduled");
+    }
+
+    #[test]
+    fn transient_loss_retransmits_and_delivers_once() {
+        use faultsim::{FaultKind, FaultPlan, FaultSim};
+        let mut sim = world();
+        // Drop the first two transmissions, then let it through.
+        let plan = FaultPlan::empty().with_seed(7).with_rule(
+            Some(FaultOp::AmDeliver),
+            FaultKind::Transient,
+            1.0,
+        );
+        let mut plan = plan;
+        plan.rules[0].max_injections = Some(2);
+        sim.world.faults = FaultSim::from_plan(plan);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        send_am(&mut sim, 0, 1, 0, move |_| *h.borrow_mut() += 1).unwrap();
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 1, "delivered exactly once");
+        // Three wire trips plus two backoff delays.
+        assert!(end > SimTime::from_nanos(3 * 408));
     }
 }

@@ -2,6 +2,26 @@
 
 use simcore::{Bandwidth, FifoResource, SimTime};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed network errors, surfaced to the protocol layer instead of the
+/// historical panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No channel exists between the two ranks (never connected, or the
+    /// pair was disconnected mid-run).
+    NoChannel { from: usize, to: usize },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoChannel { from, to } => write!(f, "no channel {from} -> {to}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// One direction of a physical link: bandwidth, latency and FIFO
 /// occupancy on the virtual timeline.
@@ -97,16 +117,37 @@ impl NetSystem {
         self.channels.insert((b, a), Channel::new(kind));
     }
 
-    pub fn channel(&self, from: usize, to: usize) -> &Channel {
+    /// Fallible lookup; protocol code uses this and converts the error
+    /// into its own typed failure instead of crashing the run.
+    pub fn try_channel(&self, from: usize, to: usize) -> Result<&Channel, NetError> {
         self.channels
             .get(&(from, to))
-            .unwrap_or_else(|| panic!("no channel {from} -> {to}"))
+            .ok_or(NetError::NoChannel { from, to })
+    }
+
+    pub fn try_channel_mut(&mut self, from: usize, to: usize) -> Result<&mut Channel, NetError> {
+        self.channels
+            .get_mut(&(from, to))
+            .ok_or(NetError::NoChannel { from, to })
+    }
+
+    /// Infallible lookup for call sites where the channel's existence is
+    /// an established invariant (e.g. mid-transfer, after the rendezvous
+    /// handshake already crossed it).
+    pub fn channel(&self, from: usize, to: usize) -> &Channel {
+        self.try_channel(from, to).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn channel_mut(&mut self, from: usize, to: usize) -> &mut Channel {
-        self.channels
-            .get_mut(&(from, to))
-            .unwrap_or_else(|| panic!("no channel {from} -> {to}"))
+        self.try_channel_mut(from, to)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Tear down both directions of a connection (fault-injection /
+    /// chaos tooling: models a pair losing connectivity mid-run).
+    pub fn disconnect(&mut self, a: usize, b: usize) {
+        self.channels.remove(&(a, b));
+        self.channels.remove(&(b, a));
     }
 
     pub fn kind(&self, from: usize, to: usize) -> ChannelKind {
@@ -160,5 +201,31 @@ mod tests {
     fn missing_channel_panics() {
         let n = NetSystem::new();
         let _ = n.channel(0, 1);
+    }
+
+    #[test]
+    fn missing_channel_is_a_typed_error() {
+        let mut n = NetSystem::new();
+        assert_eq!(
+            n.try_channel(0, 1).err(),
+            Some(NetError::NoChannel { from: 0, to: 1 })
+        );
+        assert_eq!(
+            n.try_channel_mut(2, 3).err(),
+            Some(NetError::NoChannel { from: 2, to: 3 })
+        );
+        n.connect(0, 1, ChannelKind::SharedMemory);
+        assert!(n.try_channel(0, 1).is_ok());
+        assert!(n.try_channel_mut(1, 0).is_ok());
+    }
+
+    #[test]
+    fn disconnect_removes_both_directions() {
+        let mut n = NetSystem::new();
+        n.connect(0, 1, ChannelKind::InfiniBand);
+        n.disconnect(1, 0);
+        assert!(!n.is_connected(0, 1));
+        assert!(!n.is_connected(1, 0));
+        assert!(n.try_channel(0, 1).is_err());
     }
 }

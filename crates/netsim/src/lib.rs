@@ -21,6 +21,6 @@ pub mod rdma;
 pub mod world;
 
 pub use am::send_am;
-pub use channel::{Channel, ChannelKind, Link, NetSystem};
+pub use channel::{Channel, ChannelKind, Link, NetError, NetSystem};
 pub use rdma::{ensure_registered, rdma_get, rdma_put};
 pub use world::{ClusterWorld, NetWorld};

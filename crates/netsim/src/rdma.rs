@@ -9,12 +9,17 @@
 //! registering the RDMA fragments" (§4.1).
 
 use crate::world::NetWorld;
+use faultsim::{Backoff, FaultDecision, FaultOp};
+use gpusim::fault;
 use memsim::{MemError, Ptr, Registration};
 use simcore::{Sim, Track};
 
 /// Ensure `ptr` is registered for RDMA. On a cache hit `done` runs
 /// immediately; on a miss the registration cost is charged on the
 /// caller's CPU first (pinning is a blocking syscall).
+///
+/// Fault charge point (`FaultOp::RdmaRegister`): transient injections
+/// re-charge the pinning syscall after a capped backoff.
 pub fn ensure_registered<W: NetWorld>(
     sim: &mut Sim<W>,
     rank: usize,
@@ -30,7 +35,18 @@ pub fn ensure_registered<W: NetWorld>(
         done(sim);
         return;
     }
+    register_attempt(sim, rank, ptr, fault::default_backoff(), done);
+}
+
+fn register_attempt<W: NetWorld>(
+    sim: &mut Sim<W>,
+    rank: usize,
+    ptr: Ptr,
+    mut backoff: Backoff,
+    done: impl FnOnce(&mut Sim<W>) + 'static,
+) {
     let cost = sim.world.net().registration_cost;
+    let cost = fault::fault_scaled(sim, FaultOp::RdmaRegister, cost);
     let now = sim.now();
     let (start, end) = sim.world.cpu(rank).reserve(now, cost);
     sim.trace.span_at(
@@ -40,7 +56,19 @@ pub fn ensure_registered<W: NetWorld>(
         "rdma-register",
         Track::Cpu { rank: rank as u32 },
     );
+    let verdict = fault::fault_roll(sim, FaultOp::RdmaRegister);
     sim.schedule_at(end, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::RdmaRegister, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::RdmaRegister);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                register_attempt(sim, rank, ptr, backoff, done);
+            });
+            return;
+        }
         sim.world.mem().registry.register(ptr, Registration::Rdma);
         done(sim);
     });
@@ -62,6 +90,10 @@ fn check_host(ptr: Ptr) -> Result<(), MemError> {
 /// One-sided GET: `local` pulls `len` bytes from `remote`'s registered
 /// buffer into its own registered buffer. Charges the data link from
 /// the remote side toward the local side; bytes move at completion.
+///
+/// Fault charge point (`FaultOp::RdmaGet`): transient injections
+/// re-issue the work request after a capped backoff; degradation windows
+/// stretch the wire occupancy.
 #[allow(clippy::too_many_arguments)]
 pub fn rdma_get<W: NetWorld>(
     sim: &mut Sim<W>,
@@ -84,33 +116,22 @@ pub fn rdma_get<W: NetWorld>(
         .registry
         .require(local_dst, Registration::Rdma)
         .expect("local RDMA buffer not registered");
-    let now = sim.now();
-    let arrive = {
-        let ch = sim.world.net().channel_mut(remote_rank, local_rank);
-        ch.data.reserve(now, len)
-    };
-    let track = Track::LinkData {
-        from: remote_rank as u32,
-        to: local_rank as u32,
-    };
-    sim.trace.span_at(now, arrive, "netsim", "rdma-get", track);
-    sim.schedule_at(arrive, move |sim| {
-        sim.world
-            .mem()
-            .copy(remote_src, local_dst, len)
-            .expect("rdma_get copy");
-        sim.trace.count(
-            "netsim.rdma.bytes",
-            remote_rank as u32,
-            local_rank as u32,
-            len,
-        );
-        done(sim);
-    });
+    one_sided_attempt(
+        sim,
+        OneSided::Get,
+        remote_rank,
+        local_rank,
+        remote_src,
+        local_dst,
+        len,
+        fault::default_backoff(),
+        done,
+    );
 }
 
 /// One-sided PUT: push `len` bytes from the local registered buffer to
-/// the remote registered buffer.
+/// the remote registered buffer. Fault charge point (`FaultOp::RdmaPut`),
+/// same retry/degradation semantics as [`rdma_get`].
 #[allow(clippy::too_many_arguments)]
 pub fn rdma_put<W: NetWorld>(
     sim: &mut Sim<W>,
@@ -133,27 +154,90 @@ pub fn rdma_put<W: NetWorld>(
         .registry
         .require(remote_dst, Registration::Rdma)
         .expect("remote RDMA buffer not registered");
+    one_sided_attempt(
+        sim,
+        OneSided::Put,
+        local_rank,
+        remote_rank,
+        local_src,
+        remote_dst,
+        len,
+        fault::default_backoff(),
+        done,
+    );
+}
+
+#[derive(Clone, Copy)]
+enum OneSided {
+    Get,
+    Put,
+}
+
+impl OneSided {
+    fn op(self) -> FaultOp {
+        match self {
+            OneSided::Get => FaultOp::RdmaGet,
+            OneSided::Put => FaultOp::RdmaPut,
+        }
+    }
+    fn span_name(self) -> &'static str {
+        match self {
+            OneSided::Get => "rdma-get",
+            OneSided::Put => "rdma-put",
+        }
+    }
+}
+
+/// Shared engine for get/put: the wire always runs `from -> to` (the
+/// direction the payload moves), `src`/`dst` are already validated.
+#[allow(clippy::too_many_arguments)]
+fn one_sided_attempt<W: NetWorld>(
+    sim: &mut Sim<W>,
+    which: OneSided,
+    from: usize,
+    to: usize,
+    src: Ptr,
+    dst: Ptr,
+    len: u64,
+    mut backoff: Backoff,
+    done: impl FnOnce(&mut Sim<W>) + 'static,
+) {
     let now = sim.now();
+    let factor = sim.world.faults().slowdown(which.op(), now);
+    let wire_bytes = if factor == 1.0 {
+        len
+    } else {
+        (len as f64 * factor) as u64
+    };
     let arrive = {
-        let ch = sim.world.net().channel_mut(local_rank, remote_rank);
-        ch.data.reserve(now, len)
+        let ch = sim.world.net().channel_mut(from, to);
+        ch.data.reserve(now, wire_bytes)
     };
     let track = Track::LinkData {
-        from: local_rank as u32,
-        to: remote_rank as u32,
+        from: from as u32,
+        to: to as u32,
     };
-    sim.trace.span_at(now, arrive, "netsim", "rdma-put", track);
+    sim.trace
+        .span_at(now, arrive, "netsim", which.span_name(), track);
+    let verdict = fault::fault_roll(sim, which.op());
     sim.schedule_at(arrive, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(which.op(), backoff.attempts());
+            }
+            fault::count_retry(sim, which.op());
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                one_sided_attempt(sim, which, from, to, src, dst, len, backoff, done);
+            });
+            return;
+        }
         sim.world
             .mem()
-            .copy(local_src, remote_dst, len)
-            .expect("rdma_put copy");
-        sim.trace.count(
-            "netsim.rdma.bytes",
-            local_rank as u32,
-            remote_rank as u32,
-            len,
-        );
+            .copy(src, dst, len)
+            .expect("one-sided RDMA copy");
+        sim.trace
+            .count("netsim.rdma.bytes", from as u32, to as u32, len);
         done(sim);
     });
 }

@@ -2,6 +2,7 @@
 //! GPUs + network.
 
 use crate::channel::NetSystem;
+use faultsim::FaultSim;
 use gpusim::{GpuSpec, GpuSystem, GpuWorld, NodeTopology};
 use memsim::Memory;
 use simcore::FifoResource;
@@ -20,6 +21,7 @@ pub struct ClusterWorld {
     pub gpu_system: GpuSystem,
     pub net_system: NetSystem,
     pub cpus: Vec<FifoResource>,
+    pub faults: FaultSim,
 }
 
 impl ClusterWorld {
@@ -31,6 +33,7 @@ impl ClusterWorld {
             gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
             net_system: NetSystem::new(),
             cpus: Vec::new(),
+            faults: FaultSim::disabled(),
         }
     }
 }
@@ -53,6 +56,9 @@ impl GpuWorld for ClusterWorld {
             self.cpus.resize_with(rank + 1, FifoResource::new);
         }
         &mut self.cpus[rank]
+    }
+    fn faults(&mut self) -> &mut FaultSim {
+        &mut self.faults
     }
 }
 

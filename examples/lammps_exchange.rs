@@ -74,7 +74,7 @@ fn main() {
         let t0 = sess.now();
         let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, &send_ty, 1).tag(step));
         let rv = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, &recv_ty, 1).tag(step));
-        wait_all(&mut sess, &[s, rv]);
+        wait_all(&mut sess, &[s, rv]).expect("exchange failed");
         println!("step {step}: exchange took {}", sess.now() - t0);
     }
 

@@ -60,7 +60,7 @@ fn main() {
         &mut sess,
         RecvArgs::new(1, 0, rbuf.add(base as u64), &ty, 1).tag(42),
     );
-    wait_all(&mut sess, &[s.clone(), r.clone()]);
+    wait_all(&mut sess, &[s.clone(), r.clone()]).expect("transfer failed");
 
     // 5. Verify: the received packed stream equals the sent one.
     let got = sess

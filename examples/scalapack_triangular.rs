@@ -57,7 +57,7 @@ fn main() {
         let t0 = sess.now();
         let s = isend(sess, SendArgs::new(0, 1, sbuf, &ty, 1).tag(tag));
         let r = irecv(sess, RecvArgs::new(1, 0, rbuf, &ty, 1).tag(tag));
-        wait_all(sess, &[s, r]);
+        wait_all(sess, &[s, r]).expect("transfer failed");
         sess.now() - t0
     };
 

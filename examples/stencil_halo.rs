@@ -90,7 +90,7 @@ fn main() {
             &mut sess,
             RecvArgs::new(0, 1, tiles[0].buf.add(tiles[0].idx(n + 1, 1)), &row_ty, 1).tag(2),
         ));
-        wait_all(&mut sess, &reqs);
+        wait_all(&mut sess, &reqs).expect("halo exchange failed");
         let dt = sess.now() - t0;
         if it > 0 {
             per_iter.push(dt);

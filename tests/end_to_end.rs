@@ -58,7 +58,7 @@ fn roundtrip(mut sim: Sim<MpiWorld>, ty: &DataType, count: u64, s_dev: bool, r_d
             buf: rbuf,
         },
     );
-    wait_all(&mut sim, &[s, r]);
+    wait_all(&mut sim, &[s, r]).expect("transfer failed");
     let got_buf = sim
         .world
         .mem()
@@ -188,7 +188,7 @@ fn reshape_transfers() {
                     buf: rbuf,
                 },
             );
-            wait_all(&mut sim, &[s, r]);
+            wait_all(&mut sim, &[s, r]).expect("transfer failed");
             let got_buf = sim
                 .world
                 .mem()
@@ -254,7 +254,7 @@ fn multiple_concurrent_messages() {
             ));
         }
     }
-    wait_all(&mut sim, &reqs);
+    wait_all(&mut sim, &reqs).expect("transfers failed");
     assert_eq!(sim.trace.counter("mpi.delivered.bytes"), 4 * t.size());
     for (sbytes, sbase, rbuf, rbase, rlen) in bufs {
         let got_buf = sim
@@ -299,7 +299,7 @@ fn repeated_transfers_stay_correct() {
                 buf: rbuf,
             },
         );
-        wait_all(&mut sim, &[s, r]);
+        wait_all(&mut sim, &[s, r]).expect("transfer failed");
     }
     let got_buf = sim
         .world

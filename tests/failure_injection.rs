@@ -133,8 +133,7 @@ fn rdma_to_unregistered_memory_panics() {
 }
 
 #[test]
-#[should_panic(expected = "deadlock")]
-fn unmatched_rendezvous_is_detected_as_deadlock() {
+fn unmatched_rendezvous_is_detected_as_stall() {
     let mut sim = world();
     let t = DataType::contiguous(100_000, &DataType::double())
         .unwrap()
@@ -152,8 +151,9 @@ fn unmatched_rendezvous_is_detected_as_deadlock() {
         },
     );
     // No matching receive: wait_all must detect the stall rather than
-    // spin forever.
-    mpirt::api::wait_all(&mut sim, &[s]);
+    // spin forever — and report it as a typed error, not a panic.
+    let err = mpirt::api::wait_all(&mut sim, &[s]).unwrap_err();
+    assert_eq!(err, MpiError::Stalled);
 }
 
 #[test]

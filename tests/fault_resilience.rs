@@ -1,0 +1,258 @@
+//! Fault-injection resilience properties.
+//!
+//! Three guarantees, exercised end to end through the MPI runtime:
+//!
+//! 1. A schedule of *retriable* faults (transient AM drops, copy/kernel
+//!    hiccups, IPC-open and registration failures) never corrupts or
+//!    loses data — delivery is byte-identical to a fault-free run on
+//!    every path class (shared-memory IPC, zero-copy RDMA, staged
+//!    copy-in/copy-out).
+//! 2. *Permanent* capability loss renegotiates the path: IPC loss
+//!    demotes SmIpc to copy-in/copy-out, pinned-registration loss
+//!    demotes zero-copy to the staged pipeline — in both cases the
+//!    transfer still completes with the exact bytes the fallback path
+//!    would have delivered, and the demotion is visible in metrics.
+//! 3. An armed-but-silent fault plan (`fault.injected == 0`) leaves the
+//!    simulation bit-identical to one with no plan at all: same
+//!    makespan, same counters.
+
+use datatype::testutil::{buffer_span, pattern, reference_pack};
+use datatype::DataType;
+use faultsim::{counters, FaultKind, FaultOp, FaultPlan};
+use gpusim::GpuWorld as _;
+use memsim::{MemSpace, Ptr};
+use mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
+use mpirt::{MpiConfig, Session};
+use simcore::Metrics;
+
+/// A strided vector large enough to take the rendezvous pipeline
+/// (well above the 64 KiB eager limit): 512 blocks of 64 doubles.
+fn big_vec() -> DataType {
+    DataType::vector(512, 64, 128, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+/// Allocate + optionally fill a typed buffer for `rank`.
+fn alloc_typed(
+    sess: &mut Session,
+    rank: usize,
+    ty: &DataType,
+    device: bool,
+    fill: bool,
+) -> (Ptr, Vec<u8>, i64, u64) {
+    let (base, len) = buffer_span(ty, 1);
+    let space = if device {
+        MemSpace::Device(sess.world.mpi.ranks[rank].gpu)
+    } else {
+        MemSpace::Host
+    };
+    let buf = sess.world.mem().alloc(space, len.max(1) as u64).unwrap();
+    let bytes = if fill { pattern(len) } else { vec![0u8; len] };
+    sess.world.mem().write(buf, &bytes).unwrap();
+    (buf.add(base as u64), bytes, base, len as u64)
+}
+
+/// Run one typed transfer rank 0 → rank 1, assert it matches the
+/// reference pack of the sent pattern, and return the delivered packed
+/// stream for cross-run comparison.
+fn deliver(sess: &mut Session, ty: &DataType, device: bool) -> Vec<u8> {
+    let (sbuf, sbytes, sbase, _) = alloc_typed(sess, 0, ty, device, true);
+    let (rbuf, _, rbase, rlen) = alloc_typed(sess, 1, ty, device, false);
+    let s = isend(
+        sess,
+        SendArgs {
+            from: 0,
+            to: 1,
+            tag: 7,
+            ty: ty.clone(),
+            count: 1,
+            buf: sbuf,
+        },
+    );
+    let r = irecv(
+        sess,
+        RecvArgs {
+            rank: 1,
+            src: Some(0),
+            tag: Some(7),
+            ty: ty.clone(),
+            count: 1,
+            buf: rbuf,
+        },
+    );
+    wait_all(sess, &[s, r]).expect("transfer failed");
+    let expect = reference_pack(ty, 1, &sbytes, sbase);
+    let got_buf = sess
+        .world
+        .mem()
+        .read_vec(Ptr { offset: 0, ..rbuf }, rlen)
+        .unwrap();
+    let got = reference_pack(ty, 1, &got_buf, rbase);
+    assert_eq!(got, expect, "payload mismatch");
+    got
+}
+
+/// Every fault a rule like this can inject is retriable.
+fn retriable_plan(seed: u64) -> FaultPlan {
+    FaultPlan::empty()
+        .with_seed(seed)
+        .with_rule(None, FaultKind::Transient, 0.3)
+}
+
+#[derive(Clone, Copy)]
+enum Path {
+    SmIpc,
+    ZeroCopy,
+    CopyInOut,
+}
+
+fn session_for(path: Path, plan: FaultPlan) -> Session {
+    let config = MpiConfig {
+        fault_plan: plan,
+        zero_copy: !matches!(path, Path::CopyInOut),
+        ..Default::default()
+    };
+    let b = Session::builder().config(config);
+    match path {
+        Path::SmIpc => b.two_ranks_two_gpus(),
+        Path::ZeroCopy | Path::CopyInOut => b.two_ranks_ib(),
+    }
+    .build()
+}
+
+/// Property: a retriable-only fault schedule delivers byte-identical
+/// data on a given path class, and faults actually fired.
+fn check_retriable(path: Path, seed: u64) {
+    let ty = big_vec();
+    let clean = deliver(&mut session_for(path, FaultPlan::empty()), &ty, true);
+    let mut faulted = session_for(path, retriable_plan(seed));
+    let got = deliver(&mut faulted, &ty, true);
+    assert_eq!(got, clean, "retriable faults must not alter delivery");
+    let m = faulted.metrics();
+    assert!(
+        m.counter(counters::FAULT_INJECTED) > 0,
+        "schedule injected nothing — test is vacuous"
+    );
+}
+
+#[test]
+fn retriable_schedule_is_lossless_on_sm_ipc() {
+    check_retriable(Path::SmIpc, 42);
+}
+
+#[test]
+fn retriable_schedule_is_lossless_on_zero_copy() {
+    check_retriable(Path::ZeroCopy, 43);
+}
+
+#[test]
+fn retriable_schedule_is_lossless_on_copy_in_out() {
+    check_retriable(Path::CopyInOut, 44);
+}
+
+#[test]
+fn permanent_ipc_loss_renegotiates_to_copy_in_out() {
+    let ty = big_vec();
+    // Reference: the same transfer on a world configured for staged
+    // copy-in/copy-out from the start.
+    let config = MpiConfig {
+        use_ipc: false,
+        ..Default::default()
+    };
+    let mut staged = Session::builder()
+        .config(config)
+        .two_ranks_two_gpus()
+        .build();
+    let want = deliver(&mut staged, &ty, true);
+
+    // Faulted: IPC handle opens permanently fail; the SmIpc handshake
+    // must give up and replay the transfer over copy-in/copy-out.
+    let plan = FaultPlan::empty().with_seed(3).with_rule(
+        Some(FaultOp::IpcOpen),
+        FaultKind::PermanentLoss,
+        1.0,
+    );
+    let config = MpiConfig {
+        fault_plan: plan,
+        ..Default::default()
+    };
+    let mut faulted = Session::builder()
+        .config(config)
+        .two_ranks_two_gpus()
+        .build();
+    let got = deliver(&mut faulted, &ty, true);
+    assert_eq!(got, want, "renegotiated path must deliver the same bytes");
+    assert!(
+        !faulted.world.mpi.ipc_runtime_ok,
+        "permanent IPC loss must stick"
+    );
+    let fallbacks = faulted.metrics().counter(counters::FALLBACK_EVENTS);
+    assert!(fallbacks >= 1, "demotion must be metered");
+
+    // The demotion is sticky: a second transfer routes straight to
+    // copy-in/copy-out without another failed handshake.
+    deliver(&mut faulted, &ty, true);
+    assert_eq!(
+        faulted.metrics().counter(counters::FALLBACK_EVENTS),
+        fallbacks,
+        "second transfer must not renegotiate again"
+    );
+}
+
+#[test]
+fn permanent_pin_loss_demotes_zero_copy_to_staged() {
+    let ty = big_vec();
+    let config = MpiConfig {
+        zero_copy: false,
+        ..Default::default()
+    };
+    let mut staged = Session::builder().config(config).two_ranks_ib().build();
+    let want = deliver(&mut staged, &ty, true);
+
+    let plan = FaultPlan::empty().with_seed(5).with_rule(
+        Some(FaultOp::PinnedRegister),
+        FaultKind::PermanentLoss,
+        1.0,
+    );
+    let config = MpiConfig {
+        fault_plan: plan,
+        ..Default::default()
+    };
+    let mut faulted = Session::builder().config(config).two_ranks_ib().build();
+    let got = deliver(&mut faulted, &ty, true);
+    assert_eq!(got, want, "staged fallback must deliver the same bytes");
+    assert!(!faulted.world.mpi.zero_copy_runtime_ok);
+    assert!(faulted.metrics().counter(counters::FALLBACK_EVENTS) >= 1);
+}
+
+/// Run one recorded transfer under `plan` and return the session's
+/// final metrics.
+fn metrics_under(plan: FaultPlan) -> Metrics {
+    let config = MpiConfig {
+        fault_plan: plan,
+        ..Default::default()
+    };
+    let mut sess = Session::builder()
+        .config(config)
+        .two_ranks_two_gpus()
+        .record()
+        .build();
+    deliver(&mut sess, &big_vec(), true);
+    sess.finish()
+}
+
+#[test]
+fn silent_plan_is_invisible_in_trace_and_metrics() {
+    // An armed engine whose rules can never fire: the rolls happen but
+    // `fault.injected` stays zero — and that must imply the run is
+    // indistinguishable from one with no plan at all.
+    let silent = FaultPlan::empty()
+        .with_seed(9)
+        .with_rule(None, FaultKind::Transient, 0.0);
+    let armed = metrics_under(silent);
+    let off = metrics_under(FaultPlan::empty());
+    assert_eq!(armed.counter(counters::FAULT_INJECTED), 0);
+    assert_eq!(armed.makespan, off.makespan, "idle faultsim cost time");
+    assert_eq!(armed.counters, off.counters, "idle faultsim left a trace");
+}

@@ -92,7 +92,7 @@ fn non_overtaking_order() {
             buf: rb2,
         },
     );
-    wait_all(&mut sim, &[s1, s2, r1.clone(), r2.clone()]);
+    wait_all(&mut sim, &[s1, s2, r1.clone(), r2.clone()]).expect("transfers failed");
     assert_eq!(
         r1.expect_bytes(),
         big.size(),
@@ -150,7 +150,7 @@ fn partial_receive_into_larger_type() {
             buf: rbuf.add(rbase as u64),
         },
     );
-    wait_all(&mut sim, &[s, r.clone()]);
+    wait_all(&mut sim, &[s, r.clone()]).expect("transfer failed");
     assert_eq!(r.expect_bytes(), send_ty.size());
 
     // The received prefix, viewed through the recv type, equals the
@@ -196,7 +196,7 @@ fn multi_count_gpu_rendezvous() {
             buf: rbuf.add(base as u64),
         },
     );
-    wait_all(&mut sim, &[s, r]);
+    wait_all(&mut sim, &[s, r]).expect("transfer failed");
     let got = sim.world.mem().read_vec(rbuf, len as u64).unwrap();
     assert_eq!(
         reference_pack(&ty, count, &got, base),
@@ -282,7 +282,7 @@ fn any_source_rendezvous() {
             buf: rb.add(ty.size()),
         },
     );
-    wait_all(&mut sim, &[s0, s1, r0, r1]);
+    wait_all(&mut sim, &[s0, s1, r0, r1]).expect("transfers failed");
     let a = sim.world.mem().read_vec(rb, 1).unwrap()[0];
     let b = sim.world.mem().read_vec(rb.add(ty.size()), 1).unwrap()[0];
     let mut got = [a, b];
@@ -452,5 +452,5 @@ fn fan_out_to_two_peers() {
             },
         ),
     ];
-    wait_all(&mut sim, &reqs);
+    wait_all(&mut sim, &reqs).expect("transfers failed");
 }
