@@ -17,7 +17,7 @@
 
 use crate::dev::{build_plan_opt, DevPlan};
 use datatype::{DataType, TypeError};
-use std::collections::HashMap;
+use simcore::hash::DetHashMap;
 use std::rc::Rc;
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -56,7 +56,7 @@ const DEFAULT_MAX_ENTRIES: usize = 256;
 
 /// LRU cache of materialized [`DevPlan`]s.
 pub struct DevCache {
-    map: HashMap<Key, (Rc<DevPlan>, u64)>,
+    map: DetHashMap<Key, (Rc<DevPlan>, u64)>,
     capacity_bytes: u64,
     max_entries: usize,
     used_bytes: u64,
@@ -76,7 +76,7 @@ impl DevCache {
     /// Bound both descriptor bytes and the number of cached plans.
     pub fn with_limits(capacity_bytes: u64, max_entries: usize) -> DevCache {
         DevCache {
-            map: HashMap::new(),
+            map: DetHashMap::default(),
             capacity_bytes,
             max_entries: max_entries.max(1),
             used_bytes: 0,

@@ -9,6 +9,7 @@ use datatype::{DataType, Strided2D, TypeError};
 use gpusim::{launch_transfer_kernel, GpuWorld, KernelConfig, StreamId};
 use memsim::Ptr;
 use simcore::par::CopyOp;
+use simcore::trace::names;
 use simcore::{Sim, SimTime, Track};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -114,7 +115,7 @@ impl FragmentEngine {
         // Specialized vector kernel path.
         if let Some((_, block_bytes, stride, first_disp)) = effective.vector_shape() {
             sim.trace
-                .count("devengine.source.vector", rank as u32, 0, 1);
+                .count(names::DEVENGINE_SOURCE_VECTOR, rank as u32, 0, 1);
             return Ok(FragmentEngine {
                 source: UnitSource::Vector {
                     block_bytes,
@@ -142,7 +143,7 @@ impl FragmentEngine {
         if opt.vector_dispatch {
             if let Some(shape) = effective.strided2d_shape() {
                 sim.trace
-                    .count("devengine.source.strided2d", rank as u32, 0, 1);
+                    .count(names::DEVENGINE_SOURCE_STRIDED2D, rank as u32, 0, 1);
                 return Ok(FragmentEngine {
                     source: UnitSource::Strided2D {
                         shape,
@@ -182,7 +183,8 @@ impl FragmentEngine {
                 desc_ns,
             );
             if picked != cfg.unit_size {
-                sim.trace.count("optimizer.unit.tuned", rank as u32, 0, 1);
+                sim.trace
+                    .count(names::OPTIMIZER_UNIT_TUNED, rank as u32, 0, 1);
             }
             picked
         } else {
@@ -200,26 +202,38 @@ impl FragmentEngine {
             let cpu_track = Track::Cpu { rank: rank as u32 };
             if evicted > 0 {
                 sim.trace
-                    .count("devengine.cache.evict", rank as u32, 0, evicted);
+                    .count(names::DEVENGINE_CACHE_EVICT, rank as u32, 0, evicted);
             }
             if !hit {
                 // First encounter: pay the one-time conversion.
                 let prep = prep_time(&cfg, plan.units.len());
                 let (s, e) = sim.world.cpu(rank).reserve(now, prep);
+                sim.trace.instant(
+                    now,
+                    names::CAT_DEVENGINE,
+                    names::SPAN_DEV_CACHE_MISS,
+                    cpu_track,
+                );
                 sim.trace
-                    .instant(now, "devengine", "dev-cache-miss", cpu_track);
-                sim.trace.span_at(s, e, "devengine", "prep", cpu_track);
-                sim.trace.count("devengine.cache.miss", rank as u32, 0, 1);
+                    .span_at(s, e, names::CAT_DEVENGINE, names::SPAN_PREP, cpu_track);
+                sim.trace
+                    .count(names::DEVENGINE_CACHE_MISS, rank as u32, 0, 1);
             } else {
+                sim.trace.instant(
+                    now,
+                    names::CAT_DEVENGINE,
+                    names::SPAN_DEV_CACHE_HIT,
+                    cpu_track,
+                );
                 sim.trace
-                    .instant(now, "devengine", "dev-cache-hit", cpu_track);
-                sim.trace.count("devengine.cache.hit", rank as u32, 0, 1);
+                    .count(names::DEVENGINE_CACHE_HIT, rank as u32, 0, 1);
             }
             sim.trace
-                .count("devengine.source.cached", rank as u32, 0, 1);
+                .count(names::DEVENGINE_SOURCE_CACHED, rank as u32, 0, 1);
             UnitSource::Cached { plan, pos: 0 }
         } else {
-            sim.trace.count("devengine.source.fresh", rank as u32, 0, 1);
+            sim.trace
+                .count(names::DEVENGINE_SOURCE_FRESH, rank as u32, 0, 1);
             UnitSource::Fresh(DevCursor::with_coalesce(
                 &work_ty,
                 count,
@@ -258,7 +272,8 @@ impl FragmentEngine {
                 };
                 let picked = tune::pick_pipeline_chunk(&m, cfg.pipeline_chunk);
                 if picked != cfg.pipeline_chunk {
-                    sim.trace.count("optimizer.chunk.tuned", rank as u32, 0, 1);
+                    sim.trace
+                        .count(names::OPTIMIZER_CHUNK_TUNED, rank as u32, 0, 1);
                     chunk_hint = Some(picked);
                 }
             }
@@ -427,16 +442,21 @@ impl FragmentEngine {
         let stream = self.stream;
         let rank = self.rank as u32;
         let bytes_counter = match self.dir {
-            Direction::Pack => "devengine.pack.bytes",
-            Direction::Unpack => "devengine.unpack.bytes",
+            Direction::Pack => names::DEVENGINE_PACK_BYTES,
+            Direction::Unpack => names::DEVENGINE_UNPACK_BYTES,
         };
 
         if charge_prep {
             let prep = prep_time(&self.cfg, units.len());
             let now = sim.now();
             let (s, prep_end) = sim.world.cpu(self.rank).reserve(now, prep);
-            sim.trace
-                .span_at(s, prep_end, "devengine", "prep", Track::Cpu { rank });
+            sim.trace.span_at(
+                s,
+                prep_end,
+                names::CAT_DEVENGINE,
+                names::SPAN_PREP,
+                Track::Cpu { rank },
+            );
             sim.schedule_at(prep_end, move |sim| {
                 on_prepped(sim);
                 launch_transfer_kernel(sim, stream, ksrc, kdst, units, kcfg, move |sim, _| {

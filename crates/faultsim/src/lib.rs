@@ -48,10 +48,12 @@ pub enum FaultOp {
     /// Pinned-host registration performed once per connection
     /// (`mpirt::connection::ib_connection`).
     PinnedRegister,
+    /// Staged copy-in/copy-out hop over a data link (`netsim::wire`).
+    WireCopy,
 }
 
 impl FaultOp {
-    pub const ALL: [FaultOp; 8] = [
+    pub const ALL: [FaultOp; 9] = [
         FaultOp::AmDeliver,
         FaultOp::RdmaRegister,
         FaultOp::RdmaGet,
@@ -60,6 +62,7 @@ impl FaultOp {
         FaultOp::Memcpy,
         FaultOp::IpcOpen,
         FaultOp::PinnedRegister,
+        FaultOp::WireCopy,
     ];
 
     /// Stable index, used as the counter dimension and the loss-table slot.
@@ -73,6 +76,7 @@ impl FaultOp {
             FaultOp::Memcpy => 5,
             FaultOp::IpcOpen => 6,
             FaultOp::PinnedRegister => 7,
+            FaultOp::WireCopy => 8,
         }
     }
 
@@ -87,6 +91,7 @@ impl FaultOp {
             FaultOp::Memcpy => "memcpy",
             FaultOp::IpcOpen => "ipc_open",
             FaultOp::PinnedRegister => "pin",
+            FaultOp::WireCopy => "wire",
         }
     }
 
@@ -499,13 +504,11 @@ impl Backoff {
 }
 
 /// Trace-counter names shared by every layer that meters faults.
+///
+/// Re-exported from the workspace-wide registry so the names exist in
+/// exactly one place ([`simcore::trace::names`]).
 pub mod counters {
-    /// Injections, dimensioned by `FaultOp::index()`.
-    pub const FAULT_INJECTED: &str = "fault.injected";
-    /// Retries provoked by transient faults (all layers).
-    pub const RETRY_ATTEMPTS: &str = "retry.attempts";
-    /// Protocol path renegotiations (SmIpc → CopyInOut, ZeroCopy → staged).
-    pub const FALLBACK_EVENTS: &str = "fallback.events";
+    pub use simcore::trace::names::{FALLBACK_EVENTS, FAULT_INJECTED, RETRY_ATTEMPTS};
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::system::{GpuWorld, StreamId};
 use faultsim::{Backoff, FaultDecision, FaultOp};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
+use simcore::trace::names;
 use simcore::{Sim, SimTime, Track};
 
 /// Direction of a contiguous copy, derived from the pointer spaces.
@@ -33,11 +34,11 @@ impl CopyDirection {
     /// so tests can sum per-direction traffic).
     pub fn counter(self) -> &'static str {
         match self {
-            CopyDirection::HostToHost => "gpusim.memcpy.h2h.bytes",
-            CopyDirection::HostToDevice => "gpusim.memcpy.h2d.bytes",
-            CopyDirection::DeviceToHost => "gpusim.memcpy.d2h.bytes",
-            CopyDirection::DeviceToDevice => "gpusim.memcpy.d2d.bytes",
-            CopyDirection::PeerToPeer => "gpusim.memcpy.p2p.bytes",
+            CopyDirection::HostToHost => names::GPUSIM_MEMCPY_H2H_BYTES,
+            CopyDirection::HostToDevice => names::GPUSIM_MEMCPY_H2D_BYTES,
+            CopyDirection::DeviceToHost => names::GPUSIM_MEMCPY_D2H_BYTES,
+            CopyDirection::DeviceToDevice => names::GPUSIM_MEMCPY_D2D_BYTES,
+            CopyDirection::PeerToPeer => names::GPUSIM_MEMCPY_P2P_BYTES,
         }
     }
 }
@@ -99,7 +100,8 @@ fn memcpy_attempt<W: GpuWorld>(
         gpu: stream.gpu.0,
         index: stream.index as u32,
     };
-    sim.trace.span_at(start, end, "gpusim", "memcpy", track);
+    sim.trace
+        .span_at(start, end, names::CAT_GPUSIM, names::SPAN_MEMCPY, track);
     let verdict = fault::fault_roll(sim, FaultOp::Memcpy);
     sim.schedule_at(end, move |sim| {
         if verdict.is_fault() {
@@ -217,7 +219,8 @@ fn memcpy_2d_attempt<W: GpuWorld>(
         gpu: stream.gpu.0,
         index: stream.index as u32,
     };
-    sim.trace.span_at(start, end, "gpusim", "memcpy2d", track);
+    sim.trace
+        .span_at(start, end, names::CAT_GPUSIM, names::SPAN_MEMCPY2D, track);
     let verdict = fault::fault_roll(sim, FaultOp::Memcpy);
     sim.schedule_at(end, move |sim| {
         if verdict.is_fault() {

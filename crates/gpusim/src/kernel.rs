@@ -26,6 +26,7 @@ use crate::system::{GpuWorld, StreamId};
 use faultsim::{Backoff, FaultDecision, FaultOp};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
+use simcore::trace::names;
 use simcore::{Bandwidth, Sim, SimTime, Track};
 
 /// Launch configuration for a transfer kernel.
@@ -231,8 +232,8 @@ fn launch_attempt<W: GpuWorld>(
     sim.trace.span_at(
         start,
         end,
-        "gpusim",
-        "kernel",
+        names::CAT_GPUSIM,
+        names::SPAN_KERNEL,
         Track::Stream {
             gpu: stream.gpu.0,
             index: stream.index as u32,
@@ -257,13 +258,17 @@ fn launch_attempt<W: GpuWorld>(
             .transfer(src, dst, &units)
             .expect("kernel transfer failed");
         sim.trace
-            .count("gpusim.kernel.bytes", stream.gpu.0, 0, payload);
+            .count(names::GPUSIM_KERNEL_BYTES, stream.gpu.0, 0, payload);
         // Units per launch make the optimizer's coalescing visible in
         // metrics: fewer, larger units at the same byte count.
+        sim.trace.count(
+            names::GPUSIM_KERNEL_UNITS,
+            stream.gpu.0,
+            0,
+            units.len() as u64,
+        );
         sim.trace
-            .count("gpusim.kernel.units", stream.gpu.0, 0, units.len() as u64);
-        sim.trace
-            .count("gpusim.kernel.launches", stream.gpu.0, 0, 1);
+            .count(names::GPUSIM_KERNEL_LAUNCHES, stream.gpu.0, 0, 1);
         // Unit buffers cycle back to the scratch shelf so the fragment
         // pipeline reuses a handful of allocations at steady state.
         simcore::scratch::recycle_units_buf(units);

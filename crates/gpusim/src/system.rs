@@ -4,6 +4,7 @@
 use crate::spec::{GpuSpec, NodeTopology};
 use faultsim::{FaultDecision, FaultOp, FaultSim};
 use memsim::{GpuId, IpcHandle, MemError, Memory, Ptr};
+use simcore::trace::names;
 use simcore::{Bandwidth, FifoResource, Sim, SimTime, Track};
 
 /// Identifies one stream on one GPU.
@@ -199,9 +200,14 @@ pub fn ipc_open<W: GpuWorld>(
 ) {
     let cost = sim.world.gpus_ref().topo.ipc_open_cost;
     let now = sim.now();
-    sim.trace
-        .span_at(now, now + cost, "gpusim", "ipc-open", Track::Session);
-    sim.trace.count("gpusim.ipc_open.count", 0, 0, 1);
+    sim.trace.span_at(
+        now,
+        now + cost,
+        names::CAT_GPUSIM,
+        names::SPAN_IPC_OPEN,
+        Track::Session,
+    );
+    sim.trace.count(names::GPUSIM_IPC_OPEN_COUNT, 0, 0, 1);
     let verdict = crate::fault::fault_roll(sim, FaultOp::IpcOpen);
     sim.schedule_in(cost, move |sim| {
         let res = match verdict {
@@ -224,8 +230,8 @@ pub fn stream_sync<W: GpuWorld>(
     let at = free_at.max(sim.now());
     sim.trace.instant(
         at,
-        "gpusim",
-        "stream-sync",
+        names::CAT_GPUSIM,
+        names::SPAN_STREAM_SYNC,
         Track::Stream {
             gpu: stream.gpu.0,
             index: stream.index as u32,

@@ -5,8 +5,8 @@ use crate::error::MemError;
 use crate::ptr::{AllocId, Ptr};
 use crate::registry::RegistrationTable;
 use crate::space::{GpuId, MemSpace};
+use simcore::hash::DetHashMap;
 use simcore::par::{par_copy, par_transfer, CopyOp};
-use std::collections::HashMap;
 
 /// All allocations living in one memory space.
 pub struct MemPool {
@@ -15,7 +15,7 @@ pub struct MemPool {
     used: u64,
     peak: u64,
     next_id: u64,
-    allocs: HashMap<AllocId, Box<[u8]>>,
+    allocs: DetHashMap<AllocId, Box<[u8]>>,
 }
 
 impl MemPool {
@@ -28,7 +28,7 @@ impl MemPool {
             used: 0,
             peak: 0,
             next_id: 0,
-            allocs: HashMap::new(),
+            allocs: DetHashMap::default(),
         }
     }
 

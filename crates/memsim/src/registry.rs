@@ -11,7 +11,7 @@
 use crate::error::MemError;
 use crate::ptr::{AllocId, Ptr};
 use crate::space::{GpuId, MemSpace};
-use std::collections::HashMap;
+use simcore::hash::DetHashMap;
 
 /// Kinds of registration a buffer can hold.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -39,7 +39,7 @@ pub struct IpcHandle {
 /// Tracks registrations per allocation.
 #[derive(Default)]
 pub struct RegistrationTable {
-    regs: HashMap<(MemSpace, AllocId), Vec<Registration>>,
+    regs: DetHashMap<(MemSpace, AllocId), Vec<Registration>>,
 }
 
 impl RegistrationTable {

@@ -56,12 +56,34 @@ pub struct IbConn {
     pub recv_dev: Vec<Ptr>,
 }
 
-fn ring(sim: &mut Sim<MpiWorld>, space: MemSpace, frag: u64, depth: usize) -> Vec<Ptr> {
+fn ring(
+    sim: &mut Sim<MpiWorld>,
+    space: MemSpace,
+    frag: u64,
+    depth: usize,
+) -> Result<Vec<Ptr>, MemError> {
     // One allocation per slot keeps slots maximally aligned, matching
     // cudaMalloc'd fragment buffers.
-    (0..depth)
-        .map(|_| sim.world.mem().alloc(space, frag).expect("ring alloc"))
-        .collect()
+    let mut slots = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        match sim.world.mem().alloc(space, frag) {
+            Ok(p) => slots.push(p),
+            Err(e) => {
+                free_slots(sim, slots);
+                return Err(e);
+            }
+        }
+    }
+    Ok(slots)
+}
+
+/// Release ring slots, ignoring bookkeeping failures: every pointer here
+/// came from our own `alloc`, so a failed free cannot be the root cause
+/// of whatever error is already being reported.
+fn free_slots(sim: &mut Sim<MpiWorld>, slots: Vec<Ptr>) {
+    for p in slots {
+        let _ = sim.world.mem().free(p);
+    }
 }
 
 /// Get or lazily establish the SM connection `sender -> receiver`,
@@ -81,20 +103,36 @@ pub fn sm_connection(
     }
     let frag = sim.world.mpi.config.frag_size;
     let depth = sim.world.mpi.config.pipeline_depth;
-    let s_gpu = sim.world.mpi.ranks[sender].gpu;
-    let r_gpu = sim.world.mpi.ranks[receiver].gpu;
+    let s_gpu = sim.world.rank(sender).gpu;
+    let r_gpu = sim.world.rank(receiver).gpu;
     let want_staging = sim.world.mpi.config.recv_local_staging;
 
-    let ring_slots = ring(sim, MemSpace::Device(s_gpu), frag, depth);
+    let ring_slots = match ring(sim, MemSpace::Device(s_gpu), frag, depth) {
+        Ok(v) => v,
+        Err(e) => {
+            let err = MpiError::Mem(e.to_string());
+            sim.schedule_now(move |sim| done(sim, Err(err)));
+            return;
+        }
+    };
     for &slot in &ring_slots {
-        sim.world
-            .mem()
-            .registry
-            .export_ipc(slot, frag)
-            .expect("export ring slot");
+        if let Err(e) = sim.world.mem().registry.export_ipc(slot, frag) {
+            free_slots(sim, ring_slots);
+            let err = MpiError::Mem(e.to_string());
+            sim.schedule_now(move |sim| done(sim, Err(err)));
+            return;
+        }
     }
     let staging = if want_staging && r_gpu != s_gpu {
-        Some(ring(sim, MemSpace::Device(r_gpu), frag, depth))
+        match ring(sim, MemSpace::Device(r_gpu), frag, depth) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                free_slots(sim, ring_slots);
+                let err = MpiError::Mem(e.to_string());
+                sim.schedule_now(move |sim| done(sim, Err(err)));
+                return;
+            }
+        }
     } else {
         // Same-GPU "peers" read the ring directly; staging would be a
         // pointless extra copy.
@@ -113,13 +151,21 @@ pub fn sm_connection(
 
     // Receiver maps the exported ring: one ipc_open charge for the
     // connection (handles for all slots are opened in one exchange).
-    let first = conn.borrow().ring[0];
-    let handle = sim
-        .world
-        .mem()
-        .registry
-        .export_ipc(first, frag)
-        .expect("handle");
+    let first = conn.borrow().ring.first().copied();
+    let Some(first) = first else {
+        // Zero-depth ring: degenerate configuration, nothing to map.
+        sim.schedule_now(move |sim| done(sim, Ok(conn)));
+        return;
+    };
+    let handle = match sim.world.mem().registry.export_ipc(first, frag) {
+        Ok(h) => h,
+        Err(e) => {
+            teardown_sm_connection(sim, sender, receiver, &conn);
+            let err = MpiError::Mem(e.to_string());
+            sim.schedule_now(move |sim| done(sim, Err(err)));
+            return;
+        }
+    };
     let deadline = sim.now() + HANDSHAKE_TIMEOUT;
     sm_open_attempt(
         sim,
@@ -168,28 +214,46 @@ fn sm_open_attempt(
             };
             done(sim, Err(MpiError::Faulted(why)));
         }
-        Err(e) => panic!("ipc open: {e}"),
+        Err(e) => {
+            // Unexpected bookkeeping failure (not a fault injection):
+            // tear the half-built connection down and surface it typed.
+            abandon_sm_connection(sim, sender, receiver, &conn);
+            done(sim, Err(MpiError::Mem(format!("ipc open: {e}"))));
+        }
     });
 }
 
-/// Tear down a half-established SM connection: evict it from the cache
-/// and free every ring slot (which also drops the slots' IPC exports),
-/// so a later path holds no dangling fragment-ring state.
-fn abandon_sm_connection(
+/// Evict a half-established SM connection from the cache and free every
+/// ring slot (which also drops the slots' IPC exports), so a later path
+/// holds no dangling fragment-ring state.
+fn teardown_sm_connection(
     sim: &mut Sim<MpiWorld>,
     sender: usize,
     receiver: usize,
     conn: &Rc<RefCell<SmConn>>,
 ) {
     sim.world.mpi.sm_conns.remove(&(sender, receiver));
-    sim.world.mpi.ipc_runtime_ok = false;
     let (slots, staging) = {
         let mut c = conn.borrow_mut();
         (std::mem::take(&mut c.ring), c.staging.take())
     };
-    for p in slots.into_iter().chain(staging.into_iter().flatten()) {
-        sim.world.mem().free(p).expect("free ring slot");
+    free_slots(sim, slots);
+    if let Some(st) = staging {
+        free_slots(sim, st);
     }
+}
+
+/// Tear down a half-established SM connection *and* flip the runtime IPC
+/// flag off: the capability itself is gone, so later same-node transfers
+/// renegotiate straight to copy-in/copy-out.
+fn abandon_sm_connection(
+    sim: &mut Sim<MpiWorld>,
+    sender: usize,
+    receiver: usize,
+    conn: &Rc<RefCell<SmConn>>,
+) {
+    teardown_sm_connection(sim, sender, receiver, conn);
+    sim.world.mpi.ipc_runtime_ok = false;
 }
 
 /// Open a peer's *user buffer* over IPC (for the contiguous fast paths
@@ -213,12 +277,14 @@ pub fn open_peer_buffer(
         sim.schedule_now(move |sim| done(sim, Ok(())));
         return;
     }
-    let handle = sim
-        .world
-        .mem()
-        .registry
-        .export_ipc(buf, len)
-        .expect("export user buffer");
+    let handle = match sim.world.mem().registry.export_ipc(buf, len) {
+        Ok(h) => h,
+        Err(e) => {
+            let err = MpiError::Mem(e.to_string());
+            sim.schedule_now(move |sim| done(sim, Err(err)));
+            return;
+        }
+    };
     let deadline = sim.now() + HANDSHAKE_TIMEOUT;
     peer_open_attempt(sim, buf, handle, fault::default_backoff(), deadline, done);
 }
@@ -256,7 +322,15 @@ fn peer_open_attempt(
                 ))),
             );
         }
-        Err(e) => panic!("ipc open user buffer: {e}"),
+        Err(e) => {
+            // Unexpected bookkeeping failure (not a fault injection):
+            // drop the export mark and surface it typed.
+            sim.world
+                .mem()
+                .registry
+                .unregister(buf, Registration::IpcExport);
+            done(sim, Err(MpiError::Mem(format!("ipc open: {e}"))));
+        }
     });
 }
 
@@ -272,22 +346,49 @@ pub fn ib_connection(
     sim: &mut Sim<MpiWorld>,
     sender: usize,
     receiver: usize,
-    done: impl FnOnce(&mut Sim<MpiWorld>, Rc<RefCell<IbConn>>) + 'static,
+    done: impl FnOnce(&mut Sim<MpiWorld>, Result<Rc<RefCell<IbConn>>, MpiError>) + 'static,
 ) {
     if let Some(conn) = sim.world.mpi.ib_conns.get(&(sender, receiver)) {
         let conn = Rc::clone(conn);
-        sim.schedule_now(move |sim| done(sim, conn));
+        sim.schedule_now(move |sim| done(sim, Ok(conn)));
         return;
     }
     let frag = sim.world.mpi.config.frag_size;
     let depth = sim.world.mpi.config.pipeline_depth;
-    let s_gpu = sim.world.mpi.ranks[sender].gpu;
-    let r_gpu = sim.world.mpi.ranks[receiver].gpu;
+    let s_gpu = sim.world.rank(sender).gpu;
+    let r_gpu = sim.world.rank(receiver).gpu;
 
-    let send_host = ring(sim, MemSpace::Host, frag, depth);
-    let recv_host = ring(sim, MemSpace::Host, frag, depth);
-    let send_dev = ring(sim, MemSpace::Device(s_gpu), frag, depth);
-    let recv_dev = ring(sim, MemSpace::Device(r_gpu), frag, depth);
+    // Allocate all four rings, unwinding the earlier ones if a later
+    // one fails so establishment never leaks ring slots.
+    let mut rings: Vec<Vec<Ptr>> = Vec::with_capacity(4);
+    for space in [
+        MemSpace::Host,
+        MemSpace::Host,
+        MemSpace::Device(s_gpu),
+        MemSpace::Device(r_gpu),
+    ] {
+        match ring(sim, space, frag, depth) {
+            Ok(v) => rings.push(v),
+            Err(e) => {
+                for r in rings {
+                    free_slots(sim, r);
+                }
+                let err = MpiError::Mem(e.to_string());
+                sim.schedule_now(move |sim| done(sim, Err(err)));
+                return;
+            }
+        }
+    }
+    let mut rings = rings.into_iter();
+    let (send_host, recv_host, send_dev, recv_dev) =
+        match (rings.next(), rings.next(), rings.next(), rings.next()) {
+            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+            _ => {
+                let err = MpiError::Faulted("ib ring allocation bookkeeping broke".into());
+                sim.schedule_now(move |sim| done(sim, Err(err)));
+                return;
+            }
+        };
 
     // Pin the host rings for the NIC. Registration cost is charged once
     // per side (below, through `ensure_registered`).
@@ -321,13 +422,21 @@ pub fn ib_connection(
         fault::default_backoff(),
         deadline,
         move |sim| {
-            let (first_s, first_r) = {
+            let firsts = {
                 let c = conn.borrow();
-                (c.send_host[0], c.recv_host[0])
+                c.send_host
+                    .first()
+                    .copied()
+                    .zip(c.recv_host.first().copied())
+            };
+            let Some((first_s, first_r)) = firsts else {
+                // Zero-depth ring: degenerate configuration, nothing to
+                // register.
+                return done(sim, Ok(conn));
             };
             ensure_registered(sim, sender, first_s, move |sim| {
                 ensure_registered(sim, receiver, first_r, move |sim| {
-                    done(sim, conn);
+                    done(sim, Ok(conn));
                 });
             });
         },
@@ -435,6 +544,7 @@ mod tests {
     fn ib_connection_registers_rings() {
         let mut sim = Sim::new(MpiWorld::two_ranks_ib(MpiConfig::default()));
         ib_connection(&mut sim, 0, 1, |sim, conn| {
+            let conn = conn.expect("no faults");
             let c = conn.borrow();
             assert_eq!(c.send_host.len(), c.depth);
             let p = c.send_host[0];
@@ -535,6 +645,7 @@ mod tests {
         };
         let mut sim = Sim::new(MpiWorld::two_ranks_ib(cfg));
         ib_connection(&mut sim, 0, 1, |sim, conn| {
+            let conn = conn.expect("connects without zero copy");
             let c = conn.borrow();
             assert!(!sim.world.mpi.zero_copy_runtime_ok);
             // The pinned rings are still NIC-registered, but not mapped

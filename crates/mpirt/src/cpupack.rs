@@ -10,6 +10,7 @@ use datatype::{DataType, TypeError};
 use devengine::{flip_units_in_place, DevCursor};
 use gpusim::GpuWorld;
 use memsim::Ptr;
+use simcore::trace::names;
 use simcore::{Bandwidth, Sim, SimTime, Track};
 
 /// Direction of the host conversion.
@@ -99,11 +100,16 @@ impl CpuEngine {
         let (start, end) = sim.world.cpu(self.rank).reserve(now, duration);
         let rank = self.rank as u32;
         let (span_name, counter) = match self.dir {
-            CpuDir::Pack => ("cpu-pack", "cpupack.pack.bytes"),
-            CpuDir::Unpack => ("cpu-unpack", "cpupack.unpack.bytes"),
+            CpuDir::Pack => (names::SPAN_CPU_PACK, names::CPUPACK_PACK_BYTES),
+            CpuDir::Unpack => (names::SPAN_CPU_UNPACK, names::CPUPACK_UNPACK_BYTES),
         };
-        sim.trace
-            .span_at(start, end, "cpupack", span_name, Track::Cpu { rank });
+        sim.trace.span_at(
+            start,
+            end,
+            names::CAT_CPUPACK,
+            span_name,
+            Track::Cpu { rank },
+        );
         sim.schedule_at(end, move |sim| {
             sim.world
                 .mem()

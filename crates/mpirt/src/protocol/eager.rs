@@ -7,7 +7,6 @@
 
 use crate::cpupack::{CpuDir, CpuEngine};
 use crate::matcher::{Envelope, RecvPosting};
-use crate::protocol::sm::DELIVERED;
 use crate::request::{MpiError, Request};
 use crate::world::MpiWorld;
 use datatype::Signature;
@@ -15,6 +14,7 @@ use devengine::pack_async;
 use gpusim::GpuWorld as _;
 use memsim::Ptr;
 use netsim::send_am;
+use simcore::trace::names;
 use simcore::{Sim, SpanId, Track};
 use std::rc::Rc;
 
@@ -23,23 +23,26 @@ use super::Side;
 /// Start an eager send. `bytes` must be at or below the eager limit.
 pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Request) {
     let n = s.total();
-    let bounce = sim
-        .world
-        .mem()
-        .alloc(memsim::MemSpace::Host, n.max(1))
-        .expect("eager bounce alloc");
+    let bounce = match sim.world.mem().alloc(memsim::MemSpace::Host, n.max(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            send_req.complete(sim, Err(MpiError::Mem(e.to_string())));
+            return;
+        }
+    };
     let sig = Signature::of(&s.ty, s.count);
     let from = s.rank;
     let span = sim.trace.span_begin(
         sim.now(),
-        "mpirt",
-        "eager",
+        names::CAT_MPIRT,
+        names::SPAN_EAGER,
         Track::Proto {
             from: from as u32,
             to: to as u32,
         },
     );
 
+    let sreq = send_req.clone();
     let after_pack = move |sim: &mut Sim<MpiWorld>| {
         let starter_sig = sig;
         let shipped = send_am(sim, from, to, n, move |sim| {
@@ -60,7 +63,9 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
         match shipped {
             Ok(()) => send_req.complete(sim, Ok(n)),
             Err(e) => {
-                sim.world.mem().free(bounce).expect("free bounce");
+                // The transport error is the root cause; releasing a
+                // pointer we allocated cannot fail independently of it.
+                let _ = sim.world.mem().free(bounce);
                 sim.trace.span_end(sim.now(), span);
                 send_req.complete(sim, Err(MpiError::Net(e)));
             }
@@ -72,7 +77,7 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
         sim.schedule_now(after_pack);
     } else if s.device() {
         let (stream, cache) = {
-            let r = &sim.world.mpi.ranks[s.rank];
+            let r = sim.world.rank(s.rank);
             (r.kernel_stream, Rc::clone(&r.dev_cache))
         };
         let cfg = sim.world.mpi.config.engine.clone();
@@ -90,9 +95,16 @@ pub fn send(sim: &mut Sim<MpiWorld>, s: Side, to: usize, tag: u64, send_req: Req
         );
     } else {
         let bw = sim.world.mpi.config.cpu_pack_bw;
-        let mut eng = CpuEngine::new(&s.ty, s.count, s.buf, CpuDir::Pack, s.rank, bw)
-            .expect("committed type");
-        eng.process_fragment(sim, bounce, u64::MAX, move |sim, _| after_pack(sim));
+        match CpuEngine::new(&s.ty, s.count, s.buf, CpuDir::Pack, s.rank, bw) {
+            Ok(mut eng) => {
+                eng.process_fragment(sim, bounce, u64::MAX, move |sim, _| after_pack(sim));
+            }
+            Err(e) => {
+                let _ = sim.world.mem().free(bounce);
+                sim.trace.span_end(sim.now(), span);
+                sreq.complete(sim, Err(MpiError::Type(e)));
+            }
+        }
     }
 }
 
@@ -108,16 +120,21 @@ fn deliver(
 ) {
     if let Err(e) = posting.signature().check_recv(&sig) {
         posting.request.complete(sim, Err(MpiError::Type(e)));
-        sim.world.mem().free(bounce).expect("free bounce");
+        // The signature error is the root cause; releasing a pointer we
+        // allocated cannot fail independently of it.
+        let _ = sim.world.mem().free(bounce);
         sim.trace.span_end(sim.now(), span);
         return;
     }
     let req = posting.request.clone();
     let to = posting.rank;
     let finish = move |sim: &mut Sim<MpiWorld>| {
-        sim.trace.count(DELIVERED, from as u32, to as u32, n);
-        req.complete(sim, Ok(n));
-        sim.world.mem().free(bounce).expect("free bounce");
+        sim.trace
+            .count(names::MPI_DELIVERED_BYTES, from as u32, to as u32, n);
+        match sim.world.mem().free(bounce) {
+            Ok(_) => req.complete(sim, Ok(n)),
+            Err(e) => req.complete(sim, Err(MpiError::Mem(e.to_string()))),
+        }
         sim.trace.span_end(sim.now(), span);
     };
     if n == 0 {
@@ -126,13 +143,13 @@ fn deliver(
     }
     if posting.buf.space.is_device() {
         let (stream, cache) = {
-            let r = &sim.world.mpi.ranks[posting.rank];
+            let r = sim.world.rank(posting.rank);
             (r.kernel_stream, Rc::clone(&r.dev_cache))
         };
         let cfg = sim.world.mpi.config.engine.clone();
         // The message may be shorter than the posted receive; a single
         // capped fragment unpacks exactly the incoming prefix.
-        let mut eng = devengine::FragmentEngine::new(
+        match devengine::FragmentEngine::new(
             sim,
             posting.rank,
             stream,
@@ -142,20 +159,34 @@ fn deliver(
             devengine::Direction::Unpack,
             cfg,
             Some(&cache),
-        )
-        .expect("committed type");
-        eng.process_fragment(sim, bounce, n, |_| {}, move |sim, _| finish(sim));
+        ) {
+            Ok(mut eng) => {
+                eng.process_fragment(sim, bounce, n, |_| {}, move |sim, _| finish(sim));
+            }
+            Err(e) => fail_delivery(sim, &posting.request, bounce, span, MpiError::Type(e)),
+        }
     } else {
         let bw = sim.world.mpi.config.cpu_pack_bw;
-        let mut eng = CpuEngine::new(
+        match CpuEngine::new(
             &posting.ty,
             posting.count,
             posting.buf,
             CpuDir::Unpack,
             posting.rank,
             bw,
-        )
-        .expect("committed type");
-        eng.process_fragment(sim, bounce, n, move |sim, _| finish(sim));
+        ) {
+            Ok(mut eng) => {
+                eng.process_fragment(sim, bounce, n, move |sim, _| finish(sim));
+            }
+            Err(e) => fail_delivery(sim, &posting.request, bounce, span, MpiError::Type(e)),
+        }
     }
+}
+
+/// Abort an eager delivery after matching: fail the receive, release the
+/// bounce buffer, and close the span.
+fn fail_delivery(sim: &mut Sim<MpiWorld>, req: &Request, bounce: Ptr, span: SpanId, err: MpiError) {
+    req.complete_if_pending(sim, Err(err));
+    let _ = sim.world.mem().free(bounce);
+    sim.trace.span_end(sim.now(), span);
 }

@@ -50,13 +50,17 @@ pub(crate) enum SideEngine {
     Contig,
 }
 
-pub(crate) fn make_engine(sim: &mut Sim<MpiWorld>, side: &Side, dir: Direction) -> SideEngine {
+pub(crate) fn make_engine(
+    sim: &mut Sim<MpiWorld>,
+    side: &Side,
+    dir: Direction,
+) -> Result<SideEngine, MpiError> {
     if side.dense() {
-        return SideEngine::Contig;
+        return Ok(SideEngine::Contig);
     }
     if side.device() {
         let (stream, cache) = {
-            let r = &sim.world.mpi.ranks[side.rank];
+            let r = sim.world.rank(side.rank);
             (r.kernel_stream, std::rc::Rc::clone(&r.dev_cache))
         };
         let cfg = sim.world.mpi.config.engine.clone();
@@ -71,18 +75,18 @@ pub(crate) fn make_engine(sim: &mut Sim<MpiWorld>, side: &Side, dir: Direction) 
             cfg,
             Some(&cache),
         )
-        .expect("committed datatype");
-        SideEngine::Gpu(eng)
+        .map_err(MpiError::Type)?;
+        Ok(SideEngine::Gpu(eng))
     } else {
         let cdir = match dir {
             Direction::Pack => CpuDir::Pack,
             Direction::Unpack => CpuDir::Unpack,
         };
         let bw = sim.world.mpi.config.cpu_pack_bw;
-        SideEngine::Cpu(
+        Ok(SideEngine::Cpu(
             CpuEngine::new(&side.ty, side.count, side.buf, cdir, side.rank, bw)
-                .expect("committed datatype"),
-        )
+                .map_err(MpiError::Type)?,
+        ))
     }
 }
 

@@ -16,21 +16,17 @@
 
 use crate::connection::{open_peer_buffer, sm_connection, SmConn};
 use crate::protocol::{make_engine, Side, SideEngine};
-use crate::request::Request;
+use crate::request::{MpiError, Request};
 use crate::tuner::{tuned_shape, PathClass};
 use crate::world::MpiWorld;
 use devengine::Direction;
 use gpusim::memcpy;
 use netsim::send_am;
+use simcore::trace::names;
 use simcore::{Sim, SpanId, Track};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
-
-/// Counter bumped by every event that lands payload bytes in the
-/// receiver's typed buffer; `tests/` asserts it equals the bytes the
-/// application actually received.
-pub(crate) const DELIVERED: &str = "mpi.delivered.bytes";
 
 fn proto_track(s_rank: usize, r_rank: usize) -> Track {
     Track::Proto {
@@ -44,6 +40,44 @@ fn ring_track(s_rank: usize, r_rank: usize) -> Track {
         from: s_rank as u32,
         to: r_rank as u32,
     }
+}
+
+/// Abort a transfer: complete both requests with `err` (unless a racing
+/// completion already resolved one) and close the protocol span.
+fn fail_both(
+    sim: &mut Sim<MpiWorld>,
+    send_req: &Request,
+    recv_req: &Request,
+    span: SpanId,
+    err: MpiError,
+) {
+    send_req.complete_if_pending(sim, Err(err.clone()));
+    recv_req.complete_if_pending(sim, Err(err));
+    sim.trace.span_end(sim.now(), span);
+}
+
+fn pull_fail(sim: &mut Sim<MpiWorld>, st: &Rc<RefCell<PullState>>, err: MpiError) {
+    let (sreq, rreq, span) = {
+        let x = st.borrow();
+        (x.send_req.clone(), x.recv_req.clone(), x.span)
+    };
+    fail_both(sim, &sreq, &rreq, span, err);
+}
+
+fn put_fail(sim: &mut Sim<MpiWorld>, st: &Rc<RefCell<PutState>>, err: MpiError) {
+    let (sreq, rreq, span) = {
+        let x = st.borrow();
+        (x.send_req.clone(), x.recv_req.clone(), x.span)
+    };
+    fail_both(sim, &sreq, &rreq, span, err);
+}
+
+fn full_fail(sim: &mut Sim<MpiWorld>, st: &FSt, err: MpiError) {
+    let (sreq, rreq, span) = {
+        let x = st.borrow();
+        (x.send_req.clone(), x.recv_req.clone(), x.span)
+    };
+    fail_both(sim, &sreq, &rreq, span, err);
 }
 
 /// Path renegotiation: the IPC mapping was lost mid-handshake, so replay
@@ -94,8 +128,8 @@ fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv
     let (s_rank, r_rank) = (s.rank, r.rank);
     let span = sim.trace.span_begin(
         sim.now(),
-        "mpirt",
-        "sm-both-dense",
+        names::CAT_MPIRT,
+        names::SPAN_SM_BOTH_DENSE,
         proto_track(s_rank, r_rank),
     );
     open_peer_buffer(sim, src, total, move |sim, res| {
@@ -103,17 +137,25 @@ fn both_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv
             renegotiate(sim, s, r, send_req, recv_req, span);
             return;
         }
-        let copy_stream = sim.world.mpi.ranks[r_rank].copy_stream;
+        let copy_stream = sim.world.rank(r_rank).copy_stream;
         memcpy(sim, copy_stream, src, dst, total, move |sim, _| {
-            sim.trace
-                .count(DELIVERED, s_rank as u32, r_rank as u32, total);
+            sim.trace.count(
+                names::MPI_DELIVERED_BYTES,
+                s_rank as u32,
+                r_rank as u32,
+                total,
+            );
             recv_req.complete(sim, Ok(total));
             // Tell the sender its buffer is free.
-            send_am(sim, r_rank, s_rank, 16, move |sim| {
+            let sreq = send_req.clone();
+            let acked = send_am(sim, r_rank, s_rank, 16, move |sim| {
                 send_req.complete(sim, Ok(total));
                 sim.trace.span_end(sim.now(), span);
-            })
-            .expect("sm ack channel");
+            });
+            if let Err(e) = acked {
+                sreq.complete_if_pending(sim, Err(MpiError::Net(e)));
+                sim.trace.span_end(sim.now(), span);
+            }
         });
     });
 }
@@ -126,8 +168,8 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
     let (s_rank, r_rank) = (s.rank, r.rank);
     let span = sim.trace.span_begin(
         sim.now(),
-        "mpirt",
-        "sm-sender-dense",
+        names::CAT_MPIRT,
+        names::SPAN_SM_SENDER_DENSE,
         proto_track(s_rank, r_rank),
     );
     open_peer_buffer(sim, src, total, move |sim, res| {
@@ -148,7 +190,10 @@ fn sender_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, re
                 (c.frag_size, c.depth)
             };
             let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
-            let unpacker = make_engine(sim, &r, Direction::Unpack);
+            let unpacker = match make_engine(sim, &r, Direction::Unpack) {
+                Ok(e) => e,
+                Err(err) => return fail_both(sim, &send_req, &recv_req, span, err),
+            };
             let st = Rc::new(RefCell::new(PullState {
                 conn,
                 engine: Some(unpacker),
@@ -211,15 +256,19 @@ fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
         let window = { st.borrow().src.add(seq * frag) };
         let frag_span = {
             let x = st.borrow();
-            sim.trace
-                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+            sim.trace.span_begin(
+                sim.now(),
+                names::CAT_MPIRT,
+                names::SPAN_FRAG,
+                ring_track(x.s_rank, x.r_rank),
+            )
         };
         match staging_slot {
             Some(stage) => {
                 // GET the window into local staging, then unpack locally.
                 let copy_stream = {
-                    let x = st.borrow();
-                    sim.world.mpi.ranks[x.r_rank].copy_stream
+                    let r_rank = st.borrow().r_rank;
+                    sim.world.rank(r_rank).copy_stream
                 };
                 let stw = Rc::clone(&st);
                 memcpy(sim, copy_stream, window, stage, n, move |sim, _| {
@@ -242,7 +291,13 @@ fn pull_unpack(
     n: u64,
     frag_span: SpanId,
 ) {
-    let mut engine = st.borrow_mut().engine.take().expect("unpacker in use");
+    let Some(mut engine) = st.borrow_mut().engine.take() else {
+        return pull_fail(
+            sim,
+            &st,
+            MpiError::Faulted("sm unpacker already in use".into()),
+        );
+    };
     if let SideEngine::Gpu(eng) = &mut engine {
         let stw = Rc::clone(&st);
         eng.process_fragment(
@@ -259,8 +314,12 @@ fn pull_unpack(
                 };
                 {
                     let x = stw.borrow();
-                    sim.trace
-                        .count(DELIVERED, x.s_rank as u32, x.r_rank as u32, n);
+                    sim.trace.count(
+                        names::MPI_DELIVERED_BYTES,
+                        x.s_rank as u32,
+                        x.r_rank as u32,
+                        n,
+                    );
                 }
                 sim.trace.span_end(sim.now(), frag_span);
                 if finished {
@@ -270,20 +329,30 @@ fn pull_unpack(
                     let (r, s, total) = (x.r_rank, x.s_rank, x.total);
                     let span = x.span;
                     drop(x);
-                    send_am(sim, r, s, 16, move |sim| {
+                    let acked = send_am(sim, r, s, 16, move |sim| {
                         send_req.complete(sim, Ok(total));
                         sim.trace.span_end(sim.now(), span);
-                    })
-                    .expect("sm ack channel");
+                    });
+                    if let Err(e) = acked {
+                        pull_fail(sim, &stw, MpiError::Net(e));
+                    }
                 } else {
                     pull_pump(sim, stw);
                 }
             },
         );
+        st.borrow_mut().engine = Some(engine);
     } else {
-        unreachable!("sender_dense path requires a GPU unpacker");
+        // The sm protocol only runs device-to-device, so a non-dense
+        // receiver always gets a GPU engine; anything else is protocol
+        // corruption, surfaced as a typed failure.
+        st.borrow_mut().engine = Some(engine);
+        pull_fail(
+            sim,
+            &st,
+            MpiError::Faulted("sm sender-dense path requires a GPU unpacker".into()),
+        );
     }
-    st.borrow_mut().engine = Some(engine);
 }
 
 /// Receiver contiguous: the sender packs fragments into its ring and
@@ -297,8 +366,8 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
     let (s_rank, r_rank) = (s.rank, r.rank);
     let span = sim.trace.span_begin(
         sim.now(),
-        "mpirt",
-        "sm-receiver-dense",
+        names::CAT_MPIRT,
+        names::SPAN_SM_RECEIVER_DENSE,
         proto_track(s_rank, r_rank),
     );
     open_peer_buffer(sim, dst, total, move |sim, res| {
@@ -319,7 +388,10 @@ fn receiver_dense(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, 
                 (c.frag_size, c.depth)
             };
             let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
-            let packer = make_engine(sim, &s, Direction::Pack);
+            let packer = match make_engine(sim, &s, Direction::Pack) {
+                Ok(e) => e,
+                Err(err) => return fail_both(sim, &send_req, &recv_req, span, err),
+            };
             let st = Rc::new(RefCell::new(PutState {
                 conn,
                 engine: Some(packer),
@@ -380,10 +452,20 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
         // Pack into the local ring slot, then PUT to the final offset.
         let frag_span = {
             let x = st.borrow();
-            sim.trace
-                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+            sim.trace.span_begin(
+                sim.now(),
+                names::CAT_MPIRT,
+                names::SPAN_FRAG,
+                ring_track(x.s_rank, x.r_rank),
+            )
         };
-        let mut engine = st.borrow_mut().engine.take().expect("packer in use");
+        let Some(mut engine) = st.borrow_mut().engine.take() else {
+            return put_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm packer already in use".into()),
+            );
+        };
         if let SideEngine::Gpu(eng) = &mut engine {
             let stw = Rc::clone(&st);
             eng.process_fragment(
@@ -394,10 +476,7 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
                 move |sim, _| {
                     let (window, copy_stream) = {
                         let x = stw.borrow();
-                        (
-                            x.dst.add(seq * frag),
-                            sim.world.mpi.ranks[x.s_rank].copy_stream,
-                        )
+                        (x.dst.add(seq * frag), sim.world.rank(x.s_rank).copy_stream)
                     };
                     let stw2 = Rc::clone(&stw);
                     memcpy(sim, copy_stream, slot_ptr, window, n, move |sim, _| {
@@ -409,8 +488,12 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
                         };
                         {
                             let x = stw2.borrow();
-                            sim.trace
-                                .count(DELIVERED, x.s_rank as u32, x.r_rank as u32, n);
+                            sim.trace.count(
+                                names::MPI_DELIVERED_BYTES,
+                                x.s_rank as u32,
+                                x.r_rank as u32,
+                                n,
+                            );
                         }
                         sim.trace.span_end(sim.now(), frag_span);
                         if finished {
@@ -420,21 +503,30 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
                             let (s_rank, r_rank, total) = (x.s_rank, x.r_rank, x.total);
                             let span = x.span;
                             drop(x);
-                            send_am(sim, s_rank, r_rank, 16, move |sim| {
+                            let acked = send_am(sim, s_rank, r_rank, 16, move |sim| {
                                 rreq.complete(sim, Ok(total));
                                 sim.trace.span_end(sim.now(), span);
-                            })
-                            .expect("sm ack channel");
+                            });
+                            if let Err(e) = acked {
+                                put_fail(sim, &stw2, MpiError::Net(e));
+                            }
                         } else {
                             put_pump(sim, stw2);
                         }
                     });
                 },
             );
+            st.borrow_mut().engine = Some(engine);
         } else {
-            unreachable!("receiver_dense path requires a GPU packer");
+            // Device-to-device protocol: a non-dense sender always gets
+            // a GPU engine; anything else is protocol corruption.
+            st.borrow_mut().engine = Some(engine);
+            return put_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm receiver-dense path requires a GPU packer".into()),
+            );
         }
-        st.borrow_mut().engine = Some(engine);
     }
 }
 
@@ -464,8 +556,8 @@ fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, r
     let (s_rank, r_rank) = (s.rank, r.rank);
     let span = sim.trace.span_begin(
         sim.now(),
-        "mpirt",
-        "sm-pipeline",
+        names::CAT_MPIRT,
+        names::SPAN_SM_PIPELINE,
         proto_track(s_rank, r_rank),
     );
     sm_connection(sim, s_rank, r_rank, move |sim, conn| {
@@ -481,12 +573,16 @@ fn full_pipeline(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, r
             (c.frag_size, c.depth)
         };
         let (frag, depth) = tuned_shape(sim, &s, &r, PathClass::SmIpc, frag0, depth0);
-        let packer = Some(make_engine(sim, &s, Direction::Pack));
-        let unpacker = Some(make_engine(sim, &r, Direction::Unpack));
+        let engines = make_engine(sim, &s, Direction::Pack)
+            .and_then(|p| make_engine(sim, &r, Direction::Unpack).map(|u| (p, u)));
+        let (packer, unpacker) = match engines {
+            Ok(pair) => pair,
+            Err(err) => return fail_both(sim, &send_req, &recv_req, span, err),
+        };
         let st = Rc::new(RefCell::new(FullState {
             conn,
-            packer,
-            unpacker,
+            packer: Some(packer),
+            unpacker: Some(unpacker),
             total,
             frag,
             nfrags: total.div_ceil(frag),
@@ -524,10 +620,20 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
         // covers the slot's whole residency: claim here, recycle on ack.
         let frag_span = {
             let x = st.borrow();
-            sim.trace
-                .span_begin(sim.now(), "mpirt", "frag", ring_track(x.s_rank, x.r_rank))
+            sim.trace.span_begin(
+                sim.now(),
+                names::CAT_MPIRT,
+                names::SPAN_FRAG,
+                ring_track(x.s_rank, x.r_rank),
+            )
         };
-        let mut packer = st.borrow_mut().packer.take().expect("packer in use");
+        let Some(mut packer) = st.borrow_mut().packer.take() else {
+            return full_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm packer already in use".into()),
+            );
+        };
         if let SideEngine::Gpu(eng) = &mut packer {
             let stw = Rc::clone(&st);
             eng.process_fragment(
@@ -542,16 +648,25 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
                         (x.s_rank, x.r_rank)
                     };
                     let stw2 = Rc::clone(&stw);
-                    send_am(sim, s_rank, r_rank, 16, move |sim| {
+                    let sent = send_am(sim, s_rank, r_rank, 16, move |sim| {
                         full_recv(sim, stw2, slot, n, ring_slot, frag_span);
-                    })
-                    .expect("sm unpack-request channel");
+                    });
+                    if let Err(e) = sent {
+                        full_fail(sim, &stw, MpiError::Net(e));
+                    }
                 },
             );
+            st.borrow_mut().packer = Some(packer);
         } else {
-            unreachable!("full pipeline requires GPU engines");
+            // Device-to-device protocol: both engines are GPU engines;
+            // anything else is protocol corruption.
+            st.borrow_mut().packer = Some(packer);
+            return full_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm full pipeline requires a GPU packer".into()),
+            );
         }
-        st.borrow_mut().packer = Some(packer);
     }
 }
 
@@ -567,8 +682,8 @@ fn full_recv(
     match staging {
         Some(stage) => {
             let copy_stream = {
-                let x = st.borrow();
-                sim.world.mpi.ranks[x.r_rank].copy_stream
+                let r_rank = st.borrow().r_rank;
+                sim.world.rank(r_rank).copy_stream
             };
             let stw = Rc::clone(&st);
             memcpy(sim, copy_stream, ring_slot, stage, n, move |sim, _| {
@@ -587,7 +702,13 @@ fn full_unpack(
     n: u64,
     frag_span: SpanId,
 ) {
-    let mut unpacker = st.borrow_mut().unpacker.take().expect("unpacker in use");
+    let Some(mut unpacker) = st.borrow_mut().unpacker.take() else {
+        return full_fail(
+            sim,
+            &st,
+            MpiError::Faulted("sm unpacker already in use".into()),
+        );
+    };
     if let SideEngine::Gpu(eng) = &mut unpacker {
         let stw = Rc::clone(&st);
         eng.process_fragment(
@@ -601,14 +722,15 @@ fn full_unpack(
                     x.recvd += n;
                     (x.r_rank, x.s_rank, x.recvd >= x.total)
                 };
-                sim.trace.count(DELIVERED, s_rank as u32, r_rank as u32, n);
+                sim.trace
+                    .count(names::MPI_DELIVERED_BYTES, s_rank as u32, r_rank as u32, n);
                 if recv_finished {
                     let x = stw.borrow();
                     x.recv_req.complete(sim, Ok(x.total));
                 }
                 // Ack the slot so the sender can reuse it.
                 let stw2 = Rc::clone(&stw);
-                send_am(sim, r_rank, s_rank, 16, move |sim| {
+                let acked = send_am(sim, r_rank, s_rank, 16, move |sim| {
                     sim.trace.span_end(sim.now(), frag_span);
                     let send_finished = {
                         let mut x = stw2.borrow_mut();
@@ -624,12 +746,21 @@ fn full_unpack(
                     } else {
                         full_pump(sim, stw2);
                     }
-                })
-                .expect("sm ack channel");
+                });
+                if let Err(e) = acked {
+                    full_fail(sim, &stw, MpiError::Net(e));
+                }
             },
         );
+        st.borrow_mut().unpacker = Some(unpacker);
     } else {
-        unreachable!("full pipeline requires GPU engines");
+        // Device-to-device protocol: both engines are GPU engines;
+        // anything else is protocol corruption.
+        st.borrow_mut().unpacker = Some(unpacker);
+        full_fail(
+            sim,
+            &st,
+            MpiError::Faulted("sm full pipeline requires a GPU unpacker".into()),
+        );
     }
-    st.borrow_mut().unpacker = Some(unpacker);
 }

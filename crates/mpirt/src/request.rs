@@ -103,6 +103,16 @@ impl Request {
         }
     }
 
+    /// Resolve the request unless it already resolved. Error paths use
+    /// this: an abort may race with a completion that beat it by one
+    /// event, and the first resolution must stand.
+    pub fn complete_if_pending(&self, sim: &mut Sim<MpiWorld>, result: Result<u64, MpiError>) {
+        if self.state.borrow().result.is_some() {
+            return;
+        }
+        self.complete(sim, result);
+    }
+
     /// Run `f` when the request completes (immediately — at the next
     /// event — if it already has).
     pub fn on_complete(

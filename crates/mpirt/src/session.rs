@@ -26,6 +26,7 @@
 use crate::config::MpiConfig;
 use crate::world::{MpiWorld, RankSpec};
 use memsim::GpuId;
+use simcore::trace::names;
 use simcore::{Metrics, Sim, SpanId, Track};
 use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
@@ -164,15 +165,18 @@ impl SessionBuilder {
         // `mpirt` span covering the whole session, so figure traces
         // show the runtime layer even when they drive the engines
         // directly rather than through a protocol.
-        let run_span = sim
-            .trace
-            .span_begin(sim.now(), "mpirt", "session", Track::Session);
+        let run_span = sim.trace.span_begin(
+            sim.now(),
+            names::CAT_MPIRT,
+            names::SPAN_SESSION,
+            Track::Session,
+        );
         // Surface the copy-pool sizing decision (GPU_DDT_COPY_THREADS or
         // the default) in the trace, once per session. Lazily-started
         // pools that never spun up have nothing to report.
         if let Some(info) = simcore::par::pool_info_if_started() {
             sim.trace
-                .count("simcore.par.pool_threads", 0, 0, info.threads as u64);
+                .count(names::PAR_POOL_THREADS, 0, 0, info.threads as u64);
         }
         Session {
             sim,
@@ -224,13 +228,15 @@ impl Session {
                 (c.hits(), c.misses(), c.evictions())
             };
             let r = i as u32;
-            self.sim.trace.count_to("devengine.cache.hit", r, 0, hits);
             self.sim
                 .trace
-                .count_to("devengine.cache.miss", r, 0, misses);
+                .count_to(names::DEVENGINE_CACHE_HIT, r, 0, hits);
             self.sim
                 .trace
-                .count_to("devengine.cache.evict", r, 0, evictions);
+                .count_to(names::DEVENGINE_CACHE_MISS, r, 0, misses);
+            self.sim
+                .trace
+                .count_to(names::DEVENGINE_CACHE_EVICT, r, 0, evictions);
         }
     }
 

@@ -30,6 +30,7 @@ use devengine::tune::{pick_fragment, Stage};
 use devengine::OptimizerConfig;
 use gpusim::GpuWorld as _;
 use netsim::NetWorld as _;
+use simcore::trace::names;
 use simcore::Sim;
 
 /// Which transfer pipeline a rendezvous took.
@@ -343,17 +344,21 @@ pub fn tuned_shape(
         class,
     };
     if let Some(&shape) = sim.world.mpi.tuned_shapes.get(&key) {
-        sim.trace
-            .count("optimizer.frag.cache.hit", s.rank as u32, r.rank as u32, 1);
+        sim.trace.count(
+            names::OPTIMIZER_FRAG_CACHE_HIT,
+            s.rank as u32,
+            r.rank as u32,
+            1,
+        );
         return shape;
     }
     let stages = path_stages(sim, s, r, class);
     let shape = pick_fragment(total, frag0, depth0, &stages);
     sim.world.mpi.tuned_shapes.insert(key, shape);
     let counter = if shape == (frag0, depth0) {
-        "optimizer.frag.default"
+        names::OPTIMIZER_FRAG_DEFAULT
     } else {
-        "optimizer.frag.tuned"
+        names::OPTIMIZER_FRAG_TUNED
     };
     sim.trace.count(counter, s.rank as u32, r.rank as u32, 1);
     shape

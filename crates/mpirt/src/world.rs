@@ -10,9 +10,10 @@ use faultsim::FaultSim;
 use gpusim::{GpuSystem, GpuWorld, StreamId};
 use memsim::{GpuId, Memory};
 use netsim::{ChannelKind, ClusterWorld, NetSystem, NetWorld};
+use simcore::hash::DetHashMap;
 use simcore::FifoResource;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Placement of one MPI rank.
@@ -44,11 +45,11 @@ pub struct MpiState {
     pub config: MpiConfig,
     pub ranks: Vec<RankState>,
     pub matcher: Matcher,
-    pub sm_conns: HashMap<(usize, usize), Rc<RefCell<SmConn>>>,
-    pub ib_conns: HashMap<(usize, usize), Rc<RefCell<IbConn>>>,
+    pub sm_conns: BTreeMap<(usize, usize), Rc<RefCell<SmConn>>>,
+    pub ib_conns: BTreeMap<(usize, usize), Rc<RefCell<IbConn>>>,
     /// Fragment/ring-depth decisions from the protocol auto-tuner,
     /// cached per (canonical layouts, message size, path class).
-    pub tuned_shapes: HashMap<crate::tuner::TuneKey, (u64, usize)>,
+    pub tuned_shapes: DetHashMap<crate::tuner::TuneKey, (u64, usize)>,
     /// Runtime health of the CUDA IPC path. Flipped off when fault
     /// injection reports a permanent loss of the IPC capability, which
     /// steers every later same-node GPU transfer to copy-in/copy-out.
@@ -105,9 +106,9 @@ impl MpiWorld {
                 config,
                 ranks,
                 matcher: Matcher::new(specs.len()),
-                sm_conns: HashMap::new(),
-                ib_conns: HashMap::new(),
-                tuned_shapes: HashMap::new(),
+                sm_conns: BTreeMap::new(),
+                ib_conns: BTreeMap::new(),
+                tuned_shapes: DetHashMap::default(),
                 ipc_runtime_ok: true,
                 zero_copy_runtime_ok: true,
             },

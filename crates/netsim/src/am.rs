@@ -11,6 +11,7 @@ use crate::channel::NetError;
 use crate::world::NetWorld;
 use faultsim::{Backoff, FaultDecision, FaultOp};
 use gpusim::fault;
+use simcore::trace::names;
 use simcore::{Sim, Track};
 
 /// Fixed header size of an active message (matches the BTL fragment
@@ -70,7 +71,8 @@ fn send_am_attempt<W: NetWorld>(
         from: from as u32,
         to: to as u32,
     };
-    sim.trace.span_at(now, arrive, "netsim", "am", track);
+    sim.trace
+        .span_at(now, arrive, names::CAT_NETSIM, names::SPAN_AM, track);
     let verdict = fault::fault_roll(sim, FaultOp::AmDeliver);
     sim.schedule_at(arrive, move |sim| {
         if verdict.is_fault() {
@@ -85,9 +87,9 @@ fn send_am_attempt<W: NetWorld>(
             return;
         }
         sim.trace
-            .count("netsim.am.count", from as u32, to as u32, 1);
+            .count(names::NETSIM_AM_COUNT, from as u32, to as u32, 1);
         sim.trace.count(
-            "netsim.am.payload.bytes",
+            names::NETSIM_AM_PAYLOAD_BYTES,
             from as u32,
             to as u32,
             payload_bytes,

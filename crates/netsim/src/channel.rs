@@ -1,23 +1,32 @@
 //! Links and channels between process pairs.
 
 use simcore::{Bandwidth, FifoResource, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Typed network errors, surfaced to the protocol layer instead of the
 /// historical panics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NetError {
     /// No channel exists between the two ranks (never connected, or the
     /// pair was disconnected mid-run).
     NoChannel { from: usize, to: usize },
+    /// A memory precondition failed (wrong space, missing registration).
+    Mem(memsim::MemError),
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::NoChannel { from, to } => write!(f, "no channel {from} -> {to}"),
+            NetError::Mem(e) => write!(f, "memory precondition: {e}"),
         }
+    }
+}
+
+impl From<memsim::MemError> for NetError {
+    fn from(e: memsim::MemError) -> NetError {
+        NetError::Mem(e)
     }
 }
 
@@ -97,7 +106,7 @@ impl Channel {
 /// All connections of the simulated job, keyed by ordered rank pair.
 #[derive(Default)]
 pub struct NetSystem {
-    channels: HashMap<(usize, usize), Channel>,
+    channels: BTreeMap<(usize, usize), Channel>,
     /// One-time RDMA registration cost (HCA page pinning / IPC mapping).
     pub registration_cost: SimTime,
 }
@@ -105,7 +114,7 @@ pub struct NetSystem {
 impl NetSystem {
     pub fn new() -> NetSystem {
         NetSystem {
-            channels: HashMap::new(),
+            channels: BTreeMap::new(),
             registration_cost: SimTime::from_micros(50),
         }
     }

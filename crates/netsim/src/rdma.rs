@@ -8,10 +8,12 @@
 //! obtained from pipelining will be annihilated by the overhead of
 //! registering the RDMA fragments" (§4.1).
 
+use crate::channel::NetError;
 use crate::world::NetWorld;
 use faultsim::{Backoff, FaultDecision, FaultOp};
 use gpusim::fault;
 use memsim::{MemError, Ptr, Registration};
+use simcore::trace::names;
 use simcore::{Sim, Track};
 
 /// Ensure `ptr` is registered for RDMA. On a cache hit `done` runs
@@ -52,8 +54,8 @@ fn register_attempt<W: NetWorld>(
     sim.trace.span_at(
         start,
         end,
-        "netsim",
-        "rdma-register",
+        names::CAT_NETSIM,
+        names::SPAN_RDMA_REGISTER,
         Track::Cpu { rank: rank as u32 },
     );
     let verdict = fault::fault_roll(sim, FaultOp::RdmaRegister);
@@ -91,6 +93,9 @@ fn check_host(ptr: Ptr) -> Result<(), MemError> {
 /// buffer into its own registered buffer. Charges the data link from
 /// the remote side toward the local side; bytes move at completion.
 ///
+/// Errors (typed, nothing scheduled) when a buffer is not pinned host
+/// memory, not registered, or the pair has no channel.
+///
 /// Fault charge point (`FaultOp::RdmaGet`): transient injections
 /// re-issue the work request after a capped backoff; degradation windows
 /// stretch the wire occupancy.
@@ -103,19 +108,18 @@ pub fn rdma_get<W: NetWorld>(
     local_dst: Ptr,
     len: u64,
     done: impl FnOnce(&mut Sim<W>) + 'static,
-) {
-    check_host(remote_src).expect("RDMA source must be (pinned) host memory");
-    check_host(local_dst).expect("RDMA destination must be (pinned) host memory");
+) -> Result<(), NetError> {
+    check_host(remote_src)?;
+    check_host(local_dst)?;
     sim.world
         .mem()
         .registry
-        .require(remote_src, Registration::Rdma)
-        .expect("remote RDMA buffer not registered");
+        .require(remote_src, Registration::Rdma)?;
     sim.world
         .mem()
         .registry
-        .require(local_dst, Registration::Rdma)
-        .expect("local RDMA buffer not registered");
+        .require(local_dst, Registration::Rdma)?;
+    sim.world.net().try_channel(remote_rank, local_rank)?;
     one_sided_attempt(
         sim,
         OneSided::Get,
@@ -127,11 +131,12 @@ pub fn rdma_get<W: NetWorld>(
         fault::default_backoff(),
         done,
     );
+    Ok(())
 }
 
 /// One-sided PUT: push `len` bytes from the local registered buffer to
 /// the remote registered buffer. Fault charge point (`FaultOp::RdmaPut`),
-/// same retry/degradation semantics as [`rdma_get`].
+/// same precondition and retry/degradation semantics as [`rdma_get`].
 #[allow(clippy::too_many_arguments)]
 pub fn rdma_put<W: NetWorld>(
     sim: &mut Sim<W>,
@@ -141,19 +146,18 @@ pub fn rdma_put<W: NetWorld>(
     remote_dst: Ptr,
     len: u64,
     done: impl FnOnce(&mut Sim<W>) + 'static,
-) {
-    check_host(local_src).expect("RDMA source must be (pinned) host memory");
-    check_host(remote_dst).expect("RDMA destination must be (pinned) host memory");
+) -> Result<(), NetError> {
+    check_host(local_src)?;
+    check_host(remote_dst)?;
     sim.world
         .mem()
         .registry
-        .require(local_src, Registration::Rdma)
-        .expect("local RDMA buffer not registered");
+        .require(local_src, Registration::Rdma)?;
     sim.world
         .mem()
         .registry
-        .require(remote_dst, Registration::Rdma)
-        .expect("remote RDMA buffer not registered");
+        .require(remote_dst, Registration::Rdma)?;
+    sim.world.net().try_channel(local_rank, remote_rank)?;
     one_sided_attempt(
         sim,
         OneSided::Put,
@@ -165,6 +169,7 @@ pub fn rdma_put<W: NetWorld>(
         fault::default_backoff(),
         done,
     );
+    Ok(())
 }
 
 #[derive(Clone, Copy)]
@@ -182,8 +187,8 @@ impl OneSided {
     }
     fn span_name(self) -> &'static str {
         match self {
-            OneSided::Get => "rdma-get",
-            OneSided::Put => "rdma-put",
+            OneSided::Get => names::SPAN_RDMA_GET,
+            OneSided::Put => names::SPAN_RDMA_PUT,
         }
     }
 }
@@ -218,7 +223,7 @@ fn one_sided_attempt<W: NetWorld>(
         to: to as u32,
     };
     sim.trace
-        .span_at(now, arrive, "netsim", which.span_name(), track);
+        .span_at(now, arrive, names::CAT_NETSIM, which.span_name(), track);
     let verdict = fault::fault_roll(sim, which.op());
     sim.schedule_at(arrive, move |sim| {
         if verdict.is_fault() {
@@ -237,7 +242,7 @@ fn one_sided_attempt<W: NetWorld>(
             .copy(src, dst, len)
             .expect("one-sided RDMA copy");
         sim.trace
-            .count("netsim.rdma.bytes", from as u32, to as u32, len);
+            .count(names::NETSIM_RDMA_BYTES, from as u32, to as u32, len);
         done(sim);
     });
 }
@@ -280,7 +285,7 @@ mod tests {
         ensure_registered(&mut sim, 0, dst, |_| {});
         sim.run();
         let t0 = sim.now();
-        rdma_get(&mut sim, 0, 1, src, dst, len, |_| {});
+        rdma_get(&mut sim, 0, 1, src, dst, len, |_| {}).unwrap();
         let end = sim.run();
         assert_eq!(sim.world.memory.read_vec(dst, len).unwrap(), data);
         let wire = (end - t0).as_secs_f64();
@@ -297,7 +302,7 @@ mod tests {
         ensure_registered(&mut sim, 0, src, |_| {});
         ensure_registered(&mut sim, 1, dst, |_| {});
         sim.run();
-        rdma_put(&mut sim, 0, 1, src, dst, 1024, |_| {});
+        rdma_put(&mut sim, 0, 1, src, dst, 1024, |_| {}).unwrap();
         sim.run();
         assert_eq!(
             sim.world.memory.read_vec(dst, 1024).unwrap(),
@@ -306,17 +311,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unregistered_get_panics() {
+    fn unregistered_get_is_a_typed_error() {
         let mut sim = world();
         let src = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
         let dst = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
-        rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {});
+        let err = rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {}).unwrap_err();
+        assert_eq!(err, NetError::Mem(MemError::NotRegistered(src)));
+        assert!(!sim.step(), "nothing was scheduled");
     }
 
     #[test]
-    #[should_panic(expected = "host memory")]
-    fn device_pointers_rejected() {
+    fn device_pointers_are_a_typed_error() {
         let mut sim = world();
         let src = sim
             .world
@@ -324,7 +329,15 @@ mod tests {
             .alloc(MemSpace::Device(memsim::GpuId(0)), 64)
             .unwrap();
         let dst = sim.world.memory.alloc(MemSpace::Host, 64).unwrap();
-        rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {});
+        let err = rdma_get(&mut sim, 0, 1, src, dst, 64, |_| {}).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Mem(MemError::WrongSpace {
+                ptr: src,
+                expected: MemSpace::Host,
+            })
+        );
+        assert!(!sim.step(), "nothing was scheduled");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! The staged-wire charge point: fragment hops over a data link that
+//! are not RDMA verbs (the copy-in/copy-out pipeline's middle stage).
+//!
+//! This is a wrapper module in the fault-coverage sense: it is the only
+//! place outside `rdma`/`am` allowed to reserve data-link time, and it
+//! consults the fault engine on every hop. Protocol code must come
+//! through here — the `xtask lint` fault-coverage rule bans raw
+//! `reserve` calls everywhere else.
+
+use crate::channel::NetError;
+use crate::world::NetWorld;
+use faultsim::{Backoff, FaultDecision, FaultOp};
+use gpusim::fault;
+use simcore::{Sim, SimTime};
+
+/// Charge a `bytes`-sized fragment hop on the data link `from -> to`
+/// and run `deliver` when it lands.
+///
+/// Returns the arrival time of the first attempt so the caller can
+/// record its own span over `[now, arrive]` (the caller owns the
+/// protocol-level trace vocabulary). Errors if no channel connects the
+/// pair; nothing is scheduled in that case.
+///
+/// Fault charge point (`FaultOp::WireCopy`): a transient injection
+/// drops the fragment on the wire and it is retransmitted after a
+/// capped exponential backoff, so `deliver` still runs exactly once.
+/// Degradation windows scale the wire time.
+pub fn wire_send<W: NetWorld>(
+    sim: &mut Sim<W>,
+    from: usize,
+    to: usize,
+    bytes: u64,
+    deliver: impl FnOnce(&mut Sim<W>) + 'static,
+) -> Result<SimTime, NetError> {
+    sim.world.net().try_channel(from, to)?;
+    Ok(wire_attempt(
+        sim,
+        from,
+        to,
+        bytes,
+        fault::default_backoff(),
+        deliver,
+    ))
+}
+
+fn wire_attempt<W: NetWorld>(
+    sim: &mut Sim<W>,
+    from: usize,
+    to: usize,
+    bytes: u64,
+    mut backoff: Backoff,
+    deliver: impl FnOnce(&mut Sim<W>) + 'static,
+) -> SimTime {
+    let now = sim.now();
+    let factor = sim.world.faults().slowdown(FaultOp::WireCopy, now);
+    let wire_bytes = if factor == 1.0 {
+        bytes
+    } else {
+        (bytes as f64 * factor) as u64
+    };
+    let arrive = {
+        // Existence was checked on the first attempt; mid-retransmit the
+        // channel is an invariant.
+        let ch = sim.world.net().channel_mut(from, to);
+        ch.data.reserve(now, wire_bytes)
+    };
+    let verdict = fault::fault_roll(sim, FaultOp::WireCopy);
+    sim.schedule_at(arrive, move |sim| {
+        if verdict.is_fault() {
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::WireCopy, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::WireCopy);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                wire_attempt(sim, from, to, bytes, backoff, deliver);
+            });
+            return;
+        }
+        deliver(sim);
+    });
+    arrive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::world::ClusterWorld;
+    use faultsim::{FaultKind, FaultPlan, FaultSim};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn world() -> Sim<ClusterWorld> {
+        let mut w = ClusterWorld::new(2);
+        w.net_system.connect(0, 1, ChannelKind::InfiniBand);
+        Sim::new(w)
+    }
+
+    #[test]
+    fn delivers_at_the_reserved_time() {
+        let mut sim = world();
+        let hit = Rc::new(RefCell::new(None));
+        let h = Rc::clone(&hit);
+        let arrive = wire_send(&mut sim, 0, 1, 6_000, move |sim| {
+            *h.borrow_mut() = Some(sim.now());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(hit.borrow().expect("delivered"), arrive);
+    }
+
+    #[test]
+    fn unconnected_pair_is_a_typed_error() {
+        let mut sim = world();
+        let err = wire_send(&mut sim, 0, 9, 64, |_| {}).unwrap_err();
+        assert_eq!(err, NetError::NoChannel { from: 0, to: 9 });
+        assert!(!sim.step(), "nothing was scheduled");
+    }
+
+    #[test]
+    fn transient_loss_retransmits_and_delivers_once() {
+        let mut sim = world();
+        let mut plan = FaultPlan::empty().with_seed(11).with_rule(
+            Some(FaultOp::WireCopy),
+            FaultKind::Transient,
+            1.0,
+        );
+        plan.rules[0].max_injections = Some(2);
+        sim.world.faults = FaultSim::from_plan(plan);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        let first = wire_send(&mut sim, 0, 1, 6_000, move |_| *h.borrow_mut() += 1).unwrap();
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 1, "delivered exactly once");
+        assert!(end > first, "retransmissions took extra wire time");
+    }
+}

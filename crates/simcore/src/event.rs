@@ -6,10 +6,11 @@
 //! the world and schedule further events. Ties in firing time are broken
 //! by insertion order, which makes runs bit-for-bit reproducible.
 
+use crate::hash::DetHashSet;
 use crate::time::SimTime;
 use crate::trace::Tracer;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -65,7 +66,7 @@ pub struct Sim<W> {
     /// push/pop is much cheaper than churning the heap, and the lane
     /// always drains before virtual time can advance.
     lane: VecDeque<LaneEvent<W>>,
-    cancelled: HashSet<EventId>,
+    cancelled: DetHashSet<EventId>,
     next_seq: u64,
     executed: u64,
     /// The simulated world. Public so event closures can reach it.
@@ -82,7 +83,7 @@ impl<W> Sim<W> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             lane: VecDeque::new(),
-            cancelled: HashSet::new(),
+            cancelled: DetHashSet::default(),
             next_seq: 0,
             executed: 0,
             world,

@@ -15,6 +15,7 @@
 //! virtual timestamps.
 
 pub mod event;
+pub mod hash;
 pub mod par;
 pub mod rate;
 pub mod resource;

@@ -19,6 +19,105 @@
 use crate::time::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// The single registry of every trace counter, span category, and
+/// span/instant name emitted anywhere in the workspace.
+///
+/// Counters double as correctness checks (bytes packed must equal
+/// bytes delivered), and `Metrics` lookups are stringly keyed — a typo
+/// at an emit site would silently report zero. The `xtask lint`
+/// metrics-coherence rule therefore bans inline string literals at
+/// `count`/`span_*`/`instant` call sites in simulator crates: every
+/// name must be one of these constants.
+pub mod names {
+    // ---- counters: protocol layer ----
+    /// Bytes landed in a matched receive buffer (the end-to-end total).
+    pub const MPI_DELIVERED_BYTES: &str = "mpi.delivered.bytes";
+    /// Bytes that crossed the staged copy-in/copy-out wire hop.
+    pub const MPIRT_WIRE_BYTES: &str = "mpirt.wire.bytes";
+
+    // ---- counters: fault engine ----
+    /// Injections fired, dimensioned by `FaultOp::index()`.
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Retries provoked by transient faults (all layers).
+    pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+    /// Protocol path renegotiations (SmIpc → CopyInOut, ZeroCopy → staged).
+    pub const FALLBACK_EVENTS: &str = "fallback.events";
+
+    // ---- counters: commit-time optimizer / tuner ----
+    pub const OPTIMIZER_UNIT_TUNED: &str = "optimizer.unit.tuned";
+    pub const OPTIMIZER_CHUNK_TUNED: &str = "optimizer.chunk.tuned";
+    pub const OPTIMIZER_FRAG_TUNED: &str = "optimizer.frag.tuned";
+    pub const OPTIMIZER_FRAG_DEFAULT: &str = "optimizer.frag.default";
+    pub const OPTIMIZER_FRAG_CACHE_HIT: &str = "optimizer.frag.cache.hit";
+
+    // ---- counters: GPU substrate ----
+    pub const GPUSIM_KERNEL_BYTES: &str = "gpusim.kernel.bytes";
+    pub const GPUSIM_KERNEL_UNITS: &str = "gpusim.kernel.units";
+    pub const GPUSIM_KERNEL_LAUNCHES: &str = "gpusim.kernel.launches";
+    pub const GPUSIM_IPC_OPEN_COUNT: &str = "gpusim.ipc_open.count";
+    pub const GPUSIM_MEMCPY_H2H_BYTES: &str = "gpusim.memcpy.h2h.bytes";
+    pub const GPUSIM_MEMCPY_H2D_BYTES: &str = "gpusim.memcpy.h2d.bytes";
+    pub const GPUSIM_MEMCPY_D2H_BYTES: &str = "gpusim.memcpy.d2h.bytes";
+    pub const GPUSIM_MEMCPY_D2D_BYTES: &str = "gpusim.memcpy.d2d.bytes";
+    pub const GPUSIM_MEMCPY_P2P_BYTES: &str = "gpusim.memcpy.p2p.bytes";
+
+    // ---- counters: datatype engines ----
+    pub const DEVENGINE_PACK_BYTES: &str = "devengine.pack.bytes";
+    pub const DEVENGINE_UNPACK_BYTES: &str = "devengine.unpack.bytes";
+    pub const DEVENGINE_SOURCE_VECTOR: &str = "devengine.source.vector";
+    pub const DEVENGINE_SOURCE_STRIDED2D: &str = "devengine.source.strided2d";
+    pub const DEVENGINE_SOURCE_CACHED: &str = "devengine.source.cached";
+    pub const DEVENGINE_SOURCE_FRESH: &str = "devengine.source.fresh";
+    pub const DEVENGINE_CACHE_HIT: &str = "devengine.cache.hit";
+    pub const DEVENGINE_CACHE_MISS: &str = "devengine.cache.miss";
+    pub const DEVENGINE_CACHE_EVICT: &str = "devengine.cache.evict";
+    pub const CPUPACK_PACK_BYTES: &str = "cpupack.pack.bytes";
+    pub const CPUPACK_UNPACK_BYTES: &str = "cpupack.unpack.bytes";
+
+    // ---- counters: network substrate ----
+    pub const NETSIM_AM_COUNT: &str = "netsim.am.count";
+    pub const NETSIM_AM_PAYLOAD_BYTES: &str = "netsim.am.payload.bytes";
+    pub const NETSIM_RDMA_BYTES: &str = "netsim.rdma.bytes";
+
+    // ---- counters: infrastructure ----
+    /// Copy-pool sizing decision, surfaced once per session.
+    pub const PAR_POOL_THREADS: &str = "simcore.par.pool_threads";
+
+    // ---- span categories (one per emitting layer) ----
+    pub const CAT_MPIRT: &str = "mpirt";
+    pub const CAT_NETSIM: &str = "netsim";
+    pub const CAT_GPUSIM: &str = "gpusim";
+    pub const CAT_DEVENGINE: &str = "devengine";
+    pub const CAT_CPUPACK: &str = "cpupack";
+
+    // ---- span / instant names: protocol layer ----
+    pub const SPAN_SESSION: &str = "session";
+    pub const SPAN_EAGER: &str = "eager";
+    pub const SPAN_COPYIO: &str = "copyio";
+    pub const SPAN_WIRE: &str = "wire";
+    pub const SPAN_FRAG: &str = "frag";
+    pub const SPAN_SM_BOTH_DENSE: &str = "sm-both-dense";
+    pub const SPAN_SM_SENDER_DENSE: &str = "sm-sender-dense";
+    pub const SPAN_SM_RECEIVER_DENSE: &str = "sm-receiver-dense";
+    pub const SPAN_SM_PIPELINE: &str = "sm-pipeline";
+
+    // ---- span / instant names: substrates ----
+    pub const SPAN_AM: &str = "am";
+    pub const SPAN_RDMA_REGISTER: &str = "rdma-register";
+    pub const SPAN_RDMA_GET: &str = "rdma-get";
+    pub const SPAN_RDMA_PUT: &str = "rdma-put";
+    pub const SPAN_KERNEL: &str = "kernel";
+    pub const SPAN_MEMCPY: &str = "memcpy";
+    pub const SPAN_MEMCPY2D: &str = "memcpy2d";
+    pub const SPAN_IPC_OPEN: &str = "ipc-open";
+    pub const SPAN_STREAM_SYNC: &str = "stream-sync";
+    pub const SPAN_PREP: &str = "prep";
+    pub const SPAN_DEV_CACHE_HIT: &str = "dev-cache-hit";
+    pub const SPAN_DEV_CACHE_MISS: &str = "dev-cache-miss";
+    pub const SPAN_CPU_PACK: &str = "cpu-pack";
+    pub const SPAN_CPU_UNPACK: &str = "cpu-unpack";
+}
+
 /// Where a span ran: a stable, allocation-free identifier that maps to
 /// one row ("thread") in the trace viewer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -354,13 +453,13 @@ impl WorkClass {
     /// not pipeline work (protocol lifecycles, sync, session spans).
     pub fn of(cat: &str, name: &str) -> Option<WorkClass> {
         match cat {
-            "devengine" | "cpupack" => Some(WorkClass::Prep),
-            "gpusim" => match name {
-                "kernel" => Some(WorkClass::Kernel),
-                n if n.starts_with("memcpy") => Some(WorkClass::Copy),
+            names::CAT_DEVENGINE | names::CAT_CPUPACK => Some(WorkClass::Prep),
+            names::CAT_GPUSIM => match name {
+                names::SPAN_KERNEL => Some(WorkClass::Kernel),
+                n if n.starts_with(names::SPAN_MEMCPY) => Some(WorkClass::Copy),
                 _ => None,
             },
-            "netsim" => Some(WorkClass::Wire),
+            names::CAT_NETSIM => Some(WorkClass::Wire),
             _ => None,
         }
     }
@@ -431,7 +530,7 @@ impl Metrics {
             else {
                 continue;
             };
-            if *cat == "mpirt" && *name == "frag" {
+            if *cat == names::CAT_MPIRT && *name == names::SPAN_FRAG {
                 frag_total += end.as_nanos() - start.as_nanos();
             }
             let Some(class) = WorkClass::of(cat, name) else {

@@ -1,0 +1,7 @@
+//! Companion to `fixtures/stale/lint/panic.allow`: the allowlist grants
+//! three unwraps but only one exists, so the stale-ratchet check must
+//! fail even though no finding exceeds its allowance.
+
+pub fn one_unwrap(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Seeded panic-freedom violations in a protocol path: unwrap, expect,
+//! panicking macros, and the indexing shorthand. Never compiled —
+//! scanned by the xtask self-tests to prove the rule fires.
+
+pub fn risky(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let second = v.get(1).copied().expect("protocol always has two slots");
+    if *first == u64::MAX {
+        panic!("impossible header");
+    }
+    match second {
+        0 => unreachable!("zero slot"),
+        _ => v[2] + first + second,
+    }
+}

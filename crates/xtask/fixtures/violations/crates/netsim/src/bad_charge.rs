@@ -1,0 +1,8 @@
+//! Seeded fault-coverage violation: a raw `.reserve(` charge outside
+//! the wrapper layer, where the fault injector cannot interpose. Never
+//! compiled — scanned by the xtask self-tests to prove the rule fires.
+
+pub fn sneak_charge(link: &mut FifoResource, now: SimTime, bytes: u64) -> SimTime {
+    let (_start, end) = link.reserve(now, bytes * 8);
+    end
+}

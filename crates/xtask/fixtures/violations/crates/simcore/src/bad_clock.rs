@@ -1,0 +1,27 @@
+//! Seeded determinism violations: RandomState containers and
+//! wall-clock reads in a simulator crate. Never compiled — scanned by
+//! the xtask self-tests to prove the rule fires.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn entropy_everywhere() -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let r = random();
+    t0.elapsed().as_nanos() as u64 + r + m.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: a HashSet inside a test region must NOT fire.
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_side_sets_are_fine() {
+        let s: HashSet<u32> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! `cargo xtask lint [--root <dir>] [--report <file>]`
+//!
+//! Exit code 0 when every rule family is clean (all remaining findings
+//! exactly covered by the `lint/*.allow` ratchets); 1 on any violation
+//! or stale allowlist entry; 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <dir>] [--report <file>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("lint") {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--report" => match args.next() {
+                Some(v) => report = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(xtask::workspace_root);
+    let outcome = match xtask::run_lint(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", outcome.render_text());
+    println!(
+        "scanned {} file(s) under {}",
+        outcome.files_scanned,
+        root.display()
+    );
+    if let Some(path) = &report {
+        let json = xtask::report::render_json(&outcome.reports);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report written to {}", path.display());
+    }
+    if outcome.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

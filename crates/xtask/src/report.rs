@@ -1,0 +1,140 @@
+//! Machine-readable lint report (hand-rolled JSON — the workspace has
+//! no serialization dependency by policy).
+
+use crate::allow::RuleReport;
+use std::fmt::Write as _;
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render the full lint outcome as a JSON document:
+///
+/// ```json
+/// {
+///   "ok": false,
+///   "rules": {
+///     "panic": {
+///       "ok": false,
+///       "suppressed": 4,
+///       "violations": [{"file": "...", "line": 7, "kind": "unwrap", "msg": "..."}],
+///       "stale": [{"file": "...", "kind": "index", "allowed": 3, "found": 1}]
+///     }
+///   }
+/// }
+/// ```
+pub fn render_json(reports: &[RuleReport]) -> String {
+    let ok = reports.iter().all(|r| r.ok());
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"ok\": {ok},");
+    out.push_str("  \"rules\": {\n");
+    for (ri, r) in reports.iter().enumerate() {
+        let _ = write!(out, "    ");
+        esc(r.family, &mut out);
+        out.push_str(": {\n");
+        let _ = writeln!(out, "      \"ok\": {},", r.ok());
+        let _ = writeln!(out, "      \"suppressed\": {},", r.suppressed);
+        out.push_str("      \"violations\": [");
+        for (i, v) in r.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("        {\"file\": ");
+            esc(&v.file, &mut out);
+            let _ = write!(out, ", \"line\": {}, \"kind\": ", v.line);
+            esc(v.kind, &mut out);
+            out.push_str(", \"msg\": ");
+            esc(&v.msg, &mut out);
+            out.push('}');
+        }
+        if !r.violations.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n");
+        out.push_str("      \"stale\": [");
+        for (i, s) in r.stale.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("        {\"file\": ");
+            esc(&s.file, &mut out);
+            out.push_str(", \"kind\": ");
+            esc(&s.kind, &mut out);
+            let _ = write!(
+                out,
+                ", \"allowed\": {}, \"found\": {}}}",
+                s.allowed, s.found
+            );
+        }
+        if !r.stale.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n");
+        out.push_str(if ri + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::{RuleReport, StaleEntry};
+    use crate::rules::Violation;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let reports = vec![
+            RuleReport {
+                family: "panic",
+                violations: vec![Violation {
+                    family: "panic",
+                    file: "a\\b.rs".to_string(),
+                    line: 3,
+                    kind: "expect",
+                    msg: "say \"no\"".to_string(),
+                }],
+                stale: vec![StaleEntry {
+                    file: "c.rs".to_string(),
+                    kind: "index".to_string(),
+                    allowed: 2,
+                    found: 1,
+                }],
+                suppressed: 5,
+            },
+            RuleReport {
+                family: "metrics",
+                violations: vec![],
+                stale: vec![],
+                suppressed: 0,
+            },
+        ];
+        let j = render_json(&reports);
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"allowed\": 2, \"found\": 1"));
+        assert!(j.contains("\"metrics\": {\n      \"ok\": true"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = j.chars().filter(|&c| c == open).count();
+            let c = j.chars().filter(|&c| c == close).count();
+            assert_eq!(o, c);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The four invariant rule families.
+//!
+//! Every rule walks the token stream of one file (test regions already
+//! marked by the lexer) and emits [`Violation`]s. Scopes are path
+//! prefixes relative to the workspace root, so the same rules run
+//! unchanged over the seeded fixture trees used by the self-tests.
+
+use crate::lexer::Token;
+
+/// Rule family identifiers; one ratchet allowlist file exists per
+/// family under `lint/<family>.allow`.
+pub const FAMILIES: [&str; 4] = ["determinism", "panic", "fault", "metrics"];
+
+/// One finding, before allowlist reconciliation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub family: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    pub line: u32,
+    /// Stable kind used as the allowlist key (`hashmap`, `unwrap`, …).
+    pub kind: &'static str,
+    pub msg: String,
+}
+
+/// The simulator crates: everything that executes under virtual time
+/// and must replay bit-identically from a seed.
+const SIM_CRATES: [&str; 7] = [
+    "simcore",
+    "memsim",
+    "gpusim",
+    "netsim",
+    "devengine",
+    "mpirt",
+    "faultsim",
+];
+
+/// Crates where wall-clock reads are legitimate (they *measure* real
+/// time) or that host this linter itself.
+const WALLCLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
+
+/// Modules allowed to call `.reserve(` — the FIFO-resource wrapper
+/// layer. Every other call site would charge simulated time without
+/// going through a wrapper that the fault injector can interpose on.
+const CHARGE_WRAPPERS: [&str; 10] = [
+    "crates/simcore/src/resource.rs", // defines FifoResource::reserve
+    "crates/netsim/src/channel.rs",
+    "crates/netsim/src/am.rs",
+    "crates/netsim/src/wire.rs",
+    "crates/netsim/src/rdma.rs",
+    "crates/gpusim/src/kernel.rs",
+    "crates/gpusim/src/copy.rs",
+    "crates/gpusim/src/system.rs",
+    "crates/mpirt/src/cpupack.rs",
+    "crates/devengine/src/engine.rs",
+];
+
+/// Trace methods whose name arguments must come from
+/// `simcore::trace::names`, never inline literals.
+const TRACE_METHODS: [&str; 6] = [
+    "count",
+    "count_to",
+    "counter",
+    "instant",
+    "span_begin",
+    "span_at",
+];
+
+fn in_crate_src(rel: &str, krate: &str) -> bool {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.strip_prefix(krate))
+        .is_some_and(|r| r.starts_with("/src/"))
+}
+
+fn in_sim_crates(rel: &str) -> bool {
+    SIM_CRATES.iter().any(|c| in_crate_src(rel, c))
+}
+
+/// Determinism scope: HashMap/HashSet bans apply to the simulator
+/// crates; wall-clock bans apply to every crate except the measurement
+/// harnesses.
+fn determinism_wallclock_scope(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !WALLCLOCK_EXEMPT_CRATES.iter().any(|c| in_crate_src(rel, c))
+}
+
+/// Panic-freedom scope: the rendezvous/eager protocol state machines,
+/// connection establishment, and the netsim/gpusim runtime paths.
+fn panic_scope(rel: &str) -> bool {
+    rel.starts_with("crates/mpirt/src/protocol/")
+        || rel == "crates/mpirt/src/connection.rs"
+        || rel.starts_with("crates/netsim/src/")
+        || rel.starts_with("crates/gpusim/src/")
+}
+
+/// True when any rule family wants to see this file.
+pub fn any_scope(rel: &str) -> bool {
+    in_sim_crates(rel) || determinism_wallclock_scope(rel) || panic_scope(rel)
+}
+
+/// Run every applicable family over one file.
+pub fn scan_file(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if in_sim_crates(rel) || determinism_wallclock_scope(rel) {
+        scan_determinism(rel, toks, out);
+    }
+    if panic_scope(rel) {
+        scan_panic(rel, toks, out);
+    }
+    if in_sim_crates(rel) {
+        scan_fault(rel, toks, out);
+        scan_metrics(rel, toks, out);
+    }
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    family: &'static str,
+    rel: &str,
+    line: u32,
+    kind: &'static str,
+    msg: String,
+) {
+    out.push(Violation {
+        family,
+        file: rel.to_string(),
+        line,
+        kind,
+        msg,
+    });
+}
+
+/// Family 1 — determinism: no default-`RandomState` hash containers in
+/// simulator crates (iteration order must be stable across processes),
+/// and no wall-clock or OS-entropy reads anywhere outside the
+/// measurement harnesses.
+fn scan_determinism(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    let hash_scope = in_sim_crates(rel);
+    let clock_scope = determinism_wallclock_scope(rel);
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        if hash_scope && (id == "HashMap" || id == "HashSet") {
+            let kind = if id == "HashMap" {
+                "hashmap"
+            } else {
+                "hashset"
+            };
+            push(
+                out,
+                "determinism",
+                rel,
+                t.line,
+                kind,
+                format!("std::collections::{id} iterates in RandomState order; use BTreeMap/BTreeSet or simcore::hash::Det{id}"),
+            );
+        }
+        if !clock_scope {
+            continue;
+        }
+        match id {
+            "Instant" if follows_path_call(toks, i, "now") => push(
+                out,
+                "determinism",
+                rel,
+                t.line,
+                "wallclock",
+                "Instant::now() reads the wall clock; simulated time comes from Sim::now()"
+                    .to_string(),
+            ),
+            "SystemTime" => push(
+                out,
+                "determinism",
+                rel,
+                t.line,
+                "wallclock",
+                "SystemTime reads the wall clock; simulated time comes from Sim::now()".to_string(),
+            ),
+            "sleep" => push(
+                out,
+                "determinism",
+                rel,
+                t.line,
+                "sleep",
+                "thread::sleep blocks on real time; schedule a simulated delay instead".to_string(),
+            ),
+            "thread_rng" | "from_entropy" | "random" => push(
+                out,
+                "determinism",
+                rel,
+                t.line,
+                "rand",
+                format!("`{id}` draws OS entropy; use the seeded simcore::rng::Rng"),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// `toks[i]` is an ident; true when it is followed by `::name(`.
+fn follows_path_call(toks: &[Token], i: usize, name: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(name))
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
+/// Family 2 — panic-freedom: runtime protocol paths must surface typed
+/// errors, not abort the simulation. Bans `.unwrap()`, `.expect(`,
+/// the panicking macros, and the `x[i]` indexing shorthand.
+fn scan_panic(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            let method = i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if method && (id == "unwrap" || id == "expect") {
+                let kind = if id == "unwrap" { "unwrap" } else { "expect" };
+                push(
+                    out,
+                    "panic",
+                    rel,
+                    t.line,
+                    kind,
+                    format!(".{id}() panics on Err/None; propagate a typed MpiError/NetError"),
+                );
+            }
+            let bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            if bang {
+                let kind = match id {
+                    "panic" => Some("panic"),
+                    "unreachable" => Some("unreachable"),
+                    "todo" => Some("todo"),
+                    "unimplemented" => Some("unimplemented"),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    push(
+                        out,
+                        "panic",
+                        rel,
+                        t.line,
+                        kind,
+                        format!("{id}! aborts the simulation; return a typed error instead"),
+                    );
+                }
+            }
+        }
+        // Indexing shorthand: `[` directly after an expression tail.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let expr_tail = prev.ident().is_some() || prev.is_punct(')') || prev.is_punct(']');
+            // `#[attr]` and macro brackets never match: prev is `#`/`!`.
+            if expr_tail {
+                push(
+                    out,
+                    "panic",
+                    rel,
+                    t.line,
+                    "index",
+                    "indexing shorthand panics out of bounds; use .get()/.first() or a checked accessor".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Family 3 — fault coverage: every simulated-time charge must go
+/// through a wrapper module the fault injector can interpose on; raw
+/// `.reserve(` calls elsewhere bypass fault injection entirely.
+fn scan_fault(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if CHARGE_WRAPPERS.contains(&rel) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        if t.is_ident("reserve")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                "fault",
+                rel,
+                t.line,
+                "reserve",
+                "raw .reserve( charge outside the wrapper layer bypasses fault injection"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Family 4 — metrics coherence: counter/span name arguments must be
+/// the constants in `simcore::trace::names`, never inline string
+/// literals, so the analysis tooling and the emitters cannot drift.
+fn scan_metrics(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    // The registry itself is the one place literals are defined.
+    if rel == "crates/simcore/src/trace.rs" {
+        return;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let is_call = !t.in_test
+            && t.ident().is_some_and(|id| TRACE_METHODS.contains(&id))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let method = t.ident().unwrap_or_default().to_string();
+        // Walk the argument list to the matching ')'.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+                depth += 1;
+            } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(s) = a.str_lit() {
+                push(
+                    out,
+                    "metrics",
+                    rel,
+                    a.line,
+                    "literal-name",
+                    format!(
+                        "inline name {s:?} in .{method}(); use a simcore::trace::names constant"
+                    ),
+                );
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn kinds(rel: &str, src: &str) -> Vec<&'static str> {
+        let toks = lex(src);
+        let mut out = Vec::new();
+        scan_file(rel, &toks, &mut out);
+        out.into_iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn scopes_route_files_to_families() {
+        assert!(any_scope("crates/simcore/src/event.rs"));
+        assert!(any_scope("crates/mpirt/src/protocol/sm.rs"));
+        assert!(any_scope("crates/datatype/src/lib.rs")); // wallclock only
+        assert!(!any_scope("crates/bench/src/bin/fig6.rs"));
+        assert!(!any_scope("crates/xtask/src/lib.rs"));
+        assert!(!any_scope("crates/simcore/tests/determinism.rs"));
+    }
+
+    #[test]
+    fn determinism_catches_hash_and_clock() {
+        let ks = kinds(
+            "crates/simcore/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }",
+        );
+        assert!(ks.contains(&"hashmap"));
+        assert!(ks.contains(&"wallclock"));
+        // The TraceEvent::Instant enum variant must not fire.
+        let ks = kinds(
+            "crates/simcore/src/x.rs",
+            "let e = TraceEvent::Instant { t };",
+        );
+        assert!(ks.is_empty());
+    }
+
+    #[test]
+    fn panic_rule_catches_all_kinds_outside_tests() {
+        let src =
+            "fn f(v: &[u8]) { v.x.unwrap(); y.expect(\"m\"); panic!(\"b\"); let a = v[0]; }\n\
+                   #[cfg(test)] mod t { fn g() { z.unwrap(); } }";
+        let ks = kinds("crates/mpirt/src/protocol/x.rs", src);
+        assert_eq!(
+            ks,
+            vec!["unwrap", "expect", "panic", "index"],
+            "and the test-region unwrap is exempt"
+        );
+    }
+
+    #[test]
+    fn index_rule_ignores_types_attrs_and_macros() {
+        let src = "#[derive(Debug)]\nfn f(x: [u8; 4], y: &[u8]) -> [u8; 2] { vec![1, 2]; g() }";
+        let ks = kinds("crates/netsim/src/x.rs", src);
+        assert!(ks.is_empty(), "{ks:?}");
+    }
+
+    #[test]
+    fn fault_rule_spares_wrapper_modules() {
+        let src = "fn f(r: &mut Fifo) { r.reserve(now, cost); }";
+        assert_eq!(kinds("crates/mpirt/src/io.rs", src), vec!["reserve"]);
+        assert!(kinds("crates/netsim/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metrics_rule_wants_registry_constants() {
+        let bad = "fn f(sim: &mut S) { sim.trace.count(\"mpi.rogue\", a, b, n); }";
+        assert_eq!(kinds("crates/gpusim/src/x.rs", bad), vec!["literal-name"]);
+        let good = "fn f(sim: &mut S) { sim.trace.count(names::MPI_DELIVERED_BYTES, a, b, n); }";
+        assert!(kinds("crates/gpusim/src/x.rs", good).is_empty());
+        // An iterator .count() has no arguments and stays silent.
+        let iter = "fn f(v: &[u8]) -> usize { v.iter().count() }";
+        assert!(kinds("crates/simcore/src/x.rs", iter).is_empty());
+    }
+}

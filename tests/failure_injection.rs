@@ -124,12 +124,16 @@ fn freed_buffer_cannot_be_read() {
 }
 
 #[test]
-#[should_panic(expected = "not registered")]
-fn rdma_to_unregistered_memory_panics() {
+fn rdma_to_unregistered_memory_is_a_typed_error() {
     let mut sim = world();
     let a = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
     let b = sim.world.mem().alloc(MemSpace::Host, 64).unwrap();
-    netsim::rdma_get(&mut sim, 0, 1, a, b, 64, |_| {});
+    let err = netsim::rdma_get(&mut sim, 0, 1, a, b, 64, |_| {}).unwrap_err();
+    assert!(matches!(
+        err,
+        netsim::NetError::Mem(MemError::NotRegistered(_))
+    ));
+    assert!(!sim.step(), "failed RDMA must schedule nothing");
 }
 
 #[test]
