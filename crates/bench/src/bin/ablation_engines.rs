@@ -14,12 +14,16 @@ use bench::harness::ms;
 use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{alloc_typed, triangular};
 use devengine::EngineConfig;
+use gpusim::GpuArch;
 use mpirt::MpiConfig;
 use simcore::{SimTime, Tracer};
 
-fn jenkins_rtt(topo: Topo, n: u64, record: bool) -> (SimTime, Tracer) {
+fn jenkins_rtt(topo: Topo, arch: &'static GpuArch, n: u64, record: bool) -> (SimTime, Tracer) {
     let t = triangular(n);
-    let mut sess = topo.session(MpiConfig::default()).record_if(record).build();
+    let mut sess = topo
+        .session(arch, MpiConfig::default())
+        .record_if(record)
+        .build();
     let b0 = alloc_typed(&mut sess, 0, &t, 1, true, true);
     let b1 = alloc_typed(&mut sess, 1, &t, 1, true, false);
     let rtt = jenkins_ping_pong(
@@ -41,9 +45,12 @@ fn jenkins_rtt(topo: Topo, n: u64, record: bool) -> (SimTime, Tracer) {
     (rtt, sess.into_trace())
 }
 
-fn wang_rtt(topo: Topo, n: u64, record: bool) -> (SimTime, Tracer) {
+fn wang_rtt(topo: Topo, arch: &'static GpuArch, n: u64, record: bool) -> (SimTime, Tracer) {
     let t = triangular(n);
-    let mut sess = topo.session(MpiConfig::default()).record_if(record).build();
+    let mut sess = topo
+        .session(arch, MpiConfig::default())
+        .record_if(record)
+        .build();
     let b0 = alloc_typed(&mut sess, 0, &t, 1, true, true);
     let b1 = alloc_typed(&mut sess, 1, &t, 1, true, false);
     let rtt = baseline_ping_pong(
@@ -86,22 +93,22 @@ fn main() {
             "matrix_size",
             &[512, 1024, 2048, 4096],
         )
-        .series("ours", move |n, r| {
+        .series("ours", move |n, arch, r| {
             let t = triangular(n);
-            let (rtt, tr) = ours_rtt(topo, MpiConfig::default(), &t, &t, 3, r);
+            let (rtt, tr) = ours_rtt(topo, arch, MpiConfig::default(), &t, &t, 3, r);
             (ms(rtt), tr)
         })
-        .series("ours-depth1", move |n, r| {
+        .series("ours-depth1", move |n, arch, r| {
             let t = triangular(n);
-            let (rtt, tr) = ours_rtt(topo, depth1.clone(), &t, &t, 3, r);
+            let (rtt, tr) = ours_rtt(topo, arch, depth1.clone(), &t, &t, 3, r);
             (ms(rtt), tr)
         })
-        .series("jenkins-style", move |n, r| {
-            let (rtt, tr) = jenkins_rtt(topo, n, r);
+        .series("jenkins-style", move |n, arch, r| {
+            let (rtt, tr) = jenkins_rtt(topo, arch, n, r);
             (ms(rtt), tr)
         })
-        .series("wang-style", move |n, r| {
-            let (rtt, tr) = wang_rtt(topo, n, r);
+        .series("wang-style", move |n, arch, r| {
+            let (rtt, tr) = wang_rtt(topo, arch, n, r);
             (ms(rtt), tr)
         })
         .run(&opts.for_panel(suffix));

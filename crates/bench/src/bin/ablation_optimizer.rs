@@ -19,6 +19,7 @@ use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{contiguous_matrix, transpose_type, triangular};
 use datatype::DataType;
 use devengine::{EngineConfig, OptimizerConfig};
+use gpusim::GpuArch;
 use mpirt::MpiConfig;
 
 fn cfg(opt: OptimizerConfig) -> MpiConfig {
@@ -95,8 +96,9 @@ fn assert_tuner_never_worse() {
                         autotune: true,
                         ..base
                     };
-                    let (t_off, _) = ours_rtt(topo, cfg(base), &ty0, &ty1, 2, false);
-                    let (t_on, _) = ours_rtt(topo, cfg(tuned), &ty0, &ty1, 2, false);
+                    let k40 = GpuArch::default_arch();
+                    let (t_off, _) = ours_rtt(topo, k40, cfg(base), &ty0, &ty1, 2, false);
+                    let (t_on, _) = ours_rtt(topo, k40, cfg(tuned), &ty0, &ty1, 2, false);
                     assert!(
                         t_on <= t_off,
                         "tuner regressed {wname} N={n} on {topo:?} ({bname}): \
@@ -123,9 +125,9 @@ fn main() {
         &[512, 1024, 2048, 4096],
     );
     for (name, opt) in variants() {
-        tri = tri.series(name, move |n, r| {
+        tri = tri.series(name, move |n, arch, r| {
             let t = triangular(n);
-            let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg(opt), &t, &t, 2, r);
+            let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, arch, cfg(opt), &t, &t, 2, r);
             (ms(rtt), tr)
         });
     }
@@ -143,9 +145,9 @@ fn main() {
         &[512, 1024, 2048, 4096],
     );
     for (name, opt) in variants() {
-        ib = ib.series(name, move |n, r| {
+        ib = ib.series(name, move |n, arch, r| {
             let t = triangular(n);
-            let (rtt, tr) = ours_rtt(Topo::Ib, cfg(opt), &t, &t, 2, r);
+            let (rtt, tr) = ours_rtt(Topo::Ib, arch, cfg(opt), &t, &t, 2, r);
             (ms(rtt), tr)
         });
     }
@@ -162,9 +164,10 @@ fn main() {
         &[256, 512, 768, 1024],
     );
     for (name, opt) in variants() {
-        tp = tp.series(name, move |n, r| {
+        tp = tp.series(name, move |n, arch, r| {
             let (rtt, tr) = ours_rtt(
                 Topo::Sm2Gpu,
+                arch,
                 cfg(opt),
                 &contiguous_matrix(n),
                 &transpose_type(n),

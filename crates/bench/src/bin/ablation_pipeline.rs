@@ -21,7 +21,7 @@ fn main() {
         &[64, 128, 256, 512, 1024, 2048],
     );
     for depth in [1usize, 2, 4, 8] {
-        sweep = sweep.series(&format!("depth{depth}"), move |frag_kb, r| {
+        sweep = sweep.series(&format!("depth{depth}"), move |frag_kb, arch, r| {
             let t = triangular(2048);
             // The sweep studies the static fragment/depth knobs; the
             // auto-tuner would override the swept shape, so the
@@ -35,7 +35,7 @@ fn main() {
                 },
                 ..Default::default()
             };
-            let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg, &t, &t, 3, r);
+            let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, arch, cfg, &t, &t, 3, r);
             (ms(rtt), tr)
         });
     }

@@ -10,14 +10,14 @@ use bench::harness::ms;
 use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, triangular};
 use devengine::{pack_async, EngineConfig, OptimizerConfig};
-use gpusim::GpuWorld as _;
+use gpusim::{GpuArch, GpuWorld as _};
 use memsim::MemSpace;
 use mpirt::MpiConfig;
 use simcore::{SimTime, Tracer};
 
-fn pack_time(n: u64, unit_size: u64, record: bool) -> (SimTime, Tracer) {
+fn pack_time(n: u64, unit_size: u64, arch: &'static GpuArch, record: bool) -> (SimTime, Tracer) {
     let t = triangular(n);
-    let mut sess = solo_session(MpiConfig::default(), record);
+    let mut sess = solo_session(arch, MpiConfig::default(), record);
     let typed = alloc_typed(&mut sess, 0, &t, 1, true, true);
     let gpu = sess.world.mpi.ranks[0].gpu;
     let packed = sess
@@ -66,8 +66,8 @@ fn main() {
         ("S=2K", 2048),
         ("S=4K", 4096),
     ] {
-        sweep = sweep.series(name, move |n, r| {
-            let (t, tr) = pack_time(n, s, r);
+        sweep = sweep.series(name, move |n, arch, r| {
+            let (t, tr) = pack_time(n, s, arch, r);
             (ms(t), tr)
         });
     }

@@ -41,7 +41,9 @@ fn transfer(topo: Topo, ty: &DataType, plan: FaultPlan) -> Result<Cell, String> 
         fault_plan: plan,
         ..Default::default()
     };
-    let mut sess = topo.session(config).build();
+    let mut sess = topo
+        .session(gpusim::GpuArch::default_arch(), config)
+        .build();
     let (base, len) = buffer_span(ty, 1);
     let g0 = MemSpace::Device(sess.world.mpi.ranks[0].gpu);
     let g1 = MemSpace::Device(sess.world.mpi.ranks[1].gpu);
@@ -113,6 +115,7 @@ fn main() {
         id: "chaos_soak",
         title: "makespan under swept transient-fault rates",
         x_label: "fault_rate_pct",
+        arch_column: false,
         series: columns.clone(),
     });
 
@@ -160,7 +163,7 @@ fn main() {
                 }
             }
         }
-        print_row(rate, &row);
+        print_row(rate, None, &row);
     }
     if total_injected == 0 {
         violations.push("sweep injected no faults at all — soak is vacuous".to_string());

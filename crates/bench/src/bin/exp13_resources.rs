@@ -12,10 +12,16 @@ use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{submatrix, triangular};
 use datatype::DataType;
 use devengine::EngineConfig;
+use gpusim::GpuArch;
 use mpirt::MpiConfig;
 use simcore::Tracer;
 
-fn throttled_rtt(ty: &DataType, blocks: u64, record: bool) -> (f64, Tracer) {
+fn throttled_rtt(
+    ty: &DataType,
+    blocks: u64,
+    arch: &'static GpuArch,
+    record: bool,
+) -> (f64, Tracer) {
     let cfg = MpiConfig {
         engine: EngineConfig {
             blocks: Some(blocks as u32),
@@ -23,7 +29,7 @@ fn throttled_rtt(ty: &DataType, blocks: u64, record: bool) -> (f64, Tracer) {
         },
         ..Default::default()
     };
-    let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, cfg, ty, ty, 3, record);
+    let (rtt, tr) = ours_rtt(Topo::Sm2Gpu, arch, cfg, ty, ty, 3, record);
     (ms(rtt), tr)
 }
 
@@ -35,7 +41,11 @@ fn main() {
         "blocks",
         &[1, 2, 3, 4, 6, 8, 10, 12, 15],
     )
-    .series("T", |blocks, r| throttled_rtt(&triangular(2048), blocks, r))
-    .series("V", |blocks, r| throttled_rtt(&submatrix(2048), blocks, r))
+    .series("T", |blocks, a, r| {
+        throttled_rtt(&triangular(2048), blocks, a, r)
+    })
+    .series("V", |blocks, a, r| {
+        throttled_rtt(&submatrix(2048), blocks, a, r)
+    })
     .run(&opts);
 }

@@ -11,14 +11,20 @@ use bench::harness::ms;
 use bench::runner::{BenchOpts, Sweep, Topo};
 use bench::workloads::{alloc_typed, submatrix, triangular};
 use datatype::DataType;
+use gpusim::GpuArch;
 use memsim::GpuId;
 use mpirt::api::PingPongSpec;
 use mpirt::{ping_pong, MpiConfig};
 use simcore::Tracer;
 
-fn rtt_with_share(ty: &DataType, share: f64, record: bool) -> (f64, Tracer) {
+fn rtt_with_share(
+    ty: &DataType,
+    share: f64,
+    arch: &'static GpuArch,
+    record: bool,
+) -> (f64, Tracer) {
     let mut sess = Topo::Sm2Gpu
-        .session(MpiConfig::default())
+        .session(arch, MpiConfig::default())
         .record_if(record)
         .build();
     for g in [GpuId(0), GpuId(1)] {
@@ -49,11 +55,11 @@ fn main() {
         "share_pct",
         &[100, 75, 50, 25, 10, 5],
     )
-    .series("T", |pct, r| {
-        rtt_with_share(&triangular(2048), pct as f64 / 100.0, r)
+    .series("T", |pct, a, r| {
+        rtt_with_share(&triangular(2048), pct as f64 / 100.0, a, r)
     })
-    .series("V", |pct, r| {
-        rtt_with_share(&submatrix(2048), pct as f64 / 100.0, r)
+    .series("V", |pct, a, r| {
+        rtt_with_share(&submatrix(2048), pct as f64 / 100.0, a, r)
     })
     .run(&opts);
 }

@@ -22,9 +22,10 @@ fn panel(topo: Topo, label: &'static str, opts: &BenchOpts) {
         "matrix_size",
         &[512, 1024, 2048, 3072, 4096],
     )
-    .series("T-ours", move |n, r| {
+    .series("T-ours", move |n, arch, r| {
         let (t, tr) = ours_rtt(
             topo,
+            arch,
             MpiConfig::default(),
             &triangular(n),
             &triangular(n),
@@ -33,9 +34,10 @@ fn panel(topo: Topo, label: &'static str, opts: &BenchOpts) {
         );
         (ms(t), tr)
     })
-    .series("V-ours", move |n, r| {
+    .series("V-ours", move |n, arch, r| {
         let (t, tr) = ours_rtt(
             topo,
+            arch,
             MpiConfig::default(),
             &submatrix(n),
             &submatrix(n),
@@ -44,9 +46,10 @@ fn panel(topo: Topo, label: &'static str, opts: &BenchOpts) {
         );
         (ms(t), tr)
     })
-    .series("T-baseline", move |n, r| {
+    .series("T-baseline", move |n, arch, r| {
         let (t, tr) = baseline_rtt(
             topo,
+            arch,
             MpiConfig::default(),
             &triangular(n),
             &triangular(n),
@@ -55,9 +58,10 @@ fn panel(topo: Topo, label: &'static str, opts: &BenchOpts) {
         );
         (ms(t), tr)
     })
-    .series("V-baseline", move |n, r| {
+    .series("V-baseline", move |n, arch, r| {
         let (t, tr) = baseline_rtt(
             topo,
+            arch,
             MpiConfig::default(),
             &submatrix(n),
             &submatrix(n),

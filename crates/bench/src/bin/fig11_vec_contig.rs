@@ -24,9 +24,10 @@ fn main() {
             "matrix_size",
             &[512, 1024, 2048, 3072, 4096],
         )
-        .series("ours", move |n, r| {
+        .series("ours", move |n, arch, r| {
             let (t, tr) = ours_rtt(
                 topo,
+                arch,
                 MpiConfig::default(),
                 &submatrix(n),
                 &contiguous_matrix(n),
@@ -35,9 +36,10 @@ fn main() {
             );
             (ms(t), tr)
         })
-        .series("baseline", move |n, r| {
+        .series("baseline", move |n, arch, r| {
             let (t, tr) = baseline_rtt(
                 topo,
+                arch,
                 MpiConfig::default(),
                 &submatrix(n),
                 &contiguous_matrix(n),

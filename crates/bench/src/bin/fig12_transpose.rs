@@ -20,9 +20,10 @@ fn main() {
         (Topo::Ib, "InfiniBand (ms RTT)", "ib"),
     ] {
         Sweep::new("fig12", label, "matrix_size", &[256, 384, 512, 768, 1024])
-            .series("ours", move |n, r| {
+            .series("ours", move |n, arch, r| {
                 let (t, tr) = ours_rtt(
                     topo,
+                    arch,
                     MpiConfig::default(),
                     &contiguous_matrix(n),
                     &transpose_type(n),
@@ -31,9 +32,10 @@ fn main() {
                 );
                 (ms(t), tr)
             })
-            .series("baseline", move |n, r| {
+            .series("baseline", move |n, arch, r| {
                 let (t, tr) = baseline_rtt(
                     topo,
+                    arch,
                     MpiConfig::default(),
                     &contiguous_matrix(n),
                     &transpose_type(n),

@@ -12,14 +12,14 @@ use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, contiguous_matrix, stair_triangular, submatrix, triangular};
 use datatype::DataType;
 use devengine::pack_async;
-use gpusim::{memcpy, GpuWorld as _};
+use gpusim::{memcpy, GpuArch, GpuWorld as _};
 use memsim::MemSpace;
 use mpirt::MpiConfig;
 use simcore::Tracer;
 
 /// Bandwidth of one warm pack of `ty` into a device buffer.
-fn pack_bw(ty: &DataType, record: bool) -> (f64, Tracer) {
-    let mut sess = solo_session(MpiConfig::default(), record);
+fn pack_bw(ty: &DataType, arch: &'static GpuArch, record: bool) -> (f64, Tracer) {
+    let mut sess = solo_session(arch, MpiConfig::default(), record);
     let typed = alloc_typed(&mut sess, 0, ty, 1, true, true);
     let total = ty.size();
     let gpu = sess.world.mpi.ranks[0].gpu;
@@ -64,8 +64,8 @@ fn pack_bw(ty: &DataType, record: bool) -> (f64, Tracer) {
 }
 
 /// `cudaMemcpy` D2D of the same payload — the practical peak.
-fn memcpy_bw(bytes: u64, record: bool) -> (f64, Tracer) {
-    let mut sess = solo_session(MpiConfig::default(), record);
+fn memcpy_bw(bytes: u64, arch: &'static GpuArch, record: bool) -> (f64, Tracer) {
+    let mut sess = solo_session(arch, MpiConfig::default(), record);
     let gpu = sess.world.mpi.ranks[0].gpu;
     let a = sess
         .world
@@ -92,11 +92,13 @@ fn main() {
         "matrix_size",
         &[512, 1024, 2048, 3072, 4096],
     )
-    .series("T", |n, r| pack_bw(&triangular(n), r))
-    .series("V", |n, r| pack_bw(&submatrix(n), r))
-    .series("T-stair", |n, r| pack_bw(&stair_triangular(n, 128), r))
-    .series("C-cudaMemcpy", |n, r| {
-        memcpy_bw(contiguous_matrix(n).size(), r)
+    .series("T", |n, a, r| pack_bw(&triangular(n), a, r))
+    .series("V", |n, a, r| pack_bw(&submatrix(n), a, r))
+    .series("T-stair", |n, a, r| {
+        pack_bw(&stair_triangular(n, 128), a, r)
+    })
+    .series("C-cudaMemcpy", |n, a, r| {
+        memcpy_bw(contiguous_matrix(n).size(), a, r)
     })
     .run(&opts);
 }

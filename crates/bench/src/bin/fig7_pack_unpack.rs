@@ -37,12 +37,13 @@ enum Via {
 /// pre-runs once so the CUDA-DEV cache is hot.
 fn run(
     ty: &DataType,
+    arch: &'static gpusim::GpuArch,
     cfg: EngineConfig,
     cached: bool,
     via: Via,
     record: bool,
 ) -> (SimTime, Tracer) {
-    let mut sess: Session = solo_session(MpiConfig::default(), record);
+    let mut sess: Session = solo_session(arch, MpiConfig::default(), record);
     let typed = alloc_typed(&mut sess, 0, ty, 1, true, true);
     let typed_out = alloc_typed(&mut sess, 0, ty, 1, true, false);
     let total = ty.size();
@@ -144,8 +145,8 @@ fn main() {
         &[512, 1024, 2048, 3072, 4096],
     );
     for (name, mk, cfg, cached, via) in configs {
-        sweep = sweep.series(name, move |n, record| {
-            let (t, trace) = run(&mk(n), cfg.clone(), cached, via, record);
+        sweep = sweep.series(name, move |n, arch, record| {
+            let (t, trace) = run(&mk(n), arch, cfg.clone(), cached, via, record);
             (ms(t), trace)
         });
     }

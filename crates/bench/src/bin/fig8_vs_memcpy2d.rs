@@ -17,7 +17,7 @@ use bench::harness::ms;
 use bench::runner::{solo_session, BenchOpts, Sweep};
 use bench::workloads::{alloc_typed, raw_vector};
 use devengine::pack_async;
-use gpusim::{memcpy, memcpy_2d, GpuWorld as _};
+use gpusim::{memcpy, memcpy_2d, GpuArch, GpuWorld as _};
 use memsim::{MemSpace, Ptr};
 use mpirt::{MpiConfig, Session};
 use simcore::{SimTime, Tracer};
@@ -33,9 +33,9 @@ struct Setup {
     stride: u64,
 }
 
-fn setup(blocks: u64, block: u64, record: bool) -> Setup {
+fn setup(blocks: u64, block: u64, arch: &'static GpuArch, record: bool) -> Setup {
     let ty = raw_vector(blocks, block, block); // gap == block size
-    let mut sess = solo_session(MpiConfig::default(), record);
+    let mut sess = solo_session(arch, MpiConfig::default(), record);
     let typed = alloc_typed(&mut sess, 0, &ty, 1, true, true);
     let total = ty.size();
     let gpu = sess.world.mpi.ranks[0].gpu;
@@ -60,12 +60,13 @@ fn setup(blocks: u64, block: u64, record: bool) -> Setup {
 fn kernel_time(
     blocks: u64,
     block: u64,
+    arch: &'static GpuArch,
     to_host: bool,
     then_d2h: bool,
     record: bool,
 ) -> (SimTime, Tracer) {
     let ty = raw_vector(blocks, block, block);
-    let mut s = setup(blocks, block, record);
+    let mut s = setup(blocks, block, arch, record);
     let stream = s.sess.world.mpi.ranks[0].kernel_stream;
     let copy_stream = s.sess.world.mpi.ranks[0].copy_stream;
     let dst = if to_host { s.host_buf } else { s.gpu_buf };
@@ -95,11 +96,12 @@ fn kernel_time(
 fn mcp2d_time(
     blocks: u64,
     block: u64,
+    arch: &'static GpuArch,
     to_host: bool,
     then_d2h: bool,
     record: bool,
 ) -> (SimTime, Tracer) {
-    let mut s = setup(blocks, block, record);
+    let mut s = setup(blocks, block, arch, record);
     let stream = s.sess.world.mpi.ranks[0].copy_stream;
     let dst = if to_host { s.host_buf } else { s.gpu_buf };
     let (gpu_buf, host_buf, total) = (s.gpu_buf, s.host_buf, s.total);
@@ -136,28 +138,28 @@ fn main() {
             "block_size_bytes",
             &[128, 192, 256, 512, 1000, 1024, 2048, 3000, 4096],
         )
-        .series("kernel-d2d", move |b, r| {
-            let (t, tr) = kernel_time(blocks, b, false, false, r);
+        .series("kernel-d2d", move |b, arch, r| {
+            let (t, tr) = kernel_time(blocks, b, arch, false, false, r);
             (ms(t), tr)
         })
-        .series("kernel-d2d2h", move |b, r| {
-            let (t, tr) = kernel_time(blocks, b, false, true, r);
+        .series("kernel-d2d2h", move |b, arch, r| {
+            let (t, tr) = kernel_time(blocks, b, arch, false, true, r);
             (ms(t), tr)
         })
-        .series("kernel-d2h-cpy", move |b, r| {
-            let (t, tr) = kernel_time(blocks, b, true, false, r);
+        .series("kernel-d2h-cpy", move |b, arch, r| {
+            let (t, tr) = kernel_time(blocks, b, arch, true, false, r);
             (ms(t), tr)
         })
-        .series("mcp2d-d2d", move |b, r| {
-            let (t, tr) = mcp2d_time(blocks, b, false, false, r);
+        .series("mcp2d-d2d", move |b, arch, r| {
+            let (t, tr) = mcp2d_time(blocks, b, arch, false, false, r);
             (ms(t), tr)
         })
-        .series("mcp2d-d2d2h", move |b, r| {
-            let (t, tr) = mcp2d_time(blocks, b, false, true, r);
+        .series("mcp2d-d2d2h", move |b, arch, r| {
+            let (t, tr) = mcp2d_time(blocks, b, arch, false, true, r);
             (ms(t), tr)
         })
-        .series("mcp2d-d2h", move |b, r| {
-            let (t, tr) = mcp2d_time(blocks, b, true, false, r);
+        .series("mcp2d-d2h", move |b, arch, r| {
+            let (t, tr) = mcp2d_time(blocks, b, arch, true, false, r);
             (ms(t), tr)
         })
         .run(&opts.for_panel(panel));

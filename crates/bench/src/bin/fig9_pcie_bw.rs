@@ -10,10 +10,11 @@ use bench::harness::gbps;
 use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use bench::workloads::{contiguous_matrix, submatrix, triangular};
 use datatype::DataType;
+use gpusim::GpuArch;
 use mpirt::MpiConfig;
 
-fn bw(ty: &DataType, record: bool) -> (f64, simcore::Tracer) {
-    let (rtt, trace) = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), ty, ty, 3, record);
+fn bw(ty: &DataType, arch: &'static GpuArch, record: bool) -> (f64, simcore::Tracer) {
+    let (rtt, trace) = ours_rtt(Topo::Sm2Gpu, arch, MpiConfig::default(), ty, ty, 3, record);
     // One direction moves ty.size() bytes in half the RTT.
     let one_way = simcore::SimTime::from_nanos(rtt.as_nanos() / 2);
     (gbps(ty.size(), one_way), trace)
@@ -27,8 +28,8 @@ fn main() {
         "matrix_size",
         &[512, 1024, 2048, 3072, 4096],
     )
-    .series("V", |n, r| bw(&submatrix(n), r))
-    .series("T", |n, r| bw(&triangular(n), r))
-    .series("C", |n, r| bw(&contiguous_matrix(n), r))
+    .series("V", |n, a, r| bw(&submatrix(n), a, r))
+    .series("T", |n, a, r| bw(&triangular(n), a, r))
+    .series("C", |n, a, r| bw(&contiguous_matrix(n), a, r))
     .run(&opts);
 }

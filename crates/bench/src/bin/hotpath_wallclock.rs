@@ -72,7 +72,7 @@ fn ms(t: SimTime) -> f64 {
 fn pack_wallclock(n: u64, reps: u32, cache: &Rc<RefCell<DevCache>>) -> Series {
     let ty = triangular(n);
     let total = ty.size();
-    let mut sess = solo_session(MpiConfig::default(), false);
+    let mut sess = solo_session(gpusim::GpuArch::default_arch(), MpiConfig::default(), false);
     let typed = alloc_typed(&mut sess, 0, &ty, 1, true, true);
     let gpu = sess.world.mpi.ranks[0].gpu;
     let packed = sess
@@ -127,7 +127,9 @@ fn pingpong_wallclock(n: u64, iters: u32, reps: u32) -> Series {
     let mut last_rtt = SimTime::ZERO;
     let wall = Instant::now();
     for _ in 0..reps {
-        let mut sess = Topo::Sm2Gpu.session(MpiConfig::default()).build();
+        let mut sess = Topo::Sm2Gpu
+            .session(gpusim::GpuArch::default_arch(), MpiConfig::default())
+            .build();
         let b0 = alloc_typed(&mut sess, 0, &ty, 1, true, true);
         let b1 = alloc_typed(&mut sess, 1, &ty, 1, true, false);
         last_rtt = ping_pong(

@@ -7,6 +7,7 @@
 
 use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
 use datatype::DataType;
+use gpusim::GpuArch;
 use mpirt::MpiConfig;
 use simcore::Tracer;
 
@@ -26,8 +27,8 @@ fn vector(kb: u64) -> DataType {
         .commit()
 }
 
-fn one_way_us(topo: Topo, ty: &DataType, record: bool) -> (f64, Tracer) {
-    let (rtt, trace) = ours_rtt(topo, MpiConfig::default(), ty, ty, 3, record);
+fn one_way_us(topo: Topo, ty: &DataType, arch: &'static GpuArch, record: bool) -> (f64, Tracer) {
+    let (rtt, trace) = ours_rtt(topo, arch, MpiConfig::default(), ty, ty, 3, record);
     (rtt.as_micros_f64() / 2.0, trace)
 }
 
@@ -43,8 +44,8 @@ fn main() {
             "message_kb",
             &[1, 4, 16, 64, 256, 1024, 4096, 16384],
         )
-        .series("C_us", move |kb, r| one_way_us(topo, &contig(kb), r))
-        .series("V_us", move |kb, r| one_way_us(topo, &vector(kb), r))
+        .series("C_us", move |kb, a, r| one_way_us(topo, &contig(kb), a, r))
+        .series("V_us", move |kb, a, r| one_way_us(topo, &vector(kb), a, r))
         .run(&opts.for_panel(suffix));
         println!();
     }

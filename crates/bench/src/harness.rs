@@ -7,6 +7,10 @@ pub struct Figure {
     pub id: &'static str,
     pub title: &'static str,
     pub x_label: &'static str,
+    /// Insert an `arch` column after the x column (multi-arch sweeps).
+    /// Off for default-arch runs so their CSVs stay byte-identical to
+    /// the committed `results/` files.
+    pub arch_column: bool,
     pub series: Vec<String>,
 }
 
@@ -14,16 +18,23 @@ pub struct Figure {
 pub fn print_header(fig: &Figure) {
     println!("# {} — {}", fig.id, fig.title);
     print!("{}", fig.x_label);
+    if fig.arch_column {
+        print!(",arch");
+    }
     for s in &fig.series {
         print!(",{s}");
     }
     println!();
 }
 
-/// Print one CSV row: x value and one f64 per series (NaN prints empty,
-/// matching points the paper's figures omit as off-scale).
-pub fn print_row(x: u64, values: &[f64]) {
+/// Print one CSV row: x value, the arch name when the sweep carries the
+/// arch column, and one f64 per series (NaN prints empty, matching
+/// points the paper's figures omit as off-scale).
+pub fn print_row(x: u64, arch: Option<&str>, values: &[f64]) {
     print!("{x}");
+    if let Some(arch) = arch {
+        print!(",{arch}");
+    }
     for v in values {
         if v.is_nan() {
             print!(",");

@@ -13,6 +13,7 @@ use crate::harness::{print_header, print_row, Figure};
 use crate::workloads::alloc_typed;
 use baseline::proto::{baseline_ping_pong, BaselineSide};
 use datatype::DataType;
+use gpusim::GpuArch;
 use memsim::GpuId;
 use mpirt::api::PingPongSpec;
 use mpirt::{ping_pong, MpiConfig, RankSpec, Session, SessionBuilder};
@@ -23,15 +24,25 @@ use std::path::PathBuf;
 pub struct BenchOpts {
     /// Write a merged Chrome trace of the largest-x run here.
     pub trace: Option<PathBuf>,
+    /// GPU architectures to sweep (`--arch`), resolution order
+    /// preserved, duplicates removed. Empty means "registry default".
+    pub archs: Vec<&'static GpuArch>,
+    /// Restrict the sweep to its smallest x (`--smoke`), for CI runs
+    /// that validate output shape rather than figure fidelity.
+    pub smoke: bool,
     /// Positional arguments left over (panel selectors etc.).
     pub rest: Vec<String>,
 }
 
 impl BenchOpts {
-    /// Parse `std::env::args`: `--trace <path>` plus free positionals.
+    /// Parse `std::env::args`: `--trace <path>`, `--arch <names>`
+    /// (repeatable and/or comma-separated), `--smoke`, plus free
+    /// positionals.
     pub fn parse() -> BenchOpts {
         let mut args = std::env::args().skip(1);
         let mut trace = None;
+        let mut archs: Vec<&'static GpuArch> = Vec::new();
+        let mut smoke = false;
         let mut rest = Vec::new();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -39,10 +50,35 @@ impl BenchOpts {
                     let path = args.next().expect("--trace needs a path");
                     trace = Some(PathBuf::from(path));
                 }
+                "--arch" => {
+                    let names = args.next().expect("--arch needs a name (e.g. k40,v100)");
+                    for name in names.split(',').filter(|s| !s.trim().is_empty()) {
+                        let arch = GpuArch::named(name);
+                        if !archs.contains(&arch) {
+                            archs.push(arch);
+                        }
+                    }
+                }
+                "--smoke" => smoke = true,
                 other => rest.push(other.to_string()),
             }
         }
-        BenchOpts { trace, rest }
+        BenchOpts {
+            trace,
+            archs,
+            smoke,
+            rest,
+        }
+    }
+
+    /// The architectures to run: the `--arch` selection, or the
+    /// registry default when none was named.
+    pub fn archs(&self) -> Vec<&'static GpuArch> {
+        if self.archs.is_empty() {
+            vec![GpuArch::default_arch()]
+        } else {
+            self.archs.clone()
+        }
     }
 
     /// Options for one panel of a multi-panel binary: same flags, with
@@ -56,17 +92,19 @@ impl BenchOpts {
         });
         BenchOpts {
             trace,
+            archs: self.archs.clone(),
+            smoke: self.smoke,
             rest: self.rest.clone(),
         }
     }
 }
 
-/// One measured configuration: maps an x value to a cell value, and —
-/// when the runner asks for a trace (`record` true) — returns the run's
-/// tracer alongside. Build sims through [`Session`] and return
-/// `session.into_trace()` so the tracer always comes back, recorded or
-/// not.
-pub type Eval = Box<dyn Fn(u64, bool) -> (f64, Tracer)>;
+/// One measured configuration: maps an (x, arch) point to a cell value,
+/// and — when the runner asks for a trace (`record` true) — returns the
+/// run's tracer alongside. Build sims through [`Session`] (threading the
+/// arch into the builder) and return `session.into_trace()` so the
+/// tracer always comes back, recorded or not.
+pub type Eval = Box<dyn Fn(u64, &'static GpuArch, bool) -> (f64, Tracer)>;
 
 /// A figure: an x-axis sweep over named series.
 pub struct Sweep {
@@ -92,34 +130,65 @@ impl Sweep {
     pub fn series(
         mut self,
         name: &str,
-        eval: impl Fn(u64, bool) -> (f64, Tracer) + 'static,
+        eval: impl Fn(u64, &'static GpuArch, bool) -> (f64, Tracer) + 'static,
     ) -> Sweep {
         self.series.push((name.to_string(), Box::new(eval)));
         self
     }
 
     /// Print the CSV, then honor `--trace`.
+    ///
+    /// Output format is arch-aware: when the resolved selection is
+    /// exactly the registry default (no `--arch`, or `--arch k40`), the
+    /// CSV is the legacy column set, byte-identical to the committed
+    /// `results/` files. Any other selection inserts an `arch` column
+    /// after the x column and emits one row per (x, arch).
     pub fn run(self, opts: &BenchOpts) {
+        let archs = opts.archs();
+        let legacy = archs == [GpuArch::default_arch()];
+        let xs: Vec<u64> = if opts.smoke {
+            self.xs.iter().copied().take(1).collect()
+        } else {
+            self.xs.clone()
+        };
         let fig = Figure {
             id: self.id,
             title: self.title,
             x_label: self.x_label,
+            arch_column: !legacy,
             series: self.series.iter().map(|(n, _)| n.clone()).collect(),
         };
         print_header(&fig);
-        for &x in &self.xs {
-            let row: Vec<f64> = self.series.iter().map(|(_, f)| f(x, false).0).collect();
-            print_row(x, &row);
+        for &x in &xs {
+            for &arch in &archs {
+                let row: Vec<f64> = self
+                    .series
+                    .iter()
+                    .map(|(_, f)| f(x, arch, false).0)
+                    .collect();
+                print_row(x, (!legacy).then_some(arch.name), &row);
+            }
         }
         if let Some(path) = &opts.trace {
-            let x = *self.xs.last().expect("sweep has at least one x");
+            let x = *xs.last().expect("sweep has at least one x");
             let mut events = Vec::new();
+            let mut pid = 0u32;
             eprintln!("# {}: tracing {} = {x}", self.id, self.x_label);
-            for (i, (name, f)) in self.series.iter().enumerate() {
-                let (_, trace) = f(x, true);
-                trace.chrome_events(i as u32 + 1, name, &mut events);
-                eprintln!("## {name}");
-                eprint!("{}", Metrics::from_trace(&trace).summary());
+            for &arch in &archs {
+                for (name, f) in &self.series {
+                    let label = if legacy {
+                        name.clone()
+                    } else {
+                        format!("{name}@{}", arch.name)
+                    };
+                    let (_, trace) = f(x, arch, true);
+                    pid += 1;
+                    trace.chrome_events(pid, &label, &mut events);
+                    eprintln!("## {label}");
+                    let mut m = Metrics::from_trace(&trace);
+                    m.arch = Some(arch.name);
+                    eprint!("{}", m.summary());
+                }
             }
             let json = format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"));
             std::fs::write(path, json)
@@ -141,9 +210,9 @@ pub enum Topo {
 }
 
 impl Topo {
-    /// A session builder preset for this topology.
-    pub fn session(self, config: MpiConfig) -> SessionBuilder {
-        let b = Session::builder().config(config);
+    /// A session builder preset for this topology on one architecture.
+    pub fn session(self, arch: &'static GpuArch, config: MpiConfig) -> SessionBuilder {
+        let b = Session::builder().arch(arch).config(config);
         match self {
             Topo::Sm1Gpu => b.two_ranks_one_gpu(),
             Topo::Sm2Gpu => b.two_ranks_two_gpus(),
@@ -163,8 +232,9 @@ impl Topo {
 
 /// A single-rank session for the intra-process engine benchmarks
 /// (Figures 6–8): one GPU, no channels.
-pub fn solo_session(config: MpiConfig, record: bool) -> Session {
+pub fn solo_session(arch: &'static GpuArch, config: MpiConfig, record: bool) -> Session {
     Session::builder()
+        .arch(arch)
         .ranks(
             &[RankSpec {
                 gpu: GpuId(0),
@@ -181,13 +251,14 @@ pub fn solo_session(config: MpiConfig, record: bool) -> Session {
 /// rank 0 holds `ty0`, rank 1 holds `ty1` (signatures must match).
 pub fn ours_rtt(
     topo: Topo,
+    arch: &'static GpuArch,
     config: MpiConfig,
     ty0: &DataType,
     ty1: &DataType,
     iters: u32,
     record: bool,
 ) -> (SimTime, Tracer) {
-    let mut sess = topo.session(config).record_if(record).build();
+    let mut sess = topo.session(arch, config).record_if(record).build();
     let b0 = alloc_typed(&mut sess, 0, ty0, 1, true, true);
     let b1 = alloc_typed(&mut sess, 1, ty1, 1, true, false);
     let t = ping_pong(
@@ -209,13 +280,14 @@ pub fn ours_rtt(
 /// workload and topology.
 pub fn baseline_rtt(
     topo: Topo,
+    arch: &'static GpuArch,
     config: MpiConfig,
     ty0: &DataType,
     ty1: &DataType,
     iters: u32,
     record: bool,
 ) -> (SimTime, Tracer) {
-    let mut sess = topo.session(config).record_if(record).build();
+    let mut sess = topo.session(arch, config).record_if(record).build();
     let b0 = alloc_typed(&mut sess, 0, ty0, 1, true, true);
     let b1 = alloc_typed(&mut sess, 1, ty1, 1, true, false);
     let t = baseline_ping_pong(
@@ -254,10 +326,11 @@ mod tests {
     fn rtt_drivers_run() {
         let t = triangular(96);
         let v = submatrix(96);
+        let k40 = GpuArch::default_arch();
         for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
-            let (ours, _) = ours_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
+            let (ours, _) = ours_rtt(topo, k40, MpiConfig::default(), &t, &t, 2, false);
             assert!(ours > SimTime::ZERO, "{topo:?}");
-            let (base, _) = baseline_rtt(topo, MpiConfig::default(), &v, &v, 2, false);
+            let (base, _) = baseline_rtt(topo, k40, MpiConfig::default(), &v, &v, 2, false);
             assert!(base > SimTime::ZERO, "{topo:?}");
         }
     }
@@ -265,17 +338,31 @@ mod tests {
     #[test]
     fn ours_beats_baseline_on_triangular_everywhere() {
         let t = triangular(192);
-        for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
-            let (ours, _) = ours_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
-            let (base, _) = baseline_rtt(topo, MpiConfig::default(), &t, &t, 2, false);
-            assert!(ours < base, "{topo:?}: ours {ours} vs baseline {base}");
+        for arch in GpuArch::registry() {
+            for topo in [Topo::Sm1Gpu, Topo::Sm2Gpu, Topo::Ib] {
+                let (ours, _) = ours_rtt(topo, arch, MpiConfig::default(), &t, &t, 2, false);
+                let (base, _) = baseline_rtt(topo, arch, MpiConfig::default(), &t, &t, 2, false);
+                assert!(
+                    ours < base,
+                    "{topo:?} on {}: ours {ours} vs baseline {base}",
+                    arch.name
+                );
+            }
         }
     }
 
     #[test]
     fn recorded_rtt_trace_has_protocol_spans() {
         let t = triangular(128);
-        let (_, trace) = ours_rtt(Topo::Sm2Gpu, MpiConfig::default(), &t, &t, 1, true);
+        let (_, trace) = ours_rtt(
+            Topo::Sm2Gpu,
+            GpuArch::default_arch(),
+            MpiConfig::default(),
+            &t,
+            &t,
+            1,
+            true,
+        );
         let cats: std::collections::BTreeSet<&str> = trace
             .events()
             .iter()

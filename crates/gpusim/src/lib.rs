@@ -22,16 +22,18 @@
 //!   latencies, and SM occupancy can be throttled (the paper's "minimal
 //!   GPU resources" experiment) or derated by a co-running application.
 
+pub mod arch;
 pub mod copy;
 pub mod fault;
 pub mod kernel;
 pub mod spec;
 pub mod system;
 
+pub use arch::{CostParams, GpuArch};
 pub use copy::{memcpy, memcpy_2d, CopyDirection};
 pub use fault::{count_retry, fault_roll, fault_scaled};
 pub use kernel::{launch_transfer_kernel, transfer_kernel_time, KernelConfig};
-pub use spec::{GpuSpec, NodeTopology};
+pub use spec::{GpuSpec, Interconnect, NodeTopology};
 pub use system::{
     ipc_export, ipc_open, stream_sync, GpuState, GpuSystem, GpuWorld, NodeWorld, StreamId,
 };

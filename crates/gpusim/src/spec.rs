@@ -3,6 +3,14 @@
 //! Defaults model the paper's testbed: NVIDIA K40 (Kepler GK110B,
 //! 15 SMs), PCIe gen3 x16, CUDA 7.0-era driver overheads. All figure
 //! harnesses use these defaults; tests may build cheaper specs.
+//!
+//! This module is the *only* place raw per-architecture constants are
+//! written down (the `cargo xtask lint` arch rule enforces it). The
+//! [`crate::arch::GpuArch`] registry layers lookup-by-name, aliases and
+//! cached derived cost parameters on top of these constructors; newer
+//! parts (P100/V100/A100) exist so the figure harnesses can ask whether
+//! the paper's pipeline still wins on NVLink-era hardware. Sources for
+//! each number are cited on the constructor.
 
 use simcore::Bandwidth;
 use simcore::SimTime;
@@ -59,6 +67,65 @@ impl GpuSpec {
         }
     }
 
+    /// NVIDIA Tesla P100 (Pascal GP100, SXM2). DGX-1 era: 56 SMs,
+    /// HBM2 at 732 GB/s peak (~480 GB/s practical `cudaMemcpy` D2D, so
+    /// 960 GB/s of read+write traffic), 32-byte L2 sectors instead of
+    /// Kepler's monolithic 128-byte lines, CUDA 8-era launch overheads.
+    pub fn p100() -> Self {
+        GpuSpec {
+            name: "Tesla P100-SXM2",
+            sm_count: 56,
+            warp_size: 32,
+            transaction_bytes: 32,
+            bytes_per_thread: 8,
+            dram_traffic_bw: Bandwidth::from_gbps(960.0),
+            launch_overhead: SimTime::from_micros(5),
+            memcpy_latency: SimTime::from_micros(3),
+            descriptor_bytes: 32,
+            pack_kernel_efficiency: 0.93,
+            memory_bytes: 16 << 30,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta GV100, SXM2). DGX-1V era: 80 SMs,
+    /// HBM2 at 900 GB/s peak (~780 GB/s D2D copy measured by the
+    /// bandwidthTest sample, 1560 GB/s traffic), 32-byte sectors,
+    /// CUDA 9-era overheads.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "Tesla V100-SXM2",
+            sm_count: 80,
+            warp_size: 32,
+            transaction_bytes: 32,
+            bytes_per_thread: 8,
+            dram_traffic_bw: Bandwidth::from_gbps(1560.0),
+            launch_overhead: SimTime::from_micros(4),
+            memcpy_latency: SimTime::from_nanos(2500),
+            descriptor_bytes: 32,
+            pack_kernel_efficiency: 0.95,
+            memory_bytes: 16 << 30,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere GA100, SXM4, 40 GB). DGX A100 era: 108 SMs,
+    /// HBM2e at 1555 GB/s peak (~1360 GB/s D2D copy, 2720 GB/s
+    /// traffic), 32-byte sectors, CUDA 11-era overheads.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100-SXM4-40GB",
+            sm_count: 108,
+            warp_size: 32,
+            transaction_bytes: 32,
+            bytes_per_thread: 8,
+            dram_traffic_bw: Bandwidth::from_gbps(2720.0),
+            launch_overhead: SimTime::from_micros(3),
+            memcpy_latency: SimTime::from_micros(2),
+            descriptor_bytes: 32,
+            pack_kernel_efficiency: 0.95,
+            memory_bytes: 40 << 30,
+        }
+    }
+
     /// Bytes one warp moves per iteration (256 with the defaults).
     pub fn warp_chunk(&self) -> u64 {
         self.warp_size as u64 * self.bytes_per_thread
@@ -74,13 +141,27 @@ impl GpuSpec {
 
 impl Default for GpuSpec {
     fn default() -> Self {
-        GpuSpec::k40()
+        crate::arch::GpuArch::default_arch().spec()
     }
+}
+
+/// The GPU↔GPU interconnect family of a node. NVLink-era parts invert
+/// several PCIe-era trade-offs (peer traffic stops being the bottleneck
+/// and fine-grained remote access keeps the link far busier), so the
+/// tag is carried explicitly for tests and self-describing traces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interconnect {
+    /// GPUs peer over the PCIe switch (the paper's PSG node).
+    Pcie,
+    /// GPUs peer over dedicated NVLink bricks (DGX-class nodes).
+    NvLink,
 }
 
 /// Node-level interconnect constants shared by all GPUs in a node.
 #[derive(Clone, Debug)]
 pub struct NodeTopology {
+    /// Which fabric the peer-to-peer path rides on.
+    pub interconnect: Interconnect,
     /// Host→device effective PCIe bandwidth.
     pub pcie_h2d: Bandwidth,
     /// Device→host effective PCIe bandwidth.
@@ -112,6 +193,7 @@ impl NodeTopology {
     /// PCIe gen3 x16 era constants matching the NVIDIA PSG cluster.
     pub fn psg_node() -> Self {
         NodeTopology {
+            interconnect: Interconnect::Pcie,
             pcie_h2d: Bandwidth::from_gbps(10.0),
             pcie_d2h: Bandwidth::from_gbps(10.0),
             pcie_p2p: Bandwidth::from_gbps(11.0),
@@ -123,11 +205,73 @@ impl NodeTopology {
             memcpy2d_row_overhead: SimTime::from_nanos(30),
         }
     }
+
+    /// DGX-1 (P100) node: NVLink 1.0 peering (two bonded links per
+    /// neighbour pair, ~35 GB/s measured by p2pBandwidthLatencyTest),
+    /// host link still PCIe gen3. NVLink's native load/store peering
+    /// keeps fine-grained kernels close to bulk-DMA rates, and the
+    /// post-Kepler DMA engines largely flatten the `cudaMemcpy2D`
+    /// misaligned-row cliff of Figure 8.
+    pub fn dgx1_p100_node() -> Self {
+        NodeTopology {
+            interconnect: Interconnect::NvLink,
+            pcie_h2d: Bandwidth::from_gbps(11.0),
+            pcie_d2h: Bandwidth::from_gbps(11.0),
+            pcie_p2p: Bandwidth::from_gbps(35.0),
+            pcie_latency: SimTime::from_nanos(1900),
+            host_memcpy_bw: Bandwidth::from_gbps(10.0),
+            ipc_open_cost: SimTime::from_micros(100),
+            peer_kernel_efficiency: 0.90,
+            memcpy2d_misaligned_factor: 0.60,
+            memcpy2d_row_overhead: SimTime::from_nanos(15),
+        }
+    }
+
+    /// DGX-1V (V100) node: NVLink 2.0 (~45 GB/s per neighbour pair),
+    /// PCIe gen3 host link with Volta's improved copy engines.
+    pub fn dgx1v_node() -> Self {
+        NodeTopology {
+            interconnect: Interconnect::NvLink,
+            pcie_h2d: Bandwidth::from_gbps(12.0),
+            pcie_d2h: Bandwidth::from_gbps(12.0),
+            pcie_p2p: Bandwidth::from_gbps(45.0),
+            pcie_latency: SimTime::from_nanos(1700),
+            host_memcpy_bw: Bandwidth::from_gbps(12.0),
+            ipc_open_cost: SimTime::from_micros(90),
+            peer_kernel_efficiency: 0.92,
+            memcpy2d_misaligned_factor: 0.80,
+            memcpy2d_row_overhead: SimTime::from_nanos(8),
+        }
+    }
+
+    /// DGX A100 node: NVLink 3.0 through NVSwitch (~235 GB/s
+    /// unidirectional per GPU pair), PCIe gen4 x16 host link.
+    pub fn dgxa100_node() -> Self {
+        NodeTopology {
+            interconnect: Interconnect::NvLink,
+            pcie_h2d: Bandwidth::from_gbps(22.0),
+            pcie_d2h: Bandwidth::from_gbps(22.0),
+            pcie_p2p: Bandwidth::from_gbps(235.0),
+            pcie_latency: SimTime::from_nanos(1500),
+            host_memcpy_bw: Bandwidth::from_gbps(18.0),
+            ipc_open_cost: SimTime::from_micros(80),
+            peer_kernel_efficiency: 0.93,
+            memcpy2d_misaligned_factor: 0.85,
+            memcpy2d_row_overhead: SimTime::from_nanos(5),
+        }
+    }
+
+    /// Does this node model the Figure 8 `cudaMemcpy2D` misaligned-row
+    /// bandwidth cliff? Kepler-era DMA engines fall to ~15% of peak on
+    /// rows that are not 64-byte multiples; later engines mostly don't.
+    pub fn memcpy2d_cliff(&self) -> bool {
+        self.memcpy2d_misaligned_factor < 0.5
+    }
 }
 
 impl Default for NodeTopology {
     fn default() -> Self {
-        NodeTopology::psg_node()
+        crate::arch::GpuArch::default_arch().topology()
     }
 }
 

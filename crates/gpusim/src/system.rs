@@ -1,6 +1,7 @@
 //! Runtime state of the simulated GPUs: streams, occupancy throttles,
 //! and the world-access trait the async operations are generic over.
 
+use crate::arch::GpuArch;
 use crate::spec::{GpuSpec, NodeTopology};
 use faultsim::{FaultDecision, FaultOp, FaultSim};
 use memsim::{GpuId, IpcHandle, MemError, Memory, Ptr};
@@ -57,22 +58,42 @@ impl GpuState {
 pub struct GpuSystem {
     gpus: Vec<GpuState>,
     pub topo: NodeTopology,
+    /// The registry entry this system was built from. Raw
+    /// [`GpuSystem::new`] callers with hand-rolled specs keep the
+    /// registry default as their label; arch-aware construction goes
+    /// through [`GpuSystem::for_arch`].
+    pub arch: &'static GpuArch,
 }
 
 impl GpuSystem {
     pub fn new(gpu_count: u32, spec: GpuSpec, topo: NodeTopology) -> Self {
+        GpuSystem::with_arch_label(GpuArch::default_arch(), gpu_count, spec, topo)
+    }
+
+    /// A node of `gpu_count` GPUs of one registered architecture.
+    pub fn for_arch(arch: &'static GpuArch, gpu_count: u32) -> Self {
+        GpuSystem::with_arch_label(arch, gpu_count, arch.spec(), arch.topology())
+    }
+
+    fn with_arch_label(
+        arch: &'static GpuArch,
+        gpu_count: u32,
+        spec: GpuSpec,
+        topo: NodeTopology,
+    ) -> Self {
         GpuSystem {
             gpus: (0..gpu_count)
                 .map(|_| GpuState::new(spec.clone()))
                 .collect(),
             topo,
+            arch,
         }
     }
 
-    /// A node of K40s with default topology (the paper's PSG node had 6;
-    /// callers choose the count).
+    /// A node of default-architecture (K40) GPUs — the paper's PSG node
+    /// had 6; callers choose the count.
     pub fn k40_node(gpu_count: u32) -> Self {
-        GpuSystem::new(gpu_count, GpuSpec::k40(), NodeTopology::psg_node())
+        GpuSystem::for_arch(GpuArch::default_arch(), gpu_count)
     }
 
     pub fn gpu_count(&self) -> u32 {
@@ -139,11 +160,15 @@ pub struct NodeWorld {
 
 impl NodeWorld {
     pub fn new(gpu_count: u32) -> Self {
-        let spec = GpuSpec::k40();
-        let mem_bytes = spec.memory_bytes;
+        NodeWorld::for_arch(GpuArch::default_arch(), gpu_count)
+    }
+
+    /// A single-node world of one registered architecture.
+    pub fn for_arch(arch: &'static GpuArch, gpu_count: u32) -> Self {
+        let mem_bytes = arch.spec().memory_bytes;
         NodeWorld {
             memory: Memory::new(gpu_count, mem_bytes),
-            gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
+            gpu_system: GpuSystem::for_arch(arch, gpu_count),
             cpus: Vec::new(),
             faults: FaultSim::disabled(),
         }

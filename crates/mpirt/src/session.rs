@@ -25,6 +25,7 @@
 
 use crate::config::MpiConfig;
 use crate::world::{MpiWorld, RankSpec};
+use gpusim::GpuArch;
 use memsim::GpuId;
 use simcore::trace::names;
 use simcore::{Metrics, Sim, SpanId, Track};
@@ -37,6 +38,7 @@ use std::path::PathBuf;
 pub struct SessionBuilder {
     specs: Vec<RankSpec>,
     gpu_count: u32,
+    arch: &'static GpuArch,
     config: MpiConfig,
     trace_path: Option<PathBuf>,
     record: bool,
@@ -57,6 +59,7 @@ impl Default for SessionBuilder {
                 },
             ],
             gpu_count: 2,
+            arch: GpuArch::default_arch(),
             config: MpiConfig::default(),
             trace_path: None,
             record: false,
@@ -122,6 +125,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Select the GPU architecture for the whole job — a registry
+    /// reference or a name (`.arch("v100")`). Composes uniformly with
+    /// every topology preset; the default is the paper's K40.
+    pub fn arch(mut self, arch: impl Into<&'static GpuArch>) -> SessionBuilder {
+        self.arch = arch.into();
+        self
+    }
+
     /// Replace the runtime configuration.
     pub fn config(mut self, config: MpiConfig) -> SessionBuilder {
         self.config = config;
@@ -158,7 +169,7 @@ impl SessionBuilder {
 
     /// Build the world and start the session.
     pub fn build(self) -> Session {
-        let world = MpiWorld::new(&self.specs, self.gpu_count, self.config);
+        let world = MpiWorld::on_arch(self.arch, &self.specs, self.gpu_count, self.config);
         let mut sim = Sim::new(world);
         sim.trace.set_recording(self.record);
         // The run-level span: every recorded trace carries at least one
@@ -208,12 +219,19 @@ impl Session {
         &self.label
     }
 
+    /// The GPU architecture the session's world was built on.
+    pub fn arch(&self) -> &'static GpuArch {
+        self.sim.world.cluster.gpu_system.arch
+    }
+
     /// Metrics over everything recorded so far (the session is left
     /// running). Counters are always populated; timing fields need the
     /// builder's `record()` or `trace()`.
     pub fn metrics(&mut self) -> Metrics {
         self.sync_devcache_counters();
-        Metrics::from_trace(&self.sim.trace)
+        let mut m = Metrics::from_trace(&self.sim.trace);
+        m.arch = Some(self.arch().name);
+        m
     }
 
     /// Reconcile each rank's `DevCache` hit/miss/evict tallies into the
@@ -262,7 +280,8 @@ impl Session {
         self.sync_devcache_counters();
         let now = self.sim.now();
         self.sim.trace.span_end(now, self.run_span);
-        let metrics = Metrics::from_trace(&self.sim.trace);
+        let mut metrics = Metrics::from_trace(&self.sim.trace);
+        metrics.arch = Some(self.arch().name);
         if let Some(path) = &self.trace_path {
             let json = self.sim.trace.chrome_json(&self.label);
             std::fs::write(path, json)

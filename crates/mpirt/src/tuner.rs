@@ -49,6 +49,11 @@ pub enum PathClass {
 /// One cached tuning decision.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TuneKey {
+    /// GPU architecture the model constants came from. The cache lives
+    /// on a single-arch `MpiState` today, but keying on the arch keeps
+    /// cached decisions honest if states are ever shared or compared
+    /// across worlds (and makes per-arch divergence directly testable).
+    pub arch: &'static str,
     /// Structural fingerprint of the sender layout (canonical form when
     /// canonicalization is on, so equivalent trees share a decision).
     pub s_layout: u64,
@@ -338,6 +343,7 @@ pub fn tuned_shape(
     }
     let total = s.total();
     let key = TuneKey {
+        arch: sim.world.gpus_ref().arch.name,
         s_layout: side_fingerprint(s, &opt),
         r_layout: side_fingerprint(r, &opt),
         total,

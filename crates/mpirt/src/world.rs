@@ -7,7 +7,7 @@ use crate::connection::{IbConn, SmConn};
 use crate::matcher::Matcher;
 use devengine::DevCache;
 use faultsim::FaultSim;
-use gpusim::{GpuSystem, GpuWorld, StreamId};
+use gpusim::{GpuArch, GpuSystem, GpuWorld, StreamId};
 use memsim::{GpuId, Memory};
 use netsim::{ChannelKind, ClusterWorld, NetSystem, NetWorld};
 use simcore::hash::DetHashMap;
@@ -67,10 +67,25 @@ pub struct MpiWorld {
 }
 
 impl MpiWorld {
-    /// Build a job from rank placements. Channels are created for every
-    /// rank pair: shared memory within a node, InfiniBand across nodes.
+    /// Build a job from rank placements on the default (K40)
+    /// architecture. Channels are created for every rank pair: shared
+    /// memory within a node, InfiniBand across nodes.
     pub fn new(specs: &[RankSpec], gpu_count: u32, config: MpiConfig) -> MpiWorld {
-        let mut cluster = ClusterWorld::new(gpu_count);
+        MpiWorld::on_arch(GpuArch::default_arch(), specs, gpu_count, config)
+    }
+
+    /// Build a job whose GPUs and node interconnect come from one
+    /// registered architecture. The arch is job-level: every rank's GPU
+    /// is the same part (mixed-arch jobs are a later extension), and
+    /// everything above — protocol costs, tuner decisions, metrics —
+    /// reads it back from `cluster.gpu_system.arch`.
+    pub fn on_arch(
+        arch: &'static GpuArch,
+        specs: &[RankSpec],
+        gpu_count: u32,
+        config: MpiConfig,
+    ) -> MpiWorld {
+        let mut cluster = ClusterWorld::for_arch(arch, gpu_count);
         cluster.faults = FaultSim::from_plan(config.fault_plan.clone());
         let mut ranks = Vec::with_capacity(specs.len());
         for (i, s) in specs.iter().enumerate() {

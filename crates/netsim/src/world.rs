@@ -3,7 +3,7 @@
 
 use crate::channel::NetSystem;
 use faultsim::FaultSim;
-use gpusim::{GpuSpec, GpuSystem, GpuWorld, NodeTopology};
+use gpusim::{GpuArch, GpuSystem, GpuWorld};
 use memsim::Memory;
 use simcore::FifoResource;
 
@@ -26,11 +26,16 @@ pub struct ClusterWorld {
 
 impl ClusterWorld {
     pub fn new(gpu_count: u32) -> ClusterWorld {
-        let spec = GpuSpec::k40();
-        let mem_bytes = spec.memory_bytes;
+        ClusterWorld::for_arch(GpuArch::default_arch(), gpu_count)
+    }
+
+    /// A cluster world whose GPUs (and node topology) come from one
+    /// registered architecture.
+    pub fn for_arch(arch: &'static GpuArch, gpu_count: u32) -> ClusterWorld {
+        let mem_bytes = arch.spec().memory_bytes;
         ClusterWorld {
             memory: Memory::new(gpu_count, mem_bytes),
-            gpu_system: GpuSystem::new(gpu_count, spec, NodeTopology::psg_node()),
+            gpu_system: GpuSystem::for_arch(arch, gpu_count),
             net_system: NetSystem::new(),
             cpus: Vec::new(),
             faults: FaultSim::disabled(),

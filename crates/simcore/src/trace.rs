@@ -485,6 +485,10 @@ pub struct Metrics {
     pub ring_residency: f64,
     /// Final counter totals (bytes moved per link/space, AM counts...).
     pub counters: Vec<(CounterKey, u64)>,
+    /// GPU architecture the run was simulated on, when the world above
+    /// knows it (sessions stamp this so traces/CSVs are
+    /// self-describing). `None` for bare tracer-derived metrics.
+    pub arch: Option<&'static str>,
 }
 
 /// Union length of a set of intervals.
@@ -584,6 +588,7 @@ impl Metrics {
                 0.0
             },
             counters: trace.counters().collect(),
+            arch: None,
         }
     }
 
@@ -600,6 +605,9 @@ impl Metrics {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
+        if let Some(arch) = self.arch {
+            let _ = writeln!(s, "arch              {arch}");
+        }
         let _ = writeln!(s, "makespan          {}", self.makespan);
         for (class, busy) in &self.class_busy {
             let _ = writeln!(s, "busy[{class:?}]{:<8} {busy}", "");

@@ -1,4 +1,4 @@
-//! The four invariant rule families.
+//! The five invariant rule families.
 //!
 //! Every rule walks the token stream of one file (test regions already
 //! marked by the lexer) and emits [`Violation`]s. Scopes are path
@@ -9,7 +9,7 @@ use crate::lexer::Token;
 
 /// Rule family identifiers; one ratchet allowlist file exists per
 /// family under `lint/<family>.allow`.
-pub const FAMILIES: [&str; 4] = ["determinism", "panic", "fault", "metrics"];
+pub const FAMILIES: [&str; 5] = ["determinism", "panic", "fault", "metrics", "arch"];
 
 /// One finding, before allowlist reconciliation.
 #[derive(Debug, Clone)]
@@ -94,9 +94,18 @@ fn panic_scope(rel: &str) -> bool {
         || rel.starts_with("crates/gpusim/src/")
 }
 
+/// Arch-registry scope: every crate source file except the calibration
+/// tables themselves. `gpusim/src/spec.rs` is the single place the raw
+/// per-architecture constructors are defined; everywhere else must go
+/// through the `GpuArch` registry so `--arch` actually re-parameterizes
+/// the whole stack.
+fn arch_scope(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel.contains("/src/") && rel != "crates/gpusim/src/spec.rs"
+}
+
 /// True when any rule family wants to see this file.
 pub fn any_scope(rel: &str) -> bool {
-    in_sim_crates(rel) || determinism_wallclock_scope(rel) || panic_scope(rel)
+    in_sim_crates(rel) || determinism_wallclock_scope(rel) || panic_scope(rel) || arch_scope(rel)
 }
 
 /// Run every applicable family over one file.
@@ -110,6 +119,9 @@ pub fn scan_file(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     if in_sim_crates(rel) {
         scan_fault(rel, toks, out);
         scan_metrics(rel, toks, out);
+    }
+    if arch_scope(rel) {
+        scan_arch(rel, toks, out);
     }
 }
 
@@ -350,6 +362,49 @@ fn scan_metrics(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// Family 5 — single-source arch constants: hardcoded calls to the
+/// per-architecture spec/topology constructors (`k40()`, `psg_node()`,
+/// `p100()`, …) outside `gpusim/src/spec.rs` and test regions bypass
+/// the `GpuArch` registry and silently pin a code path to one testbed.
+fn scan_arch(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    const CONSTRUCTORS: [(&str, &str); 8] = [
+        ("k40", "k40"),
+        ("p100", "p100"),
+        ("v100", "v100"),
+        ("a100", "a100"),
+        ("psg_node", "psg_node"),
+        ("dgx1_p100_node", "dgx_node"),
+        ("dgx1v_node", "dgx_node"),
+        ("dgxa100_node", "dgx_node"),
+    ];
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        let Some((_, kind)) = CONSTRUCTORS.iter().find(|(name, _)| *name == id) else {
+            continue;
+        };
+        // Only the call form `name(` counts; `GpuSpec::k40` as a fn
+        // pointer (how the registry itself references the constructors)
+        // and the slug string "k40" stay legal.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            push(
+                out,
+                "arch",
+                rel,
+                t.line,
+                kind,
+                format!(
+                    "hardcoded `{id}()` bypasses the GpuArch registry; use \
+                     GpuArch::named(..)/default_arch() (raw constants live only in \
+                     gpusim/src/spec.rs)"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,8 +422,13 @@ mod tests {
         assert!(any_scope("crates/simcore/src/event.rs"));
         assert!(any_scope("crates/mpirt/src/protocol/sm.rs"));
         assert!(any_scope("crates/datatype/src/lib.rs")); // wallclock only
-        assert!(!any_scope("crates/bench/src/bin/fig6.rs"));
-        assert!(!any_scope("crates/xtask/src/lib.rs"));
+                                                          // Bench bins and the linter itself are exempt from the
+                                                          // determinism/panic families but still in arch scope: a figure
+                                                          // harness hardcoding `k40()` would silently ignore `--arch`.
+        assert!(any_scope("crates/bench/src/bin/fig6.rs"));
+        assert!(any_scope("crates/xtask/src/lib.rs"));
+        assert!(arch_scope("crates/bench/src/bin/fig6.rs"));
+        assert!(!arch_scope("crates/gpusim/src/spec.rs"));
         assert!(!any_scope("crates/simcore/tests/determinism.rs"));
     }
 
@@ -413,6 +473,28 @@ mod tests {
         let src = "fn f(r: &mut Fifo) { r.reserve(now, cost); }";
         assert_eq!(kinds("crates/mpirt/src/io.rs", src), vec!["reserve"]);
         assert!(kinds("crates/netsim/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn arch_rule_catches_hardcoded_constructors() {
+        let bad = "fn f() { let s = GpuSpec::k40(); let t = NodeTopology::psg_node(4); }";
+        assert_eq!(
+            kinds("crates/devengine/src/x.rs", bad),
+            vec!["k40", "psg_node"]
+        );
+        // The fn-pointer form (no call parens) is how the registry
+        // itself references the constructors — it must stay legal, as
+        // must the slug string and test regions.
+        let ptr =
+            "const A: GpuArch = GpuArch { spec: GpuSpec::k40, topo: NodeTopology::psg_node };";
+        assert!(kinds("crates/gpusim/src/arch.rs", ptr).is_empty());
+        let slug = "fn f() { let a = GpuArch::named(\"k40\"); }";
+        assert!(kinds("crates/bench/src/runner.rs", slug).is_empty());
+        let test_region = "#[cfg(test)] mod t { fn g() { let s = GpuSpec::k40(); } }";
+        assert!(kinds("crates/gpusim/src/system.rs", test_region).is_empty());
+        // spec.rs defines the constructors; the rule never runs there.
+        let def = "impl GpuSpec { pub fn k40() -> GpuSpec { k40_helper() } }";
+        assert!(kinds("crates/gpusim/src/spec.rs", def).is_empty());
     }
 
     #[test]

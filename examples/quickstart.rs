@@ -2,7 +2,7 @@
 //! MPI ranks and verify the bytes.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [arch]
 //! ```
 //!
 //! Walks through the whole stack: build a derived datatype (a 256×256
@@ -10,6 +10,10 @@
 //! patterned data in GPU memory, and exchange it between two ranks that
 //! share a node — the runtime picks the pipelined CUDA-IPC RDMA
 //! protocol and the GPU datatype engine packs/unpacks with kernels.
+//!
+//! The optional `arch` argument selects the simulated GPU from the
+//! backend registry (`k40`, `p100`, `v100`, `a100`); the default is the
+//! paper's K40 testbed.
 
 use gpu_ddt::datatype::testutil::{buffer_span, pattern, reference_pack};
 use gpu_ddt::memsim::MemSpace;
@@ -26,8 +30,16 @@ fn main() {
     println!("  size   = {} bytes (the data)", ty.size());
     println!("  extent = {} bytes (the footprint)", ty.extent());
 
-    // 2. A two-rank job on one node, one GPU per rank.
+    // 2. A two-rank job on one node, one GPU per rank, on the selected
+    //    GPU architecture (`GpuArch` comes from the prelude — no
+    //    subsystem crate is named here).
+    let arch = match std::env::args().nth(1) {
+        Some(name) => GpuArch::named(&name),
+        None => GpuArch::default_arch(),
+    };
+    println!("arch: {} — {}", arch.name, arch.summary);
     let mut sess = Session::builder()
+        .arch(arch)
         .two_ranks_two_gpus()
         .label("quickstart")
         .build();

@@ -34,6 +34,7 @@ pub use simcore;
 /// ```
 pub mod prelude {
     pub use datatype::DataType;
+    pub use gpusim::GpuArch;
     pub use memsim::Ptr;
     pub use mpirt::{irecv, isend, ping_pong, wait_all, PingPongSpec, RecvArgs, SendArgs, Session};
     pub use simcore::{Metrics, SimTime, Tracer};
