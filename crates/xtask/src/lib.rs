@@ -1,6 +1,6 @@
 //! `cargo xtask lint` — the workspace invariant checker.
 //!
-//! Four static rule families guard properties the test suite can only
+//! Six static rule families guard properties the test suite can only
 //! sample but the source can prove by absence:
 //!
 //! 1. **determinism** — no `RandomState` hash containers in simulator
@@ -11,7 +11,12 @@
 //! 3. **fault** — every simulated-time charge goes through the wrapper
 //!    layer the fault injector interposes on;
 //! 4. **metrics** — trace counter/span names come from the
-//!    `simcore::trace::names` registry, never inline literals.
+//!    `simcore::trace::names` registry, never inline literals;
+//! 5. **arch** — per-architecture constants come from the `GpuArch`
+//!    registry, never hardcoded constructors;
+//! 6. **sched** — the calendar queue + event arena in
+//!    `simcore/src/event.rs` are the only event queue: no shadow
+//!    `BinaryHeap`s, no hand-boxed closures in `schedule_*` calls.
 //!
 //! Each family reconciles its findings against a ratchet allowlist in
 //! `lint/<family>.allow` (see [`allow`]); stale entries fail the lint
