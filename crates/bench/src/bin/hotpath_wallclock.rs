@@ -24,7 +24,7 @@ use gpusim::GpuWorld as _;
 use memsim::MemSpace;
 use mpirt::api::PingPongSpec;
 use mpirt::{ping_pong, MpiConfig, MpiWorld};
-use simcore::par::{par_transfer, scoped::par_transfer_scoped, CopyOp};
+use simcore::par::{par_transfer, par_transfer_lanes, scoped::par_transfer_scoped, CopyOp};
 use simcore::{scratch, Sim, SimTime};
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -246,6 +246,44 @@ fn transfer_wallclock(mb: usize, reps: u32) -> Vec<Series> {
     ]
 }
 
+/// The same gather pinned to each lane count the pool can actually
+/// provide (1, 2, 4, … up to its worker count): the honest per-core
+/// scaling curve of the pooled path on *this* machine. On a single-core
+/// runner this is one series — claiming more would measure
+/// oversubscription, not the code.
+fn transfer_lanes_wallclock(mb: usize, reps: u32) -> Vec<Series> {
+    let seg = 4096usize;
+    let count = (mb << 20) / seg;
+    let src: Vec<u8> = (0..seg * count * 2).map(|i| (i % 251) as u8).collect();
+    let mut dst = vec![0u8; seg * count];
+    let ops: Vec<CopyOp> = (0..count)
+        .map(|i| CopyOp {
+            src_off: i * 2 * seg,
+            dst_off: i * seg,
+            len: seg,
+        })
+        .collect();
+    let bytes = (seg * count) as f64;
+    let max_lanes = simcore::par::pool_info().threads;
+    let mut series = Vec::new();
+    let mut lanes = 1usize;
+    while lanes <= max_lanes {
+        par_transfer_lanes(&mut dst, &src, &ops, lanes); // warm
+        let wall = Instant::now();
+        for _ in 0..reps {
+            par_transfer_lanes(&mut dst, &src, &ops, lanes);
+            black_box(dst[0]);
+        }
+        let gbps = bytes * reps as f64 / wall.elapsed().as_secs_f64() / 1e9;
+        series.push(Series {
+            name: format!("par_transfer_pooled_{mb}mb_{lanes}lane"),
+            fields: vec![("gbps", gbps), ("lanes", lanes as f64)],
+        });
+        lanes *= 2;
+    }
+    series
+}
+
 /// Fine-grained gather: 64-byte segments, the regime where the chunked
 /// head+tail copy tiers beat a per-segment `memcpy` call (above ~128 B
 /// the libc copy wins and `copy_segment` defers to it).
@@ -365,6 +403,8 @@ fn main() {
     series.push(events_wallclock(target_events, 5));
     eprintln!("# par_transfer pooled vs scoped...");
     series.extend(transfer_wallclock(transfer_mb, transfer_reps));
+    eprintln!("# par_transfer per-lane scaling...");
+    series.extend(transfer_lanes_wallclock(transfer_mb, transfer_reps));
     eprintln!("# par_transfer fine-grained (64 B segments)...");
     series.push(fine_transfer_wallclock(transfer_mb, transfer_reps));
 

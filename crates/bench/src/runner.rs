@@ -235,7 +235,7 @@ impl Topo {
 pub fn solo_session(arch: &'static GpuArch, config: MpiConfig, record: bool) -> Session {
     Session::builder()
         .arch(arch)
-        .ranks(
+        .rank_specs(
             &[RankSpec {
                 gpu: GpuId(0),
                 node: 0,

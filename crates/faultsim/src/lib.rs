@@ -389,6 +389,31 @@ impl FaultSim {
         }
     }
 
+    /// A per-rank engine for the sharded scale model: same plan, but
+    /// rolled from the deterministic stream `(plan.seed, rank)`
+    /// ([`SimRng::for_stream`]). Each rank consumes only its own
+    /// stream, so a plan injects identically however ranks are
+    /// partitioned into shards or interleaved by worker threads —
+    /// unlike the single global engine, whose draw order depends on the
+    /// global charge-point order.
+    pub fn for_rank(plan: &FaultPlan, rank: u32) -> Self {
+        let active = !plan.rules.is_empty();
+        Self {
+            active,
+            rng: SimRng::for_stream(plan.seed, rank as u64),
+            rules: plan
+                .rules
+                .iter()
+                .map(|rule| RuleState {
+                    rule: rule.clone(),
+                    injected: 0,
+                })
+                .collect(),
+            lost: [false; FaultOp::ALL.len()],
+            injected_total: 0,
+        }
+    }
+
     /// Whether any rule exists. Charge points use this to skip fault
     /// bookkeeping (and, in `mpirt`, to avoid arming timeout events
     /// that would otherwise advance virtual time).
@@ -554,6 +579,38 @@ mod tests {
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(|d| d.is_fault()));
         assert!(seq_a.iter().any(|d| !d.is_fault()));
+    }
+
+    #[test]
+    fn per_rank_engines_are_partition_independent() {
+        let plan = FaultPlan::empty().with_seed(42).with_rule(
+            Some(FaultOp::AmDeliver),
+            FaultKind::Transient,
+            0.3,
+        );
+        // Rank 3's schedule is the same whether its rolls interleave
+        // with other ranks' or not — each rank owns its stream.
+        let mut solo = FaultSim::for_rank(&plan, 3);
+        let solo_seq: Vec<_> = (0..32)
+            .map(|i| solo.roll(FaultOp::AmDeliver, t(i)))
+            .collect();
+        let mut interleaved: Vec<FaultSim> = (0..8).map(|r| FaultSim::for_rank(&plan, r)).collect();
+        let mut got = Vec::new();
+        for i in 0..32 {
+            for r in (0..8).rev() {
+                let d = interleaved[r].roll(FaultOp::AmDeliver, t(i as u64));
+                if r == 3 {
+                    got.push(d);
+                }
+            }
+        }
+        assert_eq!(got, solo_seq);
+        // And different ranks see different schedules.
+        let mut other = FaultSim::for_rank(&plan, 4);
+        let other_seq: Vec<_> = (0..32)
+            .map(|i| other.roll(FaultOp::AmDeliver, t(i)))
+            .collect();
+        assert_ne!(other_seq, solo_seq);
     }
 
     #[test]

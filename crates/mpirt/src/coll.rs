@@ -147,7 +147,11 @@ pub fn allgather(
     let block = count * ty.extent().max(ty.size() as i64) as u64;
 
     // Local copy of own contribution into slot `r` (charged as a
-    // device/host copy on the rank's copy stream).
+    // device/host copy on the rank's copy stream). The ring starts
+    // only once the copy lands: step 0 sends slot `r` itself, and an
+    // eager-path send snapshots the block when posted — posting before
+    // the copy completes would ship uninitialized bytes (seen at 32
+    // ranks with small host blocks; device rendezvous masked it).
     let mut reqs: Vec<Request> = Vec::new();
     for r in 0..p {
         let dst = recv_bufs[r].add(r as u64 * block);
@@ -156,6 +160,8 @@ pub fn allgather(
         let req2 = req.clone();
         let size = ty.size() * count;
         let src = send_bufs[r];
+        let ty = ty.clone();
+        let recv_bufs = recv_bufs.to_vec();
         gpusim::memcpy(
             sim,
             stream,
@@ -163,28 +169,12 @@ pub fn allgather(
             dst,
             block.min(size.max(block)),
             move |sim, _| {
-                req2.complete(sim, Ok(size));
+                // Ring: in step s (0..p-1), rank r sends block
+                // (r - s) mod p to r+1 and receives block
+                // (r - s - 1) mod p from r-1. Each rank proceeds to
+                // its next step when both its step transfers complete.
+                ring_step(sim, r, 0, p, ty, count, block, recv_bufs, tag, req2);
             },
-        );
-        reqs.push(req);
-    }
-
-    // Ring: in step s (0..p-1), rank r sends block (r - s) mod p to
-    // r+1 and receives block (r - s - 1) mod p from r-1. Each rank
-    // proceeds to its next step when both its step transfers complete.
-    for r in 0..p {
-        let req = Request::new();
-        ring_step(
-            sim,
-            r,
-            0,
-            p,
-            ty.clone(),
-            count,
-            block,
-            recv_bufs.to_vec(),
-            tag,
-            req.clone(),
         );
         reqs.push(req);
     }

@@ -25,6 +25,7 @@ pub mod matcher;
 pub mod onesided;
 pub mod protocol;
 pub mod request;
+pub mod scale;
 pub mod session;
 pub mod tuner;
 pub mod world;

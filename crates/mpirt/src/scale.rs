@@ -1,0 +1,713 @@
+//! Message-level scale model: the paper's collectives at 256–4096 ranks.
+//!
+//! The full runtime ([`crate::api`], [`crate::protocol`]) models every
+//! fragment, kernel and DMA of a transfer; its world is `Rc`/`RefCell`
+//! state that can only ever run single-threaded. This module trades
+//! that fidelity for scale: each rank is a small state machine over
+//! *whole messages*, costed by [`netsim::Topology`] latency/bandwidth
+//! plus a per-rank NIC serialization point — exactly the granularity
+//! the sharded engine ([`simcore::shard`]) can partition across
+//! worker threads under conservative lookahead.
+//!
+//! Determinism is the design center, not an afterthought:
+//!
+//! * all randomness comes from per-rank streams
+//!   ([`SimRng::for_stream`]), so draw order cannot depend on shard
+//!   count or worker interleaving;
+//! * fault injection uses a per-rank [`FaultSim`]
+//!   ([`FaultSim::for_rank`]) rolled at send time, charged as launch
+//!   delay and retransmit penalties;
+//! * every rank consumes messages in the engine's
+//!   `(time, src, seq)` total order; messages that arrive before the
+//!   rank reaches their program step are buffered in a `BTreeMap` and
+//!   replayed in key order.
+//!
+//! The result: an N-shard run is *bit-identical* — timestamps,
+//! counters, trace — to the 1-shard run (property-tested in
+//! `tests/shard_equivalence.rs`), so parallelism is purely a
+//! wall-clock optimization.
+//!
+//! Collective algorithms mirror the classic Open MPI/MPICH defaults at
+//! message granularity: binomial-tree broadcast, ring allgather,
+//! pairwise-rotation alltoall, dissemination barrier, and ring RMA
+//! put/get epochs (data + ack, request + data).
+
+use faultsim::{FaultDecision, FaultOp, FaultPlan, FaultSim};
+use netsim::Topology;
+use simcore::rng::SimRng;
+use simcore::shard::{Envelope, Partition, ShardCtx, ShardModel, ShardedSim};
+use simcore::time::SimTime;
+use simcore::trace::names;
+use simcore::{Tracer, Track};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Per-send CPU/doorbell overhead, ns. Strictly positive so every send
+/// lands in the future (the sharded engine's ordering requirement).
+const SEND_OVERHEAD_NS: u64 = 50;
+/// Wire size of control messages (acks, get requests).
+const CTRL_BYTES: u64 = 16;
+/// First retransmit penalty after a transient send fault; doubles per
+/// attempt.
+const RETRY_BASE_NS: u64 = 1_000;
+/// Give up retrying after this many transient hits on one send; the
+/// message still goes out (the runtime's last resort path).
+const MAX_RETRIES: u32 = 6;
+/// Cost of failing over after a permanent capability loss: the message
+/// rides a (much slower) fallback path once, then sends are normal-cost
+/// but degraded by the lost capability's absence for the rest of the
+/// run via `FaultSim::slowdown`.
+const LOST_PENALTY_NS: u64 = 20_000;
+
+// ---------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------
+
+/// One collective (or RMA epoch) in a scale program. Every rank runs
+/// the same program; an op completes per-rank when that rank has sent
+/// and received everything its role requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleOp {
+    /// Binomial-tree broadcast of `bytes` from `root`.
+    Bcast { root: u32, bytes: u64 },
+    /// Ring allgather; each rank contributes `bytes`.
+    Allgather { bytes: u64 },
+    /// Pairwise-rotation alltoall; `bytes` per rank pair.
+    Alltoall { bytes: u64 },
+    /// Dissemination barrier (⌈log₂ n⌉ rounds of control messages).
+    Barrier,
+    /// RMA epoch: every rank puts `bytes` to its right neighbor and
+    /// waits for the ack plus the incoming put from its left neighbor.
+    PutRing { bytes: u64 },
+    /// RMA epoch: every rank gets `bytes` from its right neighbor
+    /// (request + data) and serves its left neighbor's request.
+    GetRing { bytes: u64 },
+}
+
+impl ScaleOp {
+    /// Rounds the op needs for a job of `n` ranks.
+    fn rounds(self, n: u32) -> u32 {
+        match self {
+            ScaleOp::Bcast { .. } => 1,
+            ScaleOp::Allgather { .. } | ScaleOp::Alltoall { .. } => n - 1,
+            ScaleOp::Barrier => ceil_log2(n),
+            ScaleOp::PutRing { .. } | ScaleOp::GetRing { .. } => {
+                if n > 1 {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+fn ceil_log2(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// A seeded random mix of all op kinds — the workload generator the
+/// equivalence property and the soak bench share. The program is a
+/// *global* input (every rank runs the same list), so it draws from its
+/// own dedicated stream, not any rank's.
+pub fn random_program(seed: u64, ranks: u32, len: usize) -> Vec<ScaleOp> {
+    let mut rng = SimRng::for_stream(seed, 0x5CA1E);
+    (0..len)
+        .map(|_| {
+            let bytes = 64u64 << rng.range_u64(0, 9); // 64 B .. 16 KiB
+            match rng.range_u64(0, 6) {
+                0 => ScaleOp::Bcast {
+                    root: rng.range_u64(0, ranks as u64) as u32,
+                    bytes,
+                },
+                1 => ScaleOp::Allgather { bytes },
+                2 => ScaleOp::Alltoall { bytes },
+                3 => ScaleOp::Barrier,
+                4 => ScaleOp::PutRing { bytes },
+                _ => ScaleOp::GetRing { bytes },
+            }
+        })
+        .collect()
+}
+
+/// Everything needed to run a scale job.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    pub ranks: u32,
+    pub topo: Topology,
+    pub program: Vec<ScaleOp>,
+    /// Fault plan, injected per rank from `(plan.seed, rank)` streams.
+    pub fault_plan: FaultPlan,
+    /// Seed for per-rank send jitter streams.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    pub fn new(ranks: u32, program: Vec<ScaleOp>) -> ScaleConfig {
+        ScaleConfig {
+            ranks,
+            topo: Topology::default_for(ranks),
+            program,
+            fault_plan: FaultPlan::empty(),
+            seed: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Self-delivered starting gun (injected before the run).
+    Kick,
+    /// Payload-bearing message.
+    Data,
+    /// Zero-payload completion/arrival notification.
+    Ack,
+    /// RMA get request.
+    Req,
+}
+
+/// The one message type on the wire. `step`/`round` identify the
+/// program position the sender was in, so a receiver that is behind
+/// can buffer and replay deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleMsg {
+    pub step: u32,
+    pub round: u32,
+    pub kind: MsgKind,
+    pub bytes: u64,
+}
+
+const KICK: ScaleMsg = ScaleMsg {
+    step: 0,
+    round: 0,
+    kind: MsgKind::Kick,
+    bytes: 0,
+};
+
+// ---------------------------------------------------------------------
+// Per-rank state machine
+// ---------------------------------------------------------------------
+
+struct RankSt {
+    rank: u32,
+    /// Current program index; `== program.len()` means done.
+    step: u32,
+    round: u32,
+    /// Messages still required to finish the current round.
+    pending: u32,
+    /// Early arrivals, keyed `(step, round, src, seq)` — replayed in
+    /// key order when the rank reaches that program position.
+    buffered: BTreeMap<(u32, u32, u32, u32), (MsgKind, u64)>,
+    /// The NIC is busy serializing until this time; sends queue behind.
+    nic_free: SimTime,
+    rng: SimRng,
+    faults: FaultSim,
+    /// Virtual completion time of each finished step (digest input).
+    completions: Vec<u64>,
+}
+
+/// Immutable job shape shared by every rank of a shard.
+struct Shape {
+    ranks: u32,
+    topo: Topology,
+    program: Vec<ScaleOp>,
+}
+
+/// One shard's block of rank state machines.
+pub struct ScaleModel {
+    shape: Shape,
+    base: u32,
+    states: Vec<RankSt>,
+}
+
+impl ScaleModel {
+    fn new(cfg: &ScaleConfig, block: Range<u32>) -> ScaleModel {
+        ScaleModel {
+            shape: Shape {
+                ranks: cfg.ranks,
+                topo: cfg.topo,
+                program: cfg.program.clone(),
+            },
+            base: block.start,
+            states: block
+                .map(|r| RankSt {
+                    rank: r,
+                    step: 0,
+                    round: 0,
+                    pending: 0,
+                    buffered: BTreeMap::new(),
+                    nic_free: SimTime::ZERO,
+                    rng: SimRng::for_stream(cfg.seed, r as u64),
+                    faults: FaultSim::for_rank(&cfg.fault_plan, r),
+                    completions: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Send one message: jittered CPU overhead, fault rolls at launch time
+/// (retransmit penalties for transients, a one-shot failover penalty on
+/// permanent loss), degrade-scaled wire serialization on the rank's NIC,
+/// then topology latency to arrival.
+fn send_msg(
+    shape: &Shape,
+    st: &mut RankSt,
+    ctx: &mut ShardCtx<'_, ScaleMsg>,
+    dst: u32,
+    kind: MsgKind,
+    bytes: u64,
+) {
+    let jitter = st.rng.range_u64(0, 16);
+    let mut launch = ctx.now() + SimTime::from_nanos(SEND_OVERHEAD_NS + jitter);
+    if st.nic_free > launch {
+        launch = st.nic_free;
+    }
+    let op = if kind == MsgKind::Data {
+        FaultOp::WireCopy
+    } else {
+        FaultOp::AmDeliver
+    };
+    let mut slowdown = 1.0;
+    if st.faults.active() {
+        let mut attempts = 0;
+        loop {
+            match st.faults.roll(op, launch) {
+                FaultDecision::Ok => break,
+                FaultDecision::Transient => {
+                    ctx.trace.count(names::RETRY_ATTEMPTS, st.rank, 0, 1);
+                    ctx.trace
+                        .count(names::FAULT_INJECTED, st.rank, op.index() as u32, 1);
+                    attempts += 1;
+                    launch += SimTime::from_nanos(RETRY_BASE_NS << attempts.min(6));
+                    if attempts >= MAX_RETRIES {
+                        break;
+                    }
+                }
+                FaultDecision::Lost => {
+                    ctx.trace
+                        .count(names::FAULT_INJECTED, st.rank, op.index() as u32, 1);
+                    ctx.trace.count(names::FALLBACK_EVENTS, st.rank, 0, 1);
+                    launch += SimTime::from_nanos(LOST_PENALTY_NS);
+                    break;
+                }
+            }
+        }
+        slowdown = st.faults.slowdown(op, launch);
+    }
+    let wire = shape.topo.bandwidth(st.rank, dst).time_for(bytes);
+    let wire = SimTime::from_nanos((wire.as_nanos() as f64 * slowdown).ceil() as u64);
+    st.nic_free = launch + wire;
+    let at = st.nic_free + shape.topo.latency(shape.ranks, st.rank, dst);
+    ctx.send(
+        dst,
+        at,
+        ScaleMsg {
+            step: st.step,
+            round: st.round,
+            kind,
+            bytes,
+        },
+    );
+}
+
+/// Binomial-tree children of `rank` for a bcast rooted at `root`:
+/// descending sub-tree masks, MPICH order.
+fn bcast_children(shape: &Shape, st: &mut RankSt, ctx: &mut ShardCtx<'_, ScaleMsg>) {
+    let (root, bytes) = match shape.program[st.step as usize] {
+        ScaleOp::Bcast { root, bytes } => (root, bytes),
+        other => unreachable!("bcast_children in {other:?}"),
+    };
+    let n = shape.ranks;
+    let v = (st.rank + n - root % n) % n; // relative rank
+    let mut mask = if v == 0 {
+        // Root: start at the largest power of two below n.
+        let mut m = 1u32;
+        while m < n {
+            m <<= 1;
+        }
+        m >> 1
+    } else {
+        (v & v.wrapping_neg()) >> 1 // below our lowest set bit
+    };
+    while mask > 0 {
+        if v + mask < n {
+            let dst = (v + mask + root) % n;
+            send_msg(shape, st, ctx, dst, MsgKind::Data, bytes);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Entering round `st.round` of the current op: emit its sends and set
+/// how many receives finish it.
+fn start_round(shape: &Shape, st: &mut RankSt, ctx: &mut ShardCtx<'_, ScaleMsg>) {
+    let n = shape.ranks;
+    let r = st.rank;
+    match shape.program[st.step as usize] {
+        ScaleOp::Bcast { root, .. } => {
+            let v = (r + n - root % n) % n;
+            if v == 0 {
+                st.pending = 0;
+                bcast_children(shape, st, ctx);
+            } else {
+                st.pending = 1;
+            }
+        }
+        ScaleOp::Allgather { bytes } => {
+            st.pending = 1;
+            send_msg(shape, st, ctx, (r + 1) % n, MsgKind::Data, bytes);
+        }
+        ScaleOp::Alltoall { bytes } => {
+            st.pending = 1;
+            let peer = (r + st.round + 1) % n;
+            send_msg(shape, st, ctx, peer, MsgKind::Data, bytes);
+        }
+        ScaleOp::Barrier => {
+            st.pending = 1;
+            let peer = (r + (1 << st.round)) % n;
+            send_msg(shape, st, ctx, peer, MsgKind::Ack, CTRL_BYTES);
+        }
+        ScaleOp::PutRing { bytes } => {
+            // Await the ack of our put and the put from our left.
+            st.pending = 2;
+            send_msg(shape, st, ctx, (r + 1) % n, MsgKind::Data, bytes);
+        }
+        ScaleOp::GetRing { .. } => {
+            // Await our get's data and our left neighbor's request.
+            st.pending = 2;
+            send_msg(shape, st, ctx, (r + 1) % n, MsgKind::Req, CTRL_BYTES);
+        }
+    }
+}
+
+/// Consume one message belonging to the current `(step, round)`.
+fn on_msg(
+    shape: &Shape,
+    st: &mut RankSt,
+    ctx: &mut ShardCtx<'_, ScaleMsg>,
+    src: u32,
+    kind: MsgKind,
+) {
+    debug_assert!(st.pending > 0, "unexpected message in a settled round");
+    st.pending -= 1;
+    match shape.program[st.step as usize] {
+        ScaleOp::Bcast { .. } => bcast_children(shape, st, ctx),
+        ScaleOp::PutRing { .. } => {
+            if kind == MsgKind::Data {
+                // The put landed; ack the origin.
+                send_msg(shape, st, ctx, src, MsgKind::Ack, CTRL_BYTES);
+            }
+        }
+        ScaleOp::GetRing { bytes } => {
+            if kind == MsgKind::Req {
+                // Serve the neighbor's get.
+                send_msg(shape, st, ctx, src, MsgKind::Data, bytes);
+            }
+        }
+        ScaleOp::Allgather { .. } | ScaleOp::Alltoall { .. } | ScaleOp::Barrier => {}
+    }
+}
+
+/// Drive the rank forward: replay buffered arrivals for the current
+/// round, close finished rounds, start the next, complete steps — until
+/// it blocks on the network or finishes the program.
+fn advance(shape: &Shape, st: &mut RankSt, ctx: &mut ShardCtx<'_, ScaleMsg>) {
+    loop {
+        if st.step as usize == shape.program.len() {
+            debug_assert!(st.buffered.is_empty(), "done rank holds buffered messages");
+            return;
+        }
+        while st.pending > 0 {
+            let lo = (st.step, st.round, 0, 0);
+            let hi = (st.step, st.round, u32::MAX, u32::MAX);
+            match st.buffered.range(lo..=hi).next().map(|(k, v)| (*k, *v)) {
+                Some((key, (kind, _bytes))) => {
+                    st.buffered.remove(&key);
+                    on_msg(shape, st, ctx, key.2, kind);
+                }
+                None => return, // blocked on the network
+            }
+        }
+        // Round settled.
+        let op = shape.program[st.step as usize];
+        st.round += 1;
+        if st.round < op.rounds(shape.ranks) {
+            start_round(shape, st, ctx);
+        } else {
+            st.completions.push(ctx.now().as_nanos());
+            ctx.trace.instant(
+                ctx.now(),
+                names::CAT_SCALE,
+                names::SPAN_SCALE_OP,
+                Track::Cpu { rank: st.rank },
+            );
+            st.step += 1;
+            st.round = 0;
+            if (st.step as usize) < shape.program.len()
+                && shape.program[st.step as usize].rounds(shape.ranks) > 0
+            {
+                start_round(shape, st, ctx);
+            }
+        }
+    }
+}
+
+impl ShardModel for ScaleModel {
+    type Msg = ScaleMsg;
+
+    fn deliver(&mut self, ctx: &mut ShardCtx<'_, ScaleMsg>, env: Envelope<ScaleMsg>) {
+        let shape = &self.shape;
+        let st = &mut self.states[(env.dst - self.base) as usize];
+        match env.msg.kind {
+            MsgKind::Kick => {
+                debug_assert!(st.step == 0 && st.round == 0 && st.pending == 0);
+                if !shape.program.is_empty() && shape.program[0].rounds(shape.ranks) > 0 {
+                    start_round(shape, st, ctx);
+                }
+            }
+            kind => {
+                ctx.trace.count(names::SCALE_MSGS, st.rank, 0, 1);
+                ctx.trace
+                    .count(names::SCALE_DELIVERED_BYTES, st.rank, 0, env.msg.bytes);
+                if (env.msg.step, env.msg.round) == (st.step, st.round) {
+                    on_msg(shape, st, ctx, env.src, kind);
+                } else {
+                    debug_assert!(
+                        (env.msg.step, env.msg.round) > (st.step, st.round),
+                        "message for a settled round: rank {} at {:?} got {:?} from {}",
+                        st.rank,
+                        (st.step, st.round),
+                        (env.msg.step, env.msg.round),
+                        env.src
+                    );
+                    st.buffered.insert(
+                        (env.msg.step, env.msg.round, env.src, env.seq),
+                        (kind, env.msg.bytes),
+                    );
+                    return; // not ours yet; nothing can have unblocked
+                }
+            }
+        }
+        advance(shape, st, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Running a job
+// ---------------------------------------------------------------------
+
+/// Everything a completed scale run reports. All fields are pure
+/// functions of the config — independent of shard count and thread
+/// interleaving.
+pub struct ScaleReport {
+    pub ranks: u32,
+    pub shards: u32,
+    /// Total model deliveries (kicks included).
+    pub executed: u64,
+    /// Latest virtual delivery time.
+    pub end_time: SimTime,
+    /// Non-kick messages delivered (`scale.msgs`).
+    pub msgs: u64,
+    /// Payload + control bytes delivered (`scale.delivered.bytes`).
+    pub bytes: u64,
+    /// FNV-1a over every rank's per-step completion times: the
+    /// bit-identity fingerprint.
+    pub digest: u64,
+    /// Deterministically merged trace (counters always; spans/instants
+    /// when recording was on).
+    pub trace: Tracer,
+}
+
+/// Build the sharded engine for `cfg` without running it (the soak
+/// bench wants to time `run` alone).
+pub fn build(cfg: &ScaleConfig, shards: u32) -> ShardedSim<ScaleModel> {
+    let part = Partition::new(cfg.ranks, shards);
+    let models = (0..shards)
+        .map(|s| ScaleModel::new(cfg, part.range(s)))
+        .collect();
+    let topo = cfg.topo;
+    let ranks = cfg.ranks;
+    let mut sim = ShardedSim::new(part, models, move |a, b| topo.latency(ranks, a, b));
+    for r in 0..cfg.ranks {
+        sim.inject(r, r, SimTime::from_nanos(1), KICK);
+    }
+    sim
+}
+
+/// Run `cfg` on `shards` shards.
+pub fn run(cfg: &ScaleConfig, shards: u32, record: bool) -> ScaleReport {
+    let mut sim = build(cfg, shards);
+    sim.set_recording(record);
+    finish(cfg, shards, sim.run())
+}
+
+/// Fold a finished engine run into a [`ScaleReport`].
+pub fn finish(
+    cfg: &ScaleConfig,
+    shards: u32,
+    run: simcore::shard::ShardRun<ScaleModel>,
+) -> ScaleReport {
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut fnv = |x: u64| {
+        digest ^= x;
+        digest = digest.wrapping_mul(0x100000001b3);
+    };
+    for model in &run.models {
+        for st in &model.states {
+            debug_assert_eq!(
+                st.completions.len(),
+                cfg.program.len(),
+                "rank {} finished {} of {} steps",
+                st.rank,
+                st.completions.len(),
+                cfg.program.len()
+            );
+            fnv(st.rank as u64);
+            for &c in &st.completions {
+                fnv(c);
+            }
+        }
+    }
+    ScaleReport {
+        ranks: cfg.ranks,
+        shards,
+        executed: run.executed,
+        end_time: run.end_time,
+        msgs: run.trace.counter(names::SCALE_MSGS),
+        bytes: run.trace.counter(names::SCALE_DELIVERED_BYTES),
+        digest,
+        trace: run.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::FaultKind;
+
+    fn report_key(r: &ScaleReport) -> (u64, u64, u64, u64, u64) {
+        (r.executed, r.end_time.as_nanos(), r.msgs, r.bytes, r.digest)
+    }
+
+    #[test]
+    fn bcast_sends_one_data_message_per_non_root() {
+        let cfg = ScaleConfig::new(
+            8,
+            vec![ScaleOp::Bcast {
+                root: 3,
+                bytes: 4096,
+            }],
+        );
+        let r = run(&cfg, 1, false);
+        assert_eq!(r.msgs, 7);
+        assert_eq!(r.bytes, 7 * 4096);
+        assert_eq!(r.executed, 8 + 7, "kicks + data");
+    }
+
+    #[test]
+    fn alltoall_is_pairwise_rotation() {
+        let n = 6u64;
+        let cfg = ScaleConfig::new(n as u32, vec![ScaleOp::Alltoall { bytes: 256 }]);
+        let r = run(&cfg, 1, false);
+        assert_eq!(r.msgs, n * (n - 1));
+        assert_eq!(r.bytes, n * (n - 1) * 256);
+    }
+
+    #[test]
+    fn barrier_and_rma_round_trip() {
+        let cfg = ScaleConfig::new(
+            5,
+            vec![
+                ScaleOp::Barrier,
+                ScaleOp::PutRing { bytes: 1024 },
+                ScaleOp::GetRing { bytes: 1024 },
+            ],
+        );
+        let r = run(&cfg, 1, false);
+        // Barrier: 5·⌈log₂5⌉ ctrl msgs; put: 5 data + 5 acks; get: 5
+        // reqs + 5 data.
+        assert_eq!(r.msgs, 5 * 3 + 10 + 10);
+        assert_eq!(
+            r.bytes,
+            15 * CTRL_BYTES + 5 * 1024 + 5 * CTRL_BYTES + 5 * CTRL_BYTES + 5 * 1024
+        );
+    }
+
+    #[test]
+    fn single_rank_job_degenerates_cleanly() {
+        let cfg = ScaleConfig::new(
+            1,
+            vec![ScaleOp::Bcast { root: 0, bytes: 64 }, ScaleOp::Barrier],
+        );
+        let r = run(&cfg, 1, false);
+        assert_eq!(r.msgs, 0);
+        assert_eq!(r.executed, 1, "just the kick");
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard_with_faults_on() {
+        let mut cfg = ScaleConfig::new(8, random_program(11, 8, 5));
+        cfg.fault_plan = FaultPlan::default()
+            .with_seed(99)
+            .with_rule(None, FaultKind::Transient, 0.05)
+            .with_rule(
+                Some(FaultOp::WireCopy),
+                FaultKind::Degrade { factor: 2.0 },
+                1.0,
+            );
+        cfg.seed = 4;
+        let reference = run(&cfg, 1, true);
+        for shards in [2, 4, 8] {
+            let r = run(&cfg, shards, true);
+            assert_eq!(
+                report_key(&r),
+                report_key(&reference),
+                "{shards}-shard run diverged"
+            );
+            assert_eq!(
+                r.trace.chrome_json("scale"),
+                reference.trace.chrome_json("scale"),
+                "{shards}-shard trace diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_faults_delay_but_do_not_change_message_count() {
+        let clean = ScaleConfig::new(6, vec![ScaleOp::Allgather { bytes: 2048 }]);
+        let mut faulty = clean.clone();
+        faulty.fault_plan = FaultPlan::default().with_seed(7).with_rule(
+            Some(FaultOp::WireCopy),
+            FaultKind::Transient,
+            0.5,
+        );
+        let a = run(&clean, 1, false);
+        let b = run(&faulty, 1, false);
+        assert_eq!(
+            a.msgs, b.msgs,
+            "retransmits are charged as delay, not copies"
+        );
+        assert!(
+            b.end_time > a.end_time,
+            "retries must cost virtual time: {:?} vs {:?}",
+            b.end_time,
+            a.end_time
+        );
+        assert!(b.trace.counter(names::RETRY_ATTEMPTS) > 0);
+    }
+
+    #[test]
+    fn random_program_is_seed_stable() {
+        assert_eq!(random_program(3, 16, 8), random_program(3, 16, 8));
+        assert_ne!(random_program(3, 16, 8), random_program(4, 16, 8));
+    }
+}

@@ -38,6 +38,10 @@ use std::path::PathBuf;
 pub struct SessionBuilder {
     specs: Vec<RankSpec>,
     gpu_count: u32,
+    /// Topology-driven rank count; when set, `build` derives the specs
+    /// from `topo` instead of `specs`.
+    nranks: Option<usize>,
+    topo: netsim::Topology,
     arch: &'static GpuArch,
     config: MpiConfig,
     trace_path: Option<PathBuf>,
@@ -59,6 +63,8 @@ impl Default for SessionBuilder {
                 },
             ],
             gpu_count: 2,
+            nranks: None,
+            topo: netsim::Topology::default_for(2),
             arch: GpuArch::default_arch(),
             config: MpiConfig::default(),
             trace_path: None,
@@ -119,9 +125,26 @@ impl SessionBuilder {
     }
 
     /// Arbitrary rank placement over `gpu_count` GPUs per node.
-    pub fn ranks(mut self, specs: &[RankSpec], gpu_count: u32) -> SessionBuilder {
+    pub fn rank_specs(mut self, specs: &[RankSpec], gpu_count: u32) -> SessionBuilder {
         self.specs = specs.to_vec();
         self.gpu_count = gpu_count;
+        self.nranks = None;
+        self
+    }
+
+    /// An `n`-rank job laid out by the builder's [`netsim::Topology`]
+    /// (set with [`SessionBuilder::topology`]; defaults to a two-rank-
+    /// per-node ring). Each rank gets its own GPU; placement is applied
+    /// at `build`, so `ranks` and `topology` compose in either order.
+    pub fn ranks(mut self, n: usize) -> SessionBuilder {
+        assert!(n > 0, "need at least one rank");
+        self.nranks = Some(n);
+        self
+    }
+
+    /// Select the fabric used by [`SessionBuilder::ranks`].
+    pub fn topology(mut self, topo: netsim::Topology) -> SessionBuilder {
+        self.topo = topo;
         self
     }
 
@@ -169,7 +192,19 @@ impl SessionBuilder {
 
     /// Build the world and start the session.
     pub fn build(self) -> Session {
-        let world = MpiWorld::on_arch(self.arch, &self.specs, self.gpu_count, self.config);
+        let (specs, gpu_count) = match self.nranks {
+            Some(n) => {
+                let specs: Vec<RankSpec> = (0..n)
+                    .map(|r| RankSpec {
+                        gpu: GpuId(r as u32),
+                        node: self.topo.node_of(r as u32) as usize,
+                    })
+                    .collect();
+                (specs, n as u32)
+            }
+            None => (self.specs, self.gpu_count),
+        };
+        let world = MpiWorld::on_arch(self.arch, &specs, gpu_count, self.config);
         let mut sim = Sim::new(world);
         sim.trace.set_recording(self.record);
         // The run-level span: every recorded trace carries at least one

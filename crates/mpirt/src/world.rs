@@ -130,6 +130,22 @@ impl MpiWorld {
         }
     }
 
+    /// An `n`-rank job laid out by a [`netsim::Topology`]: rank `r`
+    /// gets its own GPU and lives on node `topo.node_of(r)`, so ranks
+    /// sharing a node talk over shared memory and everything else goes
+    /// through InfiniBand — the paper's two-node testbeds generalized
+    /// to ring / fat-tree / dragonfly fabrics.
+    pub fn n_ranks(n: usize, topo: netsim::Topology, config: MpiConfig) -> MpiWorld {
+        assert!(n > 0, "need at least one rank");
+        let specs: Vec<RankSpec> = (0..n)
+            .map(|r| RankSpec {
+                gpu: GpuId(r as u32),
+                node: topo.node_of(r as u32) as usize,
+            })
+            .collect();
+        MpiWorld::new(&specs, n as u32, config)
+    }
+
     /// Two ranks on one node sharing a single GPU (the paper's "1GPU"
     /// shared-memory configuration).
     pub fn two_ranks_one_gpu(config: MpiConfig) -> MpiWorld {

@@ -18,11 +18,13 @@
 pub mod am;
 pub mod channel;
 pub mod rdma;
+pub mod topology;
 pub mod wire;
 pub mod world;
 
 pub use am::send_am;
 pub use channel::{Channel, ChannelKind, Link, NetError, NetSystem};
 pub use rdma::{ensure_registered, rdma_get, rdma_put};
+pub use topology::Topology;
 pub use wire::wire_send;
 pub use world::{ClusterWorld, NetWorld};

@@ -8,22 +8,18 @@
 //!
 //! # Scheduler layering (DESIGN.md §13)
 //!
-//! Three structures share one total order `(time, seq)`:
+//! Two structures share one total order `(time, seq)`:
 //!
 //! * the **same-instant lane** — a FIFO for events scheduled at the
 //!   *current* virtual instant (`schedule_now`, zero-delay
 //!   `schedule_in`). The pipelined engine defers a callback per fragment
 //!   this way; a `VecDeque` push/pop is far cheaper than any priority
 //!   structure, and the lane always drains before time can advance;
-//! * the **calendar ring** — future events bucketed by virtual-time
-//!   epoch (`at >> shift`). A ring of [`RING`] buckets covers one *lap*
-//!   of epochs; the bucket at the current epoch is promoted to a sorted
-//!   `active` run and drained in `(time, seq)` order through a cursor.
-//!   Buckets are unsorted until promoted, so scheduling is O(1);
-//! * the **overflow rung** — events beyond the current lap. When the
-//!   ring drains, the rung is re-anchored: the bucket width (`shift`)
-//!   adapts to the rung's span so the next lap covers it, and entries
-//!   within the new lap redistribute into the ring.
+//! * the **calendar queue** ([`crate::calq::CalendarQueue`], shared
+//!   with the sharded engine) — future events bucketed by virtual-time
+//!   epoch with a sorted active run and an adaptive overflow rung; the
+//!   driver's tiebreak key is a globally monotonic sequence number, so
+//!   ties in firing time break by insertion order.
 //!
 //! Event payloads live in a generation-tagged **arena** (`Slab`): a
 //! closure small enough for the inline slot area is stored in place and
@@ -37,6 +33,7 @@
 //! both through randomized schedule/cancel/run interleavings and
 //! requires identical pop order and cancellation observability.
 
+use crate::calq::CalendarQueue;
 use crate::time::SimTime;
 use crate::trace::Tracer;
 use std::collections::VecDeque;
@@ -229,249 +226,6 @@ impl<W> Drop for Slab<W> {
 }
 
 // ---------------------------------------------------------------------
-// Calendar queue
-// ---------------------------------------------------------------------
-
-/// Buckets in the calendar ring (one *lap* of epochs). Power of two.
-const RING: usize = 1024;
-const RING_MASK: u64 = RING as u64 - 1;
-/// Initial bucket width: 2^5 = 32 virtual nanoseconds. Re-anchoring
-/// adapts the width to the actual event-time spread.
-const INIT_SHIFT: u32 = 10;
-/// Widest bucket the re-anchor adaptation may pick (2^40 ns ≈ 18 min of
-/// virtual time per bucket): beyond this a lap covers any plausible run.
-const MAX_SHIFT: u32 = 40;
-
-#[derive(Clone, Copy, Debug)]
-struct CalEntry {
-    at: SimTime,
-    seq: u64,
-    slot: u32,
-}
-
-impl CalEntry {
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
-    }
-}
-
-/// Future events: calendar ring + sorted active run + overflow rung.
-struct Calendar {
-    shift: u32,
-    /// Epoch owned by `active`. Ring buckets hold epochs strictly
-    /// greater, up to (not including) `lap_end`.
-    cur_epoch: u64,
-    /// First epoch beyond the ring's coverage; entries at or past it
-    /// wait in `overflow` until the next re-anchor.
-    lap_end: u64,
-    ring: Vec<Vec<CalEntry>>,
-    /// Entries resting in ring buckets (excludes `active` and overflow).
-    ring_len: usize,
-    /// One-bit-per-bucket occupancy so the epoch advance skips empty
-    /// buckets a word at a time.
-    occupied: [u64; RING / 64],
-    /// The promoted bucket, sorted ascending by `(at, seq)`; positions
-    /// before `cursor` have already fired.
-    active: Vec<CalEntry>,
-    cursor: usize,
-    overflow: Vec<CalEntry>,
-    /// Total entries held (active remainder + ring + overflow),
-    /// including tombstoned ones.
-    len: usize,
-}
-
-impl Calendar {
-    fn new() -> Self {
-        Calendar {
-            shift: INIT_SHIFT,
-            cur_epoch: 0,
-            lap_end: RING as u64,
-            ring: (0..RING).map(|_| Vec::new()).collect(),
-            ring_len: 0,
-            occupied: [0; RING / 64],
-            active: Vec::new(),
-            cursor: 0,
-            overflow: Vec::new(),
-            len: 0,
-        }
-    }
-
-    #[inline]
-    fn epoch_of(&self, at: SimTime) -> u64 {
-        at.as_nanos() >> self.shift
-    }
-
-    /// O(1) schedule (amortized): same-epoch entries keep the active
-    /// run sorted via a bounded binary insert, in-lap entries append to
-    /// their (unsorted) bucket, far-future entries join the overflow
-    /// rung.
-    #[inline]
-    fn insert(&mut self, at: SimTime, seq: u64, slot: u32) {
-        let entry = CalEntry { at, seq, slot };
-        self.len += 1;
-        let epoch = self.epoch_of(at);
-        if epoch <= self.cur_epoch {
-            // Short-delay scheduling lands in the epoch being drained.
-            // `seq` is globally monotonic, so the new entry sorts last
-            // among equal times: appending keeps `active` sorted
-            // whenever its tail is not ahead of `at` (the common case
-            // for event chains); anything else takes the binary-insert
-            // slow path.
-            match self.active.last() {
-                Some(last) if last.key() > entry.key() => self.insert_slow(entry, epoch),
-                _ => {
-                    if self.cursor >= self.active.len() {
-                        self.active.clear();
-                        self.cursor = 0;
-                    }
-                    self.active.push(entry);
-                }
-            }
-        } else if epoch < self.lap_end {
-            let b = (epoch & RING_MASK) as usize;
-            self.ring[b].push(entry);
-            self.ring_len += 1;
-            self.occupied[b / 64] |= 1 << (b % 64);
-        } else {
-            self.overflow.push(entry);
-        }
-    }
-
-    #[cold]
-    fn insert_slow(&mut self, entry: CalEntry, epoch: u64) {
-        if epoch <= self.cur_epoch {
-            // The currently draining epoch (or, after a peek advanced
-            // the calendar while lane events still run at an earlier
-            // instant, one already passed): keep `active` sorted so the
-            // (time, seq) order is exact. Times only land here near the
-            // cursor, so the shifted tail is short.
-            let pos =
-                self.cursor + self.active[self.cursor..].partition_point(|e| e.key() < entry.key());
-            self.active.insert(pos, entry);
-        } else {
-            debug_assert!(epoch >= self.lap_end);
-            self.overflow.push(entry);
-        }
-    }
-
-    /// Next pending entry in `(time, seq)` order, advancing epochs,
-    /// promoting buckets and re-anchoring the overflow rung as needed.
-    /// Does not fire or remove anything — safe to use as a peek.
-    #[inline]
-    fn ensure_next(&mut self) -> Option<(SimTime, u64)> {
-        if self.cursor < self.active.len() {
-            let e = &self.active[self.cursor];
-            return Some((e.at, e.seq));
-        }
-        self.ensure_next_slow()
-    }
-
-    #[cold]
-    fn ensure_next_slow(&mut self) -> Option<(SimTime, u64)> {
-        loop {
-            if self.cursor < self.active.len() {
-                let e = &self.active[self.cursor];
-                return Some((e.at, e.seq));
-            }
-            if self.ring_len > 0 {
-                let next = self
-                    .next_occupied((self.cur_epoch & RING_MASK) as usize)
-                    .expect("ring_len > 0 but no occupied bucket");
-                // Map the bucket index back to its (unique, in-lap)
-                // epoch: the first epoch > cur_epoch with this residue.
-                let cur_res = (self.cur_epoch & RING_MASK) as usize;
-                let delta = (next + RING - cur_res - 1) % RING + 1;
-                self.cur_epoch += delta as u64;
-                debug_assert!(self.cur_epoch < self.lap_end);
-                self.active.clear();
-                self.cursor = 0;
-                std::mem::swap(&mut self.active, &mut self.ring[next]);
-                self.ring_len -= self.active.len();
-                self.occupied[next / 64] &= !(1 << (next % 64));
-                if self.active.len() > 1 {
-                    self.active.sort_unstable_by_key(|e| e.key());
-                }
-                continue;
-            }
-            if !self.overflow.is_empty() {
-                self.re_anchor();
-                continue;
-            }
-            return None;
-        }
-    }
-
-    /// First occupied bucket index strictly after `from`, circularly.
-    #[inline]
-    fn next_occupied(&self, from: usize) -> Option<usize> {
-        let start = (from + 1) % RING;
-        let (wi, bi) = (start / 64, start % 64);
-        // The word holding `start`, masked to bits >= bi.
-        let w = self.occupied[wi] & (!0u64 << bi);
-        if w != 0 {
-            return Some(wi * 64 + w.trailing_zeros() as usize);
-        }
-        for step in 1..=self.occupied.len() {
-            let i = (wi + step) % self.occupied.len();
-            let w = self.occupied[i];
-            if w != 0 {
-                return Some(i * 64 + w.trailing_zeros() as usize);
-            }
-        }
-        None
-    }
-
-    /// Ring and active are empty: restart the calendar at the overflow
-    /// rung's earliest entry, adapting the bucket width so the rung's
-    /// span fits in one lap (the far-future fallback the ring cannot
-    /// cover with fine buckets).
-    fn re_anchor(&mut self) {
-        debug_assert!(self.cursor >= self.active.len() && self.ring_len == 0);
-        let min_at = self.overflow.iter().map(|e| e.at).min().expect("non-empty");
-        let max_at = self.overflow.iter().map(|e| e.at).max().expect("non-empty");
-        let span = max_at.as_nanos() - min_at.as_nanos();
-        let mut shift = INIT_SHIFT;
-        while shift < MAX_SHIFT && (span >> shift) >= RING as u64 {
-            shift += 1;
-        }
-        self.shift = shift;
-        self.cur_epoch = min_at.as_nanos() >> shift;
-        self.lap_end = self.cur_epoch + RING as u64;
-        self.active.clear();
-        self.cursor = 0;
-        for entry in std::mem::take(&mut self.overflow) {
-            let epoch = entry.at.as_nanos() >> shift;
-            if epoch == self.cur_epoch {
-                self.active.push(entry);
-            } else if epoch < self.lap_end {
-                let b = (epoch & RING_MASK) as usize;
-                self.ring[b].push(entry);
-                self.ring_len += 1;
-                self.occupied[b / 64] |= 1 << (b % 64);
-            } else {
-                self.overflow.push(entry);
-            }
-        }
-        self.active.sort_unstable_by_key(|e| e.key());
-    }
-
-    /// Take the entry `ensure_next` reported. Must be called directly
-    /// after a `Some` return.
-    #[inline]
-    fn pop_head(&mut self) -> CalEntry {
-        debug_assert!(self.cursor < self.active.len());
-        let e = self.active[self.cursor];
-        self.cursor += 1;
-        self.len -= 1;
-        if self.cursor == self.active.len() {
-            self.active.clear();
-            self.cursor = 0;
-        }
-        e
-    }
-}
-
-// ---------------------------------------------------------------------
 // The driver
 // ---------------------------------------------------------------------
 
@@ -479,7 +233,7 @@ impl Calendar {
 pub struct Sim<W> {
     now: SimTime,
     slab: Slab<W>,
-    cal: Calendar,
+    cal: CalendarQueue<u32>,
     /// Fast lane for events scheduled at the *current* instant
     /// (`schedule_now` and zero-delay `schedule_in`). The lane drains
     /// before virtual time can advance, so entries always fire at
@@ -503,7 +257,7 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             slab: Slab::new(),
-            cal: Calendar::new(),
+            cal: CalendarQueue::new(),
             lane: VecDeque::new(),
             next_seq: 0,
             executed: 0,
@@ -525,7 +279,7 @@ impl<W> Sim<W> {
     /// Number of events still pending (cancelled-but-unswept entries
     /// included, matching the pre-calendar scheduler).
     pub fn pending_events(&self) -> usize {
-        self.cal.len + self.lane.len()
+        self.cal.len() + self.lane.len()
     }
 
     /// Schedule `f` to run at absolute time `at`. Scheduling in the past
@@ -638,15 +392,15 @@ impl<W> Sim<W> {
                     // lane_wins is only false when a calendar head
                     // exists (at `now`, inserted before the lane's
                     // entries).
-                    let e = self.cal.pop_head();
-                    debug_assert!(e.at == self.now);
-                    self.fire(e.slot);
+                    let (at, _, slot) = self.cal.pop_head();
+                    debug_assert!(at == self.now);
+                    self.fire(slot);
                 }
-            } else if self.cal.ensure_next().is_some() {
-                let e = self.cal.pop_head();
-                debug_assert!(e.at >= self.now, "time went backwards");
-                self.now = e.at;
-                self.fire(e.slot);
+            } else if self.cal.peek().is_some() {
+                let (at, _, slot) = self.cal.pop_head();
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.fire(slot);
             } else {
                 return false;
             }
@@ -677,7 +431,7 @@ impl<W> Sim<W> {
     /// afterwards.
     #[inline]
     fn lane_wins(&mut self) -> bool {
-        match self.cal.ensure_next() {
+        match self.cal.peek() {
             None => true,
             Some((hat, _)) => hat > self.now,
         }
@@ -691,15 +445,15 @@ impl<W> Sim<W> {
                     self.drain_lane();
                     continue;
                 }
-            } else if self.cal.ensure_next().is_none() {
+            } else if self.cal.peek().is_none() {
                 return self.now;
             }
             // Calendar turn: either the lane is empty or the calendar
             // head (same time, earlier insertion) outranks it.
-            let e = self.cal.pop_head();
-            debug_assert!(e.at >= self.now, "time went backwards");
-            self.now = e.at;
-            self.fire(e.slot);
+            let (at, _, slot) = self.cal.pop_head();
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.fire(slot);
         }
     }
 
@@ -722,7 +476,7 @@ impl<W> Sim<W> {
     pub fn run_with_deadline(&mut self, deadline: SimTime) -> SimTime {
         loop {
             let next = if self.lane.is_empty() {
-                match self.cal.ensure_next() {
+                match self.cal.peek() {
                     Some((at, _)) => at,
                     None => return self.now,
                 }

@@ -14,6 +14,7 @@
 //! Everything is deterministic: same inputs, same event order, same
 //! virtual timestamps.
 
+pub mod calq;
 pub mod event;
 pub mod hash;
 pub mod par;
@@ -21,10 +22,12 @@ pub mod rate;
 pub mod resource;
 pub mod rng;
 pub mod scratch;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calq::CalendarQueue;
 pub use event::{EventId, Sim};
 pub use rate::Bandwidth;
 pub use resource::FifoResource;

@@ -429,11 +429,28 @@ fn partition_runs(
 /// source bytes twice).
 pub fn par_transfer(dst: &mut [u8], src: &[u8], ops: &[CopyOp]) {
     let total: usize = ops.iter().map(|o| o.len).sum();
+    let n = lanes_for(total);
+    transfer_with(dst, src, ops, total, n);
+}
+
+/// [`par_transfer`] with an explicit lane count, clamped to the pool's
+/// actual worker count (so the numbers stay honest on small machines —
+/// requesting 8 lanes on a single-core box measures 1). This is the
+/// per-core-count measurement hook for the wall-clock harness, not a
+/// hot-path API: the adaptive `par_transfer` sizing is the production
+/// path.
+pub fn par_transfer_lanes(dst: &mut [u8], src: &[u8], ops: &[CopyOp], lanes: usize) -> usize {
+    let total: usize = ops.iter().map(|o| o.len).sum();
+    let n = lanes.clamp(1, pool().info.threads);
+    transfer_with(dst, src, ops, total, n);
+    n
+}
+
+fn transfer_with(dst: &mut [u8], src: &[u8], ops: &[CopyOp], total: usize, n: usize) {
     assert_in_bounds(dst, src, ops);
     #[cfg(debug_assertions)]
     assert_dst_disjoint(ops);
 
-    let n = lanes_for(total);
     if n <= 1 {
         // Inline path: same chunked segment copies the workers use.
         // SAFETY: bounds asserted above; a single thread writes dst.
@@ -598,6 +615,20 @@ mod tests {
                 &src[i * 2 * seg..i * 2 * seg + seg],
                 "segment {i}"
             );
+        }
+    }
+
+    #[test]
+    fn explicit_lane_counts_all_produce_the_same_bytes() {
+        let (seg, count) = (4096usize, 512usize); // ~2 MB
+        let (src, ops) = gather_case(seg, count);
+        let mut want = vec![0u8; seg * count];
+        par_transfer(&mut want, &src, &ops);
+        for lanes in [1usize, 2, 4, 8, 64] {
+            let mut dst = vec![0u8; seg * count];
+            let used = par_transfer_lanes(&mut dst, &src, &ops, lanes);
+            assert!((1..=lanes.max(1)).contains(&used));
+            assert_eq!(dst, want, "lanes={lanes}");
         }
     }
 

@@ -83,12 +83,19 @@ pub mod names {
     /// Copy-pool sizing decision, surfaced once per session.
     pub const PAR_POOL_THREADS: &str = "simcore.par.pool_threads";
 
+    // ---- counters: sharded scale model ----
+    /// Messages delivered by the message-level scale model.
+    pub const SCALE_MSGS: &str = "scale.msgs";
+    /// Bytes delivered by the message-level scale model.
+    pub const SCALE_DELIVERED_BYTES: &str = "scale.delivered.bytes";
+
     // ---- span categories (one per emitting layer) ----
     pub const CAT_MPIRT: &str = "mpirt";
     pub const CAT_NETSIM: &str = "netsim";
     pub const CAT_GPUSIM: &str = "gpusim";
     pub const CAT_DEVENGINE: &str = "devengine";
     pub const CAT_CPUPACK: &str = "cpupack";
+    pub const CAT_SCALE: &str = "scale";
 
     // ---- span / instant names: protocol layer ----
     pub const SPAN_SESSION: &str = "session";
@@ -116,6 +123,9 @@ pub mod names {
     pub const SPAN_DEV_CACHE_MISS: &str = "dev-cache-miss";
     pub const SPAN_CPU_PACK: &str = "cpu-pack";
     pub const SPAN_CPU_UNPACK: &str = "cpu-unpack";
+
+    // ---- span / instant names: sharded scale model ----
+    pub const SPAN_SCALE_OP: &str = "scale-op";
 }
 
 /// Where a span ran: a stable, allocation-free identifier that maps to
@@ -426,6 +436,56 @@ impl Tracer {
         let mut events = Vec::new();
         self.chrome_events(1, label, &mut events);
         format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    /// Fold another tracer into this one: events append, counters sum.
+    /// All of `other`'s spans must be closed.
+    pub fn absorb(&mut self, other: Tracer) {
+        assert_eq!(other.open_spans(), 0, "absorbing a tracer with open spans");
+        self.recording |= other.recording;
+        self.events.extend(other.events);
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Deterministically merge per-shard tracers into one trace whose
+    /// event order is independent of shard count and worker
+    /// interleaving: events are re-sorted by the content key
+    /// `(time, track, category, name)` and counters sum per key (shards
+    /// count on disjoint dimensions, so summing loses nothing). A
+    /// 1-shard run passed through this function yields byte-identical
+    /// `chrome_json` output to an N-shard run of the same model.
+    pub fn merge_shards(parts: Vec<Tracer>) -> Tracer {
+        let mut out = Tracer::new();
+        for t in parts {
+            out.absorb(t);
+        }
+        out.events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        out
+    }
+}
+
+impl TraceEvent {
+    /// Content-based total-order key for the deterministic shard merge.
+    /// Spans sort before instants at the same `(time, track)` so the
+    /// order does not depend on which shard recorded what.
+    fn sort_key(&self) -> (u64, u8, Track, &'static str, &'static str, u64) {
+        match *self {
+            TraceEvent::Span {
+                cat,
+                name,
+                track,
+                start,
+                end,
+            } => (start.as_nanos(), 0, track, cat, name, end.as_nanos()),
+            TraceEvent::Instant {
+                cat,
+                name,
+                track,
+                at,
+            } => (at.as_nanos(), 1, track, cat, name, 0),
+        }
     }
 }
 
@@ -753,6 +813,41 @@ mod tests {
         let m = Metrics::from_trace(&t);
         assert!(m.overlap_pct > 0.0, "overlap {}", m.overlap_pct);
         assert_eq!(m.kernel_occupancy, 20.0 / 30.0);
+    }
+
+    #[test]
+    fn shard_merge_is_partition_independent() {
+        // The same three events recorded into one tracer vs split across
+        // two (in a different order) must merge to identical traces.
+        let record = |t: &mut Tracer, which: &[u8]| {
+            for &w in which {
+                match w {
+                    0 => t.span_at(ns(10), ns(20), "scale", "scale-op", Track::Cpu { rank: 0 }),
+                    1 => t.span_at(ns(10), ns(15), "scale", "scale-op", Track::Cpu { rank: 1 }),
+                    _ => t.instant(ns(12), "scale", "scale-op", Track::Cpu { rank: 2 }),
+                }
+                t.count(names::SCALE_MSGS, w as u32, 0, 1);
+            }
+        };
+        let mut single = Tracer::new();
+        single.set_recording(true);
+        record(&mut single, &[0, 1, 2]);
+        let merged_single = Tracer::merge_shards(vec![single]);
+
+        let mut a = Tracer::new();
+        a.set_recording(true);
+        let mut b = Tracer::new();
+        b.set_recording(true);
+        record(&mut a, &[2, 0]);
+        record(&mut b, &[1]);
+        let merged_split = Tracer::merge_shards(vec![a, b]);
+
+        assert_eq!(
+            merged_single.chrome_json("x"),
+            merged_split.chrome_json("x")
+        );
+        assert_eq!(merged_split.counter(names::SCALE_MSGS), 3);
+        assert_eq!(merged_split.counter_at(names::SCALE_MSGS, 1, 0), 1);
     }
 
     #[test]

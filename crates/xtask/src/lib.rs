@@ -1,6 +1,6 @@
 //! `cargo xtask lint` — the workspace invariant checker.
 //!
-//! Six static rule families guard properties the test suite can only
+//! Seven static rule families guard properties the test suite can only
 //! sample but the source can prove by absence:
 //!
 //! 1. **determinism** — no `RandomState` hash containers in simulator
@@ -16,7 +16,11 @@
 //!    registry, never hardcoded constructors;
 //! 6. **sched** — the calendar queue + event arena in
 //!    `simcore/src/event.rs` are the only event queue: no shadow
-//!    `BinaryHeap`s, no hand-boxed closures in `schedule_*` calls.
+//!    `BinaryHeap`s, no hand-boxed closures in `schedule_*` calls;
+//! 7. **shard** — shard-model code crosses shard boundaries only
+//!    through the stamped mailbox API (`ShardCtx::send`), and the
+//!    simulator crates hold no shared-mutable statics outside the
+//!    pool layers in `simcore/src/shard.rs` and `simcore/src/par.rs`.
 //!
 //! Each family reconciles its findings against a ratchet allowlist in
 //! `lint/<family>.allow` (see [`allow`]); stale entries fail the lint

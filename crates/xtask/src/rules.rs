@@ -1,4 +1,4 @@
-//! The six invariant rule families.
+//! The seven invariant rule families.
 //!
 //! Every rule walks the token stream of one file (test regions already
 //! marked by the lexer) and emits [`Violation`]s. Scopes are path
@@ -9,7 +9,15 @@ use crate::lexer::Token;
 
 /// Rule family identifiers; one ratchet allowlist file exists per
 /// family under `lint/<family>.allow`.
-pub const FAMILIES: [&str; 6] = ["determinism", "panic", "fault", "metrics", "arch", "sched"];
+pub const FAMILIES: [&str; 7] = [
+    "determinism",
+    "panic",
+    "fault",
+    "metrics",
+    "arch",
+    "sched",
+    "shard",
+];
 
 /// One finding, before allowlist reconciliation.
 #[derive(Debug, Clone)]
@@ -112,6 +120,14 @@ fn sched_scope(rel: &str) -> bool {
     in_sim_crates(rel) && rel != "crates/simcore/src/event.rs"
 }
 
+/// Shard-hygiene scope: the simulator crates, minus the shard engine
+/// itself. `simcore/src/shard.rs` owns the mailboxes, the worker pool,
+/// and the per-shard `Sim` bridge — it is the one module allowed to
+/// schedule on behalf of a shard or hold shared-mutable state.
+fn shard_scope(rel: &str) -> bool {
+    in_sim_crates(rel) && rel != "crates/simcore/src/shard.rs"
+}
+
 /// True when any rule family wants to see this file.
 pub fn any_scope(rel: &str) -> bool {
     in_sim_crates(rel) || determinism_wallclock_scope(rel) || panic_scope(rel) || arch_scope(rel)
@@ -134,6 +150,9 @@ pub fn scan_file(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
     if sched_scope(rel) {
         scan_sched(rel, toks, out);
+    }
+    if shard_scope(rel) {
+        scan_shard(rel, toks, out);
     }
 }
 
@@ -487,6 +506,115 @@ fn scan_sched(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// Family 7 — shard hygiene: the conservative-lookahead engine's
+/// determinism rests on exactly two channels between shards — the SPSC
+/// mailboxes (`ShardCtx::send`) and the atomics `shard.rs` owns. Two
+/// bans keep it that way:
+///
+/// * **direct-schedule** — a file that implements against the shard API
+///   (mentions `ShardModel`/`ShardCtx`) must not call
+///   `schedule_at`/`schedule_in`/`schedule_now`: scheduling into a
+///   `Sim` directly bypasses the mailbox stamping that gives
+///   cross-shard events their `(time, src, seq)` total order;
+/// * **shared-static** / **static-mut** — no shared-mutable statics in
+///   simulator crates outside `shard.rs` (the mailbox/pool layer) and
+///   `par.rs` (the copy pool): ambient shared state is invisible to the
+///   lookahead protocol and breaks N-shard ≡ 1-shard bit-identity.
+fn scan_shard(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    const SCHEDULE_METHODS: [&str; 3] = ["schedule_at", "schedule_in", "schedule_now"];
+    const SHARED_MUTABLE: [&str; 16] = [
+        "Mutex",
+        "RwLock",
+        "UnsafeCell",
+        "OnceLock",
+        "OnceCell",
+        "LazyLock",
+        "AtomicBool",
+        "AtomicU8",
+        "AtomicU16",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicUsize",
+        "AtomicI32",
+        "AtomicI64",
+        "AtomicIsize",
+        "AtomicPtr",
+    ];
+    let shard_aware = toks
+        .iter()
+        .any(|t| t.ident() == Some("ShardModel") || t.ident() == Some("ShardCtx"));
+    let statics_exempt = rel == "crates/simcore/src/par.rs";
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        if shard_aware
+            && SCHEDULE_METHODS.contains(&id)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                "shard",
+                rel,
+                t.line,
+                "direct-schedule",
+                format!(
+                    ".{id}() in shard-model code bypasses the mailbox; cross-shard events \
+                     go through ShardCtx::send so they carry a (time, src, seq) stamp"
+                ),
+            );
+        }
+        if id != "static" || statics_exempt {
+            continue;
+        }
+        // `'static` lexes as a Lifetime token, so an ident here is a
+        // real `static` item (including the ones thread_local! expands).
+        if toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            push(
+                out,
+                "shard",
+                rel,
+                t.line,
+                "static-mut",
+                "`static mut` is unsynchronized shared state; shards may only share \
+                 through the mailbox API in simcore/src/shard.rs"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Scan the item's type (up to `=` or `;`) for interior-mutable
+        // Sync wrappers. `!Sync` cells (RefCell et al.) can only appear
+        // under thread_local!, which is per-thread and stays legal.
+        let mut j = i + 1;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct('=') || a.is_punct(';') {
+                break;
+            }
+            if let Some(ty) = a.ident() {
+                if SHARED_MUTABLE.contains(&ty) {
+                    push(
+                        out,
+                        "shard",
+                        rel,
+                        a.line,
+                        "shared-static",
+                        format!(
+                            "shared-mutable static (`{ty}`) outside the shard/copy pool \
+                             layer; ambient cross-shard state breaks N-shard ≡ 1-shard \
+                             bit-identity"
+                        ),
+                    );
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +727,41 @@ mod tests {
         let plain =
             "fn f(sim: &mut Sim<W>) { sim.schedule_now(move |s| go(s)); let b = Box::new(1); }";
         assert!(kinds("crates/mpirt/src/x.rs", plain).is_empty());
+    }
+
+    #[test]
+    fn shard_rule_bans_direct_schedules_in_model_code() {
+        // A ShardModel impl reaching for Sim scheduling bypasses the
+        // mailbox stamping.
+        let bad = "impl ShardModel for M { fn deliver(&mut self, sim: &mut Sim<W>) { \
+                   sim.schedule_in(d, f); } }";
+        assert_eq!(kinds("crates/mpirt/src/x.rs", bad), vec!["direct-schedule"]);
+        // The same call in a file that never touches the shard API is
+        // ordinary simulation code (sched family territory, not ours).
+        let plain = "fn f(sim: &mut Sim<W>) { sim.schedule_in(d, g); }";
+        assert!(kinds("crates/mpirt/src/x.rs", plain).is_empty());
+        // The engine itself is exempt — it owns the Sim bridge.
+        assert!(kinds("crates/simcore/src/shard.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn shard_rule_bans_shared_mutable_statics() {
+        let ks = kinds(
+            "crates/netsim/src/x.rs",
+            "static mut COUNT: u64 = 0;\nstatic Q: Mutex<Vec<u8>> = Mutex::new(Vec::new());",
+        );
+        assert_eq!(ks, vec!["static-mut", "shared-static"]);
+        // Immutable statics, `&'static` lifetimes, and thread-local
+        // RefCells stay legal.
+        let ok = "static TABLE: [u32; 4] = [1, 2, 3, 4];\n\
+                  fn f(s: &'static str) {}\n\
+                  thread_local! { static SHELF: RefCell<Shelf> = RefCell::new(Shelf::new()); }";
+        assert!(kinds("crates/simcore/src/x.rs", ok).is_empty());
+        // The two pool modules are the sanctioned homes.
+        let pool = "static POOL: OnceLock<CopyPool> = OnceLock::new();";
+        assert!(kinds("crates/simcore/src/par.rs", pool).is_empty());
+        assert!(kinds("crates/simcore/src/shard.rs", pool).is_empty());
+        assert_eq!(kinds("crates/gpusim/src/x.rs", pool), vec!["shared-static"]);
     }
 
     #[test]

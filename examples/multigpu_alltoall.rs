@@ -49,7 +49,7 @@ fn main() {
         },
     ];
     let mut sess = Session::builder()
-        .ranks(&specs, 4)
+        .rank_specs(&specs, 4)
         .label("alltoall")
         .build();
 

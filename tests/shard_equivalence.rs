@@ -1,0 +1,146 @@
+//! The tentpole's contract, stated as a property: running the scale
+//! model on N shards is *bit-identical* to running it on one — event
+//! timestamps, delivered-byte counters, retry counts, the merged
+//! Chrome trace — across rank counts, seeded random collective
+//! workloads, and live fault plans. Parallelism must be purely a
+//! wall-clock optimization.
+
+use faultsim::{FaultKind, FaultOp, FaultPlan};
+use mpirt::scale::{self, random_program, ScaleConfig, ScaleOp};
+use netsim::Topology;
+use simcore::trace::names;
+
+/// Fingerprint everything observable about a run.
+fn fingerprint(r: &scale::ScaleReport) -> (u64, u64, u64, u64, u64, String) {
+    (
+        r.executed,
+        r.end_time.as_nanos(),
+        r.msgs,
+        r.bytes,
+        r.digest,
+        r.trace.chrome_json("equiv"),
+    )
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::default()
+        .with_seed(41)
+        .with_rule(Some(FaultOp::WireCopy), FaultKind::Transient, 0.02)
+        .with_rule(Some(FaultOp::AmDeliver), FaultKind::Transient, 0.01)
+        .with_rule(
+            Some(FaultOp::WireCopy),
+            FaultKind::Degrade { factor: 1.5 },
+            1.0,
+        )
+}
+
+#[test]
+fn n_shard_runs_are_bit_identical_to_one_shard() {
+    for &(ranks, steps) in &[(8u32, 6usize), (64, 4), (256, 2)] {
+        for seed in [1u64, 2] {
+            let mut cfg = ScaleConfig::new(ranks, random_program(seed, ranks, steps));
+            cfg.topo = Topology::FatTree {
+                ranks_per_node: 4,
+                radix: 4,
+            };
+            cfg.fault_plan = plan();
+            cfg.seed = seed ^ 0xDEC0DE;
+            let reference = scale::run(&cfg, 1, true);
+            assert!(reference.msgs > 0, "workload must exchange messages");
+            let want = fingerprint(&reference);
+            for shards in [2u32, 4, 8] {
+                if shards > ranks {
+                    continue;
+                }
+                let got = fingerprint(&scale::run(&cfg, shards, true));
+                assert_eq!(
+                    got, want,
+                    "ranks={ranks} seed={seed} shards={shards} diverged from 1-shard"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn topologies_and_ops_all_hold_the_property() {
+    // One targeted program per op kind, on the topology that stresses
+    // it, rather than trusting the random mix to cover everything.
+    let cases: Vec<(u32, Topology, Vec<ScaleOp>)> = vec![
+        (
+            16,
+            Topology::Ring { ranks_per_node: 1 },
+            vec![ScaleOp::Bcast {
+                root: 9,
+                bytes: 8192,
+            }],
+        ),
+        (
+            16,
+            Topology::Ring { ranks_per_node: 2 },
+            vec![ScaleOp::Allgather { bytes: 2048 }],
+        ),
+        (
+            12,
+            Topology::Dragonfly {
+                ranks_per_node: 2,
+                group_size: 3,
+            },
+            vec![ScaleOp::Alltoall { bytes: 512 }],
+        ),
+        (
+            16,
+            Topology::FatTree {
+                ranks_per_node: 2,
+                radix: 4,
+            },
+            vec![ScaleOp::Barrier, ScaleOp::PutRing { bytes: 4096 }],
+        ),
+        (
+            16,
+            Topology::FatTree {
+                ranks_per_node: 4,
+                radix: 2,
+            },
+            vec![ScaleOp::GetRing { bytes: 4096 }, ScaleOp::Barrier],
+        ),
+    ];
+    for (ranks, topo, program) in cases {
+        let mut cfg = ScaleConfig::new(ranks, program.clone());
+        cfg.topo = topo;
+        cfg.fault_plan = plan();
+        let want = fingerprint(&scale::run(&cfg, 1, true));
+        for shards in [2u32, 4] {
+            let got = fingerprint(&scale::run(&cfg, shards, true));
+            assert_eq!(got, want, "{topo:?} {program:?} shards={shards}");
+        }
+    }
+}
+
+#[test]
+fn retries_are_partition_independent() {
+    // The per-rank fault streams are the satellite under test here:
+    // the *count and placement* of injected faults must not move when
+    // the shard count changes.
+    let mut cfg = ScaleConfig::new(32, vec![ScaleOp::Alltoall { bytes: 1024 }]);
+    cfg.fault_plan = FaultPlan::default().with_seed(5).with_rule(
+        Some(FaultOp::WireCopy),
+        FaultKind::Transient,
+        0.2,
+    );
+    let reference = scale::run(&cfg, 1, false);
+    let retries_ref: Vec<u64> = (0..32)
+        .map(|r| reference.trace.counter_at(names::RETRY_ATTEMPTS, r, 0))
+        .collect();
+    assert!(
+        retries_ref.iter().sum::<u64>() > 0,
+        "plan must actually inject"
+    );
+    for shards in [2u32, 8] {
+        let run = scale::run(&cfg, shards, false);
+        let retries: Vec<u64> = (0..32)
+            .map(|r| run.trace.counter_at(names::RETRY_ATTEMPTS, r, 0))
+            .collect();
+        assert_eq!(retries, retries_ref, "shards={shards}");
+    }
+}

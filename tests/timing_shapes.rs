@@ -264,7 +264,7 @@ fn engine_pipeline_overlap_visible_in_metrics() {
         use devengine::OptimizerConfig;
         let t = triangular(1024);
         let mut sess = Session::builder()
-            .ranks(
+            .rank_specs(
                 &[RankSpec {
                     gpu: GpuId(0),
                     node: 0,
