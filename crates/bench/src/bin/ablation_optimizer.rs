@@ -12,7 +12,11 @@
 //! simulated round-trip is never worse than the static default — both
 //! starting from everything-off and from everything-else-on — across
 //! the triangular (fig7/fig10) and transpose (fig12) datatypes on all
-//! three topologies.
+//! three topologies. The same property is then asserted for the
+//! five-way path-class choice: admitting NicOffload and
+//! StreamTriggered as candidates (DESIGN.md §15) must never lose to
+//! the three-class incumbent, on any architecture or fragmentation
+//! regime.
 
 use bench::harness::ms;
 use bench::runner::{ours_rtt, BenchOpts, Sweep, Topo};
@@ -111,9 +115,59 @@ fn assert_tuner_never_worse() {
     eprintln!("# tuner-never-worse assertion passed on all figure workloads");
 }
 
+/// The five-way path-class gate: with the offload knobs on, the tuner
+/// may route a cross-node transfer to the NIC DEV executor or the
+/// stream-op graph — but only where the analytic model predicts a win
+/// past the selection margin, so the measured round-trip must never be
+/// worse than the three-class incumbent. Swept across every registered
+/// architecture (NIC DMA rates and doorbell latencies diverge per
+/// arch) and the three fragmentation regimes the model separates.
+fn assert_offload_never_worse() {
+    let coarse = DataType::vector(64, 4096, 8192, &DataType::double())
+        .expect("coarse")
+        .commit();
+    let medium = DataType::vector(512, 32, 64, &DataType::double())
+        .expect("medium")
+        .commit();
+    let fine = DataType::vector(8192, 2, 4, &DataType::double())
+        .expect("fine")
+        .commit();
+    let workloads = [
+        ("coarse-2m", &coarse),
+        ("medium-128k", &medium),
+        ("fine-128k", &fine),
+    ];
+    let knobs = [
+        ("nic", true, false),
+        ("stream", false, true),
+        ("both", true, true),
+    ];
+    for arch_name in ["k40", "p100", "v100", "a100"] {
+        let arch = GpuArch::named(arch_name);
+        for (wname, ty) in &workloads {
+            let (t_base, _) = ours_rtt(Topo::Ib, arch, MpiConfig::default(), ty, ty, 2, false);
+            for (kname, nic, stream) in knobs {
+                let on = MpiConfig {
+                    nic_offload: nic,
+                    stream_trigger: stream,
+                    ..MpiConfig::default()
+                };
+                let (t_on, _) = ours_rtt(Topo::Ib, arch, on, ty, ty, 2, false);
+                assert!(
+                    t_on <= t_base,
+                    "offload path-class choice regressed {wname} on {arch_name} \
+                     (knobs: {kname}): {t_on} vs incumbent {t_base}"
+                );
+            }
+        }
+    }
+    eprintln!("# offload-never-worse assertion passed (5-way path choice, 4 archs)");
+}
+
 fn main() {
     let opts = BenchOpts::parse();
     assert_tuner_never_worse();
+    assert_offload_never_worse();
 
     // Panel 1: triangular ping-pong (the fig7/fig10 datatype) over the
     // full IPC pipeline — canonicalization, coalescing and the

@@ -1,14 +1,20 @@
 //! chaos_soak — sweep transient-fault rates across the figure
 //! workloads and topologies, asserting that every injected schedule
 //! still delivers byte-correct data within a bounded slowdown, and
-//! that permanent IPC loss renegotiates to copy-in/copy-out.
+//! that permanent losses demote cleanly: IPC loss renegotiates to
+//! copy-in/copy-out, NIC-handler loss demotes NicOffload to GPU-pack,
+//! and doorbell loss demotes StreamTriggered to the CPU-driven path
+//! (DESIGN.md §15) — all byte-equal.
 //!
 //! Prints one CSV table (makespan in ms per cell; the `fault_rate_pct`
 //! axis is the per-charge-point transient probability in percent) plus
-//! `#` comment lines for the permanent-loss scenario and the verdict.
-//! Exits non-zero on any delivered-bytes mismatch, stalled run, or
-//! cell slower than the bounded-slowdown envelope — so CI can run
-//! `chaos_soak --smoke` as a gate.
+//! `#` comment lines for the permanent-loss scenarios and the verdict.
+//! `--arch` (repeatable and/or comma-separated) sweeps the transient
+//! table across architectures, adding the arch column exactly like the
+//! figure binaries. Exits non-zero on any delivered-bytes mismatch,
+//! stalled run, missing demotion, or cell slower than the
+//! bounded-slowdown envelope — so CI can run `chaos_soak --smoke` as a
+//! gate.
 
 use bench::harness::{ms, print_header, print_row, Figure};
 use bench::runner::{BenchOpts, Topo};
@@ -20,6 +26,7 @@ use gpusim::GpuWorld as _;
 use memsim::{MemSpace, Ptr};
 use mpirt::api::{irecv, isend, wait_all, RecvArgs, SendArgs};
 use mpirt::MpiConfig;
+use simcore::trace::names;
 use simcore::SimTime;
 
 /// A run that exceeds this multiple of its fault-free makespan (plus a
@@ -29,21 +36,20 @@ const SLOWDOWN_GRACE: SimTime = SimTime(2_000_000); // 2 ms of backoffs
 
 struct Cell {
     makespan: SimTime,
-    injected: u64,
-    fallbacks: u64,
+    m: simcore::Metrics,
 }
 
-/// One device-to-device transfer of `ty` under `plan`; checks the
-/// delivered packed stream against the reference pack of the sent
-/// pattern. Any mismatch or stall comes back as `Err`.
-fn transfer(topo: Topo, ty: &DataType, plan: FaultPlan) -> Result<Cell, String> {
-    let config = MpiConfig {
-        fault_plan: plan,
-        ..Default::default()
-    };
-    let mut sess = topo
-        .session(gpusim::GpuArch::default_arch(), config)
-        .build();
+/// One device-to-device transfer of `ty` on `arch` under `config`
+/// (fault plan included); checks the delivered packed stream against
+/// the reference pack of the sent pattern. Any mismatch or stall comes
+/// back as `Err`.
+fn transfer(
+    topo: Topo,
+    arch: &'static gpusim::GpuArch,
+    config: MpiConfig,
+    ty: &DataType,
+) -> Result<Cell, String> {
+    let mut sess = topo.session(arch, config).build();
     let (base, len) = buffer_span(ty, 1);
     let g0 = MemSpace::Device(sess.world.mpi.ranks[0].gpu);
     let g1 = MemSpace::Device(sess.world.mpi.ranks[1].gpu);
@@ -86,21 +92,27 @@ fn transfer(topo: Topo, ty: &DataType, plan: FaultPlan) -> Result<Cell, String> 
     }
     let makespan = sess.now();
     let m = sess.metrics();
-    Ok(Cell {
-        makespan,
-        injected: m.counter(counters::FAULT_INJECTED),
-        fallbacks: m.counter(counters::FALLBACK_EVENTS),
-    })
+    Ok(Cell { makespan, m })
+}
+
+/// Shorthand: wrap a fault plan in an otherwise-default config.
+fn faulted(plan: FaultPlan) -> MpiConfig {
+    MpiConfig {
+        fault_plan: plan,
+        ..Default::default()
+    }
 }
 
 fn main() {
     let opts = BenchOpts::parse();
-    let smoke = opts.rest.iter().any(|a| a == "--smoke");
+    let smoke = opts.smoke || opts.rest.iter().any(|a| a == "--smoke");
     let (n, rates): (u64, Vec<u64>) = if smoke {
         (128, vec![0, 5, 20])
     } else {
         (256, vec![0, 1, 5, 20])
     };
+    let archs = opts.archs();
+    let legacy = archs == [gpusim::GpuArch::default_arch()];
     let topos = [(Topo::Sm2Gpu, "sm2"), (Topo::Ib, "ib")];
     let tys = [
         ("C", contiguous_matrix(n)),
@@ -115,55 +127,61 @@ fn main() {
         id: "chaos_soak",
         title: "makespan under swept transient-fault rates",
         x_label: "fault_rate_pct",
-        arch_column: false,
+        arch_column: !legacy,
         series: columns.clone(),
     });
 
     let mut violations: Vec<String> = Vec::new();
+    // Fault-free makespan per (arch, column), filled by the rate-0 row.
     let mut baseline: Vec<SimTime> = Vec::new();
     let mut total_injected = 0u64;
     for &rate in &rates {
-        let mut row = Vec::new();
-        for (ti, (topo, tname)) in topos.iter().enumerate() {
-            for (wi, (wname, ty)) in tys.iter().enumerate() {
-                let col = ti * tys.len() + wi;
-                let plan = if rate == 0 {
-                    FaultPlan::empty()
-                } else {
-                    let seed = 1000 + (ti as u64) * 100 + (wi as u64) * 10 + rate;
-                    FaultPlan::empty().with_seed(seed).with_rule(
-                        None,
-                        FaultKind::Transient,
-                        rate as f64 / 100.0,
-                    )
-                };
-                match transfer(*topo, ty, plan) {
-                    Ok(cell) => {
-                        total_injected += cell.injected;
-                        if rate == 0 {
-                            baseline.push(cell.makespan);
-                        } else {
-                            let cap = SimTime(
-                                (baseline[col].0 as f64 * SLOWDOWN_CAP) as u64 + SLOWDOWN_GRACE.0,
-                            );
-                            if cell.makespan > cap {
-                                violations.push(format!(
-                                    "{tname}-{wname} @ {rate}%: makespan {} exceeds \
-                                     {SLOWDOWN_CAP}x fault-free bound {}",
-                                    cell.makespan, cap
-                                ));
+        for (ai, &arch) in archs.iter().enumerate() {
+            let mut row = Vec::new();
+            for (ti, (topo, tname)) in topos.iter().enumerate() {
+                for (wi, (wname, ty)) in tys.iter().enumerate() {
+                    let col = ai * columns.len() + ti * tys.len() + wi;
+                    let plan = if rate == 0 {
+                        FaultPlan::empty()
+                    } else {
+                        let seed =
+                            1000 + (ai as u64) * 1000 + (ti as u64) * 100 + (wi as u64) * 10 + rate;
+                        FaultPlan::empty().with_seed(seed).with_rule(
+                            None,
+                            FaultKind::Transient,
+                            rate as f64 / 100.0,
+                        )
+                    };
+                    match transfer(*topo, arch, faulted(plan), ty) {
+                        Ok(cell) => {
+                            total_injected += cell.m.counter(counters::FAULT_INJECTED);
+                            if rate == 0 {
+                                baseline.push(cell.makespan);
+                            } else {
+                                let cap = SimTime(
+                                    (baseline[col].0 as f64 * SLOWDOWN_CAP) as u64
+                                        + SLOWDOWN_GRACE.0,
+                                );
+                                if cell.makespan > cap {
+                                    violations.push(format!(
+                                        "{tname}-{wname} @ {rate}% on {}: makespan {} exceeds \
+                                         {SLOWDOWN_CAP}x fault-free bound {}",
+                                        arch.name, cell.makespan, cap
+                                    ));
+                                }
                             }
+                            row.push(ms(cell.makespan));
                         }
-                        row.push(ms(cell.makespan));
-                    }
-                    Err(e) => {
-                        violations.push(format!("{tname}-{wname} @ {rate}%: {e}"));
-                        row.push(f64::NAN);
+                        Err(e) => {
+                            violations
+                                .push(format!("{tname}-{wname} @ {rate}% on {}: {e}", arch.name));
+                            row.push(f64::NAN);
+                        }
                     }
                 }
             }
+            print_row(rate, (!legacy).then_some(arch.name), &row);
         }
-        print_row(rate, None, &row);
     }
     if total_injected == 0 {
         violations.push("sweep injected no faults at all — soak is vacuous".to_string());
@@ -176,15 +194,107 @@ fn main() {
         FaultKind::PermanentLoss,
         1.0,
     );
-    match transfer(Topo::Sm2Gpu, &tys[2].1, plan) {
-        Ok(cell) if cell.fallbacks == 0 => {
+    let k40 = gpusim::GpuArch::default_arch();
+    match transfer(Topo::Sm2Gpu, k40, faulted(plan), &tys[2].1) {
+        Ok(cell) if cell.m.counter(counters::FALLBACK_EVENTS) == 0 => {
             violations.push("permanent IPC loss did not renegotiate".to_string());
         }
         Ok(cell) => println!(
             "# permanent-ipc-loss: renegotiated to copy-in/out, makespan {}, {} fallback(s)",
-            cell.makespan, cell.fallbacks
+            cell.makespan,
+            cell.m.counter(counters::FALLBACK_EVENTS)
         ),
         Err(e) => violations.push(format!("permanent-ipc-loss: {e}")),
+    }
+
+    // Offload demotions (DESIGN.md §15): on shapes the tuner provably
+    // routes to the new path classes, a healthy run must take the
+    // offload (else the loss scenario is vacuous), and a permanent
+    // handler/doorbell loss must demote back to the GPU-pack pipeline —
+    // byte-equal (transfer() checks delivery) with exactly one sticky
+    // demotion and zero offload executions in the metrics.
+    let coarse = DataType::vector(64, 4096, 8192, &DataType::double())
+        .expect("coarse")
+        .commit();
+    let medium = DataType::vector(512, 32, 64, &DataType::double())
+        .expect("medium")
+        .commit();
+    let nic_cfg = MpiConfig {
+        nic_offload: true,
+        ..Default::default()
+    };
+    let stream_cfg = MpiConfig {
+        stream_trigger: true,
+        ..Default::default()
+    };
+    let scenarios: [(
+        &str,
+        &'static gpusim::GpuArch,
+        &DataType,
+        MpiConfig,
+        FaultOp,
+        &str,
+        &str,
+    ); 2] = [
+        (
+            "nic-handler-loss",
+            gpusim::GpuArch::named("a100"),
+            &coarse,
+            nic_cfg,
+            FaultOp::NicHandler,
+            names::OFFLOAD_NIC_PROGRAMS,
+            names::OFFLOAD_NIC_DEMOTIONS,
+        ),
+        (
+            "stream-doorbell-loss",
+            gpusim::GpuArch::named("p100"),
+            &medium,
+            stream_cfg,
+            FaultOp::StreamDoorbell,
+            names::OFFLOAD_STREAM_REPLAYS,
+            names::OFFLOAD_STREAM_DEMOTIONS,
+        ),
+    ];
+    for (sname, arch, ty, cfg, op, taken, demoted) in scenarios {
+        match transfer(Topo::Ib, arch, cfg.clone(), ty) {
+            Ok(cell) if cell.m.counter(taken) == 0 => violations.push(format!(
+                "{sname}: healthy run never took the offload path ({taken} == 0)"
+            )),
+            Ok(cell) => println!(
+                "# {sname}: healthy run offloads ({taken} = {})",
+                cell.m.counter(taken)
+            ),
+            Err(e) => violations.push(format!("{sname} (healthy): {e}")),
+        }
+        let plan =
+            FaultPlan::empty()
+                .with_seed(7)
+                .with_rule(Some(op), FaultKind::PermanentLoss, 1.0);
+        let lossy = MpiConfig {
+            fault_plan: plan,
+            ..cfg
+        };
+        match transfer(Topo::Ib, arch, lossy, ty) {
+            Ok(cell) => {
+                if cell.m.counter(demoted) != 1 {
+                    violations.push(format!(
+                        "{sname}: expected exactly one sticky demotion, got {demoted} = {}",
+                        cell.m.counter(demoted)
+                    ));
+                } else if cell.m.counter(taken) != 0 {
+                    violations.push(format!(
+                        "{sname}: demoted run still offloaded ({taken} = {})",
+                        cell.m.counter(taken)
+                    ));
+                } else {
+                    println!(
+                        "# {sname}: demoted to GPU-pack byte-equal, makespan {}",
+                        cell.makespan
+                    );
+                }
+            }
+            Err(e) => violations.push(format!("{sname} (permanent loss): {e}")),
+        }
     }
 
     println!("# injected {total_injected} fault(s) across the sweep");

@@ -144,6 +144,24 @@ pub fn flip_units_in_place(units: &mut [CopyOp]) {
     }
 }
 
+/// One-shot DEV walk: the full unit list for `count` elements of `ty`
+/// in pack orientation (`src_off` typed, `dst_off` packed from 0),
+/// plus the typed-side `base_shift`. Whole-message consumers — the
+/// stream-triggered capture bakes its graph kernels from this — get
+/// their program without driving a cursor fragment by fragment.
+pub fn whole_units(
+    ty: &DataType,
+    count: u64,
+    unit_size: u64,
+    coalesce: bool,
+) -> Result<(Vec<CopyOp>, i64), TypeError> {
+    let mut cur = DevCursor::with_coalesce(ty, count, unit_size, coalesce)?;
+    let shift = cur.base_shift();
+    let mut units = Vec::new();
+    cur.next_units_into(u64::MAX, &mut units);
+    Ok((units, shift))
+}
+
 /// Streaming DEV generator: wraps the stack-based convertor and splits
 /// segments into `unit_size` work units on demand — the CPU half of the
 /// paper's pipeline.

@@ -28,6 +28,7 @@ pub mod tune;
 pub use cache::DevCache;
 pub use config::{EngineConfig, OptimizerConfig};
 pub use dev::{
-    build_plan, build_plan_opt, flip_units, flip_units_in_place, DevCursor, DevPlan, SliceParts,
+    build_plan, build_plan_opt, flip_units, flip_units_in_place, whole_units, DevCursor, DevPlan,
+    SliceParts,
 };
 pub use engine::{pack_async, unpack_async, Direction, FragmentEngine};

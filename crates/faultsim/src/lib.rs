@@ -50,10 +50,18 @@ pub enum FaultOp {
     PinnedRegister,
     /// Staged copy-in/copy-out hop over a data link (`netsim::wire`).
     WireCopy,
+    /// DEV-program handler install on the NIC packet processor, done
+    /// once per connection (`mpirt::protocol::offload`). Loss demotes
+    /// NicOffload → GPU-pack.
+    NicHandler,
+    /// GPU-stream doorbell ringing a captured stream-op graph
+    /// (`gpusim::stream_trigger`). Loss demotes StreamTriggered →
+    /// CPU-driven.
+    StreamDoorbell,
 }
 
 impl FaultOp {
-    pub const ALL: [FaultOp; 9] = [
+    pub const ALL: [FaultOp; 11] = [
         FaultOp::AmDeliver,
         FaultOp::RdmaRegister,
         FaultOp::RdmaGet,
@@ -63,6 +71,8 @@ impl FaultOp {
         FaultOp::IpcOpen,
         FaultOp::PinnedRegister,
         FaultOp::WireCopy,
+        FaultOp::NicHandler,
+        FaultOp::StreamDoorbell,
     ];
 
     /// Stable index, used as the counter dimension and the loss-table slot.
@@ -77,6 +87,8 @@ impl FaultOp {
             FaultOp::IpcOpen => 6,
             FaultOp::PinnedRegister => 7,
             FaultOp::WireCopy => 8,
+            FaultOp::NicHandler => 9,
+            FaultOp::StreamDoorbell => 10,
         }
     }
 
@@ -92,6 +104,8 @@ impl FaultOp {
             FaultOp::IpcOpen => "ipc_open",
             FaultOp::PinnedRegister => "pin",
             FaultOp::WireCopy => "wire",
+            FaultOp::NicHandler => "nic",
+            FaultOp::StreamDoorbell => "doorbell",
         }
     }
 
@@ -219,7 +233,8 @@ impl FaultPlan {
     /// ```
     ///
     /// * `op` — `am`, `rdma_reg`, `rdma_get`, `rdma_put`, `kernel`,
-    ///   `memcpy`, `ipc_open`, `pin`, or `any`.
+    ///   `memcpy`, `ipc_open`, `pin`, `wire`, `nic`, `doorbell`, or
+    ///   `any`.
     /// * `kind` — `transient`, `lost`, or `degrade`.
     /// * `param` — firing probability for `transient`/`lost` (default
     ///   1.0), slowdown factor for `degrade` (required, ≥ 1.0).

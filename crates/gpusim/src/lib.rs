@@ -27,6 +27,7 @@ pub mod copy;
 pub mod fault;
 pub mod kernel;
 pub mod spec;
+pub mod stream_trigger;
 pub mod system;
 
 pub use arch::{CostParams, GpuArch};
@@ -34,6 +35,7 @@ pub use copy::{memcpy, memcpy_2d, CopyDirection};
 pub use fault::{count_retry, fault_roll, fault_scaled};
 pub use kernel::{launch_transfer_kernel, transfer_kernel_time, KernelConfig};
 pub use spec::{GpuSpec, Interconnect, NodeTopology};
+pub use stream_trigger::{graph_kernel, replay_issue, GraphCapture, StreamGraph};
 pub use system::{
     ipc_export, ipc_open, stream_sync, GpuState, GpuSystem, GpuWorld, NodeWorld, StreamId,
 };

@@ -187,6 +187,30 @@ pub struct NodeTopology {
     /// Per-row descriptor overhead of `cudaMemcpy2D` through the DMA
     /// engine (large row counts amortize poorly in the real driver).
     pub memcpy2d_row_overhead: SimTime,
+    /// One-time cost of installing a DEV-program handler on the NIC
+    /// packet processor (sPIN's handler-registration path: compile the
+    /// descriptor program into HPU handler state and pin it). Paid once
+    /// per connection, like `ipc_open_cost`.
+    pub nic_handler_setup: SimTime,
+    /// Per-descriptor issue cost on the NIC handler cores: each DEV
+    /// work unit costs one gather/scatter descriptor dispatch. sPIN
+    /// budgets a handler at a few ns per packet op on dedicated HPU
+    /// cores; commodity HCA firmware engines are slower.
+    pub nic_desc_issue: SimTime,
+    /// NIC gather/scatter DMA bandwidth when the packet processor
+    /// drives strided reads from GPU memory over the host bus (PCIe
+    /// peer-to-peer into the HCA; bounded by the host link, and below
+    /// bulk-DMA rates because strided descriptors keep the bus less
+    /// full).
+    pub nic_dma_bw: Bandwidth,
+    /// Latency of a GPU-stream doorbell ring reaching the NIC/proxy
+    /// (the stream-triggered MMIO write of HPE's stream-aware MP; a
+    /// store over the host bus plus trigger dispatch).
+    pub stream_doorbell_lat: SimTime,
+    /// Per-op issue cost when a captured stream-op graph is replayed
+    /// (trigger/doorbell/completion entries re-armed by the stream
+    /// front-end, no CPU involvement).
+    pub stream_op_issue: SimTime,
 }
 
 impl NodeTopology {
@@ -203,6 +227,18 @@ impl NodeTopology {
             peer_kernel_efficiency: 0.85,
             memcpy2d_misaligned_factor: 0.15,
             memcpy2d_row_overhead: SimTime::from_nanos(30),
+            // FDR-era ConnectX-3 firmware engine: handler install is a
+            // verbs QP reconfig (~command-interface round trip), per
+            // descriptor dispatch is firmware-driven, gather DMA is
+            // bounded by the gen3 host link with strided-read derating.
+            nic_handler_setup: SimTime::from_micros(40),
+            nic_desc_issue: SimTime::from_nanos(120),
+            nic_dma_bw: Bandwidth::from_gbps(5.0),
+            // Kepler has no stream memory ops; a CPU proxy thread polls
+            // the doorbell flag, so the ring is host-visible only after
+            // a PCIe write + poll interval.
+            stream_doorbell_lat: SimTime::from_micros(3),
+            stream_op_issue: SimTime::from_nanos(400),
         }
     }
 
@@ -224,6 +260,15 @@ impl NodeTopology {
             peer_kernel_efficiency: 0.90,
             memcpy2d_misaligned_factor: 0.60,
             memcpy2d_row_overhead: SimTime::from_nanos(15),
+            // EDR-era ConnectX-4: faster command interface, offload
+            // engines closer to sPIN's measured handler rates; Pascal
+            // adds cuStreamWriteValue so the doorbell is a real MMIO
+            // store, no proxy poll.
+            nic_handler_setup: SimTime::from_micros(25),
+            nic_desc_issue: SimTime::from_nanos(80),
+            nic_dma_bw: Bandwidth::from_gbps(9.0),
+            stream_doorbell_lat: SimTime::from_nanos(1200),
+            stream_op_issue: SimTime::from_nanos(250),
         }
     }
 
@@ -241,6 +286,12 @@ impl NodeTopology {
             peer_kernel_efficiency: 0.92,
             memcpy2d_misaligned_factor: 0.80,
             memcpy2d_row_overhead: SimTime::from_nanos(8),
+            // EDR ConnectX-5 with full DC offload pipeline.
+            nic_handler_setup: SimTime::from_micros(18),
+            nic_desc_issue: SimTime::from_nanos(60),
+            nic_dma_bw: Bandwidth::from_gbps(10.5),
+            stream_doorbell_lat: SimTime::from_nanos(900),
+            stream_op_issue: SimTime::from_nanos(180),
         }
     }
 
@@ -258,6 +309,15 @@ impl NodeTopology {
             peer_kernel_efficiency: 0.93,
             memcpy2d_misaligned_factor: 0.85,
             memcpy2d_row_overhead: SimTime::from_nanos(5),
+            // HDR ConnectX-6 era: wide command interface, BlueField-
+            // class packet processors, gen4 host link; doorbell rates
+            // from HPE's stream-triggered measurements on Slingshot-
+            // class NICs (sub-µs trigger visibility).
+            nic_handler_setup: SimTime::from_micros(12),
+            nic_desc_issue: SimTime::from_nanos(40),
+            nic_dma_bw: Bandwidth::from_gbps(20.0),
+            stream_doorbell_lat: SimTime::from_nanos(600),
+            stream_op_issue: SimTime::from_nanos(120),
         }
     }
 

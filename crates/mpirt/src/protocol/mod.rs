@@ -2,6 +2,7 @@
 
 pub mod copyio;
 pub mod eager;
+pub mod offload;
 pub mod sm;
 
 use crate::cpupack::{CpuDir, CpuEngine};
@@ -135,6 +136,18 @@ pub(crate) fn run_transfer(
     if same_node && use_ipc && send.device() && recv.device() {
         sm::start(sim, send, recv, send_req, recv_req);
     } else {
-        copyio::start(sim, send, recv, send_req, recv_req);
+        // Cross-node (and degraded same-node) transfers consult the
+        // analytic path selector: the offload classes compete only when
+        // their knobs are on and their runtime-health flags are up, and
+        // win only past the never-worse margin.
+        match crate::tuner::select_path(sim, &send, &recv, same_node) {
+            crate::tuner::PathClass::NicOffload => {
+                offload::start_nic(sim, send, recv, send_req, recv_req)
+            }
+            crate::tuner::PathClass::StreamTriggered => {
+                offload::start_stream(sim, send, recv, send_req, recv_req)
+            }
+            _ => copyio::start(sim, send, recv, send_req, recv_req),
+        }
     }
 }

@@ -1,0 +1,367 @@
+//! The offload path classes: NIC-executed DEV programs and GPU
+//! stream-triggered sends.
+//!
+//! Both eliminate work the GPU-pack pipeline pays on every transfer:
+//!
+//! * **NicOffload** — the NIC packet processor executes the merged
+//!   gather/scatter descriptor program (sPIN), so there is no pack
+//!   kernel, no packed staging buffer and no per-fragment control
+//!   traffic. A one-time DEV handler install per rank pair mirrors the
+//!   IPC/pinned-registration handshakes, including its fault charge
+//!   point (`FaultOp::NicHandler`): permanent loss flips
+//!   `nic_offload_runtime_ok` off and this — and every later — transfer
+//!   demotes to the GPU-pack copy-in/out pipeline, sticky and
+//!   byte-equal, exactly like the SmIpc → CopyInOut demotion.
+//!
+//! * **StreamTriggered** — the transfer is captured once into a GPU
+//!   stream-op graph (trigger → pack kernel → doorbell → unpack kernel
+//!   → completion) and replayed per iteration with zero CPU events on
+//!   the critical path (HPE's stream-aware MPI). The doorbell ring is
+//!   the fault charge point (`FaultOp::StreamDoorbell`), rolled before
+//!   each replay: a lost doorbell demotes to the CPU-driven pipeline,
+//!   sticky via `stream_trigger_runtime_ok`.
+//!
+//! Neither path is entered unless `tuner::select_path` predicted a win
+//! past its never-worse margin, so a demotion only ever returns the
+//! transfer to the timing it would have had with the knob off.
+
+use crate::connection::{HANDSHAKE_RETRY_MAX, HANDSHAKE_TIMEOUT};
+use crate::protocol::{copyio, Side};
+use crate::request::{MpiError, Request};
+use crate::tuner::{cache_key, PathClass};
+use crate::world::MpiWorld;
+use devengine::{flip_units, whole_units};
+use faultsim::{Backoff, FaultDecision, FaultOp};
+use gpusim::{fault, graph_kernel, GpuWorld as _, GraphCapture, StreamGraph};
+use memsim::{MemSpace, Ptr};
+use netsim::{compile_program, execute_program, wire_send, NicCosts};
+use simcore::par::CopyOp;
+use simcore::trace::names;
+use simcore::Sim;
+use std::rc::Rc;
+
+/// One captured stream-triggered transfer shape: the replayable graph
+/// plus everything the replay needs baked at capture time — whole-
+/// message pack/unpack unit lists, `true_lb` shifts, and the pinned
+/// bounce buffer the graph kernels stream through.
+pub struct CapturedXfer {
+    pub graph: StreamGraph,
+    pub pack_units: Vec<CopyOp>,
+    pub unpack_units: Vec<CopyOp>,
+    pub s_shift: i64,
+    pub r_shift: i64,
+    pub bounce: Ptr,
+    pub total: u64,
+}
+
+fn complete_both(sim: &mut Sim<MpiWorld>, send_req: &Request, recv_req: &Request, err: MpiError) {
+    send_req.complete_if_pending(sim, Err(err.clone()));
+    recv_req.complete_if_pending(sim, Err(err));
+}
+
+// ---------------------------------------------------------------- NIC
+
+/// Start one NicOffload rendezvous: install the DEV handler on the pair
+/// (once, cached), compile the merged descriptor program (once per
+/// shape, cached), execute it on the NIC. Demotes to
+/// [`copyio::start`] when the handler capability is lost.
+pub fn start_nic(sim: &mut Sim<MpiWorld>, s: Side, r: Side, send_req: Request, recv_req: Request) {
+    let total = s.total();
+    if total == 0 {
+        send_req.complete(sim, Ok(0));
+        recv_req.complete(sim, Ok(0));
+        return;
+    }
+    let deadline = sim.now() + HANDSHAKE_TIMEOUT;
+    nic_handler_attempt(
+        sim,
+        s.rank,
+        r.rank,
+        fault::default_backoff(),
+        deadline,
+        move |sim, installed| {
+            if !installed {
+                // The capability is gone: this and every later transfer
+                // renegotiate to the GPU-pack pipeline.
+                return copyio::start(sim, s, r, send_req, recv_req);
+            }
+            let key = cache_key(sim, &s, &r, PathClass::NicOffload);
+            let prog = match sim.world.mpi.nic_programs.get(&key) {
+                Some(p) => Rc::clone(p),
+                None => match compile_program(&s.ty, s.count, &r.ty, r.count) {
+                    Ok(p) => {
+                        let p = Rc::new(p);
+                        sim.world.mpi.nic_programs.insert(key, Rc::clone(&p));
+                        p
+                    }
+                    Err(e) => {
+                        return complete_both(sim, &send_req, &recv_req, MpiError::Type(e));
+                    }
+                },
+            };
+            let costs = NicCosts::of(&sim.world.gpus_ref().topo);
+            let (s_rank, r_rank) = (s.rank, r.rank);
+            let sreq = send_req.clone();
+            let rreq = recv_req.clone();
+            let shipped = execute_program(
+                sim,
+                s_rank,
+                r_rank,
+                s.buf,
+                r.buf,
+                &prog,
+                &costs,
+                move |sim| {
+                    sim.trace.count(
+                        names::MPI_DELIVERED_BYTES,
+                        s_rank as u32,
+                        r_rank as u32,
+                        total,
+                    );
+                    rreq.complete(sim, Ok(total));
+                    sreq.complete(sim, Ok(total));
+                },
+            );
+            if let Err(e) = shipped {
+                complete_both(sim, &send_req, &recv_req, MpiError::Net(e));
+            }
+        },
+    );
+}
+
+/// Install (or reuse) the DEV handler for the directed pair, rolling
+/// the `NicHandler` fault charge point: transients retry under the
+/// connection-handshake budget, permanent loss (or an exhausted budget)
+/// flips the runtime flag, counts the demotion, and reports `false`.
+fn nic_handler_attempt(
+    sim: &mut Sim<MpiWorld>,
+    s_rank: usize,
+    r_rank: usize,
+    mut backoff: Backoff,
+    deadline: simcore::SimTime,
+    then: impl FnOnce(&mut Sim<MpiWorld>, bool) + 'static,
+) {
+    if sim.world.mpi.nic_handlers.contains_key(&(s_rank, r_rank)) {
+        sim.schedule_now(move |sim| then(sim, true));
+        return;
+    }
+    match fault::fault_roll(sim, FaultOp::NicHandler) {
+        FaultDecision::Ok => {
+            let setup = sim.world.gpus_ref().topo.nic_handler_setup;
+            sim.schedule_in(setup, move |sim| {
+                sim.world.mpi.nic_handlers.insert((s_rank, r_rank), ());
+                then(sim, true);
+            });
+        }
+        FaultDecision::Transient
+            if sim.now() < deadline && backoff.attempts() < HANDSHAKE_RETRY_MAX =>
+        {
+            fault::count_retry(sim, FaultOp::NicHandler);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                nic_handler_attempt(sim, s_rank, r_rank, backoff, deadline, then);
+            });
+        }
+        _ => {
+            sim.world.mpi.nic_offload_runtime_ok = false;
+            sim.trace.count(
+                names::OFFLOAD_NIC_DEMOTIONS,
+                s_rank as u32,
+                r_rank as u32,
+                1,
+            );
+            sim.trace.count(
+                faultsim::counters::FALLBACK_EVENTS,
+                s_rank as u32,
+                r_rank as u32,
+                1,
+            );
+            then(sim, false);
+        }
+    }
+}
+
+// ------------------------------------------------------------- stream
+
+/// Start one StreamTriggered rendezvous: roll the doorbell, capture the
+/// graph if this shape has never been captured on the pair, replay it.
+/// A lost doorbell demotes to [`copyio::start`].
+pub fn start_stream(
+    sim: &mut Sim<MpiWorld>,
+    s: Side,
+    r: Side,
+    send_req: Request,
+    recv_req: Request,
+) {
+    let total = s.total();
+    if total == 0 {
+        send_req.complete(sim, Ok(0));
+        recv_req.complete(sim, Ok(0));
+        return;
+    }
+    let deadline = sim.now() + HANDSHAKE_TIMEOUT;
+    doorbell_attempt(
+        sim,
+        s.rank,
+        r.rank,
+        fault::default_backoff(),
+        deadline,
+        move |sim, rung| {
+            if !rung {
+                return copyio::start(sim, s, r, send_req, recv_req);
+            }
+            let cap = match captured(sim, &s, &r) {
+                Ok(c) => c,
+                Err(e) => return complete_both(sim, &send_req, &recv_req, e),
+            };
+            replay(sim, cap, s, r, send_req, recv_req);
+        },
+    );
+}
+
+/// Ring the doorbell for one replay, rolling the `StreamDoorbell` fault
+/// charge point. Transients re-ring under the handshake budget; a lost
+/// doorbell flips the runtime flag, counts the demotion, and reports
+/// `false` so the caller renegotiates to the CPU-driven pipeline.
+fn doorbell_attempt(
+    sim: &mut Sim<MpiWorld>,
+    s_rank: usize,
+    r_rank: usize,
+    mut backoff: Backoff,
+    deadline: simcore::SimTime,
+    then: impl FnOnce(&mut Sim<MpiWorld>, bool) + 'static,
+) {
+    match fault::fault_roll(sim, FaultOp::StreamDoorbell) {
+        FaultDecision::Ok => then(sim, true),
+        FaultDecision::Transient
+            if sim.now() < deadline && backoff.attempts() < HANDSHAKE_RETRY_MAX =>
+        {
+            fault::count_retry(sim, FaultOp::StreamDoorbell);
+            let delay = backoff.next_delay();
+            sim.schedule_in(delay, move |sim| {
+                doorbell_attempt(sim, s_rank, r_rank, backoff, deadline, then);
+            });
+        }
+        _ => {
+            sim.world.mpi.stream_trigger_runtime_ok = false;
+            sim.trace.count(
+                names::OFFLOAD_STREAM_DEMOTIONS,
+                s_rank as u32,
+                r_rank as u32,
+                1,
+            );
+            sim.trace.count(
+                faultsim::counters::FALLBACK_EVENTS,
+                s_rank as u32,
+                r_rank as u32,
+                1,
+            );
+            then(sim, false);
+        }
+    }
+}
+
+/// Get (or capture) the stream-op graph for this pair and shape. The
+/// capture is the expensive, once-per-shape step: bake whole-message
+/// pack/unpack unit lists, pin a bounce buffer, and walk the graph
+/// through the capture API (its only sanctioned constructor).
+fn captured(sim: &mut Sim<MpiWorld>, s: &Side, r: &Side) -> Result<Rc<CapturedXfer>, MpiError> {
+    let key = cache_key(sim, s, r, PathClass::StreamTriggered);
+    if let Some(c) = sim
+        .world
+        .mpi
+        .stream_captures
+        .get(&(s.rank, r.rank))
+        .and_then(|m| m.get(&key))
+    {
+        return Ok(Rc::clone(c));
+    }
+    let total = s.total();
+    let (unit_size, coalesce) = {
+        let cfg = &sim.world.mpi.config;
+        (cfg.engine.unit_size, cfg.engine.optimizer.coalesce)
+    };
+    let (pack_units, s_shift) =
+        whole_units(&s.ty, s.count, unit_size, coalesce).map_err(MpiError::Type)?;
+    let (r_pack, r_shift) =
+        whole_units(&r.ty, r.count, unit_size, coalesce).map_err(MpiError::Type)?;
+    let unpack_units = flip_units(&r_pack);
+    let bounce = sim
+        .world
+        .mem()
+        .alloc(MemSpace::Host, total)
+        .map_err(|e| MpiError::Mem(e.to_string()))?;
+    let stream = sim.world.rank(s.rank).kernel_stream;
+    let graph = GraphCapture::begin(stream)
+        .trigger()
+        .kernel()
+        .doorbell(total)
+        .kernel()
+        .completion()
+        .finish(sim);
+    let cap = Rc::new(CapturedXfer {
+        graph,
+        pack_units,
+        unpack_units,
+        s_shift,
+        r_shift,
+        bounce,
+        total,
+    });
+    sim.world
+        .mpi
+        .stream_captures
+        .entry((s.rank, r.rank))
+        .or_default()
+        .insert(key, Rc::clone(&cap));
+    Ok(cap)
+}
+
+/// Replay the captured graph for one iteration: re-arm on the stream
+/// front-end, then pack kernel → wire → unpack kernel with no CPU event
+/// in between (the graph kernels skip the driver launch path — they
+/// were baked at capture).
+fn replay(
+    sim: &mut Sim<MpiWorld>,
+    cap: Rc<CapturedXfer>,
+    s: Side,
+    r: Side,
+    send_req: Request,
+    recv_req: Request,
+) {
+    let cap2 = Rc::clone(&cap);
+    gpusim::replay_issue(sim, &cap.graph, move |sim, _| {
+        let cap = cap2;
+        let src = s.buf.offset_by(cap.s_shift);
+        let pack = cap.pack_units.clone();
+        let stream = sim.world.rank(s.rank).kernel_stream;
+        let cap3 = Rc::clone(&cap);
+        graph_kernel(sim, stream, src, cap.bounce, pack, move |sim, _| {
+            let cap = cap3;
+            let total = cap.total;
+            let (s_rank, r_rank) = (s.rank, r.rank);
+            let cap4 = Rc::clone(&cap);
+            let sreq = send_req.clone();
+            let rreq = recv_req.clone();
+            let shipped = wire_send(sim, s_rank, r_rank, total, move |sim| {
+                let cap = cap4;
+                let dst = r.buf.offset_by(cap.r_shift);
+                let unpack = cap.unpack_units.clone();
+                let stream = sim.world.rank(r_rank).kernel_stream;
+                graph_kernel(sim, stream, cap.bounce, dst, unpack, move |sim, _| {
+                    sim.trace.count(
+                        names::MPI_DELIVERED_BYTES,
+                        s_rank as u32,
+                        r_rank as u32,
+                        total,
+                    );
+                    rreq.complete(sim, Ok(total));
+                    sreq.complete(sim, Ok(total));
+                });
+            });
+            if let Err(e) = shipped {
+                complete_both(sim, &send_req, &recv_req, MpiError::Net(e));
+            }
+        });
+    });
+}

@@ -26,7 +26,7 @@
 
 use crate::protocol::Side;
 use crate::world::MpiWorld;
-use devengine::tune::{pick_fragment, Stage};
+use devengine::tune::{pick_fragment, pipeline_makespan_ns, Stage};
 use devengine::OptimizerConfig;
 use gpusim::GpuWorld as _;
 use netsim::NetWorld as _;
@@ -44,6 +44,14 @@ pub enum PathClass {
     /// Copy-in/copy-out with zero-copy mapped host fragments: the
     /// device↔host hop rides inside the pack/unpack kernels.
     ZeroCopy,
+    /// Cross-node NIC DEV-executor path: the NIC packet processor runs
+    /// the merged gather/scatter program in-line with the wire stream —
+    /// no GPU pack kernel, no packed staging (`protocol::offload`).
+    NicOffload,
+    /// Cross-node stream-triggered path: the transfer is captured once
+    /// into a GPU stream-op graph and replayed per iteration with zero
+    /// CPU events on the critical path (`protocol::offload`).
+    StreamTriggered,
 }
 
 /// One cached tuning decision.
@@ -80,6 +88,20 @@ fn side_fingerprint(side: &Side, opt: &OptimizerConfig) -> u64 {
     fp
 }
 
+/// Cache key for per-shape offload state (compiled NIC programs,
+/// captured stream graphs): the same canonical-layout fingerprinting as
+/// tuning decisions, so equivalent datatype trees share one program.
+pub(crate) fn cache_key(sim: &Sim<MpiWorld>, s: &Side, r: &Side, class: PathClass) -> TuneKey {
+    let opt = sim.world.mpi.config.engine.optimizer;
+    TuneKey {
+        arch: sim.world.gpus_ref().arch.name,
+        s_layout: side_fingerprint(s, &opt),
+        r_layout: side_fingerprint(r, &opt),
+        total: s.total(),
+        class,
+    }
+}
+
 /// Calibration constants gathered once per decision from the same specs
 /// the simulator charges.
 struct Model {
@@ -113,6 +135,14 @@ struct Model {
     /// One active message on the control link (per-fragment protocol
     /// traffic: unpack requests, slot acks).
     am_ns: f64,
+    /// NIC packet processor: per-descriptor issue on the handler cores
+    /// and the gather/scatter DMA streaming rate (ns per byte).
+    nic_desc_issue_ns: f64,
+    nic_dma_nspb: f64,
+    /// Stream-triggered replay: doorbell MMIO latency and per-op re-arm
+    /// issue on the stream front-end.
+    stream_doorbell_ns: f64,
+    stream_op_issue_ns: f64,
     /// Engine work-unit size (for descriptor-path shatter estimates).
     unit_size: u64,
 }
@@ -145,6 +175,15 @@ fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
             topo.pcie_latency.as_nanos() as f64,
         )
     };
+    let (nic_desc_issue_ns, nic_dma_nspb, stream_doorbell_ns, stream_op_issue_ns) = {
+        let topo = &sim.world.gpus_ref().topo;
+        (
+            topo.nic_desc_issue.as_nanos() as f64,
+            nspb(topo.nic_dma_bw),
+            topo.stream_doorbell_lat.as_nanos() as f64,
+            topo.stream_op_issue.as_nanos() as f64,
+        )
+    };
     let (wire_nspb, wire_lat_ns, am_ns) = {
         let ch = sim.world.net().channel_mut(s_rank, r_rank);
         (
@@ -170,6 +209,10 @@ fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
         wire_nspb,
         wire_lat_ns,
         am_ns,
+        nic_desc_issue_ns,
+        nic_dma_nspb,
+        stream_doorbell_ns,
+        stream_op_issue_ns,
         unit_size: cfg.engine.unit_size,
     }
 }
@@ -320,8 +363,112 @@ fn path_stages(sim: &mut Sim<MpiWorld>, s: &Side, r: &Side, class: PathClass) ->
             }
             stages.push(am);
         }
+        PathClass::NicOffload => {
+            // One stage: the handler front-end serializes descriptor
+            // issue while the payload streams at the slower of the wire
+            // and the NIC gather/scatter DMA — the legs pipeline per
+            // packet, so they max instead of add. No pack kernels, no
+            // staging copies, no per-fragment active messages.
+            let upb = |side: &Side| {
+                let ty = if opt.canonicalize {
+                    side.ty.canonical()
+                } else {
+                    side.ty.clone()
+                };
+                ty.segment_estimate().saturating_mul(side.count).max(1) as f64
+                    / side.total().max(1) as f64
+            };
+            stages.push(Stage {
+                fixed_ns: m.wire_lat_ns,
+                ns_per_byte: m.wire_nspb.max(m.nic_dma_nspb)
+                    + (upb(s) + upb(r)) * m.nic_desc_issue_ns,
+            });
+        }
+        PathClass::StreamTriggered => {
+            // Replay re-arm on the stream front-end (doorbell MMIO plus
+            // per-op issue for the five captured nodes), then the
+            // graph's own legs: zero-copy pack into the mapped bounce,
+            // the wire, zero-copy unpack. Completion is the graph's
+            // flag write — no per-fragment active messages, no CPU.
+            // Graph-baked kernels skip the driver launch path — the
+            // stream front-end pays op issue instead.
+            let graph_kernel = |side: &Side| {
+                let mut st = kernel_stage(&m, side, &opt, KernelFar::MappedHost);
+                st.fixed_ns = st.fixed_ns - m.launch_ns + m.stream_op_issue_ns;
+                st
+            };
+            stages.push(Stage {
+                fixed_ns: m.stream_doorbell_ns + 5.0 * m.stream_op_issue_ns,
+                ns_per_byte: 0.0,
+            });
+            stages.push(graph_kernel(s));
+            stages.push(Stage {
+                fixed_ns: m.wire_lat_ns,
+                ns_per_byte: m.wire_nspb,
+            });
+            stages.push(graph_kernel(r));
+        }
     }
     stages
+}
+
+/// Fraction of the incumbent's predicted makespan an offload candidate
+/// must beat to be selected: the never-worse gate with a 10% hysteresis
+/// band, mirroring the 7% tie margin inside `pick_fragment`.
+const SELECT_MARGIN: f64 = 0.9;
+
+/// Choose the path class for one cross-node rendezvous. The incumbent
+/// GPU-pack pipeline (zero-copy when healthy and both sides live on
+/// device, staged copy-in/out otherwise) always competes; an offload
+/// class is returned only when its knob is on, its runtime-health flag
+/// is up, both sides are device-resident, and the analytic model
+/// predicts a win past [`SELECT_MARGIN`]. With both knobs off this
+/// returns the incumbent immediately — no model evaluation, no
+/// counters, so default runs stay byte-identical.
+pub fn select_path(sim: &mut Sim<MpiWorld>, s: &Side, r: &Side, same_node: bool) -> PathClass {
+    let (zero_copy, nic_knob, stream_knob, frag0, depth0) = {
+        let cfg = &sim.world.mpi.config;
+        (
+            cfg.zero_copy,
+            cfg.nic_offload,
+            cfg.stream_trigger,
+            cfg.frag_size,
+            cfg.pipeline_depth,
+        )
+    };
+    let incumbent = if zero_copy && sim.world.mpi.zero_copy_runtime_ok && s.device() && r.device() {
+        PathClass::ZeroCopy
+    } else {
+        PathClass::CopyInOut
+    };
+    let nic_ok = nic_knob && sim.world.mpi.nic_offload_runtime_ok;
+    let stream_ok = stream_knob && sim.world.mpi.stream_trigger_runtime_ok;
+    if (!nic_ok && !stream_ok) || same_node || !s.device() || !r.device() {
+        return incumbent;
+    }
+    let total = s.total().max(1);
+    let inc_stages = path_stages(sim, s, r, incumbent);
+    let inc_ns = pipeline_makespan_ns(total, frag0.min(total), depth0, &inc_stages);
+    let mut best = incumbent;
+    // The candidate must beat the incumbent by the margin; between the
+    // two offload classes, plain better-than wins.
+    let mut best_ns = inc_ns * SELECT_MARGIN;
+    if nic_ok {
+        let stages = path_stages(sim, s, r, PathClass::NicOffload);
+        let ns = pipeline_makespan_ns(total, total, 1, &stages);
+        if ns < best_ns {
+            best = PathClass::NicOffload;
+            best_ns = ns;
+        }
+    }
+    if stream_ok {
+        let stages = path_stages(sim, s, r, PathClass::StreamTriggered);
+        let ns = pipeline_makespan_ns(total, total, 1, &stages);
+        if ns < best_ns {
+            best = PathClass::StreamTriggered;
+        }
+    }
+    best
 }
 
 /// Pick the pipeline shape for one transfer: the configured
@@ -431,6 +578,165 @@ mod tests {
         assert_eq!(again, (f, d));
         assert_eq!(sim.trace.counter("optimizer.frag.cache.hit"), 1);
         assert_eq!(sim.world.mpi.tuned_shapes.len(), 1);
+    }
+
+    fn ib_world(arch: &str, nic: bool, stream: bool) -> Sim<MpiWorld> {
+        use crate::world::RankSpec;
+        use gpusim::GpuArch;
+        use memsim::GpuId;
+        let config = MpiConfig {
+            nic_offload: nic,
+            stream_trigger: stream,
+            ..MpiConfig::default()
+        };
+        let specs = [
+            RankSpec {
+                gpu: GpuId(0),
+                node: 0,
+            },
+            RankSpec {
+                gpu: GpuId(1),
+                node: 1,
+            },
+        ];
+        Sim::new(MpiWorld::on_arch(GpuArch::named(arch), &specs, 2, config))
+    }
+
+    fn side_on(sim: &mut Sim<MpiWorld>, rank: usize, ty: &DataType, count: u64) -> Side {
+        let gpu = sim.world.mpi.ranks[rank].gpu;
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Device(gpu), ty.extent() as u64 * count)
+            .unwrap();
+        Side {
+            rank,
+            ty: ty.clone(),
+            count,
+            buf,
+        }
+    }
+
+    /// Coarse-grained strided layout: 32 KiB contiguous blocks, so the
+    /// per-descriptor NIC issue cost is negligible against the stream.
+    fn coarse_ty() -> DataType {
+        DataType::vector(64, 4096, 8192, &DataType::double())
+            .unwrap()
+            .commit()
+    }
+
+    /// Fine-grained strided layout: 16-byte blocks, where descriptor
+    /// issue dominates the NIC model and the graph kernels slow down.
+    fn fine_ty() -> DataType {
+        DataType::vector(65536, 2, 4, &DataType::double())
+            .unwrap()
+            .commit()
+    }
+
+    /// Latency-bound medium layout (128 KiB): two kernel launches plus
+    /// the per-fragment active message outweigh one stream re-arm.
+    fn medium_ty() -> DataType {
+        DataType::vector(512, 32, 64, &DataType::double())
+            .unwrap()
+            .commit()
+    }
+
+    #[test]
+    fn offload_knobs_off_select_the_incumbent() {
+        let mut sim = ib_world("a100", false, false);
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::ZeroCopy);
+        assert!(sim.world.mpi.tuned_shapes.is_empty());
+    }
+
+    #[test]
+    fn offload_requires_cross_node_device_endpoints() {
+        // Same node: the offload classes never compete.
+        let mut sim = ib_world("a100", true, true);
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, true), PathClass::ZeroCopy);
+        // A host-resident endpoint disqualifies them too (and the
+        // incumbent degrades to staged copy-in/out).
+        let mut sim = ib_world("a100", true, true);
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let ty = coarse_ty();
+        let buf = sim
+            .world
+            .mem()
+            .alloc(MemSpace::Host, ty.extent() as u64)
+            .unwrap();
+        let r = Side {
+            rank: 1,
+            ty,
+            count: 1,
+            buf,
+        };
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::CopyInOut);
+    }
+
+    #[test]
+    fn nic_offload_wins_only_where_dma_outruns_the_wire() {
+        // NVLink-era NICs gather faster than the wire drains: the
+        // kernel-free path wins for coarse-grained layouts.
+        for arch in ["p100", "v100", "a100"] {
+            let mut sim = ib_world(arch, true, false);
+            let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+            let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+            assert_eq!(
+                select_path(&mut sim, &s, &r, false),
+                PathClass::NicOffload,
+                "{arch} coarse"
+            );
+        }
+        // The K40 testbed's NIC DMA (5 GB/s) is slower than the wire:
+        // inflating the stream loses to the pipelined pack path.
+        let mut sim = ib_world("k40", true, false);
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::ZeroCopy);
+        // Fine-grained layouts pay per-descriptor issue on the handler
+        // cores; the model keeps them on the incumbent everywhere.
+        let mut sim = ib_world("a100", true, false);
+        let s = side_on(&mut sim, 0, &fine_ty(), 1);
+        let r = side_on(&mut sim, 1, &fine_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::ZeroCopy);
+    }
+
+    #[test]
+    fn stream_trigger_wins_latency_bound_medium_messages() {
+        let mut sim = ib_world("p100", false, true);
+        let s = side_on(&mut sim, 0, &medium_ty(), 1);
+        let r = side_on(&mut sim, 1, &medium_ty(), 1);
+        assert_eq!(
+            select_path(&mut sim, &s, &r, false),
+            PathClass::StreamTriggered
+        );
+        // Large coarse transfers pipeline on the incumbent but replay
+        // serially on the stream graph: the model keeps them off.
+        let mut sim = ib_world("p100", false, true);
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+        assert_ne!(
+            select_path(&mut sim, &s, &r, false),
+            PathClass::StreamTriggered
+        );
+        // The K40's 3 µs doorbell eats the saved launches.
+        let mut sim = ib_world("k40", false, true);
+        let s = side_on(&mut sim, 0, &medium_ty(), 1);
+        let r = side_on(&mut sim, 1, &medium_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::ZeroCopy);
+    }
+
+    #[test]
+    fn demoted_runtime_flags_disqualify_offload_classes() {
+        let mut sim = ib_world("a100", true, true);
+        sim.world.mpi.nic_offload_runtime_ok = false;
+        sim.world.mpi.stream_trigger_runtime_ok = false;
+        let s = side_on(&mut sim, 0, &coarse_ty(), 1);
+        let r = side_on(&mut sim, 1, &coarse_ty(), 1);
+        assert_eq!(select_path(&mut sim, &s, &r, false), PathClass::ZeroCopy);
     }
 
     #[test]

@@ -58,6 +58,29 @@ pub struct MpiState {
     /// flipped off on permanent pinned-registration loss, which demotes
     /// the copy-in/out protocol to its explicitly staged variant.
     pub zero_copy_runtime_ok: bool,
+    /// Runtime health of the NIC DEV-executor path; flipped off on
+    /// permanent NIC-handler loss, which demotes every later NicOffload
+    /// transfer to the GPU-pack (copy-in/out) pipeline — sticky, like
+    /// the IPC flag above.
+    pub nic_offload_runtime_ok: bool,
+    /// Runtime health of the stream-triggered path; flipped off on
+    /// permanent doorbell loss, demoting StreamTriggered transfers to
+    /// the CPU-driven pipeline.
+    pub stream_trigger_runtime_ok: bool,
+    /// NIC handler installs already performed, per directed rank pair
+    /// (the sPIN handler-registration is once per connection, like the
+    /// pinned-host registration in [`IbConn`]).
+    pub nic_handlers: BTreeMap<(usize, usize), ()>,
+    /// Compiled NIC DEV programs, keyed like tuner decisions (canonical
+    /// layouts + size); programs are rank-independent descriptor lists.
+    pub nic_programs: DetHashMap<crate::tuner::TuneKey, Rc<netsim::NicProgram>>,
+    /// Captured stream-op graphs plus their baked unit lists and bounce
+    /// buffer, per directed rank pair and transfer shape (persistent /
+    /// partitioned requests capture once, replay per iteration).
+    pub stream_captures: BTreeMap<
+        (usize, usize),
+        DetHashMap<crate::tuner::TuneKey, Rc<crate::protocol::offload::CapturedXfer>>,
+    >,
 }
 
 /// The complete world: hardware + runtime.
@@ -126,6 +149,11 @@ impl MpiWorld {
                 tuned_shapes: DetHashMap::default(),
                 ipc_runtime_ok: true,
                 zero_copy_runtime_ok: true,
+                nic_offload_runtime_ok: true,
+                stream_trigger_runtime_ok: true,
+                nic_handlers: BTreeMap::new(),
+                nic_programs: DetHashMap::default(),
+                stream_captures: BTreeMap::new(),
             },
         }
     }

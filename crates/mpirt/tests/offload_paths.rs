@@ -1,0 +1,245 @@
+//! End-to-end guarantees for the offload path classes.
+//!
+//! Three properties the ISSUE pins:
+//!
+//! * **byte identity** — NicOffload and StreamTriggered deliver exactly
+//!   the bytes the GPU-pack baseline delivers, across seeded random
+//!   datatypes;
+//! * **fault demotion** — a lost NIC handler / doorbell demotes to the
+//!   GPU-pack pipeline byte-equal and *sticky* (no re-attempt on later
+//!   transfers), mirroring the SmIpc → CopyInOut demotion;
+//! * **defaults untouched** — with both knobs off, none of the offload
+//!   machinery runs: zero counters, no handlers, no programs, no
+//!   captures, so default runs stay byte-identical to the seed.
+
+use datatype::testutil::buffer_span;
+use datatype::DataType;
+use faultsim::{FaultKind, FaultOp, FaultPlan};
+use gpusim::GpuWorld as _;
+use memsim::{GpuId, MemSpace};
+use mpirt::{irecv, isend, wait_all, MpiConfig, RecvArgs, SendArgs, Session};
+use simcore::rng::SimRng;
+
+/// Random coarse-grained indexed layout (1–4 KiB blocks, ~100 KiB
+/// total): large enough for rendezvous, block-granular enough that the
+/// NIC descriptor-issue cost stays negligible against the stream.
+fn random_coarse_ty(rng: &mut SimRng) -> DataType {
+    let n = rng.range(24, 40);
+    let mut lens = Vec::new();
+    let mut displs = Vec::new();
+    let mut off: i64 = 0;
+    for _ in 0..n {
+        let len = rng.range_u64(128, 512); // doubles: 1–4 KiB blocks
+        lens.push(len);
+        displs.push(off);
+        off += len as i64 + rng.range_u64(0, 64) as i64;
+    }
+    DataType::indexed(&lens, &displs, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+/// Random latency-bound medium layout (~128 KiB in 192–320 B blocks):
+/// the shape where one stream re-arm beats two kernel launches plus the
+/// per-fragment active message.
+fn random_medium_ty(rng: &mut SimRng) -> DataType {
+    let n = rng.range(400, 560);
+    let mut lens = Vec::new();
+    let mut displs = Vec::new();
+    let mut off: i64 = 0;
+    for _ in 0..n {
+        let len = rng.range_u64(24, 40); // doubles: 192–320 B blocks
+        lens.push(len);
+        displs.push(off);
+        off += len as i64 + rng.range_u64(0, 8) as i64;
+    }
+    DataType::indexed(&lens, &displs, &DataType::double())
+        .unwrap()
+        .commit()
+}
+
+/// Run `iters` identical device→device IB transfers of `ty` and return
+/// the receiver's final buffer bytes plus the session metrics.
+fn run_transfers(
+    arch: &str,
+    cfg: MpiConfig,
+    ty: &DataType,
+    seed: u64,
+    iters: usize,
+) -> (Vec<u8>, simcore::Metrics, Session) {
+    let mut sess = Session::builder()
+        .two_ranks_ib()
+        .arch(arch)
+        .config(cfg)
+        .build();
+    let (base, len) = buffer_span(ty, 1);
+    assert_eq!(base, 0, "generators keep displacements non-negative");
+    let sbuf = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(GpuId(0)), len as u64)
+        .unwrap();
+    let rbuf = sess
+        .world
+        .mem()
+        .alloc(MemSpace::Device(GpuId(1)), len as u64)
+        .unwrap();
+    let mut bytes = vec![0u8; len];
+    simcore::rng::fill_bytes(seed, &mut bytes);
+    sess.world.mem().write(sbuf, &bytes).unwrap();
+    for _ in 0..iters {
+        let s = isend(&mut sess, SendArgs::new(0, 1, sbuf, ty, 1));
+        let r = irecv(&mut sess, RecvArgs::new(1, 0, rbuf, ty, 1));
+        wait_all(&mut sess, &[s, r]).unwrap();
+    }
+    let got = sess.world.mem().read_vec(rbuf, len as u64).unwrap();
+    let m = sess.metrics();
+    (got, m, sess)
+}
+
+#[test]
+fn nic_offload_is_byte_identical_to_gpu_pack() {
+    for seed in [11u64, 23, 47] {
+        let mut rng = SimRng::new(seed);
+        let ty = random_coarse_ty(&mut rng);
+        assert!(ty.size() > 64 << 10, "rendezvous-sized: {}", ty.size());
+        let (base_bytes, base_m, _) = run_transfers("a100", MpiConfig::default(), &ty, seed, 1);
+        assert_eq!(base_m.counter("offload.nic.programs"), 0);
+        let cfg = MpiConfig {
+            nic_offload: true,
+            ..MpiConfig::default()
+        };
+        let (nic_bytes, nic_m, _) = run_transfers("a100", cfg, &ty, seed, 1);
+        assert!(
+            nic_m.counter("offload.nic.programs") >= 1,
+            "seed {seed}: the tuner must route this shape to the NIC"
+        );
+        assert_eq!(nic_m.counter("offload.nic.bytes"), ty.size());
+        assert_eq!(nic_bytes, base_bytes, "seed {seed}: delivery differs");
+    }
+}
+
+#[test]
+fn stream_trigger_is_byte_identical_and_captures_once() {
+    for seed in [5u64, 17] {
+        let mut rng = SimRng::new(seed);
+        let ty = random_medium_ty(&mut rng);
+        assert!(ty.size() > 64 << 10, "rendezvous-sized: {}", ty.size());
+        let (base_bytes, base_m, _) = run_transfers("p100", MpiConfig::default(), &ty, seed, 2);
+        assert_eq!(base_m.counter("offload.stream.replays"), 0);
+        let cfg = MpiConfig {
+            stream_trigger: true,
+            ..MpiConfig::default()
+        };
+        let (st_bytes, st_m, _) = run_transfers("p100", cfg, &ty, seed, 2);
+        assert_eq!(
+            st_m.counter("offload.stream.replays"),
+            2,
+            "seed {seed}: both iterations replay the graph"
+        );
+        assert_eq!(
+            st_m.counter("offload.stream.captures"),
+            1,
+            "seed {seed}: the second iteration reuses the capture"
+        );
+        assert_eq!(st_bytes, base_bytes, "seed {seed}: delivery differs");
+    }
+}
+
+#[test]
+fn nic_handler_loss_demotes_byte_equal_and_sticky() {
+    let mut rng = SimRng::new(99);
+    let ty = random_coarse_ty(&mut rng);
+    let (base_bytes, _, _) = run_transfers("a100", MpiConfig::default(), &ty, 99, 2);
+    let cfg = MpiConfig {
+        nic_offload: true,
+        fault_plan: FaultPlan::empty().with_seed(7).with_rule(
+            Some(FaultOp::NicHandler),
+            FaultKind::PermanentLoss,
+            1.0,
+        ),
+        ..MpiConfig::default()
+    };
+    let (got, m, sess) = run_transfers("a100", cfg, &ty, 99, 2);
+    assert_eq!(got, base_bytes, "demoted delivery must stay byte-equal");
+    assert!(!sess.world.mpi.nic_offload_runtime_ok);
+    assert_eq!(
+        m.counter("offload.nic.demotions"),
+        1,
+        "sticky: the second transfer never re-attempts the handler"
+    );
+    assert_eq!(m.counter("offload.nic.programs"), 0);
+    assert!(sess.world.mpi.nic_handlers.is_empty());
+}
+
+#[test]
+fn doorbell_loss_demotes_byte_equal_and_sticky() {
+    let mut rng = SimRng::new(31);
+    let ty = random_medium_ty(&mut rng);
+    let (base_bytes, _, _) = run_transfers("p100", MpiConfig::default(), &ty, 31, 2);
+    let cfg = MpiConfig {
+        stream_trigger: true,
+        fault_plan: FaultPlan::empty().with_seed(13).with_rule(
+            Some(FaultOp::StreamDoorbell),
+            FaultKind::PermanentLoss,
+            1.0,
+        ),
+        ..MpiConfig::default()
+    };
+    let (got, m, sess) = run_transfers("p100", cfg, &ty, 31, 2);
+    assert_eq!(got, base_bytes, "demoted delivery must stay byte-equal");
+    assert!(!sess.world.mpi.stream_trigger_runtime_ok);
+    assert_eq!(
+        m.counter("offload.stream.demotions"),
+        1,
+        "sticky: the second transfer never re-rings the doorbell"
+    );
+    assert_eq!(m.counter("offload.stream.replays"), 0);
+    assert!(sess.world.mpi.stream_captures.is_empty());
+}
+
+#[test]
+fn transient_faults_retry_without_demoting() {
+    let mut rng = SimRng::new(61);
+    let ty = random_coarse_ty(&mut rng);
+    let (base_bytes, _, _) = run_transfers("a100", MpiConfig::default(), &ty, 61, 1);
+    let mut plan = FaultPlan::empty().with_seed(21).with_rule(
+        Some(FaultOp::NicHandler),
+        FaultKind::Transient,
+        1.0,
+    );
+    plan.rules[0].max_injections = Some(2);
+    let cfg = MpiConfig {
+        nic_offload: true,
+        fault_plan: plan,
+        ..MpiConfig::default()
+    };
+    let (got, m, sess) = run_transfers("a100", cfg, &ty, 61, 1);
+    assert_eq!(got, base_bytes);
+    assert!(sess.world.mpi.nic_offload_runtime_ok);
+    assert_eq!(m.counter("offload.nic.demotions"), 0);
+    assert!(
+        m.counter("offload.nic.programs") >= 1,
+        "retries then offloads"
+    );
+}
+
+#[test]
+fn defaults_leave_offload_machinery_untouched() {
+    let mut rng = SimRng::new(77);
+    let ty = random_coarse_ty(&mut rng);
+    let (_, m, sess) = run_transfers("a100", MpiConfig::default(), &ty, 77, 2);
+    for name in [
+        "offload.nic.programs",
+        "offload.nic.bytes",
+        "offload.nic.demotions",
+        "offload.stream.replays",
+        "offload.stream.captures",
+        "offload.stream.demotions",
+    ] {
+        assert_eq!(m.counter(name), 0, "{name} must stay silent by default");
+    }
+    assert!(sess.world.mpi.nic_handlers.is_empty());
+    assert!(sess.world.mpi.nic_programs.is_empty());
+    assert!(sess.world.mpi.stream_captures.is_empty());
+}

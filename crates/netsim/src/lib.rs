@@ -17,6 +17,7 @@
 
 pub mod am;
 pub mod channel;
+pub mod nic;
 pub mod rdma;
 pub mod topology;
 pub mod wire;
@@ -24,6 +25,7 @@ pub mod world;
 
 pub use am::send_am;
 pub use channel::{Channel, ChannelKind, Link, NetError, NetSystem};
+pub use nic::{compile_program, execute_program, NicCosts, NicProgram};
 pub use rdma::{ensure_registered, rdma_get, rdma_put};
 pub use topology::Topology;
 pub use wire::wire_send;

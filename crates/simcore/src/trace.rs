@@ -89,6 +89,20 @@ pub mod names {
     /// Bytes delivered by the message-level scale model.
     pub const SCALE_DELIVERED_BYTES: &str = "scale.delivered.bytes";
 
+    // ---- counters: offload frontier (NIC executor + stream trigger) ----
+    /// DEV descriptor programs executed on a NIC packet processor.
+    pub const OFFLOAD_NIC_PROGRAMS: &str = "offload.nic.programs";
+    /// Payload bytes gathered/scattered by NIC-executed DEV programs.
+    pub const OFFLOAD_NIC_BYTES: &str = "offload.nic.bytes";
+    /// NicOffload → GpuPack demotions (NIC handler install lost).
+    pub const OFFLOAD_NIC_DEMOTIONS: &str = "offload.nic.demotions";
+    /// Captured stream-op graph replays (one per iteration re-issue).
+    pub const OFFLOAD_STREAM_REPLAYS: &str = "offload.stream.replays";
+    /// Stream-op graphs captured (once per persistent transfer shape).
+    pub const OFFLOAD_STREAM_CAPTURES: &str = "offload.stream.captures";
+    /// StreamTriggered → CPU-driven demotions (doorbell lost).
+    pub const OFFLOAD_STREAM_DEMOTIONS: &str = "offload.stream.demotions";
+
     // ---- span categories (one per emitting layer) ----
     pub const CAT_MPIRT: &str = "mpirt";
     pub const CAT_NETSIM: &str = "netsim";
@@ -123,6 +137,11 @@ pub mod names {
     pub const SPAN_DEV_CACHE_MISS: &str = "dev-cache-miss";
     pub const SPAN_CPU_PACK: &str = "cpu-pack";
     pub const SPAN_CPU_UNPACK: &str = "cpu-unpack";
+
+    // ---- span / instant names: offload frontier ----
+    pub const SPAN_NIC_PROGRAM: &str = "nic-program";
+    pub const SPAN_STREAM_CAPTURE: &str = "stream-capture";
+    pub const SPAN_STREAM_REPLAY: &str = "stream-replay";
 
     // ---- span / instant names: sharded scale model ----
     pub const SPAN_SCALE_OP: &str = "scale-op";

@@ -1,0 +1,14 @@
+// Seeded offload-family violations: a rogue DEV interpreter walking
+// descriptors outside the sanctioned executors, and a hand-assembled
+// stream-op graph bypassing the capture API.
+
+fn rogue_walk(ty: &DataType) {
+    let mut cur = DevCursor::new(ty, 1, 256).ok();
+    let mut units = Vec::new();
+    cur.next_units_into(64, &mut units);
+}
+
+fn rogue_graph() {
+    let mut ops = Vec::new();
+    ops.push(StreamOp::Trigger);
+}

@@ -1,6 +1,6 @@
 //! `cargo xtask lint` — the workspace invariant checker.
 //!
-//! Seven static rule families guard properties the test suite can only
+//! Eight static rule families guard properties the test suite can only
 //! sample but the source can prove by absence:
 //!
 //! 1. **determinism** — no `RandomState` hash containers in simulator
@@ -20,7 +20,11 @@
 //! 7. **shard** — shard-model code crosses shard boundaries only
 //!    through the stamped mailbox API (`ShardCtx::send`), and the
 //!    simulator crates hold no shared-mutable statics outside the
-//!    pool layers in `simcore/src/shard.rs` and `simcore/src/par.rs`.
+//!    pool layers in `simcore/src/shard.rs` and `simcore/src/par.rs`;
+//! 8. **offload** — DEV descriptor programs execute only in the
+//!    sanctioned interpreters (devengine, the NIC executor, the CPU
+//!    convertor, the MPI-IO file-view walker), and stream-op graphs are
+//!    built only through gpusim's `GraphCapture` API.
 //!
 //! Each family reconciles its findings against a ratchet allowlist in
 //! `lint/<family>.allow` (see [`allow`]); stale entries fail the lint

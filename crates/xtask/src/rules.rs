@@ -1,4 +1,4 @@
-//! The seven invariant rule families.
+//! The eight invariant rule families.
 //!
 //! Every rule walks the token stream of one file (test regions already
 //! marked by the lexer) and emits [`Violation`]s. Scopes are path
@@ -9,7 +9,7 @@ use crate::lexer::Token;
 
 /// Rule family identifiers; one ratchet allowlist file exists per
 /// family under `lint/<family>.allow`.
-pub const FAMILIES: [&str; 7] = [
+pub const FAMILIES: [&str; 8] = [
     "determinism",
     "panic",
     "fault",
@@ -17,6 +17,7 @@ pub const FAMILIES: [&str; 7] = [
     "arch",
     "sched",
     "shard",
+    "offload",
 ];
 
 /// One finding, before allowlist reconciliation.
@@ -50,7 +51,7 @@ const WALLCLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
 /// Modules allowed to call `.reserve(` — the FIFO-resource wrapper
 /// layer. Every other call site would charge simulated time without
 /// going through a wrapper that the fault injector can interpose on.
-const CHARGE_WRAPPERS: [&str; 10] = [
+const CHARGE_WRAPPERS: [&str; 11] = [
     "crates/simcore/src/resource.rs", // defines FifoResource::reserve
     "crates/netsim/src/channel.rs",
     "crates/netsim/src/am.rs",
@@ -59,9 +60,28 @@ const CHARGE_WRAPPERS: [&str; 10] = [
     "crates/gpusim/src/kernel.rs",
     "crates/gpusim/src/copy.rs",
     "crates/gpusim/src/system.rs",
+    "crates/gpusim/src/stream_trigger.rs", // capture/replay/graph-kernel charges
     "crates/mpirt/src/cpupack.rs",
     "crates/devengine/src/engine.rs",
 ];
+
+/// The sanctioned DEV-program interpreters: modules allowed to walk
+/// datatype descriptor programs with the `DevCursor` machinery. A
+/// trailing `/` entry sanctions a whole crate. Everywhere else builds
+/// on the wrapped walks (`whole_units`, `flip_units`, the engines) so
+/// each executor charges time and faults at exactly one layer.
+const DEV_EXECUTORS: [&str; 4] = [
+    "crates/devengine/",           // defines the cursor + fragment engine
+    "crates/netsim/src/nic.rs",    // NIC packet-processor executor
+    "crates/mpirt/src/cpupack.rs", // host CPU convertor
+    "crates/mpirt/src/io.rs",      // MPI-IO file-view walker
+];
+
+/// The stream-op graph capture API: the one module allowed to name the
+/// graph node type. Everyone else records graphs through
+/// `GraphCapture`, so capture-time charging cannot be bypassed by
+/// hand-assembling op lists.
+const GRAPH_CAPTURE: &str = "crates/gpusim/src/stream_trigger.rs";
 
 /// Trace methods whose name arguments must come from
 /// `simcore::trace::names`, never inline literals.
@@ -153,6 +173,9 @@ pub fn scan_file(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
     if shard_scope(rel) {
         scan_shard(rel, toks, out);
+    }
+    if in_sim_crates(rel) {
+        scan_offload(rel, toks, out);
     }
 }
 
@@ -615,6 +638,59 @@ fn scan_shard(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// Family 8 — offload hygiene: the two offload surfaces added for the
+/// NIC/stream-triggered paths stay behind their construction APIs.
+///
+/// * **dev-exec** — DEV descriptor programs execute only in the
+///   sanctioned interpreters ([`DEV_EXECUTORS`]): naming `DevCursor` or
+///   its `next_units*` walks anywhere else forks the descriptor
+///   semantics across modules and bypasses the executors' charge and
+///   fault points. Other code uses the wrapped walks
+///   (`devengine::whole_units` / `flip_units`) or an engine.
+/// * **graph-construct** — stream-op graphs exist only through the
+///   capture API in [`GRAPH_CAPTURE`]: naming `StreamOp` elsewhere
+///   means hand-assembling a graph, which would skip the capture-time
+///   validation and charging that makes replays zero-CPU by
+///   construction.
+fn scan_offload(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    const DEV_IDENTS: [&str; 3] = ["DevCursor", "next_units", "next_units_into"];
+    let dev_exempt = DEV_EXECUTORS
+        .iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)));
+    let graph_exempt = rel == GRAPH_CAPTURE;
+    for t in toks {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        if !dev_exempt && DEV_IDENTS.contains(&id) {
+            push(
+                out,
+                "offload",
+                rel,
+                t.line,
+                "dev-exec",
+                format!(
+                    "`{id}` walks DEV descriptor programs outside the sanctioned executors; \
+                     use devengine::whole_units/flip_units or go through an engine"
+                ),
+            );
+        }
+        if !graph_exempt && id == "StreamOp" {
+            push(
+                out,
+                "offload",
+                rel,
+                t.line,
+                "graph-construct",
+                "stream-op graphs are built only through gpusim's GraphCapture API; \
+                 hand-assembled op lists bypass capture-time charging"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +838,43 @@ mod tests {
         assert!(kinds("crates/simcore/src/par.rs", pool).is_empty());
         assert!(kinds("crates/simcore/src/shard.rs", pool).is_empty());
         assert_eq!(kinds("crates/gpusim/src/x.rs", pool), vec!["shared-static"]);
+    }
+
+    #[test]
+    fn offload_rule_bans_rogue_dev_executors() {
+        let bad = "fn f(ty: &DataType) { let mut c = DevCursor::new(ty, 1, 256)?; \
+                   c.next_units_into(64, &mut v); }";
+        assert_eq!(
+            kinds("crates/mpirt/src/protocol/x.rs", bad),
+            vec!["dev-exec", "dev-exec"]
+        );
+        // The sanctioned interpreters keep their walks.
+        assert!(kinds("crates/devengine/src/dev.rs", bad).is_empty());
+        assert!(kinds("crates/mpirt/src/cpupack.rs", bad).is_empty());
+        let nic = "fn f() { c.next_units_into(64, &mut v); }";
+        assert!(kinds("crates/netsim/src/nic.rs", nic).is_empty());
+        // The wrapped walks stay legal everywhere.
+        let ok = "fn f(ty: &DataType) { let (u, s) = whole_units(ty, 1, 256, true)?; \
+                  let flipped = flip_units(&u); }";
+        assert!(kinds("crates/mpirt/src/protocol/x.rs", ok).is_empty());
+        // Test regions are exempt (differential tests walk cursors).
+        let test_region = "#[cfg(test)] mod t { fn g() { let c = DevCursor::new(t, 1, 9); } }";
+        assert!(kinds("crates/netsim/src/x.rs", test_region).is_empty());
+    }
+
+    #[test]
+    fn offload_rule_bans_hand_assembled_stream_graphs() {
+        let bad = "fn f(v: &mut Vec<StreamOp>) { v.push(StreamOp::Trigger); }";
+        assert_eq!(
+            kinds("crates/mpirt/src/x.rs", bad),
+            vec!["graph-construct", "graph-construct"]
+        );
+        // The capture API itself owns the node type.
+        assert!(kinds("crates/gpusim/src/stream_trigger.rs", bad).is_empty());
+        // Going through GraphCapture is the sanctioned construction.
+        let ok =
+            "fn f(sim: &mut Sim<W>) { let g = GraphCapture::begin(st).trigger().finish(sim); }";
+        assert!(kinds("crates/mpirt/src/x.rs", ok).is_empty());
     }
 
     #[test]

@@ -56,6 +56,16 @@ fn metrics_fixture_fires() {
 }
 
 #[test]
+fn offload_fixture_fires() {
+    let out = xtask::run_lint(&fixture("violations")).unwrap();
+    let ks = kinds(out.family("offload"));
+    for kind in ["dev-exec", "graph-construct"] {
+        assert!(ks.contains(&kind), "missing {kind} in {ks:?}");
+    }
+    assert!(!out.ok());
+}
+
+#[test]
 fn stale_allowlist_entries_fail() {
     let out = xtask::run_lint(&fixture("stale")).unwrap();
     let r = out.family("panic");
