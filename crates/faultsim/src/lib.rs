@@ -58,10 +58,15 @@ pub enum FaultOp {
     /// (`gpusim::stream_trigger`). Loss demotes StreamTriggered →
     /// CPU-driven.
     StreamDoorbell,
+    /// Host-side pack/unpack pass on a rank's CPU (`mpirt::cpupack`).
+    /// The CPU convertor is itself the fallback path, so loss panics.
+    CpuPack,
+    /// Staged file read/write on an MPI-IO disk channel (`mpirt::io`).
+    FileIo,
 }
 
 impl FaultOp {
-    pub const ALL: [FaultOp; 11] = [
+    pub const ALL: [FaultOp; 13] = [
         FaultOp::AmDeliver,
         FaultOp::RdmaRegister,
         FaultOp::RdmaGet,
@@ -73,6 +78,8 @@ impl FaultOp {
         FaultOp::WireCopy,
         FaultOp::NicHandler,
         FaultOp::StreamDoorbell,
+        FaultOp::CpuPack,
+        FaultOp::FileIo,
     ];
 
     /// Stable index, used as the counter dimension and the loss-table slot.
@@ -89,6 +96,8 @@ impl FaultOp {
             FaultOp::WireCopy => 8,
             FaultOp::NicHandler => 9,
             FaultOp::StreamDoorbell => 10,
+            FaultOp::CpuPack => 11,
+            FaultOp::FileIo => 12,
         }
     }
 
@@ -106,6 +115,8 @@ impl FaultOp {
             FaultOp::WireCopy => "wire",
             FaultOp::NicHandler => "nic",
             FaultOp::StreamDoorbell => "doorbell",
+            FaultOp::CpuPack => "cpupack",
+            FaultOp::FileIo => "file",
         }
     }
 
@@ -233,8 +244,8 @@ impl FaultPlan {
     /// ```
     ///
     /// * `op` — `am`, `rdma_reg`, `rdma_get`, `rdma_put`, `kernel`,
-    ///   `memcpy`, `ipc_open`, `pin`, `wire`, `nic`, `doorbell`, or
-    ///   `any`.
+    ///   `memcpy`, `ipc_open`, `pin`, `wire`, `nic`, `doorbell`,
+    ///   `cpupack`, `file`, or `any`.
     /// * `kind` — `transient`, `lost`, or `degrade`.
     /// * `param` — firing probability for `transient`/`lost` (default
     ///   1.0), slowdown factor for `degrade` (required, ≥ 1.0).

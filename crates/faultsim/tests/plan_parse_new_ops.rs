@@ -1,0 +1,10 @@
+#[test]
+fn cpupack_and_file_parse() {
+    for plan in [
+        "cpupack:transient:0.5",
+        "file:transient:0.5",
+        "file:degrade:2",
+    ] {
+        faultsim::FaultPlan::parse(plan).unwrap_or_else(|e| panic!("{plan}: {e}"));
+    }
+}

@@ -56,6 +56,41 @@ pub struct IbConn {
     pub recv_dev: Vec<Ptr>,
 }
 
+impl SmConn {
+    /// Ring slot for a sequence number, reduced modulo the pipeline
+    /// depth. `None` means the connection bookkeeping is corrupted (the
+    /// ring is always built with `depth` slots); callers surface that
+    /// as a typed protocol failure instead of panicking.
+    pub fn ring_slot(&self, seq: usize) -> Option<Ptr> {
+        self.ring.get(seq % self.depth.max(1)).copied()
+    }
+
+    /// Receiver-local staging slot for a sequence number; `None` when
+    /// staging is disabled (callers unpack straight from the ring).
+    pub fn staging_slot(&self, seq: usize) -> Option<Ptr> {
+        self.staging.as_ref()?.get(seq % self.depth.max(1)).copied()
+    }
+}
+
+impl IbConn {
+    /// Checked slot lookups for the four rings: every ring is built
+    /// with `depth` slots and slots are recycled through a 0..depth
+    /// free list, so `None` can only mean corrupted bookkeeping —
+    /// which the protocols report as a typed failure.
+    pub fn send_host_slot(&self, slot: usize) -> Option<Ptr> {
+        self.send_host.get(slot).copied()
+    }
+    pub fn recv_host_slot(&self, slot: usize) -> Option<Ptr> {
+        self.recv_host.get(slot).copied()
+    }
+    pub fn send_dev_slot(&self, slot: usize) -> Option<Ptr> {
+        self.send_dev.get(slot).copied()
+    }
+    pub fn recv_dev_slot(&self, slot: usize) -> Option<Ptr> {
+        self.recv_dev.get(slot).copied()
+    }
+}
+
 fn ring(
     sim: &mut Sim<MpiWorld>,
     space: MemSpace,
@@ -361,12 +396,13 @@ pub fn ib_connection(
     // Allocate all four rings, unwinding the earlier ones if a later
     // one fails so establishment never leaks ring slots.
     let mut rings: Vec<Vec<Ptr>> = Vec::with_capacity(4);
-    for space in [
+    let spaces = [
         MemSpace::Host,
         MemSpace::Host,
         MemSpace::Device(s_gpu),
         MemSpace::Device(r_gpu),
-    ] {
+    ];
+    for space in spaces {
         match ring(sim, space, frag, depth) {
             Ok(v) => rings.push(v),
             Err(e) => {

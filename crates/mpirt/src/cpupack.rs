@@ -8,7 +8,8 @@
 
 use datatype::{DataType, TypeError};
 use devengine::{flip_units_in_place, DevCursor};
-use gpusim::GpuWorld;
+use faultsim::{FaultDecision, FaultOp};
+use gpusim::{fault, GpuWorld};
 use memsim::Ptr;
 use simcore::trace::names;
 use simcore::{Bandwidth, Sim, SimTime, Track};
@@ -95,7 +96,23 @@ impl CpuEngine {
                 (frag, typed)
             }
         };
-        let duration = self.bw.time_for(n) + self.per_call;
+        let pass = self.bw.time_for(n) + self.per_call;
+        let mut duration = fault::fault_scaled(sim, FaultOp::CpuPack, pass);
+        // The CPU convertor is the fallback of last resort, so a faulted
+        // pass cannot demote to another path: it backs off and re-walks
+        // the fragment, folding the extra passes into one reservation.
+        let mut backoff = fault::default_backoff();
+        loop {
+            let verdict = fault::fault_roll(sim, FaultOp::CpuPack);
+            if !verdict.is_fault() {
+                break;
+            }
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::CpuPack, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::CpuPack);
+            duration = duration + backoff.next_delay() + pass;
+        }
         let now = sim.now();
         let (start, end) = sim.world.cpu(self.rank).reserve(now, duration);
         let rank = self.rank as u32;
@@ -126,6 +143,7 @@ impl CpuEngine {
 mod tests {
     use super::*;
     use datatype::testutil::{buffer_span, pattern, reference_pack};
+    use faultsim::FaultPlan;
     use gpusim::NodeWorld;
     use memsim::MemSpace;
 
@@ -200,6 +218,54 @@ mod tests {
             let r = (base + s.disp) as usize..(base + s.disp) as usize + s.len as usize;
             assert_eq!(&got[r.clone()], &bytes[r]);
         }
+    }
+
+    #[test]
+    fn transient_cpupack_fault_retries_and_inflates_time() {
+        let ty = DataType::vector(64, 2, 5, &DataType::double())
+            .unwrap()
+            .commit();
+        let run = |faulted: bool| {
+            let mut sim = Sim::new(NodeWorld::new(1));
+            if faulted {
+                let mut plan = FaultPlan::empty().with_seed(11).with_rule(
+                    Some(FaultOp::CpuPack),
+                    faultsim::FaultKind::Transient,
+                    1.0,
+                );
+                plan.rules[0].max_injections = Some(2);
+                sim.world.faults = faultsim::FaultSim::from_plan(plan);
+            }
+            let (base, len) = buffer_span(&ty, 2);
+            let typed = sim.world.memory.alloc(MemSpace::Host, len as u64).unwrap();
+            let bytes = pattern(len);
+            sim.world.memory.write(typed, &bytes).unwrap();
+            let total = ty.size() * 2;
+            let out = sim.world.memory.alloc(MemSpace::Host, total).unwrap();
+            let mut eng = CpuEngine::new(
+                &ty,
+                2,
+                typed.add(base as u64),
+                CpuDir::Pack,
+                0,
+                Bandwidth::from_gbps(5.0),
+            )
+            .unwrap();
+            eng.process_fragment(&mut sim, out, u64::MAX, |_, _| {});
+            let end = sim.run();
+            (
+                end,
+                sim.world.memory.read_vec(out, total).unwrap(),
+                reference_pack(&ty, 2, &bytes, base),
+            )
+        };
+        let (clean_end, clean_out, reference) = run(false);
+        let (fault_end, fault_out, _) = run(true);
+        // The retry fold re-walks the fragment and charges backoff, so
+        // the faulted run is strictly slower — and byte-identical.
+        assert!(fault_end > clean_end, "{fault_end:?} vs {clean_end:?}");
+        assert_eq!(fault_out, reference);
+        assert_eq!(clean_out, reference);
     }
 
     #[test]

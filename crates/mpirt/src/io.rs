@@ -16,7 +16,8 @@ use crate::request::{MpiError, Request};
 use crate::world::MpiWorld;
 use datatype::{DataType, TypeError};
 use devengine::{pack_async, unpack_async, DevCursor};
-use gpusim::GpuWorld as _;
+use faultsim::{FaultDecision, FaultOp};
+use gpusim::{fault, GpuWorld as _};
 use memsim::{MemSpace, Ptr};
 use simcore::par::CopyOp;
 use simcore::{Bandwidth, Sim, SimTime};
@@ -264,8 +265,23 @@ fn file_op(
 
     type After = Box<dyn FnOnce(&mut Sim<MpiWorld>)>;
     let disk = move |sim: &mut Sim<MpiWorld>, bounce: Ptr, after: After| {
+        // Disk I/O has no alternate path: a faulted pass backs off and
+        // re-reads, folded into one reservation on the file channel.
+        let mut charged = fault::fault_scaled(sim, FaultOp::FileIo, io_time);
+        let mut backoff = fault::default_backoff();
+        loop {
+            let verdict = fault::fault_roll(sim, FaultOp::FileIo);
+            if !verdict.is_fault() {
+                break;
+            }
+            if verdict == FaultDecision::Lost || backoff.attempts() >= fault::RETRY_MAX {
+                fault::retries_exhausted(FaultOp::FileIo, backoff.attempts());
+            }
+            fault::count_retry(sim, FaultOp::FileIo);
+            charged = charged + backoff.next_delay() + io_time;
+        }
         let now = sim.now();
-        let (_s, end) = channel.borrow_mut().reserve(now, io_time);
+        let (_s, end) = channel.borrow_mut().reserve(now, charged);
         sim.schedule_at(end, move |sim| {
             if write {
                 // bounce (visible stream) -> file positions.
@@ -508,6 +524,46 @@ mod tests {
         w.expect_bytes();
         // 2 MB at 2 GB/s is ~1 ms.
         assert!((sim.now() - t0) >= SimTime::from_micros(1000));
+    }
+
+    #[test]
+    fn transient_file_fault_retries_and_inflates_time() {
+        use faultsim::{FaultKind, FaultOp, FaultPlan};
+        let run = |faulted: bool| {
+            let cfg = if faulted {
+                let mut plan = FaultPlan::empty().with_seed(9).with_rule(
+                    Some(FaultOp::FileIo),
+                    FaultKind::Transient,
+                    1.0,
+                );
+                plan.rules[0].max_injections = Some(2);
+                MpiConfig {
+                    fault_plan: plan,
+                    ..Default::default()
+                }
+            } else {
+                MpiConfig::default()
+            };
+            let mut sim = Sim::new(MpiWorld::two_ranks_two_gpus(cfg));
+            let file = SimFile::create(&mut sim, 4096);
+            let ty = DataType::contiguous(512, &DataType::double())
+                .unwrap()
+                .commit();
+            let buf = sim.world.mem().alloc(MemSpace::Host, ty.size()).unwrap();
+            let data = pattern(ty.size() as usize);
+            sim.world.mem().write(buf, &data).unwrap();
+            let w = write_at(&mut sim, 0, &file, &FileView::flat(), 0, &ty, 1, buf);
+            let end = sim.run();
+            assert_eq!(w.expect_bytes(), 4096);
+            (end, file.contents(&sim), data)
+        };
+        let (clean_end, clean_file, data) = run(false);
+        let (fault_end, fault_file, _) = run(true);
+        // The disk retry fold re-reads the pass and charges backoff, so
+        // the faulted write lands strictly later — and byte-identical.
+        assert!(fault_end > clean_end, "{fault_end:?} vs {clean_end:?}");
+        assert_eq!(fault_file, data);
+        assert_eq!(clean_file, data);
     }
 
     #[test]

@@ -184,7 +184,9 @@ fn pump(sim: &mut Sim<MpiWorld>, st: St) {
             let id = sim
                 .trace
                 .span_begin(sim.now(), names::CAT_MPIRT, names::SPAN_FRAG, track);
-            st.borrow_mut().frag_spans[slot] = id;
+            if let Some(span) = st.borrow_mut().frag_spans.get_mut(slot) {
+                *span = id;
+            }
         }
         sender_stage(sim, Rc::clone(&st), slot, seq, n);
     }
@@ -195,7 +197,14 @@ fn sender_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64) 
     let (host_slot, dev_slot, zero_copy) = {
         let x = st.borrow();
         let c = x.conn.borrow();
-        (c.send_host[slot], c.send_dev[slot], x.zero_copy)
+        (c.send_host_slot(slot), c.send_dev_slot(slot), x.zero_copy)
+    };
+    let (Some(host_slot), Some(dev_slot)) = (host_slot, dev_slot) else {
+        return fail(
+            sim,
+            &st,
+            MpiError::Faulted("copyio ring slot out of range".into()),
+        );
     };
     let Some(mut engine) = st.borrow_mut().s_engine.take() else {
         return fail(
@@ -229,7 +238,7 @@ fn sender_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64) 
                     move |sim, _| {
                         let copy_stream = {
                             let x = stw.borrow();
-                            sim.world.mpi.ranks[x.s.rank].copy_stream
+                            sim.world.rank(x.s.rank).copy_stream
                         };
                         let stw2 = Rc::clone(&stw);
                         memcpy(sim, copy_stream, dev_slot, host_slot, n, move |sim, _| {
@@ -273,16 +282,30 @@ fn wire(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64, direct_s
     let (s_rank, r_rank, src) = {
         let x = st.borrow();
         let c = x.conn.borrow();
-        (x.s.rank, x.r.rank, direct_src.unwrap_or(c.send_host[slot]))
+        (x.s.rank, x.r.rank, direct_src.or(c.send_host_slot(slot)))
+    };
+    let Some(src) = src else {
+        return fail(
+            sim,
+            &st,
+            MpiError::Faulted("copyio ring slot out of range".into()),
+        );
     };
     let dst = {
         let x = st.borrow();
         let dense_host_recv = matches!(x.r_engine, Some(SideEngine::Contig)) && !x.r.device();
         if dense_host_recv {
-            x.r.data_ptr().add(seq * x.frag)
+            Some(x.r.data_ptr().add(seq * x.frag))
         } else {
-            x.conn.borrow().recv_host[slot]
+            x.conn.borrow().recv_host_slot(slot)
         }
+    };
+    let Some(dst) = dst else {
+        return fail(
+            sim,
+            &st,
+            MpiError::Faulted("copyio ring slot out of range".into()),
+        );
     };
     let now = sim.now();
     let stw = Rc::clone(&st);
@@ -340,7 +363,7 @@ fn receiver_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64
             }
         };
         (
-            c.recv_dev[slot],
+            c.recv_dev_slot(slot),
             kind,
             sim.world.rank(x.r.rank).copy_stream,
             x.r.data_ptr().add(seq * x.frag),
@@ -354,6 +377,13 @@ fn receiver_stage(sim: &mut Sim<MpiWorld>, st: St, slot: usize, seq: u64, n: u64
             // H2D staging hop, then the unpack kernel. Copies on the
             // copy stream complete in arrival order, preserving the
             // engine's sequential consumption.
+            let Some(dev_slot) = dev_slot else {
+                return fail(
+                    sim,
+                    &st,
+                    MpiError::Faulted("copyio ring slot out of range".into()),
+                );
+            };
             let stw = Rc::clone(&st);
             memcpy(sim, copy_stream, arrived_at, dev_slot, n, move |sim, _| {
                 run_unpack(sim, stw, dev_slot, slot, n);
@@ -438,7 +468,12 @@ fn consumed(sim: &mut Sim<MpiWorld>, st: St, slot: usize, n: u64) {
     }
     let stw = Rc::clone(&st);
     let acked = send_am(sim, r_rank, s_rank, 16, move |sim| {
-        let frag_span = stw.borrow().frag_spans[slot];
+        let frag_span = stw
+            .borrow()
+            .frag_spans
+            .get(slot)
+            .copied()
+            .unwrap_or(SpanId::disabled());
         sim.trace.span_end(sim.now(), frag_span);
         let send_finished = {
             let mut x = stw.borrow_mut();

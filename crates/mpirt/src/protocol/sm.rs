@@ -248,8 +248,7 @@ fn pull_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PullState>>) {
             x.next_seq += 1;
             x.inflight += 1;
             let n = frag.min(x.total - seq * frag);
-            let slot = (seq as usize) % depth;
-            let staging = x.conn.borrow().staging.as_ref().map(|v| v[slot]);
+            let staging = x.conn.borrow().staging_slot(seq as usize);
             (seq, n, frag, depth, staging)
         };
         let _ = depth;
@@ -446,8 +445,15 @@ fn put_pump(sim: &mut Sim<MpiWorld>, st: Rc<RefCell<PutState>>) {
             x.next_seq += 1;
             x.inflight += 1;
             let n = frag.min(x.total - seq * frag);
-            let slot_ptr = x.conn.borrow().ring[(seq as usize) % depth];
+            let slot_ptr = x.conn.borrow().ring_slot(seq as usize);
             (seq, n, frag, slot_ptr)
+        };
+        let Some(slot_ptr) = slot_ptr else {
+            return put_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm ring slot out of range".into()),
+            );
         };
         // Pack into the local ring slot, then PUT to the final offset.
         let frag_span = {
@@ -613,8 +619,15 @@ fn full_pump(sim: &mut Sim<MpiWorld>, st: FSt) {
             let seq = x.next_seq;
             x.next_seq += 1;
             let n = x.frag.min(x.total - seq * x.frag);
-            let ring_slot = x.conn.borrow().ring[slot];
+            let ring_slot = x.conn.borrow().ring_slot(slot);
             (slot, n, ring_slot)
+        };
+        let Some(ring_slot) = ring_slot else {
+            return full_fail(
+                sim,
+                &st,
+                MpiError::Faulted("sm ring slot out of range".into()),
+            );
         };
         // Sender packs the fragment into the ring slot... The frag span
         // covers the slot's whole residency: claim here, recycle on ack.
@@ -678,7 +691,7 @@ fn full_recv(
     ring_slot: memsim::Ptr,
     frag_span: SpanId,
 ) {
-    let staging = { st.borrow().conn.borrow().staging.as_ref().map(|v| v[slot]) };
+    let staging = { st.borrow().conn.borrow().staging_slot(slot) };
     match staging {
         Some(stage) => {
             let copy_stream = {

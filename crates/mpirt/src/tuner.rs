@@ -145,6 +145,11 @@ struct Model {
     stream_op_issue_ns: f64,
     /// Engine work-unit size (for descriptor-path shatter estimates).
     unit_size: u64,
+    /// DRAM transaction granularity and warp chunk (bytes): the
+    /// simulator charges kernel traffic in whole transactions per warp
+    /// chunk (`gpusim::kernel::access_lines`), so the model must too.
+    txn_bytes: f64,
+    warp_chunk: f64,
 }
 
 fn nspb(bw: simcore::Bandwidth) -> f64 {
@@ -152,7 +157,7 @@ fn nspb(bw: simcore::Bandwidth) -> f64 {
 }
 
 fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
-    let (dram_nspb, launch_ns, memcpy_lat_ns, desc_bytes) = {
+    let (dram_nspb, launch_ns, memcpy_lat_ns, desc_bytes, txn_bytes, warp_chunk) = {
         let sys = sim.world.gpus_ref();
         let g = sys.gpu(sim.world.mpi.ranks[s_rank].gpu);
         let eff = g
@@ -163,6 +168,8 @@ fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
             g.spec.launch_overhead.as_nanos() as f64,
             g.spec.memcpy_latency.as_nanos() as f64,
             g.spec.descriptor_bytes as f64,
+            g.spec.transaction_bytes as f64,
+            g.spec.warp_chunk() as f64,
         )
     };
     let (pcie_host_nspb, peer_nspb, p2p_copy_nspb, pcie_copy_nspb, pcie_lat_ns) = {
@@ -214,6 +221,8 @@ fn gather(sim: &mut Sim<MpiWorld>, s_rank: usize, r_rank: usize) -> Model {
         stream_doorbell_ns,
         stream_op_issue_ns,
         unit_size: cfg.engine.unit_size,
+        txn_bytes,
+        warp_chunk,
     }
 }
 
@@ -257,14 +266,22 @@ fn kernel_stage(m: &Model, side: &Side, opt: &OptimizerConfig, far: KernelFar) -
     } else {
         units_per_byte * m.desc_bytes * m.dram_nspb
     };
-    // Traffic per payload byte: each LocalDevice side touches ~its
-    // payload in 128-byte lines; the off-GPU side rides PCIe and the
+    // Traffic per payload byte: the simulator charges each local side
+    // `access_lines(off, len) * txn` bytes (`gpusim::kernel`), so a
+    // misaligned scattered run costs one extra transaction per warp
+    // chunk plus a partial line per run, and even the dense fragment
+    // side pays at least one whole transaction per unit. Mirror that
+    // here so the model and the simulator agree on what a conversion
+    // kernel's DRAM traffic costs; the off-GPU side rides PCIe and the
     // hardware overlaps the two (kernel time is their max).
-    let local_sides = match far {
-        KernelFar::LocalDevice => 2.0,
-        KernelFar::MappedHost | KernelFar::PeerDevice => 1.0,
+    let run = (total as f64 / units).max(1.0);
+    let scattered_factor = 1.0 + m.txn_bytes / m.warp_chunk + m.txn_bytes / run;
+    let dense_factor = 1.0 + m.txn_bytes / run;
+    let local_traffic = match far {
+        KernelFar::LocalDevice => scattered_factor + dense_factor,
+        KernelFar::MappedHost | KernelFar::PeerDevice => scattered_factor,
     };
-    let dram = local_sides * m.dram_nspb + desc_nspb;
+    let dram = local_traffic * m.dram_nspb + desc_nspb;
     let pcie = match far {
         KernelFar::LocalDevice => 0.0,
         KernelFar::MappedHost => m.pcie_host_nspb,

@@ -808,3 +808,57 @@ mod tests {
         }
     }
 }
+
+/// Loom model of the [`run_sharded`] handoff protocol (nightly `loom`
+/// CI job; see `shard.rs` for the invocation). The worker pool itself
+/// cannot run under loom — it parks on real channels and lives for the
+/// process — so this models the exact protocol shape instead: workers
+/// write disjoint destination ranges through a shared raw pointer, then
+/// count a latch down with a Release `fetch_sub`; the submitter spins
+/// on an Acquire load and reads the buffer once the latch hits zero.
+/// Loom verifies the Release/Acquire pair is what makes every worker
+/// write visible to the submitting thread.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use loom::cell::UnsafeCell;
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn loom_job_handoff_publishes_disjoint_writes() {
+        loom::model(|| {
+            // Two "shards" of a destination buffer, one cell each (the
+            // real code hands out disjoint CopyOp ranges of one slice).
+            let buf = Arc::new([UnsafeCell::new(0u8), UnsafeCell::new(0u8)]);
+            let remaining = Arc::new(AtomicUsize::new(2));
+            let workers: Vec<_> = (0..2)
+                .map(|i| {
+                    let buf = Arc::clone(&buf);
+                    let remaining = Arc::clone(&remaining);
+                    thread::spawn(move || {
+                        buf[i].with_mut(|p| unsafe { *p = i as u8 + 1 });
+                        remaining.fetch_sub(1, Ordering::Release);
+                    })
+                })
+                .collect();
+            // Submitter side: `run_sharded` parks/unparks around the
+            // same Acquire load; the spin models the wakeup.
+            while remaining.load(Ordering::Acquire) != 0 {
+                thread::yield_now();
+            }
+            let seen = [
+                buf[0].with(|p| unsafe { *p }),
+                buf[1].with(|p| unsafe { *p }),
+            ];
+            assert_eq!(
+                seen,
+                [1, 2],
+                "worker writes must be visible after the latch"
+            );
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
+    }
+}

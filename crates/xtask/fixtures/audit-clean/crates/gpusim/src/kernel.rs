@@ -1,0 +1,6 @@
+//! Fixture charge site reading the modeled constant.
+
+pub fn charge(spec: &GpuSpec, r: &mut Fifo, now: u64) {
+    let cost = spec.good_bw;
+    r.reserve(now, cost);
+}

@@ -1,0 +1,6 @@
+//! Fixture spec tables, fully coherent.
+
+pub struct GpuSpec {
+    pub name: u64,
+    pub good_bw: u64,
+}

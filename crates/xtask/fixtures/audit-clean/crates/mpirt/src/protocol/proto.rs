@@ -1,0 +1,9 @@
+//! Fixture protocol entry: the charge sits below a fault consult.
+
+pub fn entry(sim: &mut Sim) {
+    let verdict = fault_roll(sim, FaultOp::KernelLaunch);
+    if verdict.is_fault() {
+        return;
+    }
+    charge(sim.spec, sim.fifo, sim.now);
+}

@@ -1,0 +1,5 @@
+//! Fixture session whose metrics chain is intact.
+
+pub fn metrics(tr: &Trace) -> Metrics {
+    Metrics::from_trace(tr)
+}

@@ -1,0 +1,5 @@
+//! Fixture tuner model reading the charged constant.
+
+pub fn gather(spec: &GpuSpec) -> u64 {
+    spec.good_bw
+}

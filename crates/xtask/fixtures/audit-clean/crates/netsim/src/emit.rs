@@ -1,0 +1,5 @@
+//! Fixture emission site for the registered name.
+
+pub fn emits(tr: &mut Trace) {
+    tr.count(names::LIVE_BYTES, 0, 0, 1);
+}

@@ -1,0 +1,14 @@
+//! Fixture protocol entry surface.
+
+pub fn entry(sim: &mut Sim) {
+    guarded_hop(sim);
+    bad_charge(sim);
+}
+
+pub fn guarded_hop(sim: &mut Sim) {
+    let verdict = fault_roll(sim, FaultOp::KernelLaunch);
+    if verdict.is_fault() {
+        return;
+    }
+    inner_ok(sim);
+}

@@ -1,0 +1,5 @@
+//! Fixture session with a severed metrics chain.
+
+pub fn metrics() -> u64 {
+    0
+}

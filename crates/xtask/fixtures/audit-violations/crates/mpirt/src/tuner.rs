@@ -1,0 +1,5 @@
+//! Fixture tuner model.
+
+pub fn gather(spec: &GpuSpec) -> u64 {
+    spec.good_bw + spec.tuner_only
+}

@@ -1,0 +1,5 @@
+//! Fixture undocumented unsafe outside the sanctioned modules.
+
+pub fn poke(p: *mut u8) {
+    unsafe { *p = 0 }
+}

@@ -1,0 +1,14 @@
+//! Fixture trace-name registry.
+
+pub mod names {
+    pub const LIVE_BYTES: &str = "live.bytes";
+    pub const DEAD_NAME: &str = "dead.name";
+}
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn from_trace(tr: &Trace) -> Metrics {
+        Metrics
+    }
+}

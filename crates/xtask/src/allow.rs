@@ -30,6 +30,70 @@ impl AllowList {
             Err(e) => Err(e),
         }
     }
+
+    /// Every `(path, kind) → count` entry, in sorted order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.entries
+            .iter()
+            .map(|((p, k), &c)| (p.as_str(), k.as_str(), c))
+    }
+}
+
+/// Ratchet-direction check: compare every `*.allow` file under
+/// `new_dir` against `old_dir` and report each entry that appeared or
+/// grew. Removed entries and shrunken counts are the ratchet working as
+/// intended; a brand-new `*.allow` file is only acceptable when the
+/// family itself is new, which the caller signals via `new_families`.
+pub fn ratchet_check(
+    old_dir: &Path,
+    new_dir: &Path,
+    new_families: &[&str],
+) -> io::Result<Vec<String>> {
+    let mut errors = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    if new_dir.is_dir() {
+        for entry in std::fs::read_dir(new_dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".allow") {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        let family = name.trim_end_matches(".allow");
+        let new = AllowList::load(&new_dir.join(&name))?;
+        let old_path = old_dir.join(&name);
+        if !old_path.exists() {
+            if !new_families.contains(&family) {
+                // A family that existed before must not (re)appear with
+                // a fresh allowance out of nowhere.
+                for (p, k, c) in new.entries() {
+                    errors.push(format!(
+                        "lint/{name}: new allowlist file introduces {p} {k} {c}"
+                    ));
+                }
+            }
+            continue;
+        }
+        let old = AllowList::load(&old_path)?;
+        let old_map: BTreeMap<(String, String), u64> = old
+            .entries()
+            .map(|(p, k, c)| ((p.to_string(), k.to_string()), c))
+            .collect();
+        for (p, k, c) in new.entries() {
+            match old_map.get(&(p.to_string(), k.to_string())) {
+                None => errors.push(format!(
+                    "lint/{name}: new entry `{p} {k} {c}` — the ratchet only tightens"
+                )),
+                Some(&oc) if c > oc => errors.push(format!(
+                    "lint/{name}: `{p} {k}` grew {oc} -> {c} — the ratchet only tightens"
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(errors)
 }
 
 /// Parse allowlist text. `#` starts a comment; blank lines are ignored.

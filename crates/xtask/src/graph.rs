@@ -1,0 +1,324 @@
+//! The approximate call graph: the audit layer's middle tier.
+//!
+//! [`crate::lexer::extract_fns`] gives the item table; this module
+//! derives per-function facts (calls made, fields read, trace-registry
+//! uses, `.reserve(` charge sites, idents mentioned) and links calls to
+//! definitions *by bare name*. That resolution is deliberately
+//! unsound-free in one direction only: a call edge may point at several
+//! same-named functions in different files (over-approximation), but a
+//! call to a function we have the source of is never missed. Audit
+//! analyses built on top therefore over-report reachability and must
+//! never be used to prove the *absence* of a path — only that every
+//! path they do see satisfies an invariant. See DESIGN.md §16.
+
+use crate::lexer::{extract_fns, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rust keywords and control-flow idents that look like calls when
+/// followed by `(` — e.g. `if (..)`, `match (..)`, `return (..)`.
+const NON_CALL_IDENTS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "unsafe", "else", "as", "in",
+    "let", "mut", "ref", "await",
+];
+
+/// One `fn` item plus the facts the analyses consume.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    pub name: String,
+    pub line: u32,
+    pub in_test: bool,
+    /// Bare names of every call made in the body (`foo(`, `x.foo(`,
+    /// `a::b::foo(`), deduplicated.
+    pub calls: BTreeSet<String>,
+    /// Field reads: `.ident` not followed by `(`.
+    pub field_reads: BTreeSet<String>,
+    /// Every ident mentioned anywhere in the body.
+    pub mentions: BTreeSet<String>,
+    /// Lines of `.reserve(` method calls — the simulated-time charges.
+    pub reserve_lines: Vec<u32>,
+    /// Trace-registry uses inside `.count(` / `.span_at(` / … calls:
+    /// `(method, CONST_NAME, line)` for each `names::CONST_NAME` arg.
+    pub trace_uses: Vec<(String, String, u32)>,
+    /// Every `names::CONST` path mentioned anywhere in the body — the
+    /// counter-liveness analysis uses these to credit emission through
+    /// indirection (`let ctr = match dir { names::A, .. }; count(ctr)`).
+    pub names_refs: BTreeSet<String>,
+}
+
+/// The whole-workspace graph: nodes plus a name → node-indices index
+/// used for approximate call resolution.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build from pre-lexed files (`(workspace-relative path, tokens)`).
+    pub fn build<'a>(files: impl IntoIterator<Item = (&'a str, &'a [Token])>) -> Self {
+        let mut g = CallGraph::default();
+        for (rel, toks) in files {
+            for span in extract_fns(toks) {
+                let body = &toks[span.body.clone()];
+                let mut node = FnNode {
+                    file: rel.to_string(),
+                    name: span.name,
+                    line: span.line,
+                    in_test: span.in_test,
+                    calls: BTreeSet::new(),
+                    field_reads: BTreeSet::new(),
+                    mentions: BTreeSet::new(),
+                    reserve_lines: Vec::new(),
+                    trace_uses: Vec::new(),
+                    names_refs: BTreeSet::new(),
+                };
+                scan_body(body, &mut node);
+                g.by_name
+                    .entry(node.name.clone())
+                    .or_default()
+                    .push(g.nodes.len());
+                g.nodes.push(node);
+            }
+        }
+        g
+    }
+
+    /// Node indices whose definitions carry this bare name.
+    pub fn defs_of(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Forward reachability from `roots` over name-resolved call edges.
+    pub fn reachable(&self, roots: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.into_iter().collect();
+        let mut work: Vec<usize> = seen.iter().copied().collect();
+        while let Some(i) = work.pop() {
+            for callee in &self.nodes[i].calls {
+                for &j in self.defs_of(callee) {
+                    if seen.insert(j) {
+                        work.push(j);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reachability that stops descending at protected nodes: a node
+    /// for which `protected` returns true is recorded as visited but
+    /// its callees are not expanded. The result maps each *unprotected*
+    /// reached node to the index of the caller it was first reached
+    /// from (roots map to themselves), so violations can print a path.
+    pub fn reachable_unprotected(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        protected: impl Fn(&FnNode) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        self.reachable_unprotected_filtered(roots, protected, |_, _| true)
+    }
+
+    /// [`Self::reachable_unprotected`] with an edge filter: an edge to
+    /// a definition of `name` is followed only when
+    /// `edge_ok(name, callee)` holds. Analyses use this to trim the
+    /// worst name-collision fan-out (ubiquitous method names resolving
+    /// to unrelated definitions) without touching the node facts.
+    pub fn reachable_unprotected_filtered(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        protected: impl Fn(&FnNode) -> bool,
+        edge_ok: impl Fn(&str, &FnNode) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut work: Vec<usize> = Vec::new();
+        for r in roots {
+            if !protected(&self.nodes[r]) && !parent.contains_key(&r) {
+                parent.insert(r, r);
+                work.push(r);
+            }
+        }
+        while let Some(i) = work.pop() {
+            for callee in &self.nodes[i].calls {
+                for &j in self.defs_of(callee) {
+                    if parent.contains_key(&j)
+                        || protected(&self.nodes[j])
+                        || !edge_ok(callee, &self.nodes[j])
+                    {
+                        continue;
+                    }
+                    parent.insert(j, i);
+                    work.push(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Render the root→node call chain recorded by
+    /// [`Self::reachable_unprotected`], e.g. `start_rendezvous → stage → charge`.
+    pub fn chain(&self, parent: &BTreeMap<usize, usize>, mut i: usize) -> String {
+        let mut names = vec![self.nodes[i].name.clone()];
+        while let Some(&p) = parent.get(&i) {
+            if p == i {
+                break;
+            }
+            names.push(self.nodes[p].name.clone());
+            i = p;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+fn scan_body(body: &[Token], node: &mut FnNode) {
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if let Some(id) = t.ident() {
+            node.mentions.insert(id.to_string());
+            if id == "names"
+                && body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && body.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                if let Some(c) = body.get(i + 3).and_then(|n| n.ident()) {
+                    node.names_refs.insert(c.to_string());
+                }
+            }
+            let next_open = body.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let is_macro = body.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let after_dot = i > 0 && body[i - 1].is_punct('.');
+            let after_dotdot = after_dot && i > 1 && body[i - 2].is_punct('.');
+            if next_open && !is_macro && !NON_CALL_IDENTS.contains(&id) {
+                node.calls.insert(id.to_string());
+                if after_dot && id == "reserve" {
+                    node.reserve_lines.push(t.line);
+                }
+                if after_dot && crate::rules::TRACE_METHODS.contains(&id) {
+                    collect_trace_args(body, i + 1, id, node);
+                }
+            } else if after_dot && !after_dotdot && !next_open && !is_macro {
+                node.field_reads.insert(id.to_string());
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walk the argument list starting at the `(` token index, collecting
+/// every `names :: CONST` path as a trace-registry use of `method`.
+fn collect_trace_args(body: &[Token], open: usize, method: &str, node: &mut FnNode) {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < body.len() {
+        let t = &body[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return;
+            }
+        } else if t.is_ident("names")
+            && body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && body.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            if let Some(name) = body.get(i + 3).and_then(|n| n.ident()) {
+                node.trace_uses
+                    .push((method.to_string(), name.to_string(), t.line));
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let lexed: Vec<(&str, Vec<Token>)> =
+            files.iter().map(|(rel, src)| (*rel, lex(src))).collect();
+        CallGraph::build(lexed.iter().map(|(rel, toks)| (*rel, toks.as_slice())))
+    }
+
+    #[test]
+    fn calls_fields_and_reserves_are_extracted() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            fn outer(x: &Spec) -> u64 {
+                let v = x.transaction_bytes + helper(x.warp_size);
+                let (s, e) = res.reserve(now, dur);
+                if cond(v) { return v; }
+                v
+            }
+            fn helper(w: u64) -> u64 { w }
+            "#,
+        )]);
+        let outer = &g.nodes[g.defs_of("outer")[0]];
+        assert!(outer.calls.contains("helper"));
+        assert!(outer.calls.contains("cond"));
+        assert!(outer.field_reads.contains("transaction_bytes"));
+        assert!(outer.field_reads.contains("warp_size"));
+        assert!(!outer.field_reads.contains("helper"));
+        assert_eq!(outer.reserve_lines.len(), 1);
+    }
+
+    #[test]
+    fn range_idents_are_not_field_reads() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(n: usize) { for i in 0..n { let _ = i; } }",
+        )]);
+        let f = &g.nodes[g.defs_of("f")[0]];
+        assert!(!f.field_reads.contains("n"));
+    }
+
+    #[test]
+    fn reachability_stops_at_protected_nodes() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            fn entry() { guarded(); open(); }
+            fn guarded() { let _ = fault_roll(); below_guard(); }
+            fn below_guard() { charge(); }
+            fn open() { charge(); }
+            fn charge() { let (s, e) = r.reserve(a, b); }
+            "#,
+        )]);
+        let roots = g.defs_of("entry").to_vec();
+        let parent = g.reachable_unprotected(roots, |n| n.mentions.contains("fault_roll"));
+        let charge = g.defs_of("charge")[0];
+        let below = g.defs_of("below_guard")[0];
+        assert!(parent.contains_key(&charge), "open path reaches charge");
+        assert!(
+            !parent.contains_key(&below),
+            "guarded subtree is not expanded"
+        );
+        let chain = g.chain(&parent, charge);
+        assert!(chain.starts_with("entry"), "chain was {chain}");
+    }
+
+    #[test]
+    fn trace_registry_uses_are_collected() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            fn f(sim: &mut Sim) {
+                sim.trace.count(names::GOOD, 1);
+                sim.trace.span_at(names::CAT_X, names::SPAN_Y, t, d, Track::Cpu);
+                let v = sim.trace.counter(names::READ_ONLY);
+            }
+            "#,
+        )]);
+        let f = &g.nodes[g.defs_of("f")[0]];
+        let methods: Vec<&str> = f.trace_uses.iter().map(|(m, _, _)| m.as_str()).collect();
+        assert!(methods.contains(&"count"));
+        assert!(methods.contains(&"span_at"));
+        assert!(methods.contains(&"counter"));
+        let names: Vec<&str> = f.trace_uses.iter().map(|(_, n, _)| n.as_str()).collect();
+        assert_eq!(names, ["GOOD", "CAT_X", "SPAN_Y", "READ_ONLY"]);
+    }
+}

@@ -363,6 +363,166 @@ fn scan_item(toks: &[Token], start: usize) -> usize {
     toks.len() - 1
 }
 
+// ---------------------------------------------------------------------
+// Item extraction (the audit layer's symbol table)
+// ---------------------------------------------------------------------
+
+/// One `fn` item found in a token stream: its name, where it starts,
+/// and the half-open token range of its body. Nested functions are
+/// reported too (their body ranges lie inside the outer one's).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// True when the item sits in a test-only region.
+    pub in_test: bool,
+    /// Token indices of the body, `{` exclusive .. `}` exclusive.
+    /// Empty for bodyless declarations (trait methods, externs).
+    pub body: std::ops::Range<usize>,
+}
+
+/// Extract every `fn` item (including nested ones). `fn(` pointer
+/// types are skipped — they declare a type, not an item.
+pub fn extract_fns(toks: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        let Some(name) = name_tok.ident() else {
+            continue; // `fn(` pointer type or malformed
+        };
+        // Find the body `{` (or a `;` for bodyless declarations) at
+        // bracket depth zero relative to the signature.
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        let mut body = 0..0;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(';') && depth == 0 {
+                break; // declaration without a body
+            } else if t.is_punct('{') && depth == 0 {
+                let open = j;
+                let mut braces = 0usize;
+                while j < toks.len() {
+                    let b = &toks[j];
+                    if b.is_punct('{') || b.is_punct('(') || b.is_punct('[') {
+                        braces += 1;
+                    } else if b.is_punct('}') || b.is_punct(')') || b.is_punct(']') {
+                        braces = braces.saturating_sub(1);
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                body = open + 1..j.min(toks.len());
+                break;
+            }
+            j += 1;
+        }
+        out.push(FnSpan {
+            name: name.to_string(),
+            line: toks[i].line,
+            in_test: toks[i].in_test,
+            body,
+        });
+    }
+    out
+}
+
+/// Field names (with lines) of `struct <name> { .. }`, or empty when
+/// the struct is not in this stream. Only named-field structs are
+/// supported — that is all the audit needs for the spec tables.
+pub fn extract_struct_fields(toks: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))) {
+            continue;
+        }
+        // Scan to the opening brace, then collect `ident :` pairs at
+        // depth 1 (skipping generics/attribute innards via depth).
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            if toks[j].is_punct(';') {
+                return out; // tuple/unit struct
+            }
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && t.is_punct('}') {
+                    return out;
+                }
+            } else if depth == 1 {
+                if let Some(id) = t.ident() {
+                    if id != "pub" && toks.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                        out.push((id.to_string(), t.line));
+                    }
+                }
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
+/// `pub const NAME: &str = "value";` items inside `mod <module> { .. }`:
+/// returns `(NAME, value, line)` triples. Used to read the
+/// `simcore::trace::names` registry without compiling it.
+pub fn extract_mod_consts(toks: &[Token], module: &str) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("mod") && toks.get(i + 1).is_some_and(|t| t.is_ident(module))) {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return out;
+                }
+            } else if t.is_ident("const") {
+                if let Some(name) = toks.get(j + 1).and_then(|t| t.ident()) {
+                    // Scan to `=` then expect a string literal.
+                    let mut k = j + 2;
+                    while k < toks.len() && !toks[k].is_punct('=') && !toks[k].is_punct(';') {
+                        k += 1;
+                    }
+                    if let Some(val) = toks.get(k + 1).and_then(|t| t.str_lit()) {
+                        out.push((name.to_string(), val.to_string(), toks[j].line));
+                    }
+                }
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,6 +31,8 @@
 //! so the ratchet only tightens. See DESIGN.md §11.
 
 pub mod allow;
+pub mod audit;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -133,6 +135,76 @@ pub fn run_lint(root: &Path) -> io::Result<LintOutcome> {
     Ok(LintOutcome {
         reports,
         files_scanned,
+    })
+}
+
+/// The reconciled result of auditing one tree.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// One report per analysis, in [`audit::AUDIT_FAMILIES`] order.
+    pub reports: Vec<RuleReport>,
+    pub files_scanned: usize,
+    /// Size of the item table the call graph was built from.
+    pub fns_indexed: usize,
+}
+
+impl AuditOutcome {
+    pub fn ok(&self) -> bool {
+        self.reports.iter().all(|r| r.ok())
+    }
+
+    /// The report for one analysis; panics only on a misspelled family
+    /// name, which is a bug in the caller (tests), not input-dependent.
+    pub fn family(&self, name: &str) -> &RuleReport {
+        self.reports
+            .iter()
+            .find(|r| r.family == name)
+            .unwrap_or_else(|| panic!("unknown audit family {name:?}"))
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&r.render_text());
+        }
+        out
+    }
+}
+
+/// Audit the workspace rooted at `root`: build the item table and call
+/// graph over every crate source file, run the four semantic analyses,
+/// then reconcile each against `root/lint/<family>.allow`.
+pub fn run_audit(root: &Path) -> io::Result<AuditOutcome> {
+    let mut files = Vec::new();
+    for rel in collect_rs_files(root)? {
+        // The audit reasons about shipped code only: integration tests
+        // and benches are whole files of test code the lexer cannot
+        // mark, so including them would count test-only emissions and
+        // calls as live paths.
+        if !rel.contains("/src/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let toks = lexer::lex(&src);
+        files.push(audit::FileData { rel, src, toks });
+    }
+    let graph = audit::build_graph(&files);
+    let fns_indexed = graph.nodes.len();
+    let found = audit::analyze(&files, &graph);
+    let mut reports = Vec::new();
+    for family in audit::AUDIT_FAMILIES {
+        let mine: Vec<rules::Violation> = found
+            .iter()
+            .filter(|v| v.family == family)
+            .cloned()
+            .collect();
+        let allowlist = allow::AllowList::load(&root.join("lint").join(format!("{family}.allow")))?;
+        reports.push(allow::apply(family, mine, &allowlist));
+    }
+    Ok(AuditOutcome {
+        reports,
+        files_scanned: files.len(),
+        fns_indexed,
     })
 }
 

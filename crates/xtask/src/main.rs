@@ -1,39 +1,69 @@
-//! `cargo xtask lint [--root <dir>] [--report <file>]`
+//! `cargo xtask <lint|audit|ratchet>` — workspace invariant tooling.
 //!
-//! Exit code 0 when every rule family is clean (all remaining findings
-//! exactly covered by the `lint/*.allow` ratchets); 1 on any violation
-//! or stale allowlist entry; 2 on usage errors.
+//! * `lint  [--root <dir>] [--report <file>]` — the eight per-file
+//!   token-level rule families.
+//! * `audit [--root <dir>] [--report <file>] [--json]` — the four
+//!   cross-file semantic analyses over the call graph. `--json` prints
+//!   the machine-readable report to stdout.
+//! * `ratchet --old <dir> --new <dir>` — assert every `*.allow` file in
+//!   `<new>` only shrinks relative to `<old>` (CI materializes the base
+//!   revision's `lint/` into `<old>` via `git show`).
+//!
+//! Exit code 0 when clean; 1 on any violation, stale allowlist entry,
+//! or ratchet loosening; 2 on usage errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--root <dir>] [--report <file>]");
+    eprintln!(
+        "usage: cargo xtask lint [--root <dir>] [--report <file>]\n\
+        \x20      cargo xtask audit [--root <dir>] [--report <file>] [--json]\n\
+        \x20      cargo xtask ratchet --old <dir> --new <dir>"
+    );
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    if args.next().as_deref() != Some("lint") {
-        return usage();
-    }
+struct CommonArgs {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_common(args: impl Iterator<Item = String>, allow_json: bool) -> Option<CommonArgs> {
+    let mut args = args.peekable();
     let mut root: Option<PathBuf> = None;
     let mut report: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--root" => match args.next() {
-                Some(v) => root = Some(PathBuf::from(v)),
-                None => return usage(),
-            },
-            "--report" => match args.next() {
-                Some(v) => report = Some(PathBuf::from(v)),
-                None => return usage(),
-            },
-            _ => return usage(),
+            "--root" => root = Some(PathBuf::from(args.next()?)),
+            "--report" => report = Some(PathBuf::from(args.next()?)),
+            "--json" if allow_json => json = true,
+            _ => return None,
         }
     }
-    let root = root.unwrap_or_else(xtask::workspace_root);
-    let outcome = match xtask::run_lint(&root) {
+    Some(CommonArgs {
+        root: root.unwrap_or_else(xtask::workspace_root),
+        report,
+        json,
+    })
+}
+
+fn write_report(path: &PathBuf, json: &str, cmd: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("xtask {cmd}: writing {}: {e}", path.display());
+        return Err(ExitCode::from(2));
+    }
+    println!("report written to {}", path.display());
+    Ok(())
+}
+
+fn cmd_lint(args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(a) = parse_common(args, false) else {
+        return usage();
+    };
+    let outcome = match xtask::run_lint(&a.root) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("xtask lint: {e}");
@@ -44,19 +74,99 @@ fn main() -> ExitCode {
     println!(
         "scanned {} file(s) under {}",
         outcome.files_scanned,
-        root.display()
+        a.root.display()
     );
-    if let Some(path) = &report {
+    if let Some(path) = &a.report {
         let json = xtask::report::render_json(&outcome.reports);
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("xtask lint: writing {}: {e}", path.display());
-            return ExitCode::from(2);
+        if let Err(code) = write_report(path, &json, "lint") {
+            return code;
         }
-        println!("report written to {}", path.display());
     }
     if outcome.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+fn cmd_audit(args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(a) = parse_common(args, true) else {
+        return usage();
+    };
+    let outcome = match xtask::run_audit(&a.root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = xtask::report::render_json(&outcome.reports);
+    if a.json {
+        print!("{json}");
+    } else {
+        print!("{}", outcome.render_text());
+        println!(
+            "audited {} file(s), {} fn(s) in the call graph, under {}",
+            outcome.files_scanned,
+            outcome.fns_indexed,
+            a.root.display()
+        );
+    }
+    if let Some(path) = &a.report {
+        if let Err(code) = write_report(path, &json, "audit") {
+            return code;
+        }
+    }
+    if outcome.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_ratchet(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut old: Option<PathBuf> = None;
+    let mut new: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--old" => old = args.next().map(PathBuf::from),
+            "--new" => new = args.next().map(PathBuf::from),
+            _ => return usage(),
+        }
+    }
+    let (Some(old), Some(new)) = (old, new) else {
+        return usage();
+    };
+    // Families this binary defines may introduce a fresh allow file
+    // when the base had none (the family itself is new); any file
+    // already present in `old` must only shrink. An unknown family
+    // appearing out of nowhere always fails.
+    let mut known: Vec<&str> = xtask::rules::FAMILIES.to_vec();
+    known.extend(xtask::audit::AUDIT_FAMILIES);
+    match xtask::allow::ratchet_check(&old, &new, &known) {
+        Ok(errors) if errors.is_empty() => {
+            println!("ratchet OK: every allowlist only shrank");
+            ExitCode::SUCCESS
+        }
+        Ok(errors) => {
+            for e in &errors {
+                eprintln!("ratchet: {e}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("xtask ratchet: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => cmd_lint(args),
+        Some("audit") => cmd_audit(args),
+        Some("ratchet") => cmd_ratchet(args),
+        _ => usage(),
     }
 }

@@ -91,6 +91,224 @@ pub fn render_json(reports: &[RuleReport]) -> String {
     out
 }
 
+/// A minimal JSON reader for the reports this module writes. It exists
+/// so the audit's `--json` output can be round-trip-verified by the
+/// self-tests (and by CI) without a serialization dependency. It
+/// handles the full JSON grammar the renderer can emit; it is not a
+/// general-purpose validator (no surrogate-pair or number-format
+/// pedantry).
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// Parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => obj(b, i),
+            Some(b'[') => arr(b, i),
+            Some(b'"') => Ok(Value::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, i, "null", Value::Null),
+            Some(_) => num(b, i),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+
+    fn num(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        *i += 1; // opening quote
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {i}")),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&b[*i..])
+                        .map_err(|_| format!("bad utf-8 at byte {i}"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn obj(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // {
+        let mut m = BTreeMap::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(Value::Obj(m));
+        }
+        loop {
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected object key at byte {i}"));
+            }
+            let k = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {i}"));
+            }
+            *i += 1;
+            m.insert(k, value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(Value::Obj(m));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+            }
+        }
+    }
+
+    fn arr(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // [
+        let mut v = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(Value::Arr(v));
+        }
+        loop {
+            v.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(Value::Arr(v));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {i}")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +354,27 @@ mod tests {
             let c = j.chars().filter(|&c| c == close).count();
             assert_eq!(o, c);
         }
+        // Full round-trip through the reader.
+        let v = json::parse(&j).expect("rendered JSON parses");
+        assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(false));
+        let panic = v.get("rules").and_then(|r| r.get("panic")).unwrap();
+        assert_eq!(panic.get("suppressed").and_then(|s| s.as_num()), Some(5.0));
+        let viol = panic.get("violations").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(
+            viol[0].get("file").and_then(|f| f.as_str()),
+            Some("a\\b.rs")
+        );
+        assert_eq!(
+            viol[0].get("msg").and_then(|m| m.as_str()),
+            Some("say \"no\"")
+        );
+    }
+
+    #[test]
+    fn json_reader_rejects_malformed_documents() {
+        assert!(json::parse("{\"a\": 1").is_err());
+        assert!(json::parse("[1, 2,]").is_err());
+        assert!(json::parse("{\"a\": 1} extra").is_err());
+        assert!(json::parse("{'a': 1}").is_err());
     }
 }

@@ -34,7 +34,7 @@ pub struct Violation {
 
 /// The simulator crates: everything that executes under virtual time
 /// and must replay bit-identically from a seed.
-const SIM_CRATES: [&str; 7] = [
+pub const SIM_CRATES: [&str; 7] = [
     "simcore",
     "memsim",
     "gpusim",
@@ -51,7 +51,7 @@ const WALLCLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
 /// Modules allowed to call `.reserve(` — the FIFO-resource wrapper
 /// layer. Every other call site would charge simulated time without
 /// going through a wrapper that the fault injector can interpose on.
-const CHARGE_WRAPPERS: [&str; 11] = [
+pub const CHARGE_WRAPPERS: [&str; 12] = [
     "crates/simcore/src/resource.rs", // defines FifoResource::reserve
     "crates/netsim/src/channel.rs",
     "crates/netsim/src/am.rs",
@@ -62,6 +62,7 @@ const CHARGE_WRAPPERS: [&str; 11] = [
     "crates/gpusim/src/system.rs",
     "crates/gpusim/src/stream_trigger.rs", // capture/replay/graph-kernel charges
     "crates/mpirt/src/cpupack.rs",
+    "crates/mpirt/src/io.rs",
     "crates/devengine/src/engine.rs",
 ];
 
@@ -85,7 +86,7 @@ const GRAPH_CAPTURE: &str = "crates/gpusim/src/stream_trigger.rs";
 
 /// Trace methods whose name arguments must come from
 /// `simcore::trace::names`, never inline literals.
-const TRACE_METHODS: [&str; 6] = [
+pub const TRACE_METHODS: [&str; 6] = [
     "count",
     "count_to",
     "counter",
@@ -94,13 +95,13 @@ const TRACE_METHODS: [&str; 6] = [
     "span_at",
 ];
 
-fn in_crate_src(rel: &str, krate: &str) -> bool {
+pub fn in_crate_src(rel: &str, krate: &str) -> bool {
     rel.strip_prefix("crates/")
         .and_then(|r| r.strip_prefix(krate))
         .is_some_and(|r| r.starts_with("/src/"))
 }
 
-fn in_sim_crates(rel: &str) -> bool {
+pub fn in_sim_crates(rel: &str) -> bool {
     SIM_CRATES.iter().any(|c| in_crate_src(rel, c))
 }
 
@@ -757,8 +758,9 @@ mod tests {
     #[test]
     fn fault_rule_spares_wrapper_modules() {
         let src = "fn f(r: &mut Fifo) { r.reserve(now, cost); }";
-        assert_eq!(kinds("crates/mpirt/src/io.rs", src), vec!["reserve"]);
+        assert_eq!(kinds("crates/mpirt/src/world.rs", src), vec!["reserve"]);
         assert!(kinds("crates/netsim/src/wire.rs", src).is_empty());
+        assert!(kinds("crates/mpirt/src/io.rs", src).is_empty());
     }
 
     #[test]
